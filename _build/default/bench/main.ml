@@ -1,0 +1,116 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (PIBE, ASPLOS'21) on the simulated kernel and prints the
+   same rows the paper reports.
+
+   Usage:
+     bench/main.exe                 regenerate everything (paper order)
+     bench/main.exe --table 5       one table (also: --figure 1, --robustness,
+                                    --security, --ablation, --listings)
+     bench/main.exe --quick         small kernel / fast settings
+     bench/main.exe --bechamel      additionally run one Bechamel Test.make
+                                    per experiment (timing of regeneration
+                                    against the warm environment) *)
+
+let quick = ref false
+let bechamel = ref false
+let selected : string list ref = ref []
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--bechamel" :: rest ->
+      bechamel := true;
+      go rest
+    | "--table" :: n :: rest ->
+      selected := ("table" ^ n) :: !selected;
+      go rest
+    | "--figure" :: n :: rest ->
+      selected := ("figure" ^ n) :: !selected;
+      go rest
+    | "--robustness" :: rest ->
+      selected := "robustness" :: !selected;
+      go rest
+    | "--security" :: rest ->
+      selected := "security" :: !selected;
+      go rest
+    | "--ablation" :: rest ->
+      selected := "ablation" :: !selected;
+      go rest
+    | "--listings" :: rest ->
+      selected := "listings" :: !selected;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let run_experiment env (e : Pibe.Experiments.t) =
+  Printf.printf "==> %s (%s): %s\n\n" e.Pibe.Experiments.id e.Pibe.Experiments.paper_ref
+    e.Pibe.Experiments.description;
+  List.iter Pibe_util.Tbl.print (e.Pibe.Experiments.run env)
+
+let bechamel_pass env experiments =
+  (* One Bechamel test per table/figure: how long regenerating each
+     artifact takes against the warm (memoized) environment. *)
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (e : Pibe.Experiments.t) ->
+        Test.make ~name:e.Pibe.Experiments.id
+          (Staged.stage (fun () -> ignore (e.Pibe.Experiments.run env))))
+      experiments
+  in
+  let test = Test.make_grouped ~name:"pibe-experiments" ~fmt:"%s %s" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "bechamel %-32s %12.0f ns/run\n" name est
+      | Some [] | None -> Printf.printf "bechamel %-32s (no estimate)\n" name)
+    results
+
+let () =
+  parse_args ();
+  let env = if !quick then Pibe.Env.quick () else Pibe.Env.create () in
+  let wanted =
+    match !selected with
+    | [] -> List.map (fun (e : Pibe.Experiments.t) -> e.Pibe.Experiments.id) Pibe.Experiments.all
+    | ids -> List.rev ids
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun id ->
+      if String.equal id "listings" then begin
+        print_endline "==> listings: the paper's defense code sequences\n";
+        print_endline (Pibe.Experiments.listings ());
+        print_newline ()
+      end
+      else
+        match Pibe.Experiments.find id with
+        | Some e -> run_experiment env e
+        | None ->
+          Printf.eprintf "unknown experiment id %s\n" id;
+          exit 2)
+    wanted;
+  (if !selected = [] then begin
+     print_endline "==> listings: the paper's defense code sequences\n";
+     print_endline (Pibe.Experiments.listings ())
+   end);
+  if !bechamel then begin
+    let experiments =
+      List.filter_map Pibe.Experiments.find
+        (List.filter (fun id -> not (String.equal id "listings")) wanted)
+    in
+    bechamel_pass env experiments
+  end;
+  Printf.printf "\n[bench harness finished in %.1fs of host CPU time]\n" (Sys.time () -. t0)

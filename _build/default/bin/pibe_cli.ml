@@ -1,0 +1,399 @@
+(* Command-line front end for the PIBE reproduction.
+
+   Subcommands:
+     kernel-stats   generate the synthetic kernel and print structure stats
+     pipeline       run profile -> optimize -> harden and report the result
+     experiment     regenerate one paper table/figure (or list them)
+     attack         run the transient-attack drills against one image
+     dump-ir        print a generated function (or the whole program) *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Kernel scale factor (1 = small, 3 = benchmark size)." in
+  Arg.(value & opt int 2 & info [ "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let defenses_arg =
+  let doc =
+    "Defense set: none, retpolines, ret-retpolines, lvi, or all (may be abbreviated)."
+  in
+  Arg.(value & opt string "all" & info [ "defenses" ] ~docv:"SET" ~doc)
+
+let budget_arg =
+  let doc = "Optimization budget (percent of cumulative profile weight)." in
+  Arg.(value & opt float 99.999 & info [ "budget" ] ~docv:"PCT" ~doc)
+
+let parse_defenses = function
+  | "none" -> Ok Pibe_harden.Pass.no_defenses
+  | "retpolines" | "retp" ->
+    Ok { Pibe_harden.Pass.retpolines = true; ret_retpolines = false; lvi = false }
+  | "ret-retpolines" | "retret" ->
+    Ok { Pibe_harden.Pass.retpolines = false; ret_retpolines = true; lvi = false }
+  | "lvi" -> Ok { Pibe_harden.Pass.retpolines = false; ret_retpolines = false; lvi = true }
+  | "all" -> Ok Pibe_harden.Pass.all_defenses
+  | other -> Error (Printf.sprintf "unknown defense set %S" other)
+
+let gen ~seed ~scale = Pibe_kernel.Gen.generate { Pibe_kernel.Ctx.seed; scale }
+
+(* ------------------------------------------------------------------ *)
+
+let kernel_stats seed scale =
+  let info = gen ~seed ~scale in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let layout = Pibe_ir.Layout.build prog in
+  Printf.printf "functions:            %d\n" (Pibe_ir.Program.func_count prog);
+  Printf.printf "indirect call sites:  %d\n" (Pibe_ir.Program.total_icall_sites prog);
+  Printf.printf "return sites:         %d\n" (Pibe_ir.Program.total_ret_sites prog);
+  Printf.printf "fptr table entries:   %d\n"
+    (Array.length prog.Pibe_ir.Program.fptr_table);
+  Printf.printf "code bytes:           %d\n" (Pibe_ir.Layout.total_code_bytes layout);
+  Printf.printf "syscalls:             %d\n"
+    (List.length info.Pibe_kernel.Gen.syscalls.Pibe_kernel.Syscalls.nrs);
+  Printf.printf "globals cells:        %d\n" prog.Pibe_ir.Program.globals_size;
+  let v1 = Pibe_harden.V1_scan.scan prog in
+  Printf.printf "spectre-v1 gadgets:   %d (of %d conditional branches)\n"
+    (List.length v1.Pibe_harden.V1_scan.gadgets)
+    v1.Pibe_harden.V1_scan.conditional_branches;
+  0
+
+let pipeline seed scale defenses budget =
+  match parse_defenses defenses with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok d ->
+    let info = gen ~seed ~scale in
+    let env = Pibe.Env.create ~scale ~seed () in
+    let profile = Pibe.Env.lmbench_profile env in
+    let config =
+      {
+        Pibe.Config.defenses = d;
+        opt = Pibe.Config.Full { icp_budget = budget; inline_budget = budget; lax = false };
+      }
+    in
+    let built = Pibe.Pipeline.build info.Pibe_kernel.Gen.prog profile config in
+    (match built.Pibe.Pipeline.icp_stats with
+    | Some s ->
+      Printf.printf "icp:    %d sites, %d targets promoted (%d of %d weight)\n"
+        s.Pibe_opt.Icp.promoted_sites s.Pibe_opt.Icp.promoted_targets
+        s.Pibe_opt.Icp.promoted_weight s.Pibe_opt.Icp.total_weight
+    | None -> ());
+    (match built.Pibe.Pipeline.inline_stats with
+    | Some s ->
+      Printf.printf "inline: %d sites (%d of %d weight elided)\n"
+        s.Pibe_opt.Inliner.inlined_sites s.Pibe_opt.Inliner.inlined_weight
+        s.Pibe_opt.Inliner.total_weight
+    | None -> ());
+    let report = Pibe_harden.Audit.run built.Pibe.Pipeline.image in
+    Printf.printf "audit:  %d defended icalls, %d vulnerable (asm %d), %d ijumps left\n"
+      report.Pibe_harden.Audit.defended_icalls report.Pibe_harden.Audit.vulnerable_icalls
+      report.Pibe_harden.Audit.asm_icalls report.Pibe_harden.Audit.vulnerable_ijumps;
+    Printf.printf "image:  %d bytes\n"
+      (Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image);
+    let geo = Pibe.Env.geomean_overhead env ~baseline:Pibe.Config.lto config in
+    Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
+    0
+
+let experiment name seed scale quick =
+  let env =
+    if quick then Pibe.Env.quick () else Pibe.Env.create ~scale ~seed ()
+  in
+  if String.equal name "list" then begin
+    List.iter
+      (fun (e : Pibe.Experiments.t) ->
+        Printf.printf "%-12s %-12s %s\n" e.Pibe.Experiments.id e.Pibe.Experiments.paper_ref
+          e.Pibe.Experiments.description)
+      Pibe.Experiments.all;
+    0
+  end
+  else
+    match Pibe.Experiments.find name with
+    | None ->
+      Printf.eprintf "unknown experiment %S (try 'list')\n" name;
+      1
+    | Some e ->
+      List.iter Pibe_util.Tbl.print (e.Pibe.Experiments.run env);
+      0
+
+let attack seed scale defenses =
+  match parse_defenses defenses with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok d ->
+    let env = Pibe.Env.create ~scale ~seed () in
+    let info = Pibe.Env.info env in
+    let built = Pibe.Env.build env (Pibe.Exp_common.lto_with d) in
+    let spec = Pibe_cpu.Speculation.create () in
+    let config =
+      {
+        (Pibe_harden.Pass.engine_config built.Pibe.Pipeline.image) with
+        Pibe_cpu.Engine.speculation = Some spec;
+      }
+    in
+    let engine =
+      Pibe_cpu.Engine.create ~config built.Pibe.Pipeline.image.Pibe_harden.Pass.prog
+    in
+    let outcomes =
+      Pibe_cpu.Attack.run_all engine ~victim_site:info.Pibe_kernel.Gen.victim_icall_site
+        ~poisoned_addr:info.Pibe_kernel.Gen.victim_ops_addr
+        ~gadget_fptr:info.Pibe_kernel.Gen.gadget_fptr ~gadget:info.Pibe_kernel.Gen.gadget
+        ~entry:info.Pibe_kernel.Gen.entry
+        ~args:[ Pibe_kernel.Gen.nr info "read"; 0; 5 ]
+    in
+    List.iter
+      (fun (mechanism, (o : Pibe_cpu.Attack.outcome)) ->
+        Printf.printf "%-12s %s (%d attacker-visible transient entries)\n" mechanism
+          (if o.Pibe_cpu.Attack.gadget_reached then "GADGET REACHED" else "blocked")
+          (List.length o.Pibe_cpu.Attack.transient_entries))
+      outcomes;
+    0
+
+let report seed scale quick out =
+  let env = if quick then Pibe.Env.quick () else Pibe.Env.create ~scale ~seed () in
+  Pibe.Report.write_file env ~path:out;
+  Printf.printf "wrote %s\n" out;
+  0
+
+(* The paper's two-phase flow with on-disk artifacts: profile writes the
+   lifted profile as text; optimize reads it back, transforms the kernel
+   and writes the optimized image as textual IR; both round-trip through
+   the parsers. *)
+let profile_cmd_impl seed scale iters out =
+  let info = gen ~seed ~scale in
+  let profile =
+    Pibe.Pipeline.profile info.Pibe_kernel.Gen.prog ~run:(fun engine ->
+        let rng = Pibe_util.Rng.create 11 in
+        List.iter
+          (fun (op : Pibe_kernel.Workload.op) ->
+            for _ = 1 to iters do
+              op.Pibe_kernel.Workload.run engine rng
+            done)
+          (Pibe_kernel.Workload.lmbench info))
+  in
+  let oc = open_out out in
+  output_string oc (Pibe_profile.Profile.to_string profile);
+  close_out oc;
+  Printf.printf "wrote %s (%d direct + %d indirect weight)\n" out
+    (Pibe_profile.Profile.total_direct_weight profile)
+    (Pibe_profile.Profile.total_indirect_weight profile);
+  0
+
+let optimize_cmd_impl seed scale defenses budget profile_path out =
+  match parse_defenses defenses with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok d ->
+    let info = gen ~seed ~scale in
+    let ic = open_in profile_path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let profile = Pibe_profile.Profile.of_string text in
+    let config =
+      {
+        Pibe.Config.defenses = d;
+        opt = Pibe.Config.Full { icp_budget = budget; inline_budget = budget; lax = true };
+      }
+    in
+    let built = Pibe.Pipeline.build info.Pibe_kernel.Gen.prog profile config in
+    let oc = open_out out in
+    output_string oc
+      (Pibe_ir.Printer.program_to_string built.Pibe.Pipeline.image.Pibe_harden.Pass.prog);
+    close_out oc;
+    Printf.printf "wrote %s (%d functions, %d bytes of image)\n" out
+      (Pibe_ir.Program.func_count built.Pibe.Pipeline.image.Pibe_harden.Pass.prog)
+      (Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image);
+    0
+
+let perf seed scale defenses budget op_name topn =
+  match parse_defenses defenses with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok d ->
+    let env = Pibe.Env.create ~scale ~seed () in
+    let info = Pibe.Env.info env in
+    let op = Pibe_kernel.Workload.lmbench_op info op_name in
+    let run engine =
+      let rng = Pibe_util.Rng.create 7 in
+      for _ = 1 to 300 do
+        op.Pibe_kernel.Workload.run engine rng
+      done
+    in
+    let show label config =
+      let built = Pibe.Env.build env config in
+      let p =
+        Pibe.Perf.profile
+          (Pibe_harden.Pass.engine_config built.Pibe.Pipeline.image)
+          built.Pibe.Pipeline.image.Pibe_harden.Pass.prog ~run
+      in
+      Printf.printf "--- %s (%d total cycles) ---\n" label (Pibe.Perf.total_cycles p);
+      Pibe_util.Tbl.print (Pibe.Perf.to_table ~n:topn p)
+    in
+    show "unoptimized" (Pibe.Exp_common.lto_with d);
+    show "PIBE optimized"
+      {
+        Pibe.Config.defenses = d;
+        opt = Pibe.Config.Full { icp_budget = budget; inline_budget = budget; lax = true };
+      };
+    0
+
+let trace seed scale syscall a0 a1 =
+  let info = gen ~seed ~scale in
+  let depth = ref 0 in
+  let config =
+    {
+      Pibe_cpu.Engine.default_config with
+      Pibe_cpu.Engine.on_edge =
+        Some
+          (fun e ->
+            incr depth;
+            Printf.printf "%s-> %s\n" (String.make (2 * !depth) ' ')
+              e.Pibe_cpu.Engine.callee);
+      on_exit = Some (fun _ -> if !depth > 0 then decr depth);
+    }
+  in
+  let engine = Pibe_cpu.Engine.create ~config info.Pibe_kernel.Gen.prog in
+  (match Pibe_kernel.Syscalls.nr info.Pibe_kernel.Gen.syscalls syscall with
+  | nr ->
+    Printf.printf "syscall_entry(%s=%d, %d, %d)\n" syscall nr a0 a1;
+    let r = Pibe_cpu.Engine.call engine info.Pibe_kernel.Gen.entry [ nr; a0; a1 ] in
+    Printf.printf "= %s  (%d cycles, %d instructions)\n"
+      (match r with Some v -> string_of_int v | None -> "()")
+      (Pibe_cpu.Engine.cycles engine)
+      (Pibe_cpu.Engine.counters engine).Pibe_cpu.Engine.insts
+  | exception Not_found -> Printf.eprintf "unknown syscall %s\n" syscall);
+  0
+
+let dump_ir seed scale func =
+  let info = gen ~seed ~scale in
+  let prog = info.Pibe_kernel.Gen.prog in
+  (match func with
+  | Some name -> (
+    match Pibe_ir.Program.find_opt prog name with
+    | Some f -> print_string (Pibe_ir.Printer.func_to_string f)
+    | None -> Printf.eprintf "unknown function @%s\n" name)
+  | None -> print_string (Pibe_ir.Printer.program_to_string prog));
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let kernel_stats_cmd =
+  Cmd.v
+    (Cmd.info "kernel-stats" ~doc:"Generate the synthetic kernel and print structure stats")
+    Term.(const kernel_stats $ seed_arg $ scale_arg)
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Run the full profile/optimize/harden pipeline")
+    Term.(const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "list" & info [] ~docv:"ID" ~doc:"Experiment id or 'list'.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small kernel / fast measurement settings.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
+    Term.(const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg)
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run the transient-attack drills against an image")
+    Term.(const attack $ seed_arg $ scale_arg $ defenses_arg)
+
+let trace_cmd =
+  let syscall =
+    Arg.(value & pos 0 string "read" & info [] ~docv:"SYSCALL" ~doc:"Syscall name.")
+  in
+  let a0 = Arg.(value & opt int 0 & info [ "a0" ] ~docv:"N" ~doc:"First argument.") in
+  let a1 = Arg.(value & opt int 64 & info [ "a1" ] ~docv:"N" ~doc:"Second argument.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the call tree of one syscall")
+    Term.(const trace $ seed_arg $ scale_arg $ syscall $ a0 $ a1)
+
+let perf_cmd =
+  let op =
+    Arg.(value & opt string "read" & info [ "op" ] ~docv:"NAME" ~doc:"LMBench op to profile.")
+  in
+  let topn =
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Flat cycle profile of one workload, before/after PIBE")
+    Term.(const perf $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ op $ topn)
+
+let report_cmd =
+  let out =
+    Arg.(value & opt string "reproduced.md" & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small kernel / fast measurement settings.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Write the artifact-style paper-vs-measured report")
+    Term.(const report $ seed_arg $ scale_arg $ quick_arg $ out)
+
+let profile_file_cmd =
+  let iters =
+    Arg.(value & opt int 300 & info [ "iters" ] ~docv:"N" ~doc:"Profiling iterations per op.")
+  in
+  let out =
+    Arg.(value & opt string "profile.txt" & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Phase 1: run the profiling image, write the lifted profile")
+    Term.(const profile_cmd_impl $ seed_arg $ scale_arg $ iters $ out)
+
+let optimize_file_cmd =
+  let profile_path =
+    Arg.(
+      value
+      & opt string "profile.txt"
+      & info [ "profile" ] ~docv:"FILE" ~doc:"Lifted profile from the profile subcommand.")
+  in
+  let out =
+    Arg.(value & opt string "image.ir" & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Phase 2: read a profile, optimize + harden, write the image as textual IR")
+    Term.(const optimize_cmd_impl $ seed_arg $ scale_arg $ defenses_arg $ budget_arg
+          $ profile_path $ out)
+
+let dump_ir_cmd =
+  let func =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "func" ] ~docv:"NAME" ~doc:"Print just this function.")
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print generated IR")
+    Term.(const dump_ir $ seed_arg $ scale_arg $ func)
+
+let () =
+  let info = Cmd.info "pibe" ~doc:"PIBE (ASPLOS'21) reproduction toolkit" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            kernel_stats_cmd;
+            pipeline_cmd;
+            experiment_cmd;
+            attack_cmd;
+            dump_ir_cmd;
+            trace_cmd;
+            perf_cmd;
+            report_cmd;
+            profile_file_cmd;
+            optimize_file_cmd;
+          ]))

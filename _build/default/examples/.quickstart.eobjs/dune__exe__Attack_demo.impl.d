@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Pibe Pibe_cpu Pibe_harden Pibe_kernel Printf

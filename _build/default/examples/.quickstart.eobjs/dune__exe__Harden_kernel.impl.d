@@ -1,0 +1,1 @@
+examples/harden_kernel.ml: List Pibe Pibe_harden Pibe_ir Pibe_kernel Pibe_opt Pibe_util Printf

@@ -1,0 +1,1 @@
+examples/harden_kernel.mli:

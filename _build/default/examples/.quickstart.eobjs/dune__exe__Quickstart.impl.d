@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Pibe Pibe_cpu Pibe_harden Pibe_ir Printer Printf Program Types Validate

@@ -1,0 +1,1 @@
+examples/where_do_cycles_go.ml: Pibe Pibe_harden Pibe_kernel Pibe_util Printf

@@ -1,0 +1,1 @@
+examples/where_do_cycles_go.mli:

@@ -1,0 +1,1 @@
+examples/workload_robustness.mli:

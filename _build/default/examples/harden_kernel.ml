@@ -1,0 +1,58 @@
+(* The paper's headline experiment as an example: generate the synthetic
+   kernel, train on LMBench, and compare an all-defenses image with and
+   without PIBE's profile-guided branch elimination.
+
+   Run with:  dune exec examples/harden_kernel.exe *)
+
+let () =
+  let env = Pibe.Env.create ~scale:2 () in
+  let all = Pibe_harden.Pass.all_defenses in
+  let unopt = Pibe.Exp_common.lto_with all in
+  let pibe = Pibe.Exp_common.best_config all in
+  Printf.printf "generating kernel (%d functions)...\n%!"
+    (Pibe_ir.Program.func_count (Pibe.Env.info env).Pibe_kernel.Gen.prog);
+  let tbl =
+    Pibe_util.Tbl.create ~title:"All transient defenses: overhead vs the vanilla LTO kernel"
+      ~columns:[ "test"; "no optimization"; "PIBE" ]
+  in
+  let unopt_ov = Pibe.Env.overheads env ~baseline:Pibe.Config.lto unopt in
+  let pibe_ov = Pibe.Env.overheads env ~baseline:Pibe.Config.lto pibe in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      Pibe_util.Tbl.add_row tbl
+        [ Pibe_util.Tbl.Str name; Pibe_util.Tbl.Pct a; Pibe_util.Tbl.Pct b ])
+    unopt_ov pibe_ov;
+  Pibe_util.Tbl.add_separator tbl;
+  Pibe_util.Tbl.add_row tbl
+    [
+      Pibe_util.Tbl.Str "Geometric Mean";
+      Pibe_util.Tbl.Pct (Pibe_util.Stats.geomean_overhead (List.map snd unopt_ov));
+      Pibe_util.Tbl.Pct (Pibe_util.Stats.geomean_overhead (List.map snd pibe_ov));
+    ];
+  Pibe_util.Tbl.print tbl;
+  (* What did the passes actually do? *)
+  let built = Pibe.Env.build env pibe in
+  (match built.Pibe.Pipeline.icp_stats with
+  | Some s ->
+    Printf.printf "promotion: %d targets across %d sites (%.1f%% of indirect weight)\n"
+      s.Pibe_opt.Icp.promoted_targets s.Pibe_opt.Icp.promoted_sites
+      (Pibe_util.Stats.ratio_pct ~num:s.Pibe_opt.Icp.promoted_weight
+         ~den:s.Pibe_opt.Icp.total_weight)
+  | None -> ());
+  (match built.Pibe.Pipeline.inline_stats with
+  | Some s ->
+    Printf.printf "inlining:  %d call sites (%.1f%% of backward-edge weight elided)\n"
+      s.Pibe_opt.Inliner.inlined_sites
+      (Pibe_util.Stats.ratio_pct ~num:s.Pibe_opt.Inliner.inlined_weight
+         ~den:s.Pibe_opt.Inliner.total_weight)
+  | None -> ());
+  let audit = Pibe_harden.Audit.run built.Pibe.Pipeline.image in
+  Printf.printf
+    "audit:     %d indirect calls behind fenced retpolines; %d untouchable asm calls remain\n"
+    audit.Pibe_harden.Audit.defended_icalls audit.Pibe_harden.Audit.asm_icalls;
+  let lto_bytes =
+    Pibe_harden.Pass.image_bytes (Pibe.Env.build env Pibe.Config.lto).Pibe.Pipeline.image
+  in
+  let bytes = Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image in
+  Printf.printf "image:     %d bytes (%+.1f%% vs vanilla)\n" bytes
+    (Pibe_util.Stats.overhead_pct ~baseline:(float_of_int lto_bytes) (float_of_int bytes))

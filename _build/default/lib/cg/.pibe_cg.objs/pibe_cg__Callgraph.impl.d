@@ -1,0 +1,1 @@
+lib/cg/callgraph.ml: Buffer Func Hashtbl List Option Pibe_ir Printf Program String Types

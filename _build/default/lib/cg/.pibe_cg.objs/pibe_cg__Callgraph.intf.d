@@ -1,0 +1,1 @@
+lib/cg/callgraph.mli: Pibe_ir

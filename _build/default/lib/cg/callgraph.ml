@@ -1,0 +1,139 @@
+open Pibe_ir
+
+type direct_edge = {
+  caller : string;
+  callee : string;
+  site : Types.site;
+}
+
+type t = {
+  nodes : string list;  (* layout order *)
+  out_edges : (string, direct_edge list) Hashtbl.t;  (* in block order *)
+  in_edges : (string, direct_edge list) Hashtbl.t;
+  icalls : (string, Types.site list) Hashtbl.t;
+  scc_of : (string, int) Hashtbl.t;  (* Tarjan component ids *)
+  scc_cyclic : (int, bool) Hashtbl.t;
+}
+
+let get_list tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key)
+
+let build p =
+  let out_edges = Hashtbl.create 256 in
+  let in_edges = Hashtbl.create 256 in
+  let icalls = Hashtbl.create 256 in
+  let nodes = Program.layout_order p in
+  Program.iter_funcs p (fun f ->
+      let outs =
+        List.map
+          (fun (site, callee) -> { caller = f.Types.fname; callee; site })
+          (Func.call_sites f)
+      in
+      Hashtbl.replace out_edges f.Types.fname outs;
+      List.iter
+        (fun e -> Hashtbl.replace in_edges e.callee (e :: get_list in_edges e.callee))
+        outs;
+      Hashtbl.replace icalls f.Types.fname (Func.icall_sites f));
+  (* Tarjan SCC over direct edges (iterative to survive deep kernels). *)
+  let index = Hashtbl.create 256 in
+  let lowlink = Hashtbl.create 256 in
+  let on_stack = Hashtbl.create 256 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_of = Hashtbl.create 256 in
+  let scc_cyclic = Hashtbl.create 64 in
+  let next_scc = ref 0 in
+  let self_loop name =
+    List.exists (fun e -> String.equal e.callee name) (get_list out_edges name)
+  in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun e ->
+        let w = e.callee in
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Option.value ~default:false (Hashtbl.find_opt on_stack w) then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (get_list out_edges v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let id = !next_scc in
+      incr next_scc;
+      let members = ref [] in
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          Hashtbl.replace scc_of w id;
+          members := w :: !members;
+          if not (String.equal w v) then pop ()
+      in
+      pop ();
+      let cyclic =
+        match !members with
+        | [ single ] -> self_loop single
+        | _ -> true
+      in
+      Hashtbl.replace scc_cyclic id cyclic
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  { nodes; out_edges; in_edges; icalls; scc_of; scc_cyclic }
+
+let direct_edges t = List.concat_map (fun n -> get_list t.out_edges n) t.nodes
+let callees_of t name = get_list t.out_edges name
+let callers_of t name = List.rev (get_list t.in_edges name)
+let icall_sites_of t name = get_list t.icalls name
+
+let in_recursive_cycle t name =
+  match Hashtbl.find_opt t.scc_of name with
+  | None -> false
+  | Some id -> Option.value ~default:false (Hashtbl.find_opt t.scc_cyclic id)
+
+let reaches t ~src ~dst =
+  let seen = Hashtbl.create 64 in
+  let rec go v =
+    if String.equal v dst then true
+    else if Hashtbl.mem seen v then false
+    else begin
+      Hashtbl.replace seen v ();
+      List.exists (fun e -> go e.callee) (get_list t.out_edges v)
+    end
+  in
+  go src
+
+let bottom_up_order t =
+  (* Post-order DFS over direct edges; cycles broken by the visited set. *)
+  let seen = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec go v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      List.iter (fun e -> go e.callee) (get_list t.out_edges v);
+      order := v :: !order
+    end
+  in
+  List.iter go t.nodes;
+  List.rev !order
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"s%d\"];\n" e.caller e.callee
+               e.site.Types.site_id))
+        (get_list t.out_edges n))
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

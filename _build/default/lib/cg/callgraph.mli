@@ -1,0 +1,44 @@
+(** Static call graph over an IR program.
+
+    Edges come in two flavours: direct (one per [Call] site) and indirect
+    (one per [Icall] site, with the possible targets unknown statically —
+    the profiler's value profiles fill them in).  The graph drives both
+    inliners (recursion detection, bottom-up order for the LLVM-default
+    inliner) and the elision statistics. *)
+
+type direct_edge = {
+  caller : string;
+  callee : string;
+  site : Pibe_ir.Types.site;
+}
+
+type t
+
+val build : Pibe_ir.Program.t -> t
+
+val direct_edges : t -> direct_edge list
+(** All direct edges, in layout/block order. *)
+
+val callees_of : t -> string -> direct_edge list
+(** Direct out-edges of a function. *)
+
+val callers_of : t -> string -> direct_edge list
+(** Direct in-edges of a function. *)
+
+val icall_sites_of : t -> string -> Pibe_ir.Types.site list
+(** Promotable indirect sites inside a function. *)
+
+val in_recursive_cycle : t -> string -> bool
+(** True if the function sits on a directed cycle of direct calls
+    (including self-calls); such callees are never inlined. *)
+
+val reaches : t -> src:string -> dst:string -> bool
+(** Reachability over direct edges: would inlining [dst] into [src]
+    create a cycle?  ([reaches ~src:callee ~dst:caller]). *)
+
+val bottom_up_order : t -> string list
+(** Functions ordered so that (non-cyclic) callees precede their callers —
+    the visit order of LLVM's default inliner (paper §8.4). *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for debugging and documentation. *)

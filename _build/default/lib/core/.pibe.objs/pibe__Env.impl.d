@@ -1,0 +1,1 @@
+lib/core/env.ml: Config Hashtbl List Measure Pibe_kernel Pibe_profile Pibe_util Pipeline String

@@ -1,0 +1,1 @@
+lib/core/env.mli: Config Measure Pibe_kernel Pibe_profile Pipeline

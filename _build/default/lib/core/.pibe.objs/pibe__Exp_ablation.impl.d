@@ -1,0 +1,1 @@
+lib/core/exp_ablation.ml: Config Env Exp_common List Measure Pibe_cpu Pibe_harden Pibe_ir Pibe_kernel Pibe_opt Pibe_profile Pibe_util Pipeline

@@ -1,0 +1,1 @@
+lib/core/exp_ablation.mli: Env Pibe_util

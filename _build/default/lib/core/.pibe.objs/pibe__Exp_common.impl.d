@@ -1,0 +1,1 @@
+lib/core/exp_common.ml: Config Pibe_harden Pibe_util

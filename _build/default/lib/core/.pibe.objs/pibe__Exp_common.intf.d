@@ -1,0 +1,1 @@
+lib/core/exp_common.mli: Config Pibe_harden Pibe_util

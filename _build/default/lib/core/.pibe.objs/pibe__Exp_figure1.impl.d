@@ -1,0 +1,1 @@
+lib/core/exp_figure1.ml: Builder Pibe_ir Pibe_opt Pibe_profile Pibe_util Program Types Validate

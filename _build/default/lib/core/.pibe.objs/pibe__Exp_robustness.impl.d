@@ -1,0 +1,1 @@
+lib/core/exp_robustness.ml: Config Env Exp_common Hashtbl List Measure Pibe_ir Pibe_kernel Pibe_opt Pibe_profile Pibe_util Pipeline

@@ -1,0 +1,1 @@
+lib/core/exp_robustness.mli: Env Pibe_util

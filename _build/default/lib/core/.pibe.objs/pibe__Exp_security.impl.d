@@ -1,0 +1,1 @@
+lib/core/exp_security.ml: Env Exp_common List Option Pibe_cpu Pibe_harden Pibe_ir Pibe_kernel Pibe_util Pipeline

@@ -1,0 +1,1 @@
+lib/core/exp_security.mli: Env Pibe_util

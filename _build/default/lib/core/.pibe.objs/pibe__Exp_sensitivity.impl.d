@@ -1,0 +1,1 @@
+lib/core/exp_sensitivity.ml: Config Env Exp_common List Pibe_util Printf

@@ -1,0 +1,1 @@
+lib/core/exp_sensitivity.mli: Env Pibe_util

@@ -1,0 +1,1 @@
+lib/core/exp_table1.ml: Exp_common Float List Measure Pibe_cpu Pibe_harden Pibe_kernel Pibe_util

@@ -1,0 +1,1 @@
+lib/core/exp_table1.mli: Env Pibe_util

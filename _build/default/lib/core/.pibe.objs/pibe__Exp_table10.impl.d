@@ -1,0 +1,1 @@
+lib/core/exp_table10.ml: Env Exp_common List Option Pibe_ir Pibe_kernel Pibe_opt Pibe_util Pipeline Printf

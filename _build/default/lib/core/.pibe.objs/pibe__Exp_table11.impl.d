@@ -1,0 +1,1 @@
+lib/core/exp_table11.ml: Env Exp_common List Pibe_harden Pibe_util Pipeline

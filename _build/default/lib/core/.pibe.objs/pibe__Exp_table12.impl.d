@@ -1,0 +1,1 @@
+lib/core/exp_table12.ml: Config Env Exp_common List Pibe_cpu Pibe_harden Pibe_kernel Pibe_util Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/exp_table3.ml: Array Config Env Exp_common List Measure Pibe_cpu Pibe_harden Pibe_jumpswitch Pibe_kernel Pibe_util Pipeline

@@ -1,0 +1,1 @@
+lib/core/exp_table4.ml: Array Env List Pibe_profile Pibe_util Printf

@@ -1,0 +1,1 @@
+lib/core/exp_table5.ml: Config Env Exp_common List Pibe_util

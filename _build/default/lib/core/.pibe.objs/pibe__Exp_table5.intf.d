@@ -1,0 +1,1 @@
+lib/core/exp_table5.mli: Env Pibe_util

@@ -1,0 +1,1 @@
+lib/core/exp_table6.ml: Config Env Exp_common List Pibe_harden Pibe_util

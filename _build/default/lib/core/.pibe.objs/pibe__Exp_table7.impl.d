@@ -1,0 +1,1 @@
+lib/core/exp_table7.ml: Config Env Exp_common List Measure Pibe_kernel Pibe_util Pipeline

@@ -1,0 +1,1 @@
+lib/core/exp_table9.ml: Env Exp_common List Option Pibe_opt Pibe_util Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/exp_userspace.ml: Config Exp_common List Pibe_cpu Pibe_harden Pibe_kernel Pibe_util Pipeline

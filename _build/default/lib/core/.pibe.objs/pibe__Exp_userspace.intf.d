@@ -1,0 +1,1 @@
+lib/core/exp_userspace.mli: Env Pibe_util

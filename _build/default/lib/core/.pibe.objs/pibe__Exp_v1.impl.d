@@ -1,0 +1,1 @@
+lib/core/exp_v1.ml: Env Exp_common List Pibe_harden Pibe_kernel Pibe_util Printf

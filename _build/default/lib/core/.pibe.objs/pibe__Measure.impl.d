@@ -1,0 +1,1 @@
+lib/core/measure.ml: List Pibe_cpu Pibe_kernel Pibe_util

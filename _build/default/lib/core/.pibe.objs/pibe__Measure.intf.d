@@ -1,0 +1,1 @@
+lib/core/measure.mli: Pibe_cpu Pibe_kernel

@@ -1,0 +1,1 @@
+lib/core/perf.ml: Exp_common Hashtbl List Pibe_cpu Pibe_util String

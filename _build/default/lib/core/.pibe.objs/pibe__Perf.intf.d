@@ -1,0 +1,1 @@
+lib/core/perf.mli: Pibe_cpu Pibe_ir Pibe_util

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Pibe_cpu Pibe_harden Pibe_ir Pibe_opt Pibe_profile Program

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Config Env Exp_common List Measure Pibe_cpu Pibe_harden Pibe_jumpswitch Pibe_kernel Pibe_util Pipeline Printf String

@@ -1,0 +1,39 @@
+type opt_level =
+  | No_opt
+  | Icp_only of { budget : float }
+  | Full of {
+      icp_budget : float;
+      inline_budget : float;
+      lax : bool;
+    }
+  | Llvm_pgo of {
+      icp_budget : float;
+      inline_budget : float;
+    }
+
+type t = {
+  defenses : Pibe_harden.Pass.defenses;
+  opt : opt_level;
+}
+
+let lto = { defenses = Pibe_harden.Pass.no_defenses; opt = No_opt }
+
+let pibe_baseline =
+  {
+    defenses = Pibe_harden.Pass.no_defenses;
+    opt = Full { icp_budget = 99.999; inline_budget = 99.9999; lax = true };
+  }
+
+let with_defenses t defenses = { t with defenses }
+
+let opt_name = function
+  | No_opt -> "no-opt"
+  | Icp_only { budget } -> Printf.sprintf "icp(%g%%)" budget
+  | Full { icp_budget; inline_budget; lax } ->
+    Printf.sprintf "icp(%g%%)+inlining(%g%%)%s" icp_budget inline_budget
+      (if lax then "+lax" else "")
+  | Llvm_pgo { icp_budget; inline_budget } ->
+    Printf.sprintf "icp(%g%%)+llvm-inliner(%g%%)" icp_budget inline_budget
+
+let name t =
+  Printf.sprintf "%s %s" (Pibe_harden.Pass.defenses_name t.defenses) (opt_name t.opt)

@@ -1,0 +1,32 @@
+(** End-to-end image configurations: which transient defenses to enable
+    and which PIBE optimization strategy to run first (paper §8's kernel
+    configurations). *)
+
+type opt_level =
+  | No_opt  (** the LTO baseline: no profile-guided transformations *)
+  | Icp_only of { budget : float }  (** promotion only (retpoline studies, Table 3) *)
+  | Full of {
+      icp_budget : float;
+      inline_budget : float;
+      lax : bool;  (** disable size heuristics inside the 99% budget (§8.3) *)
+    }
+  | Llvm_pgo of {
+      icp_budget : float;
+      inline_budget : float;
+    }  (** ICP + LLVM's default bottom-up inliner (§8.4 comparison) *)
+
+type t = {
+  defenses : Pibe_harden.Pass.defenses;
+  opt : opt_level;
+}
+
+val lto : t
+(** Vanilla LTO kernel: no optimization, no defenses. *)
+
+val pibe_baseline : t
+(** PIBE's PGO at the best-performing configuration, defenses off
+    (Table 2's second baseline). *)
+
+val with_defenses : t -> Pibe_harden.Pass.defenses -> t
+val name : t -> string
+(** Human-readable label, e.g. ["all-defenses +icp+inlining(99.9%)"]. *)

@@ -1,0 +1,112 @@
+module Profile = Pibe_profile.Profile
+module Rng = Pibe_util.Rng
+module Stats = Pibe_util.Stats
+
+type t = {
+  scale : int;
+  seed : int;
+  msettings : Measure.settings;
+  profile_iters : int;
+  mutable kernel : Pibe_kernel.Gen.info option;
+  mutable lmb_profile : Profile.t option;
+  mutable ap_profile : Profile.t option;
+  builds : (Config.t, Pipeline.built) Hashtbl.t;
+  lat_cache : (Config.t, (string * float) list) Hashtbl.t;
+}
+
+let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
+    ?(profile_iters = 300) () =
+  {
+    scale;
+    seed;
+    msettings = settings;
+    profile_iters;
+    kernel = None;
+    lmb_profile = None;
+    ap_profile = None;
+    builds = Hashtbl.create 16;
+    lat_cache = Hashtbl.create 16;
+  }
+
+let quick () =
+  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ()
+
+let info t =
+  match t.kernel with
+  | Some i -> i
+  | None ->
+    let i = Pibe_kernel.Gen.generate { Pibe_kernel.Ctx.seed = t.seed; scale = t.scale } in
+    t.kernel <- Some i;
+    i
+
+let ops t = Pibe_kernel.Workload.lmbench (info t)
+let settings t = t.msettings
+
+let lmbench_profile t =
+  match t.lmb_profile with
+  | Some p -> p
+  | None ->
+    let i = info t in
+    let p =
+      Pipeline.profile i.Pibe_kernel.Gen.prog ~run:(fun engine ->
+          let rng = Rng.create 11 in
+          List.iter
+            (fun (op : Pibe_kernel.Workload.op) ->
+              for _ = 1 to t.profile_iters do
+                op.Pibe_kernel.Workload.run engine rng
+              done)
+            (ops t))
+    in
+    t.lmb_profile <- Some p;
+    p
+
+let apache_profile t =
+  match t.ap_profile with
+  | Some p -> p
+  | None ->
+    let i = info t in
+    let mix = Pibe_kernel.Workload.apache i in
+    let p =
+      Pipeline.profile i.Pibe_kernel.Gen.prog ~run:(fun engine ->
+          let rng = Rng.create 13 in
+          for _ = 1 to t.profile_iters * 4 do
+            mix.Pibe_kernel.Workload.request engine rng
+          done)
+    in
+    t.ap_profile <- Some p;
+    p
+
+let build t config =
+  match Hashtbl.find_opt t.builds config with
+  | Some b -> b
+  | None ->
+    let i = info t in
+    let b = Pipeline.build i.Pibe_kernel.Gen.prog (lmbench_profile t) config in
+    Hashtbl.replace t.builds config b;
+    b
+
+let build_with_profile t ~profile config =
+  let i = info t in
+  Pipeline.build i.Pibe_kernel.Gen.prog profile config
+
+let latencies t config =
+  match Hashtbl.find_opt t.lat_cache config with
+  | Some l -> l
+  | None ->
+    let b = build t config in
+    let engine = Pipeline.engine b in
+    let l = Measure.suite_latencies ~settings:t.msettings engine (ops t) in
+    Hashtbl.replace t.lat_cache config l;
+    l
+
+let overheads t ~baseline config =
+  let base = latencies t baseline in
+  let v = latencies t config in
+  List.map2
+    (fun (name, b) (name', x) ->
+      assert (String.equal name name');
+      (name, Stats.overhead_pct ~baseline:b x))
+    base v
+
+let geomean_overhead t ~baseline config =
+  Stats.geomean_overhead (List.map snd (overheads t ~baseline config))

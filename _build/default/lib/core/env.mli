@@ -1,0 +1,49 @@
+(** Memoized experiment environment.
+
+    Every experiment (one per paper table/figure) draws from the same
+    generated kernel, the same profiling runs, and a cache of built
+    images and measured latency suites, so running all experiments in one
+    process does each expensive step once. *)
+
+type t
+
+val create :
+  ?scale:int ->
+  ?seed:int ->
+  ?settings:Measure.settings ->
+  ?profile_iters:int ->
+  unit ->
+  t
+(** Defaults: scale 3, seed 42, [Measure.default_settings], 300 profiling
+    iterations per micro-op. *)
+
+val quick : unit -> t
+(** Small and fast, for unit tests: scale 1, quick settings, 60 profiling
+    iterations. *)
+
+val info : t -> Pibe_kernel.Gen.info
+val ops : t -> Pibe_kernel.Workload.op list
+val settings : t -> Measure.settings
+
+val lmbench_profile : t -> Pibe_profile.Profile.t
+(** Phase-1 profile over the full LMBench suite (the paper's default
+    training workload). *)
+
+val apache_profile : t -> Pibe_profile.Profile.t
+(** Training profile from the ApacheBench-style workload (§8.4). *)
+
+val build : t -> Config.t -> Pipeline.built
+(** Cached optimize+harden for a configuration (LMBench profile). *)
+
+val build_with_profile :
+  t -> profile:Pibe_profile.Profile.t -> Config.t -> Pipeline.built
+(** Uncached variant for alternate training profiles. *)
+
+val latencies : t -> Config.t -> (string * float) list
+(** Cached LMBench latency suite on the configuration's image. *)
+
+val overheads : t -> baseline:Config.t -> Config.t -> (string * float) list
+(** Per-op overhead (%) of a configuration against a baseline
+    configuration. *)
+
+val geomean_overhead : t -> baseline:Config.t -> Config.t -> float

@@ -1,0 +1,96 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Engine = Pibe_cpu.Engine
+module Pass = Pibe_harden.Pass
+module Profile = Pibe_profile.Profile
+
+let d () = Exp_common.all_defenses
+
+let suite env ~icache built =
+  let config = Pass.engine_config built.Pipeline.image in
+  let config = if icache then config else { config with Engine.icache_bytes = 0 } in
+  let engine = Engine.create ~config built.Pipeline.image.Pass.prog in
+  Measure.suite_latencies ~settings:(Env.settings env) engine (Env.ops env)
+
+let geo_of_image env ?(icache = true) built =
+  (* Compare against an LTO baseline measured under the same i-cache
+     setting, so the ablation isolates the model itself. *)
+  let base =
+    if icache then Env.latencies env Config.lto
+    else suite env ~icache:false (Env.build env Config.lto)
+  in
+  let lat = suite env ~icache built in
+  Stats.geomean_overhead
+    (List.map2 (fun (_, b) (_, x) -> Stats.overhead_pct ~baseline:b x) base lat)
+
+(* Full optimization with the inliner's size rules disabled entirely. *)
+let no_rules_build env =
+  let info = Env.info env in
+  let profile = Pipeline.copy_profile (Env.lmbench_profile env) in
+  let prog, _ =
+    Pibe_opt.Icp.run info.Pibe_kernel.Gen.prog profile
+      { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = 99.999 }
+  in
+  let prog, _ =
+    Pibe_opt.Inliner.run prog profile
+      {
+        Pibe_opt.Inliner.budget_pct = 99.9999;
+        rule2_threshold = max_int;
+        rule3_threshold = max_int;
+        lax_within_pct = None;
+      }
+  in
+  Pibe_ir.Validate.check_exn prog;
+  let image = Pass.harden prog (d ()) in
+  {
+    Pipeline.image;
+    config = Exp_common.lto_with (d ());
+    icp_stats = None;
+    inline_stats = None;
+    llvm_inline_stats = None;
+    post_icp_profile = profile;
+  }
+
+(* ICP limited to one promoted target per site. *)
+let top1_build env =
+  let info = Env.info env in
+  let profile = Pipeline.copy_profile (Env.lmbench_profile env) in
+  let prog, _ =
+    Pibe_opt.Icp.run info.Pibe_kernel.Gen.prog profile
+      { Pibe_opt.Icp.budget_pct = 99.999; max_targets = Some 1 }
+  in
+  Pibe_ir.Validate.check_exn prog;
+  let image = Pass.harden prog Exp_common.retpolines_only in
+  {
+    Pipeline.image;
+    config = Exp_common.lto_with Exp_common.retpolines_only;
+    icp_stats = None;
+    inline_stats = None;
+    llvm_inline_stats = None;
+    post_icp_profile = profile;
+  }
+
+let run env =
+  let t =
+    Tbl.create ~title:"Ablations (LMBench geomean overhead vs LTO baseline)"
+      ~columns:[ "variant"; "overhead" ]
+  in
+  let add label v = Tbl.add_row t [ Tbl.Str label; Exp_common.pct v ] in
+  add "PIBE full (all defenses, lax)"
+    (Env.geomean_overhead env ~baseline:Config.lto (Exp_common.best_config (d ())));
+  add "inline order: LLVM bottom-up (all defenses)"
+    (Env.geomean_overhead env ~baseline:Config.lto
+       {
+         Config.defenses = d ();
+         opt = Config.Llvm_pgo { icp_budget = 99.999; inline_budget = 99.9999 };
+       });
+  add "size rules disabled entirely (all defenses)" (geo_of_image env (no_rules_build env));
+  add "ICP unlimited targets (retpolines)"
+    (Env.geomean_overhead env ~baseline:Config.lto
+       (Exp_common.icp_only ~budget:99.999 Exp_common.retpolines_only));
+  add "ICP top-1 target (retpolines)" (geo_of_image env (top1_build env));
+  add "PIBE full, i-cache model off"
+    (geo_of_image env ~icache:false (Env.build env (Exp_common.best_config (d ()))));
+  add "size rules disabled, i-cache model off"
+    (geo_of_image env ~icache:false (no_rules_build env));
+  t

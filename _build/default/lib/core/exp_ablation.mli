@@ -1,0 +1,11 @@
+(** Ablations of PIBE's design choices (DESIGN.md §4):
+
+    - weight-ordered greedy inlining vs LLVM's bottom-up order;
+    - size heuristics (Rules 2-3) on vs off entirely;
+    - unlimited ICP targets vs top-1 promotion (JumpSwitch-style slots);
+    - the i-cache model on vs off (why unbounded inlining can lose).
+
+    All rows report the LMBench geometric-mean overhead of the
+    all-defenses kernel vs the LTO baseline. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,20 @@
+module Pass = Pibe_harden.Pass
+module Tbl = Pibe_util.Tbl
+
+let retpolines_only = { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+let ret_retpolines_only = { Pass.retpolines = false; ret_retpolines = true; lvi = false }
+let lvi_only = { Pass.retpolines = false; ret_retpolines = false; lvi = true }
+let all_defenses = Pass.all_defenses
+let lto_with defenses = { Config.defenses; opt = Config.No_opt }
+
+let full_opt ?(lax = false) ?(icp = 99.999) ~inline defenses =
+  { Config.defenses; opt = Config.Full { icp_budget = icp; inline_budget = inline; lax } }
+
+let icp_only ~budget defenses = { Config.defenses; opt = Config.Icp_only { budget } }
+
+let best_config defenses =
+  if defenses = retpolines_only then icp_only ~budget:99.999 defenses
+  else full_opt ~lax:true ~inline:99.9999 defenses
+
+let pct v = Tbl.Pct v
+let cycles v = Tbl.Float v

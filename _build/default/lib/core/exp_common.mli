@@ -1,0 +1,22 @@
+(** Shared vocabulary for the experiment modules: the paper's defense
+    sets, standard configurations, and formatting helpers. *)
+
+val retpolines_only : Pibe_harden.Pass.defenses
+val ret_retpolines_only : Pibe_harden.Pass.defenses
+val lvi_only : Pibe_harden.Pass.defenses
+val all_defenses : Pibe_harden.Pass.defenses
+
+val lto_with : Pibe_harden.Pass.defenses -> Config.t
+(** No optimization, given defenses. *)
+
+val full_opt : ?lax:bool -> ?icp:float -> inline:float -> Pibe_harden.Pass.defenses -> Config.t
+(** ICP (default 99.999%) + PIBE inlining at the given budget. *)
+
+val icp_only : budget:float -> Pibe_harden.Pass.defenses -> Config.t
+
+val best_config : Pibe_harden.Pass.defenses -> Config.t
+(** The per-defense optimal configuration the paper selects in Table 6:
+    ICP only for retpolines, full lax optimization otherwise. *)
+
+val pct : float -> Pibe_util.Tbl.cell
+val cycles : float -> Pibe_util.Tbl.cell

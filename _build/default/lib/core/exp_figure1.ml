@@ -1,0 +1,83 @@
+open Pibe_ir
+open Types
+module Tbl = Pibe_util.Tbl
+module Inl = Pibe_opt.Inliner
+module Profile = Pibe_profile.Profile
+
+(* A leaf whose InlineCost is [5 * (insts + 1)] (body + ret). *)
+let leaf prog ~name ~insts =
+  let b = Builder.create ~name ~params:2 in
+  let a = Builder.param b 0 in
+  let acc = ref a in
+  for _ = 1 to insts do
+    let r = Builder.reg b in
+    Builder.assign b r (Binop (Add, Reg !acc, Imm 1));
+    acc := r
+  done;
+  Builder.ret b (Some (Reg !acc));
+  Program.add_func prog (Builder.finish b ())
+
+let build_scenario () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  (* Costs: foo_1 ~ 11,800; foo_2 = 300; foo_3 = 200. *)
+  let prog = leaf prog ~name:"foo_1" ~insts:2358 in
+  let prog = leaf prog ~name:"foo_2" ~insts:59 in
+  let prog = leaf prog ~name:"foo_3" ~insts:39 in
+  let prog, s1 = Program.fresh_site prog in
+  let prog, s2 = Program.fresh_site prog in
+  let prog, s3 = Program.fresh_site prog in
+  let b = Builder.create ~name:"bar" ~params:2 in
+  let a = Builder.param b 0 in
+  let r1 = Builder.reg b and r2 = Builder.reg b and r3 = Builder.reg b in
+  Builder.call b ~dst:r1 s1 "foo_1" [ Reg a; Imm 0 ];
+  Builder.call b ~dst:r2 s2 "foo_2" [ Reg r1; Imm 0 ];
+  Builder.call b ~dst:r3 s3 "foo_3" [ Reg r2; Imm 0 ];
+  Builder.ret b (Some (Reg r3));
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  Validate.check_exn prog;
+  let profile = Profile.create () in
+  Profile.add_direct profile ~origin:s1.site_id ~count:1000;
+  Profile.add_direct profile ~origin:s2.site_id ~count:500;
+  Profile.add_direct profile ~origin:s3.site_id ~count:500;
+  Profile.add_entry profile ~func:"bar" ~count:500;
+  Profile.add_entry profile ~func:"foo_1" ~count:1000;
+  Profile.add_entry profile ~func:"foo_2" ~count:500;
+  Profile.add_entry profile ~func:"foo_3" ~count:500;
+  (prog, profile)
+
+let run_inliner ~rule3 =
+  let prog, profile = build_scenario () in
+  let config =
+    {
+      Inl.budget_pct = 100.0;
+      rule2_threshold = Pibe_opt.Inline_cost.rule2_default;
+      rule3_threshold = rule3;
+      lax_within_pct = None;
+    }
+  in
+  let prog', stats = Inl.run prog profile config in
+  let bar_cost = Pibe_opt.Inline_cost.func_cost (Program.find prog' "bar") in
+  (stats, bar_cost)
+
+let run _env =
+  let t =
+    Tbl.create ~title:"Figure 1: why Rule 3 exists (bar / foo_1 / foo_2 / foo_3)"
+      ~columns:
+        [ "inliner"; "sites inlined"; "weight elided"; "blocked r2"; "blocked r3"; "bar cost" ]
+  in
+  let without_r3, bar1 = run_inliner ~rule3:max_int in
+  let with_r3, bar2 = run_inliner ~rule3:Pibe_opt.Inline_cost.rule3_default in
+  let row label (s : Inl.stats) bar_cost =
+    Tbl.add_row t
+      [
+        Tbl.Str label;
+        Tbl.Int s.Inl.inlined_sites;
+        Tbl.Int s.Inl.inlined_weight;
+        Tbl.Int s.Inl.blocked_rule2_weight;
+        Tbl.Int s.Inl.blocked_rule3_weight;
+        Tbl.Int bar_cost;
+      ]
+  in
+  row "rules 1-2 only (greedy)" without_r3 bar1;
+  row "rules 1-3 (PIBE)" with_r3 bar2;
+  t

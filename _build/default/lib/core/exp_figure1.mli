@@ -1,0 +1,7 @@
+(** Paper Figure 1: the caller [bar] with callees [foo_1] (weight 1000,
+    InlineCost ~12000) and [foo_2]/[foo_3] (weight 500 each, costs
+    300/200).  A greedy inliner with only Rules 1-2 spends bar's whole
+    complexity budget on [foo_1]; Rule 3 instead skips the oversized
+    callee and elides the same execution weight with budget to spare. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

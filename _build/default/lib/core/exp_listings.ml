@@ -1,0 +1,11 @@
+let render () =
+  String.concat "\n\n"
+    (List.map
+       (fun (title, key) ->
+         Printf.sprintf "%s:\n%s" title (Pibe_harden.Thunks.listing key))
+       [
+         ("Listing 4: retpoline", `Retpoline);
+         ("Listing 5: LVI-CFI forward thunk", `Lvi_forward);
+         ("Listing 6: LVI-CFI backward sequence", `Lvi_backward);
+         ("Listing 7: LVI-protected (fenced) retpoline", `Fenced_retpoline);
+       ])

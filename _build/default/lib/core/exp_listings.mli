@@ -1,0 +1,4 @@
+(** Paper Listings 4-7: the defense code sequences, as emitted by the
+    thunk layer. *)
+
+val render : unit -> string

@@ -1,0 +1,107 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Profile = Pibe_profile.Profile
+module Budget = Pibe_opt.Budget
+module Program = Pibe_ir.Program
+module Func = Pibe_ir.Func
+
+(* Candidate sets at a budget, as (site-or-pair identifier, weight). *)
+let icp_candidates prog profile ~budget =
+  let pairs =
+    List.rev
+      (Program.fold_funcs prog ~init:[] ~f:(fun acc f ->
+           List.fold_left
+             (fun acc (site : Pibe_ir.Types.site) ->
+               List.fold_left
+                 (fun acc (target, count) ->
+                   (((site.Pibe_ir.Types.site_origin, target) : int * string), count) :: acc)
+                 acc
+                 (Profile.value_profile profile ~origin:site.Pibe_ir.Types.site_origin))
+             acc (Func.icall_sites f)))
+  in
+  (Budget.select ~budget_pct:budget pairs).Budget.selected
+
+let inline_candidates prog profile ~budget =
+  let sites =
+    List.rev
+      (Program.fold_funcs prog ~init:[] ~f:(fun acc f ->
+           List.fold_left
+             (fun acc ((site : Pibe_ir.Types.site), _) ->
+               (site.Pibe_ir.Types.site_origin, Profile.site_weight profile site) :: acc)
+             acc (Func.call_sites f)))
+  in
+  (Budget.select ~budget_pct:budget sites).Budget.selected
+
+let shared_weight_pct selected_a selected_b =
+  let in_b = Hashtbl.create 256 in
+  List.iter (fun (key, _) -> Hashtbl.replace in_b key ()) selected_b;
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 selected_a in
+  let shared =
+    List.fold_left
+      (fun acc (key, w) -> if Hashtbl.mem in_b key then acc + w else acc)
+      0 selected_a
+  in
+  Stats.ratio_pct ~num:shared ~den:(max 1 total)
+
+let run env =
+  let info = Env.info env in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let lmb = Env.lmbench_profile env in
+  let apache = Env.apache_profile env in
+  let overlap =
+    Tbl.create ~title:"Workload overlap at the 99% budget (LMBench vs ApacheBench)"
+      ~columns:[ "candidate kind"; "shared weight" ]
+  in
+  Tbl.add_row overlap
+    [
+      Tbl.Str "indirect call promotion";
+      Exp_common.pct
+        (shared_weight_pct
+           (icp_candidates prog lmb ~budget:99.0)
+           (icp_candidates prog apache ~budget:99.0));
+    ];
+  Tbl.add_row overlap
+    [
+      Tbl.Str "inlining";
+      Exp_common.pct
+        (shared_weight_pct
+           (inline_candidates prog lmb ~budget:99.0)
+           (inline_candidates prog apache ~budget:99.0));
+    ];
+  (* LMBench overhead of the hardened kernel under different trainings. *)
+  let d = Exp_common.all_defenses in
+  let lat_of built =
+    let engine = Pipeline.engine built in
+    Measure.suite_latencies ~settings:(Env.settings env) engine (Env.ops env)
+  in
+  let geo latencies =
+    let base = Env.latencies env Config.lto in
+    Stats.geomean_overhead
+      (List.map2
+         (fun (_, b) (_, x) -> Stats.overhead_pct ~baseline:b x)
+         base latencies)
+  in
+  let matched = Env.geomean_overhead env ~baseline:Config.lto (Exp_common.best_config d) in
+  let apache_trained =
+    geo (lat_of (Env.build_with_profile env ~profile:apache (Exp_common.best_config d)))
+  in
+  let llvm_inliner =
+    geo
+      (lat_of
+         (Env.build env
+            {
+              Config.defenses = d;
+              opt = Config.Llvm_pgo { icp_budget = 99.999; inline_budget = 99.9999 };
+            }))
+  in
+  let unopt = Env.geomean_overhead env ~baseline:Config.lto (Exp_common.lto_with d) in
+  let t =
+    Tbl.create
+      ~title:"Robustness: LMBench geomean overhead (all defenses) per training strategy"
+      ~columns:[ "training"; "geomean overhead" ]
+  in
+  Tbl.add_row t [ Tbl.Str "matched profile (LMBench)"; Exp_common.pct matched ];
+  Tbl.add_row t [ Tbl.Str "mismatched profile (ApacheBench)"; Exp_common.pct apache_trained ];
+  Tbl.add_row t [ Tbl.Str "default LLVM inliner (LMBench)"; Exp_common.pct llvm_inliner ];
+  Tbl.add_row t [ Tbl.Str "no optimization"; Exp_common.pct unopt ];
+  (overlap, t)

@@ -1,0 +1,9 @@
+(** Paper §8.4: robustness to the training workload.
+
+    Reports (a) how much candidate weight the LMBench and ApacheBench
+    profiles share at a 99% budget, and (b) the LMBench geometric-mean
+    overhead of the all-defenses kernel when optimized with the matched
+    profile, with the mismatched Apache profile, and with LLVM's default
+    bottom-up inliner — against the unoptimized bound. *)
+
+val run : Env.t -> Pibe_util.Tbl.t * Pibe_util.Tbl.t

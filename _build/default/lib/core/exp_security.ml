@@ -1,0 +1,122 @@
+module Tbl = Pibe_util.Tbl
+module Engine = Pibe_cpu.Engine
+module Attack = Pibe_cpu.Attack
+module Speculation = Pibe_cpu.Speculation
+module Pass = Pibe_harden.Pass
+module Gen = Pibe_kernel.Gen
+
+let images env =
+  let build_refill () =
+    (* retpolines + the kernel's ad-hoc RSB refilling (paper §6.4) *)
+    let built = Env.build env (Exp_common.lto_with Exp_common.retpolines_only) in
+    let image =
+      Pass.harden ~rsb_refill:true built.Pipeline.image.Pass.prog
+        Exp_common.retpolines_only
+    in
+    { built with Pipeline.image }
+  in
+  List.map
+    (fun (label, config) -> (label, Env.build env config))
+    [
+      ("vanilla (no defenses)", Exp_common.lto_with Pass.no_defenses);
+      ("retpolines only", Exp_common.lto_with Exp_common.retpolines_only);
+      ("ret-retpolines only", Exp_common.lto_with Exp_common.ret_retpolines_only);
+      ("LVI-CFI only", Exp_common.lto_with Exp_common.lvi_only);
+    ]
+  @ [ ("retpolines + RSB refill", build_refill ()) ]
+  @ List.map
+      (fun (label, config) -> (label, Env.build env config))
+      [
+        ("all defenses", Exp_common.lto_with Exp_common.all_defenses);
+        ("all defenses + PIBE opt", Exp_common.best_config Exp_common.all_defenses);
+      ]
+
+(* After ICP/inlining the victim site has been rewritten or cloned; the
+   fallback / clone inherits the origin, so we can find the surviving
+   surface.  Preferring the highest id picks the clone on the hot
+   (inlined) path rather than the dead original body. *)
+let site_by_origin ~sites_of prog origin =
+  let found = ref None in
+  Pibe_ir.Program.iter_funcs prog (fun f ->
+      List.iter
+        (fun (s : Pibe_ir.Types.site) ->
+          if s.Pibe_ir.Types.site_origin = origin then
+            match !found with
+            | Some best when best >= s.Pibe_ir.Types.site_id -> ()
+            | _ -> found := Some s.Pibe_ir.Types.site_id)
+        (sites_of f));
+  !found
+
+let victim_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.icall_sites prog origin
+let asm_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.asm_icall_sites prog origin
+
+let drill_engine built =
+  let spec = Speculation.create () in
+  let config =
+    { (Pass.engine_config built.Pipeline.image) with Engine.speculation = Some spec }
+  in
+  Engine.create ~config built.Pipeline.image.Pass.prog
+
+let verdict (outcome : Attack.outcome) =
+  if outcome.Attack.gadget_reached then "GADGET REACHED" else "blocked"
+
+let run env =
+  let info = Env.info env in
+  let read_nr = Gen.nr info "read" in
+  let mmap_nr = Gen.nr info "mmap" in
+  let t =
+    Tbl.create ~title:"Security drills: transient entry into the leak gadget"
+      ~columns:
+        [
+          "image"; "spectre-v2"; "ret2spec (user)"; "ret2spec (xthread)"; "lvi";
+          "v2 via pv asm call";
+        ]
+  in
+  List.iter
+    (fun (label, built) ->
+      let gadget = info.Gen.gadget in
+      (* ext4 file fd 0, length 5: the hot vfs_read dispatch *)
+      let args = [ read_nr; 0; 5 ] in
+      let entry = info.Gen.entry in
+      let site =
+        Option.value
+          ~default:info.Gen.victim_icall_site
+          (victim_site_in built.Pipeline.image.Pass.prog info.Gen.victim_icall_site)
+      in
+      let v2 =
+        let e = drill_engine built in
+        Attack.spectre_v2 e ~victim_site:site ~gadget ~entry ~args
+      in
+      let r2s_user =
+        let e = drill_engine built in
+        Attack.ret2spec e ~scenario:Speculation.User_pollution ~gadget ~entry ~args
+      in
+      let r2s_xthread =
+        let e = drill_engine built in
+        Attack.ret2spec e ~scenario:Speculation.Cross_thread ~gadget ~entry ~args
+      in
+      let lvi =
+        let e = drill_engine built in
+        Attack.lvi e ~poisoned_addr:info.Gen.victim_ops_addr
+          ~injected_fptr:info.Gen.gadget_fptr ~entry ~args
+      in
+      let pv =
+        let e = drill_engine built in
+        let pv_site =
+          Option.value
+            ~default:info.Gen.pv_call_site
+            (asm_site_in built.Pipeline.image.Pass.prog info.Gen.pv_call_site)
+        in
+        Attack.spectre_v2 e ~victim_site:pv_site ~gadget ~entry ~args:[ mmap_nr; 4096; 4096 ]
+      in
+      Tbl.add_row t
+        [
+          Tbl.Str label;
+          Tbl.Str (verdict v2);
+          Tbl.Str (verdict r2s_user);
+          Tbl.Str (verdict r2s_xthread);
+          Tbl.Str (verdict lvi);
+          Tbl.Str (verdict pv);
+        ])
+    (images env);
+  t

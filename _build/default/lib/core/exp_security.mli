@@ -1,0 +1,11 @@
+(** Paper §8.6, operationalized: transient-attack drills against live
+    images.
+
+    For each image we run Spectre-V2 (BTB injection at the [vfs_read]
+    dispatch), Ret2spec (RSB desynchronization), and LVI (value injection
+    into the ops-table load), each trying to transiently reach the
+    [spectre_gadget] leak function, plus a V2 drill against the
+    para-virtualization assembly call that no pass can protect.
+    "blocked" means the gadget was never transiently entered. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

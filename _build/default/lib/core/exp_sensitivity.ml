@@ -1,0 +1,36 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+
+let seeds = [ 42; 1234; 777 ]
+
+let run _env =
+  let t =
+    Tbl.create
+      ~title:
+        "Sensitivity: headline geomeans across kernel-generator seeds (scale 2)"
+      ~columns:
+        [ "seed"; "PGO baseline"; "all defenses, no opt"; "all defenses, PIBE"; "defended speedup" ]
+  in
+  List.iter
+    (fun seed ->
+      let env = Env.create ~scale:2 ~seed () in
+      let pgo = Env.geomean_overhead env ~baseline:Config.lto Config.pibe_baseline in
+      let unopt =
+        Env.geomean_overhead env ~baseline:Config.lto
+          (Exp_common.lto_with Exp_common.all_defenses)
+      in
+      let pibe =
+        Env.geomean_overhead env ~baseline:Config.lto
+          (Exp_common.best_config Exp_common.all_defenses)
+      in
+      let reduction = (100.0 +. unopt) /. (100.0 +. pibe) in
+      Tbl.add_row t
+        [
+          Tbl.Int seed;
+          Exp_common.pct pgo;
+          Exp_common.pct unopt;
+          Exp_common.pct pibe;
+          Tbl.Str (Printf.sprintf "%.2fx" reduction);
+        ])
+    seeds;
+  t

@@ -1,0 +1,11 @@
+(** Extension experiment: are the conclusions an artifact of one generated
+    kernel?
+
+    Regenerates the kernel with different seeds (different function sizes,
+    cold-code layout, dispatch-table contents) and reports the headline
+    geometric means for each.  The claims must hold for every seed:
+    unoptimized comprehensive defenses cost on the order of 100%+, PIBE
+    brings them down by roughly an order of magnitude, and the PGO
+    baseline is a net speedup. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

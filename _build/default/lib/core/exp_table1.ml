@@ -1,0 +1,109 @@
+module Engine = Pibe_cpu.Engine
+module Pass = Pibe_harden.Pass
+module Spec = Pibe_kernel.Spec
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+
+type row_config =
+  | Uninstrumented
+  | Nontransient of {
+      label : string;
+      call : int;
+      icall : int;
+      ret : int;
+    }
+  | Transient of {
+      label : string;
+      defenses : Pass.defenses;
+    }
+
+let rows =
+  [
+    Uninstrumented;
+    (* Cheap non-transient defenses, for contrast (paper's justification
+       for focusing on transient mitigations). *)
+    Nontransient { label = "LLVM-CFI"; call = 0; icall = 3; ret = 0 };
+    Nontransient { label = "stackprotector"; call = 2; icall = 2; ret = 2 };
+    Nontransient { label = "safestack"; call = 1; icall = 1; ret = 1 };
+    Transient { label = "LVI-CFI"; defenses = Exp_common.lvi_only };
+    Transient { label = "retpolines"; defenses = Exp_common.retpolines_only };
+    Transient
+      {
+        label = "retpolines + LVI-CFI";
+        defenses = { Pass.retpolines = true; ret_retpolines = false; lvi = true };
+      };
+    Transient { label = "return retpolines"; defenses = Exp_common.ret_retpolines_only };
+    Transient { label = "all defenses"; defenses = Exp_common.all_defenses };
+  ]
+
+let engine_for spec row =
+  match row with
+  | Uninstrumented ->
+    Engine.create ~config:Engine.default_config spec.Spec.prog
+  | Nontransient { call; icall; ret; _ } ->
+    let config =
+      {
+        Engine.default_config with
+        Engine.extra_call_cycles = call;
+        extra_icall_cycles = icall;
+        extra_ret_cycles = ret;
+      }
+    in
+    Engine.create ~config spec.Spec.prog
+  | Transient { defenses; _ } ->
+    let image = Pass.harden spec.Spec.prog defenses in
+    Engine.create ~config:(Pass.engine_config image) image.Pass.prog
+
+let label = function
+  | Uninstrumented -> "uninstrumented"
+  | Nontransient { label; _ } -> label
+  | Transient { label; _ } -> label
+
+(* Per-call ticks: cycles of [iters] calls divided by iters, minus the
+   uninstrumented figure. *)
+let micro_ticks engine entry =
+  let settings = { Measure.default_settings with Measure.iters = 3; warmup = 1; rounds = 3 } in
+  Measure.entry_cycles ~settings engine ~entry ~args:[ Spec.micro_iters; 0 ]
+  /. float_of_int Spec.micro_iters
+
+let spec_cycles engine spec =
+  List.map
+    (fun (name, entry) ->
+      let settings =
+        { Measure.default_settings with Measure.iters = 2; warmup = 1; rounds = 3 }
+      in
+      (name, Measure.entry_cycles ~settings engine ~entry ~args:[ Spec.bench_iters; 0 ]))
+    spec.Spec.benchmarks
+
+let run _env =
+  let spec = Spec.build () in
+  let columns = [ "defense"; "dcall (ticks)"; "icall (ticks)"; "vcall (ticks)"; "spec %" ] in
+  let t = Tbl.create ~title:"Table 1: per-branch mitigation overhead + SPEC slowdown" ~columns in
+  let base_engine = engine_for spec Uninstrumented in
+  let base_d = micro_ticks base_engine spec.Spec.micro_dcall in
+  let base_i = micro_ticks base_engine spec.Spec.micro_icall in
+  let base_v = micro_ticks base_engine spec.Spec.micro_vcall in
+  let base_spec = spec_cycles base_engine spec in
+  List.iter
+    (fun row ->
+      let engine = engine_for spec row in
+      let d = micro_ticks engine spec.Spec.micro_dcall -. base_d in
+      let i = micro_ticks engine spec.Spec.micro_icall -. base_i in
+      let v = micro_ticks engine spec.Spec.micro_vcall -. base_v in
+      let spec_now = spec_cycles engine spec in
+      let slowdowns =
+        List.map2
+          (fun (_, b) (_, x) -> Stats.overhead_pct ~baseline:b x)
+          base_spec spec_now
+      in
+      let geo = Stats.geomean_overhead slowdowns in
+      Tbl.add_row t
+        [
+          Tbl.Str (label row);
+          Tbl.Int (int_of_float (Float.round d));
+          Tbl.Int (int_of_float (Float.round i));
+          Tbl.Int (int_of_float (Float.round v));
+          Exp_common.pct geo;
+        ])
+    rows;
+  t

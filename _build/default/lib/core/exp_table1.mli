@@ -1,0 +1,5 @@
+(** Paper Table 1: per-branch overhead of each mitigation in clock ticks
+    (dcall / icall / vcall with empty callees and unpredictable targets)
+    and the geometric-mean slowdown on the SPEC-CPU2006-shaped suite. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

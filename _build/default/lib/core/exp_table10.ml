@@ -1,0 +1,45 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Program = Pibe_ir.Program
+module Icp = Pibe_opt.Icp
+module Inl = Pibe_opt.Inliner
+
+let budgets = [ 99.0; 99.9; 99.9999 ]
+
+let run env =
+  let info = Env.info env in
+  let total_icalls = Program.total_icall_sites info.Pibe_kernel.Gen.prog in
+  let columns =
+    "statistic"
+    :: (List.map (fun b -> Printf.sprintf "icp (%g%%)" b) budgets
+       @ List.map (fun b -> Printf.sprintf "inl (%g%%)" b) budgets)
+  in
+  let t =
+    Tbl.create ~title:"Table 10: optimization candidates vs total indirect branches" ~columns
+  in
+  let stats =
+    List.map
+      (fun budget ->
+        let config = Exp_common.full_opt ~icp:budget ~inline:budget Exp_common.all_defenses in
+        let built = Env.build env config in
+        (Option.get built.Pipeline.icp_stats, Option.get built.Pipeline.inline_stats))
+      budgets
+  in
+  let ret_totals = List.map (fun (_, inl) -> inl.Inl.total_ret_sites_before) stats in
+  Tbl.add_row t
+    (Tbl.Str "Ind. Branches"
+    :: (List.map (fun _ -> Tbl.Int total_icalls) budgets
+       @ List.map (fun r -> Tbl.Int r) ret_totals));
+  Tbl.add_row t
+    (Tbl.Str "Candidates"
+    :: (List.map
+          (fun (icp, _) ->
+            Exp_common.pct (Stats.ratio_pct ~num:icp.Icp.promoted_sites ~den:total_icalls))
+          stats
+       @ List.map
+           (fun (_, inl) ->
+             Exp_common.pct
+               (Stats.ratio_pct ~num:inl.Inl.initial_candidates
+                  ~den:inl.Inl.total_ret_sites_before))
+           stats));
+  t

@@ -1,0 +1,5 @@
+(** Paper Table 10: initial promotion/inlining candidates as a fraction of
+    all kernel indirect branches — showing the algorithms touch only a
+    small sliver of the binary. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

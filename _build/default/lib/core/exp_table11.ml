@@ -1,0 +1,27 @@
+module Tbl = Pibe_util.Tbl
+module Audit = Pibe_harden.Audit
+
+let configurations =
+  let d = Exp_common.all_defenses in
+  [
+    ("no optimization", Exp_common.lto_with d);
+    ("99% budget", Exp_common.full_opt ~icp:99.0 ~inline:99.0 d);
+    ("99.9% budget", Exp_common.full_opt ~icp:99.9 ~inline:99.9 d);
+    ("99.9999% budget", Exp_common.full_opt ~icp:99.9999 ~inline:99.9999 d);
+  ]
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 11: forward edges protected/vulnerable (all defenses)"
+      ~columns:("statistic" :: List.map fst configurations)
+  in
+  let reports =
+    List.map (fun (_, c) -> Audit.run (Env.build env c).Pipeline.image) configurations
+  in
+  let row label f = Tbl.add_row t (Tbl.Str label :: List.map (fun r -> Tbl.Int (f r)) reports) in
+  row "Def. ICalls" (fun r -> r.Audit.defended_icalls);
+  row "Vuln. ICalls" (fun r -> r.Audit.vulnerable_icalls);
+  row "Vuln. IJumps" (fun r -> r.Audit.vulnerable_ijumps);
+  row "Def. Returns" (fun r -> r.Audit.defended_rets);
+  row "Vuln. Returns (boot/asm)" (fun r -> r.Audit.vulnerable_rets);
+  t

@@ -1,0 +1,7 @@
+(** Paper Table 11: forward edges protected vs vulnerable under all
+    defenses, across optimization budgets — protected indirect calls grow
+    with inlining (duplication), the untouchable assembly (para-virt)
+    calls stay vulnerable, and disabling jump tables leaves only the
+    assembly indirect jumps. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

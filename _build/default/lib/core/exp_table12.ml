@@ -1,0 +1,64 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Pass = Pibe_harden.Pass
+module Engine = Pibe_cpu.Engine
+
+let page = 64 * 1024
+
+let pages bytes = (bytes + page - 1) / page
+
+let peak_stack env config =
+  let built = Env.build env config in
+  let engine = Pipeline.engine built in
+  let rng = Pibe_util.Rng.create 5 in
+  List.iter
+    (fun (op : Pibe_kernel.Workload.op) ->
+      for _ = 1 to 20 do
+        op.Pibe_kernel.Workload.run engine rng
+      done)
+    (Env.ops env);
+  (Engine.counters engine).Engine.peak_stack_bytes
+
+let rows =
+  [
+    ("w/all-defenses", Exp_common.all_defenses, [ 99.0; 99.9; 99.9999 ]);
+    ("w/retpolines", Exp_common.retpolines_only, [ 99.999 ]);
+    ("w/LVI-CFI", Exp_common.lvi_only, [ 99.0; 99.9999 ]);
+    ("w/ret-retpolines", Exp_common.ret_retpolines_only, [ 99.0; 99.9999 ]);
+  ]
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 12: image size and memory growth"
+      ~columns:
+        [ "config"; "budget"; "abs size"; "img size"; "mem size"; "peak stack" ]
+  in
+  let lto_bytes = Pass.image_bytes (Env.build env Config.lto).Pipeline.image in
+  List.iter
+    (fun (label, defenses, budgets) ->
+      let unopt = Env.build env (Exp_common.lto_with defenses) in
+      let unopt_bytes = Pass.image_bytes unopt.Pipeline.image in
+      let unopt_stack = peak_stack env (Exp_common.lto_with defenses) in
+      List.iteri
+        (fun i budget ->
+          let config = Exp_common.full_opt ~icp:budget ~inline:budget defenses in
+          let built = Env.build env config in
+          let bytes = Pass.image_bytes built.Pipeline.image in
+          let stack = peak_stack env config in
+          Tbl.add_row t
+            [
+              Tbl.Str (if i = 0 then label else "");
+              Tbl.Str (Printf.sprintf "%g%%" budget);
+              Exp_common.pct (Stats.overhead_pct ~baseline:(float_of_int lto_bytes) (float_of_int bytes));
+              Exp_common.pct
+                (Stats.overhead_pct ~baseline:(float_of_int unopt_bytes) (float_of_int bytes));
+              Exp_common.pct
+                (Stats.overhead_pct
+                   ~baseline:(float_of_int (pages unopt_bytes))
+                   (float_of_int (pages bytes)));
+              Exp_common.pct
+                (Stats.overhead_pct ~baseline:(float_of_int unopt_stack) (float_of_int stack));
+            ])
+        budgets)
+    rows;
+  t

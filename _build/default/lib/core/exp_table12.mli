@@ -1,0 +1,10 @@
+(** Paper Table 12: image size and memory growth due to the algorithms.
+
+    [abs size] is growth relative to the LTO baseline image; [img size]
+    relative to an unoptimized image with the same defenses; [mem size]
+    the resident code pages at the same granularity; [peak stack] the
+    peak simulated stack footprint while running the LMBench workload
+    (our substitute for the paper's slab/dynamic columns — see
+    DESIGN.md). *)
+
+val run : Env.t -> Pibe_util.Tbl.t

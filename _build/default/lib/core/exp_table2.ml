@@ -1,0 +1,40 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+
+(* The paper reports microseconds on a 3.7 GHz part; we print both the raw
+   simulated cycles and their microsecond equivalent at that clock. *)
+let ghz = 3.7
+let us_of_cycles c = c /. (ghz *. 1000.0)
+
+let run env =
+  let t =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "Table 2: LTO vs PIBE-PGO baselines (simulated cycles; us at %.1f GHz)" ghz)
+      ~columns:[ "test"; "LTO cycles"; "LTO us"; "PIBE cycles"; "PIBE us"; "overhead" ]
+  in
+  let lto = Env.latencies env Config.lto in
+  let pibe = Env.latencies env Config.pibe_baseline in
+  let overheads =
+    List.map2
+      (fun (name, b) (_, x) -> (name, b, x, Stats.overhead_pct ~baseline:b x))
+      lto pibe
+  in
+  List.iter
+    (fun (name, b, x, ov) ->
+      Tbl.add_row t
+        [
+          Tbl.Str name;
+          Tbl.Float b;
+          Tbl.Str (Printf.sprintf "%.3f" (us_of_cycles b));
+          Tbl.Float x;
+          Tbl.Str (Printf.sprintf "%.3f" (us_of_cycles x));
+          Exp_common.pct ov;
+        ])
+    overheads;
+  Tbl.add_separator t;
+  let geo = Stats.geomean_overhead (List.map (fun (_, _, _, ov) -> ov) overheads) in
+  Tbl.add_row t
+    [ Tbl.Str "Geometric Mean"; Tbl.Empty; Tbl.Empty; Tbl.Empty; Tbl.Empty; Exp_common.pct geo ];
+  t

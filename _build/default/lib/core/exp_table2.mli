@@ -1,0 +1,5 @@
+(** Paper Table 2: the two baselines — LTO (vanilla) absolute latencies
+    and the PIBE PGO baseline (optimizations on, defenses off) with its
+    overhead relative to LTO; geometric mean last. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

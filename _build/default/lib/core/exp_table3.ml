@@ -1,0 +1,65 @@
+module Engine = Pibe_cpu.Engine
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module W = Pibe_kernel.Workload
+
+let subset =
+  [
+    "null"; "read"; "write"; "open"; "stat"; "fstat"; "select_tcp"; "udp"; "tcp";
+    "tcp_conn"; "af_unix"; "pipe";
+  ]
+
+let jumpswitch_latencies env =
+  (* JumpSwitches patch the plain LTO kernel at runtime; remaining misses
+     fall back to (learning) retpolines.  Returns are untouched — the
+     technique only covers forward edges. *)
+  let lto = Env.build env Config.lto in
+  let js = Pibe_jumpswitch.Jumpswitch.create () in
+  let config =
+    {
+      Engine.default_config with
+      Engine.fwd_override = Some (Pibe_jumpswitch.Jumpswitch.transfer_cost js);
+    }
+  in
+  let engine =
+    Engine.create ~config lto.Pipeline.image.Pibe_harden.Pass.prog
+  in
+  Measure.suite_latencies ~settings:(Env.settings env) engine (Env.ops env)
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 3: retpolines overhead compared to the LTO baseline"
+      ~columns:
+        [ "test"; "LTO w/retpolines"; "JumpSwitches"; "+icp (99%)"; "+icp (99.999%)" ]
+  in
+  let base = Env.latencies env Config.lto in
+  let plain = Env.latencies env (Exp_common.lto_with Exp_common.retpolines_only) in
+  let js = jumpswitch_latencies env in
+  let icp99 = Env.latencies env (Exp_common.icp_only ~budget:99.0 Exp_common.retpolines_only) in
+  let icp999 =
+    Env.latencies env (Exp_common.icp_only ~budget:99.999 Exp_common.retpolines_only)
+  in
+  let overhead column name =
+    let b = List.assoc name base in
+    Stats.overhead_pct ~baseline:b (List.assoc name column)
+  in
+  let col_geos = Array.make 4 [] in
+  List.iter
+    (fun name ->
+      let cells =
+        List.mapi
+          (fun i column ->
+            let ov = overhead column name in
+            col_geos.(i) <- ov :: col_geos.(i);
+            Exp_common.pct ov)
+          [ plain; js; icp99; icp999 ]
+      in
+      Tbl.add_row t (Tbl.Str name :: cells))
+    subset;
+  Tbl.add_separator t;
+  Tbl.add_row t
+    (Tbl.Str "Geometric Mean"
+    :: List.map
+         (fun i -> Exp_common.pct (Stats.geomean_overhead col_geos.(i)))
+         [ 0; 1; 2; 3 ]);
+  t

@@ -1,0 +1,6 @@
+(** Paper Table 3: retpoline overhead vs the LTO baseline — unoptimized
+    retpolines, the JumpSwitches runtime comparator, and PIBE's static
+    indirect call promotion at 99% / 99.999% budgets — on the
+    retpoline-sensitive LMBench subset. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,23 @@
+module Tbl = Pibe_util.Tbl
+module Profile = Pibe_profile.Profile
+
+let run env =
+  let profile = Env.lmbench_profile env in
+  let buckets = Array.make 7 0 in
+  List.iter
+    (fun origin ->
+      let n = List.length (Profile.value_profile profile ~origin) in
+      if n >= 1 then
+        if n <= 6 then buckets.(n - 1) <- buckets.(n - 1) + 1
+        else buckets.(6) <- buckets.(6) + 1)
+    (Profile.profiled_indirect_origins profile);
+  let columns =
+    "targets"
+    :: (List.init 6 (fun i -> Printf.sprintf "%d targets" (i + 1)) @ [ "> 6 targets" ])
+  in
+  let t =
+    Tbl.create ~title:"Table 4: indirect calls by number of profiled targets" ~columns
+  in
+  Tbl.add_row t
+    (Tbl.Str "Indirect Calls" :: Array.to_list (Array.map (fun c -> Tbl.Int c) buckets));
+  t

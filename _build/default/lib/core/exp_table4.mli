@@ -1,0 +1,5 @@
+(** Paper Table 4: how many targets each profiled indirect call site
+    invokes under the LMBench workload (multi-target sites are what
+    degrade JumpSwitches). *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,34 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+
+let configurations =
+  let d = Exp_common.all_defenses in
+  [
+    ("no opt", Exp_common.lto_with d);
+    ("+icp(99.999%)", Exp_common.icp_only ~budget:99.999 d);
+    ("+inl(99%)", Exp_common.full_opt ~icp:99.999 ~inline:99.0 d);
+    ("+inl(99.9%)", Exp_common.full_opt ~icp:99.999 ~inline:99.9 d);
+    ("+inl(99.9999%)", Exp_common.full_opt ~icp:99.999 ~inline:99.9999 d);
+    ("lax heuristics", Exp_common.full_opt ~icp:99.999 ~inline:99.9999 ~lax:true d);
+  ]
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 5: overhead with all defenses enabled, by optimization level"
+      ~columns:("test" :: List.map fst configurations)
+  in
+  let per_config = List.map (fun (_, c) -> Env.overheads env ~baseline:Config.lto c) configurations in
+  let names = List.map fst (List.hd per_config) in
+  List.iter
+    (fun op ->
+      Tbl.add_row t
+        (Tbl.Str op
+        :: List.map (fun column -> Exp_common.pct (List.assoc op column)) per_config))
+    names;
+  Tbl.add_separator t;
+  Tbl.add_row t
+    (Tbl.Str "Geometric Mean"
+    :: List.map
+         (fun column -> Exp_common.pct (Stats.geomean_overhead (List.map snd column)))
+         per_config);
+  t

@@ -1,0 +1,6 @@
+(** Paper Table 5: all transient defenses enabled, across optimization
+    configurations — no optimization, ICP only, ICP+inlining at three
+    budgets, and the lax-heuristics configuration; overheads vs the LTO
+    baseline with geometric means. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,30 @@
+module Tbl = Pibe_util.Tbl
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 6: LMBench geometric-mean overhead per defense"
+      ~columns:[ "defense"; "LTO"; "PIBE" ]
+  in
+  let rows =
+    [
+      ("None", Pibe_harden.Pass.no_defenses);
+      ("Retpolines", Exp_common.retpolines_only);
+      ("Return retpolines", Exp_common.ret_retpolines_only);
+      ("LVI-CFI", Exp_common.lvi_only);
+      ("All", Exp_common.all_defenses);
+    ]
+  in
+  List.iter
+    (fun (label, defenses) ->
+      let lto_ov =
+        if defenses = Pibe_harden.Pass.no_defenses then 0.0
+        else Env.geomean_overhead env ~baseline:Config.lto (Exp_common.lto_with defenses)
+      in
+      let pibe_config =
+        if defenses = Pibe_harden.Pass.no_defenses then Config.pibe_baseline
+        else Exp_common.best_config defenses
+      in
+      let pibe_ov = Env.geomean_overhead env ~baseline:Config.lto pibe_config in
+      Tbl.add_row t [ Tbl.Str label; Exp_common.pct lto_ov; Exp_common.pct pibe_ov ])
+    rows;
+  t

@@ -1,0 +1,5 @@
+(** Paper Table 6: LMBench geometric-mean overhead per defense, without
+    optimization (LTO) and under PIBE's best configuration for that
+    defense. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

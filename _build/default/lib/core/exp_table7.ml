@@ -1,0 +1,47 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module W = Pibe_kernel.Workload
+
+let defense_rows =
+  [
+    ("w/retpolines", Exp_common.retpolines_only);
+    ("w/ret-retpolines", Exp_common.ret_retpolines_only);
+    ("w/LVI-CFI", Exp_common.lvi_only);
+    ("w/all-defenses", Exp_common.all_defenses);
+  ]
+
+let mix_cycles env config mix =
+  let built = Env.build env config in
+  let engine = Pipeline.engine built in
+  Measure.mix_kernel_cycles ~settings:(Env.settings env) engine mix
+
+let run env =
+  let info = Env.info env in
+  let t =
+    Tbl.create
+      ~title:"Table 7: macro-benchmark throughput (requests per Mcycle; % vs vanilla)"
+      ~columns:[ "benchmark"; "configuration"; "vanilla"; "no optimization"; "PIBE" ]
+  in
+  List.iter
+    (fun mix ->
+      let base_kernel = mix_cycles env Config.lto mix in
+      let user = mix.W.user_ratio *. base_kernel in
+      let base_tp = Measure.throughput ~kernel_cycles:base_kernel ~user_cycles:user in
+      List.iteri
+        (fun i (label, defenses) ->
+          let unopt = mix_cycles env (Exp_common.lto_with defenses) mix in
+          let opt = mix_cycles env (Exp_common.best_config defenses) mix in
+          let unopt_tp = Measure.throughput ~kernel_cycles:unopt ~user_cycles:user in
+          let opt_tp = Measure.throughput ~kernel_cycles:opt ~user_cycles:user in
+          Tbl.add_row t
+            [
+              Tbl.Str (if i = 0 then mix.W.mix_name else "");
+              Tbl.Str label;
+              (if i = 0 then Tbl.Float base_tp else Tbl.Empty);
+              Exp_common.pct (Stats.throughput_delta_pct ~baseline:base_tp unopt_tp);
+              Exp_common.pct (Stats.throughput_delta_pct ~baseline:base_tp opt_tp);
+            ])
+        defense_rows;
+      Tbl.add_separator t)
+    [ W.nginx info; W.apache info; W.dbench info ];
+  t

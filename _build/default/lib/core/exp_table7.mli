@@ -1,0 +1,12 @@
+(** Paper Table 7: macro-benchmark throughput (Nginx, Apache, DBench)
+    under each transient defense, with and without PIBE's optimizations,
+    relative to the LTO baseline.
+
+    Substitution note: the paper measures wall-clock requests/sec on real
+    servers whose request handling is mostly userspace.  We simulate one
+    application request as its syscall mix and add a fixed userspace
+    cycle cost per request (the mix's [user_ratio], calibrated to the
+    paper's kernel-time fractions); throughput is requests per million
+    simulated cycles. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,62 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Icp = Pibe_opt.Icp
+module Inl = Pibe_opt.Inliner
+
+let budgets = [ 99.0; 99.9; 99.9999 ]
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 8: indirect-branch gadgets eliminated per budget"
+      ~columns:
+        [
+          "budget"; "icall weight"; "icall w%"; "call sites"; "sites %"; "call targets";
+          "targets %"; "return weight"; "ret w%"; "return sites"; "ret sites %";
+        ]
+  in
+  let totals = ref None in
+  List.iter
+    (fun budget ->
+      let config = Exp_common.full_opt ~icp:budget ~inline:budget Exp_common.all_defenses in
+      let built = Env.build env config in
+      let icp = Option.get built.Pipeline.icp_stats in
+      let inl = Option.get built.Pipeline.inline_stats in
+      totals := Some (icp, inl);
+      Tbl.add_row t
+        [
+          Tbl.Str (Printf.sprintf "%g%%" budget);
+          Tbl.Int icp.Icp.promoted_weight;
+          Exp_common.pct
+            (Stats.ratio_pct ~num:icp.Icp.promoted_weight ~den:icp.Icp.total_weight);
+          Tbl.Int icp.Icp.promoted_sites;
+          Exp_common.pct (Stats.ratio_pct ~num:icp.Icp.promoted_sites ~den:icp.Icp.total_sites);
+          Tbl.Int icp.Icp.promoted_targets;
+          Exp_common.pct
+            (Stats.ratio_pct ~num:icp.Icp.promoted_targets ~den:icp.Icp.total_targets);
+          Tbl.Int inl.Inl.inlined_weight;
+          Exp_common.pct
+            (Stats.ratio_pct ~num:inl.Inl.inlined_weight ~den:inl.Inl.total_weight);
+          Tbl.Int inl.Inl.inlined_sites;
+          Exp_common.pct
+            (Stats.ratio_pct ~num:inl.Inl.inlined_sites ~den:inl.Inl.total_ret_sites_before);
+        ])
+    budgets;
+  (match !totals with
+  | Some (icp, inl) ->
+    Tbl.add_separator t;
+    Tbl.add_row t
+      [
+        Tbl.Str "total";
+        Tbl.Int icp.Icp.total_weight;
+        Tbl.Empty;
+        Tbl.Int icp.Icp.total_sites;
+        Tbl.Empty;
+        Tbl.Int icp.Icp.total_targets;
+        Tbl.Empty;
+        Tbl.Int inl.Inl.total_weight;
+        Tbl.Empty;
+        Tbl.Str "variable";
+        Tbl.Empty;
+      ]
+  | None -> ());
+  t

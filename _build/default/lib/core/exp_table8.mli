@@ -1,0 +1,5 @@
+(** Paper Table 8: indirect-branch gadgets eliminated by PIBE per budget —
+    promoted weight / call sites / call targets, and inlined (return)
+    weight / sites, with the absolute totals. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,30 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Inl = Pibe_opt.Inliner
+
+let budgets = [ 99.0; 99.9; 99.9999 ]
+
+let run env =
+  let t =
+    Tbl.create ~title:"Table 9: inlining weight blocked by size heuristics"
+      ~columns:[ "budget"; "Ovr."; "Rule 2"; "r2 %"; "Rule 3"; "r3 %"; "other"; "other %" ]
+  in
+  List.iter
+    (fun budget ->
+      let config = Exp_common.full_opt ~icp:budget ~inline:budget Exp_common.all_defenses in
+      let built = Env.build env config in
+      let s = Option.get built.Pipeline.inline_stats in
+      let den = max 1 s.Inl.eligible_weight in
+      Tbl.add_row t
+        [
+          Tbl.Str (Printf.sprintf "%g%%" budget);
+          Tbl.Int s.Inl.eligible_weight;
+          Tbl.Int s.Inl.blocked_rule2_weight;
+          Exp_common.pct (Stats.ratio_pct ~num:s.Inl.blocked_rule2_weight ~den);
+          Tbl.Int s.Inl.blocked_rule3_weight;
+          Exp_common.pct (Stats.ratio_pct ~num:s.Inl.blocked_rule3_weight ~den);
+          Tbl.Int s.Inl.blocked_other_weight;
+          Exp_common.pct (Stats.ratio_pct ~num:s.Inl.blocked_other_weight ~den);
+        ])
+    budgets;
+  t

@@ -1,0 +1,6 @@
+(** Paper Table 9: inlining weight *not* elided because of the size
+    heuristics (Rule 2: caller complexity; Rule 3: callee complexity) or
+    other reasons (noinline / optnone / assembly / recursion), per
+    budget. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

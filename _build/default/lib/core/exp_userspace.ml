@@ -1,0 +1,60 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Spec = Pibe_kernel.Spec
+module Pass = Pibe_harden.Pass
+module Engine = Pibe_cpu.Engine
+
+let iters = 120
+
+let profile_suite spec =
+  Pipeline.profile spec.Spec.prog ~run:(fun engine ->
+      List.iter
+        (fun (_, entry) -> ignore (Engine.call engine entry [ iters; 0 ]))
+        spec.Spec.benchmarks)
+
+let bench_cycles prog ~config (_, entry) =
+  let engine = Engine.create ~config prog in
+  ignore (Engine.call engine entry [ 20; 0 ]) (* warmup *);
+  Engine.reset_cycles engine;
+  ignore (Engine.call engine entry [ iters; 0 ]);
+  float_of_int (Engine.cycles engine)
+
+let run _env =
+  let spec = Spec.build () in
+  let profile = profile_suite spec in
+  let lto = Pipeline.build spec.Spec.prog profile Config.lto in
+  let unopt =
+    Pipeline.build spec.Spec.prog profile (Exp_common.lto_with Exp_common.all_defenses)
+  in
+  let pibe =
+    Pipeline.build spec.Spec.prog profile
+      (Exp_common.full_opt ~lax:true ~icp:99.999 ~inline:99.9999 Exp_common.all_defenses)
+  in
+  let cycles built b =
+    bench_cycles built.Pipeline.image.Pass.prog
+      ~config:(Pass.engine_config built.Pipeline.image)
+      b
+  in
+  let t =
+    Tbl.create
+      ~title:"Extension: PIBE on userspace programs (all defenses, overhead vs LTO)"
+      ~columns:[ "benchmark"; "no optimization"; "PIBE" ]
+  in
+  let unopt_ovs = ref [] and pibe_ovs = ref [] in
+  List.iter
+    (fun b ->
+      let base = cycles lto b in
+      let u = Stats.overhead_pct ~baseline:base (cycles unopt b) in
+      let p = Stats.overhead_pct ~baseline:base (cycles pibe b) in
+      unopt_ovs := u :: !unopt_ovs;
+      pibe_ovs := p :: !pibe_ovs;
+      Tbl.add_row t [ Tbl.Str (fst b); Exp_common.pct u; Exp_common.pct p ])
+    spec.Spec.benchmarks;
+  Tbl.add_separator t;
+  Tbl.add_row t
+    [
+      Tbl.Str "Geometric Mean";
+      Exp_common.pct (Stats.geomean_overhead !unopt_ovs);
+      Exp_common.pct (Stats.geomean_overhead !pibe_ovs);
+    ];
+  t

@@ -1,0 +1,9 @@
+(** Extension experiment: PIBE beyond the kernel.
+
+    The paper's introduction claims the approach "applies equally to other
+    code: hypervisors, SGX(-like) enclaves, and user programs".  This
+    experiment exercises that claim on the SPEC-shaped userspace suite:
+    profile each program, run the same ICP + greedy-inlining pipeline, and
+    compare all-defenses overheads with and without PIBE. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

@@ -1,0 +1,33 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module V1 = Pibe_harden.V1_scan
+
+let run env =
+  let info = Env.info env in
+  let report = V1.scan info.Pibe_kernel.Gen.prog in
+  let t =
+    Tbl.create ~title:"Spectre-V1 static scan of the kernel (paper section 3 / 6.1)"
+      ~columns:[ "statistic"; "value" ]
+  in
+  Tbl.add_row t [ Tbl.Str "functions scanned"; Tbl.Int report.V1.functions_scanned ];
+  Tbl.add_row t
+    [ Tbl.Str "conditional branches"; Tbl.Int report.V1.conditional_branches ];
+  Tbl.add_row t [ Tbl.Str "candidate gadgets"; Tbl.Int (List.length report.V1.gadgets) ];
+  Tbl.add_row t
+    [
+      Tbl.Str "gadget rate";
+      Exp_common.pct
+        (Stats.ratio_pct
+           ~num:(List.length report.V1.gadgets)
+           ~den:(max 1 report.V1.conditional_branches));
+    ];
+  List.iteri
+    (fun i (g : V1.gadget) ->
+      if i < 8 then
+        Tbl.add_row t
+          [
+            Tbl.Str (Printf.sprintf "  gadget %d" (i + 1));
+            Tbl.Str (Printf.sprintf "@%s bb%d->bb%d" g.V1.gadget_func g.V1.branch_block g.V1.load_block);
+          ])
+    report.V1.gadgets;
+  t

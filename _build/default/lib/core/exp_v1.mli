@@ -1,0 +1,10 @@
+(** Extension experiment: the Spectre-V1 side of the threat model.
+
+    PIBE excludes V1 because static analysis handles it (paper §3, §6.1:
+    "few conditional branches are suitable gadgets, and static analysis
+    can identify and protect them efficiently").  This experiment runs our
+    scanner over the kernel and reports how rare the candidates are —
+    and that none of them sits behind an indirect branch PIBE would have
+    had to leave unprotected. *)
+
+val run : Env.t -> Pibe_util.Tbl.t

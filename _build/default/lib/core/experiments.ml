@@ -1,0 +1,133 @@
+type t = {
+  id : string;
+  paper_ref : string;
+  description : string;
+  run : Env.t -> Pibe_util.Tbl.t list;
+}
+
+let one f env = [ f env ]
+
+let all =
+  [
+    {
+      id = "table1";
+      paper_ref = "Table 1";
+      description = "per-branch mitigation ticks and SPEC-suite slowdown";
+      run = one Exp_table1.run;
+    };
+    {
+      id = "table2";
+      paper_ref = "Table 2";
+      description = "LTO vs PIBE-PGO baselines on LMBench";
+      run = one Exp_table2.run;
+    };
+    {
+      id = "table3";
+      paper_ref = "Table 3";
+      description = "retpolines: LTO vs JumpSwitches vs static ICP";
+      run = one Exp_table3.run;
+    };
+    {
+      id = "table4";
+      paper_ref = "Table 4";
+      description = "indirect-call target multiplicity histogram";
+      run = one Exp_table4.run;
+    };
+    {
+      id = "table5";
+      paper_ref = "Table 5";
+      description = "all defenses across optimization levels";
+      run = one Exp_table5.run;
+    };
+    {
+      id = "table6";
+      paper_ref = "Table 6";
+      description = "per-defense geometric means, LTO vs PIBE";
+      run = one Exp_table6.run;
+    };
+    {
+      id = "table7";
+      paper_ref = "Table 7";
+      description = "macro-benchmark throughput (Nginx/Apache/DBench)";
+      run = one Exp_table7.run;
+    };
+    {
+      id = "table8";
+      paper_ref = "Table 8";
+      description = "gadgets eliminated per budget";
+      run = one Exp_table8.run;
+    };
+    {
+      id = "table9";
+      paper_ref = "Table 9";
+      description = "weight blocked by Rules 2/3 and other attributes";
+      run = one Exp_table9.run;
+    };
+    {
+      id = "table10";
+      paper_ref = "Table 10";
+      description = "candidates vs total indirect branches";
+      run = one Exp_table10.run;
+    };
+    {
+      id = "table11";
+      paper_ref = "Table 11";
+      description = "protected vs vulnerable forward edges";
+      run = one Exp_table11.run;
+    };
+    {
+      id = "table12";
+      paper_ref = "Table 12";
+      description = "image size and memory growth";
+      run = one Exp_table12.run;
+    };
+    {
+      id = "figure1";
+      paper_ref = "Figure 1";
+      description = "the Rule-3 inlining counter-example";
+      run = one Exp_figure1.run;
+    };
+    {
+      id = "robustness";
+      paper_ref = "Section 8.4";
+      description = "workload-profile robustness and LLVM-inliner comparison";
+      run =
+        (fun env ->
+          let a, b = Exp_robustness.run env in
+          [ a; b ]);
+    };
+    {
+      id = "security";
+      paper_ref = "Section 8.6";
+      description = "transient attack drills against live images";
+      run = one Exp_security.run;
+    };
+    {
+      id = "userspace";
+      paper_ref = "Section 1";
+      description = "extension: PIBE applied to userspace programs";
+      run = one Exp_userspace.run;
+    };
+    {
+      id = "v1scan";
+      paper_ref = "Sections 3, 6.1";
+      description = "extension: static Spectre-V1 gadget scan";
+      run = one Exp_v1.run;
+    };
+    {
+      id = "sensitivity";
+      paper_ref = "DESIGN.md section 6";
+      description = "extension: headline results across generator seeds";
+      run = one Exp_sensitivity.run;
+    };
+    {
+      id = "ablation";
+      paper_ref = "DESIGN.md section 4";
+      description = "ablations of PIBE's design choices";
+      run = one Exp_ablation.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+let run_all env = List.map (fun e -> (e, e.run env)) all
+let listings = Exp_listings.render

@@ -1,0 +1,17 @@
+(** Registry of every reproduced paper artifact (DESIGN.md §3).
+
+    Each experiment renders one or more titled tables; [run_all] executes
+    them in paper order against one shared environment. *)
+
+type t = {
+  id : string;  (** "table1" ... "table12", "figure1", "robustness", ... *)
+  paper_ref : string;  (** e.g. "Table 5" *)
+  description : string;
+  run : Env.t -> Pibe_util.Tbl.t list;
+}
+
+val all : t list
+val find : string -> t option
+val run_all : Env.t -> (t * Pibe_util.Tbl.t list) list
+val listings : unit -> string
+(** The paper's defense-sequence listings (not a table). *)

@@ -1,0 +1,44 @@
+module Engine = Pibe_cpu.Engine
+module Rng = Pibe_util.Rng
+module Stats = Pibe_util.Stats
+
+type settings = {
+  warmup : int;
+  iters : int;
+  rounds : int;
+  rng_seed : int;
+}
+
+let default_settings = { warmup = 40; iters = 120; rounds = 5; rng_seed = 7 }
+let quick_settings = { warmup = 8; iters = 30; rounds = 3; rng_seed = 7 }
+
+let measure_rounds ~settings ~(once : Rng.t -> unit) engine =
+  let rng = Rng.create settings.rng_seed in
+  for _ = 1 to settings.warmup do
+    once rng
+  done;
+  let rounds =
+    List.init settings.rounds (fun _ ->
+        Engine.reset_cycles engine;
+        for _ = 1 to settings.iters do
+          once rng
+        done;
+        float_of_int (Engine.cycles engine) /. float_of_int settings.iters)
+  in
+  Stats.median rounds
+
+let op_latency ?(settings = default_settings) engine (op : Pibe_kernel.Workload.op) =
+  measure_rounds ~settings engine ~once:(fun rng -> op.Pibe_kernel.Workload.run engine rng)
+
+let suite_latencies ?(settings = default_settings) engine ops =
+  List.map (fun op -> (op.Pibe_kernel.Workload.op_name, op_latency ~settings engine op)) ops
+
+let mix_kernel_cycles ?(settings = default_settings) engine (mix : Pibe_kernel.Workload.mix) =
+  measure_rounds ~settings engine ~once:(fun rng ->
+      mix.Pibe_kernel.Workload.request engine rng)
+
+let throughput ~kernel_cycles ~user_cycles =
+  1_000_000.0 /. (kernel_cycles +. user_cycles)
+
+let entry_cycles ?(settings = default_settings) engine ~entry ~args =
+  measure_rounds ~settings engine ~once:(fun _rng -> ignore (Engine.call engine entry args))

@@ -1,0 +1,40 @@
+(** The measurement harness: median-of-rounds latency and throughput, as
+    in the paper's methodology (§8: "each measurement was performed at
+    least 11 times, and we report the median"). *)
+
+type settings = {
+  warmup : int;  (** iterations run before measuring (caches/predictors warm) *)
+  iters : int;  (** iterations per measurement round *)
+  rounds : int;  (** rounds; the median is reported *)
+  rng_seed : int;
+}
+
+val default_settings : settings
+(** warmup 40, iters 120, rounds 5, seed 7. *)
+
+val quick_settings : settings
+(** A smaller configuration for unit tests. *)
+
+val op_latency :
+  ?settings:settings -> Pibe_cpu.Engine.t -> Pibe_kernel.Workload.op -> float
+(** Median simulated cycles per iteration of the micro-op. *)
+
+val suite_latencies :
+  ?settings:settings ->
+  Pibe_cpu.Engine.t ->
+  Pibe_kernel.Workload.op list ->
+  (string * float) list
+(** Latency of every op on one machine, in op order. *)
+
+val mix_kernel_cycles :
+  ?settings:settings -> Pibe_cpu.Engine.t -> Pibe_kernel.Workload.mix -> float
+(** Median kernel cycles per application request. *)
+
+val throughput :
+  kernel_cycles:float -> user_cycles:float -> float
+(** Requests per million cycles given fixed userspace work per request. *)
+
+val entry_cycles :
+  ?settings:settings -> Pibe_cpu.Engine.t -> entry:string -> args:int list -> float
+(** Median cycles of one call to an arbitrary entry point (used by the
+    Table-1 micro and SPEC harnesses). *)

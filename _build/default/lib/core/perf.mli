@@ -1,0 +1,36 @@
+(** A perf-style flat profiler over the simulated machine.
+
+    Cycle deltas between consecutive enter/exit events are attributed to
+    the function on top of the (shadow) call stack, giving exclusive
+    ("self") cycles per function; inclusive cycles come from the
+    enter-to-exit spans.  Use it to see *where the defense tax lands* —
+    e.g. how many cycles vfs_read's retpoline dispatch costs before and
+    after promotion. *)
+
+type row = {
+  func : string;
+  self_cycles : int;  (** cycles attributed while this function was on top *)
+  inclusive_cycles : int;  (** cycles between entry and matching return *)
+  calls : int;  (** activations *)
+}
+
+type t
+
+val profile :
+  Pibe_cpu.Engine.config ->
+  Pibe_ir.Program.t ->
+  run:(Pibe_cpu.Engine.t -> unit) ->
+  t
+(** Runs the workload with profiling hooks layered onto [config]. *)
+
+val rows : t -> row list
+(** All functions, heaviest self-cycles first. *)
+
+val top : ?n:int -> t -> row list
+(** The [n] (default 15) heaviest functions. *)
+
+val total_cycles : t -> int
+
+val to_table : ?n:int -> t -> Pibe_util.Tbl.t
+(** A rendered report: rank, function, self/inclusive cycles, calls and
+    the self share of total time. *)

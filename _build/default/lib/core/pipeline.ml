@@ -1,0 +1,82 @@
+open Pibe_ir
+module Profile = Pibe_profile.Profile
+
+type built = {
+  image : Pibe_harden.Pass.image;
+  config : Config.t;
+  icp_stats : Pibe_opt.Icp.stats option;
+  inline_stats : Pibe_opt.Inliner.stats option;
+  llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
+  post_icp_profile : Profile.t;
+}
+
+let profile prog ~run =
+  let collector = Pibe_profile.Collector.create prog in
+  let config =
+    {
+      Pibe_cpu.Engine.default_config with
+      Pibe_cpu.Engine.on_edge = Some (Pibe_profile.Collector.hook collector);
+    }
+  in
+  let engine = Pibe_cpu.Engine.create ~config prog in
+  run engine;
+  Pibe_profile.Collector.lift collector
+
+let copy_profile p = Profile.merge p (Profile.create ())
+
+(* Scalar cleanup runs in every configuration: it is part of the plain
+   LTO pipeline the paper's baseline uses, and it is what converts the
+   inliner's opportunities (propagated constants, dead argument moves)
+   into actual savings. *)
+let cleanup prog =
+  let prog = Pibe_opt.Cleanup.run prog in
+  Validate.check_exn prog;
+  prog
+
+let optimize prog profile opt =
+  let profile = copy_profile profile in
+  match opt with
+  | Config.No_opt -> (cleanup prog, None, None, None, profile)
+  | Config.Icp_only { budget } ->
+    let prog, icp_stats = Pibe_opt.Icp.run prog profile { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = budget } in
+    Validate.check_exn prog;
+    (cleanup prog, Some icp_stats, None, None, profile)
+  | Config.Full { icp_budget; inline_budget; lax } ->
+    let prog, icp_stats =
+      Pibe_opt.Icp.run prog profile
+        { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
+    in
+    Validate.check_exn prog;
+    let inline_config =
+      {
+        Pibe_opt.Inliner.default_config with
+        Pibe_opt.Inliner.budget_pct = inline_budget;
+        lax_within_pct = (if lax then Some 99.0 else None);
+      }
+    in
+    let prog, inline_stats = Pibe_opt.Inliner.run prog profile inline_config in
+    Validate.check_exn prog;
+    (cleanup prog, Some icp_stats, Some inline_stats, None, profile)
+  | Config.Llvm_pgo { icp_budget; inline_budget } ->
+    let prog, icp_stats =
+      Pibe_opt.Icp.run prog profile
+        { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
+    in
+    Validate.check_exn prog;
+    let cfg =
+      { Pibe_opt.Llvm_inliner.default_config with Pibe_opt.Llvm_inliner.budget_pct = inline_budget }
+    in
+    let prog, llvm_stats = Pibe_opt.Llvm_inliner.run prog profile cfg in
+    Validate.check_exn prog;
+    (cleanup prog, Some icp_stats, None, Some llvm_stats, profile)
+
+let build prog profile config =
+  let prog, icp_stats, inline_stats, llvm_inline_stats, post_icp_profile =
+    optimize prog profile config.Config.opt
+  in
+  let image = Pibe_harden.Pass.harden prog config.Config.defenses in
+  { image; config; icp_stats; inline_stats; llvm_inline_stats; post_icp_profile }
+
+let engine ?base built =
+  let config = Pibe_harden.Pass.engine_config ?base built.image in
+  Pibe_cpu.Engine.create ~config built.image.Pibe_harden.Pass.prog

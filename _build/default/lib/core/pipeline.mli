@@ -1,0 +1,43 @@
+(** The two-phase PIBE pipeline (paper §4).
+
+    Phase 1 runs a profiling image of the program under a representative
+    workload, collecting edge counts at the binary level and lifting them
+    back to IR identities.  Phase 2 copies the lifted profile, runs the
+    configured optimization passes (ICP first, then the inliner — each
+    validated), and hardens every remaining indirect branch. *)
+
+open Pibe_ir
+
+type built = {
+  image : Pibe_harden.Pass.image;
+  config : Config.t;
+  icp_stats : Pibe_opt.Icp.stats option;
+  inline_stats : Pibe_opt.Inliner.stats option;
+  llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
+  post_icp_profile : Pibe_profile.Profile.t;
+      (** the profile as mutated by ICP (promoted sites are direct now) *)
+}
+
+val profile :
+  Program.t -> run:(Pibe_cpu.Engine.t -> unit) -> Pibe_profile.Profile.t
+(** Phase 1: build the profiling engine (edge hook -> LBR -> collector),
+    run the workload, lift. *)
+
+val copy_profile : Pibe_profile.Profile.t -> Pibe_profile.Profile.t
+
+val optimize :
+  Program.t ->
+  Pibe_profile.Profile.t ->
+  Config.opt_level ->
+  Program.t
+  * Pibe_opt.Icp.stats option
+  * Pibe_opt.Inliner.stats option
+  * Pibe_opt.Llvm_inliner.stats option
+  * Pibe_profile.Profile.t
+(** Phase 2a.  The input profile is copied, never mutated. *)
+
+val build : Program.t -> Pibe_profile.Profile.t -> Config.t -> built
+(** Phase 2: optimize then harden; the result validates. *)
+
+val engine : ?base:Pibe_cpu.Engine.config -> built -> Pibe_cpu.Engine.t
+(** A fresh machine running this image. *)

@@ -1,0 +1,26 @@
+(** Artifact-style reproduction report (paper appendix A.6).
+
+    The original artifact's [generate_tables.sh] renders a
+    [reproduced.pdf] that shows, per section, the results obtained on the
+    test machine next to the numbers published in the paper.  This module
+    does the same as markdown: it runs the headline experiments against an
+    environment and emits each measured table beside the corresponding
+    published figures (embedded here as reference data), with a one-line
+    verdict on whether the paper's trend reproduces. *)
+
+val paper_table6 : (string * float * float) list
+(** Published Table 6 rows: (defense, LTO %, PIBE %). *)
+
+val paper_table5_geomeans : (string * float) list
+(** Published Table 5 geometric means per optimization level. *)
+
+val paper_table3_geomeans : (string * float) list
+(** Published Table 3 geometric means per configuration. *)
+
+val paper_macro_all_defenses : (string * float * float) list
+(** Published Table 7 all-defenses rows: (benchmark, no-opt %, PIBE %). *)
+
+val generate : Env.t -> string
+(** The full markdown report. *)
+
+val write_file : Env.t -> path:string -> unit

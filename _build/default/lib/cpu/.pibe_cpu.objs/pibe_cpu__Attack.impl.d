@@ -1,0 +1,1 @@
+lib/cpu/attack.ml: Array Btb Engine List Pibe_ir Speculation String

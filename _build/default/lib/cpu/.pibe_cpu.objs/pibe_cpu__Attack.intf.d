@@ -1,0 +1,1 @@
+lib/cpu/attack.mli: Engine Speculation

@@ -1,0 +1,1 @@
+lib/cpu/cost.ml: Pibe_ir Protection

@@ -1,0 +1,1 @@
+lib/cpu/cost.mli: Pibe_ir

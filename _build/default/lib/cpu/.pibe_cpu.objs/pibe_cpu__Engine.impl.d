@@ -1,0 +1,1 @@
+lib/cpu/engine.ml: Array Btb Cost Float Func Hashtbl Icache Layout List Option Pht Pibe_ir Printf Program Protection Rsb Speculation String Types

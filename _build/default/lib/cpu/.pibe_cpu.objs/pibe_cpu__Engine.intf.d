@@ -1,0 +1,1 @@
+lib/cpu/engine.mli: Btb Icache Pht Pibe_ir Program Protection Rsb Speculation Types

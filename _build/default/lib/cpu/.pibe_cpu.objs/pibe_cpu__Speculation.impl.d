@@ -1,0 +1,1 @@
+lib/cpu/speculation.ml: Hashtbl List

@@ -1,0 +1,52 @@
+type outcome = {
+  gadget_reached : bool;
+  transient_entries : Speculation.event list;
+}
+
+let spec_exn engine =
+  match Engine.speculation engine with
+  | Some s -> s
+  | None -> invalid_arg "Attack: engine lacks speculation drill state"
+
+let run_and_collect engine s ~mechanism ~gadget ~entry ~args =
+  Speculation.clear_events s;
+  ignore (Engine.call engine entry args);
+  let events =
+    List.filter (fun e -> e.Speculation.mechanism = mechanism) (Speculation.events s)
+  in
+  let gadget_reached =
+    List.exists (fun e -> String.equal e.Speculation.gadget gadget) events
+  in
+  { gadget_reached; transient_entries = events }
+
+let spectre_v2 engine ~victim_site ~gadget ~entry ~args =
+  let s = spec_exn engine in
+  Btb.train (Engine.btb engine) ~site:victim_site ~target:gadget;
+  run_and_collect engine s ~mechanism:Speculation.Spectre_v2 ~gadget ~entry ~args
+
+let ret2spec engine ~scenario ~gadget ~entry ~args =
+  let s = spec_exn engine in
+  (* Arm a one-shot desynchronization (any of the paper's five pollution
+     techniques); the victim's first unprotected return consumes it. *)
+  Speculation.inject_rsb s ~scenario ~gadget;
+  run_and_collect engine s ~mechanism:Speculation.Ret2spec ~gadget ~entry ~args
+
+let lvi engine ~poisoned_addr ~injected_fptr ~entry ~args =
+  let s = spec_exn engine in
+  Speculation.inject_load s ~addr:poisoned_addr ~value:injected_fptr;
+  let table = (Engine.program engine).Pibe_ir.Program.fptr_table in
+  let gadget =
+    if injected_fptr >= 0 && injected_fptr < Array.length table then table.(injected_fptr)
+    else "#fault"
+  in
+  run_and_collect engine s ~mechanism:Speculation.Lvi ~gadget ~entry ~args
+
+let run_all engine ~victim_site ~poisoned_addr ~gadget_fptr ~gadget ~entry ~args =
+  [
+    ( Speculation.mechanism_name Speculation.Spectre_v2,
+      spectre_v2 engine ~victim_site ~gadget ~entry ~args );
+    ( Speculation.mechanism_name Speculation.Ret2spec,
+      ret2spec engine ~scenario:Speculation.User_pollution ~gadget ~entry ~args );
+    ( Speculation.mechanism_name Speculation.Lvi,
+      lvi engine ~poisoned_addr ~injected_fptr:gadget_fptr ~entry ~args );
+  ]

@@ -1,0 +1,44 @@
+(** Transient control-flow hijacking drills (paper §2.2, §6, §8.6).
+
+    Each drill poisons one predictor, runs the victim entry point, and
+    reports whether the attacker-chosen gadget was transiently entered.
+    The engine must have been created with [speculation = Some _]. *)
+
+type outcome = {
+  gadget_reached : bool;  (** the planted gadget was transiently entered *)
+  transient_entries : Speculation.event list;
+      (** every attacker-visible transient entry observed during the run *)
+}
+
+val spectre_v2 :
+  Engine.t -> victim_site:int -> gadget:string -> entry:string -> args:int list -> outcome
+(** Trains the BTB slot of [victim_site] towards [gadget] (as an aliasing
+    attacker thread would), then runs [entry args]. *)
+
+val ret2spec :
+  Engine.t ->
+  scenario:Speculation.rsb_scenario ->
+  gadget:string ->
+  entry:string ->
+  args:int list ->
+  outcome
+(** Arms an RSB desynchronization towards [gadget] before the run.
+    [User_pollution] is defeated by entry-point RSB refilling;
+    [Cross_thread] is not (paper §6.4). *)
+
+val lvi :
+  Engine.t -> poisoned_addr:int -> injected_fptr:int -> entry:string -> args:int list -> outcome
+(** Marks loads from [poisoned_addr] (an ops-table cell) as
+    attacker-injectable with value [injected_fptr], then runs the
+    victim. *)
+
+val run_all :
+  Engine.t ->
+  victim_site:int ->
+  poisoned_addr:int ->
+  gadget_fptr:int ->
+  gadget:string ->
+  entry:string ->
+  args:int list ->
+  (string * outcome) list
+(** The three drills back to back; returns (mechanism name, outcome). *)

@@ -1,0 +1,36 @@
+type entry = {
+  mutable valid : bool;
+  mutable target : string;
+}
+
+type t = {
+  mask : int;
+  slots : entry array;
+}
+
+let create ?(entries = 1024) () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Btb.create: entries must be a positive power of two";
+  { mask = entries - 1; slots = Array.init entries (fun _ -> { valid = false; target = "" }) }
+
+let slot t site = t.slots.(site land t.mask)
+
+(* No tag: every site aliasing to the slot shares the prediction, which is
+   exactly the sharing Spectre V2 abuses. *)
+let predict t ~site =
+  let e = slot t site in
+  if e.valid then Some e.target else None
+
+let train t ~site ~target =
+  let e = slot t site in
+  e.valid <- true;
+  e.target <- target
+
+let flush t =
+  Array.iter
+    (fun e ->
+      e.valid <- false;
+      e.target <- "")
+    t.slots
+
+let aliases t a b = a land t.mask = b land t.mask

@@ -1,0 +1,23 @@
+(** Branch Target Buffer model.
+
+    A direct-mapped, untagged buffer indexed by the low bits of the
+    branch-site id (standing in for the branch address): distinct sites
+    that alias to one slot share its prediction — the property Spectre V2
+    exploits. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] defaults to 1024 and must be a power of two. *)
+
+val predict : t -> site:int -> string option
+(** Prediction for the branch at [site]; [None] on a cold slot. *)
+
+val train : t -> site:int -> target:string -> unit
+(** Records the resolved target (also how an attacker poisons aliased
+    entries). *)
+
+val flush : t -> unit
+
+val aliases : t -> int -> int -> bool
+(** Do two site ids map to the same entry? *)

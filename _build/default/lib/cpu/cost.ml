@@ -1,0 +1,48 @@
+open Pibe_ir
+
+let assign = 1
+let move = 0
+let binop = 1
+let load = 3
+let store = 1
+let observe = 1
+let jmp = 0
+let br = 1
+let direct_call = 1
+let ret_base = 1
+let switch_jump_table = 2
+let switch_ladder_step = 1
+let icall_predicted = 2
+let icall_mispredict_penalty = 14
+let br_mispredict_penalty = 9
+let ret_mispredict_penalty = 15
+let icp_check = 1
+
+(* Fixed sequence costs, chosen so the deltas over the predicted baseline
+   reproduce Table 1: retpoline +22 (~21), lvi fwd +11 (~9), fenced
+   retpoline +42; ret-retpoline +16, lvi ret +11, combined ret +32. *)
+let retpoline_cost = 24
+let lvi_forward_cost = 13
+let fenced_retpoline_cost = 44
+let ret_retpoline_cost = 17
+let lvi_ret_cost = 12
+let fenced_ret_retpoline_cost = 33
+
+let forward_cost (p : Protection.forward) ~btb_hit =
+  match p with
+  | Protection.F_none ->
+    if btb_hit then icall_predicted else icall_predicted + icall_mispredict_penalty
+  | Protection.F_retpoline -> retpoline_cost
+  | Protection.F_lvi -> lvi_forward_cost
+  | Protection.F_fenced_retpoline -> fenced_retpoline_cost
+
+let backward_cost (p : Protection.backward) ~rsb_hit =
+  match p with
+  | Protection.B_none -> if rsb_hit then ret_base else ret_base + ret_mispredict_penalty
+  | Protection.B_ret_retpoline -> ret_retpoline_cost
+  | Protection.B_lvi -> lvi_ret_cost
+  | Protection.B_fenced_ret_retpoline -> fenced_ret_retpoline_cost
+
+let icache_miss_base = 12
+let icache_miss_per_line = 2
+let icache_line_bytes = 64

@@ -1,0 +1,55 @@
+(** Central cycle-cost model.
+
+    The per-defense deltas are calibrated to the paper's Table 1
+    microbenchmarks on an i7-8700K (retpoline ~21 ticks over a predicted
+    indirect call, LVI forward ~9, LVI backward ~11, return retpoline ~16,
+    combined forward ~42 / backward ~32). *)
+
+val assign : int
+val move : int
+(** Register-to-register moves are eliminated by register renaming on
+    modern cores; unconditional jumps are free fallthroughs after block
+    layout.  Both cost 0, which is what makes inlining's glue code
+    (argument moves, continuation jumps) cheap — as it is in real
+    compiled code. *)
+
+val binop : int
+val load : int
+val store : int
+val observe : int
+val jmp : int
+val br : int
+val direct_call : int
+val ret_base : int
+
+val switch_jump_table : int
+val switch_ladder_step : int
+(** Per level of the balanced compare tree a lowered switch becomes
+    (total cost is logarithmic in the case count). *)
+
+val icall_predicted : int
+(** BTB hit. *)
+
+val icall_mispredict_penalty : int
+(** Added on a BTB miss. *)
+
+val br_mispredict_penalty : int
+(** Added when the PHT mispredicts a conditional branch. *)
+
+val ret_mispredict_penalty : int
+(** Added when the RSB disagrees (or has underflowed). *)
+
+val icp_check : int
+(** One promoted-target compare (the paper cites ~2 ticks). *)
+
+val forward_cost : Pibe_ir.Protection.forward -> btb_hit:bool -> int
+(** Full cost of an indirect call's transfer under the given protection.
+    Protected forms never consult the BTB, so [btb_hit] is ignored for
+    them. *)
+
+val backward_cost : Pibe_ir.Protection.backward -> rsb_hit:bool -> int
+(** Full cost of one return instruction. *)
+
+val icache_miss_base : int
+val icache_miss_per_line : int
+val icache_line_bytes : int

@@ -1,0 +1,421 @@
+open Pibe_ir
+open Types
+
+type edge_kind =
+  | Edge_direct
+  | Edge_indirect
+  | Edge_asm
+
+type edge_event = {
+  site : site;
+  caller : string;
+  callee : string;
+  kind : edge_kind;
+}
+
+type config = {
+  fwd_protection : site -> Protection.forward;
+  bwd_protection : string -> Protection.backward;
+  fwd_override : (site:site -> target:string -> int) option;
+  icache_bytes : int;
+  footprint : func -> int;
+  record_trace : bool;
+  on_edge : (edge_event -> unit) option;
+  on_exit : (string -> unit) option;
+  speculation : Speculation.t option;
+  fuel : int;
+  extra_call_cycles : int;
+  extra_icall_cycles : int;
+  extra_ret_cycles : int;
+  rsb_refill : bool;
+}
+
+let default_config =
+  {
+    fwd_protection = (fun _ -> Protection.F_none);
+    bwd_protection = (fun _ -> Protection.B_none);
+    fwd_override = None;
+    icache_bytes = 32 * 1024;
+    footprint = Layout.func_size;
+    record_trace = false;
+    on_edge = None;
+    on_exit = None;
+    speculation = None;
+    fuel = 100_000_000;
+    extra_call_cycles = 0;
+    extra_icall_cycles = 0;
+    extra_ret_cycles = 0;
+    rsb_refill = false;
+  }
+
+type counters = {
+  mutable calls : int;
+  mutable icalls : int;
+  mutable rets : int;
+  mutable insts : int;
+  mutable btb_misses : int;
+  mutable rsb_misses : int;
+  mutable pht_misses : int;
+  mutable stack_bytes : int;
+  mutable peak_stack_bytes : int;
+}
+
+type t = {
+  prog : Program.t;
+  funcs : (string, func) Hashtbl.t;
+  fptr_table : string array;
+  mem : int array;
+  tbtb : Btb.t;
+  trsb : Rsb.t;
+  tpht : Pht.t;
+  ticache : Icache.t;
+  branch_keys : (string, int) Hashtbl.t;  (* function -> PHT key base *)
+  footprints : (string, int) Hashtbl.t;  (* memoized config.footprint *)
+  cfg : config;
+  ctrs : counters;
+  mutable cyc : int;
+  mutable steps : int;
+  mutable trace_rev : int list;
+}
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+let create ?(config = default_config) prog =
+  let funcs = Hashtbl.create 1024 in
+  Program.iter_funcs prog (fun f -> Hashtbl.replace funcs f.fname f);
+  {
+    prog;
+    funcs;
+    fptr_table = prog.Program.fptr_table;
+    mem = Program.initial_memory prog;
+    tbtb = Btb.create ();
+    trsb = Rsb.create ();
+    tpht = Pht.create ();
+    ticache = Icache.create ~capacity_bytes:config.icache_bytes;
+    branch_keys = Hashtbl.create 1024;
+    footprints = Hashtbl.create 1024;
+    cfg = config;
+    ctrs =
+      {
+        calls = 0;
+        icalls = 0;
+        rets = 0;
+        insts = 0;
+        btb_misses = 0;
+        rsb_misses = 0;
+        pht_misses = 0;
+        stack_bytes = 0;
+        peak_stack_bytes = 0;
+      };
+    cyc = 0;
+    steps = 0;
+    trace_rev = [];
+  }
+
+let footprint_of t f =
+  match Hashtbl.find_opt t.footprints f.fname with
+  | Some s -> s
+  | None ->
+    let s = t.cfg.footprint f in
+    Hashtbl.replace t.footprints f.fname s;
+    s
+
+let branch_key_base t name =
+  match Hashtbl.find_opt t.branch_keys name with
+  | Some k -> k
+  | None ->
+    let k = Hashtbl.hash name * 613 in
+    Hashtbl.replace t.branch_keys name k;
+    k
+
+let lookup_func t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> f
+  | None -> raise (Runtime_error ("call to unknown function @" ^ name))
+
+let operand_value regs = function
+  | Imm i -> i
+  | Reg r -> regs.(r)
+
+(* Taint: the attacker-injectable transient value of each register, used
+   only when a speculation drill is active. *)
+let operand_taint taint = function
+  | Imm _ -> None
+  | Reg r -> taint.(r)
+
+let resolve_fptr t v =
+  if v < 0 || v >= Array.length t.fptr_table then
+    raise
+      (Runtime_error
+         (Printf.sprintf "wild indirect call: fptr value %d outside table of %d" v
+            (Array.length t.fptr_table)))
+  else t.fptr_table.(v)
+
+let emit_edge t site caller callee kind =
+  match t.cfg.on_edge with
+  | None -> ()
+  | Some f -> f { site; caller; callee; kind }
+
+let charge t c = t.cyc <- t.cyc + c
+
+let enter_code t callee =
+  charge t (Icache.touch t.ticache ~name:callee.fname ~size:(footprint_of t callee))
+
+(* Forward transfer through an indirect call site: prediction, cost,
+   training, speculation drill.  Returns unit; the caller then executes
+   the resolved target. *)
+let indirect_transfer t ~site ~target ~fptr_taint ~protection =
+  let spec = t.cfg.speculation in
+  (match protection with
+  | Protection.F_none ->
+    let predicted = Btb.predict t.tbtb ~site:site.site_id in
+    let hit = match predicted with Some p -> String.equal p target | None -> false in
+    if not hit then t.ctrs.btb_misses <- t.ctrs.btb_misses + 1;
+    charge t (Cost.forward_cost protection ~btb_hit:hit);
+    (* The resolved branch retrains its slot. *)
+    Btb.train t.tbtb ~site:site.site_id ~target;
+    (match (spec, predicted) with
+    | Some s, Some p when not (String.equal p target) ->
+      Speculation.record s
+        { Speculation.mechanism = Speculation.Spectre_v2; site_id = site.site_id; gadget = p }
+    | _ -> ())
+  | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
+    charge t (Cost.forward_cost protection ~btb_hit:false);
+    (* Retpolines never execute a BTB-predicted branch; the LVI thunk
+       still does, so V2 injection remains possible through it. *)
+    if not (Protection.forward_stops_btb_injection protection) then begin
+      let predicted = Btb.predict t.tbtb ~site:site.site_id in
+      Btb.train t.tbtb ~site:site.site_id ~target;
+      match (spec, predicted) with
+      | Some s, Some p when not (String.equal p target) ->
+        Speculation.record s
+          {
+            Speculation.mechanism = Speculation.Spectre_v2;
+            site_id = site.site_id;
+            gadget = p;
+          }
+      | _ -> ()
+    end);
+  (* LVI: a poisoned branch-target load lets the attacker steer the
+     transient call unless the sequence fences the load. *)
+  match (spec, fptr_taint) with
+  | Some s, Some injected when not (Protection.forward_stops_lvi protection) ->
+    let gadget =
+      if injected >= 0 && injected < Array.length t.fptr_table then t.fptr_table.(injected)
+      else "#fault"
+    in
+    Speculation.record s
+      { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
+  | _ -> ()
+
+let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option =
+  (* Frame accounting with a stack-coloring model: inlined callees'
+     locals have disjoint lifetimes, so the allocator merges most of
+     their slots.  Sub-linear growth in the register count approximates
+     that; coloring degrades as merged frames grow, which is exactly the
+     inefficiency paper Rule 2 exists to bound (section 5.2). *)
+  let frame_bytes = 16 + (8 * int_of_float (Float.of_int f.nregs ** 0.6)) in
+  t.ctrs.stack_bytes <- t.ctrs.stack_bytes + frame_bytes;
+  if t.ctrs.stack_bytes > t.ctrs.peak_stack_bytes then
+    t.ctrs.peak_stack_bytes <- t.ctrs.stack_bytes;
+  let regs = Array.make (max f.nregs 1) 0 in
+  List.iteri (fun i v -> if i < f.params then regs.(i) <- v) args;
+  let spec_on = t.cfg.speculation <> None in
+  let taint = if spec_on then Array.make (max f.nregs 1) None else [||] in
+  let eval_expr e =
+    match e with
+    | Const i -> i
+    | Move o -> operand_value regs o
+    | Binop (op, a, b) -> eval_binop op (operand_value regs a) (operand_value regs b)
+    | Load a ->
+      let addr = operand_value regs a in
+      if addr < 0 || addr >= Array.length t.mem then
+        raise (Runtime_error (Printf.sprintf "load out of bounds: %d in %s" addr f.fname))
+      else t.mem.(addr)
+  in
+  let taint_of_expr e =
+    match e with
+    | Const _ -> None
+    | Move o -> operand_taint taint o
+    | Binop _ -> None
+    | Load a -> (
+      match t.cfg.speculation with
+      | None -> None
+      | Some s -> Speculation.injected_load s ~addr:(operand_value regs a))
+  in
+  let do_call ~dst ~callee ~args:actuals ~site =
+    t.ctrs.calls <- t.ctrs.calls + 1;
+    charge t (Cost.direct_call + t.cfg.extra_call_cycles);
+    emit_edge t site f.fname callee Edge_direct;
+    let callee_f = lookup_func t callee in
+    enter_code t callee_f;
+    Rsb.push t.trsb f.fname;
+    let result = exec_func t callee_f (List.map (operand_value regs) actuals) ~ret_to:f.fname in
+    (match (dst, result) with
+    | Some r, Some v -> regs.(r) <- v
+    | Some r, None -> regs.(r) <- 0
+    | None, _ -> ());
+    match dst with
+    | Some r when spec_on -> taint.(r) <- None
+    | _ -> ()
+  in
+  let do_icall ~dst ~fptr ~args:actuals ~site ~asm =
+    t.ctrs.icalls <- t.ctrs.icalls + 1;
+    charge t t.cfg.extra_icall_cycles;
+    let v = operand_value regs fptr in
+    let target = resolve_fptr t v in
+    let fptr_taint = if spec_on then operand_taint taint fptr else None in
+    (match t.cfg.fwd_override with
+    | Some hook when not asm -> charge t (hook ~site ~target)
+    | Some _ | None ->
+      let protection = if asm then Protection.F_none else t.cfg.fwd_protection site in
+      indirect_transfer t ~site ~target ~fptr_taint ~protection);
+    emit_edge t site f.fname target (if asm then Edge_asm else Edge_indirect);
+    let callee_f = lookup_func t target in
+    enter_code t callee_f;
+    Rsb.push t.trsb f.fname;
+    let result = exec_func t callee_f (List.map (operand_value regs) actuals) ~ret_to:f.fname in
+    (match (dst, result) with
+    | Some r, Some v -> regs.(r) <- v
+    | Some r, None -> regs.(r) <- 0
+    | None, _ -> ());
+    match dst with
+    | Some r when spec_on -> taint.(r) <- None
+    | _ -> ()
+  in
+  let exec_inst i =
+    t.ctrs.insts <- t.ctrs.insts + 1;
+    t.steps <- t.steps + 1;
+    if t.steps > t.cfg.fuel then raise Out_of_fuel;
+    match i with
+    | Assign (r, e) ->
+      let cost =
+        match e with
+        | Load _ -> Cost.load
+        | Binop _ -> Cost.binop
+        | Const _ -> Cost.assign
+        | Move _ -> Cost.move
+      in
+      charge t cost;
+      (if spec_on then taint.(r) <- taint_of_expr e);
+      regs.(r) <- eval_expr e
+    | Store (a, v) ->
+      charge t Cost.store;
+      let addr = operand_value regs a in
+      if addr < 0 || addr >= Array.length t.mem then
+        raise (Runtime_error (Printf.sprintf "store out of bounds: %d in %s" addr f.fname))
+      else t.mem.(addr) <- operand_value regs v
+    | Observe v ->
+      charge t Cost.observe;
+      if t.cfg.record_trace then t.trace_rev <- operand_value regs v :: t.trace_rev
+    | Call { dst; callee; args; site; tail = _ } -> do_call ~dst ~callee ~args ~site
+    | Icall { dst; fptr; args; site } -> do_icall ~dst ~fptr ~args ~site ~asm:false
+    | Asm_icall { fptr; site } -> do_icall ~dst:None ~fptr ~args:[] ~site ~asm:true
+  in
+  let do_ret v =
+    t.ctrs.rets <- t.ctrs.rets + 1;
+    charge t t.cfg.extra_ret_cycles;
+    let protection = t.cfg.bwd_protection f.fname in
+    (match protection with
+    | Protection.B_none | Protection.B_lvi ->
+      let popped = Rsb.pop t.trsb in
+      let hit = match popped with Some p -> String.equal p ret_to | None -> false in
+      if not hit then t.ctrs.rsb_misses <- t.ctrs.rsb_misses + 1;
+      charge t (Cost.backward_cost protection ~rsb_hit:hit);
+      (match t.cfg.speculation with
+      | Some s when not (Protection.backward_stops_rsb_poisoning protection) -> (
+        (* An armed desynchronization means this return's prediction is
+           attacker-controlled. *)
+        (match Speculation.take_rsb_desync s with
+        | Some gadget ->
+          Speculation.record s
+            { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
+        | None -> ());
+        match popped with
+        | Some p when not (String.equal p ret_to) ->
+          Speculation.record s
+            { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget = p }
+        | Some _ | None -> ())
+      | _ -> ())
+    | Protection.B_ret_retpoline | Protection.B_fenced_ret_retpoline ->
+      (* The sequence forces the top-of-RSB into a known state; the stale
+         entry is consumed without being followed. *)
+      ignore (Rsb.pop t.trsb);
+      charge t (Cost.backward_cost protection ~rsb_hit:false));
+    t.ctrs.stack_bytes <- t.ctrs.stack_bytes - frame_bytes;
+    (match t.cfg.on_exit with
+    | Some h -> h f.fname
+    | None -> ());
+    v
+  in
+  let rec run_block label =
+    let b = Func.block f label in
+    Array.iter exec_inst b.insts;
+    t.steps <- t.steps + 1;
+    if t.steps > t.cfg.fuel then raise Out_of_fuel;
+    match b.term with
+    | Jmp l ->
+      charge t Cost.jmp;
+      run_block l
+    | Br (c, l1, l2) ->
+      charge t Cost.br;
+      let taken = operand_value regs c <> 0 in
+      let key = branch_key_base t f.fname + label in
+      if Pht.predict t.tpht ~key <> taken then begin
+        t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
+        charge t Cost.br_mispredict_penalty
+      end;
+      Pht.train t.tpht ~key ~taken;
+      run_block (if taken then l1 else l2)
+    | Switch { scrutinee; cases; default; lowering } ->
+      let v = operand_value regs scrutinee in
+      let rec find i =
+        if i >= Array.length cases then (default, Array.length cases)
+        else
+          let case_v, l = cases.(i) in
+          if case_v = v then (l, i + 1) else find (i + 1)
+      in
+      let target, _position = find 0 in
+      (match lowering with
+      | Jump_table -> charge t Cost.switch_jump_table
+      | Branch_ladder ->
+        (* compilers lower large switches as balanced compare trees *)
+        let n = Array.length cases in
+        let depth =
+          let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+          1 + log2 0 (n + 1)
+        in
+        charge t (Cost.br + (Cost.switch_ladder_step * depth)));
+      run_block target
+    | Ret v -> do_ret (Option.map (operand_value regs) v)
+  in
+  run_block f.entry
+
+let call t name args =
+  let f = lookup_func t name in
+  if t.cfg.rsb_refill then begin
+    (* stuffing: 16 dummy pushes at the entry point *)
+    charge t 12;
+    Rsb.flush t.trsb;
+    (match t.cfg.speculation with
+    | Some s -> Speculation.clear_user_rsb_desync s
+    | None -> ())
+  end;
+  enter_code t f;
+  Rsb.push t.trsb "#top";
+  exec_func t f args ~ret_to:"#top"
+
+let speculation t = t.cfg.speculation
+
+let cycles t = t.cyc
+let reset_cycles t = t.cyc <- 0
+let counters t = t.ctrs
+let trace t = List.rev t.trace_rev
+let clear_trace t = t.trace_rev <- []
+let memory t = t.mem
+let btb t = t.tbtb
+let rsb t = t.trsb
+let pht t = t.tpht
+let icache t = t.ticache
+let program t = t.prog

@@ -1,0 +1,105 @@
+(** The execution engine: an IR interpreter with cycle accounting.
+
+    One engine instance models one machine: global memory, BTB, RSB and
+    instruction cache persist across top-level calls, exactly like kernel
+    state persists across syscalls.  Costs follow {!Cost}; indirect-branch
+    costs depend on the protection looked up through the configuration
+    (supplied by the hardening pass's image, or all-[none] by default).
+
+    The engine doubles as
+    - the {e profiling binary}: [on_edge] observes every resolved call
+      edge (the simulated LBR feed), and
+    - the {e attack testbed}: with [speculation] set, attacker-visible
+      transient entries are recorded at unprotected indirect branches. *)
+
+open Pibe_ir
+
+type edge_kind =
+  | Edge_direct
+  | Edge_indirect
+  | Edge_asm
+
+type edge_event = {
+  site : Types.site;
+  caller : string;
+  callee : string;
+  kind : edge_kind;
+}
+
+type config = {
+  fwd_protection : Types.site -> Protection.forward;
+  bwd_protection : string -> Protection.backward;
+  fwd_override : (site:Types.site -> target:string -> int) option;
+      (** When set, indirect-call transfer cycles come from this hook
+          instead of the protection/BTB machinery — used by stateful
+          comparators such as the JumpSwitches model, which patch call
+          sites at runtime. *)
+  icache_bytes : int;  (** 0 disables the i-cache model *)
+  footprint : Types.func -> int;  (** code footprint used by the i-cache *)
+  record_trace : bool;
+  on_edge : (edge_event -> unit) option;
+  on_exit : (string -> unit) option;
+      (** called when a function activation returns (profiler support;
+          pairs with the entry visible through [on_edge]) *)
+  speculation : Speculation.t option;
+  fuel : int;  (** interpreter step budget; guards against runaway code *)
+  extra_call_cycles : int;
+      (** flat per-direct-call surcharge (models stackprotector/safestack
+          prologue work in Table 1's non-transient rows) *)
+  extra_icall_cycles : int;  (** per-indirect-call surcharge (LLVM-CFI check) *)
+  extra_ret_cycles : int;  (** per-return surcharge (canary check) *)
+  rsb_refill : bool;
+      (** stuff the RSB on every kernel entry (the ad-hoc Ret2spec
+          mitigation of paper §6.4): clears user-planted desyncs — and
+          only those — at a small fixed entry cost *)
+}
+
+val default_config : config
+(** No protection, 32 KiB i-cache, [Layout.func_size] footprints, no trace,
+    no hooks, fuel of 100 million steps. *)
+
+type counters = {
+  mutable calls : int;
+  mutable icalls : int;
+  mutable rets : int;
+  mutable insts : int;
+  mutable btb_misses : int;
+  mutable rsb_misses : int;
+  mutable pht_misses : int;
+  mutable stack_bytes : int;  (** current stack footprint (frames * regs) *)
+  mutable peak_stack_bytes : int;
+}
+
+type t
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+val create : ?config:config -> Program.t -> t
+
+val call : t -> string -> int list -> int option
+(** [call t fname args] runs the function to completion and returns its
+    return value.  Raises [Runtime_error] on wild indirect calls or
+    unknown functions; [Out_of_fuel] when the step budget is exhausted. *)
+
+val cycles : t -> int
+(** Accumulated simulated cycles since creation (or the last
+    [reset_cycles]). *)
+
+val reset_cycles : t -> unit
+val counters : t -> counters
+val trace : t -> int list
+(** Observed values in program order (empty unless [record_trace]). *)
+
+val clear_trace : t -> unit
+val memory : t -> int array
+(** The live global memory (mutable; workloads flip dispatch cells here). *)
+
+val btb : t -> Btb.t
+val rsb : t -> Rsb.t
+val pht : t -> Pht.t
+val icache : t -> Icache.t
+val program : t -> Program.t
+
+val speculation : t -> Speculation.t option
+(** The drill state this engine was configured with, if any. *)

@@ -1,0 +1,72 @@
+type t = {
+  capacity : int;
+  table : (string, int) Hashtbl.t;  (* name -> last-use stamp *)
+  sizes : (string, int) Hashtbl.t;
+  mutable used : int;
+  mutable clock : int;
+  mutable misses : int;
+  mutable hits : int;
+}
+
+let create ~capacity_bytes =
+  {
+    capacity = capacity_bytes;
+    table = Hashtbl.create 256;
+    sizes = Hashtbl.create 256;
+    used = 0;
+    clock = 0;
+    misses = 0;
+    hits = 0;
+  }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun name stamp ->
+      match !victim with
+      | Some (_, s) when s <= stamp -> ()
+      | _ -> victim := Some (name, stamp))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (name, _) ->
+    t.used <- t.used - Hashtbl.find t.sizes name;
+    Hashtbl.remove t.table name;
+    Hashtbl.remove t.sizes name
+
+let touch t ~name ~size =
+  if t.capacity <= 0 then 0
+  else begin
+    t.clock <- t.clock + 1;
+    if Hashtbl.mem t.table name then begin
+      Hashtbl.replace t.table name t.clock;
+      t.hits <- t.hits + 1;
+      0
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* One invocation touches the lines on its own path, not the whole
+         body: a large (inlined) function occupies at most 8 KiB of the
+         cache, and the demand-fetched head that stalls the front-end is
+         at most 1 KiB. *)
+      let footprint = min (min size 8192) t.capacity in
+      while t.used + footprint > t.capacity && Hashtbl.length t.table > 0 do
+        evict_lru t
+      done;
+      Hashtbl.replace t.table name t.clock;
+      Hashtbl.replace t.sizes name footprint;
+      t.used <- t.used + footprint;
+      let fetched = min footprint 1024 in
+      Cost.icache_miss_base + (fetched / Cost.icache_line_bytes * Cost.icache_miss_per_line)
+    end
+  end
+
+let resident t name = Hashtbl.mem t.table name
+
+let flush t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.sizes;
+  t.used <- 0
+
+let miss_count t = t.misses
+let hit_count t = t.hits

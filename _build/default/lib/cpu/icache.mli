@@ -1,0 +1,22 @@
+(** Instruction-cache pressure model.
+
+    Function-granular LRU over a byte budget: transferring control into a
+    function that is not resident charges a miss penalty proportional to
+    its footprint (capped at one page) and evicts least-recently-used
+    residents until it fits.  This is the mechanism that makes unbounded
+    inlining lose — exactly the trade-off PIBE's Rules 2 and 3 manage
+    (paper §5.2). *)
+
+type t
+
+val create : capacity_bytes:int -> t
+(** Zero or negative capacity disables the model (all hits). *)
+
+val touch : t -> name:string -> size:int -> int
+(** Control transfer into [name] with code footprint [size] bytes; returns
+    the cycle penalty (0 on a hit). *)
+
+val resident : t -> string -> bool
+val flush : t -> unit
+val miss_count : t -> int
+val hit_count : t -> int

@@ -1,0 +1,21 @@
+type t = {
+  mask : int;
+  counters : Bytes.t;  (* 0-3: strongly/weakly not-taken, weakly/strongly taken *)
+}
+
+let create ?(entries = 4096) () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Pht.create: entries must be a positive power of two";
+  { mask = entries - 1; counters = Bytes.make entries '\001' }
+
+let slot t key = key land t.mask
+
+let predict t ~key = Bytes.get_uint8 t.counters (slot t key) >= 2
+
+let train t ~key ~taken =
+  let i = slot t key in
+  let c = Bytes.get_uint8 t.counters i in
+  let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set_uint8 t.counters i c'
+
+let flush t = Bytes.fill t.counters 0 (Bytes.length t.counters) '\001'

@@ -1,0 +1,23 @@
+(** Pattern History Table: 2-bit saturating counters predicting
+    conditional-branch direction (the predictor Spectre V1 poisons,
+    paper §2.2/§6.1).
+
+    The engine charges a misprediction penalty when the predicted
+    direction disagrees with the resolved one.  PIBE's threat model
+    excludes V1 (static analysis handles it, §3), so there is no V1
+    drill — the PHT exists for timing fidelity: cold/alternating branches
+    cost more than well-trained ones. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] defaults to 4096, must be a power of two.  Counters start
+    weakly not-taken. *)
+
+val predict : t -> key:int -> bool
+(** Predicted direction for the branch identified by [key]. *)
+
+val train : t -> key:int -> taken:bool -> unit
+(** Saturating update with the resolved direction. *)
+
+val flush : t -> unit

@@ -1,0 +1,34 @@
+type t = {
+  ring : string array;
+  size : int;
+  mutable top : int;  (* next free slot *)
+  mutable live : int;  (* valid entries, <= size *)
+}
+
+let create ?(depth = 16) () =
+  if depth <= 0 then invalid_arg "Rsb.create: depth must be positive";
+  { ring = Array.make depth ""; size = depth; top = 0; live = 0 }
+
+let push t v =
+  t.ring.(t.top) <- v;
+  t.top <- (t.top + 1) mod t.size;
+  if t.live < t.size then t.live <- t.live + 1
+
+let pop t =
+  if t.live = 0 then None
+  else begin
+    t.top <- (t.top + t.size - 1) mod t.size;
+    t.live <- t.live - 1;
+    Some t.ring.(t.top)
+  end
+
+let poison t v =
+  if t.live = 0 then push t v
+  else t.ring.((t.top + t.size - 1) mod t.size) <- v
+
+let depth t = t.size
+let occupancy t = t.live
+
+let flush t =
+  t.top <- 0;
+  t.live <- 0

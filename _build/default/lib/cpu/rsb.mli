@@ -1,0 +1,26 @@
+(** Return Stack Buffer model: a fixed-depth (default 16, as on the
+    paper's Skylake testbed) circular stack of predicted return
+    destinations.
+
+    Over-deep call chains wrap around and lose the oldest entries, so the
+    unwind mispredicts once it passes the buffer depth — one of the costs
+    profile-guided inlining happens to reduce.  [poison] overwrites the
+    top entry, modelling Ret2spec-style pollution. *)
+
+type t
+
+val create : ?depth:int -> unit -> t
+
+val push : t -> string -> unit
+(** Called on every call instruction with the return continuation. *)
+
+val pop : t -> string option
+(** Called on every return; [None] on underflow. *)
+
+val poison : t -> string -> unit
+(** Overwrites the current top (no-op semantics on an empty buffer: the
+    entry becomes the next pop). *)
+
+val depth : t -> int
+val occupancy : t -> int
+val flush : t -> unit

@@ -1,0 +1,46 @@
+type mechanism =
+  | Spectre_v2
+  | Ret2spec
+  | Lvi
+
+type event = {
+  mechanism : mechanism;
+  site_id : int;
+  gadget : string;
+}
+
+type rsb_scenario =
+  | User_pollution
+  | Cross_thread
+
+type t = {
+  lvi_loads : (int, int) Hashtbl.t;
+  mutable rsb_desync : (rsb_scenario * string) option;
+  mutable rev_events : event list;
+}
+
+let create () = { lvi_loads = Hashtbl.create 16; rsb_desync = None; rev_events = [] }
+
+let inject_rsb t ~scenario ~gadget = t.rsb_desync <- Some (scenario, gadget)
+
+let take_rsb_desync t =
+  match t.rsb_desync with
+  | None -> None
+  | Some (_, g) ->
+    t.rsb_desync <- None;
+    Some g
+
+let clear_user_rsb_desync t =
+  match t.rsb_desync with
+  | Some (User_pollution, _) -> t.rsb_desync <- None
+  | Some (Cross_thread, _) | None -> ()
+let inject_load t ~addr ~value = Hashtbl.replace t.lvi_loads addr value
+let injected_load t ~addr = Hashtbl.find_opt t.lvi_loads addr
+let record t e = t.rev_events <- e :: t.rev_events
+let events t = List.rev t.rev_events
+let clear_events t = t.rev_events <- []
+
+let mechanism_name = function
+  | Spectre_v2 -> "spectre-v2"
+  | Ret2spec -> "ret2spec"
+  | Lvi -> "lvi"

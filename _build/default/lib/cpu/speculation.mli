@@ -1,0 +1,53 @@
+(** Shared state for transient-execution drills.
+
+    The attack modules plant injections here (and poison the engine's BTB /
+    RSB directly); the engine consults the state at every indirect branch
+    and records a {!event} whenever an attacker-controlled target would
+    have been transiently entered.  A defense works iff no event with its
+    mechanism is recorded for protected branches. *)
+
+type mechanism =
+  | Spectre_v2  (** BTB injection at an indirect call *)
+  | Ret2spec  (** RSB desynchronization at a return *)
+  | Lvi  (** load-value injection into a branch-target load *)
+
+type event = {
+  mechanism : mechanism;
+  site_id : int;  (** [-1] for returns *)
+  gadget : string;  (** the function transiently entered *)
+}
+
+type t
+
+val create : unit -> t
+
+val inject_load : t -> addr:int -> value:int -> unit
+(** LVI: loads from [addr] transiently observe [value] (a function-pointer
+    index) instead of the architectural value. *)
+
+val injected_load : t -> addr:int -> int option
+
+type rsb_scenario =
+  | User_pollution
+      (** entries planted from userspace before the kernel entry — the
+          scenario RSB refilling/stuffing at the entry point defeats *)
+  | Cross_thread
+      (** desynchronization arising inside the kernel (context-switch
+          reuse, speculative pollution, call/ret-breaking constructs) —
+          beyond refilling's reach, per paper §6.4 *)
+
+val inject_rsb : t -> scenario:rsb_scenario -> gadget:string -> unit
+(** Arms a one-shot RSB desynchronization.  The next unprotected return
+    consumes it and transiently enters the gadget. *)
+
+val take_rsb_desync : t -> string option
+val clear_user_rsb_desync : t -> unit
+(** Drops a pending [User_pollution] desynchronization (what refilling
+    the buffer at kernel entry achieves). *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** In occurrence order. *)
+
+val clear_events : t -> unit
+val mechanism_name : mechanism -> string

@@ -1,0 +1,1 @@
+lib/harden/audit.ml: Func List Pass Pibe_ir Program Protection Types

@@ -1,0 +1,1 @@
+lib/harden/audit.mli: Pass

@@ -1,0 +1,1 @@
+lib/harden/pass.ml: Func Hashtbl Layout List Option Pibe_cpu Pibe_ir Program Protection Thunks Types

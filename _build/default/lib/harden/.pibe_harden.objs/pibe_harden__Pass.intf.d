@@ -1,0 +1,1 @@
+lib/harden/pass.mli: Hashtbl Pibe_cpu Pibe_ir Program Protection Types

@@ -1,0 +1,1 @@
+lib/harden/thunks.ml: Pibe_ir Protection String

@@ -1,0 +1,1 @@
+lib/harden/thunks.mli: Pibe_ir Protection

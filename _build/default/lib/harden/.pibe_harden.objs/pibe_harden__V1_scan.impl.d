@@ -1,0 +1,1 @@
+lib/harden/v1_scan.ml: Array Func List Pibe_ir Program Types

@@ -1,0 +1,1 @@
+lib/harden/v1_scan.mli: Pibe_ir

@@ -1,0 +1,69 @@
+open Pibe_ir
+open Types
+
+type report = {
+  defended_icalls : int;
+  vulnerable_icalls : int;
+  asm_icalls : int;
+  vulnerable_ijumps : int;
+  defended_rets : int;
+  vulnerable_rets : int;
+  boot_only_rets : int;
+  asm_rets : int;
+}
+
+let run (image : Pass.image) =
+  let defended_icalls = ref 0 in
+  let vulnerable_icalls = ref 0 in
+  let asm_icalls = ref 0 in
+  let vulnerable_ijumps = ref 0 in
+  let defended_rets = ref 0 in
+  let vulnerable_rets = ref 0 in
+  let boot_only_rets = ref 0 in
+  let asm_rets = ref 0 in
+  Program.iter_funcs image.Pass.prog (fun f ->
+      List.iter
+        (fun (site : site) ->
+          if Pass.fwd_protection image site <> Protection.F_none then incr defended_icalls
+          else incr vulnerable_icalls)
+        (Func.icall_sites f);
+      (* Inline-assembly indirect calls are always unprotected. *)
+      List.iter
+        (fun _ ->
+          incr vulnerable_icalls;
+          incr asm_icalls)
+        (Func.asm_icall_sites f);
+      vulnerable_ijumps := !vulnerable_ijumps + Func.jump_table_count f;
+      let rets = Func.ret_count f in
+      if Pass.bwd_protection image f.fname <> Protection.B_none then
+        defended_rets := !defended_rets + rets
+      else begin
+        vulnerable_rets := !vulnerable_rets + rets;
+        if f.attrs.boot_only then boot_only_rets := !boot_only_rets + rets;
+        if f.attrs.is_asm then asm_rets := !asm_rets + rets
+      end);
+  {
+    defended_icalls = !defended_icalls;
+    vulnerable_icalls = !vulnerable_icalls;
+    asm_icalls = !asm_icalls;
+    vulnerable_ijumps = !vulnerable_ijumps;
+    defended_rets = !defended_rets;
+    vulnerable_rets = !vulnerable_rets;
+    boot_only_rets = !boot_only_rets;
+    asm_rets = !asm_rets;
+  }
+
+let fully_protected report ~against =
+  (* Forward edges: every vulnerable indirect call must be an untouchable
+     assembly site. *)
+  let fwd_ok =
+    (not (against.Pass.retpolines || against.Pass.lvi))
+    || report.vulnerable_icalls = report.asm_icalls
+  in
+  (* Backward edges: every bare return must belong to boot-only (or asm)
+     code. *)
+  let bwd_ok =
+    (not (against.Pass.ret_retpolines || against.Pass.lvi))
+    || report.vulnerable_rets <= report.boot_only_rets + report.asm_rets
+  in
+  fwd_ok && bwd_ok

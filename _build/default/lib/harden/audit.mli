@@ -1,0 +1,25 @@
+(** Static security audit of a hardened image (paper §8.6, Table 11).
+
+    Counts every forward and backward edge in the final binary and
+    classifies it as protected or vulnerable under the image's defense
+    set: indirect calls converted to the requested thunk, inline-assembly
+    indirect calls that no pass may touch (the para-virt layer), indirect
+    jumps left by jump tables, and return instructions. *)
+
+type report = {
+  defended_icalls : int;  (** converted to the configured thunk *)
+  vulnerable_icalls : int;  (** unprotected indirect calls (asm or missed) *)
+  asm_icalls : int;  (** the subset that is untouchable inline assembly *)
+  vulnerable_ijumps : int;  (** jump-table indirect jumps still present *)
+  defended_rets : int;
+  vulnerable_rets : int;  (** returns left bare *)
+  boot_only_rets : int;  (** subset of vulnerable returns that only run at boot *)
+  asm_rets : int;  (** subset of vulnerable returns inside assembly bodies *)
+}
+
+val run : Pass.image -> report
+
+val fully_protected : report -> against:Pass.defenses -> bool
+(** True when no attack enabled in [against] has a remaining non-asm
+    surface: no vulnerable non-boot returns when backward defenses are on,
+    etc.  Asm sites are reported but tolerated, as in the paper. *)

@@ -1,0 +1,127 @@
+open Pibe_ir
+open Types
+
+type defenses = {
+  retpolines : bool;
+  ret_retpolines : bool;
+  lvi : bool;
+}
+
+let no_defenses = { retpolines = false; ret_retpolines = false; lvi = false }
+let all_defenses = { retpolines = true; ret_retpolines = true; lvi = true }
+
+let defenses_name d =
+  match (d.retpolines, d.ret_retpolines, d.lvi) with
+  | false, false, false -> "none"
+  | true, false, false -> "retpolines"
+  | false, true, false -> "ret-retpolines"
+  | false, false, true -> "lvi-cfi"
+  | true, true, true -> "all-defenses"
+  | true, true, false -> "retpolines+ret-retpolines"
+  | true, false, true -> "retpolines+lvi"
+  | false, true, true -> "ret-retpolines+lvi"
+
+let forward_kind d =
+  match (d.retpolines, d.lvi) with
+  | true, true -> Protection.F_fenced_retpoline
+  | true, false -> Protection.F_retpoline
+  | false, true -> Protection.F_lvi
+  | false, false -> Protection.F_none
+
+let backward_kind d =
+  match (d.ret_retpolines, d.lvi) with
+  | true, true -> Protection.B_fenced_ret_retpoline
+  | true, false -> Protection.B_ret_retpoline
+  | false, true -> Protection.B_lvi
+  | false, false -> Protection.B_none
+
+type image = {
+  prog : Program.t;
+  defenses : defenses;
+  rsb_refill : bool;
+  fwd : (int, Protection.forward) Hashtbl.t;
+  bwd : (string, Protection.backward) Hashtbl.t;
+  thunk_bytes : int;
+  hardened_icall_sites : int;
+  hardened_ret_sites : int;
+}
+
+let any_defense d = d.retpolines || d.ret_retpolines || d.lvi
+
+let lower_jump_tables f =
+  Func.map_blocks f ~f:(fun _ b ->
+      match b.term with
+      | Switch ({ lowering = Jump_table; _ } as s) ->
+        { b with term = Switch { s with lowering = Branch_ladder } }
+      | Switch { lowering = Branch_ladder; _ } | Jmp _ | Br _ | Ret _ -> b)
+
+let harden ?(rsb_refill = false) prog defenses =
+  let fkind = forward_kind defenses in
+  let bkind = backward_kind defenses in
+  let fwd = Hashtbl.create 1024 in
+  let bwd = Hashtbl.create 1024 in
+  let hardened_icalls = ref 0 in
+  let hardened_rets = ref 0 in
+  let prog = ref prog in
+  (* Jump tables: disabled program-wide when any transient defense is on,
+     except inside opaque assembly bodies. *)
+  if any_defense defenses then
+    Program.iter_funcs !prog (fun f ->
+        if not f.attrs.is_asm then prog := Program.update_func !prog (lower_jump_tables f));
+  Program.iter_funcs !prog (fun f ->
+      if not f.attrs.is_asm then begin
+        (if fkind <> Protection.F_none then
+           List.iter
+             (fun (site : site) ->
+               Hashtbl.replace fwd site.site_id fkind;
+               incr hardened_icalls)
+             (Func.icall_sites f));
+        if bkind <> Protection.B_none && not f.attrs.boot_only then begin
+          let rets = Func.ret_count f in
+          if rets > 0 then begin
+            Hashtbl.replace bwd f.fname bkind;
+            hardened_rets := !hardened_rets + rets
+          end
+        end
+      end);
+  let thunk_bytes = Thunks.shared_thunk_bytes fkind in
+  {
+    prog = !prog;
+    defenses;
+    rsb_refill;
+    fwd;
+    bwd;
+    thunk_bytes;
+    hardened_icall_sites = !hardened_icalls;
+    hardened_ret_sites = !hardened_rets;
+  }
+
+let fwd_protection image (s : site) =
+  Option.value ~default:Protection.F_none (Hashtbl.find_opt image.fwd s.site_id)
+
+let bwd_protection image fname =
+  Option.value ~default:Protection.B_none (Hashtbl.find_opt image.bwd fname)
+
+let footprint image f =
+  let base = Layout.func_size f in
+  let fkind_bytes =
+    List.fold_left
+      (fun acc (site : site) ->
+        acc + Thunks.per_icall_bytes (fwd_protection image site))
+      0 (Func.icall_sites f)
+  in
+  let bkind = bwd_protection image f.fname in
+  base + fkind_bytes + (Func.ret_count f * Thunks.per_ret_bytes bkind)
+
+let image_bytes image =
+  Program.fold_funcs image.prog ~init:image.thunk_bytes ~f:(fun acc f ->
+      acc + footprint image f)
+
+let engine_config ?(base = Pibe_cpu.Engine.default_config) image =
+  {
+    base with
+    Pibe_cpu.Engine.fwd_protection = fwd_protection image;
+    bwd_protection = bwd_protection image;
+    footprint = footprint image;
+    rsb_refill = image.rsb_refill;
+  }

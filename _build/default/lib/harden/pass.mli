@@ -1,0 +1,60 @@
+(** The hardening pass (paper §4, §6): applies any combination of the
+    three transient defenses to every remaining indirect branch.
+
+    - Spectre V2 -> retpolines on indirect calls;
+    - LVI -> LFENCE'd thunks on indirect calls and fenced returns;
+    - Ret2spec -> return retpolines on every return instruction;
+    - both forward defenses together -> the combined fenced retpoline;
+    - any defense enabled -> jump tables are re-lowered as branch ladders
+      (LLVM's behaviour once retpolines/LVI are on).
+
+    Exemptions mirror the paper's findings (§8.6): inline-assembly
+    indirect calls (the para-virt layer) cannot be converted, functions
+    marked [is_asm] keep their jump tables, and [boot_only] functions do
+    not need backward-edge protection. *)
+
+open Pibe_ir
+
+type defenses = {
+  retpolines : bool;
+  ret_retpolines : bool;
+  lvi : bool;
+}
+
+val no_defenses : defenses
+val all_defenses : defenses
+val defenses_name : defenses -> string
+
+val forward_kind : defenses -> Protection.forward
+val backward_kind : defenses -> Protection.backward
+
+type image = {
+  prog : Program.t;
+  defenses : defenses;
+  rsb_refill : bool;
+  fwd : (int, Protection.forward) Hashtbl.t;  (** per protected icall site *)
+  bwd : (string, Protection.backward) Hashtbl.t;  (** per protected function *)
+  thunk_bytes : int;  (** shared out-of-line thunk code *)
+  hardened_icall_sites : int;
+  hardened_ret_sites : int;
+}
+
+val harden : ?rsb_refill:bool -> Program.t -> defenses -> image
+(** [rsb_refill] (default false) additionally stuffs the RSB at every
+    kernel entry — the cheap, partial Ret2spec mitigation deployed ad hoc
+    in real kernels (paper §6.4); it is orthogonal to the per-branch
+    defenses. *)
+
+val fwd_protection : image -> Types.site -> Protection.forward
+val bwd_protection : image -> string -> Protection.backward
+
+val footprint : image -> Types.func -> int
+(** Function code footprint including per-site hardening bytes, for the
+    engine's i-cache. *)
+
+val image_bytes : image -> int
+(** Total text bytes: all function footprints plus shared thunks. *)
+
+val engine_config : ?base:Pibe_cpu.Engine.config -> image -> Pibe_cpu.Engine.config
+(** An engine configuration wired to this image's protections and
+    footprints. *)

@@ -1,0 +1,58 @@
+open Pibe_ir
+
+let shared_thunk_bytes = function
+  | Protection.F_none -> 0
+  | Protection.F_retpoline -> 32 (* __llvm_retpoline_r11 *)
+  | Protection.F_lvi -> 16 (* __x86_indirect_thunk_r11 with lfence *)
+  | Protection.F_fenced_retpoline -> 48 (* retpoline + notq/notq/lfence tail *)
+
+let per_icall_bytes = function
+  | Protection.F_none -> 0
+  | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
+    5 (* mov %target,%r11 (3) + call thunk (5) replaces call *reg (3) *)
+
+let per_ret_bytes = function
+  | Protection.B_none -> 0
+  | Protection.B_lvi -> 3 (* lfence *)
+  | Protection.B_ret_retpoline -> 14 (* inlined call/pause/lfence/loop + stack fix *)
+  | Protection.B_fenced_ret_retpoline -> 19
+
+let listing = function
+  | `Retpoline ->
+    String.concat "\n"
+      [
+        "  call __llvm_retpoline_r11";
+        "__llvm_retpoline_r11:";
+        "  callq jump";
+        "loop: pause";
+        "  lfence";
+        "  jmp loop";
+        "  nopl 0x0(%rax)";
+        "jump: mov %r11, (%rsp)";
+        "  retq";
+      ]
+  | `Lvi_forward ->
+    String.concat "\n"
+      [
+        "  call __x86_indirect_thunk_r11";
+        "__x86_indirect_thunk_r11:";
+        "  lfence";
+        "  jmpq *%r11";
+      ]
+  | `Lvi_backward -> String.concat "\n" [ "  pop %rcx"; "  lfence"; "  jmpq *%rcx" ]
+  | `Fenced_retpoline ->
+    String.concat "\n"
+      [
+        "  call __llvm_retpoline_r11";
+        "__llvm_retpoline_r11:";
+        "  callq jump";
+        "loop: pause";
+        "  lfence";
+        "  jmp loop";
+        "  nopl 0x0(%rax)";
+        "jump: mov %r11, (%rsp)";
+        "  notq (%rsp)";
+        "  notq (%rsp)";
+        "  lfence";
+        "  retq";
+      ]

@@ -1,0 +1,23 @@
+(** Defense code sequences: byte-size accounting and the assembly listings
+    the paper shows (Listings 4-7).
+
+    Sizes feed the image-growth statistics (Table 12) and the i-cache
+    footprints used by the engine; listings feed documentation and the
+    [--listings] bench output. *)
+
+open Pibe_ir
+
+val shared_thunk_bytes : Protection.forward -> int
+(** One-time cost of the out-of-line thunk body a forward defense calls
+    into (0 for [F_none]). *)
+
+val per_icall_bytes : Protection.forward -> int
+(** Extra bytes at each protected indirect call site (register move +
+    thunk call vs. the bare [call *reg]). *)
+
+val per_ret_bytes : Protection.backward -> int
+(** Extra bytes for each return instruction (return retpolines are inlined
+    at the return site, per the paper §6.1). *)
+
+val listing : [ `Retpoline | `Lvi_forward | `Lvi_backward | `Fenced_retpoline ] -> string
+(** The corresponding assembly sequence, matching the paper's listings. *)

@@ -1,0 +1,113 @@
+open Pibe_ir
+open Types
+
+type gadget = {
+  gadget_func : string;
+  branch_block : label;
+  load_block : label;
+}
+
+type report = {
+  gadgets : gadget list;
+  conditional_branches : int;
+  functions_scanned : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Taint: parameters are attacker-influenced; propagation through       *)
+(* arithmetic and loads-from-tainted-addresses; call results are        *)
+(* treated as sanitized.  A whole-function fixpoint is sound here       *)
+(* because registers are function-scoped.                               *)
+(* ------------------------------------------------------------------ *)
+
+let taint_of f =
+  let tainted = Array.make (max f.nregs 1) false in
+  for i = 0 to f.params - 1 do
+    tainted.(i) <- true
+  done;
+  let operand_tainted = function
+    | Imm _ -> false
+    | Reg r -> tainted.(r)
+  in
+  let expr_tainted = function
+    | Const _ -> false
+    | Move o -> operand_tainted o
+    | Binop (_, a, b) -> operand_tainted a || operand_tainted b
+    | Load a -> operand_tainted a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Func.iter_insts f (fun _ i ->
+        match i with
+        | Assign (d, e) ->
+          if expr_tainted e && not tainted.(d) then begin
+            tainted.(d) <- true;
+            changed := true
+          end
+        | Store _ | Observe _ | Call _ | Icall _ | Asm_icall _ -> ())
+  done;
+  tainted
+
+(* A block transmits if it loads from a tainted address and then uses the
+   loaded value as (part of) another load's address — the dependent
+   double-fetch that encodes a secret into the cache. *)
+let block_transmits f tainted l =
+  let b = Func.block f l in
+  let secret = Array.make (max f.nregs 1) false in
+  let operand_secret = function
+    | Imm _ -> false
+    | Reg r -> secret.(r)
+  in
+  let operand_tainted = function
+    | Imm _ -> false
+    | Reg r -> tainted.(r)
+  in
+  let found = ref false in
+  Array.iter
+    (fun i ->
+      match i with
+      | Assign (d, Load a) ->
+        if operand_secret a then found := true;
+        secret.(d) <- operand_tainted a || operand_secret a
+      | Assign (d, Move o) -> secret.(d) <- operand_secret o
+      | Assign (d, Binop (_, a, b)) -> secret.(d) <- operand_secret a || operand_secret b
+      | Assign (d, Const _) -> secret.(d) <- false
+      | Call { dst = Some d; _ } | Icall { dst = Some d; _ } -> secret.(d) <- false
+      | Call { dst = None; _ } | Icall { dst = None; _ } | Asm_icall _ | Store _
+      | Observe _ -> ())
+    b.insts;
+  !found
+
+let scan_func f =
+  if f.attrs.is_asm then []
+  else begin
+    let tainted = taint_of f in
+    let gadgets = ref [] in
+    Array.iteri
+      (fun l b ->
+        match b.term with
+        | Br (Reg c, l1, l2) when tainted.(c) ->
+          (* either arm may be the predicted-in-bounds path *)
+          List.iter
+            (fun target ->
+              if block_transmits f tainted target then
+                gadgets :=
+                  { gadget_func = f.fname; branch_block = l; load_block = target }
+                  :: !gadgets)
+            (List.sort_uniq compare [ l1; l2 ])
+        | Br _ | Jmp _ | Switch _ | Ret _ -> ())
+      f.blocks;
+    List.rev !gadgets
+  end
+
+let scan prog =
+  let gadgets = ref [] in
+  let branches = ref 0 in
+  let funcs = ref 0 in
+  Program.iter_funcs prog (fun f ->
+      incr funcs;
+      Func.iter_terms f (fun _ t ->
+          match t with Br _ -> incr branches | Jmp _ | Switch _ | Ret _ -> ());
+      gadgets := List.rev_append (scan_func f) !gadgets);
+  { gadgets = List.rev !gadgets; conditional_branches = !branches; functions_scanned = !funcs }

@@ -1,0 +1,37 @@
+(** Static Spectre-V1 gadget scanner.
+
+    PIBE's threat model excludes V1 because "static analysis already
+    provides a practical solution for the kernel" (paper §3, citing the
+    smatch-based scanner).  This module supplies that missing piece: a
+    conservative intra-procedural taint analysis that flags the paper's
+    Listing-3 shape — a conditional branch on attacker-influenced data
+    guarding a dependent double load:
+
+    {v
+      if (index < size) {      // bounds check on tainted index
+        ptr = data[index];     // load at tainted address
+        value = *ptr;          // dependent second load => cache transmit
+      }
+    v}
+
+    Function parameters are the taint sources (syscall arguments); call
+    results are treated as sanitized.  Findings are candidates for an
+    LFENCE or index-masking fix, as in the kernel's [array_index_nospec]. *)
+
+type gadget = {
+  gadget_func : string;
+  branch_block : Pibe_ir.Types.label;  (** block ending in the tainted bounds check *)
+  load_block : Pibe_ir.Types.label;  (** block containing the dependent loads *)
+}
+
+val scan_func : Pibe_ir.Types.func -> gadget list
+
+type report = {
+  gadgets : gadget list;
+  conditional_branches : int;  (** total [Br] terminators scanned *)
+  functions_scanned : int;
+}
+
+val scan : Pibe_ir.Program.t -> report
+(** Whole-program scan (skips [is_asm] bodies, which the paper also
+    excludes from automatic instrumentation). *)

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array List Printf Types

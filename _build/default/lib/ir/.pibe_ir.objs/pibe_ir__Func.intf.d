@@ -1,0 +1,1 @@
+lib/ir/func.mli: Types

@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Hashtbl List Program Types

@@ -1,0 +1,1 @@
+lib/ir/layout.mli: Program Types

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Func List Printf Program String Types

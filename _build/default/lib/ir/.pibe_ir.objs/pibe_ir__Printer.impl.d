@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer List Printf Program String Types

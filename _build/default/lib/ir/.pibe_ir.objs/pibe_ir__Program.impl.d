@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Func List Map Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/protection.ml:

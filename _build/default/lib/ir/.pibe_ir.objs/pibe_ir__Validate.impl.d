@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Func Hashtbl List Printf Program String Types

@@ -1,0 +1,109 @@
+open Types
+
+type proto_block = {
+  mutable rev_insts : inst list;
+  mutable pterm : terminator option;
+}
+
+type t = {
+  bname : string;
+  bparams : int;
+  mutable bnregs : int;
+  mutable bblocks : proto_block array;
+  mutable nblocks : int;
+  mutable cur : label;
+}
+
+let fresh_proto () = { rev_insts = []; pterm = None }
+
+let create ~name ~params =
+  let blocks = Array.init 8 (fun _ -> fresh_proto ()) in
+  { bname = name; bparams = params; bnregs = params; bblocks = blocks; nblocks = 1; cur = 0 }
+
+let name b = b.bname
+
+let reg b =
+  let r = b.bnregs in
+  b.bnregs <- r + 1;
+  r
+
+let param b i =
+  if i < 0 || i >= b.bparams then
+    invalid_arg (Printf.sprintf "Builder.param: %d out of range in %s" i b.bname)
+  else i
+
+let grow b =
+  if b.nblocks >= Array.length b.bblocks then begin
+    let bigger = Array.init (2 * Array.length b.bblocks) (fun _ -> fresh_proto ()) in
+    Array.blit b.bblocks 0 bigger 0 b.nblocks;
+    b.bblocks <- bigger
+  end
+
+let new_block b =
+  grow b;
+  let l = b.nblocks in
+  b.bblocks.(l) <- fresh_proto ();
+  b.nblocks <- l + 1;
+  l
+
+let check_open b ctx =
+  let pb = b.bblocks.(b.cur) in
+  match pb.pterm with
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Builder.%s: block %d of %s already sealed" ctx b.cur b.bname)
+  | None -> pb
+
+let switch_to b l =
+  if l < 0 || l >= b.nblocks then
+    invalid_arg (Printf.sprintf "Builder.switch_to: bad label %d in %s" l b.bname);
+  (match b.bblocks.(l).pterm with
+  | Some _ -> invalid_arg (Printf.sprintf "Builder.switch_to: block %d of %s sealed" l b.bname)
+  | None -> ());
+  b.cur <- l
+
+let current b = b.cur
+
+let emit b ctx i =
+  let pb = check_open b ctx in
+  pb.rev_insts <- i :: pb.rev_insts
+
+let assign b r e = emit b "assign" (Assign (r, e))
+let store b ~addr ~value = emit b "store" (Store (addr, value))
+let observe b v = emit b "observe" (Observe v)
+
+let call b ?dst ?(tail = false) site callee args =
+  emit b "call" (Call { dst; callee; args; site; tail })
+
+let icall b ?dst site args ~fptr = emit b "icall" (Icall { dst; fptr; args; site })
+let asm_icall b site ~fptr = emit b "asm_icall" (Asm_icall { fptr; site })
+
+let seal b ctx term =
+  let pb = check_open b ctx in
+  pb.pterm <- Some term
+
+let jmp b l = seal b "jmp" (Jmp l)
+let br b c l1 l2 = seal b "br" (Br (c, l1, l2))
+
+let switch b ?(lowering = Jump_table) scrutinee cases ~default =
+  seal b "switch" (Switch { scrutinee; cases = Array.of_list cases; default; lowering })
+
+let ret b v = seal b "ret" (Ret v)
+
+let finish b ?(attrs = default_attrs) () =
+  let blocks =
+    Array.init b.nblocks (fun l ->
+        let pb = b.bblocks.(l) in
+        match pb.pterm with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Builder.finish: block %d of %s has no terminator" l b.bname)
+        | Some term -> { insts = Array.of_list (List.rev pb.rev_insts); term })
+  in
+  {
+    fname = b.bname;
+    params = b.bparams;
+    nregs = b.bnregs;
+    entry = 0;
+    blocks;
+    attrs;
+  }

@@ -1,0 +1,49 @@
+(** Imperative construction of IR functions.
+
+    The builder hands out fresh registers and blocks, tracks a current
+    insertion block, and checks on [finish] that every block was sealed
+    with a terminator.  Call-site ids are supplied by the caller (usually
+    via [Program.fresh_site]) so the builder stays program-agnostic. *)
+
+open Types
+
+type t
+
+val create : name:string -> params:int -> t
+(** Starts a function; the entry block exists and is current. *)
+
+val name : t -> string
+
+val reg : t -> reg
+(** Fresh virtual register. *)
+
+val param : t -> int -> reg
+(** [param b i] is the register holding argument [i]; raises
+    [Invalid_argument] when [i >= params]. *)
+
+val new_block : t -> label
+(** Fresh, unsealed block (does not change the insertion point). *)
+
+val switch_to : t -> label -> unit
+(** Moves the insertion point; the target must not be sealed yet. *)
+
+val current : t -> label
+
+(** {2 Instruction emission (into the current block)} *)
+
+val assign : t -> reg -> expr -> unit
+val store : t -> addr:operand -> value:operand -> unit
+val observe : t -> operand -> unit
+val call : t -> ?dst:reg -> ?tail:bool -> site -> string -> operand list -> unit
+val icall : t -> ?dst:reg -> site -> operand list -> fptr:operand -> unit
+val asm_icall : t -> site -> fptr:operand -> unit
+
+(** {2 Terminators (seal the current block)} *)
+
+val jmp : t -> label -> unit
+val br : t -> operand -> label -> label -> unit
+val switch : t -> ?lowering:switch_lowering -> operand -> (int * label) list -> default:label -> unit
+val ret : t -> operand option -> unit
+
+val finish : t -> ?attrs:attrs -> unit -> func
+(** Raises [Invalid_argument] if any block lacks a terminator. *)

@@ -1,0 +1,100 @@
+open Types
+
+type t = {
+  addrs : (string, int) Hashtbl.t;
+  sizes : (string, int) Hashtbl.t;
+  site_addrs : (int, int) Hashtbl.t;
+  (* sorted (start, end_exclusive, name) for address -> function lookup *)
+  spans : (int * int * string) array;
+  addr_sites : (int, int) Hashtbl.t; (* address -> site_id *)
+  total : int;
+}
+
+let inst_size = function
+  | Assign (_, Const _) -> 5 (* mov $imm, reg *)
+  | Assign (_, Move _) -> 3
+  | Assign (_, Binop _) -> 4
+  | Assign (_, Load _) -> 4
+  | Store _ -> 4
+  | Observe _ -> 5 (* call to a tracepoint stub *)
+  | Call _ -> 5 (* call rel32 *)
+  | Icall _ -> 3 (* call *reg *)
+  | Asm_icall _ -> 7 (* call *mem with ModRM+disp, as in pv_ops macros *)
+
+let term_size = function
+  | Jmp _ -> 2
+  | Br _ -> 6 (* test + jcc *)
+  | Switch { cases; lowering = Jump_table; _ } ->
+    7 + (8 * Array.length cases) (* bounds check + jmp *table, plus the table *)
+  | Switch { cases; lowering = Branch_ladder; _ } ->
+    10 * Array.length cases (* cmp $imm + jcc per case *)
+  | Ret _ -> 1
+
+let align16 n = (n + 15) land lnot 15
+
+let func_size f =
+  let body =
+    Array.fold_left
+      (fun acc b ->
+        let insts = Array.fold_left (fun a i -> a + inst_size i) 0 b.insts in
+        acc + insts + term_size b.term)
+      0 f.blocks
+  in
+  align16 body
+
+let build p =
+  let addrs = Hashtbl.create 256 in
+  let sizes = Hashtbl.create 256 in
+  let site_addrs = Hashtbl.create 1024 in
+  let addr_sites = Hashtbl.create 1024 in
+  let spans = ref [] in
+  let cursor = ref 0x1000 in
+  Program.iter_funcs p (fun f ->
+      let base = !cursor in
+      Hashtbl.replace addrs f.fname base;
+      (* Walk the body assigning per-instruction offsets so call sites get
+         exact addresses. *)
+      let off = ref 0 in
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun i ->
+              (match i with
+              | Call { site; _ } | Icall { site; _ } | Asm_icall { site; _ } ->
+                let a = base + !off in
+                Hashtbl.replace site_addrs site.site_id a;
+                Hashtbl.replace addr_sites a site.site_id
+              | Assign _ | Store _ | Observe _ -> ());
+              off := !off + inst_size i)
+            b.insts;
+          off := !off + term_size b.term)
+        f.blocks;
+      let size = align16 !off in
+      Hashtbl.replace sizes f.fname size;
+      spans := (base, base + size, f.fname) :: !spans;
+      cursor := base + size);
+  let spans = Array.of_list (List.rev !spans) in
+  { addrs; sizes; site_addrs; spans; addr_sites; total = !cursor - 0x1000 }
+
+let func_addr t name = Hashtbl.find t.addrs name
+let func_size_of t name = Hashtbl.find t.sizes name
+let site_addr t id = Hashtbl.find t.site_addrs id
+
+let func_at t addr =
+  (* Binary search over sorted, disjoint spans. *)
+  let lo = ref 0 and hi = ref (Array.length t.spans - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, e, name = t.spans.(mid) in
+    if addr < s then hi := mid - 1
+    else if addr >= e then lo := mid + 1
+    else begin
+      found := Some name;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let site_at t addr = Hashtbl.find_opt t.addr_sites addr
+let total_code_bytes t = t.total

@@ -1,0 +1,42 @@
+(** Binary code layout: byte sizes and addresses for functions and call
+    sites.
+
+    The profiler records branch events at *addresses* (as the paper's
+    LBR-based profiler does); lifting those events back to IR identifiers
+    goes through this symbol table.  Image-size statistics (paper Table 12)
+    also derive from it. *)
+
+open Types
+
+type t
+
+val inst_size : inst -> int
+(** Encoded size in bytes of one instruction (x86-64-flavoured estimates;
+    the standard InlineCost unit of 5 approximates the average). *)
+
+val term_size : terminator -> int
+(** Jump-table switches count 7 bytes of code plus 8 bytes of table per
+    case; ladder switches count a compare-and-branch pair per case. *)
+
+val func_size : func -> int
+(** Code bytes of the function body, 16-byte aligned at the end. *)
+
+val build : Program.t -> t
+(** Assigns addresses in layout order, starting at [0x1000]. *)
+
+val func_addr : t -> string -> int
+(** Raises [Not_found] for unknown functions. *)
+
+val func_size_of : t -> string -> int
+val site_addr : t -> int -> int
+(** Address of a call site, by [site_id].  Raises [Not_found]. *)
+
+val func_at : t -> int -> string option
+(** Which function covers the given address, if any. *)
+
+val site_at : t -> int -> int option
+(** Which call site sits at exactly the given address, if any. *)
+
+val total_code_bytes : t -> int
+(** Sum of all function sizes (the text-segment size before hardening
+    thunks are added). *)

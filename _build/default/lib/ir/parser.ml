@@ -1,0 +1,368 @@
+open Types
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: identifiers/numbers/sigil-words and single-char puncts.  *)
+(* ------------------------------------------------------------------ *)
+
+let tokenize lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '@' || c = '!' || c = '-'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word s.[!i] do
+        incr i
+      done;
+      toks := String.sub s start (!i - start) :: !toks
+    end
+    else
+      match c with
+      | ',' | '(' | ')' | '[' | ']' | ':' | '=' | '<' | '{' | '}' ->
+        toks := String.make 1 c :: !toks;
+        incr i
+      | _ -> fail lineno "unexpected character %c" c
+  done;
+  List.rev !toks
+
+let int_of_token lineno t =
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> fail lineno "expected integer, got %S" t
+
+let reg_of_token lineno t =
+  if String.length t >= 2 && t.[0] = 'r' then
+    match int_of_string_opt (String.sub t 1 (String.length t - 1)) with
+    | Some v -> v
+    | None -> fail lineno "expected register, got %S" t
+  else fail lineno "expected register, got %S" t
+
+let label_of_token lineno t =
+  if String.length t >= 3 && String.sub t 0 2 = "bb" then
+    match int_of_string_opt (String.sub t 2 (String.length t - 2)) with
+    | Some v -> v
+    | None -> fail lineno "expected block label, got %S" t
+  else fail lineno "expected block label, got %S" t
+
+let fname_of_token lineno t =
+  if String.length t >= 2 && t.[0] = '@' then String.sub t 1 (String.length t - 1)
+  else fail lineno "expected @function, got %S" t
+
+let operand_of_token lineno t =
+  if String.length t >= 1 && t.[0] = 'r' && String.length t >= 2 && t.[1] >= '0' && t.[1] <= '9'
+  then Reg (reg_of_token lineno t)
+  else Imm (int_of_token lineno t)
+
+(* ------------------------------------------------------------------ *)
+(* Statement parsing over token lists.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_site lineno = function
+  | "!site" :: id :: "<" :: origin :: rest ->
+    ({ site_id = int_of_token lineno id; site_origin = int_of_token lineno origin }, rest)
+  | "!site" :: id :: rest ->
+    let id = int_of_token lineno id in
+    ({ site_id = id; site_origin = id }, rest)
+  | toks -> fail lineno "expected !site annotation near %S" (String.concat " " toks)
+
+let parse_args lineno toks =
+  let rec go acc = function
+    | ")" :: rest -> (List.rev acc, rest)
+    | "," :: rest -> go acc rest
+    | t :: rest -> go (operand_of_token lineno t :: acc) rest
+    | [] -> fail lineno "unterminated argument list"
+  in
+  match toks with
+  | "(" :: rest -> go [] rest
+  | _ -> fail lineno "expected argument list"
+
+let parse_expr lineno toks =
+  match toks with
+  | "const" :: v :: rest -> (Const (int_of_token lineno v), rest)
+  | "move" :: o :: rest -> (Move (operand_of_token lineno o), rest)
+  | "load" :: o :: rest -> (Load (operand_of_token lineno o), rest)
+  | op :: a :: "," :: b :: rest -> (
+    match binop_of_name op with
+    | Some bop -> (Binop (bop, operand_of_token lineno a, operand_of_token lineno b), rest)
+    | None -> fail lineno "unknown operator %S" op)
+  | _ -> fail lineno "malformed expression"
+
+let parse_call lineno ~dst ~tail toks =
+  match toks with
+  | fn :: rest ->
+    let callee = fname_of_token lineno fn in
+    let args, rest = parse_args lineno rest in
+    let site, rest = parse_site lineno rest in
+    if rest <> [] then fail lineno "trailing tokens after call";
+    Call { dst; callee; args; site; tail }
+  | [] -> fail lineno "malformed call"
+
+let parse_icall lineno ~dst toks =
+  match toks with
+  | fp :: rest ->
+    let fptr = operand_of_token lineno fp in
+    let args, rest = parse_args lineno rest in
+    let site, rest = parse_site lineno rest in
+    if rest <> [] then fail lineno "trailing tokens after icall";
+    Icall { dst; fptr; args; site }
+  | [] -> fail lineno "malformed icall"
+
+let parse_inst lineno toks =
+  match toks with
+  | "store" :: a :: "," :: v :: [] ->
+    Store (operand_of_token lineno a, operand_of_token lineno v)
+  | "observe" :: v :: [] -> Observe (operand_of_token lineno v)
+  | "call" :: rest -> parse_call lineno ~dst:None ~tail:false rest
+  | "tailcall" :: rest -> parse_call lineno ~dst:None ~tail:true rest
+  | "icall" :: rest -> parse_icall lineno ~dst:None rest
+  | "asm_icall" :: fp :: rest ->
+    let fptr = operand_of_token lineno fp in
+    let site, rest = parse_site lineno rest in
+    if rest <> [] then fail lineno "trailing tokens after asm_icall";
+    Asm_icall { fptr; site }
+  | r :: "=" :: rest -> (
+    let dst = reg_of_token lineno r in
+    match rest with
+    | "call" :: rest -> parse_call lineno ~dst:(Some dst) ~tail:false rest
+    | "tailcall" :: rest -> parse_call lineno ~dst:(Some dst) ~tail:true rest
+    | "icall" :: rest -> parse_icall lineno ~dst:(Some dst) rest
+    | rest ->
+      let e, leftover = parse_expr lineno rest in
+      if leftover <> [] then fail lineno "trailing tokens after expression";
+      Assign (dst, e))
+  | toks -> fail lineno "unrecognized instruction %S" (String.concat " " toks)
+
+let parse_cases lineno toks =
+  let rec go acc = function
+    | "]" :: rest -> (List.rev acc, rest)
+    | "," :: rest -> go acc rest
+    | v :: ":" :: l :: rest ->
+      go ((int_of_token lineno v, label_of_token lineno l) :: acc) rest
+    | _ -> fail lineno "malformed switch cases"
+  in
+  match toks with
+  | "[" :: rest -> go [] rest
+  | _ -> fail lineno "expected [cases]"
+
+let parse_term lineno toks =
+  match toks with
+  | [ "jmp"; l ] -> Jmp (label_of_token lineno l)
+  | [ "br"; c; ","; l1; ","; l2 ] ->
+    Br (operand_of_token lineno c, label_of_token lineno l1, label_of_token lineno l2)
+  | "switch" :: scrut :: "," :: rest ->
+    let cases, rest = parse_cases lineno rest in
+    let default, lowering =
+      match rest with
+      | [ ","; "default"; d; ","; low ] ->
+        let lowering =
+          match low with
+          | "jump_table" -> Jump_table
+          | "ladder" -> Branch_ladder
+          | other -> fail lineno "unknown switch lowering %S" other
+        in
+        (label_of_token lineno d, lowering)
+      | _ -> fail lineno "malformed switch tail"
+    in
+    Switch
+      { scrutinee = operand_of_token lineno scrut; cases = Array.of_list cases; default; lowering }
+  | [ "ret" ] -> Ret None
+  | [ "ret"; v ] -> Ret (Some (operand_of_token lineno v))
+  | _ -> fail lineno "unrecognized terminator"
+
+let is_term_line toks =
+  match toks with
+  | ("jmp" | "br" | "switch" | "ret") :: _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Function and program structure.                                     *)
+(* ------------------------------------------------------------------ *)
+
+type lines = { mutable remaining : (int * string) list }
+
+let next_nonempty ls =
+  let rec go = function
+    | [] -> None
+    | (_, l) :: rest when String.trim l = "" -> ls.remaining <- rest; go rest
+    | (n, l) :: rest ->
+      ls.remaining <- rest;
+      Some (n, String.trim l)
+  in
+  go ls.remaining
+
+let parse_attrs lineno toks =
+  let rec set a = function
+    | [] -> a
+    | "noinline" :: rest -> set { a with noinline = true } rest
+    | "optnone" :: rest -> set { a with optnone = true } rest
+    | "asm" :: rest -> set { a with is_asm = true } rest
+    | "boot_only" :: rest -> set { a with boot_only = true } rest
+    | "subsystem" :: "=" :: s :: rest -> set { a with subsystem = s } rest
+    | "," :: rest -> set a rest
+    | t :: _ -> fail lineno "unknown attribute %S" t
+  in
+  set default_attrs toks
+
+let parse_func_header lineno toks =
+  match toks with
+  | fn :: "(" :: "params" :: "=" :: p :: "," :: "regs" :: "=" :: r :: ")" :: rest ->
+    let name = fname_of_token lineno fn in
+    let params = int_of_token lineno p in
+    let nregs = int_of_token lineno r in
+    let attrs =
+      match rest with
+      | [ "{" ] -> default_attrs
+      | "[" :: more -> (
+        let rec split acc = function
+          | "]" :: tail -> (List.rev acc, tail)
+          | t :: tail -> split (t :: acc) tail
+          | [] -> fail lineno "unterminated attribute list"
+        in
+        let attr_toks, tail = split [] more in
+        match tail with
+        | [ "{" ] -> parse_attrs lineno attr_toks
+        | _ -> fail lineno "expected { after attributes")
+      | _ -> fail lineno "malformed function header"
+    in
+    (name, params, nregs, attrs)
+  | _ -> fail lineno "malformed function header"
+
+let parse_func_body ls ~lineno ~name ~params ~nregs ~attrs =
+  let blocks = ref [] (* (label, insts rev, term) in reverse discovery order *) in
+  let cur_label = ref (-1) in
+  let cur_insts = ref [] in
+  let cur_term = ref None in
+  let flush line =
+    if !cur_label >= 0 then begin
+      match !cur_term with
+      | None -> fail line "block bb%d of %s lacks a terminator" !cur_label name
+      | Some t ->
+        blocks := (!cur_label, List.rev !cur_insts, t) :: !blocks;
+        cur_label := -1;
+        cur_insts := [];
+        cur_term := None
+    end
+  in
+  let rec loop () =
+    match next_nonempty ls with
+    | None -> fail lineno "unterminated function %s" name
+    | Some (n, line) -> (
+      let toks = tokenize n line in
+      match toks with
+      | [ "}" ] -> flush n
+      | [ bb; ":" ] when String.length bb > 2 && String.sub bb 0 2 = "bb" ->
+        flush n;
+        cur_label := label_of_token n bb;
+        loop ()
+      | toks when is_term_line toks ->
+        if !cur_label < 0 then fail n "terminator outside block";
+        cur_term := Some (parse_term n toks);
+        loop ()
+      | toks ->
+        if !cur_label < 0 then fail n "instruction outside block";
+        (match !cur_term with
+        | Some _ -> fail n "instruction after terminator in bb%d" !cur_label
+        | None -> ());
+        cur_insts := parse_inst n toks :: !cur_insts;
+        loop ())
+  in
+  loop ();
+  let discovered = List.rev !blocks in
+  let nblocks = List.fold_left (fun acc (l, _, _) -> max acc (l + 1)) 0 discovered in
+  let arr = Array.make (max nblocks 1) None in
+  List.iter
+    (fun (l, insts, term) ->
+      if arr.(l) <> None then fail lineno "duplicate block bb%d in %s" l name;
+      arr.(l) <- Some { insts = Array.of_list insts; term })
+    discovered;
+  let blocks =
+    Array.mapi
+      (fun l b ->
+        match b with
+        | Some b -> b
+        | None -> fail lineno "missing block bb%d in %s" l name)
+      arr
+  in
+  { fname = name; params; nregs; entry = 0; blocks; attrs }
+
+let parse_func_from ls lineno toks =
+  let name, params, nregs, attrs = parse_func_header lineno toks in
+  parse_func_body ls ~lineno ~name ~params ~nregs ~attrs
+
+let parse_func text =
+  let ls =
+    { remaining = List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text) }
+  in
+  match next_nonempty ls with
+  | Some (n, line) -> (
+    match tokenize n line with
+    | "func" :: rest -> parse_func_from ls n rest
+    | _ -> fail n "expected func definition")
+  | None -> fail 0 "empty input"
+
+let parse_program text =
+  let ls =
+    { remaining = List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text) }
+  in
+  let prog = ref Program.empty in
+  let parse_header_line n toks =
+    match toks with
+    | [ "globals"; sz ] -> prog := Program.with_globals_size !prog (int_of_token n sz)
+    | [ "init"; a; "="; v ] ->
+      prog := Program.set_global !prog ~addr:(int_of_token n a) ~value:(int_of_token n v)
+    | [ "fptr"; _idx; "="; fn ] ->
+      let p, _ = Program.add_fptr !prog (fname_of_token n fn) in
+      prog := p
+    | [ "next_site"; _ ] -> () (* re-derived below *)
+    | _ -> fail n "unknown program header entry %S" (String.concat " " toks)
+  in
+  let rec header () =
+    match next_nonempty ls with
+    | None -> fail 0 "unterminated program header"
+    | Some (n, line) -> (
+      match tokenize n line with
+      | [ "}" ] -> ()
+      | toks ->
+        parse_header_line n toks;
+        header ())
+  in
+  (match next_nonempty ls with
+  | Some (n, line) -> (
+    match tokenize n line with
+    | [ "program"; "{" ] -> header ()
+    | _ -> fail n "expected program header")
+  | None -> fail 0 "empty input");
+  let max_site = ref (-1) in
+  let rec funcs () =
+    match next_nonempty ls with
+    | None -> ()
+    | Some (n, line) -> (
+      match tokenize n line with
+      | "func" :: rest ->
+        let f = parse_func_from ls n rest in
+        max_site := max !max_site (Func.max_site_id f);
+        prog := Program.add_func !prog f;
+        funcs ()
+      | _ -> fail n "expected func definition")
+  in
+  funcs ();
+  (* Restore the site counter past every id in the image. *)
+  let rec bump p =
+    if p.Program.next_site > !max_site then p
+    else
+      let p, _ = Program.fresh_site p in
+      bump p
+  in
+  bump !prog

@@ -1,0 +1,14 @@
+(** Parser for the textual IR produced by {!Printer}.
+
+    Round-trip guarantee (checked by property tests):
+    [parse_program (Printer.program_to_string p)] is structurally equal to
+    [p] up to the ordering normalization of memory initializers. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_func : string -> Types.func
+(** Parses a single [func @name(...) { ... }] definition. *)
+
+val parse_program : string -> Program.t
+(** Parses a full image: the [program { ... }] header followed by function
+    definitions. *)

@@ -1,0 +1,97 @@
+open Types
+
+let operand_to_string = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Imm i -> string_of_int i
+
+let expr_to_string = function
+  | Const i -> Printf.sprintf "const %d" i
+  | Move o -> Printf.sprintf "move %s" (operand_to_string o)
+  | Binop (op, a, b) ->
+    Printf.sprintf "%s %s, %s" (binop_name op) (operand_to_string a) (operand_to_string b)
+  | Load a -> Printf.sprintf "load %s" (operand_to_string a)
+
+let site_to_string s =
+  if s.site_origin = s.site_id then Printf.sprintf "!site %d" s.site_id
+  else Printf.sprintf "!site %d<%d" s.site_id s.site_origin
+
+let args_to_string args = String.concat ", " (List.map operand_to_string args)
+
+let inst_to_string = function
+  | Assign (r, e) -> Printf.sprintf "r%d = %s" r (expr_to_string e)
+  | Store (a, v) -> Printf.sprintf "store %s, %s" (operand_to_string a) (operand_to_string v)
+  | Observe v -> Printf.sprintf "observe %s" (operand_to_string v)
+  | Call { dst; callee; args; site; tail } ->
+    let kw = if tail then "tailcall" else "call" in
+    let prefix = match dst with Some r -> Printf.sprintf "r%d = " r | None -> "" in
+    Printf.sprintf "%s%s @%s(%s) %s" prefix kw callee (args_to_string args)
+      (site_to_string site)
+  | Icall { dst; fptr; args; site } ->
+    let prefix = match dst with Some r -> Printf.sprintf "r%d = " r | None -> "" in
+    Printf.sprintf "%sicall %s(%s) %s" prefix (operand_to_string fptr)
+      (args_to_string args) (site_to_string site)
+  | Asm_icall { fptr; site } ->
+    Printf.sprintf "asm_icall %s %s" (operand_to_string fptr) (site_to_string site)
+
+let term_to_string = function
+  | Jmp l -> Printf.sprintf "jmp bb%d" l
+  | Br (c, l1, l2) -> Printf.sprintf "br %s, bb%d, bb%d" (operand_to_string c) l1 l2
+  | Switch { scrutinee; cases; default; lowering } ->
+    let cases_s =
+      String.concat ", "
+        (Array.to_list (Array.map (fun (v, l) -> Printf.sprintf "%d: bb%d" v l) cases))
+    in
+    let low = match lowering with Jump_table -> "jump_table" | Branch_ladder -> "ladder" in
+    Printf.sprintf "switch %s, [%s], default bb%d, %s" (operand_to_string scrutinee)
+      cases_s default low
+  | Ret None -> "ret"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (operand_to_string v)
+
+let attrs_to_string a =
+  let flags =
+    List.filter_map
+      (fun (cond, s) -> if cond then Some s else None)
+      [
+        (a.noinline, "noinline");
+        (a.optnone, "optnone");
+        (a.is_asm, "asm");
+        (a.boot_only, "boot_only");
+      ]
+  in
+  let flags =
+    if String.equal a.subsystem "" then flags else flags @ [ "subsystem=" ^ a.subsystem ]
+  in
+  match flags with [] -> "" | fs -> Printf.sprintf " [%s]" (String.concat "," fs)
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func @%s(params=%d, regs=%d)%s {\n" f.fname f.params f.nregs
+       (attrs_to_string f.attrs));
+  Array.iteri
+    (fun l b ->
+      Buffer.add_string buf (Printf.sprintf "bb%d:\n" l);
+      Array.iter
+        (fun i -> Buffer.add_string buf (Printf.sprintf "  %s\n" (inst_to_string i)))
+        b.insts;
+      Buffer.add_string buf (Printf.sprintf "  %s\n" (term_to_string b.term)))
+    f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let program_to_string p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "program {\n";
+  Buffer.add_string buf (Printf.sprintf "  globals %d\n" p.Program.globals_size);
+  List.iter
+    (fun (addr, v) -> Buffer.add_string buf (Printf.sprintf "  init %d = %d\n" addr v))
+    (List.rev p.Program.rev_globals_init);
+  Array.iteri
+    (fun i name -> Buffer.add_string buf (Printf.sprintf "  fptr %d = @%s\n" i name))
+    p.Program.fptr_table;
+  Buffer.add_string buf (Printf.sprintf "  next_site %d\n" p.Program.next_site);
+  Buffer.add_string buf "}\n";
+  Program.iter_funcs p (fun f ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (func_to_string f));
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Textual rendering of the IR; [Parser] reads the same syntax back. *)
+
+open Types
+
+val operand_to_string : operand -> string
+val expr_to_string : expr -> string
+val inst_to_string : inst -> string
+val term_to_string : terminator -> string
+val func_to_string : func -> string
+
+val program_to_string : Program.t -> string
+(** Header (globals size, memory initializers, fptr table) followed by
+    every function in layout order. *)

@@ -1,0 +1,51 @@
+(** Protection markers attached to indirect branches by the hardening
+    passes (the cycle costs live in [Pibe_cpu.Cost]; the byte costs in
+    [Pibe_harden.Thunks]).
+
+    Forward kinds protect indirect calls/jumps; backward kinds protect the
+    return instructions of a function.  [F_fenced_retpoline] is the paper's
+    Listing-7 sequence combining a retpoline with LVI fencing;
+    [B_fenced_ret_retpoline] is the corresponding combined backward-edge
+    sequence. *)
+
+type forward =
+  | F_none
+  | F_retpoline  (** Listing 4: Spectre-V2 safe *)
+  | F_lvi  (** Listing 5: LFENCE'd thunk, LVI safe *)
+  | F_fenced_retpoline  (** Listing 7: Spectre-V2 + LVI safe *)
+
+type backward =
+  | B_none
+  | B_ret_retpoline  (** Ret2spec/RSB safe *)
+  | B_lvi  (** Listing 6: LFENCE before return, LVI safe *)
+  | B_fenced_ret_retpoline  (** RSB + LVI safe *)
+
+let forward_name = function
+  | F_none -> "none"
+  | F_retpoline -> "retpoline"
+  | F_lvi -> "lvi-cfi"
+  | F_fenced_retpoline -> "fenced-retpoline"
+
+let backward_name = function
+  | B_none -> "none"
+  | B_ret_retpoline -> "ret-retpoline"
+  | B_lvi -> "lvi-ret"
+  | B_fenced_ret_retpoline -> "fenced-ret-retpoline"
+
+(* Security properties used by the attack drills and the audit. *)
+
+let forward_stops_btb_injection = function
+  | F_retpoline | F_fenced_retpoline -> true
+  | F_none | F_lvi -> false
+
+let forward_stops_lvi = function
+  | F_lvi | F_fenced_retpoline -> true
+  | F_none | F_retpoline -> false
+
+let backward_stops_rsb_poisoning = function
+  | B_ret_retpoline | B_fenced_ret_retpoline -> true
+  | B_none | B_lvi -> false
+
+let backward_stops_lvi = function
+  | B_lvi | B_fenced_ret_retpoline -> true
+  | B_none | B_ret_retpoline -> false

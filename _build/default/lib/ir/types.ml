@@ -1,0 +1,146 @@
+(** Core IR type definitions.
+
+    The IR is a classic unstructured CFG over mutable virtual registers (no
+    SSA): a function is an array of basic blocks, each a run of simple
+    instructions closed by a terminator.  It is deliberately small — just
+    rich enough to express everything PIBE's passes care about:
+
+    - direct calls (inlinable, forward edges with static targets);
+    - indirect calls through function-pointer values loaded from memory
+      (ICP candidates, Spectre-V2/LVI surface);
+    - returns (backward edges, Ret2spec/LVI surface);
+    - switches that may be lowered either to jump tables (indirect jumps)
+      or to compare ladders (the hardened form);
+    - opaque inline-assembly indirect calls that no pass may touch (the
+      kernel's para-virtualization layer in the paper, §8.6);
+    - observable outputs, so that transformation passes can be checked for
+      semantic preservation by differential interpretation. *)
+
+type reg = int
+(** Virtual register index, local to a function activation. *)
+
+type label = int
+(** Basic-block index into the enclosing function's [blocks] array. *)
+
+type binop = Add | Sub | Mul | Xor | And | Or | Shl | Shr | Lt | Eq
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type expr =
+  | Const of int
+  | Move of operand
+  | Binop of binop * operand * operand
+  | Load of operand  (** read of the global memory cell addressed by the operand *)
+
+type site = {
+  site_id : int;  (** unique across the program, fresh after cloning *)
+  site_origin : int;  (** pre-clone identity; profile counts key on this *)
+}
+
+type inst =
+  | Assign of reg * expr
+  | Store of operand * operand  (** [Store (addr, v)] writes global memory *)
+  | Observe of operand  (** appends the value to the observable trace *)
+  | Call of {
+      dst : reg option;
+      callee : string;
+      args : operand list;
+      site : site;
+      tail : bool;  (** tail position: lowered as an indirect jump pair *)
+    }
+  | Icall of {
+      dst : reg option;
+      fptr : operand;  (** function index into the program's fptr table *)
+      args : operand list;
+      site : site;
+    }
+  | Asm_icall of {
+      fptr : operand;
+      site : site;
+    }  (** inline-assembly indirect call: opaque, never promoted/hardened *)
+
+type switch_lowering =
+  | Jump_table  (** indirect jump through an in-memory table *)
+  | Branch_ladder  (** compare-and-branch chain; transient-safe *)
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label  (** non-zero -> first label *)
+  | Switch of {
+      scrutinee : operand;
+      cases : (int * label) array;
+      default : label;
+      lowering : switch_lowering;
+    }
+  | Ret of operand option
+
+type block = {
+  insts : inst array;
+  term : terminator;
+}
+
+type attrs = {
+  noinline : bool;  (** callee may never be inlined *)
+  optnone : bool;  (** function is never modified by any pass *)
+  is_asm : bool;  (** body stands for inline assembly; opaque *)
+  boot_only : bool;  (** executes only during boot; exempt from backward-edge hardening *)
+  subsystem : string;  (** provenance tag from the kernel generator *)
+}
+
+type func = {
+  fname : string;
+  params : int;  (** registers [0 .. params-1] hold arguments on entry *)
+  nregs : int;  (** register-file size; all registers start at 0 *)
+  entry : label;
+  blocks : block array;
+  attrs : attrs;
+}
+
+let default_attrs =
+  { noinline = false; optnone = false; is_asm = false; boot_only = false; subsystem = "" }
+
+let no_site = { site_id = -1; site_origin = -1 }
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Xor -> "xor"
+  | And -> "and"
+  | Or -> "or"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Eq -> "eq"
+
+let binop_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "xor" -> Some Xor
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | "lt" -> Some Lt
+  | "eq" -> Some Eq
+  | _ -> None
+
+let all_binops = [ Add; Sub; Mul; Xor; And; Or; Shl; Shr; Lt; Eq ]
+
+(* Arithmetic is 63-bit OCaml-int arithmetic; the simulated machine only
+   needs determinism, not exact x86 widths. *)
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Xor -> a lxor b
+  | And -> a land b
+  | Or -> a lor b
+  | Shl -> a lsl (b land 31)
+  | Shr -> a lsr (b land 31)
+  | Lt -> if a < b then 1 else 0
+  | Eq -> if a = b then 1 else 0

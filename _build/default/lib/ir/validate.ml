@@ -1,0 +1,124 @@
+open Types
+
+type error = {
+  where : string;
+  what : string;
+}
+
+let err where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let check_operand f errs ctx = function
+  | Imm _ -> errs
+  | Reg r ->
+    if r < 0 || r >= f.nregs then err f.fname "%s: register r%d out of range" ctx r :: errs
+    else errs
+
+let check_expr f errs ctx = function
+  | Const _ -> errs
+  | Move o | Load o -> check_operand f errs ctx o
+  | Binop (_, a, b) -> check_operand f (check_operand f errs ctx a) ctx b
+
+let check_label f errs ctx l =
+  if l < 0 || l >= Array.length f.blocks then
+    err f.fname "%s: label bb%d out of range" ctx l :: errs
+  else errs
+
+let check_site f errs ctx (s : site) =
+  if s.site_id < 0 then err f.fname "%s: negative site id" ctx :: errs
+  else if s.site_origin < 0 then err f.fname "%s: negative site origin" ctx :: errs
+  else errs
+
+let check_inst f errs l i =
+  let ctx = Printf.sprintf "bb%d" l in
+  match i with
+  | Assign (r, e) ->
+    let errs = check_expr f errs ctx e in
+    if r < 0 || r >= f.nregs then err f.fname "%s: destination r%d out of range" ctx r :: errs
+    else errs
+  | Store (a, v) -> check_operand f (check_operand f errs ctx a) ctx v
+  | Observe v -> check_operand f errs ctx v
+  | Call { dst; args; site; _ } ->
+    let errs = check_site f errs ctx site in
+    let errs = List.fold_left (fun e a -> check_operand f e ctx a) errs args in
+    (match dst with
+    | Some r when r < 0 || r >= f.nregs ->
+      err f.fname "%s: call destination r%d out of range" ctx r :: errs
+    | Some _ | None -> errs)
+  | Icall { dst; fptr; args; site } ->
+    let errs = check_site f errs ctx site in
+    let errs = check_operand f errs ctx fptr in
+    let errs = List.fold_left (fun e a -> check_operand f e ctx a) errs args in
+    (match dst with
+    | Some r when r < 0 || r >= f.nregs ->
+      err f.fname "%s: icall destination r%d out of range" ctx r :: errs
+    | Some _ | None -> errs)
+  | Asm_icall { fptr; site } ->
+    check_operand f (check_site f errs ctx site) ctx fptr
+
+let check_term f errs l t =
+  let ctx = Printf.sprintf "bb%d terminator" l in
+  match t with
+  | Jmp l1 -> check_label f errs ctx l1
+  | Br (c, l1, l2) ->
+    let errs = check_operand f errs ctx c in
+    check_label f (check_label f errs ctx l1) ctx l2
+  | Switch { scrutinee; cases; default; _ } ->
+    let errs = check_operand f errs ctx scrutinee in
+    let errs = check_label f errs ctx default in
+    Array.fold_left (fun e (_, l1) -> check_label f e ctx l1) errs cases
+  | Ret None -> errs
+  | Ret (Some v) -> check_operand f errs ctx v
+
+let check_func f =
+  let errs = ref [] in
+  if f.entry <> 0 then errs := err f.fname "entry must be bb0" :: !errs;
+  if f.params < 0 || f.params > f.nregs then
+    errs := err f.fname "params (%d) exceed register file (%d)" f.params f.nregs :: !errs;
+  if Array.length f.blocks = 0 then errs := err f.fname "no blocks" :: !errs;
+  Array.iteri
+    (fun l b ->
+      Array.iter (fun i -> errs := check_inst f !errs l i) b.insts;
+      errs := check_term f !errs l b.term)
+    f.blocks;
+  List.rev !errs
+
+let check_program p =
+  let errs = ref [] in
+  Program.iter_funcs p (fun f -> errs := List.rev_append (check_func f) !errs);
+  (* Callee existence. *)
+  Program.iter_funcs p (fun f ->
+      List.iter
+        (fun (_, callee) ->
+          if not (Program.mem p callee) then
+            errs := err f.fname "direct call to unknown @%s" callee :: !errs)
+        (Func.call_sites f));
+  Array.iter
+    (fun name ->
+      if not (Program.mem p name) then
+        errs := err "" "fptr table references unknown @%s" name :: !errs)
+    p.Program.fptr_table;
+  (* Site uniqueness and bounds. *)
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (fname, s) ->
+      if s.site_id >= p.Program.next_site then
+        errs := err fname "site %d >= next_site %d" s.site_id p.Program.next_site :: !errs;
+      (match Hashtbl.find_opt seen s.site_id with
+      | Some other ->
+        errs := err fname "site %d duplicated (also in %s)" s.site_id other :: !errs
+      | None -> ());
+      Hashtbl.replace seen s.site_id fname)
+    (Program.all_sites p);
+  List.rev !errs
+
+let check_exn p =
+  match check_program p with
+  | [] -> ()
+  | errors ->
+    let shown = List.filteri (fun i _ -> i < 10) errors in
+    let text =
+      String.concat "; "
+        (List.map (fun e -> Printf.sprintf "%s: %s" e.where e.what) shown)
+    in
+    invalid_arg
+      (Printf.sprintf "Validate.check_exn: %d error(s): %s" (List.length errors) text)

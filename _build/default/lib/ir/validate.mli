@@ -1,0 +1,19 @@
+(** Structural well-formedness checks, run after generation and after every
+    transformation pass in tests. *)
+
+type error = {
+  where : string;  (** function name, or "" for program-level issues *)
+  what : string;
+}
+
+val check_func : Types.func -> error list
+(** Labels in range, registers within the register file, parameters within
+    bounds, blocks non-aliasing, entry = 0. *)
+
+val check_program : Program.t -> error list
+(** Per-function checks plus: direct-call callees exist, fptr-table names
+    exist, call-site ids are unique program-wide and below [next_site]. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Invalid_argument] with a readable summary if any check
+    fails. *)

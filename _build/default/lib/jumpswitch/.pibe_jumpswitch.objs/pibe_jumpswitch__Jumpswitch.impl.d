@@ -1,0 +1,1 @@
+lib/jumpswitch/jumpswitch.ml: Hashtbl List Option Pibe_cpu Pibe_ir String

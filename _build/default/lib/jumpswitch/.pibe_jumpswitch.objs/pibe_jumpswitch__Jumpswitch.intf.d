@@ -1,0 +1,1 @@
+lib/jumpswitch/jumpswitch.mli: Pibe_ir

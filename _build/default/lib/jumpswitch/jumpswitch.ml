@@ -1,0 +1,156 @@
+type config = {
+  slots_per_site : int;
+  learning_calls : int;
+  relearn_period : int;
+  miss_rate_relearn_pct : int;
+  patch_sync_cycles : int;
+}
+
+(* Short inline chains (the ATC'19 design patches a couple of compare
+   slots per site), modest epochs, and a stop-machine-style cost per
+   live patch: multi-target sites cycle through learning mode, which is
+   the behaviour PIBE's Table 4 argument predicts. *)
+let default_config =
+  {
+    slots_per_site = 2;
+    learning_calls = 64;
+    relearn_period = 256;
+    miss_rate_relearn_pct = 5;
+    patch_sync_cycles = 3000;
+  }
+
+type mode =
+  | Learning of int  (* calls spent learning so far *)
+  | Patched of int * int  (* calls and misses since last patch *)
+
+type site_state = {
+  mutable mode : mode;
+  mutable slots : string list;  (* most recently learned last *)
+  seen : (string, int) Hashtbl.t;  (* target -> count, for slot election *)
+  mutable total_calls : int;
+  mutable slot_hits : int;
+  mutable fallback_calls : int;
+  mutable patches : int;
+}
+
+type t = {
+  cfg : config;
+  sites : (int, site_state) Hashtbl.t;
+}
+
+let create ?(config = default_config) () = { cfg = config; sites = Hashtbl.create 256 }
+
+let site_state t id =
+  match Hashtbl.find_opt t.sites id with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        mode = Learning 0;
+        slots = [];
+        seen = Hashtbl.create 4;
+        total_calls = 0;
+        slot_hits = 0;
+        fallback_calls = 0;
+        patches = 0;
+      }
+    in
+    Hashtbl.replace t.sites id s;
+    s
+
+(* Retpoline cost while the site is (re)learning or the target missed all
+   inline slots. *)
+let fallback_cycles = Pibe_cpu.Cost.forward_cost Pibe_ir.Protection.F_retpoline ~btb_hit:false
+
+let elect_slots t s =
+  let ranked =
+    List.sort
+      (fun (n1, c1) (n2, c2) -> if c1 <> c2 then compare c2 c1 else String.compare n1 n2)
+      (Hashtbl.fold (fun name c acc -> (name, c) :: acc) s.seen [])
+  in
+  s.slots <-
+    List.filteri (fun i _ -> i < t.cfg.slots_per_site) (List.map fst ranked)
+
+let transfer_cost t ~site ~target =
+  let s = site_state t site.Pibe_ir.Types.site_id in
+  s.total_calls <- s.total_calls + 1;
+  Hashtbl.replace s.seen target (1 + Option.value ~default:0 (Hashtbl.find_opt s.seen target));
+  match s.mode with
+  | Learning n ->
+    s.fallback_calls <- s.fallback_calls + 1;
+    (* The learning retpoline also records the observed target. *)
+    let learn_overhead = 4 in
+    if n + 1 >= t.cfg.learning_calls then begin
+      elect_slots t s;
+      s.patches <- s.patches + 1;
+      s.mode <- Patched (0, 0);
+      fallback_cycles + learn_overhead + t.cfg.patch_sync_cycles
+    end
+    else begin
+      s.mode <- Learning (n + 1);
+      fallback_cycles + learn_overhead
+    end
+  | Patched (calls, misses) ->
+    let position = ref 0 in
+    let hit =
+      List.exists
+        (fun slot ->
+          incr position;
+          String.equal slot target)
+        s.slots
+    in
+    let cost =
+      if hit then begin
+        s.slot_hits <- s.slot_hits + 1;
+        (Pibe_cpu.Cost.icp_check * !position) + Pibe_cpu.Cost.direct_call
+      end
+      else begin
+        s.fallback_calls <- s.fallback_calls + 1;
+        fallback_cycles
+      end
+    in
+    let calls = calls + 1 in
+    let misses = if hit then misses else misses + 1 in
+    (if calls >= t.cfg.relearn_period then
+       if misses * 100 / calls > t.cfg.miss_rate_relearn_pct then begin
+         (* Too many escapes: downgrade to a learning retpoline, as the
+            JumpSwitch runtime does for unstable multi-target sites. *)
+         Hashtbl.reset s.seen;
+         s.slots <- [];
+         s.mode <- Learning 0
+       end
+       else s.mode <- Patched (0, 0)
+     else s.mode <- Patched (calls, misses));
+    cost
+
+type site_stats = {
+  total_calls : int;
+  slot_hits : int;
+  fallback_calls : int;
+  patches : int;
+  distinct_targets : int;
+}
+
+let stats_of (s : site_state) =
+  {
+    total_calls = s.total_calls;
+    slot_hits = s.slot_hits;
+    fallback_calls = s.fallback_calls;
+    patches = s.patches;
+    distinct_targets = Hashtbl.length s.seen;
+  }
+
+let stats t ~site_id = Option.map stats_of (Hashtbl.find_opt t.sites site_id)
+
+let global_stats t =
+  Hashtbl.fold
+    (fun _ (s : site_state) acc ->
+      {
+        total_calls = acc.total_calls + s.total_calls;
+        slot_hits = acc.slot_hits + s.slot_hits;
+        fallback_calls = acc.fallback_calls + s.fallback_calls;
+        patches = acc.patches + s.patches;
+        distinct_targets = acc.distinct_targets + Hashtbl.length s.seen;
+      })
+    t.sites
+    { total_calls = 0; slot_hits = 0; fallback_calls = 0; patches = 0; distinct_targets = 0 }

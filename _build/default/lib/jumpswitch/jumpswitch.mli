@@ -1,0 +1,43 @@
+(** Model of JumpSwitches (Amit, Jacobs & Wei, USENIX ATC'19) — the
+    state-of-the-art PIBE compares against for Spectre-V2 mitigation
+    (paper §8.2).
+
+    JumpSwitches patch indirect call sites at *runtime*: a small number of
+    inline compare-and-direct-call slots are live-patched in once targets
+    are learned; unlearned targets fall back to a learning retpoline.
+    Multi-target sites exceeding the slot budget are periodically
+    downgraded back into learning mode (the effect PIBE's Table 4 argument
+    builds on), and every repatch pays a synchronization cost modelling
+    the stop-machine/RCU-stall the paper observed.
+
+    Use [transfer_cost] as the engine's [fwd_override]. *)
+
+type config = {
+  slots_per_site : int;  (** inline target slots (their paper uses a short ladder) *)
+  learning_calls : int;  (** calls spent in learning mode before patching *)
+  relearn_period : int;  (** patched-mode calls between multi-target re-evaluations *)
+  miss_rate_relearn_pct : int;  (** miss %% that forces a downgrade to learning *)
+  patch_sync_cycles : int;  (** one-time cost of each live-patch operation *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val transfer_cost : t -> site:Pibe_ir.Types.site -> target:string -> int
+(** Cycles for one indirect transfer through the jump switch at [site];
+    updates the site's learning state. *)
+
+type site_stats = {
+  total_calls : int;
+  slot_hits : int;
+  fallback_calls : int;  (** retpoline executions (learning or slot miss) *)
+  patches : int;  (** live-patch operations performed *)
+  distinct_targets : int;
+}
+
+val stats : t -> site_id:int -> site_stats option
+val global_stats : t -> site_stats
+(** Sums over all sites. *)

@@ -1,0 +1,1 @@
+lib/kernel/block.ml: Builder Common Ctx Gen_util List Memmap Pibe_ir Printf Types

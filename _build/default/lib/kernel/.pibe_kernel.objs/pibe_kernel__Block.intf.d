@@ -1,0 +1,1 @@
+lib/kernel/block.mli: Common Ctx

@@ -1,0 +1,1 @@
+lib/kernel/callbacks.ml: Builder Common Ctx Gen_util Memmap Pibe_ir Printf Types

@@ -1,0 +1,1 @@
+lib/kernel/callbacks.mli: Common Ctx

@@ -1,0 +1,1 @@
+lib/kernel/common.ml: Ctx Gen_util List Memmap Pibe_ir

@@ -1,0 +1,1 @@
+lib/kernel/common.mli: Ctx

@@ -1,0 +1,1 @@
+lib/kernel/ctx.ml: Memmap Pibe_ir Pibe_util Program

@@ -1,0 +1,1 @@
+lib/kernel/ctx.mli: Memmap Pibe_ir Pibe_util Program Types

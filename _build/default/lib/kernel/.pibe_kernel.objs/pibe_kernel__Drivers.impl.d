@@ -1,0 +1,1 @@
+lib/kernel/drivers.ml: Builder Common Ctx Gen_util List Memmap Pibe_ir Pibe_util Printf Program Types

@@ -1,0 +1,1 @@
+lib/kernel/drivers.mli: Common Ctx

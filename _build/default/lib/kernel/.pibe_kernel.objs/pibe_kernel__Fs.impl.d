@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Array Block Builder Common Ctx Gen_util List Memmap Net Pibe_ir String Types

@@ -1,0 +1,1 @@
+lib/kernel/fs.mli: Block Common Ctx Net

@@ -1,0 +1,1 @@
+lib/kernel/gen.ml: Block Builder Callbacks Common Ctx Drivers Fs Memmap Misc Mm Net Pibe_ir Program Syscalls Types Validate

@@ -1,0 +1,1 @@
+lib/kernel/gen.mli: Ctx Fs Memmap Net Pibe_ir Syscalls

@@ -1,0 +1,1 @@
+lib/kernel/gen_util.ml: Array Builder Ctx List Memmap Pibe_ir Pibe_util Printf Types

@@ -1,0 +1,1 @@
+lib/kernel/gen_util.mli: Builder Ctx Pibe_ir Types

@@ -1,0 +1,1 @@
+lib/kernel/memmap.mli:

@@ -1,0 +1,1 @@
+lib/kernel/misc.ml: Array Block Builder Common Ctx Fs Gen_util List Memmap Mm Pibe_ir Printf Types

@@ -1,0 +1,1 @@
+lib/kernel/misc.mli: Block Common Ctx Fs Mm

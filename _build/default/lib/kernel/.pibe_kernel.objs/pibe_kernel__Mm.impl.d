@@ -1,0 +1,1 @@
+lib/kernel/mm.ml: Builder Common Ctx Gen_util Memmap Pibe_ir Printf Types

@@ -1,0 +1,1 @@
+lib/kernel/mm.mli: Common Ctx

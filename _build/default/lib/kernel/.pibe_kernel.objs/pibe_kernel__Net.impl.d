@@ -1,0 +1,1 @@
+lib/kernel/net.ml: Array Builder Common Ctx Gen_util List Memmap Pibe_ir Types

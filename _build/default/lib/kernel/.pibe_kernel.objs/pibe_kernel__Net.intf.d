@@ -1,0 +1,1 @@
+lib/kernel/net.mli: Common Ctx

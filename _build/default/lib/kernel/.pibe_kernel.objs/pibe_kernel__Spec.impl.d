@@ -1,0 +1,1 @@
+lib/kernel/spec.ml: Builder Ctx Gen_util List Memmap Pibe_ir Printf Program Types Validate

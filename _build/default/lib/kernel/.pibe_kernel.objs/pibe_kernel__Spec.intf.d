@@ -1,0 +1,1 @@
+lib/kernel/spec.mli: Pibe_ir

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Builder Callbacks Common Ctx Drivers Fs Gen_util List Memmap Misc Mm Net Pibe_ir Types

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.mli: Callbacks Common Ctx Drivers Fs Misc Mm Net

@@ -1,0 +1,1 @@
+lib/kernel/workload.ml: Gen List Pibe_cpu Pibe_util String

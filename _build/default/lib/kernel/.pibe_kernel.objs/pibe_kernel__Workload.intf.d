@@ -1,0 +1,1 @@
+lib/kernel/workload.mli: Gen Pibe_cpu Pibe_util

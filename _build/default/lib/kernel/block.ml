@@ -1,0 +1,119 @@
+open Pibe_ir
+open Types
+
+type t = {
+  submit_bio : string;
+  blk_flush : string;
+  crypto_hash : string;
+}
+
+let sub = "block"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+let build_schedulers ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  List.iteri
+    (fun sched sname ->
+      let submit =
+        Gen_util.chain ctx ~name:(sname ^ "_submit") ~depth:2 ~compute:9 ~subsystem:sub
+          ~extra_callees:[ common.Common.kmalloc ] ()
+      in
+      let complete =
+        Gen_util.chain ctx ~name:(sname ^ "_complete") ~depth:1 ~compute:7 ~subsystem:sub ()
+      in
+      let merge =
+        Gen_util.leaf ctx ~name:(sname ^ "_merge") ~params:2 ~compute:6 ~subsystem:sub
+      in
+      let flush =
+        Gen_util.chain ctx ~name:(sname ^ "_flush") ~depth:1 ~compute:8 ~subsystem:sub
+          ~extra_callees:[ common.Common.mutex_lock ] ()
+      in
+      List.iteri
+        (fun op name ->
+          let idx = Ctx.register_fptr ctx name in
+          Ctx.init_global ctx ~addr:(Memmap.blk_op_addr mm ~sched ~op) ~value:idx)
+        [ submit; complete; merge; flush ])
+    [ "noop"; "deadline"; "cfq" ]
+
+let build_crypto ctx =
+  let mm = ctx.Ctx.mm in
+  List.iteri
+    (fun alg aname ->
+      List.iteri
+        (fun op opname ->
+          let name =
+            Gen_util.leaf ctx
+              ~name:(Printf.sprintf "%s_%s" aname opname)
+              ~params:2
+              ~compute:(10 + (4 * op))
+              ~subsystem:"crypto"
+          in
+          let idx = Ctx.register_fptr ctx name in
+          Ctx.init_global ctx ~addr:(Memmap.crypto_op_addr mm ~alg ~op) ~value:idx)
+        [ "init"; "update"; "final" ])
+    [ "crc32c"; "sha256"; "xxhash"; "blake2" ]
+
+(* slot = table + (sel mod n) * ops + op, emitted as mask-safe arithmetic *)
+let table_icall ctx b ~table ~per ~count ~sel ~op ~args =
+  let m = Builder.reg b in
+  Builder.assign b m (Binop (And, sel, Imm (count - 1)));
+  let scaled = Builder.reg b in
+  Builder.assign b scaled (Binop (Mul, Reg m, Imm per));
+  let slot = Builder.reg b in
+  Builder.assign b slot (Binop (Add, Reg scaled, Imm (table + op)));
+  Gen_util.icall_mem ctx b ~table_addr:slot ~args
+
+let build ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  build_schedulers ctx common;
+  build_crypto ctx;
+  let plug = Gen_util.leaf ctx ~name:"blk_plug" ~params:2 ~compute:5 ~subsystem:sub in
+  let submit_bio =
+    define ctx ~name:"submit_bio" ~params:2 (fun b ->
+        let dev = Builder.param b 0 and len = Builder.param b 1 in
+        ignore (Gen_util.call ctx b plug [ Reg dev; Reg len ]);
+        (* (dev & 3) can be 3 with only 3 schedulers; fold it in range *)
+        let m = Builder.reg b in
+        Builder.assign b m (Binop (And, Reg dev, Imm 1));
+        let r =
+          table_icall ctx b ~table:mm.Memmap.blk_ops ~per:mm.Memmap.ops_per_blk ~count:2
+            ~sel:(Reg m) ~op:0 ~args:[ Reg dev; Reg len ]
+        in
+        ignore r;
+        let c =
+          table_icall ctx b ~table:mm.Memmap.blk_ops ~per:mm.Memmap.ops_per_blk ~count:2
+            ~sel:(Reg m) ~op:1 ~args:[ Reg dev; Reg len ]
+        in
+        Builder.ret b (Some (Reg c)))
+  in
+  let blk_flush =
+    define ctx ~name:"blk_flush" ~params:2 (fun b ->
+        let dev = Builder.param b 0 and how = Builder.param b 1 in
+        let m = Builder.reg b in
+        Builder.assign b m (Binop (And, Reg dev, Imm 1));
+        let r =
+          table_icall ctx b ~table:mm.Memmap.blk_ops ~per:mm.Memmap.ops_per_blk ~count:2
+            ~sel:(Reg m) ~op:3 ~args:[ Reg dev; Reg how ]
+        in
+        Builder.ret b (Some (Reg r)))
+  in
+  let crypto_hash =
+    define ctx ~name:"crypto_hash" ~params:2 (fun b ->
+        let buf = Builder.param b 0 and len = Builder.param b 1 in
+        (* alg chosen by the caller's context; update then final *)
+        let u =
+          table_icall ctx b ~table:mm.Memmap.crypto_ops ~per:mm.Memmap.ops_per_crypto
+            ~count:mm.Memmap.n_crypto ~sel:(Reg len) ~op:1 ~args:[ Reg buf; Reg len ]
+        in
+        let f =
+          table_icall ctx b ~table:mm.Memmap.crypto_ops ~per:mm.Memmap.ops_per_crypto
+            ~count:mm.Memmap.n_crypto ~sel:(Reg len) ~op:2 ~args:[ Reg u; Reg len ]
+        in
+        Builder.ret b (Some (Reg f)))
+  in
+  { submit_bio; blk_flush; crypto_hash }

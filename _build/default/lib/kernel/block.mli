@@ -1,0 +1,15 @@
+(** Block layer and crypto subsystem.
+
+    Disk filesystems submit I/O through per-scheduler operation tables
+    (noop / deadline / cfq) — one more layer of [*_ops] indirect dispatch
+    on the fsync/writeback path that DBench-style workloads exercise —
+    and checksumming filesystems plus the exec path hash through the
+    crypto-algorithm table. *)
+
+type t = {
+  submit_bio : string;  (** dispatches through the I/O-scheduler ops *)
+  blk_flush : string;
+  crypto_hash : string;  (** dispatches through the algorithm ops *)
+}
+
+val build : Ctx.t -> Common.t -> t

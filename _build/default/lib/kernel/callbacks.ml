@@ -1,0 +1,81 @@
+open Pibe_ir
+open Types
+
+type t = {
+  run_timers : string;
+  run_workqueue : string;
+}
+
+let sub = "softirq"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+let build ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  (* Register the callback table: timers in slots 0-7, work items 8-11,
+     RCU callbacks 12-15. *)
+  let register slot name =
+    let idx = Ctx.register_fptr ctx name in
+    Ctx.init_global ctx ~addr:(mm.Memmap.timer_cbs + slot) ~value:idx
+  in
+  for i = 0 to 7 do
+    register i
+      (Gen_util.chain ctx
+         ~name:(Printf.sprintf "timer_cb_%d" i)
+         ~depth:(i mod 2) ~compute:6 ~subsystem:sub ())
+  done;
+  for i = 0 to 3 do
+    register (8 + i)
+      (Gen_util.chain ctx
+         ~name:(Printf.sprintf "work_item_%d" i)
+         ~depth:1 ~compute:8 ~subsystem:sub
+         ~extra_callees:[ common.Common.kfree ] ())
+  done;
+  for i = 0 to 3 do
+    register (12 + i)
+      (Gen_util.leaf ctx
+         ~name:(Printf.sprintf "rcu_cb_%d" i)
+         ~params:2 ~compute:5 ~subsystem:sub)
+  done;
+  let cb_icall b ~mask ~base ~sel ~arg ctx =
+    let masked = Builder.reg b in
+    Builder.assign b masked (Binop (And, Reg sel, Imm mask));
+    let addr = Builder.reg b in
+    Builder.assign b addr (Binop (Add, Reg masked, Imm (mm.Memmap.timer_cbs + base)));
+    ignore (Gen_util.icall_mem ctx b ~table_addr:addr ~args:[ Reg sel; Reg arg ])
+  in
+  let run_timers =
+    define ctx ~name:"run_timers" ~params:2 (fun b ->
+        let tick = Builder.param b 0 and arg = Builder.param b 1 in
+        (* Two expired timers per softirq round: two distinct sites. *)
+        cb_icall b ~mask:7 ~base:0 ~sel:tick ~arg ctx;
+        let next = Builder.reg b in
+        Builder.assign b next (Binop (Add, Reg tick, Imm 3));
+        cb_icall b ~mask:7 ~base:0 ~sel:next ~arg ctx;
+        (* An RCU grace period completes every so often. *)
+        let gp = Builder.reg b in
+        Builder.assign b gp (Binop (And, Reg tick, Imm 127));
+        let is_gp = Builder.reg b in
+        Builder.assign b is_gp (Binop (Eq, Reg gp, Imm 0));
+        let rcu = Builder.new_block b in
+        let out = Builder.new_block b in
+        Builder.br b (Reg is_gp) rcu out;
+        Builder.switch_to b rcu;
+        cb_icall b ~mask:3 ~base:12 ~sel:tick ~arg ctx;
+        Builder.jmp b out;
+        Builder.switch_to b out;
+        Builder.ret b (Some (Reg tick)))
+  in
+  let run_workqueue =
+    define ctx ~name:"run_workqueue" ~params:2 (fun b ->
+        let seq = Builder.param b 0 and arg = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.mutex_lock [ Reg seq; Reg seq ]);
+        cb_icall b ~mask:3 ~base:8 ~sel:seq ~arg ctx;
+        ignore (Gen_util.call ctx b common.Common.mutex_unlock [ Reg seq; Reg seq ]);
+        Builder.ret b (Some (Reg seq)))
+  in
+  { run_timers; run_workqueue }

@@ -1,0 +1,11 @@
+(** Deferred-work machinery: timer/softirq callbacks dispatched through an
+    in-memory callback table, run periodically from the syscall entry path
+    (every 32nd syscall).  This adds the asynchronous indirect-call sites
+    a real kernel profile contains beyond the ops-table dispatches. *)
+
+type t = {
+  run_timers : string;
+  run_workqueue : string;
+}
+
+val build : Ctx.t -> Common.t -> t

@@ -1,0 +1,116 @@
+type t = {
+  security_check : string;
+  fdget : string;
+  fput : string;
+  get_user : string;
+  put_user : string;
+  kmalloc : string;
+  kfree : string;
+  memcpy_small : string;
+  copy_user_big : string;
+  mutex_lock : string;
+  mutex_unlock : string;
+  audit_hook : string;
+  get_current : string;
+}
+
+let build ctx =
+  let sub = "core" in
+  let mm = ctx.Ctx.mm in
+  let leaf name compute = Gen_util.leaf ctx ~name ~params:2 ~compute ~subsystem:sub in
+  (* LSM: four security modules registered in a hook table; every
+     security_check dispatches through it (as Linux's LSM layer does). *)
+  List.iteri
+    (fun i name ->
+      let handler =
+        Gen_util.leaf ctx ~name:(name ^ "_hook") ~params:2 ~compute:4 ~subsystem:"lsm"
+      in
+      let idx = Ctx.register_fptr ctx handler in
+      Ctx.init_global ctx ~addr:(mm.Memmap.lsm_hooks + i) ~value:idx)
+    [ "selinux"; "apparmor"; "lockdown"; "bpf_lsm" ];
+  let security_check =
+    let b = Pibe_ir.Builder.create ~name:"security_check" ~params:2 in
+    let a0 = Pibe_ir.Builder.param b 0 and a1 = Pibe_ir.Builder.param b 1 in
+    let v = Gen_util.compute ctx b ~seeds:[ a0; a1 ] ~n:4 in
+    let masked = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b masked
+      (Pibe_ir.Types.Binop (Pibe_ir.Types.And, Pibe_ir.Types.Reg v, Pibe_ir.Types.Imm 3));
+    let slot = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b slot
+      (Pibe_ir.Types.Binop
+         (Pibe_ir.Types.Add, Pibe_ir.Types.Reg masked, Pibe_ir.Types.Imm mm.Memmap.lsm_hooks));
+    let r =
+      Gen_util.icall_mem ctx b ~table_addr:slot
+        ~args:[ Pibe_ir.Types.Reg a0; Pibe_ir.Types.Reg a1 ]
+    in
+    Pibe_ir.Builder.ret b (Some (Pibe_ir.Types.Reg r));
+    Ctx.add ctx
+      (Pibe_ir.Builder.finish b
+         ~attrs:{ Pibe_ir.Types.default_attrs with subsystem = sub }
+         ());
+    "security_check"
+  in
+  let fdget = leaf "fdget" 5 in
+  let fput = leaf "fput" 4 in
+  let get_user = leaf "get_user" 4 in
+  let put_user = leaf "put_user" 4 in
+  (* The lock-acquire slow path is hand-written assembly in Linux: never
+     inlined by the optimizer ("other" blocked weight in paper Table 9). *)
+  let mutex_lock = leaf "mutex_lock" 4 in
+  let mutex_unlock = leaf "mutex_unlock" 3 in
+  (let f = Pibe_ir.Program.find ctx.Ctx.prog mutex_lock in
+   ctx.Ctx.prog <-
+     Pibe_ir.Program.update_func ctx.Ctx.prog
+       { f with Pibe_ir.Types.attrs = { f.Pibe_ir.Types.attrs with noinline = true } });
+  let audit_hook = leaf "audit_hook" 3 in
+  let get_current = leaf "get_current" 3 in
+  let memcpy_small = leaf "memcpy_small" 10 in
+  (* The bulk uaccess copy: a size-class switch like the real unrolled
+     memcpy family.  Its *static* InlineCost is well above 3,000 (Rule 3
+     must refuse it on hot paths) while each *dynamic* execution runs just
+     one size class. *)
+  let copy_user_big =
+    let b = Pibe_ir.Builder.create ~name:"copy_user_big" ~params:2 in
+    let dst = Pibe_ir.Builder.param b 0 and len = Pibe_ir.Builder.param b 1 in
+    let masked = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b masked
+      (Pibe_ir.Types.Binop (Pibe_ir.Types.And, Pibe_ir.Types.Reg len, Pibe_ir.Types.Imm 31));
+    let cases = List.init 32 (fun _ -> Pibe_ir.Builder.new_block b) in
+    let join = Pibe_ir.Builder.new_block b in
+    let out = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.switch b ~lowering:Pibe_ir.Types.Jump_table (Pibe_ir.Types.Reg masked)
+      (List.mapi (fun i l -> (i, l)) cases)
+      ~default:join;
+    List.iter
+      (fun l ->
+        Pibe_ir.Builder.switch_to b l;
+        let r = Gen_util.compute ctx b ~seeds:[ dst; len ] ~n:20 in
+        Pibe_ir.Builder.assign b out (Pibe_ir.Types.Move (Pibe_ir.Types.Reg r));
+        Pibe_ir.Builder.jmp b join)
+      cases;
+    Pibe_ir.Builder.switch_to b join;
+    Pibe_ir.Builder.ret b (Some (Pibe_ir.Types.Reg out));
+    Ctx.add ctx
+      (Pibe_ir.Builder.finish b
+         ~attrs:{ Pibe_ir.Types.default_attrs with subsystem = sub }
+         ());
+    "copy_user_big"
+  in
+  (* slab allocation is lock-free on the per-cpu fast path *)
+  let kmalloc = Gen_util.chain ctx ~name:"kmalloc" ~depth:2 ~compute:7 ~subsystem:sub () in
+  let kfree = Gen_util.chain ctx ~name:"kfree" ~depth:1 ~compute:5 ~subsystem:sub () in
+  {
+    security_check;
+    fdget;
+    fput;
+    get_user;
+    put_user;
+    kmalloc;
+    kfree;
+    memcpy_small;
+    copy_user_big;
+    mutex_lock;
+    mutex_unlock;
+    audit_hook;
+    get_current;
+  }

@@ -1,0 +1,23 @@
+(** Hot utility functions shared across kernel subsystems — the heavily
+    reused leaves (locking, uaccess, allocation, LSM hooks) whose call
+    edges dominate any kernel profile.  [copy_user_big] is deliberately
+    over the Rule-3 callee threshold, giving the inliner a hot callee it
+    must refuse (paper Table 9). *)
+
+type t = {
+  security_check : string;
+  fdget : string;
+  fput : string;
+  get_user : string;
+  put_user : string;
+  kmalloc : string;
+  kfree : string;
+  memcpy_small : string;
+  copy_user_big : string;  (** InlineCost > 3,000: blocked by Rule 3 *)
+  mutex_lock : string;
+  mutex_unlock : string;
+  audit_hook : string;
+  get_current : string;
+}
+
+val build : Ctx.t -> t

@@ -1,0 +1,38 @@
+open Pibe_ir
+
+type config = {
+  seed : int;
+  scale : int;
+}
+
+let default_config = { seed = 42; scale = 2 }
+
+type t = {
+  mutable prog : Program.t;
+  rng : Pibe_util.Rng.t;
+  mm : Memmap.t;
+  cfg : config;
+}
+
+let create cfg mm =
+  {
+    prog = Program.with_globals_size Program.empty mm.Memmap.size;
+    rng = Pibe_util.Rng.create cfg.seed;
+    mm;
+    cfg;
+  }
+
+let site t =
+  let p, s = Program.fresh_site t.prog in
+  t.prog <- p;
+  s
+
+let add t f = t.prog <- Program.add_func t.prog f
+
+let register_fptr t name =
+  let p, i = Program.add_fptr t.prog name in
+  t.prog <- p;
+  i
+
+let init_global t ~addr ~value = t.prog <- Program.set_global t.prog ~addr ~value
+let rng t = t.rng

@@ -1,0 +1,33 @@
+(** Mutable generation context threaded through the subsystem builders. *)
+
+open Pibe_ir
+
+type config = {
+  seed : int;
+  scale : int;
+      (** 1 = unit-test size (hundreds of functions); 3-4 = bench size
+          (thousands).  Scales the cold bulk — drivers, init code — while
+          the hot paths keep their shape. *)
+}
+
+val default_config : config
+(** seed 42, scale 2. *)
+
+type t = {
+  mutable prog : Program.t;
+  rng : Pibe_util.Rng.t;
+  mm : Memmap.t;
+  cfg : config;
+}
+
+val create : config -> Memmap.t -> t
+
+val site : t -> Types.site
+(** Fresh call site. *)
+
+val add : t -> Types.func -> unit
+val register_fptr : t -> string -> int
+(** Function index used as the in-memory function-pointer value. *)
+
+val init_global : t -> addr:int -> value:int -> unit
+val rng : t -> Pibe_util.Rng.t

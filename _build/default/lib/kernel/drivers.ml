@@ -1,0 +1,234 @@
+open Pibe_ir
+open Types
+module Rng = Pibe_util.Rng
+
+type t = {
+  drv_dispatch : string;
+  n_cold_functions : int;
+}
+
+let sub = "drivers"
+
+let define ctx ~name ~params ?(attrs = { default_attrs with subsystem = sub }) body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs ());
+  name
+
+let build_driver ctx (common : Common.t) ~d =
+  let mm = ctx.Ctx.mm in
+  let rng = Ctx.rng ctx in
+  let pre = Printf.sprintf "drv%d" d in
+  let read =
+    Gen_util.chain ctx ~name:(pre ^ "_read") ~depth:(1 + Rng.int rng 2) ~compute:8
+      ~subsystem:sub ()
+  in
+  let write =
+    Gen_util.chain ctx ~name:(pre ^ "_write") ~depth:(1 + Rng.int rng 2) ~compute:8
+      ~subsystem:sub ()
+  in
+  let isr =
+    Gen_util.leaf ctx ~name:(pre ^ "_isr") ~params:2 ~compute:(4 + Rng.int rng 8)
+      ~subsystem:sub
+  in
+  (* ioctl: a multiway switch the compiler would lower as a jump table. *)
+  let case_helpers =
+    List.init
+      (3 + Rng.int rng 4)
+      (fun i ->
+        Gen_util.leaf ctx
+          ~name:(Printf.sprintf "%s_ioctl_case%d" pre i)
+          ~params:2
+          ~compute:(5 + Rng.int rng 10)
+          ~subsystem:sub)
+  in
+  let ioctl =
+    define ctx ~name:(pre ^ "_ioctl") ~params:2 (fun b ->
+        let cmd = Builder.param b 0 and arg = Builder.param b 1 in
+        let masked = Builder.reg b in
+        Builder.assign b masked (Binop (And, Reg cmd, Imm 15));
+        let blocks =
+          List.map
+            (fun helper ->
+              let l = Builder.new_block b in
+              (l, helper))
+            case_helpers
+        in
+        let default = Builder.new_block b in
+        let join = Builder.new_block b in
+        Builder.switch b ~lowering:Jump_table (Reg masked)
+          (List.mapi (fun i (l, _) -> (i, l)) blocks)
+          ~default;
+        List.iter
+          (fun (l, helper) ->
+            Builder.switch_to b l;
+            ignore (Gen_util.call ctx b helper [ Reg cmd; Reg arg ]);
+            Builder.jmp b join)
+          blocks;
+        Builder.switch_to b default;
+        ignore (Gen_util.call ctx b common.Common.audit_hook [ Reg cmd; Imm 0 ]);
+        Builder.jmp b join;
+        Builder.switch_to b join;
+        Builder.ret b (Some (Reg arg)))
+  in
+  (* Boot-only probe path. *)
+  let probe_inner =
+    Gen_util.chain ctx ~name:(pre ^ "_probe_hw") ~depth:1 ~compute:10 ~subsystem:sub ()
+  in
+  let _probe =
+    define ctx ~name:(pre ^ "_probe") ~params:2
+      ~attrs:{ default_attrs with subsystem = sub; boot_only = true }
+      (fun b ->
+        let dev = Builder.param b 0 and id = Builder.param b 1 in
+        ignore (Gen_util.call ctx b probe_inner [ Reg dev; Reg id ]);
+        ignore (Gen_util.call ctx b common.Common.kmalloc [ Reg dev; Imm 128 ]);
+        Builder.ret b (Some (Reg dev)))
+  in
+  List.iteri
+    (fun op name ->
+      let idx = Ctx.register_fptr ctx name in
+      Ctx.init_global ctx ~addr:(Memmap.drv_op_addr mm ~drv:d ~op) ~value:idx)
+    [ read; write; ioctl; isr ]
+
+(* Opaque assembly stubs: jump tables and memory-indirect calls no pass
+   may rewrite (the residual vulnerable surface of Table 11). *)
+let build_asm_stubs ctx =
+  let mm = ctx.Ctx.mm in
+  let asm_attrs = { default_attrs with subsystem = "asm"; is_asm = true; noinline = true } in
+  let targets =
+    List.init 3 (fun i ->
+        Gen_util.leaf ctx
+          ~name:(Printf.sprintf "asm_target_%d" i)
+          ~params:2 ~compute:3 ~subsystem:"asm")
+  in
+  List.iteri
+    (fun i _ ->
+      ignore
+        (define ctx
+           ~name:(Printf.sprintf "asm_entry_stub_%d" i)
+           ~params:2 ~attrs:asm_attrs
+           (fun b ->
+             let a = Builder.param b 0 and x = Builder.param b 1 in
+             let masked = Builder.reg b in
+             Builder.assign b masked (Binop (And, Reg a, Imm 3));
+             let bl = List.init 4 (fun _ -> Builder.new_block b) in
+             let join = Builder.new_block b in
+             Builder.switch b ~lowering:Jump_table (Reg masked)
+               (List.mapi (fun j l -> (j, l)) bl)
+               ~default:join;
+             List.iteri
+               (fun j l ->
+                 Builder.switch_to b l;
+                 ignore
+                   (Gen_util.call ctx b (List.nth targets (j mod 3)) [ Reg a; Reg x ]);
+                 Builder.jmp b join)
+               bl;
+             Builder.switch_to b join;
+             (* A pv-style memory-indirect call from assembly. *)
+             let addr = Builder.reg b in
+             Builder.assign b addr (Const (mm.Memmap.pv_ops + (i mod mm.Memmap.n_pv)));
+             let fp = Builder.reg b in
+             Builder.assign b fp (Load (Reg addr));
+             Builder.asm_icall b (Ctx.site ctx) ~fptr:(Reg fp);
+             Builder.ret b (Some (Reg x)))))
+    targets
+
+let build_cold_bulk ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  let rng = Ctx.rng ctx in
+  (* Cold callback sites: indirect calls through driver ops slots that the
+     workloads (almost) never reach but every hardening pass must cover. *)
+  let cold_cb i =
+    let name = Printf.sprintf "cold_cb_%d" i in
+    let b = Pibe_ir.Builder.create ~name ~params:2 in
+    let a0 = Pibe_ir.Builder.param b 0 and a1 = Pibe_ir.Builder.param b 1 in
+    let v = Gen_util.compute ctx b ~seeds:[ a0; a1 ] ~n:(4 + Rng.int rng 8) in
+    let dmask = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b dmask (Binop (And, Reg v, Imm (mm.Memmap.n_drv - 1)));
+    let scaled = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b scaled (Binop (Mul, Reg dmask, Imm mm.Memmap.ops_per_drv));
+    let slot = Pibe_ir.Builder.reg b in
+    Pibe_ir.Builder.assign b slot (Binop (Add, Reg scaled, Imm mm.Memmap.drv_ops));
+    let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg a0; Reg v ] in
+    Pibe_ir.Builder.ret b (Some (Reg r));
+    Ctx.add ctx
+      (Pibe_ir.Builder.finish b
+         ~attrs:{ Pibe_ir.Types.default_attrs with subsystem = "lib" }
+         ());
+    name
+  in
+  let n_cb = 30 * ctx.Ctx.cfg.Ctx.scale in
+  let cbs = List.init n_cb cold_cb in
+  let n = 110 * ctx.Ctx.cfg.Ctx.scale in
+  let count = ref (n_cb) in
+  for i = 0 to n - 1 do
+    let depth = Rng.int rng 3 in
+    let compute = 5 + Rng.int rng 18 in
+    let extra =
+      match Rng.int rng 5 with
+      | 0 -> [ common.Common.kmalloc ]
+      | 1 -> [ common.Common.memcpy_small ]
+      | 2 -> [ common.Common.mutex_lock; common.Common.mutex_unlock ]
+      | 3 -> [ List.nth cbs (Rng.int rng n_cb) ]
+      | _ -> []
+    in
+    let name = Printf.sprintf "cold_util_%d" i in
+    ignore (Gen_util.chain ctx ~name ~depth ~compute ~subsystem:"lib" ~extra_callees:extra ());
+    count := !count + depth + 1;
+    (* Sprinkle attribute variety the passes must respect. *)
+    if Rng.int rng 17 = 0 then begin
+      let f = Program.find ctx.Ctx.prog name in
+      ctx.Ctx.prog <-
+        Program.update_func ctx.Ctx.prog
+          { f with attrs = { f.attrs with noinline = true } }
+    end
+    else if Rng.int rng 23 = 0 then begin
+      let f = Program.find ctx.Ctx.prog name in
+      ctx.Ctx.prog <-
+        Program.update_func ctx.Ctx.prog { f with attrs = { f.attrs with optnone = true } }
+    end
+  done;
+  (* Boot-time init that walks the probes. *)
+  let boot_attrs = { default_attrs with subsystem = "init"; boot_only = true } in
+  for i = 0 to (2 * ctx.Ctx.cfg.Ctx.scale) - 1 do
+    ignore
+      (define ctx
+         ~name:(Printf.sprintf "__init_subsys_%d" i)
+         ~params:2 ~attrs:boot_attrs
+         (fun b ->
+           let a = Builder.param b 0 in
+           let v = Gen_util.compute ctx b ~seeds:[ a ] ~n:10 in
+           ignore
+             (Gen_util.call ctx b
+                (Printf.sprintf "drv%d_probe" (i mod ctx.Ctx.mm.Memmap.n_drv))
+                [ Reg v; Imm i ]);
+           Builder.ret b (Some (Reg v))))
+  done;
+  !count
+
+let build ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  for d = 0 to mm.Memmap.n_drv - 1 do
+    build_driver ctx common ~d
+  done;
+  build_asm_stubs ctx;
+  (* Generic dispatch through a driver ops table: a cold indirect-call
+     site exercised only rarely. *)
+  let drv_dispatch =
+    define ctx ~name:"drv_dispatch" ~params:2 (fun b ->
+        let drv = Builder.param b 0 and op = Builder.param b 1 in
+        let dmask = Builder.reg b in
+        Builder.assign b dmask (Binop (And, Reg drv, Imm (mm.Memmap.n_drv - 1))) ;
+        let omask = Builder.reg b in
+        Builder.assign b omask (Binop (And, Reg op, Imm (mm.Memmap.ops_per_drv - 1)));
+        let scaled = Builder.reg b in
+        Builder.assign b scaled (Binop (Mul, Reg dmask, Imm mm.Memmap.ops_per_drv));
+        let off = Builder.reg b in
+        Builder.assign b off (Binop (Add, Reg scaled, Reg omask));
+        let slot = Builder.reg b in
+        Builder.assign b slot (Binop (Add, Reg off, Imm mm.Memmap.drv_ops));
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg drv; Reg op ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let n_cold = build_cold_bulk ctx common in
+  { drv_dispatch; n_cold_functions = n_cold }

@@ -1,0 +1,14 @@
+(** The cold bulk of the kernel: device drivers with ioctl jump tables,
+    boot-only init code, opaque assembly stubs, and generic cold library
+    code.  Almost none of it ever executes under the benchmark workloads —
+    which is the point: it supplies the long cold tail of indirect
+    branches that must still be hardened (paper Table 10's ~130k return
+    sites vs. ~3k optimization candidates) and the handful of
+    jump-table/asm sites that stay vulnerable (Table 11). *)
+
+type t = {
+  drv_dispatch : string;  (** indirect dispatch through a driver ops slot *)
+  n_cold_functions : int;
+}
+
+val build : Ctx.t -> Common.t -> t

@@ -1,0 +1,319 @@
+open Pibe_ir
+open Types
+
+type t = {
+  vfs_read : string;
+  vfs_write : string;
+  do_filp_open : string;
+  vfs_stat : string;
+  vfs_fstat : string;
+  vfs_poll : string;
+  vfs_fsync : string;
+  fs_names : string array;
+  victim_icall_site : int;
+  victim_ops_addr : int;
+}
+
+let sub = "vfs"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+let register_op ctx ~fs ~op name =
+  let idx = Ctx.register_fptr ctx name in
+  Ctx.init_global ctx ~addr:(Memmap.vfs_op_addr ctx.Ctx.mm ~fs ~op) ~value:idx
+
+(* Emit: slot register holding the address of ops[fs_of_fd][op]. *)
+let fs_ops_slot ctx b ~fd ~op =
+  let mm = ctx.Ctx.mm in
+  let fd_addr = Builder.reg b in
+  Builder.assign b fd_addr (Binop (Add, Reg fd, Imm mm.Memmap.fd_table));
+  let fs = Builder.reg b in
+  Builder.assign b fs (Load (Reg fd_addr));
+  let scaled = Builder.reg b in
+  Builder.assign b scaled (Binop (Mul, Reg fs, Imm mm.Memmap.ops_per_fs));
+  let slot = Builder.reg b in
+  Builder.assign b slot (Binop (Add, Reg scaled, Imm (mm.Memmap.vfs_ops + op)));
+  slot
+
+let build_disk_fs ctx (common : Common.t) (block : Block.t) ~fs ~fsname ~depth =
+  let chain n d compute extra =
+    Gen_util.chain ctx ~name:(fsname ^ "_" ^ n) ~depth:d ~compute ~subsystem:sub
+      ~extra_callees:extra ()
+  in
+  (* checksumming filesystems hash data on the read/write path *)
+  let integrity = if String.equal fsname "btrfs" then [ block.Block.crypto_hash ] else [] in
+  let read =
+    chain "read" depth 10
+      ([ common.Common.memcpy_small; common.Common.put_user ] @ integrity)
+  in
+  let write =
+    chain "write" depth 10
+      ([ common.Common.memcpy_small; common.Common.get_user ] @ integrity)
+  in
+  let open_ = chain "open" (max 2 (depth - 1)) 9 [ common.Common.kmalloc ] in
+  let stat = chain "stat" 2 8 [ common.Common.put_user ] in
+  let poll = Gen_util.leaf ctx ~name:(fsname ^ "_poll") ~params:2 ~compute:4 ~subsystem:sub in
+  let mmap = chain "mmap" 2 9 [] in
+  (* fsync: write back dirty pages through the block layer, then barrier *)
+  let writeback = chain "writeback" 2 9 [ common.Common.mutex_lock ] in
+  let fsync =
+    define ctx ~name:(fsname ^ "_fsync") ~params:2 (fun b ->
+        let fd = Builder.param b 0 and how = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ fd; how ] ~n:8 in
+        ignore (Gen_util.call ctx b writeback [ Reg v; Reg fd ]);
+        ignore (Gen_util.call ctx b block.Block.submit_bio [ Reg fd; Reg v ]);
+        let r = Gen_util.call ctx b block.Block.blk_flush [ Reg fd; Reg how ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let release = chain "release" 1 6 [ common.Common.kfree ] in
+  register_op ctx ~fs ~op:Memmap.op_read read;
+  register_op ctx ~fs ~op:Memmap.op_write write;
+  register_op ctx ~fs ~op:Memmap.op_open open_;
+  register_op ctx ~fs ~op:Memmap.op_stat stat;
+  register_op ctx ~fs ~op:Memmap.op_poll poll;
+  register_op ctx ~fs ~op:Memmap.op_mmap mmap;
+  register_op ctx ~fs ~op:Memmap.op_fsync fsync;
+  register_op ctx ~fs ~op:Memmap.op_release release
+
+let build_pipefs ctx (common : Common.t) ~fs =
+  let rw name =
+    define ctx ~name ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.mutex_lock [ Reg fd; Reg fd ]);
+        let v = Gen_util.compute ctx b ~seeds:[ fd; len ] ~n:12 in
+        ignore (Gen_util.call ctx b common.Common.memcpy_small [ Reg v; Reg len ]);
+        ignore (Gen_util.call ctx b common.Common.mutex_unlock [ Reg fd; Reg fd ]);
+        Builder.ret b (Some (Reg v)))
+  in
+  let read = rw "pipe_read" in
+  let write = rw "pipe_write" in
+  let poll = Gen_util.leaf ctx ~name:"pipe_poll" ~params:2 ~compute:3 ~subsystem:sub in
+  let open_ =
+    Gen_util.chain ctx ~name:"pipe_open" ~depth:2 ~compute:8 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  let stat = Gen_util.leaf ctx ~name:"pipe_stat" ~params:2 ~compute:6 ~subsystem:sub in
+  let nope = Gen_util.leaf ctx ~name:"pipe_no_op" ~params:2 ~compute:2 ~subsystem:sub in
+  let release =
+    Gen_util.chain ctx ~name:"pipe_release" ~depth:1 ~compute:5 ~subsystem:sub
+      ~extra_callees:[ common.Common.kfree ] ()
+  in
+  register_op ctx ~fs ~op:Memmap.op_read read;
+  register_op ctx ~fs ~op:Memmap.op_write write;
+  register_op ctx ~fs ~op:Memmap.op_open open_;
+  register_op ctx ~fs ~op:Memmap.op_stat stat;
+  register_op ctx ~fs ~op:Memmap.op_poll poll;
+  register_op ctx ~fs ~op:Memmap.op_mmap nope;
+  register_op ctx ~fs ~op:Memmap.op_fsync nope;
+  register_op ctx ~fs ~op:Memmap.op_release release
+
+let build_sockfs ctx (net : Net.t) ~fs =
+  let nope = Gen_util.leaf ctx ~name:"sockfs_no_op" ~params:2 ~compute:2 ~subsystem:sub in
+  register_op ctx ~fs ~op:Memmap.op_read net.Net.sockfs_read;
+  register_op ctx ~fs ~op:Memmap.op_write net.Net.sockfs_write;
+  register_op ctx ~fs ~op:Memmap.op_open nope;
+  register_op ctx ~fs ~op:Memmap.op_stat nope;
+  register_op ctx ~fs ~op:Memmap.op_poll net.Net.sockfs_poll;
+  register_op ctx ~fs ~op:Memmap.op_mmap nope;
+  register_op ctx ~fs ~op:Memmap.op_fsync nope;
+  register_op ctx ~fs ~op:Memmap.op_release nope
+
+let build ctx (common : Common.t) (block : Block.t) (net : Net.t) =
+  let fs_names =
+    [| "ext4"; "xfs"; "btrfs"; "tmpfs"; "procfs"; "devfs"; "pipefs"; "sockfs" |]
+  in
+  let depths = [| 4; 3; 4; 2; 2; 2 |] in
+  Array.iteri
+    (fun fs fsname ->
+      if fs < 6 then build_disk_fs ctx common block ~fs ~fsname ~depth:depths.(fs))
+    fs_names;
+  build_pipefs ctx common ~fs:6;
+  build_sockfs ctx net ~fs:7;
+  let readahead =
+    Gen_util.chain ctx ~name:"generic_readahead" ~depth:2 ~compute:12 ~subsystem:sub ()
+  in
+  let error_path =
+    Gen_util.chain ctx ~name:"vfs_error_path" ~depth:2 ~compute:12 ~subsystem:sub ()
+  in
+  let component =
+    Gen_util.leaf ctx ~name:"link_path_walk_component" ~params:2 ~compute:8 ~subsystem:sub
+  in
+  (* dcache lookup: a hash-dispatch function whose static InlineCost
+     exceeds Rule 3's threshold while the common (hash-hit) case is a few
+     cycles; only some buckets fall through to the allocation chain.
+     This is the hot oversized callee the lax-heuristics configuration
+     re-enables (paper section 8.3). *)
+  let dcache_miss =
+    Gen_util.chain ctx ~name:"dcache_miss" ~depth:2 ~compute:8 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  let dcache_lookup =
+    define ctx ~name:"dcache_lookup" ~params:2 (fun b ->
+        let key = Builder.param b 0 and depth_arg = Builder.param b 1 in
+        let h = Builder.reg b in
+        Builder.assign b h (Binop (And, Reg key, Imm 31));
+        let cases = List.init 32 (fun _ -> Builder.new_block b) in
+        let join = Builder.new_block b in
+        let out = Builder.reg b in
+        Builder.switch b ~lowering:Jump_table (Reg h)
+          (List.mapi (fun i l -> (i, l)) cases)
+          ~default:join;
+        List.iteri
+          (fun j l ->
+            Builder.switch_to b l;
+            if j < 24 then begin
+              let r = Gen_util.compute ctx b ~seeds:[ key; depth_arg ] ~n:25 in
+              Builder.assign b out (Move (Reg r))
+            end
+            else begin
+              let r = Gen_util.call ctx b dcache_miss [ Reg key; Reg depth_arg ] in
+              Builder.assign b out (Move (Reg r))
+            end;
+            Builder.jmp b join)
+          cases;
+        Builder.switch_to b join;
+        Builder.ret b (Some (Reg out)))
+  in
+  let get_unused_fd =
+    Gen_util.leaf ctx ~name:"get_unused_fd" ~params:2 ~compute:5 ~subsystem:sub
+  in
+  let alloc_file =
+    Gen_util.chain ctx ~name:"alloc_file" ~depth:2 ~compute:8 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  (* --- generic vfs entry paths --- *)
+  let victim_site = ref (-1) in
+  let vfs_rw ~name ~op ~capture ~cold =
+    define ctx ~name ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.fdget [ Reg fd; Reg fd ]);
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg fd; Reg len ]);
+        (* Rare slow path: ~1/128 of calls. *)
+        let masked = Builder.reg b in
+        Builder.assign b masked (Binop (And, Reg len, Imm 127));
+        let is_zero = Builder.reg b in
+        Builder.assign b is_zero (Binop (Eq, Reg masked, Imm 0));
+        let slow = Builder.new_block b in
+        let fast = Builder.new_block b in
+        Builder.br b (Reg is_zero) slow fast;
+        Builder.switch_to b slow;
+        ignore (Gen_util.call ctx b cold [ Reg fd; Reg len ]);
+        Builder.jmp b fast;
+        Builder.switch_to b fast;
+        let slot = fs_ops_slot ctx b ~fd ~op in
+        let fp = Builder.reg b in
+        Builder.assign b fp (Load (Reg slot));
+        let dst = Builder.reg b in
+        let site = Ctx.site ctx in
+        if capture then victim_site := site.site_id;
+        Builder.icall b ~dst site [ Reg fd; Reg len ] ~fptr:(Reg fp);
+        (* uaccess copy-out: a quarter of transfers take the bulk
+           size-class copy whose InlineCost exceeds Rule 3's threshold. *)
+        let umask = Builder.reg b in
+        Builder.assign b umask (Binop (And, Reg len, Imm 3));
+        let uz = Builder.reg b in
+        Builder.assign b uz (Binop (Eq, Reg umask, Imm 0));
+        let bulk = Builder.new_block b in
+        let small_copy = Builder.new_block b in
+        let out = Builder.new_block b in
+        Builder.br b (Reg uz) bulk small_copy;
+        Builder.switch_to b bulk;
+        ignore (Gen_util.call ctx b common.Common.copy_user_big [ Reg dst; Reg len ]);
+        Builder.jmp b out;
+        Builder.switch_to b small_copy;
+        ignore (Gen_util.call ctx b common.Common.put_user [ Reg dst; Reg len ]);
+        Builder.jmp b out;
+        Builder.switch_to b out;
+        ignore (Gen_util.call ctx b common.Common.fput [ Reg fd; Reg fd ]);
+        Builder.ret b (Some (Reg dst)))
+  in
+  let vfs_read = vfs_rw ~name:"vfs_read" ~op:Memmap.op_read ~capture:true ~cold:readahead in
+  let vfs_write =
+    vfs_rw ~name:"vfs_write" ~op:Memmap.op_write ~capture:false ~cold:error_path
+  in
+  let do_filp_open =
+    define ctx ~name:"do_filp_open" ~params:2 (fun b ->
+        let path = Builder.param b 0 and flags = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg path; Reg flags ]);
+        ignore (Gen_util.call ctx b common.Common.audit_hook [ Reg path; Reg path ]);
+        let ncomp_raw = Builder.reg b in
+        Builder.assign b ncomp_raw (Binop (And, Reg path, Imm 7));
+        let ncomp = Builder.reg b in
+        Builder.assign b ncomp (Binop (Add, Reg ncomp_raw, Imm 3));
+        ignore
+          (Gen_util.loop ctx b ~count:(Reg ncomp) ~body:(fun b i ->
+               let c = Gen_util.call ctx b component [ Reg path; Reg i ] in
+               ignore (Gen_util.call ctx b dcache_lookup [ Reg c; Reg i ]);
+               ignore (Gen_util.call ctx b common.Common.security_check [ Reg c; Reg i ]);
+               None));
+        ignore (Gen_util.call ctx b alloc_file [ Reg path; Reg flags ]);
+        let mount = Builder.reg b in
+        Builder.assign b mount (Binop (And, Reg path, Imm 63));
+        let slot = fs_ops_slot ctx b ~fd:mount ~op:Memmap.op_open in
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg path; Reg flags ] in
+        ignore (Gen_util.call ctx b get_unused_fd [ Reg r; Reg r ]);
+        ignore (Gen_util.call ctx b common.Common.audit_hook [ Reg r; Reg r ]);
+        Builder.ret b (Some (Reg r)))
+  in
+  let vfs_stat =
+    define ctx ~name:"vfs_stat" ~params:2 (fun b ->
+        let path = Builder.param b 0 and buf = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg path; Reg buf ]);
+        let ncomp_raw = Builder.reg b in
+        Builder.assign b ncomp_raw (Binop (And, Reg path, Imm 3));
+        let ncomp = Builder.reg b in
+        Builder.assign b ncomp (Binop (Add, Reg ncomp_raw, Imm 2));
+        ignore
+          (Gen_util.loop ctx b ~count:(Reg ncomp) ~body:(fun b i ->
+               let c = Gen_util.call ctx b component [ Reg path; Reg i ] in
+               ignore (Gen_util.call ctx b dcache_lookup [ Reg c; Reg i ]);
+               None));
+        let mount = Builder.reg b in
+        Builder.assign b mount (Binop (And, Reg path, Imm 63));
+        let slot = fs_ops_slot ctx b ~fd:mount ~op:Memmap.op_stat in
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg path; Reg buf ] in
+        ignore (Gen_util.call ctx b common.Common.put_user [ Reg r; Reg buf ]);
+        Builder.ret b (Some (Reg r)))
+  in
+  let vfs_fstat =
+    define ctx ~name:"vfs_fstat" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and buf = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.fdget [ Reg fd; Reg fd ]);
+        let v = Gen_util.compute ctx b ~seeds:[ fd; buf ] ~n:10 in
+        let slot = fs_ops_slot ctx b ~fd ~op:Memmap.op_stat in
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg fd; Reg v ] in
+        ignore (Gen_util.call ctx b common.Common.fput [ Reg fd; Reg fd ]);
+        Builder.ret b (Some (Reg r)))
+  in
+  let vfs_poll =
+    define ctx ~name:"vfs_poll" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and mask = Builder.param b 1 in
+        let slot = fs_ops_slot ctx b ~fd ~op:Memmap.op_poll in
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg fd; Reg mask ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let vfs_fsync =
+    define ctx ~name:"vfs_fsync" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and how = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.fdget [ Reg fd; Reg fd ]);
+        let slot = fs_ops_slot ctx b ~fd ~op:Memmap.op_fsync in
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg fd; Reg how ] in
+        ignore (Gen_util.call ctx b common.Common.fput [ Reg fd; Reg fd ]);
+        Builder.ret b (Some (Reg r)))
+  in
+  {
+    vfs_read;
+    vfs_write;
+    do_filp_open;
+    vfs_stat;
+    vfs_fstat;
+    vfs_poll;
+    vfs_fsync;
+    fs_names;
+    victim_icall_site = !victim_site;
+    victim_ops_addr = Memmap.vfs_op_addr ctx.Ctx.mm ~fs:0 ~op:Memmap.op_read;
+  }

@@ -1,0 +1,24 @@
+(** The VFS layer and the filesystem implementations.
+
+    Eight filesystem types (ext4/xfs/btrfs/tmpfs/procfs/devfs plus pipefs
+    and net's sockfs) register read/write/open/stat/poll/mmap/fsync/release
+    implementations in the per-fs operation tables; the generic [vfs_*]
+    entry paths dispatch through them, exactly the [file_operations]
+    pattern whose indirect calls PIBE promotes.  [victim_icall_site] (the
+    indirect call inside [vfs_read]) and [victim_ops_addr] (the ext4 read
+    slot) anchor the attack drills. *)
+
+type t = {
+  vfs_read : string;
+  vfs_write : string;
+  do_filp_open : string;
+  vfs_stat : string;
+  vfs_fstat : string;
+  vfs_poll : string;
+  vfs_fsync : string;
+  fs_names : string array;
+  victim_icall_site : int;
+  victim_ops_addr : int;
+}
+
+val build : Ctx.t -> Common.t -> Block.t -> Net.t -> t

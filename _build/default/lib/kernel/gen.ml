@@ -1,0 +1,95 @@
+open Pibe_ir
+open Types
+
+type info = {
+  prog : Program.t;
+  entry : string;
+  syscalls : Syscalls.t;
+  mm : Memmap.t;
+  fs : Fs.t;
+  net : Net.t;
+  gadget : string;
+  gadget_fptr : int;
+  victim_icall_site : int;
+  victim_ops_addr : int;
+  pv_call_site : int;
+}
+
+let nr info name = Syscalls.nr info.syscalls name
+
+(* fd-table population: files 0-63 with a skewed fs mix, pipes 64-79,
+   sockets 80-127 (tcp/udp/unix/raw). *)
+let init_fd_tables ctx =
+  let mm = ctx.Ctx.mm in
+  let file_fs fd =
+    (* ext4-heavy, long tail over the other disk filesystems *)
+    if fd < 36 then 0 (* ext4 *)
+    else if fd < 46 then 3 (* tmpfs *)
+    else if fd < 54 then 1 (* xfs *)
+    else if fd < 58 then 2 (* btrfs *)
+    else if fd < 61 then 4 (* procfs *)
+    else 5 (* devfs *)
+  in
+  for fd = 0 to 63 do
+    Ctx.init_global ctx ~addr:(mm.Memmap.fd_table + fd) ~value:(file_fs fd)
+  done;
+  for fd = 64 to 79 do
+    Ctx.init_global ctx ~addr:(mm.Memmap.fd_table + fd) ~value:6 (* pipefs *)
+  done;
+  for fd = 80 to 127 do
+    Ctx.init_global ctx ~addr:(mm.Memmap.fd_table + fd) ~value:7 (* sockfs *);
+    let proto =
+      if fd < 100 then 0 (* tcp *)
+      else if fd < 112 then 1 (* udp *)
+      else if fd < 124 then 2 (* unix *)
+      else 3 (* raw *)
+    in
+    Ctx.init_global ctx ~addr:(mm.Memmap.proto_table + fd) ~value:proto
+  done
+
+(* The gadget the transient drills try to reach: it observably leaks the
+   secret cell, so reaching it transiently = information disclosure. *)
+let build_gadget ctx =
+  let mm = ctx.Ctx.mm in
+  let b = Builder.create ~name:"spectre_gadget" ~params:2 in
+  let addr = Builder.reg b in
+  Builder.assign b addr (Const mm.Memmap.secret);
+  let secret = Builder.reg b in
+  Builder.assign b secret (Load (Reg addr));
+  Builder.observe b (Reg secret);
+  Builder.ret b (Some (Reg secret));
+  Ctx.add ctx
+    (Builder.finish b ~attrs:{ default_attrs with subsystem = "gadget"; noinline = true } ());
+  let idx = Ctx.register_fptr ctx "spectre_gadget" in
+  ("spectre_gadget", idx)
+
+let generate cfg =
+  let mm = Memmap.make ~nfs:8 ~nproto:4 ~n_drv:(12 * cfg.Ctx.scale) in
+  let ctx = Ctx.create cfg mm in
+  let common = Common.build ctx in
+  let block = Block.build ctx common in
+  let net = Net.build ctx common in
+  let fs = Fs.build ctx common block net in
+  let mm_sub = Mm.build ctx common in
+  let misc = Misc.build ctx common block fs mm_sub in
+  let drivers = Drivers.build ctx common in
+  let cbs = Callbacks.build ctx common in
+  let syscalls = Syscalls.build ctx common fs net mm_sub misc drivers cbs in
+  init_fd_tables ctx;
+  Ctx.init_global ctx ~addr:mm.Memmap.secret ~value:0xdeadbeef;
+  let gadget, gadget_fptr = build_gadget ctx in
+  let prog = ctx.Ctx.prog in
+  Validate.check_exn prog;
+  {
+    prog;
+    entry = syscalls.Syscalls.entry;
+    syscalls;
+    mm;
+    fs;
+    net;
+    gadget;
+    gadget_fptr;
+    victim_icall_site = fs.Fs.victim_icall_site;
+    victim_ops_addr = fs.Fs.victim_ops_addr;
+    pv_call_site = mm_sub.Mm.pv_call_site;
+  }

@@ -1,0 +1,26 @@
+(** Top-level synthetic kernel generator.
+
+    [generate cfg] deterministically builds the whole image — core
+    utilities, networking, VFS + filesystems, mm + para-virt, scheduler,
+    signals, process lifecycle, the driver/cold bulk, the syscall layer —
+    seeds the dispatch tables in global memory, and returns everything
+    the pipeline, workloads and attack drills need to reference it. *)
+
+type info = {
+  prog : Pibe_ir.Program.t;
+  entry : string;  (** the syscall dispatcher *)
+  syscalls : Syscalls.t;
+  mm : Memmap.t;
+  fs : Fs.t;
+  net : Net.t;
+  gadget : string;  (** never called legitimately; attack drills aim here *)
+  gadget_fptr : int;
+  victim_icall_site : int;  (** the indirect call inside [vfs_read] *)
+  victim_ops_addr : int;  (** the ext4 read-slot address that call loads from *)
+  pv_call_site : int;  (** an *executed* inline-assembly hypercall site (mmap path) *)
+}
+
+val generate : Ctx.config -> info
+
+val nr : info -> string -> int
+(** Syscall number by name. *)

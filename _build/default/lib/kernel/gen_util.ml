@@ -1,0 +1,188 @@
+open Pibe_ir
+open Types
+module Rng = Pibe_util.Rng
+
+let compute ctx b ~seeds ~n =
+  let rng = Ctx.rng ctx in
+  let mm = ctx.Ctx.mm in
+  let first =
+    match seeds with
+    | r :: _ -> r
+    | [] ->
+      let r = Builder.reg b in
+      Builder.assign b r (Const (Rng.int rng 1024));
+      r
+  in
+  (* A sliding window of live values to draw operands from. *)
+  let vals = ref (Array.of_list (first :: List.filteri (fun i _ -> i < 5) seeds)) in
+  let pick () = !vals.(Rng.int rng (Array.length !vals)) in
+  let push r =
+    let arr = !vals in
+    if Array.length arr < 6 then vals := Array.append arr [| r |]
+    else begin
+      arr.(Rng.int rng (Array.length arr)) <- r;
+      vals := arr
+    end
+  in
+  let scratch_addr v =
+    let masked = Builder.reg b in
+    Builder.assign b masked (Binop (And, Reg v, Imm (mm.Memmap.scratch_len - 1)));
+    let addr = Builder.reg b in
+    Builder.assign b addr (Binop (Add, Reg masked, Imm mm.Memmap.scratch));
+    addr
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match Rng.int rng 10 with
+    | 0 | 1 | 2 ->
+      (* scratch load: kernel code chases pointers, and loads can neither
+         be folded nor hoisted by the cleanup pass *)
+      let addr = scratch_addr (pick ()) in
+      let r = Builder.reg b in
+      Builder.assign b r (Load (Reg addr));
+      push r;
+      i := !i + 3
+    | 3 ->
+      (* scratch store *)
+      let addr = scratch_addr (pick ()) in
+      Builder.store b ~addr:(Reg addr) ~value:(Reg (pick ()));
+      i := !i + 3
+    | 4 when Rng.int rng 4 = 0 ->
+      (* observable output, kept rare so traces stay compact *)
+      Builder.observe b (Reg (pick ()));
+      incr i
+    | _ ->
+      let op = Rng.choose rng [| Add; Sub; Mul; Xor; And; Or; Shl; Shr |] in
+      let a = pick () in
+      let snd = if Rng.bool rng then Reg (pick ()) else Imm (1 + Rng.int rng 63) in
+      let r = Builder.reg b in
+      Builder.assign b r (Binop (op, Reg a, snd));
+      push r;
+      incr i);
+    ()
+  done;
+  (* Kernel code branches on its data constantly (error checks, flag
+     tests); about a third of compute sequences end in a small
+     data-dependent diamond, which populates the PHT and gives the
+     Spectre-V1 scanner realistic material. *)
+  if n >= 6 && Rng.int rng 3 = 0 then begin
+    let c = Builder.reg b in
+    Builder.assign b c (Binop (And, Reg (pick ()), Imm 1));
+    let merged = Builder.reg b in
+    let bt = Builder.new_block b in
+    let bf = Builder.new_block b in
+    let join = Builder.new_block b in
+    Builder.br b (Reg c) bt bf;
+    Builder.switch_to b bt;
+    Builder.assign b merged (Binop (Add, Reg (pick ()), Imm (1 + Rng.int rng 31)));
+    Builder.jmp b join;
+    Builder.switch_to b bf;
+    Builder.assign b merged (Binop (Xor, Reg (pick ()), Imm (1 + Rng.int rng 31)));
+    Builder.jmp b join;
+    Builder.switch_to b join;
+    push merged
+  end;
+  (* Fold the whole live window into the result so the sequence carries
+     real dataflow: kernel code is not dead code, and the cleanup pass
+     must not be able to strip it. *)
+  let acc = ref !vals.(0) in
+  Array.iteri
+    (fun idx v ->
+      if idx > 0 then begin
+        let r = Builder.reg b in
+        Builder.assign b r (Binop (Xor, Reg !acc, Reg v));
+        acc := r
+      end)
+    !vals;
+  !acc
+
+let loop ctx b ~count ~body =
+  ignore ctx;
+  let i = Builder.reg b in
+  Builder.assign b i (Const 0);
+  let header = Builder.new_block b in
+  let body_l = Builder.new_block b in
+  let exit_l = Builder.new_block b in
+  Builder.jmp b header;
+  Builder.switch_to b header;
+  let c = Builder.reg b in
+  Builder.assign b c (Binop (Lt, Reg i, count));
+  Builder.br b (Reg c) body_l exit_l;
+  Builder.switch_to b body_l;
+  let acc = body b i in
+  Builder.assign b i (Binop (Add, Reg i, Imm 1));
+  Builder.jmp b header;
+  Builder.switch_to b exit_l;
+  acc
+
+let call ctx b callee args =
+  let dst = Builder.reg b in
+  Builder.call b ~dst (Ctx.site ctx) callee args;
+  dst
+
+let icall_mem ctx b ~table_addr ~args =
+  let fp = Builder.reg b in
+  Builder.assign b fp (Load (Reg table_addr));
+  let dst = Builder.reg b in
+  Builder.icall b ~dst (Ctx.site ctx) args ~fptr:(Reg fp);
+  dst
+
+let jitter ctx n =
+  if n <= 2 then n
+  else
+    let spread = max 1 (n / 3) in
+    n - spread + Rng.int (Ctx.rng ctx) (2 * spread)
+
+(* Most kernel helpers commit state (locks, counters, object fields), so
+   their work stays live even when the caller ignores the return value —
+   otherwise post-inline dead-code elimination would strip whole bodies,
+   which real code does not allow.  A sixth stay pure (and legitimately
+   DCE-able when their result is unused). *)
+let commit_result ctx b r =
+  if Rng.int (Ctx.rng ctx) 6 < 5 then begin
+    let mm = ctx.Ctx.mm in
+    let masked = Builder.reg b in
+    Builder.assign b masked (Binop (And, Reg r, Imm (mm.Memmap.scratch_len - 1)));
+    let addr = Builder.reg b in
+    Builder.assign b addr (Binop (Add, Reg masked, Imm mm.Memmap.scratch));
+    Builder.store b ~addr:(Reg addr) ~value:(Reg r)
+  end
+
+let leaf ctx ~name ~params ~compute:n ~subsystem =
+  let b = Builder.create ~name ~params in
+  let seeds = List.init params (fun i -> Builder.param b i) in
+  let r = compute ctx b ~seeds ~n:(jitter ctx n) in
+  commit_result ctx b r;
+  Builder.ret b (Some (Reg r));
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem } ());
+  name
+
+let chain ctx ~name ~depth ~compute:n ~subsystem ?(extra_callees = []) () =
+  let rng = Ctx.rng ctx in
+  let level_name i = Printf.sprintf "%s__%d" name i in
+  (* Build bottom-up so callees exist when callers reference them. *)
+  let leaf_name =
+    leaf ctx
+      ~name:(if depth = 0 then name else level_name 0)
+      ~params:2 ~compute:n ~subsystem
+  in
+  let rec build i prev =
+    if i > depth then prev
+    else begin
+      let fname = if i = depth then name else level_name i in
+      let b = Builder.create ~name:fname ~params:2 in
+      let a0 = Builder.param b 0 and a1 = Builder.param b 1 in
+      let v = compute ctx b ~seeds:[ a0; a1 ] ~n:(jitter ctx n) in
+      (if extra_callees <> [] && Rng.int rng 3 = 0 then
+         let callee = Rng.choose rng (Array.of_list extra_callees) in
+         ignore (call ctx b callee [ Reg v; Reg a1 ]));
+      let sub = call ctx b prev [ Reg v; Reg a0 ] in
+      let out = Builder.reg b in
+      Builder.assign b out (Binop (Xor, Reg sub, Reg v));
+      commit_result ctx b out;
+      Builder.ret b (Some (Reg out));
+      Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem } ());
+      build (i + 1) fname
+    end
+  in
+  if depth = 0 then leaf_name else build 1 leaf_name

@@ -1,0 +1,50 @@
+(** Builder-level helpers shared by the subsystem generators: jittered
+    compute sequences over scratch memory, counted loops, leaf functions
+    and call chains.  Everything draws from the context's RNG, so a given
+    (seed, scale) yields one fixed kernel. *)
+
+open Pibe_ir
+
+val compute :
+  Ctx.t -> Builder.t -> seeds:Types.reg list -> n:int -> Types.reg
+(** Emits roughly [n] instructions (arithmetic, scratch loads/stores, the
+    occasional [observe]) mixing the seed registers, and returns the
+    register holding the final value. *)
+
+val loop :
+  Ctx.t ->
+  Builder.t ->
+  count:Types.operand ->
+  body:(Builder.t -> Types.reg -> Types.reg option) ->
+  Types.reg option
+(** Counted loop [for i = 0 .. count-1]; [body] receives the induction
+    register and may return an accumulator register whose last value is
+    returned.  On exit the builder's insertion point is the loop's exit
+    block. *)
+
+val call : Ctx.t -> Builder.t -> string -> Types.operand list -> Types.reg
+(** Emits a direct call with a fresh site; returns the destination
+    register. *)
+
+val icall_mem :
+  Ctx.t -> Builder.t -> table_addr:Types.reg -> args:Types.operand list -> Types.reg
+(** Loads a function-pointer index from [table_addr] and emits an
+    indirect call through it; returns the destination register. *)
+
+val leaf :
+  Ctx.t -> name:string -> params:int -> compute:int -> subsystem:string -> string
+(** A leaf function: compute over its arguments, return a value. *)
+
+val chain :
+  Ctx.t ->
+  name:string ->
+  depth:int ->
+  compute:int ->
+  subsystem:string ->
+  ?extra_callees:string list ->
+  unit ->
+  string
+(** A call chain of [depth + 1] functions ([name__0] the leaf); each level
+    does [compute (+/- jitter)] work, calls the next level, and with
+    probability 1/3 also calls one of [extra_callees].  Returns the top
+    function's name. *)

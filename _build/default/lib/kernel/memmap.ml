@@ -1,0 +1,131 @@
+type t = {
+  nfd : int;
+  nfs : int;
+  nproto : int;
+  ops_per_fs : int;
+  ops_per_proto : int;
+  n_pv : int;
+  n_sched_class : int;
+  ops_per_sched : int;
+  n_sig : int;
+  n_drv : int;
+  ops_per_drv : int;
+  fd_table : int;
+  proto_table : int;
+  vfs_ops : int;
+  sock_ops : int;
+  pv_ops : int;
+  sched_ops : int;
+  sig_handlers : int;
+  drv_ops : int;
+  timer_cbs : int;
+  n_timer : int;
+  lsm_hooks : int;
+  nf_hooks : int;
+  blk_ops : int;
+  n_blk_sched : int;
+  ops_per_blk : int;
+  crypto_ops : int;
+  n_crypto : int;
+  ops_per_crypto : int;
+  tick : int;
+  scratch : int;
+  scratch_len : int;
+  secret : int;
+  size : int;
+}
+
+let op_read = 0
+let op_write = 1
+let op_open = 2
+let op_stat = 3
+let op_poll = 4
+let op_mmap = 5
+let op_fsync = 6
+let op_release = 7
+let sop_sendmsg = 0
+let sop_recvmsg = 1
+let sop_poll = 2
+let sop_connect = 3
+let sop_accept = 4
+let sop_shutdown = 5
+
+let make ~nfs ~nproto ~n_drv =
+  let nfd = 128 in
+  let ops_per_fs = 8 in
+  let ops_per_proto = 6 in
+  let n_pv = 8 in
+  let n_sched_class = 4 in
+  let ops_per_sched = 4 in
+  let n_sig = 16 in
+  let ops_per_drv = 4 in
+  let scratch_len = 256 in
+  let cursor = ref 0 in
+  let region len =
+    let base = !cursor in
+    cursor := base + len;
+    base
+  in
+  let fd_table = region nfd in
+  let proto_table = region nfd in
+  let vfs_ops = region (nfs * ops_per_fs) in
+  let sock_ops = region (nproto * ops_per_proto) in
+  let pv_ops = region n_pv in
+  let sched_ops = region (n_sched_class * ops_per_sched) in
+  let sig_handlers = region n_sig in
+  let drv_ops = region (n_drv * ops_per_drv) in
+  let n_timer = 16 in
+  let timer_cbs = region n_timer in
+  let lsm_hooks = region 4 in
+  let nf_hooks = region 4 in
+  let n_blk_sched = 3 in
+  let ops_per_blk = 4 in
+  let blk_ops = region (n_blk_sched * ops_per_blk) in
+  let n_crypto = 4 in
+  let ops_per_crypto = 3 in
+  let crypto_ops = region (n_crypto * ops_per_crypto) in
+  let tick = region 1 in
+  let scratch = region scratch_len in
+  let secret = region 1 in
+  {
+    nfd;
+    nfs;
+    nproto;
+    ops_per_fs;
+    ops_per_proto;
+    n_pv;
+    n_sched_class;
+    ops_per_sched;
+    n_sig;
+    n_drv;
+    ops_per_drv;
+    fd_table;
+    proto_table;
+    vfs_ops;
+    sock_ops;
+    pv_ops;
+    sched_ops;
+    sig_handlers;
+    drv_ops;
+    timer_cbs;
+    n_timer;
+    lsm_hooks;
+    nf_hooks;
+    blk_ops;
+    n_blk_sched;
+    ops_per_blk;
+    crypto_ops;
+    n_crypto;
+    ops_per_crypto;
+    tick;
+    scratch;
+    scratch_len;
+    secret;
+    size = !cursor;
+  }
+
+let blk_op_addr t ~sched ~op = t.blk_ops + (sched * t.ops_per_blk) + op
+let crypto_op_addr t ~alg ~op = t.crypto_ops + (alg * t.ops_per_crypto) + op
+let vfs_op_addr t ~fs ~op = t.vfs_ops + (fs * t.ops_per_fs) + op
+let sock_op_addr t ~proto ~op = t.sock_ops + (proto * t.ops_per_proto) + op
+let drv_op_addr t ~drv ~op = t.drv_ops + (drv * t.ops_per_drv) + op

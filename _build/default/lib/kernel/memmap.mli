@@ -1,0 +1,76 @@
+(** Global-memory layout of the synthetic kernel image.
+
+    The generator materializes the dispatch state a real kernel keeps in
+    memory: a file-descriptor table mapping fds to filesystem types,
+    per-filesystem operation tables ([file_operations]), per-protocol
+    socket operation tables ([proto_ops]), the para-virtualization call
+    table ([pv_ops]), scheduler-class and signal tables, cold driver
+    tables, plus scratch cells for computation and one "secret" cell the
+    attack drills try to leak. *)
+
+type t = {
+  nfd : int;  (** file-descriptor table size *)
+  nfs : int;  (** filesystem types *)
+  nproto : int;  (** socket protocols *)
+  ops_per_fs : int;
+  ops_per_proto : int;
+  n_pv : int;
+  n_sched_class : int;
+  ops_per_sched : int;
+  n_sig : int;
+  n_drv : int;
+  ops_per_drv : int;
+  fd_table : int;  (** base: cell [fd_table + fd] holds the fd's fs id *)
+  proto_table : int;  (** base: cell [proto_table + fd] holds a socket fd's proto id *)
+  vfs_ops : int;  (** base: cell [vfs_ops + fs*ops_per_fs + op] holds an fptr index *)
+  sock_ops : int;
+  pv_ops : int;
+  sched_ops : int;
+  sig_handlers : int;
+  drv_ops : int;
+  timer_cbs : int;  (** base of the timer/softirq callback table *)
+  n_timer : int;
+  lsm_hooks : int;  (** security-module hook table (4 entries) *)
+  nf_hooks : int;  (** netfilter hook table (4 entries) *)
+  blk_ops : int;  (** I/O-scheduler ops: [blk_ops + sched*ops_per_blk + op] *)
+  n_blk_sched : int;
+  ops_per_blk : int;
+  crypto_ops : int;  (** crypto-algorithm ops: [crypto_ops + alg*ops_per_crypto + op] *)
+  n_crypto : int;
+  ops_per_crypto : int;
+  tick : int;  (** jiffies-style counter bumped on every syscall *)
+  scratch : int;
+  scratch_len : int;  (** power of two *)
+  secret : int;
+  size : int;  (** total cells *)
+}
+
+(** Operation slots within a filesystem's table. *)
+val op_read : int
+
+val op_write : int
+val op_open : int
+val op_stat : int
+val op_poll : int
+val op_mmap : int
+val op_fsync : int
+val op_release : int
+
+(** Operation slots within a protocol's table. *)
+val sop_sendmsg : int
+
+val sop_recvmsg : int
+val sop_poll : int
+val sop_connect : int
+val sop_accept : int
+val sop_shutdown : int
+
+val make : nfs:int -> nproto:int -> n_drv:int -> t
+(** Computes a packed layout; [nfd] is fixed at 128 and scratch at 256
+    cells. *)
+
+val blk_op_addr : t -> sched:int -> op:int -> int
+val crypto_op_addr : t -> alg:int -> op:int -> int
+val vfs_op_addr : t -> fs:int -> op:int -> int
+val sock_op_addr : t -> proto:int -> op:int -> int
+val drv_op_addr : t -> drv:int -> op:int -> int

@@ -1,0 +1,194 @@
+open Pibe_ir
+open Types
+
+type t = {
+  schedule : string;
+  do_fork : string;
+  do_exit : string;
+  do_execve : string;
+  sig_install : string;
+  sig_dispatch : string;
+  user_handler_base_fptr : int;
+}
+
+let define ctx ~name ~params ~sub body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+let build_sched ctx (common : Common.t) (mm_sub : Mm.t) =
+  let sub = "sched" in
+  let mm = ctx.Ctx.mm in
+  let class_names = [| "fair"; "rt"; "idle_class"; "dl" |] in
+  Array.iteri
+    (fun cls cname ->
+      let pick_next =
+        Gen_util.chain ctx
+          ~name:(cname ^ "_pick_next")
+          ~depth:2 ~compute:9 ~subsystem:sub ()
+      in
+      let put_prev =
+        Gen_util.leaf ctx ~name:(cname ^ "_put_prev") ~params:2 ~compute:5 ~subsystem:sub
+      in
+      let enqueue =
+        Gen_util.chain ctx ~name:(cname ^ "_enqueue") ~depth:1 ~compute:7 ~subsystem:sub ()
+      in
+      let dequeue =
+        Gen_util.chain ctx ~name:(cname ^ "_dequeue") ~depth:1 ~compute:7 ~subsystem:sub ()
+      in
+      List.iteri
+        (fun op name ->
+          let idx = Ctx.register_fptr ctx name in
+          Ctx.init_global ctx
+            ~addr:(mm.Memmap.sched_ops + (cls * mm.Memmap.ops_per_sched) + op)
+            ~value:idx)
+        [ pick_next; put_prev; enqueue; dequeue ])
+    class_names;
+  let context_switch =
+    define ctx ~name:"context_switch" ~params:2 ~sub (fun b ->
+        let prev = Builder.param b 0 and next = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ prev; next ] ~n:10 in
+        (* Switching address spaces is a hypercall under
+           para-virtualization. *)
+        let addr = Builder.reg b in
+        Builder.assign b addr (Const (mm_sub.Mm.pv_flush_tlb_slot + 2));
+        let fp = Builder.reg b in
+        Builder.assign b fp (Load (Reg addr));
+        Builder.asm_icall b (Ctx.site ctx) ~fptr:(Reg fp);
+        Builder.ret b (Some (Reg v)))
+  in
+  define ctx ~name:"schedule" ~params:2 ~sub (fun b ->
+      let a0 = Builder.param b 0 and a1 = Builder.param b 1 in
+      ignore (Gen_util.call ctx b common.Common.get_current [ Reg a0; Reg a0 ]);
+      let mix = Builder.reg b in
+      Builder.assign b mix (Binop (Xor, Reg a0, Reg a1));
+      let cls = Builder.reg b in
+      Builder.assign b cls (Binop (And, Reg mix, Imm 3));
+      let scaled = Builder.reg b in
+      Builder.assign b scaled (Binop (Mul, Reg cls, Imm ctx.Ctx.mm.Memmap.ops_per_sched));
+      let slot = Builder.reg b in
+      Builder.assign b slot (Binop (Add, Reg scaled, Imm ctx.Ctx.mm.Memmap.sched_ops));
+      let picked = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg a0; Reg a1 ] in
+      let r = Gen_util.call ctx b context_switch [ Reg a0; Reg picked ] in
+      Builder.ret b (Some (Reg r)))
+
+let build_signals ctx (common : Common.t) =
+  let sub = "signal" in
+  let mm = ctx.Ctx.mm in
+  (* Four userspace handlers; consecutive fptr indices. *)
+  let handler_idx =
+    List.init 4 (fun i ->
+        let name =
+          Gen_util.leaf ctx
+            ~name:(Printf.sprintf "user_handler_%d" i)
+            ~params:2 ~compute:6 ~subsystem:sub
+        in
+        Ctx.register_fptr ctx name)
+  in
+  let base = List.hd handler_idx in
+  (* Default table contents: handler 0 everywhere. *)
+  for s = 0 to mm.Memmap.n_sig - 1 do
+    Ctx.init_global ctx ~addr:(mm.Memmap.sig_handlers + s) ~value:base
+  done;
+  let setup_frame =
+    Gen_util.chain ctx ~name:"setup_sigframe" ~depth:2 ~compute:9 ~subsystem:sub
+      ~extra_callees:[ common.Common.put_user ] ()
+  in
+  let sig_install =
+    define ctx ~name:"do_sig_install" ~params:2 ~sub (fun b ->
+        let signum = Builder.param b 0 and handler = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg signum; Reg handler ]);
+        let v = Gen_util.compute ctx b ~seeds:[ signum; handler ] ~n:14 in
+        let hsel = Builder.reg b in
+        Builder.assign b hsel (Binop (And, Reg handler, Imm 3));
+        let idx = Builder.reg b in
+        Builder.assign b idx (Binop (Add, Reg hsel, Imm base));
+        let smasked = Builder.reg b in
+        Builder.assign b smasked (Binop (And, Reg signum, Imm (mm.Memmap.n_sig - 1)));
+        let slot = Builder.reg b in
+        Builder.assign b slot (Binop (Add, Reg smasked, Imm mm.Memmap.sig_handlers));
+        Builder.store b ~addr:(Reg slot) ~value:(Reg idx);
+        Builder.ret b (Some (Reg v)))
+  in
+  let sig_dispatch =
+    define ctx ~name:"do_sig_dispatch" ~params:2 ~sub (fun b ->
+        let signum = Builder.param b 0 and info = Builder.param b 1 in
+        ignore (Gen_util.call ctx b setup_frame [ Reg signum; Reg info ]);
+        let smasked = Builder.reg b in
+        Builder.assign b smasked (Binop (And, Reg signum, Imm (mm.Memmap.n_sig - 1)));
+        let slot = Builder.reg b in
+        Builder.assign b slot (Binop (Add, Reg smasked, Imm mm.Memmap.sig_handlers));
+        let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg signum; Reg info ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  (sig_install, sig_dispatch, base)
+
+let build ctx (common : Common.t) (block : Block.t) (fs : Fs.t) (mm_sub : Mm.t) =
+  let schedule = build_sched ctx common mm_sub in
+  let sig_install, sig_dispatch, user_handler_base_fptr = build_signals ctx common in
+  let sub = "proc" in
+  let copy_mm =
+    Gen_util.chain ctx ~name:"copy_mm" ~depth:3 ~compute:14 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  let dup_fd = Gen_util.leaf ctx ~name:"dup_fd" ~params:2 ~compute:6 ~subsystem:sub in
+  let copy_sighand =
+    Gen_util.chain ctx ~name:"copy_sighand" ~depth:1 ~compute:8 ~subsystem:sub ()
+  in
+  let wake_up_new_task =
+    Gen_util.chain ctx ~name:"wake_up_new_task" ~depth:2 ~compute:8 ~subsystem:sub ()
+  in
+  let load_elf =
+    Gen_util.chain ctx ~name:"load_elf" ~depth:3 ~compute:18 ~subsystem:sub
+      ~extra_callees:[ common.Common.get_user ] ()
+  in
+  let do_fork =
+    define ctx ~name:"do_fork" ~params:2 ~sub (fun b ->
+        let flags = Builder.param b 0 and sp = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.get_current [ Reg flags; Reg flags ]);
+        ignore (Gen_util.call ctx b common.Common.kmalloc [ Reg flags; Reg flags ]);
+        let v = Gen_util.compute ctx b ~seeds:[ flags; sp ] ~n:12 in
+        ignore (Gen_util.call ctx b copy_mm [ Reg v; Reg sp ]);
+        ignore
+          (Gen_util.loop ctx b ~count:(Imm 8) ~body:(fun b i ->
+               ignore (Gen_util.call ctx b dup_fd [ Reg i; Reg v ]);
+               None));
+        ignore (Gen_util.call ctx b copy_sighand [ Reg v; Reg flags ]);
+        let r = Gen_util.call ctx b wake_up_new_task [ Reg v; Reg flags ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let do_exit =
+    define ctx ~name:"do_exit" ~params:2 ~sub (fun b ->
+        let code = Builder.param b 0 and _unused = Builder.param b 1 in
+        ignore
+          (Gen_util.loop ctx b ~count:(Imm 4) ~body:(fun b i ->
+               ignore (Gen_util.call ctx b common.Common.fput [ Reg i; Reg i ]);
+               None));
+        ignore (Gen_util.call ctx b common.Common.kfree [ Reg code; Reg code ]);
+        let r = Gen_util.call ctx b schedule [ Reg code; Reg code ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let do_execve =
+    define ctx ~name:"do_execve" ~params:2 ~sub (fun b ->
+        let path = Builder.param b 0 and argv = Builder.param b 1 in
+        let f = Gen_util.call ctx b fs.Fs.do_filp_open [ Reg path; Reg path ] in
+        (* module/binary signature verification hashes the image *)
+        ignore (Gen_util.call ctx b block.Block.crypto_hash [ Reg f; Reg path ]);
+        ignore (Gen_util.call ctx b load_elf [ Reg f; Reg argv ]);
+        ignore
+          (Gen_util.loop ctx b ~count:(Imm 3) ~body:(fun b i ->
+               ignore (Gen_util.call ctx b "do_mmap" [ Reg i; Imm 4096 ]);
+               None));
+        let r = Gen_util.call ctx b copy_mm [ Reg f; Reg argv ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  {
+    schedule;
+    do_fork;
+    do_exit;
+    do_execve;
+    sig_install;
+    sig_dispatch;
+    user_handler_base_fptr;
+  }

@@ -1,0 +1,17 @@
+(** Scheduler, signals, and process lifecycle (fork/exec/exit): the
+    remaining hot subsystems LMBench exercises.  The scheduler dispatches
+    through per-class operation tables; signal delivery dispatches through
+    a handler table that [sys_sig_install] genuinely writes at runtime. *)
+
+type t = {
+  schedule : string;
+  do_fork : string;
+  do_exit : string;
+  do_execve : string;
+  sig_install : string;
+  sig_dispatch : string;
+  user_handler_base_fptr : int;
+      (** fptr index of user handler 0; handlers 0-3 are consecutive *)
+}
+
+val build : Ctx.t -> Common.t -> Block.t -> Fs.t -> Mm.t -> t

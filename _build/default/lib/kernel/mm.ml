@@ -1,0 +1,95 @@
+open Pibe_ir
+open Types
+
+type t = {
+  do_mmap : string;
+  handle_page_fault : string;
+  do_brk : string;
+  pv_flush_tlb_slot : int;
+  pv_call_site : int;
+}
+
+let sub = "mm"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+(* Emit a para-virt hypercall: an inline-assembly memory-indirect call
+   through a pv_ops slot.  Returns the site id. *)
+let pv_call ctx b ~slot =
+  let addr = Builder.reg b in
+  Builder.assign b addr (Const slot);
+  let fp = Builder.reg b in
+  Builder.assign b fp (Load (Reg addr));
+  let site = Ctx.site ctx in
+  Builder.asm_icall b site ~fptr:(Reg fp);
+  site.site_id
+
+let build ctx (common : Common.t) =
+  let mm = ctx.Ctx.mm in
+  (* Native pv handlers, registered into pv_ops. *)
+  let pv_handler i =
+    let name =
+      Gen_util.leaf ctx
+        ~name:(Printf.sprintf "native_pv_op_%d" i)
+        ~params:0 ~compute:4 ~subsystem:sub
+    in
+    let idx = Ctx.register_fptr ctx name in
+    Ctx.init_global ctx ~addr:(mm.Memmap.pv_ops + i) ~value:idx
+  in
+  for i = 0 to mm.Memmap.n_pv - 1 do
+    pv_handler i
+  done;
+  let pv_flush_tlb_slot = mm.Memmap.pv_ops in
+  let vma_setup =
+    Gen_util.chain ctx ~name:"vma_setup" ~depth:3 ~compute:10 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  let fault_around =
+    Gen_util.chain ctx ~name:"fault_around" ~depth:2 ~compute:10 ~subsystem:sub ()
+  in
+  let swap_in =
+    Gen_util.chain ctx ~name:"swap_in" ~depth:3 ~compute:14 ~subsystem:sub
+      ~extra_callees:[ common.Common.kmalloc ] ()
+  in
+  let pv_site = ref (-1) in
+  let do_mmap =
+    define ctx ~name:"do_mmap" ~params:2 (fun b ->
+        let addr = Builder.param b 0 and len = Builder.param b 1 in
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg addr; Reg len ]);
+        let v = Gen_util.compute ctx b ~seeds:[ addr; len ] ~n:10 in
+        ignore (Gen_util.call ctx b vma_setup [ Reg v; Reg len ]);
+        pv_site := pv_call ctx b ~slot:pv_flush_tlb_slot;
+        Builder.ret b (Some (Reg v)))
+  in
+  let handle_page_fault =
+    define ctx ~name:"handle_page_fault" ~params:2 (fun b ->
+        let addr = Builder.param b 0 and code = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ addr; code ] ~n:12 in
+        (* ~1/64 of faults go to the (much deeper) swap path. *)
+        let masked = Builder.reg b in
+        Builder.assign b masked (Binop (And, Reg addr, Imm 63));
+        let is_zero = Builder.reg b in
+        Builder.assign b is_zero (Binop (Eq, Reg masked, Imm 0));
+        let slow = Builder.new_block b in
+        let fast = Builder.new_block b in
+        Builder.br b (Reg is_zero) slow fast;
+        Builder.switch_to b slow;
+        ignore (Gen_util.call ctx b swap_in [ Reg addr; Reg code ]);
+        Builder.jmp b fast;
+        Builder.switch_to b fast;
+        let r = Gen_util.call ctx b fault_around [ Reg v; Reg code ] in
+        ignore (pv_call ctx b ~slot:(pv_flush_tlb_slot + 1));
+        Builder.ret b (Some (Reg r)))
+  in
+  let do_brk =
+    define ctx ~name:"do_brk" ~params:2 (fun b ->
+        let addr = Builder.param b 0 and len = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ addr; len ] ~n:8 in
+        ignore (Gen_util.call ctx b vma_setup [ Reg v; Reg len ]);
+        Builder.ret b (Some (Reg v)))
+  in
+  { do_mmap; handle_page_fault; do_brk; pv_flush_tlb_slot; pv_call_site = !pv_site }

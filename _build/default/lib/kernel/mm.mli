@@ -1,0 +1,17 @@
+(** Memory management: mmap, page-fault handling, and the
+    para-virtualization call layer.
+
+    The pv layer is the paper's §8.6 finding made concrete: hypercalls go
+    through inline-assembly memory-indirect calls ([Asm_icall]) that no
+    LLVM pass can convert, so they stay vulnerable in every hardened
+    image. *)
+
+type t = {
+  do_mmap : string;
+  handle_page_fault : string;
+  do_brk : string;
+  pv_flush_tlb_slot : int;  (** pv_ops cell the mmap path calls through *)
+  pv_call_site : int;  (** site id of the asm hypercall inside [do_mmap] *)
+}
+
+val build : Ctx.t -> Common.t -> t

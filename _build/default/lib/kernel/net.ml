@@ -1,0 +1,189 @@
+open Pibe_ir
+open Types
+
+type t = {
+  sock_sendmsg : string;
+  sock_recvmsg : string;
+  sock_poll : string;
+  sock_connect : string;
+  sock_accept : string;
+  sockfs_read : string;
+  sockfs_write : string;
+  sockfs_poll : string;
+  proto_names : string array;
+}
+
+let sub = "net"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+(* Register an implementation function in the fptr table and store its
+   index in the proto's ops slot. *)
+let register_op ctx ~proto ~op name =
+  let idx = Ctx.register_fptr ctx name in
+  Ctx.init_global ctx ~addr:(Memmap.sock_op_addr ctx.Ctx.mm ~proto ~op) ~value:idx
+
+let build_proto ctx (common : Common.t) ~proto ~pname ~depth =
+  let chain n d extra =
+    Gen_util.chain ctx ~name:(pname ^ "_" ^ n) ~depth:d ~compute:9 ~subsystem:sub
+      ~extra_callees:extra ()
+  in
+  let sendmsg_chain =
+    chain "do_sendmsg" depth [ common.Common.memcpy_small; common.Common.mutex_lock ]
+  in
+  let sendmsg =
+    define ctx ~name:(pname ^ "_sendmsg") ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ fd; len ] ~n:6 in
+        (* Large transfers take the slow bulk-copy path; its callee is too
+           big for Rule 3. *)
+        let masked = Builder.reg b in
+        Builder.assign b masked (Binop (And, Reg len, Imm 3));
+        let is_zero = Builder.reg b in
+        Builder.assign b is_zero (Binop (Eq, Reg masked, Imm 0));
+        let big = Builder.new_block b in
+        let small = Builder.new_block b in
+        let join = Builder.new_block b in
+        Builder.br b (Reg is_zero) big small;
+        Builder.switch_to b big;
+        ignore (Gen_util.call ctx b common.Common.copy_user_big [ Reg v; Reg len ]);
+        Builder.jmp b join;
+        Builder.switch_to b small;
+        ignore (Gen_util.call ctx b common.Common.memcpy_small [ Reg v; Reg len ]);
+        Builder.jmp b join;
+        Builder.switch_to b join;
+        let r = Gen_util.call ctx b sendmsg_chain [ Reg v; Reg len ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let recvmsg_chain = chain "do_recvmsg" depth [ common.Common.memcpy_small ] in
+  let recvmsg =
+    define ctx ~name:(pname ^ "_recvmsg") ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ fd; len ] ~n:8 in
+        let r = Gen_util.call ctx b recvmsg_chain [ Reg v; Reg fd ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let poll =
+    Gen_util.leaf ctx ~name:(pname ^ "_poll") ~params:2 ~compute:4 ~subsystem:sub
+  in
+  let connect_chain = chain "do_connect" (max 2 depth) [ common.Common.kmalloc ] in
+  let connect =
+    define ctx ~name:(pname ^ "_connect") ~params:2 (fun b ->
+        let fd = Builder.param b 0 and addr = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ fd; addr ] ~n:10 in
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg fd; Reg v ]);
+        let r = Gen_util.call ctx b connect_chain [ Reg v; Reg addr ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let accept = chain "accept" 2 [ common.Common.kmalloc ] in
+  let shutdown = chain "shutdown" 1 [] in
+  register_op ctx ~proto ~op:Memmap.sop_sendmsg sendmsg;
+  register_op ctx ~proto ~op:Memmap.sop_recvmsg recvmsg;
+  register_op ctx ~proto ~op:Memmap.sop_poll poll;
+  register_op ctx ~proto ~op:Memmap.sop_connect connect;
+  register_op ctx ~proto ~op:Memmap.sop_accept accept;
+  register_op ctx ~proto ~op:Memmap.sop_shutdown shutdown
+
+(* Netfilter: every tx/rx packet traverses a hook chain through the
+   nf_hooks table. *)
+let build_netfilter ctx =
+  let mm = ctx.Ctx.mm in
+  List.iteri
+    (fun i name ->
+      let handler =
+        Gen_util.leaf ctx ~name:(name ^ "_nf") ~params:2 ~compute:4 ~subsystem:sub
+      in
+      let idx = Ctx.register_fptr ctx handler in
+      Ctx.init_global ctx ~addr:(mm.Memmap.nf_hooks + i) ~value:idx)
+    [ "conntrack"; "filter"; "nat"; "mangle" ];
+  define ctx ~name:"nf_hook_slow" ~params:2 (fun b ->
+      let skb = Builder.param b 0 and len = Builder.param b 1 in
+      let mix = Builder.reg b in
+      Builder.assign b mix (Binop (Shr, Reg len, Imm 2));
+      let masked = Builder.reg b in
+      Builder.assign b masked (Binop (And, Reg mix, Imm 3));
+      let slot = Builder.reg b in
+      Builder.assign b slot (Binop (Add, Reg masked, Imm mm.Memmap.nf_hooks));
+      let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg skb; Reg len ] in
+      Builder.ret b (Some (Reg r)))
+
+(* Generic socket layer: dispatch through the proto ops table. *)
+let sock_dispatch ctx (common : Common.t) ?nf ~name ~op ~security () =
+  let mm = ctx.Ctx.mm in
+  define ctx ~name ~params:2 (fun b ->
+      let fd = Builder.param b 0 and len = Builder.param b 1 in
+      if security then
+        ignore (Gen_util.call ctx b common.Common.security_check [ Reg fd; Reg len ]);
+      (match nf with
+      | Some hook -> ignore (Gen_util.call ctx b hook [ Reg fd; Reg len ])
+      | None -> ());
+      let proto_addr = Builder.reg b in
+      Builder.assign b proto_addr (Binop (Add, Reg fd, Imm mm.Memmap.proto_table));
+      let proto = Builder.reg b in
+      Builder.assign b proto (Load (Reg proto_addr));
+      let scaled = Builder.reg b in
+      Builder.assign b scaled (Binop (Mul, Reg proto, Imm mm.Memmap.ops_per_proto));
+      let slot = Builder.reg b in
+      Builder.assign b slot (Binop (Add, Reg scaled, Imm (mm.Memmap.sock_ops + op)));
+      let r = Gen_util.icall_mem ctx b ~table_addr:slot ~args:[ Reg fd; Reg len ] in
+      Builder.ret b (Some (Reg r)))
+
+let build ctx common =
+  let proto_names = [| "tcp"; "udp"; "unix_sock"; "raw" |] in
+  let depths = [| 5; 3; 3; 2 |] in
+  Array.iteri
+    (fun proto pname -> build_proto ctx common ~proto ~pname ~depth:depths.(proto))
+    proto_names;
+  let nf_hook_slow = build_netfilter ctx in
+  let sock_sendmsg =
+    sock_dispatch ctx common ~nf:nf_hook_slow ~name:"sock_sendmsg" ~op:Memmap.sop_sendmsg
+      ~security:true ()
+  in
+  let sock_recvmsg =
+    sock_dispatch ctx common ~nf:nf_hook_slow ~name:"sock_recvmsg" ~op:Memmap.sop_recvmsg
+      ~security:true ()
+  in
+  let sock_poll =
+    sock_dispatch ctx common ~name:"sock_poll" ~op:Memmap.sop_poll ~security:false ()
+  in
+  let sock_connect =
+    sock_dispatch ctx common ~nf:nf_hook_slow ~name:"sock_connect" ~op:Memmap.sop_connect
+      ~security:true ()
+  in
+  let sock_accept =
+    sock_dispatch ctx common ~name:"sock_accept" ~op:Memmap.sop_accept ~security:true ()
+  in
+  (* sockfs: the vfs-facing wrappers for socket fds. *)
+  let sockfs_read =
+    define ctx ~name:"sockfs_read" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        let r = Gen_util.call ctx b sock_recvmsg [ Reg fd; Reg len ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let sockfs_write =
+    define ctx ~name:"sockfs_write" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        let r = Gen_util.call ctx b sock_sendmsg [ Reg fd; Reg len ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let sockfs_poll =
+    define ctx ~name:"sockfs_poll" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and len = Builder.param b 1 in
+        let r = Gen_util.call ctx b sock_poll [ Reg fd; Reg len ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  {
+    sock_sendmsg;
+    sock_recvmsg;
+    sock_poll;
+    sock_connect;
+    sock_accept;
+    sockfs_read;
+    sockfs_write;
+    sockfs_poll;
+    proto_names;
+  }

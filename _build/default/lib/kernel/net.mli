@@ -1,0 +1,20 @@
+(** The networking subsystem: per-protocol operation implementations
+    (tcp/udp/unix/raw) registered in the socket ops tables, and the
+    generic [sock_*] layer that dispatches through them.  Socket I/O is
+    the double-indirect-dispatch path (fd -> sockfs -> proto ops) that
+    makes select/tcp workloads so retpoline-sensitive in the paper
+    (Table 3's select_tcp row). *)
+
+type t = {
+  sock_sendmsg : string;
+  sock_recvmsg : string;
+  sock_poll : string;
+  sock_connect : string;
+  sock_accept : string;
+  sockfs_read : string;  (** vfs-level read on a socket fd *)
+  sockfs_write : string;
+  sockfs_poll : string;
+  proto_names : string array;
+}
+
+val build : Ctx.t -> Common.t -> t

@@ -1,0 +1,187 @@
+open Pibe_ir
+open Types
+
+type t = {
+  prog : Program.t;
+  benchmarks : (string * string) list;
+  micro_dcall : string;
+  micro_icall : string;
+  micro_vcall : string;
+}
+
+let bench_iters = 400
+let micro_iters = 2000
+let sub = "spec"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+(* An 8-slot virtual table living in the drv_ops region. *)
+let make_vtable ctx ~tag ~compute =
+  let mm = ctx.Ctx.mm in
+  List.init 8 (fun i ->
+      let name =
+        Gen_util.leaf ctx
+          ~name:(Printf.sprintf "%s_virt_%d" tag i)
+          ~params:2 ~compute ~subsystem:sub
+      in
+      let idx = Ctx.register_fptr ctx name in
+      let addr = Memmap.drv_op_addr mm ~drv:(i / mm.Memmap.ops_per_drv) ~op:(i mod mm.Memmap.ops_per_drv) in
+      Ctx.init_global ctx ~addr ~value:idx;
+      addr)
+
+(* body is given (builder, induction reg) and runs once per iteration. *)
+let looped ctx ~name ~body =
+  define ctx ~name ~params:2 (fun b ->
+      let iters = Builder.param b 0 and seed = Builder.param b 1 in
+      ignore seed;
+      let acc =
+        Gen_util.loop ctx b ~count:(Reg iters) ~body:(fun b i -> body b i)
+      in
+      match acc with
+      | Some r -> Builder.ret b (Some (Reg r))
+      | None -> Builder.ret b (Some (Imm 0)))
+
+let icall_rotating ctx b ~slots ~i ~args =
+  (* Rotate through the vtable slots so the target is unpredictable. *)
+  let n = List.length slots in
+  let base = List.hd slots in
+  let masked = Builder.reg b in
+  Builder.assign b masked (Binop (And, Reg i, Imm (n - 1)));
+  let addr = Builder.reg b in
+  Builder.assign b addr (Binop (Add, Reg masked, Imm base));
+  Gen_util.icall_mem ctx b ~table_addr:addr ~args
+
+(* Fixed hot target: the per-branch tick deltas of paper Table 1 are
+   measured against a *predicted* baseline transfer. *)
+let icall_fixed ctx b ~slots ~args =
+  let base = List.hd slots in
+  let addr = Builder.reg b in
+  Builder.assign b addr (Const base);
+  Gen_util.icall_mem ctx b ~table_addr:addr ~args
+
+let build () =
+  let mm = Memmap.make ~nfs:1 ~nproto:1 ~n_drv:4 in
+  let ctx = Ctx.create { Ctx.seed = 1337; scale = 1 } mm in
+  let empty =
+    define ctx ~name:"spec_empty" ~params:2 (fun b ->
+        Builder.ret b (Some (Reg (Builder.param b 0))))
+  in
+  let vslots = make_vtable ctx ~tag:"spec" ~compute:4 in
+  (* vcall: object -> vtable -> slot, two dependent loads.  The object
+     pointer lives in the (otherwise unused) tick cell so leaf compute
+     stores into scratch cannot clobber it. *)
+  let obj_cell = mm.Memmap.tick in
+  Ctx.init_global ctx ~addr:obj_cell ~value:(List.hd vslots);
+  let micro_dcall =
+    looped ctx ~name:"micro_dcall" ~body:(fun b i ->
+        Some (Gen_util.call ctx b empty [ Reg i; Imm 0 ]))
+  in
+  let micro_icall =
+    looped ctx ~name:"micro_icall" ~body:(fun b i ->
+        Some (icall_fixed ctx b ~slots:vslots ~args:[ Reg i; Imm 0 ]))
+  in
+  let micro_vcall =
+    looped ctx ~name:"micro_vcall" ~body:(fun b i ->
+        let pobj = Builder.reg b in
+        Builder.assign b pobj (Const obj_cell);
+        let slot_addr = Builder.reg b in
+        Builder.assign b slot_addr (Load (Reg pobj));
+        Some (Gen_util.icall_mem ctx b ~table_addr:slot_addr ~args:[ Reg i; Imm 0 ]))
+  in
+  (* --- the SPEC-shaped suite --- *)
+  let chain name depth compute =
+    Gen_util.chain ctx ~name ~depth ~compute ~subsystem:sub ()
+  in
+  let bench name ~body = (name, looped ctx ~name:("spec_" ^ name) ~body) in
+  let perl_top = chain "perl_runops" 6 10 in
+  let perlbench =
+    bench "perlbench" ~body:(fun b i ->
+        Some (Gen_util.call ctx b perl_top [ Reg i; Imm 3 ]))
+  in
+  let bzip_helper = chain "bzip_sort" 1 12 in
+  let bzip2 =
+    bench "bzip2" ~body:(fun b i ->
+        let v = Gen_util.compute ctx b ~seeds:[ i ] ~n:45 in
+        Some (Gen_util.call ctx b bzip_helper [ Reg v; Reg i ]))
+  in
+  let gcc_fold = chain "gcc_fold" 3 9 in
+  let gcc =
+    bench "gcc" ~body:(fun b i ->
+        let v = icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg i; Imm 1 ] in
+        ignore (Gen_util.call ctx b gcc_fold [ Reg v; Reg i ]);
+        Some (icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg v; Imm 2 ]))
+  in
+  let mcf =
+    bench "mcf" ~body:(fun b i ->
+        let v = Gen_util.compute ctx b ~seeds:[ i ] ~n:35 in
+        Some v)
+  in
+  let gobmk_helper = chain "gobmk_play" 2 10 in
+  let gobmk =
+    bench "gobmk" ~body:(fun b i ->
+        let v = icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg i; Imm 0 ] in
+        Some (Gen_util.call ctx b gobmk_helper [ Reg v; Reg i ]))
+  in
+  let hmmer =
+    bench "hmmer" ~body:(fun b i ->
+        let v = Gen_util.compute ctx b ~seeds:[ i ] ~n:70 in
+        Some v)
+  in
+  let sjeng_eval = chain "sjeng_eval" 2 8 in
+  let sjeng =
+    bench "sjeng" ~body:(fun b i ->
+        let masked = Builder.reg b in
+        Builder.assign b masked (Binop (And, Reg i, Imm 7));
+        let cases = List.init 8 (fun _ -> Builder.new_block b) in
+        let join = Builder.new_block b in
+        Builder.switch b ~lowering:Jump_table (Reg masked)
+          (List.mapi (fun j l -> (j, l)) cases)
+          ~default:join;
+        let out = Builder.reg b in
+        List.iteri
+          (fun j l ->
+            Builder.switch_to b l;
+            let r = Gen_util.call ctx b sjeng_eval [ Reg i; Imm j ] in
+            Builder.assign b out (Move (Reg r));
+            Builder.jmp b join)
+          cases;
+        Builder.switch_to b join;
+        Some out)
+  in
+  let libquantum =
+    bench "libquantum" ~body:(fun b i ->
+        let v = Gen_util.compute ctx b ~seeds:[ i ] ~n:55 in
+        Some v)
+  in
+  let h264_mc = chain "h264_mc" 1 14 in
+  let h264 =
+    bench "h264ref" ~body:(fun b i ->
+        ignore (Gen_util.call ctx b h264_mc [ Reg i; Imm 0 ]);
+        ignore (Gen_util.call ctx b h264_mc [ Reg i; Imm 1 ]);
+        Some (Gen_util.call ctx b h264_mc [ Reg i; Imm 2 ]))
+  in
+  let xalanc =
+    bench "xalancbmk" ~body:(fun b i ->
+        ignore (icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg i; Imm 0 ]);
+        ignore (icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg i; Imm 1 ]);
+        Some (icall_rotating ctx b ~slots:vslots ~i ~args:[ Reg i; Imm 2 ]))
+  in
+  let benchmarks =
+    List.map
+      (fun (display, entry) -> (display, entry))
+      [
+        perlbench; bzip2; gcc; mcf; gobmk; hmmer; sjeng; libquantum; h264; xalanc;
+      ]
+  in
+  Validate.check_exn ctx.Ctx.prog;
+  {
+    prog = ctx.Ctx.prog;
+    benchmarks;
+    micro_dcall;
+    micro_icall;
+    micro_vcall;
+  }

@@ -1,0 +1,25 @@
+(** A SPEC-CPU2006-shaped userspace suite plus the Table-1
+    microbenchmarks.
+
+    The paper's Table 1 measures per-branch defense costs with empty
+    callees and unpredictable targets, then reports each defense's
+    geometric-mean slowdown on SPEC CPU2006.  We reproduce both: [micro_*]
+    entries run [n] direct / indirect / virtual calls in a loop, and the
+    ten [benchmarks] imitate the call-density spread of the SPEC suite
+    (call-heavy perlbench/xalanc vs. compute-bound hmmer/libquantum). *)
+
+type t = {
+  prog : Pibe_ir.Program.t;
+  benchmarks : (string * string) list;  (** (display name, entry function) *)
+  micro_dcall : string;  (** entry: [micro_dcall (iters, _)] *)
+  micro_icall : string;
+  micro_vcall : string;
+}
+
+val build : unit -> t
+(** Deterministic (fixed internal seed). *)
+
+val bench_iters : int
+(** Loop count used by the experiment harness for each benchmark entry. *)
+
+val micro_iters : int

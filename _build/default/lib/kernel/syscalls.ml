@@ -1,0 +1,211 @@
+open Pibe_ir
+open Types
+
+type t = {
+  entry : string;
+  nrs : (string * int) list;
+}
+
+let nr t name = List.assoc name t.nrs
+let sub = "syscall"
+
+let define ctx ~name ~params body =
+  let b = Builder.create ~name ~params in
+  body b;
+  Ctx.add ctx (Builder.finish b ~attrs:{ default_attrs with subsystem = sub } ());
+  name
+
+(* A syscall wrapper: user->kernel entry bookkeeping, one call into the
+   owning subsystem, exit bookkeeping. *)
+let wrapper ctx (common : Common.t) ~name ~entry_work ~target =
+  define ctx ~name ~params:2 (fun b ->
+      let a0 = Builder.param b 0 and a1 = Builder.param b 1 in
+      let v = Gen_util.compute ctx b ~seeds:[ a0; a1 ] ~n:entry_work in
+      ignore (Gen_util.call ctx b common.Common.get_current [ Reg v; Reg v ]);
+      let r = Gen_util.call ctx b target [ Reg a0; Reg a1 ] in
+      let out = Gen_util.compute ctx b ~seeds:[ r; v ] ~n:4 in
+      Builder.ret b (Some (Reg out)))
+
+let build ctx (common : Common.t) (fs : Fs.t) (net : Net.t) (mm_sub : Mm.t) (misc : Misc.t)
+    (drivers : Drivers.t) (cbs : Callbacks.t) =
+  let sys_null =
+    define ctx ~name:"sys_getpid" ~params:2 (fun b ->
+        let a0 = Builder.param b 0 and a1 = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ a0; a1 ] ~n:8 in
+        let r = Gen_util.call ctx b common.Common.get_current [ Reg v; Reg v ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let sys_read = wrapper ctx common ~name:"sys_read" ~entry_work:14 ~target:fs.Fs.vfs_read in
+  let sys_write =
+    wrapper ctx common ~name:"sys_write" ~entry_work:14 ~target:fs.Fs.vfs_write
+  in
+  let sys_open =
+    wrapper ctx common ~name:"sys_open" ~entry_work:12 ~target:fs.Fs.do_filp_open
+  in
+  let sys_stat = wrapper ctx common ~name:"sys_stat" ~entry_work:12 ~target:fs.Fs.vfs_stat in
+  let sys_fstat =
+    wrapper ctx common ~name:"sys_fstat" ~entry_work:12 ~target:fs.Fs.vfs_fstat
+  in
+  let sys_fsync =
+    wrapper ctx common ~name:"sys_fsync" ~entry_work:10 ~target:fs.Fs.vfs_fsync
+  in
+  (* select: poll every fd in [first, first+n). *)
+  let sys_select =
+    define ctx ~name:"sys_select" ~params:2 (fun b ->
+        let first = Builder.param b 0 and n = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ first; n ] ~n:10 in
+        let acc =
+          Gen_util.loop ctx b ~count:(Reg n) ~body:(fun b i ->
+              let fd = Builder.reg b in
+              Builder.assign b fd (Binop (Add, Reg first, Reg i));
+              let r = Gen_util.call ctx b fs.Fs.vfs_poll [ Reg fd; Reg i ] in
+              Some r)
+        in
+        let out =
+          match acc with
+          | Some r -> r
+          | None -> v
+        in
+        Builder.ret b (Some (Reg out)))
+  in
+  let sys_send =
+    wrapper ctx common ~name:"sys_send" ~entry_work:10 ~target:net.Net.sock_sendmsg
+  in
+  let sys_recv =
+    wrapper ctx common ~name:"sys_recv" ~entry_work:10 ~target:net.Net.sock_recvmsg
+  in
+  let sys_connect =
+    define ctx ~name:"sys_connect" ~params:2 (fun b ->
+        let fd = Builder.param b 0 and addr = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ fd; addr ] ~n:10 in
+        ignore (Gen_util.call ctx b net.Net.sock_connect [ Reg fd; Reg addr ]);
+        (* connect blocks: the scheduler runs. *)
+        let r = Gen_util.call ctx b misc.Misc.schedule [ Reg v; Reg fd ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let sys_accept =
+    wrapper ctx common ~name:"sys_accept" ~entry_work:10 ~target:net.Net.sock_accept
+  in
+  let sys_fork =
+    define ctx ~name:"sys_fork" ~params:2 (fun b ->
+        let flags = Builder.param b 0 and sp = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ flags; sp ] ~n:16 in
+        let r = Gen_util.call ctx b misc.Misc.do_fork [ Reg v; Reg sp ] in
+        ignore (Gen_util.call ctx b misc.Misc.schedule [ Reg r; Reg v ]);
+        Builder.ret b (Some (Reg r)))
+  in
+  let sys_exec =
+    wrapper ctx common ~name:"sys_exec" ~entry_work:14 ~target:misc.Misc.do_execve
+  in
+  let sys_exit =
+    wrapper ctx common ~name:"sys_exit" ~entry_work:8 ~target:misc.Misc.do_exit
+  in
+  let sys_mmap = wrapper ctx common ~name:"sys_mmap" ~entry_work:12 ~target:mm_sub.Mm.do_mmap in
+  let sys_brk = wrapper ctx common ~name:"sys_brk" ~entry_work:8 ~target:mm_sub.Mm.do_brk in
+  let sys_page_fault =
+    define ctx ~name:"sys_page_fault" ~params:2 (fun b ->
+        (* Fault entry is leaner than a syscall. *)
+        let addr = Builder.param b 0 and code = Builder.param b 1 in
+        let v = Gen_util.compute ctx b ~seeds:[ addr; code ] ~n:6 in
+        let r = Gen_util.call ctx b mm_sub.Mm.handle_page_fault [ Reg addr; Reg v ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  let sys_sig_install =
+    wrapper ctx common ~name:"sys_sig_install" ~entry_work:10 ~target:misc.Misc.sig_install
+  in
+  let sys_sig_dispatch =
+    wrapper ctx common ~name:"sys_sig_dispatch" ~entry_work:10
+      ~target:misc.Misc.sig_dispatch
+  in
+  let sys_yield =
+    wrapper ctx common ~name:"sys_yield" ~entry_work:8 ~target:misc.Misc.schedule
+  in
+  let sys_ioctl =
+    wrapper ctx common ~name:"sys_ioctl" ~entry_work:10 ~target:drivers.Drivers.drv_dispatch
+  in
+  let table =
+    [
+      ("null", sys_null);
+      ("read", sys_read);
+      ("write", sys_write);
+      ("open", sys_open);
+      ("stat", sys_stat);
+      ("fstat", sys_fstat);
+      ("select", sys_select);
+      ("send", sys_send);
+      ("recv", sys_recv);
+      ("connect", sys_connect);
+      ("accept", sys_accept);
+      ("fork", sys_fork);
+      ("exec", sys_exec);
+      ("exit", sys_exit);
+      ("mmap", sys_mmap);
+      ("brk", sys_brk);
+      ("page_fault", sys_page_fault);
+      ("sig_install", sys_sig_install);
+      ("sig_dispatch", sys_sig_dispatch);
+      ("yield", sys_yield);
+      ("fsync", sys_fsync);
+      ("ioctl", sys_ioctl);
+    ]
+  in
+  let enosys = Gen_util.leaf ctx ~name:"sys_enosys" ~params:2 ~compute:3 ~subsystem:sub in
+  let entry =
+    define ctx ~name:"syscall_entry" ~params:3 (fun b ->
+        let nr = Builder.param b 0 in
+        let a0 = Builder.param b 1 and a1 = Builder.param b 2 in
+        (* user->kernel transition: swapgs, cr3 switch, stack setup...
+           modelled as a fixed-cost loop the optimizer cannot elide and
+           the defenses do not touch (no calls, no indirect branches). *)
+        let _ = Gen_util.compute ctx b ~seeds:[ nr; a0 ] ~n:10 in
+        ignore
+          (Gen_util.loop ctx b ~count:(Imm 45) ~body:(fun b i ->
+               let x = Builder.reg b in
+               Builder.assign b x (Binop (Add, Reg i, Imm 7));
+               let y = Builder.reg b in
+               Builder.assign b y (Binop (Xor, Reg x, Reg i));
+               None));
+        (* jiffies++ and deferred-work processing every 32nd syscall *)
+        let mm = ctx.Ctx.mm in
+        let tick_addr = Builder.reg b in
+        Builder.assign b tick_addr (Const mm.Memmap.tick);
+        let tick = Builder.reg b in
+        Builder.assign b tick (Load (Reg tick_addr));
+        let tick2 = Builder.reg b in
+        Builder.assign b tick2 (Binop (Add, Reg tick, Imm 1));
+        Builder.store b ~addr:(Reg tick_addr) ~value:(Reg tick2);
+        let tmask = Builder.reg b in
+        Builder.assign b tmask (Binop (And, Reg tick2, Imm 31));
+        let tz = Builder.reg b in
+        Builder.assign b tz (Binop (Eq, Reg tmask, Imm 0));
+        let timers_bl = Builder.new_block b in
+        let wq_bl = Builder.new_block b in
+        let dispatch_bl = Builder.new_block b in
+        Builder.br b (Reg tz) timers_bl dispatch_bl;
+        Builder.switch_to b timers_bl;
+        ignore (Gen_util.call ctx b cbs.Callbacks.run_timers [ Reg tick2; Reg a0 ]);
+        let wmask = Builder.reg b in
+        Builder.assign b wmask (Binop (And, Reg tick2, Imm 127));
+        let wz = Builder.reg b in
+        Builder.assign b wz (Binop (Eq, Reg wmask, Imm 0));
+        Builder.br b (Reg wz) wq_bl dispatch_bl;
+        Builder.switch_to b wq_bl;
+        ignore (Gen_util.call ctx b cbs.Callbacks.run_workqueue [ Reg tick2; Reg a0 ]);
+        Builder.jmp b dispatch_bl;
+        Builder.switch_to b dispatch_bl;
+        let blocks = List.map (fun (_, f) -> (Builder.new_block b, f)) table in
+        let default = Builder.new_block b in
+        Builder.switch b ~lowering:Jump_table (Reg nr)
+          (List.mapi (fun i (l, _) -> (i, l)) blocks)
+          ~default;
+        List.iter
+          (fun (l, f) ->
+            Builder.switch_to b l;
+            let r = Gen_util.call ctx b f [ Reg a0; Reg a1 ] in
+            Builder.ret b (Some (Reg r)))
+          blocks;
+        Builder.switch_to b default;
+        let r = Gen_util.call ctx b enosys [ Reg nr; Reg a0 ] in
+        Builder.ret b (Some (Reg r)))
+  in
+  { entry; nrs = List.mapi (fun i (name, _) -> (name, i)) table }

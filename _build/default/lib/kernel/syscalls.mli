@@ -1,0 +1,14 @@
+(** Syscall entry layer: per-syscall wrappers (entry/exit bookkeeping plus
+    a call into the owning subsystem) and the numbered dispatcher
+    [syscall_entry] whose multiway switch stands in for the syscall
+    table. *)
+
+type t = {
+  entry : string;  (** [syscall_entry (nr, a0, a1)] *)
+  nrs : (string * int) list;  (** syscall name -> number *)
+}
+
+val nr : t -> string -> int
+(** Raises [Not_found] for unknown syscall names. *)
+
+val build : Ctx.t -> Common.t -> Fs.t -> Net.t -> Mm.t -> Misc.t -> Drivers.t -> Callbacks.t -> t

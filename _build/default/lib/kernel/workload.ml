@@ -1,0 +1,148 @@
+module Engine = Pibe_cpu.Engine
+module Rng = Pibe_util.Rng
+
+type op = {
+  op_name : string;
+  run : Engine.t -> Rng.t -> unit;
+}
+
+type mix = {
+  mix_name : string;
+  request : Engine.t -> Rng.t -> unit;
+  user_ratio : float;
+}
+
+let sc info eng name a0 a1 =
+  ignore (Engine.call eng info.Gen.entry [ Gen.nr info name; a0; a1 ])
+
+(* fd draws: Zipfian popularity within each fd class, so each dispatch
+   table sees one dominant target plus a tail (paper Table 4). *)
+let file_fd rng = Rng.zipf rng ~n:64 ~s:1.1
+let pipe_fd rng = 64 + Rng.zipf rng ~n:16 ~s:1.0
+let tcp_fd rng = 80 + Rng.zipf rng ~n:20 ~s:1.1
+let udp_fd rng = 100 + Rng.zipf rng ~n:12 ~s:1.0
+let unix_fd rng = 112 + Rng.zipf rng ~n:12 ~s:1.0
+let buf_len rng = 1 + Rng.int rng 4000
+let path_id rng = Rng.int rng 1_000_000
+
+let lmbench info =
+  let op name run = { op_name = name; run } in
+  [
+    op "null" (fun eng rng -> sc info eng "null" (Rng.int rng 64) 0);
+    op "read" (fun eng rng -> sc info eng "read" (file_fd rng) (buf_len rng));
+    op "write" (fun eng rng -> sc info eng "write" (file_fd rng) (buf_len rng));
+    op "open" (fun eng rng -> sc info eng "open" (path_id rng) (Rng.int rng 8));
+    op "stat" (fun eng rng -> sc info eng "stat" (path_id rng) (Rng.int rng 64));
+    op "fstat" (fun eng rng -> sc info eng "fstat" (file_fd rng) 0);
+    op "af_unix" (fun eng rng ->
+        let fd = unix_fd rng in
+        sc info eng "send" fd (buf_len rng);
+        sc info eng "recv" fd (buf_len rng));
+    op "fork/exit" (fun eng rng ->
+        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
+        sc info eng "exit" 0 0);
+    op "fork/exec" (fun eng rng ->
+        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
+        sc info eng "exec" (path_id rng) (Rng.int rng 16);
+        sc info eng "exit" 0 0);
+    op "fork/shell" (fun eng rng ->
+        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
+        sc info eng "exec" (path_id rng) (Rng.int rng 16);
+        sc info eng "open" (path_id rng) 0;
+        sc info eng "stat" (path_id rng) 0;
+        for _ = 1 to 4 do
+          sc info eng "read" (file_fd rng) (buf_len rng)
+        done;
+        sc info eng "write" (file_fd rng) (buf_len rng);
+        sc info eng "exit" 0 0);
+    op "pipe" (fun eng rng ->
+        let fd = pipe_fd rng in
+        sc info eng "write" fd (buf_len rng);
+        sc info eng "read" fd (buf_len rng));
+    op "select_file" (fun eng _rng -> sc info eng "select" 0 32);
+    op "select_tcp" (fun eng _rng -> sc info eng "select" 80 40);
+    op "tcp_conn" (fun eng rng -> sc info eng "connect" (tcp_fd rng) (path_id rng));
+    op "udp" (fun eng rng ->
+        let fd = udp_fd rng in
+        sc info eng "send" fd (buf_len rng);
+        sc info eng "recv" fd (buf_len rng));
+    op "tcp" (fun eng rng ->
+        let fd = tcp_fd rng in
+        sc info eng "send" fd (buf_len rng);
+        sc info eng "recv" fd (buf_len rng));
+    op "mmap" (fun eng rng -> sc info eng "mmap" (Rng.int rng 65536) 4096);
+    op "page_fault" (fun eng rng -> sc info eng "page_fault" (Rng.int rng 65536) 2);
+    op "sig_install" (fun eng rng ->
+        sc info eng "sig_install" (Rng.int rng 16) (Rng.int rng 4));
+    op "sig_dispatch" (fun eng rng -> sc info eng "sig_dispatch" (Rng.int rng 16) 1);
+  ]
+
+let lmbench_op info name =
+  List.find (fun o -> String.equal o.op_name name) (lmbench info)
+
+let apache info =
+  {
+    mix_name = "Apache";
+    user_ratio = 1.30;
+    request =
+      (fun eng rng ->
+        let conn = tcp_fd rng in
+        (* the MPM event loop polls its listeners before accepting *)
+        sc info eng "select" 80 16;
+        sc info eng "accept" conn 0;
+        sc info eng "recv" conn (buf_len rng);
+        sc info eng "stat" (path_id rng) 0;
+        sc info eng "open" (path_id rng) 0;
+        sc info eng "read" (file_fd rng) (buf_len rng);
+        sc info eng "read" (file_fd rng) (buf_len rng);
+        sc info eng "send" conn (buf_len rng);
+        sc info eng "send" conn (buf_len rng);
+        (* mapped I/O, the occasional fault, signal delivery, and worker
+           management show up across requests *)
+        if Rng.int rng 8 = 0 then sc info eng "mmap" (Rng.int rng 65536) 4096;
+        if Rng.int rng 4 = 0 then sc info eng "page_fault" (Rng.int rng 65536) 2;
+        if Rng.int rng 8 = 0 then sc info eng "sig_dispatch" (Rng.int rng 16) 0;
+        if Rng.int rng 32 = 0 then begin
+          sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
+          sc info eng "exec" (path_id rng) 1;
+          sc info eng "exit" 0 0
+        end;
+        if Rng.int rng 16 = 0 then begin
+          let fd = pipe_fd rng in
+          sc info eng "write" fd (buf_len rng);
+          sc info eng "read" fd (buf_len rng)
+        end;
+        if Rng.int rng 16 = 0 then sc info eng "fstat" (file_fd rng) 0;
+        sc info eng "yield" 0 0);
+  }
+
+let nginx info =
+  {
+    mix_name = "Nginx";
+    user_ratio = 0.39;
+    request =
+      (fun eng rng ->
+        let conn = tcp_fd rng in
+        sc info eng "accept" conn 0;
+        sc info eng "recv" conn (buf_len rng);
+        sc info eng "stat" (path_id rng) 0;
+        sc info eng "read" (file_fd rng) (buf_len rng);
+        sc info eng "send" conn (buf_len rng);
+        sc info eng "send" conn (buf_len rng));
+  }
+
+let dbench info =
+  {
+    mix_name = "DBench";
+    user_ratio = 0.64;
+    request =
+      (fun eng rng ->
+        sc info eng "open" (path_id rng) 0;
+        sc info eng "read" (file_fd rng) (buf_len rng);
+        sc info eng "read" (file_fd rng) (buf_len rng);
+        sc info eng "write" (file_fd rng) (buf_len rng);
+        sc info eng "write" (file_fd rng) (buf_len rng);
+        sc info eng "stat" (path_id rng) 0;
+        sc info eng "fsync" (file_fd rng) 0;
+        sc info eng "yield" 0 0);
+  }

@@ -1,0 +1,38 @@
+(** Workload drivers: LMBench-style micro operations and the
+    Apache/Nginx/DBench-style macro request mixes (paper §8).
+
+    An [op] runs one iteration of a micro-benchmark — one or a few
+    syscalls with arguments drawn from the op's own RNG stream (fd
+    popularity is Zipfian, giving the multi-target profiles of paper
+    Table 4).  A [mix] runs one application-level request composed of many
+    syscalls. *)
+
+type op = {
+  op_name : string;
+  run : Pibe_cpu.Engine.t -> Pibe_util.Rng.t -> unit;
+}
+
+val lmbench : Gen.info -> op list
+(** The 20 LMBench latency tests of paper Table 2, in table order:
+    null, read, write, open, stat, fstat, af_unix, fork/exit, fork/exec,
+    fork/shell, pipe, select_file, select_tcp, tcp_conn, udp, tcp, mmap,
+    page_fault, sig_install, sig_dispatch. *)
+
+val lmbench_op : Gen.info -> string -> op
+(** Lookup by name; raises [Not_found]. *)
+
+type mix = {
+  mix_name : string;
+  request : Pibe_cpu.Engine.t -> Pibe_util.Rng.t -> unit;
+      (** one application request / transaction *)
+  user_ratio : float;
+      (** userspace cycles per request as a fraction of the baseline
+          kernel cycles — macro benchmarks spend most of their time in
+          user code that defenses do not slow down, which is why paper
+          Table 7's degradations are milder than LMBench's.  Calibrated
+          per application (nginx is the most kernel-bound). *)
+}
+
+val apache : Gen.info -> mix
+val nginx : Gen.info -> mix
+val dbench : Gen.info -> mix

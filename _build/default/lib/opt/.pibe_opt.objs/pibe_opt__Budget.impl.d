@@ -1,0 +1,1 @@
+lib/opt/budget.ml: List

@@ -1,0 +1,1 @@
+lib/opt/cleanup.ml: Array Func Hashtbl Int List Option Pibe_ir Program Set Types

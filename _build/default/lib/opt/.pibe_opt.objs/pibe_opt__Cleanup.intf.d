@@ -1,0 +1,1 @@
+lib/opt/cleanup.mli: Pibe_ir Program Types

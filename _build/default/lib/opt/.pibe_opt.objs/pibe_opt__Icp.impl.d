@@ -1,0 +1,1 @@
+lib/opt/icp.ml: Budget Func Hashtbl List Pibe_ir Pibe_profile Program String Transform Types

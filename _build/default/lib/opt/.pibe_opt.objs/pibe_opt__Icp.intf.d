@@ -1,0 +1,1 @@
+lib/opt/icp.mli: Pibe_ir Pibe_profile Program

@@ -1,0 +1,1 @@
+lib/opt/inline_cost.ml: Array List Pibe_ir

@@ -1,0 +1,1 @@
+lib/opt/inline_cost.mli: Pibe_ir

@@ -1,0 +1,1 @@
+lib/opt/inliner.ml: Budget Func Hashtbl Inline_cost List Pibe_cg Pibe_ir Pibe_profile Program Set String Transform Types

@@ -1,0 +1,1 @@
+lib/opt/inliner.mli: Pibe_ir Pibe_profile Program

@@ -1,0 +1,1 @@
+lib/opt/transform.ml: Array List Option Pibe_ir Printf Program Types

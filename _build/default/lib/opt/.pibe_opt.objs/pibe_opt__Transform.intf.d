@@ -1,0 +1,1 @@
+lib/opt/transform.mli: Pibe_ir Program Types

@@ -1,0 +1,28 @@
+type 'a selection = {
+  selected : ('a * int) list;
+  rejected : ('a * int) list;
+  total_weight : int;
+  selected_weight : int;
+  cutoff_weight : int;
+}
+
+let select ~budget_pct items =
+  let indexed = List.mapi (fun i (x, w) -> (i, x, w)) items in
+  let sorted =
+    List.sort
+      (fun (i1, _, w1) (i2, _, w2) -> if w1 <> w2 then compare w2 w1 else compare i1 i2)
+      indexed
+  in
+  let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 items in
+  let goal = budget_pct /. 100.0 *. float_of_int total_weight in
+  let rec go acc_sel acc_w = function
+    | [] -> (List.rev acc_sel, [], acc_w)
+    | ((_, x, w) :: rest) as remaining ->
+      if w > 0 && float_of_int acc_w < goal then go ((x, w) :: acc_sel) (acc_w + w) rest
+      else (List.rev acc_sel, List.map (fun (_, x, w) -> (x, w)) remaining, acc_w)
+  in
+  let selected, rejected, selected_weight = go [] 0 sorted in
+  let cutoff_weight =
+    match List.rev selected with [] -> 0 | (_, w) :: _ -> w
+  in
+  { selected; rejected; total_weight; selected_weight; cutoff_weight }

@@ -1,0 +1,19 @@
+(** Optimization budgets (paper §5.2 Rule 1, §5.3).
+
+    A budget is a percentage of the cumulative profiled execution count:
+    at 99%, the hottest candidates that together cover 99% of all counts
+    are eligible.  The paper sweeps 99, 99.9, 99.999, 99.9999 and 100. *)
+
+type 'a selection = {
+  selected : ('a * int) list;  (** hottest-first, within the budget *)
+  rejected : ('a * int) list;  (** the cold tail, hottest-first *)
+  total_weight : int;
+  selected_weight : int;
+  cutoff_weight : int;  (** weight of the coldest selected item; 0 if none *)
+}
+
+val select : budget_pct:float -> ('a * int) list -> 'a selection
+(** Sorts by weight (descending; input order breaks ties, making the
+    result deterministic) and selects the shortest hot prefix whose
+    cumulative weight reaches [budget_pct] percent of the total.
+    Zero-weight items are never selected. *)

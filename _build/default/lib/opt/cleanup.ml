@@ -1,0 +1,314 @@
+open Pibe_ir
+open Types
+
+type stats = {
+  folded : int;
+  branches_folded : int;
+  blocks_removed : int;
+  dead_assigns_removed : int;
+}
+
+let zero_stats = { folded = 0; branches_folded = 0; blocks_removed = 0; dead_assigns_removed = 0 }
+
+let add_stats a b =
+  {
+    folded = a.folded + b.folded;
+    branches_folded = a.branches_folded + b.branches_folded;
+    blocks_removed = a.blocks_removed + b.blocks_removed;
+    dead_assigns_removed = a.dead_assigns_removed + b.dead_assigns_removed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Block-local constant / copy propagation with folding.               *)
+(* ------------------------------------------------------------------ *)
+
+type binding =
+  | Known of int
+  | Copy of reg
+
+let propagate_block b =
+  let env : (reg, binding) Hashtbl.t = Hashtbl.create 16 in
+  let folded = ref 0 in
+  let resolve_operand o =
+    match o with
+    | Imm _ -> o
+    | Reg r -> (
+      match Hashtbl.find_opt env r with
+      | Some (Known c) ->
+        incr folded;
+        Imm c
+      | Some (Copy r') ->
+        incr folded;
+        Reg r'
+      | None -> o)
+  in
+  (* Reassigning [d] kills both its binding and any copies of it. *)
+  let kill d =
+    Hashtbl.remove env d;
+    let stale =
+      Hashtbl.fold (fun k v acc -> if v = Copy d then k :: acc else acc) env []
+    in
+    List.iter (Hashtbl.remove env) stale
+  in
+  let rewrite_expr e =
+    match e with
+    | Const _ -> e
+    | Move o -> (
+      match resolve_operand o with
+      | Imm c -> Const c
+      | Reg _ as o' -> Move o')
+    | Binop (op, a, b) -> (
+      match (resolve_operand a, resolve_operand b) with
+      | Imm x, Imm y ->
+        incr folded;
+        Const (eval_binop op x y)
+      | a', b' -> Binop (op, a', b'))
+    | Load o -> Load (resolve_operand o)
+  in
+  let rewrite_inst i =
+    match i with
+    | Assign (d, e) ->
+      let e' = rewrite_expr e in
+      kill d;
+      (match e' with
+      | Const c -> Hashtbl.replace env d (Known c)
+      | Move (Reg s) -> Hashtbl.replace env d (Copy s)
+      | Move (Imm _) | Binop _ | Load _ -> ());
+      Assign (d, e')
+    | Store (a, v) -> Store (resolve_operand a, resolve_operand v)
+    | Observe v -> Observe (resolve_operand v)
+    | Call c ->
+      let i' = Call { c with args = List.map resolve_operand c.args } in
+      Option.iter kill c.dst;
+      i'
+    | Icall c ->
+      let i' =
+        Icall
+          { c with fptr = resolve_operand c.fptr; args = List.map resolve_operand c.args }
+      in
+      Option.iter kill c.dst;
+      i'
+    | Asm_icall c -> Asm_icall { c with fptr = resolve_operand c.fptr }
+  in
+  let insts = Array.map rewrite_inst b.insts in
+  let branches_folded = ref 0 in
+  let term =
+    match b.term with
+    | Jmp _ as t -> t
+    | Br (c, l1, l2) -> (
+      match resolve_operand c with
+      | Imm v ->
+        incr branches_folded;
+        Jmp (if v <> 0 then l1 else l2)
+      | Reg _ as c' -> Br (c', l1, l2))
+    | Switch s -> (
+      match resolve_operand s.scrutinee with
+      | Imm v ->
+        incr branches_folded;
+        let target =
+          match Array.find_opt (fun (case, _) -> case = v) s.cases with
+          | Some (_, l) -> l
+          | None -> s.default
+        in
+        Jmp target
+      | Reg _ as sc -> Switch { s with scrutinee = sc })
+    | Ret v -> Ret (Option.map resolve_operand v)
+  in
+  ({ insts; term }, !folded, !branches_folded)
+
+(* ------------------------------------------------------------------ *)
+(* Jump threading + unreachable-block removal (joint label rewrite).   *)
+(* ------------------------------------------------------------------ *)
+
+let map_labels term ~f =
+  match term with
+  | Jmp l -> Jmp (f l)
+  | Br (c, l1, l2) -> Br (c, f l1, f l2)
+  | Switch s ->
+    Switch { s with cases = Array.map (fun (v, l) -> (v, f l)) s.cases; default = f s.default }
+  | Ret _ as t -> t
+
+let thread_and_compact f =
+  let n = Array.length f.blocks in
+  (* forwarding: an empty block ending in jmp forwards to its target *)
+  let forward = Array.init n (fun l -> l) in
+  Array.iteri
+    (fun l b ->
+      match b.term with
+      | Jmp m when Array.length b.insts = 0 && m <> l -> forward.(l) <- m
+      | _ -> ())
+    f.blocks;
+  let rec resolve seen l =
+    if List.mem l seen then l
+    else if forward.(l) = l then l
+    else resolve (l :: seen) forward.(l)
+  in
+  let resolve l = resolve [] l in
+  let blocks =
+    Array.map (fun b -> { b with term = map_labels b.term ~f:resolve }) f.blocks
+  in
+  let f = { f with blocks } in
+  (* drop unreachable blocks and compact the label space *)
+  let reachable = Func.reachable_labels f in
+  let mapping = Array.make n (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun l r ->
+      if r then begin
+        mapping.(l) <- !next;
+        incr next
+      end)
+    reachable;
+  let removed = n - !next in
+  if removed = 0 then (f, 0)
+  else begin
+    let kept = Array.make !next { insts = [||]; term = Ret None } in
+    Array.iteri
+      (fun l b ->
+        if reachable.(l) then
+          kept.(mapping.(l)) <- { b with term = map_labels b.term ~f:(fun m -> mapping.(m)) })
+      f.blocks;
+    ({ f with blocks = kept }, removed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global liveness + dead pure-assignment elimination.                 *)
+(* ------------------------------------------------------------------ *)
+
+module Regset = Set.Make (Int)
+
+let operand_uses acc = function
+  | Imm _ -> acc
+  | Reg r -> Regset.add r acc
+
+let expr_uses acc = function
+  | Const _ -> acc
+  | Move o | Load o -> operand_uses acc o
+  | Binop (_, a, b) -> operand_uses (operand_uses acc a) b
+
+let inst_uses acc = function
+  | Assign (_, e) -> expr_uses acc e
+  | Store (a, v) -> operand_uses (operand_uses acc a) v
+  | Observe v -> operand_uses acc v
+  | Call { args; _ } -> List.fold_left operand_uses acc args
+  | Icall { fptr; args; _ } -> List.fold_left operand_uses (operand_uses acc fptr) args
+  | Asm_icall { fptr; _ } -> operand_uses acc fptr
+
+let term_uses acc = function
+  | Jmp _ -> acc
+  | Br (c, _, _) -> operand_uses acc c
+  | Switch { scrutinee; _ } -> operand_uses acc scrutinee
+  | Ret (Some v) -> operand_uses acc v
+  | Ret None -> acc
+
+let eliminate_dead f =
+  let n = Array.length f.blocks in
+  (* backward dataflow: live-in/live-out per block *)
+  let live_in = Array.make n Regset.empty in
+  let live_out = Array.make n Regset.empty in
+  let block_live_in l =
+    let b = f.blocks.(l) in
+    let live = ref (term_uses live_out.(l) b.term) in
+    for i = Array.length b.insts - 1 downto 0 do
+      (match b.insts.(i) with
+      | Assign (d, _) -> live := Regset.remove d !live
+      | Call { dst = Some d; _ } | Icall { dst = Some d; _ } -> live := Regset.remove d !live
+      | Call { dst = None; _ } | Icall { dst = None; _ } | Asm_icall _ | Store _ | Observe _
+        -> ());
+      live := inst_uses !live b.insts.(i)
+    done;
+    !live
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Regset.union acc live_in.(s))
+          Regset.empty
+          (Func.successors f.blocks.(l).term)
+      in
+      if not (Regset.equal out live_out.(l)) then begin
+        live_out.(l) <- out;
+        changed := true
+      end;
+      let inn = block_live_in l in
+      if not (Regset.equal inn live_in.(l)) then begin
+        live_in.(l) <- inn;
+        changed := true
+      end
+    done
+  done;
+  let removed = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun l b ->
+        let live = ref (term_uses live_out.(l) b.term) in
+        let kept = ref [] in
+        for i = Array.length b.insts - 1 downto 0 do
+          let inst = b.insts.(i) in
+          let keep =
+            match inst with
+            | Assign (d, _) when not (Regset.mem d !live) ->
+              (* pure computation whose result is never read: drop it
+                 (loads are treated as speculatable, as in LLVM) *)
+              incr removed;
+              false
+            | Assign _ | Store _ | Observe _ | Call _ | Icall _ | Asm_icall _ -> true
+          in
+          if keep then begin
+            (match inst with
+            | Assign (d, _) -> live := Regset.remove d !live
+            | Call { dst = Some d; _ } | Icall { dst = Some d; _ } ->
+              live := Regset.remove d !live
+            | _ -> ());
+            live := inst_uses !live inst;
+            kept := inst :: !kept
+          end
+        done;
+        { b with insts = Array.of_list !kept })
+      f.blocks
+  in
+  ({ f with blocks }, !removed)
+
+(* ------------------------------------------------------------------ *)
+
+let run_once f =
+  let folded = ref 0 and branches = ref 0 in
+  let blocks =
+    Array.map
+      (fun b ->
+        let b', fo, br = propagate_block b in
+        folded := !folded + fo;
+        branches := !branches + br;
+        b')
+      f.blocks
+  in
+  let f = { f with blocks } in
+  let f, removed_blocks = thread_and_compact f in
+  let f, dead = eliminate_dead f in
+  ( f,
+    {
+      folded = !folded;
+      branches_folded = !branches;
+      blocks_removed = removed_blocks;
+      dead_assigns_removed = dead;
+    } )
+
+let run_func_with_stats f =
+  let rec go f acc iters =
+    if iters = 0 then (f, acc)
+    else
+      let f', s = run_once f in
+      let acc = add_stats acc s in
+      if f' = f then (f', acc) else go f' acc (iters - 1)
+  in
+  go f zero_stats 8
+
+let run_func f = fst (run_func_with_stats f)
+
+let run prog =
+  Program.fold_funcs prog ~init:prog ~f:(fun acc f ->
+      if f.attrs.optnone || f.attrs.is_asm then acc
+      else Program.update_func acc (run_func f))

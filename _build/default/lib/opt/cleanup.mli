@@ -1,0 +1,32 @@
+(** Post-inlining scalar cleanup.
+
+    The paper (§5.2) notes that inlining's main traditional benefit is the
+    follow-on optimization it unlocks (constant propagation, dead-code
+    elimination, ...).  This pass supplies exactly that follow-on work so
+    the PGO baseline earns its speedup the same way the authors' LTO
+    pipeline does:
+
+    - constant folding and block-local constant/copy propagation,
+    - branch folding ([br] on a known condition, [switch] on a constant),
+    - unreachable-block removal,
+    - jump threading through empty forwarding blocks,
+    - dead-store elimination of pure assignments (global register
+      liveness; calls, stores and observes are never touched).
+
+    The pass is a fixed point of all of the above and preserves observable
+    semantics (differentially tested). *)
+
+open Pibe_ir
+
+val run_func : Types.func -> Types.func
+val run : Program.t -> Program.t
+(** Cleans every function that is not [optnone]/[is_asm]. *)
+
+type stats = {
+  folded : int;  (** operands/exprs replaced by constants or copies *)
+  branches_folded : int;
+  blocks_removed : int;
+  dead_assigns_removed : int;
+}
+
+val run_func_with_stats : Types.func -> Types.func * stats

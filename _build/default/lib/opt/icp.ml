@@ -1,0 +1,100 @@
+open Pibe_ir
+open Types
+module Profile = Pibe_profile.Profile
+
+type config = {
+  budget_pct : float;
+  max_targets : int option;
+}
+
+let default_config = { budget_pct = 99.999; max_targets = None }
+
+type stats = {
+  total_weight : int;
+  total_sites : int;
+  total_targets : int;
+  promoted_weight : int;
+  promoted_sites : int;
+  promoted_targets : int;
+}
+
+type pair = {
+  caller : string;
+  site : site;
+  target : string;
+}
+
+let run prog profile config =
+  (* Every (indirect site, profiled target) pair, in layout order. *)
+  let pairs =
+    List.rev
+      (Program.fold_funcs prog ~init:[] ~f:(fun acc f ->
+           if f.attrs.optnone || f.attrs.is_asm then acc
+           else
+             List.fold_left
+               (fun acc site ->
+                 List.fold_left
+                   (fun acc (target, count) ->
+                     (({ caller = f.fname; site; target }, count) : pair * int) :: acc)
+                   acc
+                   (Profile.value_profile profile ~origin:site.site_origin))
+               acc (Func.icall_sites f)))
+  in
+  let distinct_sites =
+    List.length
+      (List.sort_uniq compare (List.map (fun (p, _) -> (p.caller, p.site.site_id)) pairs))
+  in
+  let sel = Budget.select ~budget_pct:config.budget_pct pairs in
+  (* Group the selected pairs by site, keeping them hottest-first. *)
+  let by_site = Hashtbl.create 256 in
+  let site_order = ref [] in
+  List.iter
+    (fun (p, count) ->
+      let key = (p.caller, p.site.site_id) in
+      match Hashtbl.find_opt by_site key with
+      | Some existing -> Hashtbl.replace by_site key (existing @ [ (p, count) ])
+      | None ->
+        Hashtbl.replace by_site key [ (p, count) ];
+        site_order := key :: !site_order)
+    sel.Budget.selected;
+  let site_order = List.rev !site_order in
+  let prog = ref prog in
+  let promoted_targets = ref 0 in
+  let promoted_weight = ref 0 in
+  List.iter
+    (fun key ->
+      let entries =
+        let all = Hashtbl.find by_site key in
+        match config.max_targets with
+        | None -> all
+        | Some k -> List.filteri (fun i _ -> i < k) all
+      in
+      let caller, site_id = key in
+      let origin =
+        match entries with
+        | (p, _) :: _ -> p.site.site_origin
+        | [] -> assert false
+      in
+      let targets = List.map (fun (p, _) -> p.target) entries in
+      let p', promotion = Transform.promote_icall !prog ~caller ~site_id ~targets in
+      prog := p';
+      List.iter2
+        (fun (pair, count) (target, new_site) ->
+          assert (String.equal pair.target target);
+          promoted_targets := !promoted_targets + 1;
+          promoted_weight := !promoted_weight + count;
+          Profile.add_direct profile ~origin:new_site.site_origin ~count;
+          Profile.remove_indirect_target profile ~origin ~target)
+        entries promotion.Transform.promoted)
+    site_order;
+  let stats =
+    {
+      total_weight = sel.Budget.total_weight;
+      total_sites = distinct_sites;
+      total_targets = List.length pairs;
+      promoted_weight = !promoted_weight;
+      promoted_sites = List.length site_order;
+      promoted_targets = !promoted_targets;
+    }
+  in
+  (!prog, stats)

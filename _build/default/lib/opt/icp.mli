@@ -1,0 +1,37 @@
+(** PIBE's indirect call promotion (paper §5.3).
+
+    The budget applies to (site, target) pairs globally, hottest first,
+    and — unlike stock LLVM ICP — the number of promoted targets per site
+    is unbounded: a ~2-tick compare is always cheaper than a ~21-tick
+    retpoline fallback, so every target worth its weight gets a direct
+    call.  Promoted targets become profiled direct-call sites (feeding the
+    inliner); the fallback indirect call keeps only the residual value
+    profile. *)
+
+open Pibe_ir
+
+type config = {
+  budget_pct : float;
+  max_targets : int option;
+      (** cap on promoted targets per site; [None] is PIBE's unlimited
+          promotion, [Some 1] models single-slot promotion (ablation) *)
+}
+
+val default_config : config
+(** 99.999% budget, unlimited targets (the paper's best retpoline
+    configuration). *)
+
+type stats = {
+  total_weight : int;  (** all profiled indirect-call weight *)
+  total_sites : int;  (** indirect sites carrying a value profile *)
+  total_targets : int;  (** (site, target) pairs available *)
+  promoted_weight : int;
+  promoted_sites : int;  (** sites that received at least one promotion *)
+  promoted_targets : int;
+}
+
+val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats
+(** Rewrites every selected site into a compare ladder with direct calls.
+    The profile is updated in place: each new direct site gets the
+    promoted target's count, which the original site's value profile
+    loses. *)

@@ -1,0 +1,23 @@
+open Pibe_ir.Types
+
+let standard = 5
+
+let inst_cost = function
+  | Assign _ | Store _ | Observe _ -> standard
+  | Call { args; _ } | Icall { args; _ } -> standard + (standard * List.length args)
+  | Asm_icall _ -> standard
+
+let term_cost = function
+  | Jmp _ -> 0
+  | Br _ -> standard
+  | Switch { cases; _ } -> standard + (standard * Array.length cases)
+  | Ret _ -> standard
+
+let func_cost f =
+  Array.fold_left
+    (fun acc b ->
+      Array.fold_left (fun acc i -> acc + inst_cost i) (acc + term_cost b.term) b.insts)
+    0 f.blocks
+
+let rule2_default = 12_000
+let rule3_default = 3_000

@@ -1,0 +1,22 @@
+(** LLVM-InlineCost-style size/complexity analysis (paper §5.2, Rule 2).
+
+    Each instruction contributes a standard cost of 5 (an approximation of
+    the average encoded instruction size, as the paper notes for x86);
+    nested calls cost [5 + 5 * num_args], since materializing arguments
+    takes about one instruction each. *)
+
+val standard : int
+(** The standard per-instruction cost (5). *)
+
+val inst_cost : Pibe_ir.Types.inst -> int
+val term_cost : Pibe_ir.Types.terminator -> int
+
+val func_cost : Pibe_ir.Types.func -> int
+(** Sum over all instructions and terminators. *)
+
+val rule2_default : int
+(** Caller-complexity cap: 12,000 (paper's experimentally determined
+    inhibitor threshold). *)
+
+val rule3_default : int
+(** Callee-complexity cap: 3,000 (LLVM's default hot threshold). *)

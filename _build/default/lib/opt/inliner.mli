@@ -1,0 +1,52 @@
+(** PIBE's profile-guided inliner (paper §5.2).
+
+    Inlining here is a *security* transformation: each inlined call site
+    removes one backward edge (the callee's return) from the hot path, so
+    the weight-ordered greedy walk maximizes the execution count of
+    returns elided.  Three rules govern it:
+
+    - Rule 1 (hot budget): only candidates within [budget_pct] percent of
+      the cumulative profiled weight are considered, hottest first;
+      call sites exposed by earlier inlining inherit the heuristic count
+      [weight(site in callee) * inlined_weight / invocations(callee)]
+      (Scheifler-style constant-ratio assumption) and join the worklist
+      when they still fit the budget cutoff;
+    - Rule 2 (caller complexity): a site is skipped when the caller's
+      InlineCost would exceed [rule2_threshold] (default 12,000);
+    - Rule 3 (callee complexity): a site is skipped when the callee's
+      InlineCost alone exceeds [rule3_threshold] (default 3,000).
+
+    The [lax_within_pct] option reproduces the paper's best "lax
+    heuristics" configuration: size rules are disabled for sites hot
+    enough to fit in that (tighter) budget. *)
+
+open Pibe_ir
+
+type config = {
+  budget_pct : float;
+  rule2_threshold : int;
+  rule3_threshold : int;
+  lax_within_pct : float option;
+}
+
+val default_config : config
+(** 99.9% budget, thresholds 12,000 / 3,000, no lax window. *)
+
+type stats = {
+  total_weight : int;  (** profiled weight over every direct call site *)
+  eligible_weight : int;  (** weight of candidates within the budget (Table 9 "Ovr.") *)
+  initial_candidates : int;
+  initial_candidate_weight : int;
+  inlined_sites : int;  (** inline operations performed = return sites elided *)
+  inlined_weight : int;  (** execution counts whose backward edge was elided *)
+  blocked_rule2_weight : int;
+  blocked_rule3_weight : int;
+  blocked_other_weight : int;  (** noinline / optnone / asm / recursion *)
+  total_ret_sites_before : int;
+  total_ret_sites_after : int;
+}
+
+val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats
+(** Runs promotion-aware greedy inlining over the whole program.  The
+    profile is read-only; cloned sites keep their origins so later passes
+    still find their counts. *)

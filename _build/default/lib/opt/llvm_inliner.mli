@@ -1,0 +1,30 @@
+(** Model of LLVM's default (bottom-up, size-driven) PGO inliner, the
+    baseline of paper §8.4.
+
+    It visits the call graph bottom-up and inlines purely on size
+    complexity: callees under a mildly raised threshold (325) at
+    inline-hinted (profiled-hot) sites, callees under LLVM's default
+    threshold (225) elsewhere, with the same caller-growth cap as PIBE's
+    Rule 2.  The visit order ignores profile weight and the thresholds
+    only admit small callees, so most of the hot backward edges PIBE
+    removes stay in place — the §8.4 defect PIBE's weight-ordered,
+    elision-targeted walk removes. *)
+
+open Pibe_ir
+
+type config = {
+  budget_pct : float;  (** sites within this budget count as hot *)
+  hot_callee_threshold : int;
+  cold_callee_threshold : int;
+  caller_cap : int;
+}
+
+val default_config : config
+
+type stats = {
+  inlined_sites : int;
+  inlined_weight : int;  (** profiled weight of inlined sites *)
+  blocked_weight : int;  (** profiled weight blocked by size limits *)
+}
+
+val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats

@@ -1,0 +1,1 @@
+lib/profile/collector.ml: Func Hashtbl Layout Lbr List Option Pibe_cpu Pibe_ir Profile Program Types

@@ -1,0 +1,1 @@
+lib/profile/collector.mli: Pibe_cpu Pibe_ir Profile

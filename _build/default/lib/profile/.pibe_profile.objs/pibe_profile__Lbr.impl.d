@@ -1,0 +1,1 @@
+lib/profile/lbr.ml: Array

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Buffer Hashtbl List Option Pibe_ir Printf String

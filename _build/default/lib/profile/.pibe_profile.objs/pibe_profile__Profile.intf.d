@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Pibe_ir

@@ -1,0 +1,59 @@
+open Pibe_ir
+
+type t = {
+  prog : Program.t;
+  layout : Layout.t;
+  pairs : (int * int, int) Hashtbl.t;
+  lbr : Lbr.t;
+  (* site kind map, built once: origin id -> is the site a direct call? *)
+  site_is_direct : (int, bool) Hashtbl.t;
+}
+
+let create prog =
+  let layout = Layout.build prog in
+  let pairs = Hashtbl.create 4096 in
+  let drain (r : Lbr.record) =
+    let key = (r.Lbr.from_addr, r.Lbr.to_addr) in
+    Hashtbl.replace pairs key (1 + Option.value ~default:0 (Hashtbl.find_opt pairs key))
+  in
+  let site_is_direct = Hashtbl.create 1024 in
+  Program.iter_funcs prog (fun f ->
+      Func.iter_insts f (fun _ i ->
+          match i with
+          | Types.Call { site; _ } -> Hashtbl.replace site_is_direct site.Types.site_id true
+          | Types.Icall { site; _ } | Types.Asm_icall { site; _ } ->
+            Hashtbl.replace site_is_direct site.Types.site_id false
+          | Types.Assign _ | Types.Store _ | Types.Observe _ -> ()));
+  { prog; layout; pairs; lbr = Lbr.create ~drain (); site_is_direct }
+
+let hook t (e : Pibe_cpu.Engine.edge_event) =
+  (* The profiling run observes addresses, as LBR hardware would. *)
+  match
+    ( Layout.site_addr t.layout e.Pibe_cpu.Engine.site.Types.site_id,
+      Layout.func_addr t.layout e.Pibe_cpu.Engine.callee )
+  with
+  | from_addr, to_addr -> Lbr.record t.lbr ~from_addr ~to_addr
+  | exception Not_found -> ()
+
+let lift t =
+  Lbr.flush t.lbr;
+  let profile = Profile.create () in
+  Hashtbl.iter
+    (fun (from_addr, to_addr) count ->
+      match Layout.site_at t.layout from_addr with
+      | None -> () (* stale address: site no longer exists *)
+      | Some site_id -> (
+        match Layout.func_at t.layout to_addr with
+        | None -> ()
+        | Some target ->
+          Profile.add_entry profile ~func:target ~count;
+          (match Hashtbl.find_opt t.site_is_direct site_id with
+          | Some true -> Profile.add_direct profile ~origin:site_id ~count
+          | Some false -> Profile.add_indirect profile ~origin:site_id ~target ~count
+          | None -> ())))
+    t.pairs;
+  profile
+
+let raw_pairs t =
+  Lbr.flush t.lbr;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pairs [])

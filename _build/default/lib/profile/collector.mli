@@ -1,0 +1,25 @@
+(** The profiling-phase plumbing: engine edge events -> binary addresses ->
+    LBR ring -> address-pair aggregation -> lifted {!Profile.t}.
+
+    Mirrors the paper's §7 flow: the profiling binary records edges at the
+    *binary* level; after the run, the aggregated address pairs are lifted
+    back to IR call-site identities through the layout symbol table. *)
+
+type t
+
+val create : Pibe_ir.Program.t -> t
+(** Builds the layout symbol table for the profiling image and an empty
+    aggregation. *)
+
+val hook : t -> Pibe_cpu.Engine.edge_event -> unit
+(** Install as the engine's [on_edge] callback. *)
+
+val lift : t -> Profile.t
+(** Flushes the LBR ring, then lifts every aggregated (from, to) pair:
+    [from] resolves to a call site (direct counter or value-profile entry
+    depending on the site's instruction) and [to] to the entered function
+    (invocation counts).  Address pairs that no longer resolve — e.g. the
+    site was compiled away — are dropped, as in the paper. *)
+
+val raw_pairs : t -> ((int * int) * int) list
+(** Aggregated ((from_addr, to_addr), count) pairs, for inspection. *)

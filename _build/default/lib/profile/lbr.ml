@@ -1,0 +1,32 @@
+type record = {
+  from_addr : int;
+  to_addr : int;
+}
+
+type t = {
+  ring : record array;
+  depth : int;
+  drain : record -> unit;
+  mutable fill : int;
+  mutable total : int;
+}
+
+let dummy = { from_addr = 0; to_addr = 0 }
+
+let create ?(depth = 32) ~drain () =
+  if depth <= 0 then invalid_arg "Lbr.create: depth must be positive";
+  { ring = Array.make depth dummy; depth; drain; fill = 0; total = 0 }
+
+let flush t =
+  for i = 0 to t.fill - 1 do
+    t.drain t.ring.(i);
+    t.total <- t.total + 1
+  done;
+  t.fill <- 0
+
+let record t ~from_addr ~to_addr =
+  if t.fill >= t.depth then flush t;
+  t.ring.(t.fill) <- { from_addr; to_addr };
+  t.fill <- t.fill + 1
+
+let drained t = t.total

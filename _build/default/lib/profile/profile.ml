@@ -1,0 +1,123 @@
+type t = {
+  direct : (int, int) Hashtbl.t;
+  indirect : (int, (string, int) Hashtbl.t) Hashtbl.t;
+  entries : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { direct = Hashtbl.create 512; indirect = Hashtbl.create 256; entries = Hashtbl.create 512 }
+
+let bump tbl key count =
+  Hashtbl.replace tbl key (count + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let add_direct t ~origin ~count = bump t.direct origin count
+
+let add_indirect t ~origin ~target ~count =
+  let vp =
+    match Hashtbl.find_opt t.indirect origin with
+    | Some vp -> vp
+    | None ->
+      let vp = Hashtbl.create 4 in
+      Hashtbl.replace t.indirect origin vp;
+      vp
+  in
+  bump vp target count
+
+let add_entry t ~func ~count = bump t.entries func count
+let direct_count t ~origin = Option.value ~default:0 (Hashtbl.find_opt t.direct origin)
+
+let value_profile t ~origin =
+  match Hashtbl.find_opt t.indirect origin with
+  | None -> []
+  | Some vp ->
+    let items = Hashtbl.fold (fun target count acc -> (target, count) :: acc) vp [] in
+    List.sort
+      (fun (n1, c1) (n2, c2) -> if c1 <> c2 then compare c2 c1 else String.compare n1 n2)
+      items
+
+let site_weight t (s : Pibe_ir.Types.site) =
+  let origin = s.Pibe_ir.Types.site_origin in
+  match Hashtbl.find_opt t.direct origin with
+  | Some c -> c
+  | None -> List.fold_left (fun acc (_, c) -> acc + c) 0 (value_profile t ~origin)
+
+let invocations t func = Option.value ~default:0 (Hashtbl.find_opt t.entries func)
+let total_direct_weight t = Hashtbl.fold (fun _ c acc -> acc + c) t.direct 0
+
+let total_indirect_weight t =
+  Hashtbl.fold
+    (fun _ vp acc -> Hashtbl.fold (fun _ c acc -> acc + c) vp acc)
+    t.indirect 0
+
+let profiled_indirect_origins t =
+  List.sort compare (Hashtbl.fold (fun origin _ acc -> origin :: acc) t.indirect [])
+
+let remove_indirect_target t ~origin ~target =
+  match Hashtbl.find_opt t.indirect origin with
+  | None -> ()
+  | Some vp ->
+    Hashtbl.remove vp target;
+    if Hashtbl.length vp = 0 then Hashtbl.remove t.indirect origin
+
+let merge a b =
+  let t = create () in
+  let copy_from src =
+    Hashtbl.iter (fun origin c -> add_direct t ~origin ~count:c) src.direct;
+    Hashtbl.iter
+      (fun origin vp -> Hashtbl.iter (fun target c -> add_indirect t ~origin ~target ~count:c) vp)
+      src.indirect;
+    Hashtbl.iter (fun func c -> add_entry t ~func ~count:c) src.entries
+  in
+  copy_from a;
+  copy_from b;
+  t
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "profile {\n";
+  let entries = Hashtbl.fold (fun f c acc -> (f, c) :: acc) t.entries [] in
+  List.iter
+    (fun (f, c) -> Buffer.add_string buf (Printf.sprintf "  entry @%s = %d\n" f c))
+    (List.sort compare entries);
+  let directs = Hashtbl.fold (fun o c acc -> (o, c) :: acc) t.direct [] in
+  List.iter
+    (fun (o, c) -> Buffer.add_string buf (Printf.sprintf "  direct %d = %d\n" o c))
+    (List.sort compare directs);
+  List.iter
+    (fun origin ->
+      List.iter
+        (fun (target, c) ->
+          Buffer.add_string buf (Printf.sprintf "  vp %d @%s = %d\n" origin target c))
+        (value_profile t ~origin))
+    (profiled_indirect_origins t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_string text =
+  let t = create () in
+  let lines = String.split_on_char '\n' text in
+  let fail line = failwith ("Profile.of_string: malformed line: " ^ line) in
+  let parse_name tok line =
+    if String.length tok >= 2 && tok.[0] = '@' then String.sub tok 1 (String.length tok - 1)
+    else fail line
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" || line = "profile {" || line = "}" then ()
+      else
+        match String.split_on_char ' ' line with
+        | [ "entry"; name; "="; c ] ->
+          add_entry t ~func:(parse_name name line)
+            ~count:(try int_of_string c with Failure _ -> fail line)
+        | [ "direct"; o; "="; c ] -> (
+          try add_direct t ~origin:(int_of_string o) ~count:(int_of_string c)
+          with Failure _ -> fail line)
+        | [ "vp"; o; name; "="; c ] -> (
+          try
+            add_indirect t ~origin:(int_of_string o) ~target:(parse_name name line)
+              ~count:(int_of_string c)
+          with Failure _ -> fail line)
+        | _ -> fail line)
+    lines;
+  t

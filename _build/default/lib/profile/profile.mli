@@ -1,0 +1,53 @@
+(** Lifted execution profiles.
+
+    A profile maps *origin* call-site ids to execution counts — direct
+    sites carry a plain counter, indirect sites a value profile of
+    [(target function, count)] tuples — plus per-function invocation
+    counts.  This is the LLVM-IR-friendly form the paper lifts its binary
+    profile into (§7): optimization passes never see addresses, only these
+    counts keyed by stable site identities that survive cloning (each
+    clone inherits its origin id). *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording} *)
+
+val add_direct : t -> origin:int -> count:int -> unit
+val add_indirect : t -> origin:int -> target:string -> count:int -> unit
+val add_entry : t -> func:string -> count:int -> unit
+
+(** {2 Queries} *)
+
+val direct_count : t -> origin:int -> int
+val value_profile : t -> origin:int -> (string * int) list
+(** Targets with counts, hottest first (ties by name for determinism). *)
+
+val site_weight : t -> Pibe_ir.Types.site -> int
+(** Count for a site by its origin: the direct counter if present, else
+    the sum of its value profile. *)
+
+val invocations : t -> string -> int
+(** How often the function was entered. *)
+
+val total_direct_weight : t -> int
+val total_indirect_weight : t -> int
+
+val profiled_indirect_origins : t -> int list
+(** Origin ids that carry a value profile, ascending. *)
+
+val merge : t -> t -> t
+(** Pointwise sum (combining the 11 profiling iterations of the paper's
+    methodology). *)
+
+val remove_indirect_target : t -> origin:int -> target:string -> unit
+(** Drops one target from a value profile (used by ICP when the target has
+    been promoted to a direct call, leaving the fallback indirect site
+    with only the residual weight). *)
+
+(** {2 Persistence} *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)

@@ -1,0 +1,76 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s }
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let weighted t arr =
+  let total = Array.fold_left (fun acc (w, _) -> acc + w) 0 arr in
+  assert (total > 0);
+  let pick = int t total in
+  let rec go i acc =
+    let w, v = arr.(i) in
+    let acc = acc + w in
+    if pick < acc then v else go (i + 1) acc
+  in
+  go 0 0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric t ~p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.round (log u /. log (1.0 -. p)))
+
+let zipf t ~n ~s =
+  assert (n > 0);
+  (* Linear-scan inverse CDF; [n] stays small (indirect-call target lists). *)
+  let weights = Array.init n (fun k -> (float_of_int (k + 1)) ** (-.s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pick = float t total in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if pick < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

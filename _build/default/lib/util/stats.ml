@@ -1,0 +1,54 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median xs =
+  let xs = require_nonempty "Stats.median" xs in
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let geomean xs =
+  let xs = require_nonempty "Stats.geomean" xs in
+  let logsum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (logsum /. float_of_int (List.length xs))
+
+let geomean_overhead pcts =
+  let ratios = List.map (fun p -> 1.0 +. (p /. 100.0)) pcts in
+  (geomean ratios -. 1.0) *. 100.0
+
+let percentile p xs =
+  let xs = require_nonempty "Stats.percentile" xs in
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  arr.(idx)
+
+let overhead_pct ~baseline v = (v -. baseline) /. baseline *. 100.0
+let throughput_delta_pct ~baseline v = (v -. baseline) /. baseline *. 100.0
+let sum_int = List.fold_left ( + ) 0
+
+let ratio_pct ~num ~den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den

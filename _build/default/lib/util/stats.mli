@@ -1,0 +1,36 @@
+(** Small statistics toolbox used by the measurement harness and the
+    experiment reports (medians over 11 iterations, geometric means of
+    overheads, as in the paper's methodology, §8). *)
+
+val mean : float list -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty list. *)
+
+val median : float list -> float
+(** Median (average of the two central elements for even lengths).
+    Raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.  Raises [Invalid_argument] on the
+    empty list or non-positive elements. *)
+
+val geomean_overhead : float list -> float
+(** Geometric mean of overhead percentages that may be negative (speedups),
+    computed as the paper does: gm over ratios [1 + p/100], mapped back to a
+    percentage.  E.g. [geomean_overhead [10.; -10.]] is roughly [-0.5]. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]]; nearest-rank. *)
+
+val overhead_pct : baseline:float -> float -> float
+(** [(v - baseline) / baseline * 100].  Positive = slowdown. *)
+
+val throughput_delta_pct : baseline:float -> float -> float
+(** [(v - baseline) / baseline * 100].  Positive = higher throughput. *)
+
+val sum_int : int list -> int
+
+val ratio_pct : num:int -> den:int -> float
+(** [100 * num / den] as a float; 0 if [den = 0]. *)

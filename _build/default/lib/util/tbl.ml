@@ -1,0 +1,103 @@
+type cell =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Pct of float
+  | Empty
+
+type line =
+  | Row of cell list
+  | Separator
+
+type t = {
+  tbl_title : string;
+  tbl_columns : string list;
+  mutable tbl_lines : line list; (* reverse order *)
+}
+
+let create ~title ~columns = { tbl_title = title; tbl_columns = columns; tbl_lines = [] }
+
+let pad_row ncols cells =
+  let n = List.length cells in
+  if n >= ncols then List.filteri (fun i _ -> i < ncols) cells
+  else cells @ List.init (ncols - n) (fun _ -> Empty)
+
+let add_row t cells =
+  let cells = pad_row (List.length t.tbl_columns) cells in
+  t.tbl_lines <- Row cells :: t.tbl_lines
+
+let add_separator t = t.tbl_lines <- Separator :: t.tbl_lines
+let title t = t.tbl_title
+let columns t = t.tbl_columns
+
+let rows t =
+  List.rev
+    (List.filter_map (function Row r -> Some r | Separator -> None) t.tbl_lines)
+
+let cell_text = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.2f" f
+  | Pct p -> if p >= 0.0 then Printf.sprintf "+%.1f%%" p else Printf.sprintf "%.1f%%" p
+  | Empty -> ""
+
+let find_row t label =
+  List.find_opt
+    (function [] -> false | first :: _ -> String.equal (cell_text first) label)
+    (rows t)
+
+let to_string t =
+  let lines = List.rev t.tbl_lines in
+  let ncols = List.length t.tbl_columns in
+  let widths = Array.of_list (List.map String.length t.tbl_columns) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Row cells ->
+        List.iteri
+          (fun i c ->
+            if i < ncols then widths.(i) <- max widths.(i) (String.length (cell_text c)))
+          cells)
+    lines;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let missing = w - String.length s in
+    (* left-align first column, right-align the rest *)
+    if i = 0 then s ^ String.make (max 0 missing) ' '
+    else String.make (max 0 missing) ' ' ^ s
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  let rule = String.make (max total_width (String.length t.tbl_title)) '-' in
+  Buffer.add_string buf t.tbl_title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i col ->
+      if i > 0 then Buffer.add_string buf " | ";
+      Buffer.add_string buf (pad i col))
+    t.tbl_columns;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Separator ->
+        Buffer.add_string buf rule;
+        Buffer.add_char buf '\n'
+      | Row cells ->
+        List.iteri
+          (fun i c ->
+            if i < ncols then begin
+              if i > 0 then Buffer.add_string buf " | ";
+              Buffer.add_string buf (pad i (cell_text c))
+            end)
+          cells;
+        Buffer.add_char buf '\n')
+    lines;
+  Buffer.contents buf
+
+let print t =
+  print_string (to_string t);
+  print_newline ()

@@ -1,0 +1,42 @@
+(** Aligned plain-text table rendering for experiment reports.
+
+    Every reproduced paper table is materialized as a [Tbl.t] so that tests
+    can inspect cells programmatically while the bench harness prints the
+    same rows the paper reports. *)
+
+type cell =
+  | Str of string
+  | Int of int
+  | Float of float  (** rendered with 2 decimals *)
+  | Pct of float  (** rendered as [+x.x%] / [-x.x%] *)
+  | Empty
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A titled table with a fixed header row. *)
+
+val add_row : t -> cell list -> unit
+(** Appends a row; the row is padded or truncated to the column count. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule (useful before summary rows). *)
+
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> cell list list
+(** All data rows in insertion order (separators excluded). *)
+
+val cell_text : cell -> string
+(** Rendering of a single cell, exactly as printed. *)
+
+val find_row : t -> string -> cell list option
+(** [find_row t label] returns the first row whose first cell renders as
+    [label]. *)
+
+val to_string : t -> string
+(** Full rendering: title, header, rule, rows. *)
+
+val print : t -> unit
+(** [to_string] to stdout, followed by a blank line. *)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Helpers Pibe_cpu Pibe_harden Pibe_ir Pibe_jumpswitch Pibe_kernel Printf

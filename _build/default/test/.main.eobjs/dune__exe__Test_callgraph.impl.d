@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Builder Helpers List Pibe_cg Pibe_ir Program QCheck String Types

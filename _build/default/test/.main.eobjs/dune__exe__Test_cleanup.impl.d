@@ -1,0 +1,1 @@
+test/test_cleanup.ml: Alcotest Array Builder Func Helpers List Pibe_cpu Pibe_ir Pibe_kernel Pibe_opt Pibe_util Printer Program QCheck Types Validate

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Helpers List Pibe Pibe_cpu Pibe_harden Pibe_kernel Pibe_util String

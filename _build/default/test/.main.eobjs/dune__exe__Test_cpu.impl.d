@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Builder Helpers List Pibe_cpu Pibe_ir Printf Program Protection Types

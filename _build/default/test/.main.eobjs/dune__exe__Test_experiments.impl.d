@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Helpers List Pibe Pibe_util Printf String

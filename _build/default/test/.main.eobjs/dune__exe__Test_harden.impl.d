@@ -1,0 +1,1 @@
+test/test_harden.ml: Alcotest Func Helpers Layout List Pibe_harden Pibe_ir Pibe_kernel Printf Program Protection String Types

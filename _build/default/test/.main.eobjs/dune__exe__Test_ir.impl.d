@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Func Helpers Layout List Parser Pibe_ir Printer Program QCheck Types Validate

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Helpers List Pibe Pibe_cpu Pibe_ir Pibe_kernel Pibe_profile Pibe_util Printer Program String Types Validate

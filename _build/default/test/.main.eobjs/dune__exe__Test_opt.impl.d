@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Float Func Helpers List Pibe Pibe_cpu Pibe_ir Pibe_kernel Pibe_opt Pibe_profile Printer Program QCheck Types Validate

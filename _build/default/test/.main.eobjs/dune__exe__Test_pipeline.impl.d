@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Helpers List Pibe Pibe_cpu Pibe_harden Pibe_ir Pibe_kernel Pibe_profile Pibe_util

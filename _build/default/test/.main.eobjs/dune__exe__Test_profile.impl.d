@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Helpers List Pibe_cpu Pibe_ir Pibe_kernel Pibe_profile Pibe_util Printf QCheck String Types

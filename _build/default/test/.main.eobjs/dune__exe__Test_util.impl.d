@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Helpers List Pibe_util QCheck String

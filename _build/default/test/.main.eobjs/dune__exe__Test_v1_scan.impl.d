@@ -1,0 +1,1 @@
+test/test_v1_scan.ml: Alcotest Builder Helpers List Pibe_harden Pibe_ir Pibe_kernel Program Types

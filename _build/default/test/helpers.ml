@@ -1,0 +1,167 @@
+(* Shared test plumbing: a deterministic random-program generator for
+   property tests (terminating by construction: the call graph and every
+   CFG are DAGs), a differential-equivalence checker, and one lazily
+   created quick environment shared by the heavier suites. *)
+
+open Pibe_ir
+open Types
+module Rng = Pibe_util.Rng
+
+let mem_cells = 64
+let fptr_cells = 8
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let random_func rng prog ~name ~callees ~n_fptrs =
+  let params = Rng.int rng 3 in
+  let b = Builder.create ~name ~params in
+  let nblocks = 1 + Rng.int rng 3 in
+  let extra = List.init (nblocks - 1) (fun _ -> Builder.new_block b) in
+  let blocks = Array.of_list (0 :: extra) in
+  let prog = ref prog in
+  let vals = ref (List.init params (fun i -> i)) in
+  let operand rng =
+    if !vals <> [] && Rng.bool rng then Reg (Rng.choose rng (Array.of_list !vals))
+    else Imm (Rng.int rng 100)
+  in
+  Array.iteri
+    (fun bi label ->
+      Builder.switch_to b label;
+      let n_insts = Rng.int rng 5 in
+      for _ = 1 to n_insts do
+        match Rng.int rng 10 with
+        | 0 ->
+          (* scratch store to a fixed valid cell *)
+          Builder.store b ~addr:(Imm (16 + Rng.int rng 16)) ~value:(operand rng)
+        | 1 ->
+          let r = Builder.reg b in
+          Builder.assign b r (Load (Imm (Rng.int rng mem_cells)));
+          vals := r :: !vals
+        | 2 -> Builder.observe b (operand rng)
+        | 3 | 4 when callees <> [] ->
+          let callee = Rng.choose rng (Array.of_list callees) in
+          let r = Builder.reg b in
+          let p, site = Program.fresh_site !prog in
+          prog := p;
+          Builder.call b ~dst:r site callee [ operand rng; operand rng ];
+          vals := r :: !vals
+        | 5 when n_fptrs > 0 ->
+          (* fptr index loaded from a dedicated cell holding a valid index *)
+          let fp = Builder.reg b in
+          Builder.assign b fp (Load (Imm (Rng.int rng fptr_cells)));
+          let r = Builder.reg b in
+          let p, site = Program.fresh_site !prog in
+          prog := p;
+          Builder.icall b ~dst:r site [ operand rng ] ~fptr:(Reg fp);
+          vals := r :: !vals
+        | _ ->
+          let r = Builder.reg b in
+          let op = Rng.choose rng [| Add; Sub; Mul; Xor; And; Or |] in
+          Builder.assign b r (Binop (op, operand rng, operand rng));
+          vals := r :: !vals
+      done;
+      (* Terminator: strictly forward edges keep every CFG a DAG. *)
+      let succs = Array.sub blocks (bi + 1) (Array.length blocks - bi - 1) in
+      if Array.length succs = 0 || Rng.int rng 4 = 0 then
+        Builder.ret b (if Rng.bool rng then Some (operand rng) else None)
+      else
+        match Rng.int rng 3 with
+        | 0 -> Builder.jmp b (Rng.choose rng succs)
+        | 1 -> Builder.br b (operand rng) (Rng.choose rng succs) (Rng.choose rng succs)
+        | _ ->
+          let cases =
+            List.init (1 + Rng.int rng 3) (fun v -> (v, Rng.choose rng succs))
+          in
+          Builder.switch b
+            ~lowering:(if Rng.bool rng then Jump_table else Branch_ladder)
+            (operand rng) cases ~default:(Rng.choose rng succs))
+    blocks;
+  (!prog, Builder.finish b ())
+
+(* [random_program seed] builds a small valid program: a DAG of functions
+   (later names callable from earlier ones), a fptr table over the leafier
+   half, and memory cells 0-7 holding valid fptr indices. *)
+let random_program seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 4 in
+  let names = List.init n (fun i -> Printf.sprintf "f%d" i) in
+  let prog = ref (Program.with_globals_size Program.empty mem_cells) in
+  (* Build leaves-first so callees exist; fi may call fj for j > i. *)
+  let rec build i =
+    if i < 0 then ()
+    else begin
+      (* Indirect calls only from the first half, targeting the second
+         half: no cycles even through the fptr table. *)
+      let callees = List.filteri (fun j _ -> j > i) names in
+      let p, f =
+        random_func rng !prog ~name:(List.nth names i) ~callees
+          ~n_fptrs:(if i < n / 2 then 1 else 0)
+      in
+      prog := Program.add_func p f;
+      build (i - 1)
+    end
+  in
+  build (n - 1);
+  (* fptr table over the leafier half (guaranteed call-DAG safe targets). *)
+  let targets = List.filteri (fun j _ -> j >= n / 2) names in
+  List.iter
+    (fun t ->
+      let p, _ = Program.add_fptr !prog t in
+      prog := p)
+    targets;
+  let n_targets = List.length targets in
+  for cell = 0 to fptr_cells - 1 do
+    prog := Program.set_global !prog ~addr:cell ~value:(Rng.int rng n_targets)
+  done;
+  let p = !prog in
+  (match Validate.check_program p with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "random_program %d invalid: %s" seed
+         (String.concat "; " (List.map (fun e -> e.Validate.what) errs))));
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Differential equivalence                                             *)
+(* ------------------------------------------------------------------ *)
+
+type observation = {
+  trace : int list;
+  results : int option list;
+  memory : int list;
+}
+
+let observe prog ~calls =
+  let config = { Pibe_cpu.Engine.default_config with Pibe_cpu.Engine.record_trace = true } in
+  let engine = Pibe_cpu.Engine.create ~config prog in
+  let results = List.map (fun (entry, args) -> Pibe_cpu.Engine.call engine entry args) calls in
+  {
+    trace = Pibe_cpu.Engine.trace engine;
+    results;
+    memory = Array.to_list (Pibe_cpu.Engine.memory engine);
+  }
+
+let standard_calls prog =
+  match Program.find_opt prog "f0" with
+  | None -> []
+  | Some f ->
+    List.init 5 (fun i -> ("f0", List.init f.params (fun j -> (i * 7) + j)))
+
+let equivalent ?calls a b =
+  let calls = match calls with Some c -> c | None -> standard_calls a in
+  observe a ~calls = observe b ~calls
+
+(* ------------------------------------------------------------------ *)
+(* Shared quick environment                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quick_env = lazy (Pibe.Env.quick ())
+let env () = Lazy.force quick_env
+
+let quick_info = lazy (Pibe_kernel.Gen.generate { Pibe_kernel.Ctx.seed = 42; scale = 1 })
+let kernel () = Lazy.force quick_info
+
+let qcheck_to_alcotest = QCheck_alcotest.to_alcotest

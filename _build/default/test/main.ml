@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "pibe"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("cpu", Test_cpu.suite);
+      ("callgraph", Test_callgraph.suite);
+      ("profile", Test_profile.suite);
+      ("opt", Test_opt.suite);
+      ("cleanup", Test_cleanup.suite);
+      ("harden", Test_harden.suite);
+      ("v1-scan", Test_v1_scan.suite);
+      ("kernel", Test_kernel.suite);
+      ("attack", Test_attack.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("core", Test_core.suite);
+      ("experiments", Test_experiments.suite);
+    ]

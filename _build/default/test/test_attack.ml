@@ -1,0 +1,153 @@
+(* Transient-attack drills: each mechanism succeeds exactly when the
+   matching defense is absent (paper §6's defense matrix), plus the
+   JumpSwitches comparator's behavioural model. *)
+
+module Engine = Pibe_cpu.Engine
+module Attack = Pibe_cpu.Attack
+module Speculation = Pibe_cpu.Speculation
+module Pass = Pibe_harden.Pass
+module Js = Pibe_jumpswitch.Jumpswitch
+module Gen = Pibe_kernel.Gen
+
+let drill_engine defenses =
+  let info = Helpers.kernel () in
+  let image = Pass.harden info.Gen.prog defenses in
+  let spec = Speculation.create () in
+  let config = { (Pass.engine_config image) with Engine.speculation = Some spec } in
+  (info, Engine.create ~config image.Pass.prog)
+
+let read_args info = [ Gen.nr info "read"; 0; 5 ]
+
+let v2 defenses =
+  let info, engine = drill_engine defenses in
+  (Attack.spectre_v2 engine ~victim_site:info.Gen.victim_icall_site ~gadget:info.Gen.gadget
+     ~entry:info.Gen.entry ~args:(read_args info))
+    .Attack.gadget_reached
+
+let r2s ?(scenario = Speculation.User_pollution) ?(rsb_refill = false) defenses =
+  let info = Helpers.kernel () in
+  let image = Pass.harden ~rsb_refill info.Gen.prog defenses in
+  let spec = Speculation.create () in
+  let config = { (Pass.engine_config image) with Engine.speculation = Some spec } in
+  let engine = Engine.create ~config image.Pass.prog in
+  (Attack.ret2spec engine ~scenario ~gadget:info.Gen.gadget ~entry:info.Gen.entry
+     ~args:(read_args info))
+    .Attack.gadget_reached
+
+let lvi defenses =
+  let info, engine = drill_engine defenses in
+  (Attack.lvi engine ~poisoned_addr:info.Gen.victim_ops_addr
+     ~injected_fptr:info.Gen.gadget_fptr ~entry:info.Gen.entry ~args:(read_args info))
+    .Attack.gadget_reached
+
+let retp = { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+let retret = { Pass.retpolines = false; ret_retpolines = true; lvi = false }
+let lvi_only = { Pass.retpolines = false; ret_retpolines = false; lvi = true }
+
+let test_v2_matrix () =
+  Alcotest.(check bool) "undefended reached" true (v2 Pass.no_defenses);
+  Alcotest.(check bool) "retpolines block" false (v2 retp);
+  Alcotest.(check bool) "lvi thunk does NOT block v2" true (v2 lvi_only);
+  Alcotest.(check bool) "ret-retpolines do NOT block v2" true (v2 retret);
+  Alcotest.(check bool) "all block" false (v2 Pass.all_defenses)
+
+let test_ret2spec_matrix () =
+  Alcotest.(check bool) "undefended reached" true (r2s Pass.no_defenses);
+  Alcotest.(check bool) "retpolines do NOT block" true (r2s retp);
+  Alcotest.(check bool) "ret-retpolines block" false (r2s retret);
+  Alcotest.(check bool) "lvi-ret does NOT block rsb poisoning" true (r2s lvi_only);
+  Alcotest.(check bool) "all block" false (r2s Pass.all_defenses)
+
+let test_rsb_refill_partial () =
+  (* refilling defeats user pollution but not in-kernel desync (§6.4) *)
+  Alcotest.(check bool) "refill blocks user pollution" false
+    (r2s ~rsb_refill:true Pass.no_defenses);
+  Alcotest.(check bool) "refill misses cross-thread desync" true
+    (r2s ~scenario:Speculation.Cross_thread ~rsb_refill:true Pass.no_defenses);
+  Alcotest.(check bool) "ret-retpolines block both" false
+    (r2s ~scenario:Speculation.Cross_thread ~rsb_refill:false retret)
+
+let test_lvi_matrix () =
+  Alcotest.(check bool) "undefended reached" true (lvi Pass.no_defenses);
+  Alcotest.(check bool) "retpolines do NOT block lvi" true (lvi retp);
+  Alcotest.(check bool) "lvi fences block" false (lvi lvi_only);
+  Alcotest.(check bool) "all block" false (lvi Pass.all_defenses)
+
+let test_asm_site_always_vulnerable () =
+  let info, engine = drill_engine Pass.all_defenses in
+  let outcome =
+    Attack.spectre_v2 engine ~victim_site:info.Gen.pv_call_site ~gadget:info.Gen.gadget
+      ~entry:info.Gen.entry
+      ~args:[ Gen.nr info "mmap"; 4096; 4096 ]
+  in
+  Alcotest.(check bool) "para-virt asm call reached despite all defenses" true
+    outcome.Attack.gadget_reached
+
+let test_attack_requires_spec_state () =
+  let info = Helpers.kernel () in
+  let engine = Engine.create info.Gen.prog in
+  (try
+     ignore
+       (Attack.ret2spec engine ~scenario:Speculation.User_pollution
+          ~gadget:info.Gen.gadget ~entry:info.Gen.entry ~args:(read_args info));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* --------------------------- jumpswitches --------------------------- *)
+
+let site n = { Pibe_ir.Types.site_id = n; site_origin = n }
+
+let test_js_learns_then_patches () =
+  let js = Js.create ~config:{ Js.default_config with Js.learning_calls = 4 } () in
+  (* learning phase: retpoline-priced *)
+  let learning = Js.transfer_cost js ~site:(site 1) ~target:"f" in
+  Alcotest.(check bool) "learning is expensive" true (learning > 20);
+  for _ = 1 to 4 do
+    ignore (Js.transfer_cost js ~site:(site 1) ~target:"f")
+  done;
+  (* patched now: hits are a couple of cycles *)
+  let hit = Js.transfer_cost js ~site:(site 1) ~target:"f" in
+  Alcotest.(check bool) "patched hit is cheap" true (hit <= 4);
+  match Js.stats js ~site_id:1 with
+  | Some s ->
+    Alcotest.(check int) "one patch" 1 s.Js.patches;
+    Alcotest.(check bool) "hits counted" true (s.Js.slot_hits > 0)
+  | None -> Alcotest.fail "expected stats"
+
+let test_js_multi_target_relearns () =
+  let config =
+    { Js.default_config with Js.learning_calls = 4; relearn_period = 16; slots_per_site = 2 }
+  in
+  let js = Js.create ~config () in
+  (* 4 rotating targets exceed the 2 slots: the site must be downgraded
+     back to learning at least once. *)
+  for i = 0 to 400 do
+    ignore (Js.transfer_cost js ~site:(site 9) ~target:(Printf.sprintf "t%d" (i mod 4)))
+  done;
+  match Js.stats js ~site_id:9 with
+  | Some s ->
+    Alcotest.(check bool) "relearned (several patches)" true (s.Js.patches >= 2);
+    (* [seen] resets on every downgrade, so only the current epoch's
+       targets are recorded *)
+    Alcotest.(check bool) "targets tracked" true (s.Js.distinct_targets >= 1);
+    Alcotest.(check bool) "fallbacks happened" true (s.Js.fallback_calls > 10)
+  | None -> Alcotest.fail "expected stats"
+
+let test_js_global_stats () =
+  let js = Js.create () in
+  ignore (Js.transfer_cost js ~site:(site 1) ~target:"a");
+  ignore (Js.transfer_cost js ~site:(site 2) ~target:"b");
+  Alcotest.(check int) "two sites, two calls" 2 (Js.global_stats js).Js.total_calls
+
+let suite =
+  [
+    ("spectre-v2 defense matrix", `Quick, test_v2_matrix);
+    ("ret2spec defense matrix", `Quick, test_ret2spec_matrix);
+    ("rsb refilling is partial", `Quick, test_rsb_refill_partial);
+    ("lvi defense matrix", `Quick, test_lvi_matrix);
+    ("asm para-virt call stays vulnerable", `Quick, test_asm_site_always_vulnerable);
+    ("drills require speculation state", `Quick, test_attack_requires_spec_state);
+    ("jumpswitch learns then patches", `Quick, test_js_learns_then_patches);
+    ("jumpswitch multi-target relearns", `Quick, test_js_multi_target_relearns);
+    ("jumpswitch global stats", `Quick, test_js_global_stats);
+  ]

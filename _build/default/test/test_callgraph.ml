@@ -1,0 +1,124 @@
+(* Call-graph construction, SCC/recursion detection, ordering. *)
+
+open Pibe_ir
+open Types
+module Cg = Pibe_cg.Callgraph
+
+let leaf prog name =
+  let b = Builder.create ~name ~params:0 in
+  Builder.ret b None;
+  Program.add_func prog (Builder.finish b ())
+
+let caller prog name callees =
+  let prog = ref prog in
+  let b = Builder.create ~name ~params:0 in
+  List.iter
+    (fun callee ->
+      let p, site = Program.fresh_site !prog in
+      prog := p;
+      Builder.call b site callee [])
+    callees;
+  Builder.ret b None;
+  Program.add_func !prog (Builder.finish b ())
+
+let diamond () =
+  let p = Program.with_globals_size Program.empty 4 in
+  let p = leaf p "d" in
+  let p = caller p "b" [ "d" ] in
+  let p = caller p "c" [ "d" ] in
+  caller p "a" [ "b"; "c" ]
+
+let test_edges () =
+  let cg = Cg.build (diamond ()) in
+  Alcotest.(check int) "4 direct edges" 4 (List.length (Cg.direct_edges cg));
+  Alcotest.(check int) "a has 2 callees" 2 (List.length (Cg.callees_of cg "a"));
+  Alcotest.(check int) "d has 2 callers" 2 (List.length (Cg.callers_of cg "d"))
+
+let test_reaches () =
+  let cg = Cg.build (diamond ()) in
+  Alcotest.(check bool) "a reaches d" true (Cg.reaches cg ~src:"a" ~dst:"d");
+  Alcotest.(check bool) "d does not reach a" false (Cg.reaches cg ~src:"d" ~dst:"a");
+  Alcotest.(check bool) "b does not reach c" false (Cg.reaches cg ~src:"b" ~dst:"c")
+
+let test_bottom_up_order () =
+  let cg = Cg.build (diamond ()) in
+  let order = Cg.bottom_up_order cg in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: rest -> if String.equal x y then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "d before b" true (pos "d" < pos "b");
+  Alcotest.(check bool) "b before a" true (pos "b" < pos "a");
+  Alcotest.(check bool) "c before a" true (pos "c" < pos "a")
+
+let test_self_recursion_detected () =
+  let p = Program.with_globals_size Program.empty 4 in
+  let p, site = Program.fresh_site p in
+  let b = Builder.create ~name:"rec" ~params:0 in
+  Builder.call b site "rec" [];
+  Builder.ret b None;
+  let p = Program.add_func p (Builder.finish b ()) in
+  let cg = Cg.build p in
+  Alcotest.(check bool) "self loop" true (Cg.in_recursive_cycle cg "rec")
+
+let test_mutual_recursion_detected () =
+  let p = Program.with_globals_size Program.empty 4 in
+  (* forward-declare by building even and odd with sites threaded *)
+  let p, s1 = Program.fresh_site p in
+  let p, s2 = Program.fresh_site p in
+  let b = Builder.create ~name:"even" ~params:0 in
+  Builder.call b s1 "odd" [];
+  Builder.ret b None;
+  let p = Program.add_func p (Builder.finish b ()) in
+  let b = Builder.create ~name:"odd" ~params:0 in
+  Builder.call b s2 "even" [];
+  Builder.ret b None;
+  let p = Program.add_func p (Builder.finish b ()) in
+  let cg = Cg.build p in
+  Alcotest.(check bool) "even cyclic" true (Cg.in_recursive_cycle cg "even");
+  Alcotest.(check bool) "odd cyclic" true (Cg.in_recursive_cycle cg "odd")
+
+let test_dag_not_recursive () =
+  let cg = Cg.build (diamond ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " acyclic") false (Cg.in_recursive_cycle cg n))
+    [ "a"; "b"; "c"; "d" ]
+
+let test_icall_sites_listed () =
+  let prog = Helpers.random_program 11 in
+  let cg = Cg.build prog in
+  let total =
+    Program.fold_funcs prog ~init:0 ~f:(fun acc f ->
+        acc + List.length (Cg.icall_sites_of cg f.fname))
+  in
+  Alcotest.(check int) "matches program count" (Program.total_icall_sites prog) total
+
+let test_dot_export () =
+  let cg = Cg.build (diamond ()) in
+  let dot = Cg.to_dot cg in
+  Alcotest.(check bool) "digraph" true (String.length dot > 20)
+
+let prop_random_programs_acyclic =
+  QCheck.Test.make ~name:"generated call graphs are acyclic" ~count:100 QCheck.small_int
+    (fun seed ->
+      let prog = Helpers.random_program seed in
+      let cg = Cg.build prog in
+      Program.fold_funcs prog ~init:true ~f:(fun acc f ->
+          acc && not (Cg.in_recursive_cycle cg f.fname)))
+
+let suite =
+  [
+    ("edges", `Quick, test_edges);
+    ("reachability", `Quick, test_reaches);
+    ("bottom-up order", `Quick, test_bottom_up_order);
+    ("self recursion detected", `Quick, test_self_recursion_detected);
+    ("mutual recursion detected", `Quick, test_mutual_recursion_detected);
+    ("dag not recursive", `Quick, test_dag_not_recursive);
+    ("icall sites listed", `Quick, test_icall_sites_listed);
+    ("dot export", `Quick, test_dot_export);
+    Helpers.qcheck_to_alcotest prop_random_programs_acyclic;
+  ]

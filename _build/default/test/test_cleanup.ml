@@ -1,0 +1,185 @@
+(* The scalar cleanup pass: targeted folding behaviours plus differential
+   semantic preservation on random programs and the kernel. *)
+
+open Pibe_ir
+open Types
+module Cleanup = Pibe_opt.Cleanup
+
+let build body =
+  let b = Builder.create ~name:"f" ~params:2 in
+  body b;
+  Builder.finish b ()
+
+let count_insts f =
+  Array.fold_left (fun acc blk -> acc + Array.length blk.insts) 0 f.blocks
+
+let test_constant_folding () =
+  let f =
+    build (fun b ->
+        let r1 = Builder.reg b in
+        Builder.assign b r1 (Const 6);
+        let r2 = Builder.reg b in
+        Builder.assign b r2 (Binop (Mul, Reg r1, Imm 7));
+        Builder.observe b (Reg r2);
+        Builder.ret b (Some (Reg r2)))
+  in
+  let f' = Cleanup.run_func f in
+  (* the multiply folds to a constant observation *)
+  let has_binop = ref false in
+  Func.iter_insts f' (fun _ i ->
+      match i with Assign (_, Binop _) -> has_binop := true | _ -> ());
+  Alcotest.(check bool) "no binop left" false !has_binop
+
+let test_branch_folding_removes_dead_arm () =
+  let f =
+    build (fun b ->
+        let c = Builder.reg b in
+        Builder.assign b c (Const 1);
+        let l1 = Builder.new_block b and l2 = Builder.new_block b in
+        Builder.br b (Reg c) l1 l2;
+        Builder.switch_to b l1;
+        Builder.ret b (Some (Imm 10));
+        Builder.switch_to b l2;
+        Builder.observe b (Imm 666);
+        Builder.ret b (Some (Imm 20)))
+  in
+  let f', stats = Cleanup.run_func_with_stats f in
+  Alcotest.(check bool) "branch folded" true (stats.Cleanup.branches_folded >= 1);
+  Alcotest.(check bool) "dead arm removed" true (stats.Cleanup.blocks_removed >= 1);
+  Alcotest.(check int) "two blocks remain at most" 2 (Array.length f'.blocks)
+
+let test_dead_assign_removed () =
+  let f =
+    build (fun b ->
+        let dead = Builder.reg b in
+        Builder.assign b dead (Binop (Add, Reg 0, Reg 1));
+        Builder.ret b (Some (Reg 0)))
+  in
+  let f', stats = Cleanup.run_func_with_stats f in
+  Alcotest.(check int) "one dead assign" 1 stats.Cleanup.dead_assigns_removed;
+  Alcotest.(check int) "body empty" 0 (count_insts f')
+
+let test_side_effects_kept () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  let prog, site = Program.fresh_site prog in
+  let leaf =
+    let b = Builder.create ~name:"g" ~params:0 in
+    Builder.ret b (Some (Imm 1));
+    Builder.finish b ()
+  in
+  let prog = Program.add_func prog leaf in
+  let f =
+    build (fun b ->
+        (* an ignored call result, a store and an observe must all stay *)
+        let r = Builder.reg b in
+        Builder.call b ~dst:r site "g" [];
+        Builder.store b ~addr:(Imm 3) ~value:(Imm 9);
+        Builder.observe b (Imm 5);
+        Builder.ret b None)
+  in
+  let prog = Program.add_func prog f in
+  let prog' = Cleanup.run prog in
+  let f' = Program.find prog' "f" in
+  Alcotest.(check int) "all three kept" 3 (count_insts f')
+
+let test_jump_threading () =
+  let f =
+    build (fun b ->
+        let hop = Builder.new_block b and final = Builder.new_block b in
+        Builder.jmp b hop;
+        Builder.switch_to b hop;
+        Builder.jmp b final;
+        Builder.switch_to b final;
+        Builder.ret b None)
+  in
+  let f' = Cleanup.run_func f in
+  Alcotest.(check bool) "forwarding blocks removed" true (Array.length f'.blocks <= 2)
+
+let test_switch_on_constant () =
+  let f =
+    build (fun b ->
+        let s = Builder.reg b in
+        Builder.assign b s (Const 1);
+        let c0 = Builder.new_block b and c1 = Builder.new_block b in
+        let d = Builder.new_block b in
+        Builder.switch b (Reg s) [ (0, c0); (1, c1) ] ~default:d;
+        Builder.switch_to b c0;
+        Builder.ret b (Some (Imm 0));
+        Builder.switch_to b c1;
+        Builder.ret b (Some (Imm 111));
+        Builder.switch_to b d;
+        Builder.ret b (Some (Imm 2)))
+  in
+  let f', stats = Cleanup.run_func_with_stats f in
+  Alcotest.(check bool) "switch folded" true (stats.Cleanup.branches_folded >= 1);
+  Alcotest.(check bool) "dead cases dropped" true (Array.length f'.blocks <= 2)
+
+let test_optnone_untouched () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  let f =
+    let b = Builder.create ~name:"f" ~params:0 in
+    let dead = Builder.reg b in
+    Builder.assign b dead (Const 1);
+    Builder.ret b None;
+    Builder.finish b ~attrs:{ default_attrs with optnone = true } ()
+  in
+  let prog = Program.add_func prog f in
+  let prog' = Cleanup.run prog in
+  Alcotest.(check int) "dead assign survives under optnone" 1
+    (count_insts (Program.find prog' "f"))
+
+let prop_cleanup_preserves_semantics =
+  QCheck.Test.make ~name:"cleanup preserves observable behaviour" ~count:200
+    QCheck.small_int (fun seed ->
+      let prog = Helpers.random_program seed in
+      let prog' = Cleanup.run prog in
+      Validate.check_program prog' = [] && Helpers.equivalent prog prog')
+
+let prop_cleanup_idempotent =
+  QCheck.Test.make ~name:"cleanup is idempotent" ~count:80 QCheck.small_int (fun seed ->
+      let prog = Cleanup.run (Helpers.random_program seed) in
+      Printer.program_to_string (Cleanup.run prog) = Printer.program_to_string prog)
+
+let prop_cleanup_never_grows =
+  QCheck.Test.make ~name:"cleanup never grows code" ~count:100 QCheck.small_int
+    (fun seed ->
+      let prog = Helpers.random_program seed in
+      let prog' = Cleanup.run prog in
+      Program.fold_funcs prog' ~init:true ~f:(fun acc f ->
+          acc && Func.inst_count f <= Func.inst_count (Program.find prog f.fname)))
+
+let test_cleanup_preserves_kernel_semantics () =
+  let info = Helpers.kernel () in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let prog' = Cleanup.run prog in
+  Validate.check_exn prog';
+  let run p =
+    let config =
+      { Pibe_cpu.Engine.default_config with Pibe_cpu.Engine.record_trace = true }
+    in
+    let engine = Pibe_cpu.Engine.create ~config p in
+    let rng = Pibe_util.Rng.create 4 in
+    List.iter
+      (fun (op : Pibe_kernel.Workload.op) ->
+        for _ = 1 to 5 do
+          op.Pibe_kernel.Workload.run engine rng
+        done)
+      (Pibe_kernel.Workload.lmbench info);
+    (Pibe_cpu.Engine.trace engine, Array.to_list (Pibe_cpu.Engine.memory engine))
+  in
+  Alcotest.(check bool) "kernel behaviour preserved" true (run prog = run prog')
+
+let suite =
+  [
+    ("constant folding", `Quick, test_constant_folding);
+    ("branch folding removes dead arm", `Quick, test_branch_folding_removes_dead_arm);
+    ("dead assign removed", `Quick, test_dead_assign_removed);
+    ("side effects kept", `Quick, test_side_effects_kept);
+    ("jump threading", `Quick, test_jump_threading);
+    ("switch on constant", `Quick, test_switch_on_constant);
+    ("optnone untouched", `Quick, test_optnone_untouched);
+    Helpers.qcheck_to_alcotest prop_cleanup_preserves_semantics;
+    Helpers.qcheck_to_alcotest prop_cleanup_idempotent;
+    Helpers.qcheck_to_alcotest prop_cleanup_never_grows;
+    ("cleanup preserves kernel semantics", `Quick, test_cleanup_preserves_kernel_semantics);
+  ]

@@ -1,0 +1,350 @@
+(* CPU substrate: predictors, i-cache, cost model, and the execution
+   engine's semantics and cycle accounting. *)
+
+open Pibe_ir
+open Types
+module Btb = Pibe_cpu.Btb
+module Rsb = Pibe_cpu.Rsb
+module Icache = Pibe_cpu.Icache
+module Cost = Pibe_cpu.Cost
+module Engine = Pibe_cpu.Engine
+
+(* ------------------------------- BTB -------------------------------- *)
+
+let test_btb_predicts_after_training () =
+  let btb = Btb.create () in
+  Alcotest.(check (option string)) "cold" None (Btb.predict btb ~site:5);
+  Btb.train btb ~site:5 ~target:"f";
+  Alcotest.(check (option string)) "trained" (Some "f") (Btb.predict btb ~site:5)
+
+let test_btb_aliasing () =
+  let btb = Btb.create ~entries:16 () in
+  Alcotest.(check bool) "16-aliased" true (Btb.aliases btb 3 19);
+  Btb.train btb ~site:3 ~target:"gadget";
+  (* the aliased victim site shares the attacker's slot *)
+  Alcotest.(check (option string)) "poisoned via alias" (Some "gadget")
+    (Btb.predict btb ~site:19)
+
+let test_btb_flush () =
+  let btb = Btb.create () in
+  Btb.train btb ~site:1 ~target:"f";
+  Btb.flush btb;
+  Alcotest.(check (option string)) "flushed" None (Btb.predict btb ~site:1)
+
+let test_btb_power_of_two () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Btb.create: entries must be a positive power of two") (fun () ->
+      ignore (Btb.create ~entries:12 ()))
+
+(* ------------------------------- RSB -------------------------------- *)
+
+let test_rsb_lifo () =
+  let rsb = Rsb.create () in
+  Rsb.push rsb "a";
+  Rsb.push rsb "b";
+  Alcotest.(check (option string)) "pop b" (Some "b") (Rsb.pop rsb);
+  Alcotest.(check (option string)) "pop a" (Some "a") (Rsb.pop rsb);
+  Alcotest.(check (option string)) "underflow" None (Rsb.pop rsb)
+
+let test_rsb_wraparound_loses_oldest () =
+  let rsb = Rsb.create ~depth:4 () in
+  List.iter (Rsb.push rsb) [ "a"; "b"; "c"; "d"; "e" ];
+  Alcotest.(check int) "occupancy capped" 4 (Rsb.occupancy rsb);
+  Alcotest.(check (option string)) "newest first" (Some "e") (Rsb.pop rsb);
+  ignore (Rsb.pop rsb);
+  ignore (Rsb.pop rsb);
+  Alcotest.(check (option string)) "b survived" (Some "b") (Rsb.pop rsb);
+  Alcotest.(check (option string)) "a was overwritten" None (Rsb.pop rsb)
+
+let test_rsb_poison_overwrites_top () =
+  let rsb = Rsb.create () in
+  Rsb.push rsb "legit";
+  Rsb.poison rsb "gadget";
+  Alcotest.(check (option string)) "poisoned" (Some "gadget") (Rsb.pop rsb)
+
+(* ------------------------------ Icache ------------------------------ *)
+
+let test_icache_hit_after_miss () =
+  let ic = Icache.create ~capacity_bytes:4096 in
+  let p1 = Icache.touch ic ~name:"f" ~size:512 in
+  let p2 = Icache.touch ic ~name:"f" ~size:512 in
+  Alcotest.(check bool) "miss costs" true (p1 > 0);
+  Alcotest.(check int) "hit free" 0 p2;
+  Alcotest.(check int) "one miss" 1 (Icache.miss_count ic);
+  Alcotest.(check int) "one hit" 1 (Icache.hit_count ic)
+
+let test_icache_lru_eviction () =
+  let ic = Icache.create ~capacity_bytes:1024 in
+  ignore (Icache.touch ic ~name:"a" ~size:512);
+  ignore (Icache.touch ic ~name:"b" ~size:512);
+  ignore (Icache.touch ic ~name:"a" ~size:512) (* refresh a *);
+  ignore (Icache.touch ic ~name:"c" ~size:512) (* evicts b (LRU) *);
+  Alcotest.(check bool) "a resident" true (Icache.resident ic "a");
+  Alcotest.(check bool) "b evicted" false (Icache.resident ic "b");
+  Alcotest.(check bool) "c resident" true (Icache.resident ic "c")
+
+let test_icache_disabled () =
+  let ic = Icache.create ~capacity_bytes:0 in
+  Alcotest.(check int) "no penalty" 0 (Icache.touch ic ~name:"f" ~size:4096)
+
+let test_icache_bigger_functions_cost_more () =
+  let ic = Icache.create ~capacity_bytes:65536 in
+  let small = Icache.touch ic ~name:"s" ~size:64 in
+  let big = Icache.touch ic ~name:"b" ~size:2048 in
+  Alcotest.(check bool) "monotone" true (big > small)
+
+(* ------------------------------- PHT -------------------------------- *)
+
+let test_pht_trains () =
+  let pht = Pibe_cpu.Pht.create ~entries:64 () in
+  Alcotest.(check bool) "starts not-taken" false (Pibe_cpu.Pht.predict pht ~key:5);
+  Pibe_cpu.Pht.train pht ~key:5 ~taken:true;
+  Pibe_cpu.Pht.train pht ~key:5 ~taken:true;
+  Alcotest.(check bool) "now predicts taken" true (Pibe_cpu.Pht.predict pht ~key:5);
+  (* hysteresis: one not-taken does not flip a strongly-taken counter *)
+  Pibe_cpu.Pht.train pht ~key:5 ~taken:true;
+  Pibe_cpu.Pht.train pht ~key:5 ~taken:false;
+  Alcotest.(check bool) "still taken" true (Pibe_cpu.Pht.predict pht ~key:5)
+
+let test_pht_flush () =
+  let pht = Pibe_cpu.Pht.create () in
+  Pibe_cpu.Pht.train pht ~key:1 ~taken:true;
+  Pibe_cpu.Pht.train pht ~key:1 ~taken:true;
+  Pibe_cpu.Pht.flush pht;
+  Alcotest.(check bool) "reset" false (Pibe_cpu.Pht.predict pht ~key:1)
+
+let test_engine_counts_pht_misses () =
+  (* a data-dependent alternating branch must mispredict *)
+  let prog = Program.with_globals_size Program.empty 16 in
+  let b = Builder.create ~name:"f" ~params:1 in
+  let x = Builder.param b 0 in
+  let l1 = Builder.new_block b and l2 = Builder.new_block b in
+  Builder.br b (Reg x) l1 l2;
+  Builder.switch_to b l1;
+  Builder.ret b (Some (Imm 1));
+  Builder.switch_to b l2;
+  Builder.ret b (Some (Imm 0));
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let engine = Engine.create prog in
+  for i = 1 to 64 do
+    ignore (Engine.call engine "f" [ i mod 2 ])
+  done;
+  Alcotest.(check bool) "alternation mispredicts a lot" true
+    ((Engine.counters engine).Engine.pht_misses > 20)
+
+(* ------------------------------- Cost ------------------------------- *)
+
+let test_cost_table1_deltas () =
+  (* The calibration targets from paper Table 1. *)
+  let icall_base = Cost.forward_cost Protection.F_none ~btb_hit:true in
+  let retp = Cost.forward_cost Protection.F_retpoline ~btb_hit:true - icall_base in
+  let lvi_f = Cost.forward_cost Protection.F_lvi ~btb_hit:true - icall_base in
+  let fenced = Cost.forward_cost Protection.F_fenced_retpoline ~btb_hit:true - icall_base in
+  let ret_base = Cost.backward_cost Protection.B_none ~rsb_hit:true in
+  let retret = Cost.backward_cost Protection.B_ret_retpoline ~rsb_hit:true - ret_base in
+  let lvi_b = Cost.backward_cost Protection.B_lvi ~rsb_hit:true - ret_base in
+  let fenced_b =
+    Cost.backward_cost Protection.B_fenced_ret_retpoline ~rsb_hit:true - ret_base
+  in
+  Alcotest.(check bool) "retpoline ~21" true (abs (retp - 21) <= 3);
+  Alcotest.(check bool) "lvi fwd ~9" true (abs (lvi_f - 9) <= 3);
+  Alcotest.(check bool) "fenced ~42" true (abs (fenced - 42) <= 3);
+  Alcotest.(check bool) "ret-retpoline ~16" true (abs (retret - 16) <= 2);
+  Alcotest.(check bool) "lvi bwd ~11" true (abs (lvi_b - 11) <= 2);
+  Alcotest.(check bool) "fenced bwd ~32" true (abs (fenced_b - 32) <= 2)
+
+let test_cost_misprediction_hurts () =
+  Alcotest.(check bool) "btb miss worse" true
+    (Cost.forward_cost Protection.F_none ~btb_hit:false
+    > Cost.forward_cost Protection.F_none ~btb_hit:true);
+  (* protected sequences ignore the predictors *)
+  Alcotest.(check int) "retpoline flat"
+    (Cost.forward_cost Protection.F_retpoline ~btb_hit:true)
+    (Cost.forward_cost Protection.F_retpoline ~btb_hit:false)
+
+(* ------------------------------ Engine ------------------------------ *)
+
+let build_single name body =
+  let prog = Program.with_globals_size Program.empty 16 in
+  let b = Builder.create ~name ~params:2 in
+  body b prog
+
+let test_engine_arithmetic () =
+  let prog = Program.with_globals_size Program.empty 16 in
+  let b = Builder.create ~name:"f" ~params:2 in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  let r = Builder.reg b in
+  Builder.assign b r (Binop (Mul, Reg x, Reg y));
+  let r2 = Builder.reg b in
+  Builder.assign b r2 (Binop (Add, Reg r, Imm 1));
+  Builder.ret b (Some (Reg r2));
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let engine = Engine.create prog in
+  Alcotest.(check (option int)) "6*7+1" (Some 43) (Engine.call engine "f" [ 6; 7 ])
+
+let test_engine_memory () =
+  let prog = Program.with_globals_size Program.empty 16 in
+  let b = Builder.create ~name:"f" ~params:1 in
+  let x = Builder.param b 0 in
+  Builder.store b ~addr:(Imm 3) ~value:(Reg x);
+  let r = Builder.reg b in
+  Builder.assign b r (Load (Imm 3));
+  Builder.ret b (Some (Reg r));
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let engine = Engine.create prog in
+  Alcotest.(check (option int)) "store/load" (Some 99) (Engine.call engine "f" [ 99 ]);
+  Alcotest.(check int) "memory persists" 99 (Engine.memory engine).(3)
+
+let test_engine_branch_and_switch_equivalence () =
+  (* The same switch must compute the same result under both lowerings. *)
+  let mk lowering =
+    let prog = Program.with_globals_size Program.empty 16 in
+    let b = Builder.create ~name:"f" ~params:1 in
+    let x = Builder.param b 0 in
+    let c0 = Builder.new_block b and c1 = Builder.new_block b in
+    let d = Builder.new_block b in
+    Builder.switch b ~lowering (Reg x) [ (0, c0); (1, c1) ] ~default:d;
+    Builder.switch_to b c0;
+    Builder.ret b (Some (Imm 100));
+    Builder.switch_to b c1;
+    Builder.ret b (Some (Imm 200));
+    Builder.switch_to b d;
+    Builder.ret b (Some (Imm 300));
+    Program.add_func prog (Builder.finish b ())
+  in
+  let run prog v = Engine.call (Engine.create prog) "f" [ v ] in
+  let jt = mk Jump_table and ladder = mk Branch_ladder in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "case %d" v)
+        (run jt v) (run ladder v))
+    [ 0; 1; 7 ]
+
+let test_engine_icall_dispatch () =
+  let prog = Program.with_globals_size Program.empty 16 in
+  let mk_leaf name v =
+    let b = Builder.create ~name ~params:0 in
+    Builder.ret b (Some (Imm v));
+    Builder.finish b ()
+  in
+  let prog = Program.add_func prog (mk_leaf "t0" 10) in
+  let prog = Program.add_func prog (mk_leaf "t1" 20) in
+  let prog, i0 = Program.add_fptr prog "t0" in
+  let prog, i1 = Program.add_fptr prog "t1" in
+  let prog, site = Program.fresh_site prog in
+  let b = Builder.create ~name:"f" ~params:1 in
+  let x = Builder.param b 0 in
+  let r = Builder.reg b in
+  Builder.icall b ~dst:r site [] ~fptr:(Reg x);
+  Builder.ret b (Some (Reg r));
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let engine = Engine.create prog in
+  Alcotest.(check (option int)) "dispatch t0" (Some 10) (Engine.call engine "f" [ i0 ]);
+  Alcotest.(check (option int)) "dispatch t1" (Some 20) (Engine.call engine "f" [ i1 ]);
+  Alcotest.check_raises "wild icall"
+    (Engine.Runtime_error "wild indirect call: fptr value 99 outside table of 2") (fun () ->
+      ignore (Engine.call engine "f" [ 99 ]))
+
+let test_engine_fuel () =
+  (* An intentionally infinite loop must hit the fuel limit. *)
+  let prog = Program.with_globals_size Program.empty 16 in
+  let b = Builder.create ~name:"f" ~params:0 in
+  Builder.jmp b 0;
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let config = { Engine.default_config with Engine.fuel = 1000 } in
+  let engine = Engine.create ~config prog in
+  Alcotest.check_raises "out of fuel" Engine.Out_of_fuel (fun () ->
+      ignore (Engine.call engine "f" []))
+
+let test_engine_protection_costs () =
+  (* An empty callee: calling it under ret-retpolines must cost exactly
+     the backward delta more per call. *)
+  let prog = Program.with_globals_size Program.empty 16 in
+  let leaf =
+    let b = Builder.create ~name:"leaf" ~params:0 in
+    Builder.ret b None;
+    Builder.finish b ()
+  in
+  let prog = Program.add_func prog leaf in
+  let prog, site = Program.fresh_site prog in
+  let b = Builder.create ~name:"f" ~params:0 in
+  Builder.call b site "leaf" [];
+  Builder.ret b None;
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let cycles bwd =
+    let config =
+      {
+        Engine.default_config with
+        Engine.bwd_protection = (fun name -> if name = "leaf" then bwd else Protection.B_none);
+        icache_bytes = 0;
+      }
+    in
+    let engine = Engine.create ~config prog in
+    for _ = 1 to 10 do
+      ignore (Engine.call engine "f" [])
+    done;
+    Engine.reset_cycles engine;
+    ignore (Engine.call engine "f" []);
+    Engine.cycles engine
+  in
+  let base = cycles Protection.B_none in
+  let protected_ = cycles Protection.B_ret_retpoline in
+  Alcotest.(check int) "exact backward delta"
+    (Cost.backward_cost Protection.B_ret_retpoline ~rsb_hit:false
+    - Cost.backward_cost Protection.B_none ~rsb_hit:true)
+    (protected_ - base)
+
+let test_engine_counters_and_trace () =
+  let prog = Helpers.random_program 7 in
+  let config = { Engine.default_config with Engine.record_trace = true } in
+  let engine = Engine.create ~config prog in
+  List.iter
+    (fun (entry, args) -> ignore (Engine.call engine entry args))
+    (Helpers.standard_calls prog);
+  let c = Engine.counters engine in
+  Alcotest.(check bool) "insts counted" true (c.Engine.insts > 0);
+  Alcotest.(check bool) "rets >= calls" true (c.Engine.rets >= c.Engine.calls);
+  Engine.clear_trace engine;
+  Alcotest.(check (list int)) "trace cleared" [] (Engine.trace engine)
+
+let test_engine_deterministic () =
+  let prog = Helpers.random_program 8 in
+  let run () =
+    let engine = Engine.create prog in
+    List.iter
+      (fun (entry, args) -> ignore (Engine.call engine entry args))
+      (Helpers.standard_calls prog);
+    Engine.cycles engine
+  in
+  Alcotest.(check int) "same cycles" (run ()) (run ())
+
+let _ = build_single
+
+let suite =
+  [
+    ("btb trains and predicts", `Quick, test_btb_predicts_after_training);
+    ("btb aliasing shares slots", `Quick, test_btb_aliasing);
+    ("btb flush", `Quick, test_btb_flush);
+    ("btb rejects non-power-of-two", `Quick, test_btb_power_of_two);
+    ("rsb lifo and underflow", `Quick, test_rsb_lifo);
+    ("rsb wraparound loses oldest", `Quick, test_rsb_wraparound_loses_oldest);
+    ("rsb poison overwrites top", `Quick, test_rsb_poison_overwrites_top);
+    ("icache hit after miss", `Quick, test_icache_hit_after_miss);
+    ("icache lru eviction", `Quick, test_icache_lru_eviction);
+    ("icache disabled is free", `Quick, test_icache_disabled);
+    ("icache bigger costs more", `Quick, test_icache_bigger_functions_cost_more);
+    ("pht trains with hysteresis", `Quick, test_pht_trains);
+    ("pht flush", `Quick, test_pht_flush);
+    ("engine counts pht misses", `Quick, test_engine_counts_pht_misses);
+    ("cost deltas match paper Table 1", `Quick, test_cost_table1_deltas);
+    ("cost misprediction hurts", `Quick, test_cost_misprediction_hurts);
+    ("engine arithmetic", `Quick, test_engine_arithmetic);
+    ("engine memory", `Quick, test_engine_memory);
+    ("engine switch lowering equivalence", `Quick, test_engine_branch_and_switch_equivalence);
+    ("engine icall dispatch + wild call", `Quick, test_engine_icall_dispatch);
+    ("engine fuel limit", `Quick, test_engine_fuel);
+    ("engine protection cost exact", `Quick, test_engine_protection_costs);
+    ("engine counters and trace", `Quick, test_engine_counters_and_trace);
+    ("engine deterministic", `Quick, test_engine_deterministic);
+  ]

@@ -1,0 +1,143 @@
+(* Hardening pass: protection kinds per defense set, jump-table lowering,
+   audit accounting, image sizes, listings. *)
+
+open Pibe_ir
+open Types
+module Pass = Pibe_harden.Pass
+module Audit = Pibe_harden.Audit
+module Thunks = Pibe_harden.Thunks
+
+let kernel_prog () = (Helpers.kernel ()).Pibe_kernel.Gen.prog
+
+let test_forward_kinds () =
+  Alcotest.(check bool) "none" true (Pass.forward_kind Pass.no_defenses = Protection.F_none);
+  Alcotest.(check bool) "retp" true
+    (Pass.forward_kind { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+    = Protection.F_retpoline);
+  Alcotest.(check bool) "lvi" true
+    (Pass.forward_kind { Pass.retpolines = false; ret_retpolines = false; lvi = true }
+    = Protection.F_lvi);
+  Alcotest.(check bool) "combined = fenced" true
+    (Pass.forward_kind Pass.all_defenses = Protection.F_fenced_retpoline)
+
+let test_backward_kinds () =
+  Alcotest.(check bool) "retret" true
+    (Pass.backward_kind { Pass.retpolines = false; ret_retpolines = true; lvi = false }
+    = Protection.B_ret_retpoline);
+  Alcotest.(check bool) "combined" true
+    (Pass.backward_kind Pass.all_defenses = Protection.B_fenced_ret_retpoline);
+  Alcotest.(check bool) "retp only leaves returns bare" true
+    (Pass.backward_kind { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+    = Protection.B_none)
+
+let test_all_icalls_protected () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.all_defenses in
+  Program.iter_funcs image.Pass.prog (fun f ->
+      if not f.attrs.is_asm then
+        List.iter
+          (fun (s : site) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "site %d protected" s.site_id)
+              true
+              (Pass.fwd_protection image s = Protection.F_fenced_retpoline))
+          (Func.icall_sites f))
+
+let test_jump_tables_lowered_except_asm () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.all_defenses in
+  Program.iter_funcs image.Pass.prog (fun f ->
+      let jts = Func.jump_table_count f in
+      if f.attrs.is_asm then ()
+      else Alcotest.(check int) (f.fname ^ " has no jump tables") 0 jts)
+
+let test_no_defenses_keeps_jump_tables () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.no_defenses in
+  let total =
+    Program.fold_funcs image.Pass.prog ~init:0 ~f:(fun acc f -> acc + Func.jump_table_count f)
+  in
+  Alcotest.(check bool) "jump tables survive" true (total > 10)
+
+let test_boot_only_exempt_backward () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.all_defenses in
+  Program.iter_funcs image.Pass.prog (fun f ->
+      if f.attrs.boot_only then
+        Alcotest.(check bool) (f.fname ^ " boot-exempt") true
+          (Pass.bwd_protection image f.fname = Protection.B_none))
+
+let test_audit_counts_sum () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.all_defenses in
+  let r = Audit.run image in
+  let asm_sites =
+    Program.fold_funcs prog ~init:0 ~f:(fun acc f ->
+        acc + List.length (Func.asm_icall_sites f))
+  in
+  Alcotest.(check int) "defended + vulnerable = icalls + asm sites"
+    (Program.total_icall_sites prog + asm_sites)
+    (r.Audit.defended_icalls + r.Audit.vulnerable_icalls);
+  Alcotest.(check int) "return partition"
+    (Program.total_ret_sites prog)
+    (r.Audit.defended_rets + r.Audit.vulnerable_rets);
+  Alcotest.(check bool) "fully protected modulo asm/boot" true
+    (Audit.fully_protected r ~against:Pass.all_defenses);
+  Alcotest.(check bool) "asm residue exists (para-virt)" true (r.Audit.asm_icalls > 0);
+  Alcotest.(check bool) "a few asm jump tables remain" true (r.Audit.vulnerable_ijumps > 0)
+
+let test_audit_no_defense_image () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.no_defenses in
+  let r = Audit.run image in
+  Alcotest.(check int) "nothing defended" 0 (r.Audit.defended_icalls + r.Audit.defended_rets)
+
+let test_image_bytes_grow_with_defenses () =
+  let prog = kernel_prog () in
+  let base = Pass.image_bytes (Pass.harden prog Pass.no_defenses) in
+  let retp =
+    Pass.image_bytes
+      (Pass.harden prog { Pass.retpolines = true; ret_retpolines = false; lvi = false })
+  in
+  let all = Pass.image_bytes (Pass.harden prog Pass.all_defenses) in
+  Alcotest.(check bool) "retpolines add bytes" true (retp > base);
+  Alcotest.(check bool) "all defenses add more" true (all > retp)
+
+let test_footprint_includes_ret_bytes () =
+  let prog = kernel_prog () in
+  let image = Pass.harden prog Pass.all_defenses in
+  let f = Program.find prog "vfs_read" in
+  Alcotest.(check bool) "footprint > layout size" true
+    (Pass.footprint image f > Layout.func_size f)
+
+let test_listings_contain_key_instructions () =
+  let has needle s =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.equal (String.sub s i n) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "retpoline pauses" true (has "pause" (Thunks.listing `Retpoline));
+  Alcotest.(check bool) "lvi fences" true (has "lfence" (Thunks.listing `Lvi_forward));
+  Alcotest.(check bool) "backward fences" true (has "lfence" (Thunks.listing `Lvi_backward));
+  Alcotest.(check bool) "fenced retpoline nots" true
+    (has "notq" (Thunks.listing `Fenced_retpoline))
+
+let test_defenses_name () =
+  Alcotest.(check string) "all" "all-defenses" (Pass.defenses_name Pass.all_defenses);
+  Alcotest.(check string) "none" "none" (Pass.defenses_name Pass.no_defenses)
+
+let suite =
+  [
+    ("forward kinds", `Quick, test_forward_kinds);
+    ("backward kinds", `Quick, test_backward_kinds);
+    ("all icalls protected", `Quick, test_all_icalls_protected);
+    ("jump tables lowered except asm", `Quick, test_jump_tables_lowered_except_asm);
+    ("no defenses keeps jump tables", `Quick, test_no_defenses_keeps_jump_tables);
+    ("boot-only exempt from backward hardening", `Quick, test_boot_only_exempt_backward);
+    ("audit counts partition the surface", `Quick, test_audit_counts_sum);
+    ("audit of undefended image", `Quick, test_audit_no_defense_image);
+    ("image bytes grow with defenses", `Quick, test_image_bytes_grow_with_defenses);
+    ("footprint includes hardening bytes", `Quick, test_footprint_includes_ret_bytes);
+    ("listings contain key instructions", `Quick, test_listings_contain_key_instructions);
+    ("defense names", `Quick, test_defenses_name);
+  ]

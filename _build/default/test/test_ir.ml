@@ -1,0 +1,222 @@
+(* IR core: builder, accessors, validator, printer/parser round trips,
+   layout. *)
+
+open Pibe_ir
+open Types
+
+let small_func () =
+  let b = Builder.create ~name:"f" ~params:2 in
+  let a0 = Builder.param b 0 and a1 = Builder.param b 1 in
+  let r = Builder.reg b in
+  Builder.assign b r (Binop (Add, Reg a0, Reg a1));
+  Builder.observe b (Reg r);
+  let exit_l = Builder.new_block b in
+  Builder.jmp b exit_l;
+  Builder.switch_to b exit_l;
+  Builder.ret b (Some (Reg r));
+  Builder.finish b ()
+
+(* ----------------------------- builder ----------------------------- *)
+
+let test_builder_basic () =
+  let f = small_func () in
+  Alcotest.(check int) "two blocks" 2 (Array.length f.blocks);
+  Alcotest.(check int) "entry" 0 f.entry;
+  Alcotest.(check int) "params" 2 f.params;
+  Alcotest.(check bool) "regs allocated" true (f.nregs >= 3)
+
+let test_builder_unsealed_fails () =
+  let b = Builder.create ~name:"g" ~params:0 in
+  let _l = Builder.new_block b in
+  Builder.ret b None;
+  Alcotest.check_raises "unsealed block"
+    (Invalid_argument "Builder.finish: block 1 of g has no terminator") (fun () ->
+      ignore (Builder.finish b ()))
+
+let test_builder_double_seal_fails () =
+  let b = Builder.create ~name:"g" ~params:0 in
+  Builder.ret b None;
+  (try
+     Builder.ret b None;
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+let test_builder_param_bounds () =
+  let b = Builder.create ~name:"g" ~params:1 in
+  (try
+     ignore (Builder.param b 1);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------ func ------------------------------- *)
+
+let test_func_accessors () =
+  let prog = Helpers.random_program 1 in
+  Program.iter_funcs prog (fun f ->
+      let calls = Func.call_sites f in
+      let icalls = Func.icall_sites f in
+      let count = ref 0 in
+      Func.iter_insts f (fun _ i ->
+          match i with
+          | Call _ | Icall _ -> incr count
+          | Assign _ | Store _ | Observe _ | Asm_icall _ -> ());
+      Alcotest.(check int) "site accessors agree with traversal"
+        (List.length calls + List.length icalls)
+        !count)
+
+let test_reachable_labels () =
+  let f = small_func () in
+  let r = Func.reachable_labels f in
+  Alcotest.(check bool) "all reachable" true (Array.for_all (fun x -> x) r)
+
+let test_ret_count () =
+  let f = small_func () in
+  Alcotest.(check int) "one ret" 1 (Func.ret_count f)
+
+let test_rename_sites () =
+  let prog = Helpers.random_program 2 in
+  Program.iter_funcs prog (fun f ->
+      let f' = Func.rename_sites f ~fresh:(fun s -> { s with site_id = s.site_id + 1000 }) in
+      let olds = List.map (fun (s, _) -> s.site_id) (Func.call_sites f) in
+      let news = List.map (fun (s, _) -> s.site_id) (Func.call_sites f') in
+      Alcotest.(check (list int)) "shifted" (List.map (fun i -> i + 1000) olds) news)
+
+(* ---------------------------- validator ---------------------------- *)
+
+let test_validate_good () =
+  let prog = Helpers.random_program 3 in
+  Alcotest.(check int) "no errors" 0 (List.length (Validate.check_program prog))
+
+let test_validate_bad_reg () =
+  let f = small_func () in
+  let bad =
+    { f with blocks = [| { insts = [| Assign (99, Const 1) |]; term = Ret None } |] }
+  in
+  Alcotest.(check bool) "caught" true (Validate.check_func bad <> [])
+
+let test_validate_bad_label () =
+  let f = small_func () in
+  let bad = { f with blocks = [| { insts = [||]; term = Jmp 42 } |] } in
+  Alcotest.(check bool) "caught" true (Validate.check_func bad <> [])
+
+let test_validate_unknown_callee () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  let prog, site = Program.fresh_site prog in
+  let b = Builder.create ~name:"f" ~params:0 in
+  Builder.call b site "missing" [];
+  Builder.ret b None;
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  Alcotest.(check bool) "caught" true (Validate.check_program prog <> [])
+
+let test_validate_duplicate_site () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  let prog, site = Program.fresh_site prog in
+  let mk name =
+    let b = Builder.create ~name ~params:0 in
+    Builder.call b site "g" [];
+    Builder.ret b None;
+    Builder.finish b ()
+  in
+  let leaf =
+    let b = Builder.create ~name:"g" ~params:0 in
+    Builder.ret b None;
+    Builder.finish b ()
+  in
+  let prog = Program.add_func prog leaf in
+  let prog = Program.add_func prog (mk "f1") in
+  let prog = Program.add_func prog (mk "f2") in
+  Alcotest.(check bool) "duplicate site caught" true (Validate.check_program prog <> [])
+
+(* ---------------------------- round trip --------------------------- *)
+
+let prop_func_roundtrip =
+  QCheck.Test.make ~name:"printer/parser round-trips functions" ~count:150
+    QCheck.small_int (fun seed ->
+      let prog = Helpers.random_program seed in
+      Program.fold_funcs prog ~init:true ~f:(fun acc f ->
+          acc && Parser.parse_func (Printer.func_to_string f) = f))
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~name:"printer/parser round-trips whole programs" ~count:60
+    QCheck.small_int (fun seed ->
+      let prog = Helpers.random_program seed in
+      let prog' = Parser.parse_program (Printer.program_to_string prog) in
+      Printer.program_to_string prog' = Printer.program_to_string prog
+      && Program.initial_memory prog' = Program.initial_memory prog
+      && prog'.Program.next_site >= prog.Program.next_site)
+
+let test_parse_error_reports_line () =
+  try
+    ignore (Parser.parse_func "func @f(params=0, regs=0) {\nbb0:\n  garbage here\n  ret\n}");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line
+
+(* ------------------------------ layout ----------------------------- *)
+
+let test_layout_sites_resolve () =
+  let prog = Helpers.random_program 4 in
+  let layout = Layout.build prog in
+  List.iter
+    (fun (fname, (site : site)) ->
+      let addr = Layout.site_addr layout site.site_id in
+      Alcotest.(check (option string)) "address maps back to function" (Some fname)
+        (Layout.func_at layout addr);
+      Alcotest.(check (option int)) "address maps back to site" (Some site.site_id)
+        (Layout.site_at layout addr))
+    (Program.all_sites prog)
+
+let test_layout_disjoint_spans () =
+  let prog = Helpers.random_program 5 in
+  let layout = Layout.build prog in
+  let spans =
+    List.map
+      (fun name -> (Layout.func_addr layout name, Layout.func_size_of layout name))
+      (Program.layout_order prog)
+  in
+  let rec check = function
+    | (a1, s1) :: ((a2, _) :: _ as rest) ->
+      Alcotest.(check bool) "ordered and disjoint" true (a1 + s1 <= a2);
+      check rest
+    | _ -> ()
+  in
+  check spans
+
+let test_layout_total () =
+  let prog = Helpers.random_program 6 in
+  let layout = Layout.build prog in
+  let sum =
+    Program.fold_funcs prog ~init:0 ~f:(fun acc f -> acc + Layout.func_size f)
+  in
+  Alcotest.(check int) "total = sum of sizes" sum (Layout.total_code_bytes layout)
+
+let test_jump_table_bigger_than_ladder_for_big_switches () =
+  let cases = Array.init 10 (fun i -> (i, 0)) in
+  let jt = Layout.term_size (Switch { scrutinee = Imm 0; cases; default = 0; lowering = Jump_table }) in
+  let ladder =
+    Layout.term_size (Switch { scrutinee = Imm 0; cases; default = 0; lowering = Branch_ladder })
+  in
+  Alcotest.(check bool) "ladder smaller in bytes? no: table data dominates" true (jt <> ladder)
+
+let suite =
+  [
+    ("builder basic", `Quick, test_builder_basic);
+    ("builder unsealed block fails", `Quick, test_builder_unsealed_fails);
+    ("builder double seal fails", `Quick, test_builder_double_seal_fails);
+    ("builder param bounds", `Quick, test_builder_param_bounds);
+    ("func accessors agree", `Quick, test_func_accessors);
+    ("func reachable labels", `Quick, test_reachable_labels);
+    ("func ret count", `Quick, test_ret_count);
+    ("func rename sites", `Quick, test_rename_sites);
+    ("validate accepts generated programs", `Quick, test_validate_good);
+    ("validate catches bad register", `Quick, test_validate_bad_reg);
+    ("validate catches bad label", `Quick, test_validate_bad_label);
+    ("validate catches unknown callee", `Quick, test_validate_unknown_callee);
+    ("validate catches duplicate sites", `Quick, test_validate_duplicate_site);
+    Helpers.qcheck_to_alcotest prop_func_roundtrip;
+    Helpers.qcheck_to_alcotest prop_program_roundtrip;
+    ("parse error carries line number", `Quick, test_parse_error_reports_line);
+    ("layout resolves sites", `Quick, test_layout_sites_resolve);
+    ("layout spans disjoint", `Quick, test_layout_disjoint_spans);
+    ("layout total bytes", `Quick, test_layout_total);
+    ("layout switch lowering sizes differ", `Quick, test_jump_table_bigger_than_ladder_for_big_switches);
+  ]

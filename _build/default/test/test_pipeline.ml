@@ -1,0 +1,124 @@
+(* End-to-end pipeline: semantic preservation of the full optimization
+   stack on the kernel, and the paper's headline performance orderings. *)
+
+module Engine = Pibe_cpu.Engine
+module Pass = Pibe_harden.Pass
+module Gen = Pibe_kernel.Gen
+module Workload = Pibe_kernel.Workload
+
+let fixed_workload info engine =
+  let rng = Pibe_util.Rng.create 99 in
+  List.iter
+    (fun (op : Workload.op) ->
+      for _ = 1 to 8 do
+        op.Workload.run engine rng
+      done)
+    (Workload.lmbench info)
+
+let observe info prog =
+  let config = { Engine.default_config with Engine.record_trace = true } in
+  let engine = Engine.create ~config prog in
+  fixed_workload info engine;
+  (Engine.trace engine, Array.to_list (Engine.memory engine))
+
+let test_full_optimization_preserves_kernel_semantics () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let cases =
+    [
+      Pibe.Config.pibe_baseline;
+      Pibe.Exp_common.full_opt ~icp:99.0 ~inline:99.0 Pass.no_defenses;
+      {
+        Pibe.Config.defenses = Pass.no_defenses;
+        opt = Pibe.Config.Llvm_pgo { icp_budget = 99.9; inline_budget = 99.9 };
+      };
+    ]
+  in
+  let reference = observe info info.Gen.prog in
+  List.iter
+    (fun config ->
+      let built = Pibe.Env.build env config in
+      let got = observe info built.Pibe.Pipeline.image.Pass.prog in
+      Alcotest.(check bool)
+        (Pibe.Config.name config ^ " preserves behaviour")
+        true (got = reference))
+    cases
+
+let test_hardening_preserves_semantics () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let built = Pibe.Env.build env (Pibe.Exp_common.lto_with Pass.all_defenses) in
+  Alcotest.(check bool) "defenses change timing, not meaning" true
+    (observe info built.Pibe.Pipeline.image.Pass.prog = observe info info.Gen.prog)
+
+let geomean env config = Pibe.Env.geomean_overhead env ~baseline:Pibe.Config.lto config
+
+let test_headline_orderings () =
+  let env = Helpers.env () in
+  let all = Pass.all_defenses in
+  let unopt = geomean env (Pibe.Exp_common.lto_with all) in
+  let icp = geomean env (Pibe.Exp_common.icp_only ~budget:99.999 all) in
+  let full = geomean env (Pibe.Exp_common.best_config all) in
+  let pgo = geomean env Pibe.Config.pibe_baseline in
+  (* The paper's order-of-magnitude claim. *)
+  Alcotest.(check bool) "unoptimized defenses are very expensive" true (unopt > 80.0);
+  Alcotest.(check bool) "icp alone helps" true (icp < unopt);
+  Alcotest.(check bool) "full optimization helps much more" true (full < icp /. 2.0);
+  Alcotest.(check bool) "an order of magnitude" true (full < unopt /. 5.0);
+  Alcotest.(check bool) "PGO baseline is a speedup" true (pgo < 0.0)
+
+let test_per_defense_orderings () =
+  let env = Helpers.env () in
+  let retp = geomean env (Pibe.Exp_common.lto_with Pibe.Exp_common.retpolines_only) in
+  let retret = geomean env (Pibe.Exp_common.lto_with Pibe.Exp_common.ret_retpolines_only) in
+  let lvi = geomean env (Pibe.Exp_common.lto_with Pibe.Exp_common.lvi_only) in
+  let all = geomean env (Pibe.Exp_common.lto_with Pass.all_defenses) in
+  (* Returns dominate kernel branch counts, so backward-edge defenses cost
+     more than retpolines (paper Table 6). *)
+  Alcotest.(check bool) "ret-retpolines > retpolines" true (retret > retp);
+  Alcotest.(check bool) "lvi > retpolines" true (lvi > retp);
+  Alcotest.(check bool) "combination > each part" true (all > retret && all > lvi)
+
+let test_budget_sweep_monotone_enough () =
+  let env = Helpers.env () in
+  let all = Pass.all_defenses in
+  let g b = geomean env (Pibe.Exp_common.full_opt ~icp:99.999 ~inline:b all) in
+  let low = g 99.0 and high = g 99.9999 in
+  Alcotest.(check bool) "higher budget never much worse" true (high <= low +. 2.0)
+
+let test_optimize_does_not_mutate_input_profile () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let profile = Pibe.Env.lmbench_profile env in
+  let before = Pibe_profile.Profile.to_string profile in
+  let _ =
+    Pibe.Pipeline.build info.Gen.prog profile (Pibe.Exp_common.best_config Pass.all_defenses)
+  in
+  Alcotest.(check string) "input profile untouched" before
+    (Pibe_profile.Profile.to_string profile)
+
+let test_built_images_validate () =
+  let env = Helpers.env () in
+  List.iter
+    (fun config ->
+      let built = Pibe.Env.build env config in
+      Pibe_ir.Validate.check_exn built.Pibe.Pipeline.image.Pass.prog)
+    [
+      Pibe.Config.lto;
+      Pibe.Config.pibe_baseline;
+      Pibe.Exp_common.best_config Pass.all_defenses;
+      Pibe.Exp_common.icp_only ~budget:99.0 Pibe.Exp_common.retpolines_only;
+    ]
+
+let suite =
+  [
+    ( "full optimization preserves kernel semantics",
+      `Slow,
+      test_full_optimization_preserves_kernel_semantics );
+    ("hardening preserves semantics", `Quick, test_hardening_preserves_semantics);
+    ("headline overhead orderings", `Slow, test_headline_orderings);
+    ("per-defense orderings", `Slow, test_per_defense_orderings);
+    ("budget sweep monotone", `Slow, test_budget_sweep_monotone_enough);
+    ("input profile not mutated", `Quick, test_optimize_does_not_mutate_input_profile);
+    ("built images validate", `Quick, test_built_images_validate);
+  ]

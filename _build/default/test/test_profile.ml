@@ -1,0 +1,157 @@
+(* Profiles: the store, serialization, the LBR ring, and the full
+   collect-at-addresses / lift-to-IR flow. *)
+
+open Pibe_ir
+module Profile = Pibe_profile.Profile
+module Lbr = Pibe_profile.Lbr
+module Collector = Pibe_profile.Collector
+module Engine = Pibe_cpu.Engine
+
+(* ------------------------------ store ------------------------------ *)
+
+let test_counts_accumulate () =
+  let p = Profile.create () in
+  Profile.add_direct p ~origin:1 ~count:10;
+  Profile.add_direct p ~origin:1 ~count:5;
+  Alcotest.(check int) "sum" 15 (Profile.direct_count p ~origin:1);
+  Alcotest.(check int) "absent" 0 (Profile.direct_count p ~origin:2)
+
+let test_value_profile_sorted () =
+  let p = Profile.create () in
+  Profile.add_indirect p ~origin:7 ~target:"cold" ~count:1;
+  Profile.add_indirect p ~origin:7 ~target:"hot" ~count:100;
+  Profile.add_indirect p ~origin:7 ~target:"warm" ~count:10;
+  Alcotest.(check (list (pair string int)))
+    "hottest first"
+    [ ("hot", 100); ("warm", 10); ("cold", 1) ]
+    (Profile.value_profile p ~origin:7)
+
+let test_site_weight_uses_origin () =
+  let p = Profile.create () in
+  Profile.add_direct p ~origin:3 ~count:42;
+  let clone = { Types.site_id = 99; site_origin = 3 } in
+  Alcotest.(check int) "clone inherits counts" 42 (Profile.site_weight p clone)
+
+let test_remove_indirect_target () =
+  let p = Profile.create () in
+  Profile.add_indirect p ~origin:7 ~target:"a" ~count:5;
+  Profile.add_indirect p ~origin:7 ~target:"b" ~count:3;
+  Profile.remove_indirect_target p ~origin:7 ~target:"a";
+  Alcotest.(check (list (pair string int))) "residual" [ ("b", 3) ]
+    (Profile.value_profile p ~origin:7);
+  Profile.remove_indirect_target p ~origin:7 ~target:"b";
+  Alcotest.(check (list int)) "origin gone" [] (Profile.profiled_indirect_origins p)
+
+let test_merge () =
+  let a = Profile.create () and b = Profile.create () in
+  Profile.add_direct a ~origin:1 ~count:10;
+  Profile.add_direct b ~origin:1 ~count:32;
+  Profile.add_entry a ~func:"f" ~count:10;
+  Profile.add_indirect b ~origin:2 ~target:"g" ~count:4;
+  let m = Profile.merge a b in
+  Alcotest.(check int) "direct merged" 42 (Profile.direct_count m ~origin:1);
+  Alcotest.(check int) "entry merged" 10 (Profile.invocations m "f");
+  Alcotest.(check int) "indirect merged" 4
+    (Profile.site_weight m { Types.site_id = 2; site_origin = 2 })
+
+let random_profile seed =
+  let rng = Pibe_util.Rng.create seed in
+  let p = Profile.create () in
+  for origin = 0 to Pibe_util.Rng.int rng 10 do
+    if Pibe_util.Rng.bool rng then
+      Profile.add_direct p ~origin ~count:(1 + Pibe_util.Rng.int rng 1000)
+    else
+      for t = 0 to Pibe_util.Rng.int rng 4 do
+        Profile.add_indirect p ~origin
+          ~target:(Printf.sprintf "t%d" t)
+          ~count:(1 + Pibe_util.Rng.int rng 500)
+      done
+  done;
+  for f = 0 to Pibe_util.Rng.int rng 6 do
+    Profile.add_entry p ~func:(Printf.sprintf "f%d" f) ~count:(1 + Pibe_util.Rng.int rng 99)
+  done;
+  p
+
+let prop_serialization_roundtrip =
+  QCheck.Test.make ~name:"profile text serialization round-trips" ~count:200
+    QCheck.small_int (fun seed ->
+      let p = random_profile seed in
+      let p' = Profile.of_string (Profile.to_string p) in
+      Profile.to_string p' = Profile.to_string p)
+
+let test_of_string_rejects_garbage () =
+  Alcotest.check_raises "garbage"
+    (Failure "Profile.of_string: malformed line: direct x = 1") (fun () ->
+      ignore (Profile.of_string "direct x = 1"))
+
+(* ------------------------------- LBR ------------------------------- *)
+
+let test_lbr_drains_on_overflow_and_flush () =
+  let drained = ref [] in
+  let lbr = Lbr.create ~depth:4 ~drain:(fun r -> drained := r :: !drained) () in
+  for i = 1 to 6 do
+    Lbr.record lbr ~from_addr:i ~to_addr:(i * 10)
+  done;
+  Alcotest.(check int) "one overflow drain" 4 (List.length !drained);
+  Lbr.flush lbr;
+  Alcotest.(check int) "all records delivered" 6 (List.length !drained);
+  Alcotest.(check int) "total counted" 6 (Lbr.drained lbr)
+
+(* --------------------------- collector ----------------------------- *)
+
+let test_collector_lift_matches_execution () =
+  let prog = Helpers.random_program 21 in
+  let collector = Collector.create prog in
+  let config =
+    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
+  in
+  let engine = Engine.create ~config prog in
+  List.iter
+    (fun (entry, args) -> ignore (Engine.call engine entry args))
+    (Helpers.standard_calls prog);
+  let profile = Collector.lift collector in
+  let counters = Engine.counters engine in
+  (* Every executed edge must be lifted: total profile weight = executed
+     calls (direct + indirect, asm included on the indirect side). *)
+  let total =
+    Profile.total_direct_weight profile + Profile.total_indirect_weight profile
+  in
+  Alcotest.(check int) "weights = executed calls"
+    (counters.Engine.calls + counters.Engine.icalls)
+    total
+
+let test_collector_invocations_match () =
+  let info = Helpers.kernel () in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let collector = Collector.create prog in
+  let config =
+    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
+  in
+  let engine = Engine.create ~config prog in
+  let nr = Pibe_kernel.Gen.nr info "read" in
+  for i = 1 to 50 do
+    ignore (Engine.call engine info.Pibe_kernel.Gen.entry [ nr; 0; i * 9 ])
+  done;
+  let profile = Collector.lift collector in
+  Alcotest.(check int) "sys_read entered 50 times" 50 (Profile.invocations profile "sys_read");
+  Alcotest.(check bool) "vfs_read profiled" true (Profile.invocations profile "vfs_read" > 0);
+  (* the hot fs target appears in the victim site's value profile *)
+  let vp =
+    Profile.value_profile profile ~origin:info.Pibe_kernel.Gen.victim_icall_site
+  in
+  Alcotest.(check bool) "ext4 read dominates" true
+    (match vp with (t, _) :: _ -> String.length t > 0 | [] -> false)
+
+let suite =
+  [
+    ("counts accumulate", `Quick, test_counts_accumulate);
+    ("value profile sorted", `Quick, test_value_profile_sorted);
+    ("site weight keyed by origin", `Quick, test_site_weight_uses_origin);
+    ("remove indirect target", `Quick, test_remove_indirect_target);
+    ("merge", `Quick, test_merge);
+    Helpers.qcheck_to_alcotest prop_serialization_roundtrip;
+    ("of_string rejects garbage", `Quick, test_of_string_rejects_garbage);
+    ("lbr drains on overflow and flush", `Quick, test_lbr_drains_on_overflow_and_flush);
+    ("collector lift matches execution", `Quick, test_collector_lift_matches_execution);
+    ("collector invocation counts", `Quick, test_collector_invocations_match);
+  ]

@@ -1,0 +1,111 @@
+(* The Spectre-V1 scanner: it must flag the paper's Listing-3 gadget and
+   stay quiet on sanitized or untainted variants. *)
+
+open Pibe_ir
+open Types
+module V1 = Pibe_harden.V1_scan
+
+(* if (index < size) { ptr = data[index]; value = *ptr; observe } *)
+let listing3 ~tainted_index ~dependent =
+  let b = Builder.create ~name:"victim" ~params:2 in
+  let index =
+    if tainted_index then Builder.param b 0
+    else begin
+      let r = Builder.reg b in
+      Builder.assign b r (Const 3);
+      r
+    end
+  in
+  let size = Builder.param b 1 in
+  let c = Builder.reg b in
+  Builder.assign b c (Binop (Lt, Reg index, Reg size));
+  let inbounds = Builder.new_block b in
+  let out = Builder.new_block b in
+  Builder.br b (Reg c) inbounds out;
+  Builder.switch_to b inbounds;
+  let ptr = Builder.reg b in
+  Builder.assign b ptr (Load (Reg index));
+  (if dependent then begin
+     let v = Builder.reg b in
+     Builder.assign b v (Load (Reg ptr));
+     Builder.observe b (Reg v)
+   end
+   else Builder.observe b (Reg ptr));
+  Builder.ret b None;
+  Builder.switch_to b out;
+  Builder.ret b None;
+  Builder.finish b ()
+
+let test_flags_listing3 () =
+  let gadgets = V1.scan_func (listing3 ~tainted_index:true ~dependent:true) in
+  Alcotest.(check int) "one gadget" 1 (List.length gadgets);
+  let g = List.hd gadgets in
+  Alcotest.(check string) "victim" "victim" g.V1.gadget_func;
+  Alcotest.(check int) "guard block" 0 g.V1.branch_block;
+  Alcotest.(check int) "load block" 1 g.V1.load_block
+
+let test_quiet_without_taint () =
+  Alcotest.(check int) "constant index is safe" 0
+    (List.length (V1.scan_func (listing3 ~tainted_index:false ~dependent:true)))
+
+let test_quiet_without_dependent_load () =
+  Alcotest.(check int) "single fetch is not a transmitter" 0
+    (List.length (V1.scan_func (listing3 ~tainted_index:true ~dependent:false)))
+
+let test_call_sanitizes () =
+  (* value laundered through a call result is treated as sanitized *)
+  let prog = Program.with_globals_size Program.empty 8 in
+  let prog, site = Program.fresh_site prog in
+  let leaf =
+    let b = Builder.create ~name:"copy_from_user" ~params:1 in
+    Builder.ret b (Some (Imm 1));
+    Builder.finish b ()
+  in
+  let prog = Program.add_func prog leaf in
+  let b = Builder.create ~name:"victim" ~params:2 in
+  let raw = Builder.param b 0 in
+  let clean = Builder.reg b in
+  Builder.call b ~dst:clean site "copy_from_user" [ Reg raw ];
+  let c = Builder.reg b in
+  Builder.assign b c (Binop (Lt, Reg clean, Reg (Builder.param b 1)));
+  let inbounds = Builder.new_block b and out = Builder.new_block b in
+  Builder.br b (Reg c) inbounds out;
+  Builder.switch_to b inbounds;
+  let ptr = Builder.reg b in
+  Builder.assign b ptr (Load (Reg clean));
+  let v = Builder.reg b in
+  Builder.assign b v (Load (Reg ptr));
+  Builder.observe b (Reg v);
+  Builder.ret b None;
+  Builder.switch_to b out;
+  Builder.ret b None;
+  let prog = Program.add_func prog (Builder.finish b ()) in
+  let report = V1.scan prog in
+  Alcotest.(check int) "no gadgets" 0 (List.length report.V1.gadgets)
+
+let test_asm_skipped () =
+  let f = listing3 ~tainted_index:true ~dependent:true in
+  let f = { f with attrs = { f.attrs with is_asm = true } } in
+  Alcotest.(check int) "asm bodies skipped" 0 (List.length (V1.scan_func f))
+
+let test_kernel_scan_runs () =
+  let info = Helpers.kernel () in
+  let report = V1.scan info.Pibe_kernel.Gen.prog in
+  Alcotest.(check bool) "scanned many branches" true (report.V1.conditional_branches > 50);
+  Alcotest.(check bool) "functions counted" true
+    (report.V1.functions_scanned
+    = Pibe_ir.Program.func_count info.Pibe_kernel.Gen.prog);
+  (* candidates are a tiny fraction of branches, as the paper notes
+     ("few conditional branches are suitable gadgets") *)
+  Alcotest.(check bool) "gadgets are rare" true
+    (List.length report.V1.gadgets * 10 < report.V1.conditional_branches)
+
+let suite =
+  [
+    ("flags the Listing-3 gadget", `Quick, test_flags_listing3);
+    ("quiet without taint", `Quick, test_quiet_without_taint);
+    ("quiet without a dependent load", `Quick, test_quiet_without_dependent_load);
+    ("call results sanitize", `Quick, test_call_sanitizes);
+    ("asm bodies skipped", `Quick, test_asm_skipped);
+    ("kernel scan runs", `Quick, test_kernel_scan_runs);
+  ]

@@ -1,0 +1,21 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full evaluation: every table/figure of the paper at benchmark scale.
+bench:
+	dune exec bench/main.exe
+
+# Fast sanity pass: small kernel, one table, two domains.  Exercises the
+# parallel runner end to end in a few seconds.
+bench-smoke:
+	dune exec bench/main.exe -- --quick --table 5 --jobs 2
+
+clean:
+	dune clean

@@ -7,12 +7,17 @@
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
                                     --security, --ablation, --listings)
      bench/main.exe --quick         small kernel / fast settings
+     bench/main.exe --jobs N        build/measure independent cells on up
+                                    to N domains (1 = fully sequential;
+                                    0 = one per core); output is
+                                    identical at any job count
      bench/main.exe --bechamel      additionally run one Bechamel Test.make
                                     per experiment (timing of regeneration
                                     against the warm environment) *)
 
 let quick = ref false
 let bechamel = ref false
+let jobs = ref 1
 let selected : string list ref = ref []
 
 let parse_args () =
@@ -23,6 +28,14 @@ let parse_args () =
       go rest
     | "--bechamel" :: rest ->
       bechamel := true;
+      go rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 0 ->
+        jobs := (if j = 0 then Domain.recommended_domain_count () else j)
+      | _ ->
+        Printf.eprintf "--jobs expects a non-negative integer, got %s\n" n;
+        exit 2);
       go rest
     | "--table" :: n :: rest ->
       selected := ("table" ^ n) :: !selected;
@@ -81,13 +94,17 @@ let bechamel_pass env experiments =
 
 let () =
   parse_args ();
-  let env = if !quick then Pibe.Env.quick () else Pibe.Env.create () in
+  let env =
+    if !quick then Pibe.Env.quick ~jobs:!jobs ()
+    else Pibe.Env.create ~jobs:!jobs ()
+  in
   let wanted =
     match !selected with
     | [] -> List.map (fun (e : Pibe.Experiments.t) -> e.Pibe.Experiments.id) Pibe.Experiments.all
     | ids -> List.rev ids
   in
-  let t0 = Sys.time () in
+  let t0_wall = Unix.gettimeofday () in
+  let t0_cpu = Sys.time () in
   List.iter
     (fun id ->
       if String.equal id "listings" then begin
@@ -113,4 +130,7 @@ let () =
     in
     bechamel_pass env experiments
   end;
-  Printf.printf "\n[bench harness finished in %.1fs of host CPU time]\n" (Sys.time () -. t0)
+  Printf.printf "\n[bench harness finished in %.1fs wall clock (%.1fs host CPU, %d jobs)]\n"
+    (Unix.gettimeofday () -. t0_wall)
+    (Sys.time () -. t0_cpu)
+    !jobs

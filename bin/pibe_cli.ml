@@ -98,9 +98,11 @@ let pipeline seed scale defenses budget =
     Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
     0
 
-let experiment name seed scale quick =
+let experiment name seed scale quick jobs =
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
-    if quick then Pibe.Env.quick () else Pibe.Env.create ~scale ~seed ()
+    if quick then Pibe.Env.quick ~jobs ()
+    else Pibe.Env.create ~scale ~seed ~jobs ()
   in
   if String.equal name "list" then begin
     List.iter
@@ -301,9 +303,19 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small kernel / fast measurement settings.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Build/measure independent cells on up to $(docv) domains (1 = \
+             sequential, 0 = one per core). Output is identical at any job \
+             count.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
-    Term.(const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg)
+    Term.(const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg)
 
 let attack_cmd =
   Cmd.v

@@ -1,12 +1,23 @@
 module Profile = Pibe_profile.Profile
 module Rng = Pibe_util.Rng
 module Stats = Pibe_util.Stats
+module Pool = Pibe_util.Pool
+
+(* Caches are guarded by [lock]; expensive steps (kernel generation,
+   profiling, builds, measurement) run OUTSIDE the lock so independent
+   cells proceed concurrently.  Two domains racing on the same cold key
+   may both compute it — every step is deterministic (fixed seeds, own
+   engine), so both results are identical and the second insert is a
+   no-op.  [warm] pre-computes the shared prerequisites once to keep that
+   duplication off the expensive paths. *)
 
 type t = {
   scale : int;
   seed : int;
   msettings : Measure.settings;
   profile_iters : int;
+  pool : Pool.t;
+  lock : Mutex.t;
   mutable kernel : Pibe_kernel.Gen.info option;
   mutable lmb_profile : Profile.t option;
   mutable ap_profile : Profile.t option;
@@ -15,12 +26,14 @@ type t = {
 }
 
 let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
-    ?(profile_iters = 300) () =
+    ?(profile_iters = 300) ?(jobs = 1) () =
   {
     scale;
     seed;
     msettings = settings;
     profile_iters;
+    pool = Pool.create ~jobs ();
+    lock = Mutex.create ();
     kernel = None;
     lmb_profile = None;
     ap_profile = None;
@@ -28,22 +41,40 @@ let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
     lat_cache = Hashtbl.create 16;
   }
 
-let quick () =
-  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ()
+let quick ?(jobs = 1) () =
+  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ()
+
+let pool t = t.pool
+let jobs t = Pool.jobs t.pool
+let par_map t f xs = Pool.map t.pool f xs
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let info t =
-  match t.kernel with
+  match locked t (fun () -> t.kernel) with
   | Some i -> i
   | None ->
     let i = Pibe_kernel.Gen.generate { Pibe_kernel.Ctx.seed = t.seed; scale = t.scale } in
-    t.kernel <- Some i;
-    i
+    locked t (fun () ->
+        match t.kernel with
+        | Some i -> i
+        | None ->
+          t.kernel <- Some i;
+          i)
 
 let ops t = Pibe_kernel.Workload.lmbench (info t)
 let settings t = t.msettings
 
 let lmbench_profile t =
-  match t.lmb_profile with
+  match locked t (fun () -> t.lmb_profile) with
   | Some p -> p
   | None ->
     let i = info t in
@@ -57,11 +88,15 @@ let lmbench_profile t =
               done)
             (ops t))
     in
-    t.lmb_profile <- Some p;
-    p
+    locked t (fun () ->
+        match t.lmb_profile with
+        | Some p -> p
+        | None ->
+          t.lmb_profile <- Some p;
+          p)
 
 let apache_profile t =
-  match t.ap_profile with
+  match locked t (fun () -> t.ap_profile) with
   | Some p -> p
   | None ->
     let i = info t in
@@ -73,33 +108,76 @@ let apache_profile t =
             mix.Pibe_kernel.Workload.request engine rng
           done)
     in
-    t.ap_profile <- Some p;
-    p
+    locked t (fun () ->
+        match t.ap_profile with
+        | Some p -> p
+        | None ->
+          t.ap_profile <- Some p;
+          p)
 
 let build t config =
-  match Hashtbl.find_opt t.builds config with
+  match locked t (fun () -> Hashtbl.find_opt t.builds config) with
   | Some b -> b
   | None ->
     let i = info t in
-    let b = Pipeline.build i.Pibe_kernel.Gen.prog (lmbench_profile t) config in
-    Hashtbl.replace t.builds config b;
-    b
+    let profile = lmbench_profile t in
+    let b = Pipeline.build i.Pibe_kernel.Gen.prog profile config in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.builds config with
+        | Some b -> b
+        | None ->
+          Hashtbl.replace t.builds config b;
+          b)
 
 let build_with_profile t ~profile config =
   let i = info t in
   Pipeline.build i.Pibe_kernel.Gen.prog profile config
 
 let latencies t config =
-  match Hashtbl.find_opt t.lat_cache config with
+  match locked t (fun () -> Hashtbl.find_opt t.lat_cache config) with
   | Some l -> l
   | None ->
     let b = build t config in
     let engine = Pipeline.engine b in
     let l = Measure.suite_latencies ~settings:t.msettings engine (ops t) in
-    Hashtbl.replace t.lat_cache config l;
-    l
+    locked t (fun () ->
+        match Hashtbl.find_opt t.lat_cache config with
+        | Some l -> l
+        | None ->
+          Hashtbl.replace t.lat_cache config l;
+          l)
+
+let distinct configs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.replace seen c ();
+        true
+      end)
+    configs
+
+let warm_with t ~mem step configs =
+  let cold =
+    List.filter (fun c -> not (locked t (fun () -> mem t c))) (distinct configs)
+  in
+  if cold <> [] then begin
+    (* shared prerequisites first, exactly once *)
+    ignore (info t);
+    ignore (lmbench_profile t);
+    (* distinct cold cells, each with its own engine, in parallel *)
+    Pool.iter t.pool (fun c -> ignore (step t c)) cold
+  end
+
+let warm t configs =
+  warm_with t ~mem:(fun t c -> Hashtbl.mem t.lat_cache c) latencies configs
+
+let warm_builds t configs =
+  warm_with t ~mem:(fun t c -> Hashtbl.mem t.builds c) build configs
 
 let overheads t ~baseline config =
+  warm t [ baseline; config ];
   let base = latencies t baseline in
   let v = latencies t config in
   List.map2

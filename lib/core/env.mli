@@ -3,7 +3,12 @@
     Every experiment (one per paper table/figure) draws from the same
     generated kernel, the same profiling runs, and a cache of built
     images and measured latency suites, so running all experiments in one
-    process does each expensive step once. *)
+    process does each expensive step once.
+
+    The caches are thread-safe: with [jobs > 1] independent
+    (configuration, workload) cells may be built and measured on separate
+    domains via [par_map]/[warm].  Each cell gets its own engine and every
+    step is deterministic, so results are identical to a sequential run. *)
 
 type t
 
@@ -12,14 +17,33 @@ val create :
   ?seed:int ->
   ?settings:Measure.settings ->
   ?profile_iters:int ->
+  ?jobs:int ->
   unit ->
   t
 (** Defaults: scale 3, seed 42, [Measure.default_settings], 300 profiling
-    iterations per micro-op. *)
+    iterations per micro-op, [jobs] 1 (fully sequential). *)
 
-val quick : unit -> t
+val quick : ?jobs:int -> unit -> t
 (** Small and fast, for unit tests: scale 1, quick settings, 60 profiling
     iterations. *)
+
+val pool : t -> Pibe_util.Pool.t
+val jobs : t -> int
+
+val par_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [Pool.map] on the environment's pool: parallel when [jobs > 1],
+    exactly [List.map] when [jobs = 1]. *)
+
+val warm : t -> Config.t list -> unit
+(** Populate the build+latency caches for the given configurations,
+    in parallel across distinct configurations when [jobs > 1].  The
+    shared kernel and training profile are computed first (once), so
+    subsequent [latencies]/[overheads] calls are pure cache hits. *)
+
+val warm_builds : t -> Config.t list -> unit
+(** Like [warm] but only populates the build cache (no latency
+    measurement) — for experiments that measure something other than the
+    LMBench suite. *)
 
 val info : t -> Pibe_kernel.Gen.info
 val ops : t -> Pibe_kernel.Workload.op list

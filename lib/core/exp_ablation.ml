@@ -75,6 +75,16 @@ let run env =
     Tbl.create ~title:"Ablations (LMBench geomean overhead vs LTO baseline)"
       ~columns:[ "variant"; "overhead" ]
   in
+  Env.warm env
+    [
+      Config.lto;
+      Exp_common.best_config (d ());
+      {
+        Config.defenses = d ();
+        opt = Config.Llvm_pgo { icp_budget = 99.999; inline_budget = 99.9999 };
+      };
+      Exp_common.icp_only ~budget:99.999 Exp_common.retpolines_only;
+    ];
   let add label v = Tbl.add_row t [ Tbl.Str label; Exp_common.pct v ] in
   add "PIBE full (all defenses, lax)"
     (Env.geomean_overhead env ~baseline:Config.lto (Exp_common.best_config (d ())));

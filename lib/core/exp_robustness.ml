@@ -46,8 +46,27 @@ let shared_weight_pct selected_a selected_b =
 let run env =
   let info = Env.info env in
   let prog = info.Pibe_kernel.Gen.prog in
+  (* the two training runs are independent; profile them concurrently *)
+  (match
+     Env.par_map env
+       (fun p -> p env)
+       [ Env.lmbench_profile; Env.apache_profile ]
+   with
+  | [ _; _ ] -> ()
+  | _ -> assert false);
   let lmb = Env.lmbench_profile env in
   let apache = Env.apache_profile env in
+  let d = Exp_common.all_defenses in
+  Env.warm env
+    [
+      Config.lto;
+      Exp_common.best_config d;
+      Exp_common.lto_with d;
+      {
+        Config.defenses = d;
+        opt = Config.Llvm_pgo { icp_budget = 99.999; inline_budget = 99.9999 };
+      };
+    ];
   let overlap =
     Tbl.create ~title:"Workload overlap at the 99% budget (LMBench vs ApacheBench)"
       ~columns:[ "candidate kind"; "shared weight" ]

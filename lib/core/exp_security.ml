@@ -6,6 +6,15 @@ module Pass = Pibe_harden.Pass
 module Gen = Pibe_kernel.Gen
 
 let images env =
+  Env.warm_builds env
+    [
+      Exp_common.lto_with Pass.no_defenses;
+      Exp_common.lto_with Exp_common.retpolines_only;
+      Exp_common.lto_with Exp_common.ret_retpolines_only;
+      Exp_common.lto_with Exp_common.lvi_only;
+      Exp_common.lto_with Exp_common.all_defenses;
+      Exp_common.best_config Exp_common.all_defenses;
+    ];
   let build_refill () =
     (* retpolines + the kernel's ad-hoc RSB refilling (paper §6.4) *)
     let built = Env.build env (Exp_common.lto_with Exp_common.retpolines_only) in

@@ -3,7 +3,7 @@ module Stats = Pibe_util.Stats
 
 let seeds = [ 42; 1234; 777 ]
 
-let run _env =
+let run env =
   let t =
     Tbl.create
       ~title:
@@ -11,18 +11,33 @@ let run _env =
       ~columns:
         [ "seed"; "PGO baseline"; "all defenses, no opt"; "all defenses, PIBE"; "defended speedup" ]
   in
+  (* each seed is a fully independent environment; run them in parallel
+     and let the nested warm fan out further if slots remain *)
+  let measured =
+    Env.par_map env
+      (fun seed ->
+        let senv = Env.create ~scale:2 ~seed ~jobs:(Env.jobs env) () in
+        Env.warm senv
+          [
+            Config.lto;
+            Config.pibe_baseline;
+            Exp_common.lto_with Exp_common.all_defenses;
+            Exp_common.best_config Exp_common.all_defenses;
+          ];
+        let pgo = Env.geomean_overhead senv ~baseline:Config.lto Config.pibe_baseline in
+        let unopt =
+          Env.geomean_overhead senv ~baseline:Config.lto
+            (Exp_common.lto_with Exp_common.all_defenses)
+        in
+        let pibe =
+          Env.geomean_overhead senv ~baseline:Config.lto
+            (Exp_common.best_config Exp_common.all_defenses)
+        in
+        (seed, pgo, unopt, pibe))
+      seeds
+  in
   List.iter
-    (fun seed ->
-      let env = Env.create ~scale:2 ~seed () in
-      let pgo = Env.geomean_overhead env ~baseline:Config.lto Config.pibe_baseline in
-      let unopt =
-        Env.geomean_overhead env ~baseline:Config.lto
-          (Exp_common.lto_with Exp_common.all_defenses)
-      in
-      let pibe =
-        Env.geomean_overhead env ~baseline:Config.lto
-          (Exp_common.best_config Exp_common.all_defenses)
-      in
+    (fun (seed, pgo, unopt, pibe) ->
       let reduction = (100.0 +. unopt) /. (100.0 +. pibe) in
       Tbl.add_row t
         [
@@ -32,5 +47,5 @@ let run _env =
           Exp_common.pct pibe;
           Tbl.Str (Printf.sprintf "%.2fx" reduction);
         ])
-    seeds;
+    measured;
   t

@@ -75,7 +75,7 @@ let spec_cycles engine spec =
       (name, Measure.entry_cycles ~settings engine ~entry ~args:[ Spec.bench_iters; 0 ]))
     spec.Spec.benchmarks
 
-let run _env =
+let run env =
   let spec = Spec.build () in
   let columns = [ "defense"; "dcall (ticks)"; "icall (ticks)"; "vcall (ticks)"; "spec %" ] in
   let t = Tbl.create ~title:"Table 1: per-branch mitigation overhead + SPEC slowdown" ~columns in
@@ -84,19 +84,26 @@ let run _env =
   let base_i = micro_ticks base_engine spec.Spec.micro_icall in
   let base_v = micro_ticks base_engine spec.Spec.micro_vcall in
   let base_spec = spec_cycles base_engine spec in
+  (* rows are independent (each gets its own engine over the shared,
+     immutable spec program), so measure them in parallel *)
+  let measured =
+    Env.par_map env
+      (fun row ->
+        let engine = engine_for spec row in
+        let d = micro_ticks engine spec.Spec.micro_dcall -. base_d in
+        let i = micro_ticks engine spec.Spec.micro_icall -. base_i in
+        let v = micro_ticks engine spec.Spec.micro_vcall -. base_v in
+        let spec_now = spec_cycles engine spec in
+        let slowdowns =
+          List.map2
+            (fun (_, b) (_, x) -> Stats.overhead_pct ~baseline:b x)
+            base_spec spec_now
+        in
+        (row, d, i, v, Stats.geomean_overhead slowdowns))
+      rows
+  in
   List.iter
-    (fun row ->
-      let engine = engine_for spec row in
-      let d = micro_ticks engine spec.Spec.micro_dcall -. base_d in
-      let i = micro_ticks engine spec.Spec.micro_icall -. base_i in
-      let v = micro_ticks engine spec.Spec.micro_vcall -. base_v in
-      let spec_now = spec_cycles engine spec in
-      let slowdowns =
-        List.map2
-          (fun (_, b) (_, x) -> Stats.overhead_pct ~baseline:b x)
-          base_spec spec_now
-      in
-      let geo = Stats.geomean_overhead slowdowns in
+    (fun (row, d, i, v, geo) ->
       Tbl.add_row t
         [
           Tbl.Str (label row);
@@ -105,5 +112,5 @@ let run _env =
           Tbl.Int (int_of_float (Float.round v));
           Exp_common.pct geo;
         ])
-    rows;
+    measured;
   t

@@ -33,6 +33,15 @@ let run env =
       ~columns:
         [ "config"; "budget"; "abs size"; "img size"; "mem size"; "peak stack" ]
   in
+  Env.warm_builds env
+    (Config.lto
+    :: List.concat_map
+         (fun (_, defenses, budgets) ->
+           Exp_common.lto_with defenses
+           :: List.map
+                (fun budget -> Exp_common.full_opt ~icp:budget ~inline:budget defenses)
+                budgets)
+         rows);
   let lto_bytes = Pass.image_bytes (Env.build env Config.lto).Pipeline.image in
   List.iter
     (fun (label, defenses, budgets) ->

@@ -14,6 +14,7 @@ let run env =
            "Table 2: LTO vs PIBE-PGO baselines (simulated cycles; us at %.1f GHz)" ghz)
       ~columns:[ "test"; "LTO cycles"; "LTO us"; "PIBE cycles"; "PIBE us"; "overhead" ]
   in
+  Env.warm env [ Config.lto; Config.pibe_baseline ];
   let lto = Env.latencies env Config.lto in
   let pibe = Env.latencies env Config.pibe_baseline in
   let overheads =

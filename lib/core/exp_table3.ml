@@ -32,6 +32,13 @@ let run env =
       ~columns:
         [ "test"; "LTO w/retpolines"; "JumpSwitches"; "+icp (99%)"; "+icp (99.999%)" ]
   in
+  Env.warm env
+    [
+      Config.lto;
+      Exp_common.lto_with Exp_common.retpolines_only;
+      Exp_common.icp_only ~budget:99.0 Exp_common.retpolines_only;
+      Exp_common.icp_only ~budget:99.999 Exp_common.retpolines_only;
+    ];
   let base = Env.latencies env Config.lto in
   let plain = Env.latencies env (Exp_common.lto_with Exp_common.retpolines_only) in
   let js = jumpswitch_latencies env in

@@ -17,6 +17,7 @@ let run env =
     Tbl.create ~title:"Table 5: overhead with all defenses enabled, by optimization level"
       ~columns:("test" :: List.map fst configurations)
   in
+  Env.warm env (Config.lto :: List.map snd configurations);
   let per_config = List.map (fun (_, c) -> Env.overheads env ~baseline:Config.lto c) configurations in
   let names = List.map fst (List.hd per_config) in
   List.iter

@@ -1,19 +1,26 @@
 module Tbl = Pibe_util.Tbl
 
+let rows =
+  [
+    ("None", Pibe_harden.Pass.no_defenses);
+    ("Retpolines", Exp_common.retpolines_only);
+    ("Return retpolines", Exp_common.ret_retpolines_only);
+    ("LVI-CFI", Exp_common.lvi_only);
+    ("All", Exp_common.all_defenses);
+  ]
+
 let run env =
   let t =
     Tbl.create ~title:"Table 6: LMBench geometric-mean overhead per defense"
       ~columns:[ "defense"; "LTO"; "PIBE" ]
   in
-  let rows =
-    [
-      ("None", Pibe_harden.Pass.no_defenses);
-      ("Retpolines", Exp_common.retpolines_only);
-      ("Return retpolines", Exp_common.ret_retpolines_only);
-      ("LVI-CFI", Exp_common.lvi_only);
-      ("All", Exp_common.all_defenses);
-    ]
-  in
+  Env.warm env
+    (Config.lto :: Config.pibe_baseline
+    :: List.concat_map
+         (fun (_, defenses) ->
+           if defenses = Pibe_harden.Pass.no_defenses then []
+           else [ Exp_common.lto_with defenses; Exp_common.best_config defenses ])
+         rows);
   List.iter
     (fun (label, defenses) ->
       let lto_ov =

@@ -21,7 +21,7 @@ let run_and_collect engine s ~mechanism ~gadget ~entry ~args =
 
 let spectre_v2 engine ~victim_site ~gadget ~entry ~args =
   let s = spec_exn engine in
-  Btb.train (Engine.btb engine) ~site:victim_site ~target:gadget;
+  Btb.train (Engine.btb engine) ~site:victim_site ~target:(Engine.func_id engine gadget);
   run_and_collect engine s ~mechanism:Speculation.Spectre_v2 ~gadget ~entry ~args
 
 let ret2spec engine ~scenario ~gadget ~entry ~args =

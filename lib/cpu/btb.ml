@@ -1,36 +1,22 @@
-type entry = {
-  mutable valid : bool;
-  mutable target : string;
-}
-
 type t = {
   mask : int;
-  slots : entry array;
+  targets : int array;  (* interned function id; no_target = cold slot *)
 }
+
+let no_target = -1
 
 let create ?(entries = 1024) () =
   if entries <= 0 || entries land (entries - 1) <> 0 then
     invalid_arg "Btb.create: entries must be a positive power of two";
-  { mask = entries - 1; slots = Array.init entries (fun _ -> { valid = false; target = "" }) }
-
-let slot t site = t.slots.(site land t.mask)
+  { mask = entries - 1; targets = Array.make entries no_target }
 
 (* No tag: every site aliasing to the slot shares the prediction, which is
    exactly the sharing Spectre V2 abuses. *)
-let predict t ~site =
-  let e = slot t site in
-  if e.valid then Some e.target else None
+let predict t ~site = t.targets.(site land t.mask)
 
 let train t ~site ~target =
-  let e = slot t site in
-  e.valid <- true;
-  e.target <- target
+  if target < 0 then invalid_arg "Btb.train: target must be a non-negative id";
+  t.targets.(site land t.mask) <- target
 
-let flush t =
-  Array.iter
-    (fun e ->
-      e.valid <- false;
-      e.target <- "")
-    t.slots
-
+let flush t = Array.fill t.targets 0 (Array.length t.targets) no_target
 let aliases t a b = a land t.mask = b land t.mask

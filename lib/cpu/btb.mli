@@ -3,19 +3,26 @@
     A direct-mapped, untagged buffer indexed by the low bits of the
     branch-site id (standing in for the branch address): distinct sites
     that alias to one slot share its prediction — the property Spectre V2
-    exploits. *)
+    exploits.
+
+    Targets are interned function ids (see {!Engine.func_id}); the hot
+    prediction path is a single array read and an int compare. *)
 
 type t
+
+val no_target : int
+(** Sentinel returned by {!predict} on a cold slot; never a valid id. *)
 
 val create : ?entries:int -> unit -> t
 (** [entries] defaults to 1024 and must be a power of two. *)
 
-val predict : t -> site:int -> string option
-(** Prediction for the branch at [site]; [None] on a cold slot. *)
+val predict : t -> site:int -> int
+(** Predicted target id for the branch at [site]; [no_target] on a cold
+    slot. *)
 
-val train : t -> site:int -> target:string -> unit
+val train : t -> site:int -> target:int -> unit
 (** Records the resolved target (also how an attacker poisons aliased
-    entries). *)
+    entries).  [target] must be non-negative. *)
 
 val flush : t -> unit
 

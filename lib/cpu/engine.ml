@@ -60,19 +60,79 @@ type counters = {
   mutable peak_stack_bytes : int;
 }
 
+(* Compiled view of the IR, built once at [create]: function names are
+   interned to dense ids, every direct-call target and fptr-table entry is
+   pre-resolved, and per-function constants (PHT key base, frame bytes,
+   protection kinds) are computed up front so the per-call hot path does no
+   string hashing and no hashtable probes. *)
+
+type cinst =
+  | CAssign of reg * expr
+  | CStore of operand * operand
+  | CObserve of operand
+  | CCall of {
+      dst : reg option;
+      callee : string;  (* kept for edges and error messages *)
+      callee_id : int;  (* -1 when the name does not resolve *)
+      args : operand array;
+      site : site;
+    }
+  | CIcall of {
+      dst : reg option;
+      fptr : operand;
+      args : operand array;
+      site : site;
+    }
+  | CAsm_icall of {
+      fptr : operand;
+      site : site;
+    }
+
+type cblock = {
+  cinsts : cinst array;
+  cterm : terminator;
+}
+
+type cfunc = {
+  f : func;
+  id : int;
+  cblocks : cblock array;
+  key_base : int;  (* PHT key base: Hashtbl.hash fname * 613, as the seed *)
+  frame_bytes : int;  (* stack-coloring frame model, precomputed *)
+}
+
+(* id of the synthetic top-of-stack return continuation *)
+let top_id = -1
+
+(* The compiled view is immutable and depends only on the program, so
+   engines created on the same program (physical equality) share it —
+   config-dependent state (backward protections, footprint memo) lives in
+   per-engine arrays instead. *)
+type compiled = {
+  cfuncs : (string, cfunc) Hashtbl.t;  (* API edge only; never on the hot path *)
+  cby_id : cfunc array;
+  cfptr_ids : int array;  (* pre-resolved fptr targets; -1 = unknown name *)
+  cmax_regs : int;
+}
+
 type t = {
   prog : Program.t;
-  funcs : (string, func) Hashtbl.t;
+  funcs : (string, cfunc) Hashtbl.t;
+  by_id : cfunc array;
   fptr_table : string array;
+  fptr_ids : int array;
+  bwds : Protection.backward array;  (* per-function backward protection, by id *)
+  sizes : int array;  (* memoized config.footprint, by id; -1 until first entry *)
   mem : int array;
   tbtb : Btb.t;
   trsb : Rsb.t;
   tpht : Pht.t;
   ticache : Icache.t;
-  branch_keys : (string, int) Hashtbl.t;  (* function -> PHT key base *)
-  footprints : (string, int) Hashtbl.t;  (* memoized config.footprint *)
   cfg : config;
   ctrs : counters;
+  max_regs : int;
+  mutable frames : int array array;  (* register-frame pool, one per depth *)
+  mutable taint_frames : int option array array;
   mutable cyc : int;
   mutable steps : int;
   mutable trace_rev : int list;
@@ -81,20 +141,99 @@ type t = {
 exception Runtime_error of string
 exception Out_of_fuel
 
+(* Frame accounting with a stack-coloring model: inlined callees' locals
+   have disjoint lifetimes, so the allocator merges most of their slots.
+   Sub-linear growth in the register count approximates that; coloring
+   degrades as merged frames grow, which is exactly the inefficiency paper
+   Rule 2 exists to bound (section 5.2). *)
+let frame_bytes_of nregs = 16 + (8 * int_of_float (Float.of_int nregs ** 0.6))
+
+let compile_func ~id intern (f : func) =
+  let compile_inst = function
+    | Assign (r, e) -> CAssign (r, e)
+    | Store (a, v) -> CStore (a, v)
+    | Observe v -> CObserve v
+    | Call { dst; callee; args; site; tail = _ } ->
+      CCall { dst; callee; callee_id = intern callee; args = Array.of_list args; site }
+    | Icall { dst; fptr; args; site } ->
+      CIcall { dst; fptr; args = Array.of_list args; site }
+    | Asm_icall { fptr; site } -> CAsm_icall { fptr; site }
+  in
+  let cblocks =
+    Array.map
+      (fun (b : block) -> { cinsts = Array.map compile_inst b.insts; cterm = b.term })
+      f.blocks
+  in
+  {
+    f;
+    id;
+    cblocks;
+    key_base = Hashtbl.hash f.fname * 613;
+    frame_bytes = frame_bytes_of f.nregs;
+  }
+
+let compile prog =
+  let order = Program.layout_order prog in
+  let n = List.length order in
+  let ids = Hashtbl.create (2 * max n 1) in
+  List.iteri (fun i name -> Hashtbl.replace ids name i) order;
+  let intern name = match Hashtbl.find_opt ids name with Some i -> i | None -> -1 in
+  let cfuncs = Hashtbl.create (2 * max n 1) in
+  let cby_id =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           let f = Program.find prog name in
+           let cf = compile_func ~id:i intern f in
+           Hashtbl.replace cfuncs name cf;
+           cf)
+         order)
+  in
+  {
+    cfuncs;
+    cby_id;
+    cfptr_ids = Array.map intern prog.Program.fptr_table;
+    cmax_regs = Array.fold_left (fun m cf -> max m cf.f.nregs) 1 cby_id;
+  }
+
+(* One-slot compiled-view cache: the common pattern is several engines in
+   a row over the same image (attack drills, measurement cells), and the
+   compilation is by far the most expensive part of [create].  Guarded by
+   a mutex because engines are created from worker domains too; a miss
+   compiles outside the lock (duplicated work is pure). *)
+let compile_lock = Mutex.create ()
+let last_compiled : (Program.t * compiled) option ref = ref None
+
+let compiled_for prog =
+  Mutex.lock compile_lock;
+  match !last_compiled with
+  | Some (p, c) when p == prog ->
+    Mutex.unlock compile_lock;
+    c
+  | _ ->
+    Mutex.unlock compile_lock;
+    let c = compile prog in
+    Mutex.lock compile_lock;
+    last_compiled := Some (prog, c);
+    Mutex.unlock compile_lock;
+    c
+
 let create ?(config = default_config) prog =
-  let funcs = Hashtbl.create 1024 in
-  Program.iter_funcs prog (fun f -> Hashtbl.replace funcs f.fname f);
+  let compiled = compiled_for prog in
+  let n = Array.length compiled.cby_id in
   {
     prog;
-    funcs;
+    funcs = compiled.cfuncs;
+    by_id = compiled.cby_id;
     fptr_table = prog.Program.fptr_table;
+    fptr_ids = compiled.cfptr_ids;
+    bwds = Array.map (fun cf -> config.bwd_protection cf.f.fname) compiled.cby_id;
+    sizes = Array.make (max n 1) (-1);
     mem = Program.initial_memory prog;
     tbtb = Btb.create ();
     trsb = Rsb.create ();
     tpht = Pht.create ();
     ticache = Icache.create ~capacity_bytes:config.icache_bytes;
-    branch_keys = Hashtbl.create 1024;
-    footprints = Hashtbl.create 1024;
     cfg = config;
     ctrs =
       {
@@ -108,31 +247,77 @@ let create ?(config = default_config) prog =
         stack_bytes = 0;
         peak_stack_bytes = 0;
       };
+    max_regs = compiled.cmax_regs;
+    frames = Array.make 0 [||];
+    taint_frames = Array.make 0 [||];
     cyc = 0;
     steps = 0;
     trace_rev = [];
   }
 
-let footprint_of t f =
-  match Hashtbl.find_opt t.footprints f.fname with
-  | Some s -> s
-  | None ->
-    let s = t.cfg.footprint f in
-    Hashtbl.replace t.footprints f.fname s;
-    s
-
-let branch_key_base t name =
-  match Hashtbl.find_opt t.branch_keys name with
-  | Some k -> k
-  | None ->
-    let k = Hashtbl.hash name * 613 in
-    Hashtbl.replace t.branch_keys name k;
-    k
-
-let lookup_func t name =
+let func_id t name =
   match Hashtbl.find_opt t.funcs name with
-  | Some f -> f
+  | Some cf -> cf.id
   | None -> raise (Runtime_error ("call to unknown function @" ^ name))
+
+let func_name t id = if id = top_id then "#top" else t.by_id.(id).f.fname
+
+let lookup t id name =
+  if id >= 0 then t.by_id.(id)
+  else raise (Runtime_error ("call to unknown function @" ^ name))
+
+let footprint_of t cf =
+  let s = t.sizes.(cf.id) in
+  if s >= 0 then s
+  else begin
+    let s = t.cfg.footprint cf.f in
+    t.sizes.(cf.id) <- s;
+    s
+  end
+
+(* Register-frame pool: one zeroed frame per activation depth, allocated on
+   first use and reused by every later activation at that depth — no
+   allocation on the call hot path.  Frames are sized to the largest
+   register file in the program; only the first [nregs] slots are ever
+   read, and they are re-zeroed on entry (registers start at 0). *)
+
+let frame t ~depth ~nregs =
+  (if depth >= Array.length t.frames then begin
+     let len = Array.length t.frames in
+     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
+     Array.blit t.frames 0 grown 0 len;
+     t.frames <- grown
+   end);
+  let fr = t.frames.(depth) in
+  let fr =
+    if Array.length fr = 0 then begin
+      let fr = Array.make (max t.max_regs 1) 0 in
+      t.frames.(depth) <- fr;
+      fr
+    end
+    else fr
+  in
+  Array.fill fr 0 nregs 0;
+  fr
+
+let taint_frame t ~depth ~nregs =
+  (if depth >= Array.length t.taint_frames then begin
+     let len = Array.length t.taint_frames in
+     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
+     Array.blit t.taint_frames 0 grown 0 len;
+     t.taint_frames <- grown
+   end);
+  let fr = t.taint_frames.(depth) in
+  let fr =
+    if Array.length fr = 0 then begin
+      let fr = Array.make (max t.max_regs 1) None in
+      t.taint_frames.(depth) <- fr;
+      fr
+    end
+    else fr
+  in
+  Array.fill fr 0 nregs None;
+  fr
 
 let operand_value regs = function
   | Imm i -> i
@@ -144,14 +329,6 @@ let operand_taint taint = function
   | Imm _ -> None
   | Reg r -> taint.(r)
 
-let resolve_fptr t v =
-  if v < 0 || v >= Array.length t.fptr_table then
-    raise
-      (Runtime_error
-         (Printf.sprintf "wild indirect call: fptr value %d outside table of %d" v
-            (Array.length t.fptr_table)))
-  else t.fptr_table.(v)
-
 let emit_edge t site caller callee kind =
   match t.cfg.on_edge with
   | None -> ()
@@ -160,25 +337,30 @@ let emit_edge t site caller callee kind =
 let charge t c = t.cyc <- t.cyc + c
 
 let enter_code t callee =
-  charge t (Icache.touch t.ticache ~name:callee.fname ~size:(footprint_of t callee))
+  charge t (Icache.touch t.ticache ~id:callee.id ~size:(footprint_of t callee))
 
 (* Forward transfer through an indirect call site: prediction, cost,
    training, speculation drill.  Returns unit; the caller then executes
-   the resolved target. *)
+   the resolved target.  [target] is the interned id of the resolved
+   callee; prediction hit/miss is a single int compare. *)
 let indirect_transfer t ~site ~target ~fptr_taint ~protection =
   let spec = t.cfg.speculation in
   (match protection with
   | Protection.F_none ->
     let predicted = Btb.predict t.tbtb ~site:site.site_id in
-    let hit = match predicted with Some p -> String.equal p target | None -> false in
+    let hit = predicted = target in
     if not hit then t.ctrs.btb_misses <- t.ctrs.btb_misses + 1;
     charge t (Cost.forward_cost protection ~btb_hit:hit);
     (* The resolved branch retrains its slot. *)
     Btb.train t.tbtb ~site:site.site_id ~target;
-    (match (spec, predicted) with
-    | Some s, Some p when not (String.equal p target) ->
+    (match spec with
+    | Some s when predicted <> Btb.no_target && predicted <> target ->
       Speculation.record s
-        { Speculation.mechanism = Speculation.Spectre_v2; site_id = site.site_id; gadget = p }
+        {
+          Speculation.mechanism = Speculation.Spectre_v2;
+          site_id = site.site_id;
+          gadget = func_name t predicted;
+        }
     | _ -> ())
   | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
     charge t (Cost.forward_cost protection ~btb_hit:false);
@@ -187,13 +369,13 @@ let indirect_transfer t ~site ~target ~fptr_taint ~protection =
     if not (Protection.forward_stops_btb_injection protection) then begin
       let predicted = Btb.predict t.tbtb ~site:site.site_id in
       Btb.train t.tbtb ~site:site.site_id ~target;
-      match (spec, predicted) with
-      | Some s, Some p when not (String.equal p target) ->
+      match spec with
+      | Some s when predicted <> Btb.no_target && predicted <> target ->
         Speculation.record s
           {
             Speculation.mechanism = Speculation.Spectre_v2;
             site_id = site.site_id;
-            gadget = p;
+            gadget = func_name t predicted;
           }
       | _ -> ()
     end);
@@ -209,20 +391,13 @@ let indirect_transfer t ~site ~target ~fptr_taint ~protection =
       { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
   | _ -> ()
 
-let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option =
-  (* Frame accounting with a stack-coloring model: inlined callees'
-     locals have disjoint lifetimes, so the allocator merges most of
-     their slots.  Sub-linear growth in the register count approximates
-     that; coloring degrades as merged frames grow, which is exactly the
-     inefficiency paper Rule 2 exists to bound (section 5.2). *)
-  let frame_bytes = 16 + (8 * int_of_float (Float.of_int f.nregs ** 0.6)) in
-  t.ctrs.stack_bytes <- t.ctrs.stack_bytes + frame_bytes;
+let rec exec_func t (cf : cfunc) (regs : int array) ~depth ~(ret_to : int) : int option =
+  let f = cf.f in
+  t.ctrs.stack_bytes <- t.ctrs.stack_bytes + cf.frame_bytes;
   if t.ctrs.stack_bytes > t.ctrs.peak_stack_bytes then
     t.ctrs.peak_stack_bytes <- t.ctrs.stack_bytes;
-  let regs = Array.make (max f.nregs 1) 0 in
-  List.iteri (fun i v -> if i < f.params then regs.(i) <- v) args;
   let spec_on = t.cfg.speculation <> None in
-  let taint = if spec_on then Array.make (max f.nregs 1) None else [||] in
+  let taint = if spec_on then taint_frame t ~depth ~nregs:(max f.nregs 1) else [||] in
   let eval_expr e =
     match e with
     | Const i -> i
@@ -244,14 +419,16 @@ let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option
       | None -> None
       | Some s -> Speculation.injected_load s ~addr:(operand_value regs a))
   in
-  let do_call ~dst ~callee ~args:actuals ~site =
-    t.ctrs.calls <- t.ctrs.calls + 1;
-    charge t (Cost.direct_call + t.cfg.extra_call_cycles);
-    emit_edge t site f.fname callee Edge_direct;
-    let callee_f = lookup_func t callee in
-    enter_code t callee_f;
-    Rsb.push t.trsb f.fname;
-    let result = exec_func t callee_f (List.map (operand_value regs) actuals) ~ret_to:f.fname in
+  let invoke ~dst ~(callee : cfunc) ~(args : operand array) =
+    enter_code t callee;
+    Rsb.push t.trsb cf.id;
+    let nregs = max callee.f.nregs 1 in
+    let callee_regs = frame t ~depth:(depth + 1) ~nregs in
+    let n = min callee.f.params (Array.length args) in
+    for i = 0 to n - 1 do
+      callee_regs.(i) <- operand_value regs args.(i)
+    done;
+    let result = exec_func t callee callee_regs ~depth:(depth + 1) ~ret_to:cf.id in
     (match (dst, result) with
     | Some r, Some v -> regs.(r) <- v
     | Some r, None -> regs.(r) <- 0
@@ -260,36 +437,40 @@ let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option
     | Some r when spec_on -> taint.(r) <- None
     | _ -> ()
   in
-  let do_icall ~dst ~fptr ~args:actuals ~site ~asm =
+  let do_call ~dst ~callee ~callee_id ~args ~site =
+    t.ctrs.calls <- t.ctrs.calls + 1;
+    charge t (Cost.direct_call + t.cfg.extra_call_cycles);
+    emit_edge t site f.fname callee Edge_direct;
+    invoke ~dst ~callee:(lookup t callee_id callee) ~args
+  in
+  let do_icall ~dst ~fptr ~args ~site ~asm =
     t.ctrs.icalls <- t.ctrs.icalls + 1;
     charge t t.cfg.extra_icall_cycles;
     let v = operand_value regs fptr in
-    let target = resolve_fptr t v in
+    if v < 0 || v >= Array.length t.fptr_table then
+      raise
+        (Runtime_error
+           (Printf.sprintf "wild indirect call: fptr value %d outside table of %d" v
+              (Array.length t.fptr_table)));
+    let target_name = t.fptr_table.(v) in
+    let target_id = t.fptr_ids.(v) in
+    if target_id < 0 then
+      raise (Runtime_error ("call to unknown function @" ^ target_name));
     let fptr_taint = if spec_on then operand_taint taint fptr else None in
     (match t.cfg.fwd_override with
-    | Some hook when not asm -> charge t (hook ~site ~target)
+    | Some hook when not asm -> charge t (hook ~site ~target:target_name)
     | Some _ | None ->
       let protection = if asm then Protection.F_none else t.cfg.fwd_protection site in
-      indirect_transfer t ~site ~target ~fptr_taint ~protection);
-    emit_edge t site f.fname target (if asm then Edge_asm else Edge_indirect);
-    let callee_f = lookup_func t target in
-    enter_code t callee_f;
-    Rsb.push t.trsb f.fname;
-    let result = exec_func t callee_f (List.map (operand_value regs) actuals) ~ret_to:f.fname in
-    (match (dst, result) with
-    | Some r, Some v -> regs.(r) <- v
-    | Some r, None -> regs.(r) <- 0
-    | None, _ -> ());
-    match dst with
-    | Some r when spec_on -> taint.(r) <- None
-    | _ -> ()
+      indirect_transfer t ~site ~target:target_id ~fptr_taint ~protection);
+    emit_edge t site f.fname target_name (if asm then Edge_asm else Edge_indirect);
+    invoke ~dst ~callee:(t.by_id.(target_id)) ~args
   in
   let exec_inst i =
     t.ctrs.insts <- t.ctrs.insts + 1;
     t.steps <- t.steps + 1;
     if t.steps > t.cfg.fuel then raise Out_of_fuel;
     match i with
-    | Assign (r, e) ->
+    | CAssign (r, e) ->
       let cost =
         match e with
         | Load _ -> Cost.load
@@ -300,31 +481,32 @@ let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option
       charge t cost;
       (if spec_on then taint.(r) <- taint_of_expr e);
       regs.(r) <- eval_expr e
-    | Store (a, v) ->
+    | CStore (a, v) ->
       charge t Cost.store;
       let addr = operand_value regs a in
       if addr < 0 || addr >= Array.length t.mem then
         raise (Runtime_error (Printf.sprintf "store out of bounds: %d in %s" addr f.fname))
       else t.mem.(addr) <- operand_value regs v
-    | Observe v ->
+    | CObserve v ->
       charge t Cost.observe;
       if t.cfg.record_trace then t.trace_rev <- operand_value regs v :: t.trace_rev
-    | Call { dst; callee; args; site; tail = _ } -> do_call ~dst ~callee ~args ~site
-    | Icall { dst; fptr; args; site } -> do_icall ~dst ~fptr ~args ~site ~asm:false
-    | Asm_icall { fptr; site } -> do_icall ~dst:None ~fptr ~args:[] ~site ~asm:true
+    | CCall { dst; callee; callee_id; args; site } ->
+      do_call ~dst ~callee ~callee_id ~args ~site
+    | CIcall { dst; fptr; args; site } -> do_icall ~dst ~fptr ~args ~site ~asm:false
+    | CAsm_icall { fptr; site } -> do_icall ~dst:None ~fptr ~args:[||] ~site ~asm:true
   in
   let do_ret v =
     t.ctrs.rets <- t.ctrs.rets + 1;
     charge t t.cfg.extra_ret_cycles;
-    let protection = t.cfg.bwd_protection f.fname in
+    let protection = t.bwds.(cf.id) in
     (match protection with
     | Protection.B_none | Protection.B_lvi ->
       let popped = Rsb.pop t.trsb in
-      let hit = match popped with Some p -> String.equal p ret_to | None -> false in
+      let hit = popped = ret_to in
       if not hit then t.ctrs.rsb_misses <- t.ctrs.rsb_misses + 1;
       charge t (Cost.backward_cost protection ~rsb_hit:hit);
       (match t.cfg.speculation with
-      | Some s when not (Protection.backward_stops_rsb_poisoning protection) -> (
+      | Some s when not (Protection.backward_stops_rsb_poisoning protection) ->
         (* An armed desynchronization means this return's prediction is
            attacker-controlled. *)
         (match Speculation.take_rsb_desync s with
@@ -332,36 +514,38 @@ let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option
           Speculation.record s
             { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
         | None -> ());
-        match popped with
-        | Some p when not (String.equal p ret_to) ->
+        if popped <> Rsb.none && popped <> ret_to then
           Speculation.record s
-            { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget = p }
-        | Some _ | None -> ())
+            {
+              Speculation.mechanism = Speculation.Ret2spec;
+              site_id = -1;
+              gadget = func_name t popped;
+            }
       | _ -> ())
     | Protection.B_ret_retpoline | Protection.B_fenced_ret_retpoline ->
       (* The sequence forces the top-of-RSB into a known state; the stale
          entry is consumed without being followed. *)
       ignore (Rsb.pop t.trsb);
       charge t (Cost.backward_cost protection ~rsb_hit:false));
-    t.ctrs.stack_bytes <- t.ctrs.stack_bytes - frame_bytes;
+    t.ctrs.stack_bytes <- t.ctrs.stack_bytes - cf.frame_bytes;
     (match t.cfg.on_exit with
     | Some h -> h f.fname
     | None -> ());
     v
   in
   let rec run_block label =
-    let b = Func.block f label in
-    Array.iter exec_inst b.insts;
+    let b = cf.cblocks.(label) in
+    Array.iter exec_inst b.cinsts;
     t.steps <- t.steps + 1;
     if t.steps > t.cfg.fuel then raise Out_of_fuel;
-    match b.term with
+    match b.cterm with
     | Jmp l ->
       charge t Cost.jmp;
       run_block l
     | Br (c, l1, l2) ->
       charge t Cost.br;
       let taken = operand_value regs c <> 0 in
-      let key = branch_key_base t f.fname + label in
+      let key = cf.key_base + label in
       if Pht.predict t.tpht ~key <> taken then begin
         t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
         charge t Cost.br_mispredict_penalty
@@ -393,7 +577,11 @@ let rec exec_func t (f : func) (args : int list) ~(ret_to : string) : int option
   run_block f.entry
 
 let call t name args =
-  let f = lookup_func t name in
+  let cf =
+    match Hashtbl.find_opt t.funcs name with
+    | Some cf -> cf
+    | None -> raise (Runtime_error ("call to unknown function @" ^ name))
+  in
   if t.cfg.rsb_refill then begin
     (* stuffing: 16 dummy pushes at the entry point *)
     charge t 12;
@@ -402,9 +590,11 @@ let call t name args =
     | Some s -> Speculation.clear_user_rsb_desync s
     | None -> ())
   end;
-  enter_code t f;
-  Rsb.push t.trsb "#top";
-  exec_func t f args ~ret_to:"#top"
+  enter_code t cf;
+  Rsb.push t.trsb top_id;
+  let regs = frame t ~depth:0 ~nregs:(max cf.f.nregs 1) in
+  List.iteri (fun i v -> if i < cf.f.params then regs.(i) <- v) args;
+  exec_func t cf regs ~depth:0 ~ret_to:top_id
 
 let speculation t = t.cfg.speculation
 

@@ -6,6 +6,18 @@
     costs depend on the protection looked up through the configuration
     (supplied by the hardening pass's image, or all-[none] by default).
 
+    [create] interns every function name to a dense integer id and
+    compiles the program into a pre-resolved form: direct-call targets and
+    fptr-table entries become function references, the BTB/RSB/i-cache are
+    keyed by id, per-function constants (PHT key base, frame bytes,
+    backward protection) are computed once, and register frames come from
+    a per-depth pool — so the per-call hot path performs no string
+    hashing, no hashtable probes, and no allocation.  Strings survive only
+    at the API edges (entry points, edge events, traces, errors).  The
+    compiled view is immutable and shared between engines created on the
+    same program (safe from multiple domains), so repeated [create] on one
+    image — attack drills, measurement cells — pays compilation once.
+
     The engine doubles as
     - the {e profiling binary}: [on_edge] observes every resolved call
       edge (the simulated LBR feed), and
@@ -100,6 +112,17 @@ val rsb : t -> Rsb.t
 val pht : t -> Pht.t
 val icache : t -> Icache.t
 val program : t -> Program.t
+
+val func_id : t -> string -> int
+(** The interned id of a function — the value the BTB/RSB/i-cache key on.
+    Raises [Runtime_error] for names not in the program. *)
+
+val func_name : t -> int -> string
+(** Inverse of {!func_id} ([top_id] renders as ["#top"]). *)
+
+val top_id : int
+(** Sentinel id of the synthetic top-of-stack return continuation pushed
+    before each top-level [call]. *)
 
 val speculation : t -> Speculation.t option
 (** The drill state this engine was configured with, if any. *)

@@ -1,46 +1,81 @@
+(* Int-keyed LRU over interned function ids.  The recency order is an
+   intrusive doubly-linked list threaded through id-indexed arrays, so a
+   touch is O(1) with no hashing and an eviction pops the list tail —
+   exactly the least-recently-stamped victim the seed's scan picked. *)
+
 type t = {
   capacity : int;
-  table : (string, int) Hashtbl.t;  (* name -> last-use stamp *)
-  sizes : (string, int) Hashtbl.t;
+  mutable sizes : int array;  (* id -> resident footprint; -1 = absent *)
+  mutable prev : int array;  (* toward the MRU end *)
+  mutable next : int array;  (* toward the LRU end *)
+  mutable head : int;  (* most recently used, -1 when empty *)
+  mutable tail : int;  (* least recently used, -1 when empty *)
   mutable used : int;
-  mutable clock : int;
   mutable misses : int;
   mutable hits : int;
 }
 
+let initial_ids = 256
+
 let create ~capacity_bytes =
   {
     capacity = capacity_bytes;
-    table = Hashtbl.create 256;
-    sizes = Hashtbl.create 256;
+    sizes = Array.make initial_ids (-1);
+    prev = Array.make initial_ids (-1);
+    next = Array.make initial_ids (-1);
+    head = -1;
+    tail = -1;
     used = 0;
-    clock = 0;
     misses = 0;
     hits = 0;
   }
 
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun name stamp ->
-      match !victim with
-      | Some (_, s) when s <= stamp -> ()
-      | _ -> victim := Some (name, stamp))
-    t.table;
-  match !victim with
-  | None -> ()
-  | Some (name, _) ->
-    t.used <- t.used - Hashtbl.find t.sizes name;
-    Hashtbl.remove t.table name;
-    Hashtbl.remove t.sizes name
+let ensure t id =
+  let n = Array.length t.sizes in
+  if id >= n then begin
+    let n' = max (2 * n) (id + 1) in
+    let grow a =
+      let a' = Array.make n' (-1) in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    t.sizes <- grow t.sizes;
+    t.prev <- grow t.prev;
+    t.next <- grow t.next
+  end
 
-let touch t ~name ~size =
+let unlink t id =
+  let p = t.prev.(id) and n = t.next.(id) in
+  if p = -1 then t.head <- n else t.next.(p) <- n;
+  if n = -1 then t.tail <- p else t.prev.(n) <- p;
+  t.prev.(id) <- -1;
+  t.next.(id) <- -1
+
+let push_front t id =
+  t.prev.(id) <- -1;
+  t.next.(id) <- t.head;
+  if t.head <> -1 then t.prev.(t.head) <- id;
+  t.head <- id;
+  if t.tail = -1 then t.tail <- id
+
+let evict_lru t =
+  let victim = t.tail in
+  if victim <> -1 then begin
+    t.used <- t.used - t.sizes.(victim);
+    t.sizes.(victim) <- -1;
+    unlink t victim
+  end
+
+let touch t ~id ~size =
   if t.capacity <= 0 then 0
   else begin
-    t.clock <- t.clock + 1;
-    if Hashtbl.mem t.table name then begin
-      Hashtbl.replace t.table name t.clock;
+    ensure t id;
+    if t.sizes.(id) >= 0 then begin
       t.hits <- t.hits + 1;
+      if t.head <> id then begin
+        unlink t id;
+        push_front t id
+      end;
       0
     end
     else begin
@@ -50,22 +85,25 @@ let touch t ~name ~size =
          cache, and the demand-fetched head that stalls the front-end is
          at most 1 KiB. *)
       let footprint = min (min size 8192) t.capacity in
-      while t.used + footprint > t.capacity && Hashtbl.length t.table > 0 do
+      while t.used + footprint > t.capacity && t.tail <> -1 do
         evict_lru t
       done;
-      Hashtbl.replace t.table name t.clock;
-      Hashtbl.replace t.sizes name footprint;
+      t.sizes.(id) <- footprint;
+      push_front t id;
       t.used <- t.used + footprint;
       let fetched = min footprint 1024 in
       Cost.icache_miss_base + (fetched / Cost.icache_line_bytes * Cost.icache_miss_per_line)
     end
   end
 
-let resident t name = Hashtbl.mem t.table name
+let resident t id = id >= 0 && id < Array.length t.sizes && t.sizes.(id) >= 0
 
 let flush t =
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.sizes;
+  Array.fill t.sizes 0 (Array.length t.sizes) (-1);
+  Array.fill t.prev 0 (Array.length t.prev) (-1);
+  Array.fill t.next 0 (Array.length t.next) (-1);
+  t.head <- -1;
+  t.tail <- -1;
   t.used <- 0
 
 let miss_count t = t.misses

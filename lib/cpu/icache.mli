@@ -5,18 +5,21 @@
     its footprint (capped at one page) and evicts least-recently-used
     residents until it fits.  This is the mechanism that makes unbounded
     inlining lose — exactly the trade-off PIBE's Rules 2 and 3 manage
-    (paper §5.2). *)
+    (paper §5.2).
+
+    Functions are keyed by interned id (see {!Engine.func_id}): a touch is
+    an O(1) array probe plus an intrusive-LRU relink, no string hashing. *)
 
 type t
 
 val create : capacity_bytes:int -> t
 (** Zero or negative capacity disables the model (all hits). *)
 
-val touch : t -> name:string -> size:int -> int
-(** Control transfer into [name] with code footprint [size] bytes; returns
-    the cycle penalty (0 on a hit). *)
+val touch : t -> id:int -> size:int -> int
+(** Control transfer into function [id] with code footprint [size] bytes;
+    returns the cycle penalty (0 on a hit).  [id] must be non-negative. *)
 
-val resident : t -> string -> bool
+val resident : t -> int -> bool
 val flush : t -> unit
 val miss_count : t -> int
 val hit_count : t -> int

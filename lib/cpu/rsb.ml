@@ -1,13 +1,15 @@
 type t = {
-  ring : string array;
+  ring : int array;
   size : int;
   mutable top : int;  (* next free slot *)
   mutable live : int;  (* valid entries, <= size *)
 }
 
+let none = min_int
+
 let create ?(depth = 16) () =
   if depth <= 0 then invalid_arg "Rsb.create: depth must be positive";
-  { ring = Array.make depth ""; size = depth; top = 0; live = 0 }
+  { ring = Array.make depth 0; size = depth; top = 0; live = 0 }
 
 let push t v =
   t.ring.(t.top) <- v;
@@ -15,11 +17,11 @@ let push t v =
   if t.live < t.size then t.live <- t.live + 1
 
 let pop t =
-  if t.live = 0 then None
+  if t.live = 0 then none
   else begin
     t.top <- (t.top + t.size - 1) mod t.size;
     t.live <- t.live - 1;
-    Some t.ring.(t.top)
+    t.ring.(t.top)
   end
 
 let poison t v =

@@ -5,19 +5,25 @@
     Over-deep call chains wrap around and lose the oldest entries, so the
     unwind mispredicts once it passes the buffer depth — one of the costs
     profile-guided inlining happens to reduce.  [poison] overwrites the
-    top entry, modelling Ret2spec-style pollution. *)
+    top entry, modelling Ret2spec-style pollution.
+
+    Entries are interned function ids (see {!Engine.func_id}); the hot
+    pop-and-compare path is int equality, no string hashing. *)
 
 type t
 
+val none : int
+(** Sentinel returned by {!pop} on underflow; never a valid id. *)
+
 val create : ?depth:int -> unit -> t
 
-val push : t -> string -> unit
+val push : t -> int -> unit
 (** Called on every call instruction with the return continuation. *)
 
-val pop : t -> string option
-(** Called on every return; [None] on underflow. *)
+val pop : t -> int
+(** Called on every return; [none] on underflow. *)
 
-val poison : t -> string -> unit
+val poison : t -> int -> unit
 (** Overwrites the current top (no-op semantics on an empty buffer: the
     entry becomes the next pop). *)
 

@@ -1,0 +1,31 @@
+(** Protection markers attached to indirect branches by the hardening
+    passes (the cycle costs live in [Pibe_cpu.Cost]; the byte costs in
+    [Pibe_harden.Thunks]).
+
+    Forward kinds protect indirect calls/jumps; backward kinds protect the
+    return instructions of a function.  [F_fenced_retpoline] is the paper's
+    Listing-7 sequence combining a retpoline with LVI fencing;
+    [B_fenced_ret_retpoline] is the corresponding combined backward-edge
+    sequence. *)
+
+type forward =
+  | F_none
+  | F_retpoline  (** Listing 4: Spectre-V2 safe *)
+  | F_lvi  (** Listing 5: LFENCE'd thunk, LVI safe *)
+  | F_fenced_retpoline  (** Listing 7: Spectre-V2 + LVI safe *)
+
+type backward =
+  | B_none
+  | B_ret_retpoline  (** Ret2spec/RSB safe *)
+  | B_lvi  (** Listing 6: LFENCE before return, LVI safe *)
+  | B_fenced_ret_retpoline  (** RSB + LVI safe *)
+
+val forward_name : forward -> string
+val backward_name : backward -> string
+
+(** Security properties used by the attack drills and the audit. *)
+
+val forward_stops_btb_injection : forward -> bool
+val forward_stops_lvi : forward -> bool
+val backward_stops_rsb_poisoning : backward -> bool
+val backward_stops_lvi : backward -> bool

@@ -1,0 +1,84 @@
+(* A small work-sharing domain pool.
+
+   [map] fans a list out over up to [jobs] domains (the caller counts as
+   one worker) and returns results in submission order, so a parallel run
+   is observably identical to the sequential one whenever the work items
+   are independent and deterministic.  A process-global counter bounds the
+   number of live helper domains across every pool, so nested or
+   concurrent [map] calls never oversubscribe the machine: when no slot is
+   available the caller simply processes items itself.  [jobs = 1] is
+   exactly today's sequential behaviour (no domain is ever spawned). *)
+
+type t = { jobs : int }
+
+(* Helper domains alive right now, and the most ever requested.  [limit]
+   only grows (to the largest [jobs - 1] any pool asked for), so a pool
+   created for 8 jobs is not throttled by an earlier 2-job pool. *)
+let live = Atomic.make 0
+let limit = Atomic.make 0
+
+let rec raise_limit n =
+  let cur = Atomic.get limit in
+  if n > cur && not (Atomic.compare_and_set limit cur n) then raise_limit n
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  raise_limit (jobs - 1);
+  { jobs }
+
+let jobs t = t.jobs
+
+let rec try_acquire () =
+  let cur = Atomic.get live in
+  if cur >= Atomic.get limit then false
+  else if Atomic.compare_and_set live cur (cur + 1) then true
+  else try_acquire ()
+
+let acquire want =
+  let got = ref 0 in
+  while !got < want && try_acquire () do
+    incr got
+  done;
+  !got
+
+let release n = ignore (Atomic.fetch_and_add live (-n))
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.jobs <= 1 -> List.map f xs
+  | _ ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f items.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          (* keep draining; the first failure is re-raised after the join
+             so no domain is left running *)
+          ignore (Atomic.compare_and_set failure None (Some e)));
+        worker ()
+      end
+    in
+    let extra = acquire (min (t.jobs - 1) (n - 1)) in
+    let domains = List.init extra (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    release extra;
+    (match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+
+let iter t f xs = ignore (map t (fun x -> f x) xs)

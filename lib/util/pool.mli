@@ -1,0 +1,24 @@
+(** Bounded domain pool for embarrassingly-parallel experiment cells.
+
+    One pool is created per process (sized by [--jobs], default
+    [Domain.recommended_domain_count]) and shared by every fan-out point:
+    a global token counter caps the number of live helper domains, so
+    nested or concurrent [map] calls never oversubscribe the machine —
+    callers that cannot get a token just do the work themselves. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is clamped to at least 1; default
+    [Domain.recommended_domain_count ()].  With [jobs = 1] no domain is
+    ever spawned and [map] is exactly [List.map]. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map], but items may be processed by up to [jobs] domains
+    concurrently.  Results come back in submission order; if any item
+    raises, the remaining items still drain and the first exception is
+    re-raised in the caller after all helper domains have joined. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit

@@ -14,5 +14,6 @@ let () =
       ("attack", Test_attack.suite);
       ("pipeline", Test_pipeline.suite);
       ("core", Test_core.suite);
+      ("measure", Test_measure.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -11,25 +11,26 @@ module Engine = Pibe_cpu.Engine
 
 (* ------------------------------- BTB -------------------------------- *)
 
+(* Predictor targets are interned function ids; tests use small ints. *)
+
 let test_btb_predicts_after_training () =
   let btb = Btb.create () in
-  Alcotest.(check (option string)) "cold" None (Btb.predict btb ~site:5);
-  Btb.train btb ~site:5 ~target:"f";
-  Alcotest.(check (option string)) "trained" (Some "f") (Btb.predict btb ~site:5)
+  Alcotest.(check int) "cold" Btb.no_target (Btb.predict btb ~site:5);
+  Btb.train btb ~site:5 ~target:7;
+  Alcotest.(check int) "trained" 7 (Btb.predict btb ~site:5)
 
 let test_btb_aliasing () =
   let btb = Btb.create ~entries:16 () in
   Alcotest.(check bool) "16-aliased" true (Btb.aliases btb 3 19);
-  Btb.train btb ~site:3 ~target:"gadget";
+  Btb.train btb ~site:3 ~target:42;
   (* the aliased victim site shares the attacker's slot *)
-  Alcotest.(check (option string)) "poisoned via alias" (Some "gadget")
-    (Btb.predict btb ~site:19)
+  Alcotest.(check int) "poisoned via alias" 42 (Btb.predict btb ~site:19)
 
 let test_btb_flush () =
   let btb = Btb.create () in
-  Btb.train btb ~site:1 ~target:"f";
+  Btb.train btb ~site:1 ~target:7;
   Btb.flush btb;
-  Alcotest.(check (option string)) "flushed" None (Btb.predict btb ~site:1)
+  Alcotest.(check int) "flushed" Btb.no_target (Btb.predict btb ~site:1)
 
 let test_btb_power_of_two () =
   Alcotest.check_raises "non power of two"
@@ -40,34 +41,34 @@ let test_btb_power_of_two () =
 
 let test_rsb_lifo () =
   let rsb = Rsb.create () in
-  Rsb.push rsb "a";
-  Rsb.push rsb "b";
-  Alcotest.(check (option string)) "pop b" (Some "b") (Rsb.pop rsb);
-  Alcotest.(check (option string)) "pop a" (Some "a") (Rsb.pop rsb);
-  Alcotest.(check (option string)) "underflow" None (Rsb.pop rsb)
+  Rsb.push rsb 1;
+  Rsb.push rsb 2;
+  Alcotest.(check int) "pop b" 2 (Rsb.pop rsb);
+  Alcotest.(check int) "pop a" 1 (Rsb.pop rsb);
+  Alcotest.(check int) "underflow" Rsb.none (Rsb.pop rsb)
 
 let test_rsb_wraparound_loses_oldest () =
   let rsb = Rsb.create ~depth:4 () in
-  List.iter (Rsb.push rsb) [ "a"; "b"; "c"; "d"; "e" ];
+  List.iter (Rsb.push rsb) [ 1; 2; 3; 4; 5 ];
   Alcotest.(check int) "occupancy capped" 4 (Rsb.occupancy rsb);
-  Alcotest.(check (option string)) "newest first" (Some "e") (Rsb.pop rsb);
+  Alcotest.(check int) "newest first" 5 (Rsb.pop rsb);
   ignore (Rsb.pop rsb);
   ignore (Rsb.pop rsb);
-  Alcotest.(check (option string)) "b survived" (Some "b") (Rsb.pop rsb);
-  Alcotest.(check (option string)) "a was overwritten" None (Rsb.pop rsb)
+  Alcotest.(check int) "b survived" 2 (Rsb.pop rsb);
+  Alcotest.(check int) "a was overwritten" Rsb.none (Rsb.pop rsb)
 
 let test_rsb_poison_overwrites_top () =
   let rsb = Rsb.create () in
-  Rsb.push rsb "legit";
-  Rsb.poison rsb "gadget";
-  Alcotest.(check (option string)) "poisoned" (Some "gadget") (Rsb.pop rsb)
+  Rsb.push rsb 1;
+  Rsb.poison rsb 9;
+  Alcotest.(check int) "poisoned" 9 (Rsb.pop rsb)
 
 (* ------------------------------ Icache ------------------------------ *)
 
 let test_icache_hit_after_miss () =
   let ic = Icache.create ~capacity_bytes:4096 in
-  let p1 = Icache.touch ic ~name:"f" ~size:512 in
-  let p2 = Icache.touch ic ~name:"f" ~size:512 in
+  let p1 = Icache.touch ic ~id:0 ~size:512 in
+  let p2 = Icache.touch ic ~id:0 ~size:512 in
   Alcotest.(check bool) "miss costs" true (p1 > 0);
   Alcotest.(check int) "hit free" 0 p2;
   Alcotest.(check int) "one miss" 1 (Icache.miss_count ic);
@@ -75,23 +76,28 @@ let test_icache_hit_after_miss () =
 
 let test_icache_lru_eviction () =
   let ic = Icache.create ~capacity_bytes:1024 in
-  ignore (Icache.touch ic ~name:"a" ~size:512);
-  ignore (Icache.touch ic ~name:"b" ~size:512);
-  ignore (Icache.touch ic ~name:"a" ~size:512) (* refresh a *);
-  ignore (Icache.touch ic ~name:"c" ~size:512) (* evicts b (LRU) *);
-  Alcotest.(check bool) "a resident" true (Icache.resident ic "a");
-  Alcotest.(check bool) "b evicted" false (Icache.resident ic "b");
-  Alcotest.(check bool) "c resident" true (Icache.resident ic "c")
+  let a = 0 and b = 1 and c = 2 in
+  ignore (Icache.touch ic ~id:a ~size:512);
+  ignore (Icache.touch ic ~id:b ~size:512);
+  ignore (Icache.touch ic ~id:a ~size:512) (* refresh a *);
+  ignore (Icache.touch ic ~id:c ~size:512) (* evicts b (LRU) *);
+  Alcotest.(check bool) "a resident" true (Icache.resident ic a);
+  Alcotest.(check bool) "b evicted" false (Icache.resident ic b);
+  Alcotest.(check bool) "c resident" true (Icache.resident ic c)
 
 let test_icache_disabled () =
   let ic = Icache.create ~capacity_bytes:0 in
-  Alcotest.(check int) "no penalty" 0 (Icache.touch ic ~name:"f" ~size:4096)
+  Alcotest.(check int) "no penalty" 0 (Icache.touch ic ~id:0 ~size:4096)
 
 let test_icache_bigger_functions_cost_more () =
   let ic = Icache.create ~capacity_bytes:65536 in
-  let small = Icache.touch ic ~name:"s" ~size:64 in
-  let big = Icache.touch ic ~name:"b" ~size:2048 in
-  Alcotest.(check bool) "monotone" true (big > small)
+  let small = Icache.touch ic ~id:0 ~size:64 in
+  let big = Icache.touch ic ~id:1 ~size:2048 in
+  Alcotest.(check bool) "monotone" true (big > small);
+  (* ids are engine-interned and dense, but the cache itself grows to any
+     id on demand *)
+  ignore (Icache.touch ic ~id:5000 ~size:64);
+  Alcotest.(check bool) "sparse id resident" true (Icache.resident ic 5000)
 
 (* ------------------------------- PHT -------------------------------- *)
 

@@ -1,0 +1,216 @@
+(* Engine-parity suite: pins the interned-ID interpreter to a golden
+   fingerprint captured from the original string-keyed engine (same
+   kernel: scale 1, generator seed 42; workload rng 123, 25 iterations of
+   every LMBench op).  Any change to cycle accounting, speculation
+   outcomes, or measured latencies — however small — fails here.
+
+   Also checks that a parallel environment ([jobs > 1]) produces exactly
+   the same numbers as the sequential one. *)
+
+module Pass = Pibe_harden.Pass
+module Engine = Pibe_cpu.Engine
+module Gen = Pibe_kernel.Gen
+module Workload = Pibe_kernel.Workload
+
+let defense_sets =
+  [
+    ("none", Pass.no_defenses);
+    ("retpolines", { Pass.retpolines = true; ret_retpolines = false; lvi = false });
+    ("ret-retpolines", { Pass.retpolines = false; ret_retpolines = true; lvi = false });
+    ("lvi", { Pass.retpolines = false; ret_retpolines = false; lvi = true });
+    ("all", Pass.all_defenses);
+  ]
+
+let kernel = lazy (Gen.generate { Pibe_kernel.Ctx.seed = 42; scale = 1 })
+
+let run_workload info engine =
+  let rng = Pibe_util.Rng.create 123 in
+  List.iter
+    (fun (op : Workload.op) ->
+      for _ = 1 to 25 do
+        op.Workload.run engine rng
+      done)
+    (Workload.lmbench info)
+
+(* (set, cycles, btb misses); calls/icalls/rets/insts/rsb/pht/peak are
+   identical across defense sets and pinned once below. *)
+let golden_engine =
+  [
+    ("none", 773129, 482);
+    ("retpolines", 892218, 3);
+    ("ret-retpolines", 1197544, 482);
+    ("lvi", 1119579, 3);
+    ("all", 1831910, 3);
+  ]
+
+let test_engine_fingerprint () =
+  let info = Lazy.force kernel in
+  List.iter
+    (fun (name, defenses) ->
+      let cycles, btbm =
+        let _, c, b = List.find (fun (n, _, _) -> String.equal n name) golden_engine in
+        (c, b)
+      in
+      let image = Pass.harden info.Gen.prog defenses in
+      let engine = Engine.create ~config:(Pass.engine_config image) image.Pass.prog in
+      run_workload info engine;
+      let c = Engine.counters engine in
+      Alcotest.(check int) (name ^ " cycles") cycles (Engine.cycles engine);
+      Alcotest.(check int) (name ^ " btb misses") btbm c.Engine.btb_misses;
+      Alcotest.(check int) (name ^ " calls") 19394 c.Engine.calls;
+      Alcotest.(check int) (name ^ " icalls") 5724 c.Engine.icalls;
+      Alcotest.(check int) (name ^ " rets") 26018 c.Engine.rets;
+      Alcotest.(check int) (name ^ " insts") 563490 c.Engine.insts;
+      Alcotest.(check int) (name ^ " rsb misses") 0 c.Engine.rsb_misses;
+      Alcotest.(check int) (name ^ " pht misses") 3358 c.Engine.pht_misses;
+      Alcotest.(check int) (name ^ " peak stack") 1008 c.Engine.peak_stack_bytes)
+    defense_sets
+
+(* (set, mechanism, gadget reached, attacker-visible transient entries) *)
+let golden_attacks =
+  [
+    ("none", "spectre-v2", true, 1);
+    ("none", "ret2spec", true, 1);
+    ("none", "lvi", true, 1);
+    ("retpolines", "spectre-v2", false, 0);
+    ("retpolines", "ret2spec", true, 1);
+    ("retpolines", "lvi", true, 1);
+    ("ret-retpolines", "spectre-v2", true, 1);
+    ("ret-retpolines", "ret2spec", false, 0);
+    ("ret-retpolines", "lvi", true, 1);
+    ("lvi", "spectre-v2", true, 1);
+    ("lvi", "ret2spec", true, 1);
+    ("lvi", "lvi", false, 0);
+    ("all", "spectre-v2", false, 0);
+    ("all", "ret2spec", false, 0);
+    ("all", "lvi", false, 0);
+  ]
+
+let test_attack_fingerprint () =
+  let info = Lazy.force kernel in
+  List.iter
+    (fun (name, defenses) ->
+      let image = Pass.harden info.Gen.prog defenses in
+      let spec = Pibe_cpu.Speculation.create () in
+      let config = { (Pass.engine_config image) with Engine.speculation = Some spec } in
+      let engine = Engine.create ~config image.Pass.prog in
+      let outcomes =
+        Pibe_cpu.Attack.run_all engine ~victim_site:info.Gen.victim_icall_site
+          ~poisoned_addr:info.Gen.victim_ops_addr ~gadget_fptr:info.Gen.gadget_fptr
+          ~gadget:info.Gen.gadget ~entry:info.Gen.entry
+          ~args:[ Gen.nr info "read"; 0; 5 ]
+      in
+      List.iter
+        (fun (mechanism, (o : Pibe_cpu.Attack.outcome)) ->
+          let _, _, reached, entries =
+            List.find
+              (fun (n, m, _, _) -> String.equal n name && String.equal m mechanism)
+              golden_attacks
+          in
+          Alcotest.(check bool)
+            (name ^ " " ^ mechanism ^ " reached")
+            reached o.Pibe_cpu.Attack.gadget_reached;
+          Alcotest.(check int)
+            (name ^ " " ^ mechanism ^ " entries")
+            entries
+            (List.length o.Pibe_cpu.Attack.transient_entries))
+        outcomes)
+    defense_sets
+
+let golden_lto =
+  [
+    ("null", 207.1); ("read", 471.1); ("write", 450.966667); ("open", 1283.933333);
+    ("stat", 703.566667); ("fstat", 365.066667); ("af_unix", 919.9);
+    ("fork/exit", 1370.9); ("fork/exec", 3893.033333); ("fork/shell", 8096.333333);
+    ("pipe", 794.833333); ("select_file", 1114.7); ("select_tcp", 2108.7);
+    ("tcp_conn", 917.833333); ("udp", 895.3); ("tcp", 1003.466667);
+    ("mmap", 459.5); ("page_fault", 313.733333); ("sig_install", 290.0);
+    ("sig_dispatch", 342.633333);
+  ]
+
+let golden_all_defenses =
+  [
+    ("null", 314.166667); ("read", 1075.533333); ("write", 1022.666667);
+    ("open", 3223.4); ("stat", 1530.5); ("fstat", 737.566667);
+    ("af_unix", 2110.2); ("fork/exit", 3100.633333); ("fork/exec", 9520.133333);
+    ("fork/shell", 19253.266667); ("pipe", 1825.533333);
+    ("select_file", 4581.766667); ("select_tcp", 10621.766667);
+    ("tcp_conn", 2241.933333); ("udp", 2043.266667); ("tcp", 2346.866667);
+    ("mmap", 960.566667); ("page_fault", 556.333333); ("sig_install", 535.066667);
+    ("sig_dispatch", 706.833333);
+  ]
+
+let golden_geomean = 133.326815508
+
+let check_latencies label golden measured =
+  Alcotest.(check int)
+    (label ^ " suite size") (List.length golden) (List.length measured);
+  List.iter2
+    (fun (op, want) (op', got) ->
+      Alcotest.(check string) (label ^ " op order") op op';
+      Alcotest.(check (float 1e-5)) (label ^ " " ^ op) want got)
+    golden measured
+
+let test_latency_fingerprint () =
+  let env = Pibe.Env.quick () in
+  let defended = Pibe.Exp_common.lto_with Pass.all_defenses in
+  check_latencies "lto" golden_lto (Pibe.Env.latencies env Pibe.Config.lto);
+  check_latencies "all-defenses" golden_all_defenses (Pibe.Env.latencies env defended);
+  Alcotest.(check (float 1e-6))
+    "geomean overhead" golden_geomean
+    (Pibe.Env.geomean_overhead env ~baseline:Pibe.Config.lto defended)
+
+(* A 4-job environment must reproduce the sequential numbers exactly —
+   the parallel runner only reorders *when* cells are computed. *)
+let test_jobs_parity () =
+  let configs =
+    [
+      Pibe.Config.lto;
+      Pibe.Exp_common.lto_with Pibe.Exp_common.retpolines_only;
+      Pibe.Exp_common.lto_with Pass.all_defenses;
+      Pibe.Exp_common.icp_only ~budget:99.999 Pibe.Exp_common.retpolines_only;
+    ]
+  in
+  let seq = Pibe.Env.quick ~jobs:1 () in
+  let par = Pibe.Env.quick ~jobs:4 () in
+  Pibe.Env.warm par configs;
+  List.iter
+    (fun config ->
+      List.iter2
+        (fun (op, a) (op', b) ->
+          Alcotest.(check string) "op order" op op';
+          Alcotest.(check (float 0.0)) ("jobs parity: " ^ op) a b)
+        (Pibe.Env.latencies seq config)
+        (Pibe.Env.latencies par config))
+    configs;
+  List.iter
+    (fun config ->
+      Alcotest.(check (float 0.0))
+        "jobs parity: geomean"
+        (Pibe.Env.geomean_overhead seq ~baseline:Pibe.Config.lto config)
+        (Pibe.Env.geomean_overhead par ~baseline:Pibe.Config.lto config))
+    (List.tl configs)
+
+let test_pool_map () =
+  let pool = Pibe_util.Pool.create ~jobs:4 () in
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "map order" (List.map (fun x -> x * x) xs)
+    (Pibe_util.Pool.map pool (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty" [] (Pibe_util.Pool.map pool (fun x -> x) []);
+  (match Pibe_util.Pool.map pool (fun x -> if x = 7 then failwith "boom" else x) xs with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "exception" "boom" msg);
+  (* after a failing map the pool is still usable *)
+  Alcotest.(check (list int))
+    "map after failure" [ 2; 4; 6 ]
+    (Pibe_util.Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "engine fingerprint vs seed" `Quick test_engine_fingerprint;
+    Alcotest.test_case "attack fingerprint vs seed" `Quick test_attack_fingerprint;
+    Alcotest.test_case "latency fingerprint vs seed" `Quick test_latency_fingerprint;
+    Alcotest.test_case "jobs=4 equals jobs=1" `Quick test_jobs_parity;
+    Alcotest.test_case "pool map semantics" `Quick test_pool_map;
+  ]

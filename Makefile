@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke clean
 
 all: build
 
@@ -7,6 +7,15 @@ build:
 
 test:
 	dune runtest
+
+# Everything a PR must keep green: build, the full test suite, and a
+# pass-manager smoke run with inter-pass IR validation on.
+check:
+	dune build
+	dune runtest
+	dune exec bin/pibe_cli.exe -- pipeline --scale 1 \
+	  --passes "icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline,ret-retpoline" \
+	  --verify
 
 # Full evaluation: every table/figure of the paper at benchmark scale.
 bench:

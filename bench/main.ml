@@ -5,7 +5,8 @@
    Usage:
      bench/main.exe                 regenerate everything (paper order)
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
-                                    --security, --ablation, --listings)
+                                    --security, --ablation, --passes,
+                                    --listings)
      bench/main.exe --quick         small kernel / fast settings
      bench/main.exe --jobs N        build/measure independent cells on up
                                     to N domains (1 = fully sequential;
@@ -51,6 +52,9 @@ let parse_args () =
       go rest
     | "--ablation" :: rest ->
       selected := "ablation" :: !selected;
+      go rest
+    | "--passes" :: rest ->
+      selected := "passes" :: !selected;
       go rest
     | "--listings" :: rest ->
       selected := "listings" :: !selected;

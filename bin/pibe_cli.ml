@@ -27,6 +27,18 @@ let budget_arg =
   let doc = "Optimization budget (percent of cumulative profile weight)." in
   Arg.(value & opt float 99.999 & info [ "budget" ] ~docv:"PCT" ~doc)
 
+let passes_arg =
+  let doc =
+    "Run this textual pipeline spec instead of the built-in configuration, \
+     e.g. 'icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline'. \
+     See 'experiment list' and the README for the registered passes."
+  in
+  Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"SPEC" ~doc)
+
+let verify_arg =
+  let doc = "Run the IR validator between every pass." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
 let parse_defenses = function
   | "none" -> Ok Pibe_harden.Pass.no_defenses
   | "retpolines" | "retp" ->
@@ -60,7 +72,47 @@ let kernel_stats seed scale =
     v1.Pibe_harden.V1_scan.conditional_branches;
   0
 
-let pipeline seed scale defenses budget =
+let print_image_summary image =
+  let report = Pibe_harden.Audit.run image in
+  Printf.printf "audit:  %d defended icalls, %d vulnerable (asm %d), %d ijumps left\n"
+    report.Pibe_harden.Audit.defended_icalls report.Pibe_harden.Audit.vulnerable_icalls
+    report.Pibe_harden.Audit.asm_icalls report.Pibe_harden.Audit.vulnerable_ijumps;
+  Printf.printf "image:  %d bytes\n" (Pibe_harden.Pass.image_bytes image)
+
+(* Run a hand-written pipeline spec under the pass manager and print the
+   per-pass instrumentation. *)
+let pipeline_spec ~seed ~scale ~verify text =
+  match Pibe_pm.Spec.of_string text with
+  | Error e ->
+    Printf.eprintf "invalid pipeline spec: %s\n" e;
+    1
+  | Ok spec -> (
+    let info = gen ~seed ~scale in
+    let env = Pibe.Env.create ~scale ~seed () in
+    let profile = Pibe.Env.lmbench_profile env in
+    match Pibe.Pipeline.run_spec ~verify info.Pibe_kernel.Gen.prog profile spec with
+    | Error e ->
+      Printf.eprintf "invalid pipeline spec: %s\n" e;
+      1
+    | Ok result ->
+      Printf.printf "spec:   %s%s\n"
+        (Pibe_pm.Spec.to_string spec)
+        (if verify then "  (validating between passes)" else "");
+      Pibe_util.Tbl.print (Pibe_pm.Manager.table result.Pibe_pm.Manager.passes);
+      List.iter
+        (fun (s : Pibe_pm.Manager.pass_stats) ->
+          List.iter
+            (fun line -> Printf.printf "  %s: %s\n" s.Pibe_pm.Manager.pass line)
+            (Pibe_pm.Manager.detail_lines s))
+        result.Pibe_pm.Manager.passes;
+      Printf.printf "total:  %.1f ms\n" (1000.0 *. result.Pibe_pm.Manager.wall_s);
+      print_image_summary result.Pibe_pm.Manager.image;
+      0)
+
+let pipeline seed scale defenses budget passes verify =
+  match passes with
+  | Some text -> pipeline_spec ~seed ~scale ~verify text
+  | None -> (
   match parse_defenses defenses with
   | Error e ->
     prerr_endline e;
@@ -75,7 +127,7 @@ let pipeline seed scale defenses budget =
         opt = Pibe.Config.Full { icp_budget = budget; inline_budget = budget; lax = false };
       }
     in
-    let built = Pibe.Pipeline.build info.Pibe_kernel.Gen.prog profile config in
+    let built = Pibe.Pipeline.build ~verify info.Pibe_kernel.Gen.prog profile config in
     (match built.Pibe.Pipeline.icp_stats with
     | Some s ->
       Printf.printf "icp:    %d sites, %d targets promoted (%d of %d weight)\n"
@@ -88,15 +140,10 @@ let pipeline seed scale defenses budget =
         s.Pibe_opt.Inliner.inlined_sites s.Pibe_opt.Inliner.inlined_weight
         s.Pibe_opt.Inliner.total_weight
     | None -> ());
-    let report = Pibe_harden.Audit.run built.Pibe.Pipeline.image in
-    Printf.printf "audit:  %d defended icalls, %d vulnerable (asm %d), %d ijumps left\n"
-      report.Pibe_harden.Audit.defended_icalls report.Pibe_harden.Audit.vulnerable_icalls
-      report.Pibe_harden.Audit.asm_icalls report.Pibe_harden.Audit.vulnerable_ijumps;
-    Printf.printf "image:  %d bytes\n"
-      (Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image);
+    print_image_summary built.Pibe.Pipeline.image;
     let geo = Pibe.Env.geomean_overhead env ~baseline:Pibe.Config.lto config in
     Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
-    0
+    0)
 
 let experiment name seed scale quick jobs =
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
@@ -236,7 +283,11 @@ let perf seed scale defenses budget op_name topn =
           built.Pibe.Pipeline.image.Pibe_harden.Pass.prog ~run
       in
       Printf.printf "--- %s (%d total cycles) ---\n" label (Pibe.Perf.total_cycles p);
-      Pibe_util.Tbl.print (Pibe.Perf.to_table ~n:topn p)
+      Pibe_util.Tbl.print (Pibe.Perf.to_table ~n:topn p);
+      Pibe_util.Tbl.print
+        (Pibe_pm.Manager.table
+           ~title:(Printf.sprintf "Build passes: %s" label)
+           built.Pibe.Pipeline.pass_stats)
     in
     show "unoptimized" (Pibe.Exp_common.lto_with d);
     show "PIBE optimized"
@@ -294,7 +345,9 @@ let kernel_stats_cmd =
 let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full profile/optimize/harden pipeline")
-    Term.(const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg)
+    Term.(
+      const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ passes_arg
+      $ verify_arg)
 
 let experiment_cmd =
   let id_arg =

@@ -16,6 +16,7 @@ type t = {
   seed : int;
   msettings : Measure.settings;
   profile_iters : int;
+  verify : bool;
   pool : Pool.t;
   lock : Mutex.t;
   mutable kernel : Pibe_kernel.Gen.info option;
@@ -26,12 +27,13 @@ type t = {
 }
 
 let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
-    ?(profile_iters = 300) ?(jobs = 1) () =
+    ?(profile_iters = 300) ?(jobs = 1) ?(verify = false) () =
   {
     scale;
     seed;
     msettings = settings;
     profile_iters;
+    verify;
     pool = Pool.create ~jobs ();
     lock = Mutex.create ();
     kernel = None;
@@ -41,8 +43,8 @@ let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
     lat_cache = Hashtbl.create 16;
   }
 
-let quick ?(jobs = 1) () =
-  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ()
+let quick ?(jobs = 1) ?(verify = true) () =
+  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ~verify ()
 
 let pool t = t.pool
 let jobs t = Pool.jobs t.pool
@@ -121,7 +123,7 @@ let build t config =
   | None ->
     let i = info t in
     let profile = lmbench_profile t in
-    let b = Pipeline.build i.Pibe_kernel.Gen.prog profile config in
+    let b = Pipeline.build ~verify:t.verify i.Pibe_kernel.Gen.prog profile config in
     locked t (fun () ->
         match Hashtbl.find_opt t.builds config with
         | Some b -> b
@@ -131,7 +133,7 @@ let build t config =
 
 let build_with_profile t ~profile config =
   let i = info t in
-  Pipeline.build i.Pibe_kernel.Gen.prog profile config
+  Pipeline.build ~verify:t.verify i.Pibe_kernel.Gen.prog profile config
 
 let latencies t config =
   match locked t (fun () -> Hashtbl.find_opt t.lat_cache config) with

@@ -18,14 +18,17 @@ val create :
   ?settings:Measure.settings ->
   ?profile_iters:int ->
   ?jobs:int ->
+  ?verify:bool ->
   unit ->
   t
 (** Defaults: scale 3, seed 42, [Measure.default_settings], 300 profiling
-    iterations per micro-op, [jobs] 1 (fully sequential). *)
+    iterations per micro-op, [jobs] 1 (fully sequential), [verify] false
+    (release builds skip the IR validator between pipeline passes). *)
 
-val quick : ?jobs:int -> unit -> t
+val quick : ?jobs:int -> ?verify:bool -> unit -> t
 (** Small and fast, for unit tests: scale 1, quick settings, 60 profiling
-    iterations. *)
+    iterations; [verify] defaults to {e true} so tests keep validating the
+    IR between every pipeline pass. *)
 
 val pool : t -> Pibe_util.Pool.t
 val jobs : t -> int

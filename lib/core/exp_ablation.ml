@@ -26,7 +26,7 @@ let geo_of_image env ?(icache = true) built =
 (* Full optimization with the inliner's size rules disabled entirely. *)
 let no_rules_build env =
   let info = Env.info env in
-  let profile = Pipeline.copy_profile (Env.lmbench_profile env) in
+  let profile = Profile.copy (Env.lmbench_profile env) in
   let prog, _ =
     Pibe_opt.Icp.run info.Pibe_kernel.Gen.prog profile
       { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = 99.999 }
@@ -49,12 +49,13 @@ let no_rules_build env =
     inline_stats = None;
     llvm_inline_stats = None;
     post_icp_profile = profile;
+    pass_stats = [];
   }
 
 (* ICP limited to one promoted target per site. *)
 let top1_build env =
   let info = Env.info env in
-  let profile = Pipeline.copy_profile (Env.lmbench_profile env) in
+  let profile = Profile.copy (Env.lmbench_profile env) in
   let prog, _ =
     Pibe_opt.Icp.run info.Pibe_kernel.Gen.prog profile
       { Pibe_opt.Icp.budget_pct = 99.999; max_targets = Some 1 }
@@ -68,6 +69,7 @@ let top1_build env =
     inline_stats = None;
     llvm_inline_stats = None;
     post_icp_profile = profile;
+    pass_stats = [];
   }
 
 let run env =

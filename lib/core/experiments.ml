@@ -126,6 +126,12 @@ let all =
       description = "ablations of PIBE's design choices";
       run = one Exp_ablation.run;
     };
+    {
+      id = "passes";
+      paper_ref = "DESIGN.md section 2";
+      description = "extension: per-pass pipeline instrumentation (pass manager)";
+      run = Exp_passes.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -1,5 +1,8 @@
-open Pibe_ir
 module Profile = Pibe_profile.Profile
+module Spec = Pibe_pm.Spec
+module Registry = Pibe_pm.Registry
+module Manager = Pibe_pm.Manager
+module Pm_pass = Pibe_pm.Pass
 
 type built = {
   image : Pibe_harden.Pass.image;
@@ -8,6 +11,7 @@ type built = {
   inline_stats : Pibe_opt.Inliner.stats option;
   llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
   post_icp_profile : Profile.t;
+  pass_stats : Manager.pass_stats list;
 }
 
 let profile prog ~run =
@@ -22,60 +26,67 @@ let profile prog ~run =
   run engine;
   Pibe_profile.Collector.lift collector
 
-let copy_profile p = Profile.merge p (Profile.create ())
+(* ----------------------- Config -> pipeline spec ----------------------- *)
+
+let budget b = ("budget", Some (Spec.float_arg b))
 
 (* Scalar cleanup runs in every configuration: it is part of the plain
    LTO pipeline the paper's baseline uses, and it is what converts the
    inliner's opportunities (propagated constants, dead argument moves)
    into actual savings. *)
-let cleanup prog =
-  let prog = Pibe_opt.Cleanup.run prog in
-  Validate.check_exn prog;
-  prog
-
-let optimize prog profile opt =
-  let profile = copy_profile profile in
-  match opt with
-  | Config.No_opt -> (cleanup prog, None, None, None, profile)
-  | Config.Icp_only { budget } ->
-    let prog, icp_stats = Pibe_opt.Icp.run prog profile { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = budget } in
-    Validate.check_exn prog;
-    (cleanup prog, Some icp_stats, None, None, profile)
+let opt_spec = function
+  | Config.No_opt -> [ Spec.elem "cleanup" ]
+  | Config.Icp_only { budget = b } ->
+    [ Spec.elem ~args:[ budget b ] "icp"; Spec.elem "cleanup" ]
   | Config.Full { icp_budget; inline_budget; lax } ->
-    let prog, icp_stats =
-      Pibe_opt.Icp.run prog profile
-        { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
-    in
-    Validate.check_exn prog;
-    let inline_config =
-      {
-        Pibe_opt.Inliner.default_config with
-        Pibe_opt.Inliner.budget_pct = inline_budget;
-        lax_within_pct = (if lax then Some 99.0 else None);
-      }
-    in
-    let prog, inline_stats = Pibe_opt.Inliner.run prog profile inline_config in
-    Validate.check_exn prog;
-    (cleanup prog, Some icp_stats, Some inline_stats, None, profile)
+    [
+      Spec.elem ~args:[ budget icp_budget ] "icp";
+      Spec.elem
+        ~args:(budget inline_budget :: (if lax then [ ("lax", None) ] else []))
+        "inline";
+      Spec.elem "cleanup";
+    ]
   | Config.Llvm_pgo { icp_budget; inline_budget } ->
-    let prog, icp_stats =
-      Pibe_opt.Icp.run prog profile
-        { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
-    in
-    Validate.check_exn prog;
-    let cfg =
-      { Pibe_opt.Llvm_inliner.default_config with Pibe_opt.Llvm_inliner.budget_pct = inline_budget }
-    in
-    let prog, llvm_stats = Pibe_opt.Llvm_inliner.run prog profile cfg in
-    Validate.check_exn prog;
-    (cleanup prog, Some icp_stats, None, Some llvm_stats, profile)
+    [
+      Spec.elem ~args:[ budget icp_budget ] "icp";
+      Spec.elem ~args:[ budget inline_budget ] "llvm-inline";
+      Spec.elem "cleanup";
+    ]
 
-let build prog profile config =
-  let prog, icp_stats, inline_stats, llvm_inline_stats, post_icp_profile =
-    optimize prog profile config.Config.opt
+let defense_spec (d : Pibe_harden.Pass.defenses) =
+  (if d.Pibe_harden.Pass.retpolines then [ Spec.elem "retpoline" ] else [])
+  @ (if d.Pibe_harden.Pass.ret_retpolines then [ Spec.elem "ret-retpoline" ] else [])
+  @ if d.Pibe_harden.Pass.lvi then [ Spec.elem "lvi-cfi" ] else []
+
+let spec_of_config (c : Config.t) = opt_spec c.Config.opt @ defense_spec c.Config.defenses
+
+(* ------------------------------ driver ------------------------------ *)
+
+let run_spec ?verify ?check prog profile spec =
+  match Registry.of_spec spec with
+  | Error _ as e -> e
+  | Ok passes -> Ok (Manager.run ?verify ?check prog profile passes)
+
+let build ?(verify = false) prog profile config =
+  let spec = spec_of_config config in
+  let r =
+    match run_spec ~verify prog profile spec with
+    | Ok r -> r
+    | Error e ->
+      (* Every [Config] variant lowers to registered passes; reaching this
+         means the lowering and the registry have diverged. *)
+      invalid_arg (Printf.sprintf "Pipeline.build: bad lowered spec %S: %s" (Spec.to_string spec) e)
   in
-  let image = Pibe_harden.Pass.harden prog config.Config.defenses in
-  { image; config; icp_stats; inline_stats; llvm_inline_stats; post_icp_profile }
+  let detail f = List.find_map (fun (s : Manager.pass_stats) -> f s.Manager.detail) r.Manager.passes in
+  {
+    image = r.Manager.image;
+    config;
+    icp_stats = detail (function Pm_pass.Icp s -> Some s | _ -> None);
+    inline_stats = detail (function Pm_pass.Inline s -> Some s | _ -> None);
+    llvm_inline_stats = detail (function Pm_pass.Llvm_inline s -> Some s | _ -> None);
+    post_icp_profile = r.Manager.profile;
+    pass_stats = r.Manager.passes;
+  }
 
 let engine ?base built =
   let config = Pibe_harden.Pass.engine_config ?base built.image in

@@ -1,10 +1,15 @@
-(** The two-phase PIBE pipeline (paper §4).
+(** The two-phase PIBE pipeline (paper §4), as a thin driver over the
+    pass manager.
 
     Phase 1 runs a profiling image of the program under a representative
     workload, collecting edge counts at the binary level and lifting them
-    back to IR identities.  Phase 2 copies the lifted profile, runs the
-    configured optimization passes (ICP first, then the inliner — each
-    validated), and hardens every remaining indirect branch. *)
+    back to IR identities.  Phase 2 lowers the configuration to a textual
+    pipeline spec (see {!Pibe_pm.Spec}), resolves it against the pass
+    registry, and runs it under the manager: the profile is copied, each
+    pass is timed and IR-delta-instrumented, and the remaining indirect
+    branches are hardened into an image.  [verify] (off by default in
+    release runs, on in the test environments) re-validates the IR between
+    every pass. *)
 
 open Pibe_ir
 
@@ -16,6 +21,8 @@ type built = {
   llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
   post_icp_profile : Pibe_profile.Profile.t;
       (** the profile as mutated by ICP (promoted sites are direct now) *)
+  pass_stats : Pibe_pm.Manager.pass_stats list;
+      (** per-pass wall-clock time and IR deltas, in execution order *)
 }
 
 val profile :
@@ -23,21 +30,25 @@ val profile :
 (** Phase 1: build the profiling engine (edge hook -> LBR -> collector),
     run the workload, lift. *)
 
-val copy_profile : Pibe_profile.Profile.t -> Pibe_profile.Profile.t
+val spec_of_config : Config.t -> Pibe_pm.Spec.t
+(** Lowers a configuration to its pipeline spec, e.g. [pibe_baseline] to
+    [icp(budget=99.999),inline(budget=99.9999,lax),cleanup].  The spec
+    round-trips through {!Pibe_pm.Spec.to_string}/[of_string] and running
+    it reproduces [build]'s image byte for byte. *)
 
-val optimize :
+val run_spec :
+  ?verify:bool ->
+  ?check:(Program.t -> unit) ->
   Program.t ->
   Pibe_profile.Profile.t ->
-  Config.opt_level ->
-  Program.t
-  * Pibe_opt.Icp.stats option
-  * Pibe_opt.Inliner.stats option
-  * Pibe_opt.Llvm_inliner.stats option
-  * Pibe_profile.Profile.t
-(** Phase 2a.  The input profile is copied, never mutated. *)
+  Pibe_pm.Spec.t ->
+  (Pibe_pm.Manager.result, string) result
+(** Phase 2 on an arbitrary spec: resolve against the registry and run.
+    [Error] reports unknown passes or bad options. *)
 
-val build : Program.t -> Pibe_profile.Profile.t -> Config.t -> built
-(** Phase 2: optimize then harden; the result validates. *)
+val build : ?verify:bool -> Program.t -> Pibe_profile.Profile.t -> Config.t -> built
+(** Phase 2 on a configuration: optimize then harden; the input profile is
+    copied, never mutated. *)
 
 val engine : ?base:Pibe_cpu.Engine.config -> built -> Pibe_cpu.Engine.t
 (** A fresh machine running this image. *)

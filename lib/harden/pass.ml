@@ -55,6 +55,16 @@ let lower_jump_tables f =
         { b with term = Switch { s with lowering = Branch_ladder } }
       | Switch { lowering = Branch_ladder; _ } | Jmp _ | Br _ | Ret _ -> b)
 
+(* Jump tables: disabled program-wide when any transient defense is on,
+   except inside opaque assembly bodies.  Also exposed as a standalone
+   pass-manager pass ([no-jump-tables]); the re-lowering is idempotent, so
+   running it before [harden] yields the same image. *)
+let disable_jump_tables prog =
+  let p = ref prog in
+  Program.iter_funcs prog (fun f ->
+      if not f.attrs.is_asm then p := Program.update_func !p (lower_jump_tables f));
+  !p
+
 let harden ?(rsb_refill = false) prog defenses =
   let fkind = forward_kind defenses in
   let bkind = backward_kind defenses in
@@ -63,11 +73,7 @@ let harden ?(rsb_refill = false) prog defenses =
   let hardened_icalls = ref 0 in
   let hardened_rets = ref 0 in
   let prog = ref prog in
-  (* Jump tables: disabled program-wide when any transient defense is on,
-     except inside opaque assembly bodies. *)
-  if any_defense defenses then
-    Program.iter_funcs !prog (fun f ->
-        if not f.attrs.is_asm then prog := Program.update_func !prog (lower_jump_tables f));
+  if any_defense defenses then prog := disable_jump_tables !prog;
   Program.iter_funcs !prog (fun f ->
       if not f.attrs.is_asm then begin
         (if fkind <> Protection.F_none then

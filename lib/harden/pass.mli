@@ -39,6 +39,13 @@ type image = {
   hardened_ret_sites : int;
 }
 
+val disable_jump_tables : Program.t -> Program.t
+(** Re-lowers every jump-table switch outside assembly bodies as a branch
+    ladder (LLVM's behaviour once retpolines/LVI are enabled).  [harden]
+    applies this automatically when any defense is on; it is also
+    registered as the standalone [no-jump-tables] pipeline pass.
+    Idempotent. *)
+
 val harden : ?rsb_refill:bool -> Program.t -> defenses -> image
 (** [rsb_refill] (default false) additionally stuffs the RSB at every
     kernel entry — the cheap, partial Ret2spec mitigation deployed ad hoc

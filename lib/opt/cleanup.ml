@@ -308,7 +308,11 @@ let run_func_with_stats f =
 
 let run_func f = fst (run_func_with_stats f)
 
-let run prog =
-  Program.fold_funcs prog ~init:prog ~f:(fun acc f ->
-      if f.attrs.optnone || f.attrs.is_asm then acc
-      else Program.update_func acc (run_func f))
+let run_with_stats prog =
+  Program.fold_funcs prog ~init:(prog, zero_stats) ~f:(fun (acc, total) f ->
+      if f.attrs.optnone || f.attrs.is_asm then (acc, total)
+      else
+        let f', s = run_func_with_stats f in
+        (Program.update_func acc f', add_stats total s))
+
+let run prog = fst (run_with_stats prog)

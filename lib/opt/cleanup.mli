@@ -30,3 +30,7 @@ type stats = {
 }
 
 val run_func_with_stats : Types.func -> Types.func * stats
+
+val run_with_stats : Program.t -> Program.t * stats
+(** [run] with the per-function statistics summed program-wide (fed to the
+    pass manager's per-pass reporting). *)

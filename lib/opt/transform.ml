@@ -17,20 +17,26 @@ type promotion = {
   promoted : (string * site) list;
 }
 
+exception Found_site of int * int * inst
+
+(* Site ids are unique program-wide (validated), so the first hit is the
+   only hit: stop scanning as soon as it is found instead of walking the
+   remaining blocks and instructions. *)
 let find_site_in_func f site_id =
-  let found = ref None in
-  Array.iteri
-    (fun bi b ->
-      Array.iteri
-        (fun j i ->
-          match i with
-          | (Call { site; _ } | Icall { site; _ } | Asm_icall { site; _ })
-            when site.site_id = site_id ->
-            if !found = None then found := Some (bi, j, i)
-          | _ -> ())
-        b.insts)
-    f.blocks;
-  !found
+  try
+    Array.iteri
+      (fun bi b ->
+        Array.iteri
+          (fun j i ->
+            match i with
+            | (Call { site; _ } | Icall { site; _ } | Asm_icall { site; _ })
+              when site.site_id = site_id ->
+              raise_notrace (Found_site (bi, j, i))
+            | _ -> ())
+          b.insts)
+      f.blocks;
+    None
+  with Found_site (bi, j, i) -> Some (bi, j, i)
 
 let offset_operand off = function
   | Reg r -> Reg (r + off)

@@ -16,6 +16,11 @@ type cloned_site = {
   kind : clone_kind;
 }
 
+val find_site_in_func : Types.func -> int -> (int * int * Types.inst) option
+(** [(block index, instruction index, instruction)] of the call site with
+    the given id, if present.  Site ids are unique program-wide, so the
+    scan stops at the first hit. *)
+
 val inline_call :
   Program.t -> caller:string -> site_id:int -> Program.t * cloned_site list
 (** Replaces the direct call with the callee's body: arguments become

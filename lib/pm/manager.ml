@@ -1,0 +1,142 @@
+open Pibe_ir
+module Profile = Pibe_profile.Profile
+module Tbl = Pibe_util.Tbl
+
+type snapshot = {
+  funcs : int;
+  blocks : int;
+  insts : int;
+  code_bytes : int;
+  icalls : int;
+  rets : int;
+  jump_tables : int;
+}
+
+let snapshot prog =
+  let blocks = ref 0 and insts = ref 0 and jts = ref 0 in
+  Program.iter_funcs prog (fun f ->
+      blocks := !blocks + Array.length f.Types.blocks;
+      insts := !insts + Func.inst_count f;
+      jts := !jts + Func.jump_table_count f);
+  {
+    funcs = Program.func_count prog;
+    blocks = !blocks;
+    insts = !insts;
+    code_bytes = Layout.total_code_bytes (Layout.build prog);
+    icalls = Program.total_icall_sites prog;
+    rets = Program.total_ret_sites prog;
+    jump_tables = !jts;
+  }
+
+type pass_stats = {
+  pass : string;
+  wall_s : float;
+  before : snapshot;
+  after : snapshot;
+  detail : Pass.detail;
+}
+
+type result = {
+  image : Pibe_harden.Pass.image;
+  profile : Profile.t;
+  passes : pass_stats list;
+  wall_s : float;
+}
+
+let run ?(verify = false) ?check prog profile passes =
+  let t_start = Unix.gettimeofday () in
+  let inspect prog =
+    if verify then Validate.check_exn prog;
+    Option.iter (fun f -> f prog) check
+  in
+  let state =
+    ref
+      {
+        Pass.prog;
+        profile = Profile.copy profile;
+        defenses = Pibe_harden.Pass.no_defenses;
+        rsb_refill = false;
+      }
+  in
+  let before = ref (snapshot prog) in
+  let stats =
+    List.map
+      (fun (p : Pass.t) ->
+        let t0 = Unix.gettimeofday () in
+        let st, detail = p.run !state in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        state := st;
+        inspect st.Pass.prog;
+        let after = snapshot st.Pass.prog in
+        let s =
+          { pass = Spec.elem_to_string p.spec; wall_s; before = !before; after; detail }
+        in
+        before := after;
+        s)
+      passes
+  in
+  let st = !state in
+  let image =
+    Pibe_harden.Pass.harden ~rsb_refill:st.Pass.rsb_refill st.Pass.prog st.Pass.defenses
+  in
+  if verify then Validate.check_exn image.Pibe_harden.Pass.prog;
+  { image; profile = st.Pass.profile; passes = stats; wall_s = Unix.gettimeofday () -. t_start }
+
+(* ----------------------------- reporting ----------------------------- *)
+
+let delta b a = a - b
+
+let table ?(title = "Per-pass pipeline statistics") passes =
+  let t =
+    Tbl.create ~title
+      ~columns:
+        [
+          "pass"; "ms"; "dfuncs"; "dblocks"; "dinsts"; "dbytes"; "icalls"; "rets"; "jump tables";
+        ]
+  in
+  List.iter
+    (fun s ->
+      let d f = delta (f s.before) (f s.after) in
+      Tbl.add_row t
+        [
+          Tbl.Str s.pass;
+          Tbl.Float (s.wall_s *. 1000.0);
+          Tbl.Int (d (fun x -> x.funcs));
+          Tbl.Int (d (fun x -> x.blocks));
+          Tbl.Int (d (fun x -> x.insts));
+          Tbl.Int (d (fun x -> x.code_bytes));
+          Tbl.Int s.after.icalls;
+          Tbl.Int s.after.rets;
+          Tbl.Int s.after.jump_tables;
+        ])
+    passes;
+  t
+
+let detail_lines s =
+  match s.detail with
+  | Pass.Icp st ->
+    [
+      Printf.sprintf "promoted %d targets at %d sites (%d of %d weight)"
+        st.Pibe_opt.Icp.promoted_targets st.Pibe_opt.Icp.promoted_sites
+        st.Pibe_opt.Icp.promoted_weight st.Pibe_opt.Icp.total_weight;
+    ]
+  | Pass.Inline st ->
+    [
+      Printf.sprintf "inlined %d sites (%d of %d weight elided); rets %d -> %d"
+        st.Pibe_opt.Inliner.inlined_sites st.Pibe_opt.Inliner.inlined_weight
+        st.Pibe_opt.Inliner.total_weight st.Pibe_opt.Inliner.total_ret_sites_before
+        st.Pibe_opt.Inliner.total_ret_sites_after;
+    ]
+  | Pass.Llvm_inline st ->
+    [
+      Printf.sprintf "inlined %d sites (%d weight; %d weight blocked by size)"
+        st.Pibe_opt.Llvm_inliner.inlined_sites st.Pibe_opt.Llvm_inliner.inlined_weight
+        st.Pibe_opt.Llvm_inliner.blocked_weight;
+    ]
+  | Pass.Cleanup st ->
+    [
+      Printf.sprintf "folded %d, branches %d, blocks removed %d, dead assigns %d"
+        st.Pibe_opt.Cleanup.folded st.Pibe_opt.Cleanup.branches_folded
+        st.Pibe_opt.Cleanup.blocks_removed st.Pibe_opt.Cleanup.dead_assigns_removed;
+    ]
+  | Pass.Defense | Pass.Nothing -> []

@@ -1,0 +1,60 @@
+(** The pipeline driver: runs a pass list over a program + profile with
+    built-in per-pass instrumentation, then materializes the hardened
+    image from the accumulated defense requests.
+
+    For every pass the manager records wall-clock time and an IR snapshot
+    delta (functions, blocks, instructions, code bytes, remaining indirect
+    forward edges, remaining returns, remaining jump tables).  With
+    [~verify:true] the IR validator runs between every pass (and on the
+    final image); an optional [~check] hook — e.g. differential
+    interpretation on a smoke workload — also runs after every pass. *)
+
+open Pibe_ir
+
+type snapshot = {
+  funcs : int;
+  blocks : int;
+  insts : int;  (** terminators included *)
+  code_bytes : int;  (** pre-thunk text bytes (layout model) *)
+  icalls : int;  (** remaining promotable indirect forward edges *)
+  rets : int;  (** remaining backward edges *)
+  jump_tables : int;
+}
+
+val snapshot : Program.t -> snapshot
+
+type pass_stats = {
+  pass : string;  (** canonical spec element, e.g. ["icp(budget=99.999)"] *)
+  wall_s : float;
+  before : snapshot;
+  after : snapshot;
+  detail : Pass.detail;
+}
+
+type result = {
+  image : Pibe_harden.Pass.image;
+  profile : Pibe_profile.Profile.t;
+      (** the pipeline's own copy after every pass ran (post-ICP: promoted
+          sites are direct now) *)
+  passes : pass_stats list;  (** in execution order *)
+  wall_s : float;  (** whole run, final hardening included *)
+}
+
+val run :
+  ?verify:bool ->
+  ?check:(Program.t -> unit) ->
+  Program.t ->
+  Pibe_profile.Profile.t ->
+  Pass.t list ->
+  result
+(** The input profile is copied, never mutated.  [verify] defaults to
+    false: release pipeline runs skip validation; tests and [--verify]
+    CLI runs turn it on. *)
+
+val table : ?title:string -> pass_stats list -> Pibe_util.Tbl.t
+(** Per-pass stats rendered as an aligned table: wall-clock milliseconds,
+    instruction/block/byte deltas, and remaining indirect edges. *)
+
+val detail_lines : pass_stats -> string list
+(** Pass-specific statistics (promotions, inlines, folds) as short
+    human-readable lines; empty for passes without details. *)

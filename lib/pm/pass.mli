@@ -1,0 +1,38 @@
+(** The uniform pass interface every pipeline stage registers into.
+
+    A pass transforms the pipeline {!state} — the working program, the
+    (mutable, pipeline-owned) profile, and the accumulated hardening
+    request — and reports a typed {!detail} with its pass-specific
+    statistics.  The manager (see {!Manager}) wraps every [run] with
+    wall-clock timing, IR delta accounting and optional verification, so
+    passes themselves stay plain program transformations. *)
+
+open Pibe_ir
+
+type state = {
+  prog : Program.t;
+  profile : Pibe_profile.Profile.t;
+      (** owned by the pipeline run (a {!Pibe_profile.Profile.copy} of the
+          caller's profile); passes may mutate it, as ICP does when moving
+          promoted weight onto the new direct sites *)
+  defenses : Pibe_harden.Pass.defenses;
+      (** hardening requests accumulated by the defense passes and
+          materialized into an image after the last pass *)
+  rsb_refill : bool;
+}
+
+type detail =
+  | Icp of Pibe_opt.Icp.stats
+  | Inline of Pibe_opt.Inliner.stats
+  | Llvm_inline of Pibe_opt.Llvm_inliner.stats
+  | Cleanup of Pibe_opt.Cleanup.stats
+  | Defense  (** a hardening-request pass; no IR change *)
+  | Nothing
+
+type t = {
+  name : string;  (** registered pass name, e.g. ["icp"] *)
+  spec : Spec.elem;
+      (** the canonical spec element this instance prints back to
+          (round-trips through {!Spec.of_string}) *)
+  run : state -> state * detail;
+}

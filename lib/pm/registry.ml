@@ -1,0 +1,165 @@
+module H = Pibe_harden.Pass
+module Icp = Pibe_opt.Icp
+module Inliner = Pibe_opt.Inliner
+module Llvm_inliner = Pibe_opt.Llvm_inliner
+module Cleanup = Pibe_opt.Cleanup
+
+(* ------------------------- option validation ------------------------- *)
+
+let ( let* ) = Result.bind
+
+let check_keys ~pass ~allowed (args : Spec.arg list) =
+  let rec go = function
+    | [] -> Ok ()
+    | (a : Spec.arg) :: rest ->
+      if List.mem a.key allowed then go rest
+      else if allowed = [] then
+        Error (Printf.sprintf "pass %s takes no options, got %S" pass a.key)
+      else
+        Error
+          (Printf.sprintf "pass %s: unknown option %S (accepted: %s)" pass a.key
+             (String.concat ", " allowed))
+  in
+  go args
+
+let lookup args key = List.find_opt (fun (a : Spec.arg) -> String.equal a.key key) args
+
+let float_opt ~pass args key =
+  match lookup args key with
+  | None -> Ok None
+  | Some { value = None; _ } ->
+    Error (Printf.sprintf "pass %s: option %s needs a value (e.g. %s=99.9)" pass key key)
+  | Some { value = Some v; _ } -> (
+    match float_of_string_opt v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "pass %s: option %s expects a number, got %S" pass key v))
+
+let float_arg ~pass args key ~default =
+  let* v = float_opt ~pass args key in
+  Ok (Option.value ~default v)
+
+let int_opt ~pass args key =
+  match lookup args key with
+  | None -> Ok None
+  | Some { value = None; _ } ->
+    Error (Printf.sprintf "pass %s: option %s needs a value (e.g. %s=3000)" pass key key)
+  | Some { value = Some v; _ } -> (
+    match int_of_string_opt v with
+    | Some i -> Ok (Some i)
+    | None -> Error (Printf.sprintf "pass %s: option %s expects an integer, got %S" pass key v))
+
+let int_arg ~pass args key ~default =
+  let* v = int_opt ~pass args key in
+  Ok (Option.value ~default v)
+
+(* --------------------------- constructors --------------------------- *)
+
+let make (e : Spec.elem) run = { Pass.name = e.pass; spec = e; run }
+
+let icp (e : Spec.elem) =
+  let pass = e.pass in
+  let* () = check_keys ~pass ~allowed:[ "budget"; "max-targets" ] e.args in
+  let* budget_pct = float_arg ~pass e.args "budget" ~default:Icp.default_config.Icp.budget_pct in
+  let* max_targets = int_opt ~pass e.args "max-targets" in
+  let config = { Icp.budget_pct; max_targets } in
+  Ok
+    (make e (fun (st : Pass.state) ->
+         let prog, stats = Icp.run st.prog st.profile config in
+         ({ st with prog }, Pass.Icp stats)))
+
+let inline (e : Spec.elem) =
+  let pass = e.pass in
+  let* () = check_keys ~pass ~allowed:[ "budget"; "lax"; "rule2"; "rule3" ] e.args in
+  let d = Inliner.default_config in
+  let* budget_pct = float_arg ~pass e.args "budget" ~default:d.Inliner.budget_pct in
+  let* rule2_threshold = int_arg ~pass e.args "rule2" ~default:d.Inliner.rule2_threshold in
+  let* rule3_threshold = int_arg ~pass e.args "rule3" ~default:d.Inliner.rule3_threshold in
+  let* lax_within_pct =
+    match lookup e.args "lax" with
+    | None -> Ok None
+    | Some { value = None; _ } -> Ok (Some 99.0)
+    | Some { value = Some _; _ } ->
+      let* v = float_opt ~pass e.args "lax" in
+      Ok v
+  in
+  let config = { Inliner.budget_pct; rule2_threshold; rule3_threshold; lax_within_pct } in
+  Ok
+    (make e (fun (st : Pass.state) ->
+         let prog, stats = Inliner.run st.prog st.profile config in
+         ({ st with prog }, Pass.Inline stats)))
+
+let llvm_inline (e : Spec.elem) =
+  let pass = e.pass in
+  let* () = check_keys ~pass ~allowed:[ "budget"; "hot"; "cold"; "cap" ] e.args in
+  let d = Llvm_inliner.default_config in
+  let* budget_pct = float_arg ~pass e.args "budget" ~default:d.Llvm_inliner.budget_pct in
+  let* hot_callee_threshold =
+    int_arg ~pass e.args "hot" ~default:d.Llvm_inliner.hot_callee_threshold
+  in
+  let* cold_callee_threshold =
+    int_arg ~pass e.args "cold" ~default:d.Llvm_inliner.cold_callee_threshold
+  in
+  let* caller_cap = int_arg ~pass e.args "cap" ~default:d.Llvm_inliner.caller_cap in
+  let config =
+    { Llvm_inliner.budget_pct; hot_callee_threshold; cold_callee_threshold; caller_cap }
+  in
+  Ok
+    (make e (fun (st : Pass.state) ->
+         let prog, stats = Llvm_inliner.run st.prog st.profile config in
+         ({ st with prog }, Pass.Llvm_inline stats)))
+
+let cleanup (e : Spec.elem) =
+  let* () = check_keys ~pass:e.pass ~allowed:[] e.args in
+  Ok
+    (make e (fun (st : Pass.state) ->
+         let prog, stats = Cleanup.run_with_stats st.prog in
+         ({ st with prog }, Pass.Cleanup stats)))
+
+let defense (e : Spec.elem) set =
+  let* () = check_keys ~pass:e.pass ~allowed:[] e.args in
+  Ok (make e (fun (st : Pass.state) -> ({ st with defenses = set st.defenses }, Pass.Defense)))
+
+let no_jump_tables (e : Spec.elem) =
+  let* () = check_keys ~pass:e.pass ~allowed:[] e.args in
+  Ok
+    (make e (fun (st : Pass.state) ->
+         ({ st with prog = H.disable_jump_tables st.prog }, Pass.Nothing)))
+
+let rsb_refill (e : Spec.elem) =
+  let* () = check_keys ~pass:e.pass ~allowed:[] e.args in
+  Ok (make e (fun (st : Pass.state) -> ({ st with rsb_refill = true }, Pass.Defense)))
+
+(* ----------------------------- registry ----------------------------- *)
+
+let builders : (string * (Spec.elem -> (Pass.t, string) result)) list =
+  [
+    ("cleanup", cleanup);
+    ("fenced-retpoline", fun e -> defense e (fun d -> { d with H.retpolines = true; lvi = true }));
+    ("icp", icp);
+    ("inline", inline);
+    ("llvm-inline", llvm_inline);
+    ("lvi-cfi", fun e -> defense e (fun d -> { d with H.lvi = true }));
+    ("no-jump-tables", no_jump_tables);
+    ("ret-retpoline", fun e -> defense e (fun d -> { d with H.ret_retpolines = true }));
+    ("retpoline", fun e -> defense e (fun d -> { d with H.retpolines = true }));
+    ("rsb-refill", rsb_refill);
+  ]
+
+let names = List.map fst builders
+
+let find (e : Spec.elem) =
+  match List.assoc_opt e.pass builders with
+  | Some build -> build e
+  | None ->
+    Error
+      (Printf.sprintf "unknown pass %S (registered passes: %s)" e.pass
+         (String.concat ", " names))
+
+let of_spec spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+      let* p = find e in
+      go (p :: acc) rest
+  in
+  go [] spec

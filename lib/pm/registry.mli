@@ -1,0 +1,29 @@
+(** Built-in pass registry: resolves textual spec elements into runnable
+    {!Pass.t} instances, validating names and typed options.
+
+    Registered passes and their options:
+
+    - [icp(budget=PCT, max-targets=N)] — PIBE indirect-call promotion;
+      [budget] defaults to 99.999, [max-targets] is unbounded when absent.
+    - [inline(budget=PCT, lax, lax=PCT, rule2=N, rule3=N)] — PIBE's
+      weight-ordered inliner; bare [lax] enables the paper's lax window at
+      its default 99%, [lax=PCT] sets the window explicitly.
+    - [llvm-inline(budget=PCT, hot=N, cold=N, cap=N)] — the LLVM-default
+      bottom-up PGO inliner baseline.
+    - [cleanup] — post-inlining scalar cleanup.
+    - [retpoline], [ret-retpoline], [lvi-cfi], [fenced-retpoline] —
+      hardening requests; [fenced-retpoline] is sugar for
+      retpoline + LVI (lowered to the combined fenced sequence).
+    - [no-jump-tables] — re-lower jump tables as branch ladders now
+      (implied by any defense at hardening time; idempotent).
+    - [rsb-refill] — stuff the RSB at every kernel entry (§6.4). *)
+
+val names : string list
+(** Registered pass names, alphabetical. *)
+
+val find : Spec.elem -> (Pass.t, string) result
+(** Resolves one element; [Error] explains the unknown pass or option
+    (listing what is accepted). *)
+
+val of_spec : Spec.t -> (Pass.t list, string) result
+(** Resolves a whole spec, failing on the first bad element. *)

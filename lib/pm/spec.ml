@@ -1,0 +1,116 @@
+type arg = {
+  key : string;
+  value : string option;
+}
+
+type elem = {
+  pass : string;
+  args : arg list;
+}
+
+type t = elem list
+
+let elem ?(args = []) pass = { pass; args = List.map (fun (key, value) -> { key; value }) args }
+
+let arg_to_string a =
+  match a.value with
+  | None -> a.key
+  | Some v -> a.key ^ "=" ^ v
+
+let elem_to_string e =
+  match e.args with
+  | [] -> e.pass
+  | args -> e.pass ^ "(" ^ String.concat "," (List.map arg_to_string args) ^ ")"
+
+let to_string spec = String.concat "," (List.map elem_to_string spec)
+let equal (a : t) (b : t) = a = b
+
+let float_arg f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+(* ------------------------------ parsing ------------------------------ *)
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '+' | '%' | '-' -> true
+  | _ -> false
+
+exception Err of int * string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error msg = raise_notrace (Err (!pos, msg)) in
+  let skip_ws () =
+    while !pos < n && (text.[!pos] = ' ' || text.[!pos] = '\t' || text.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let ident what =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_ident_char text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then
+      error
+        (Printf.sprintf "expected %s%s" what
+           (match peek () with
+           | Some c -> Printf.sprintf ", got %C" c
+           | None -> ", got end of input"));
+    String.sub text start (!pos - start)
+  in
+  let parse_arg () =
+    let key = ident "an option name" in
+    skip_ws ();
+    match peek () with
+    | Some '=' ->
+      incr pos;
+      let v = ident "an option value" in
+      { key; value = Some v }
+    | _ -> { key; value = None }
+  in
+  let parse_args () =
+    (* at '(' *)
+    incr pos;
+    let rec go acc =
+      let a = parse_arg () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        go (a :: acc)
+      | Some ')' ->
+        incr pos;
+        List.rev (a :: acc)
+      | Some c -> error (Printf.sprintf "expected ',' or ')' in option list, got %C" c)
+      | None -> error "unterminated option list: expected ')'"
+    in
+    go []
+  in
+  let parse_elem () =
+    let pass = ident "a pass name" in
+    skip_ws ();
+    match peek () with
+    | Some '(' -> { pass; args = parse_args () }
+    | _ -> { pass; args = [] }
+  in
+  try
+    skip_ws ();
+    if !pos >= n then Error "empty pipeline spec"
+    else begin
+      let rec go acc =
+        let e = parse_elem () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          go (e :: acc)
+        | None -> List.rev (e :: acc)
+        | Some c -> error (Printf.sprintf "expected ',' or end of spec, got %C" c)
+      in
+      Ok (go [])
+    end
+  with Err (at, msg) -> Error (Printf.sprintf "at offset %d: %s" at msg)

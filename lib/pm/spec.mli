@@ -1,0 +1,45 @@
+(** Textual pipeline specifications.
+
+    A spec is a comma-separated list of pass instantiations, each an
+    identifier with an optional parenthesized option list:
+
+    {v
+      spec  ::= elem ("," elem)*
+      elem  ::= name [ "(" arg ("," arg)* ")" ]
+      arg   ::= key [ "=" value ]
+      name, key, value ::= [A-Za-z0-9_.+%-]+
+    v}
+
+    e.g. [icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline].
+    Whitespace around tokens is ignored on input; [to_string] prints the
+    canonical compact form, and [of_string (to_string s) = Ok s] for every
+    well-formed spec (tested by a qcheck property). *)
+
+type arg = {
+  key : string;
+  value : string option;  (** [None] for bare flags like [lax] *)
+}
+
+type elem = {
+  pass : string;  (** registered pass name, e.g. ["icp"] *)
+  args : arg list;
+}
+
+type t = elem list
+
+val elem : ?args:(string * string option) list -> string -> elem
+(** Convenience constructor. *)
+
+val to_string : t -> string
+val elem_to_string : elem -> string
+
+val of_string : string -> (t, string) result
+(** Parses a spec; the error carries the byte offset and what was
+    expected, e.g. ["at offset 4: expected ')' or ','"]. *)
+
+val equal : t -> t -> bool
+
+val float_arg : float -> string
+(** Prints a float so that [float_of_string] recovers it exactly (shortest
+    of [%.12g]/[%.17g] that round-trips) — pipeline lowering relies on
+    this for byte-identical rebuilds from printed specs. *)

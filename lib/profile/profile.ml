@@ -59,6 +59,11 @@ let remove_indirect_target t ~origin ~target =
     Hashtbl.remove vp target;
     if Hashtbl.length vp = 0 then Hashtbl.remove t.indirect origin
 
+let copy t =
+  let indirect = Hashtbl.create (max 16 (Hashtbl.length t.indirect)) in
+  Hashtbl.iter (fun origin vp -> Hashtbl.replace indirect origin (Hashtbl.copy vp)) t.indirect;
+  { direct = Hashtbl.copy t.direct; indirect; entries = Hashtbl.copy t.entries }
+
 let merge a b =
   let t = create () in
   let copy_from src =

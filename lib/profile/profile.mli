@@ -41,6 +41,11 @@ val merge : t -> t -> t
 (** Pointwise sum (combining the 11 profiling iterations of the paper's
     methodology). *)
 
+val copy : t -> t
+(** A deep, independent copy: mutating the copy (as ICP does when it moves
+    promoted weight) never touches the original.  Every pipeline run
+    operates on a copy of the caller's profile. *)
+
 val remove_indirect_target : t -> origin:int -> target:string -> unit
 (** Drops one target from a value profile (used by ICP when the target has
     been promoted to a direct call, leaving the fallback indirect site

@@ -13,6 +13,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("attack", Test_attack.suite);
       ("pipeline", Test_pipeline.suite);
+      ("pm", Test_pm.suite);
       ("core", Test_core.suite);
       ("measure", Test_measure.suite);
       ("experiments", Test_experiments.suite);

@@ -27,10 +27,10 @@ let test_registry_complete () =
       Alcotest.(check bool) (want ^ " registered") true (List.mem want ids))
     ([
        "figure1"; "robustness"; "security"; "ablation"; "userspace"; "sensitivity";
-       "v1scan";
+       "v1scan"; "passes";
      ]
     @ List.init 12 (fun i -> Printf.sprintf "table%d" (i + 1)));
-  Alcotest.(check int) "19 experiments" 19 (List.length Exp.all)
+  Alcotest.(check int) "20 experiments" 20 (List.length Exp.all)
 
 let test_table1_shape () =
   let t = first "table1" in
@@ -221,6 +221,39 @@ let test_v1scan_table () =
   let gadgets = get "candidate gadgets" in
   Alcotest.(check bool) "gadgets rare" true (gadgets * 5 < branches)
 
+let test_passes_instrumentation () =
+  match table "passes" with
+  | [ baseline; best ] ->
+    (* icp, inline, cleanup for the baseline; + three defense rows for the
+       best config (plus indented per-pass detail lines) *)
+    Alcotest.(check bool) "baseline rows" true (List.length (Tbl.rows baseline) >= 3);
+    Alcotest.(check bool) "best-config rows" true (List.length (Tbl.rows best) >= 6);
+    let remaining_icalls t =
+      List.filter_map
+        (function
+          | Tbl.Str p :: _ :: _ :: _ :: _ :: _ :: Tbl.Int icalls :: _ -> Some (p, icalls)
+          | _ -> None)
+        (Tbl.rows t)
+    in
+    let cells = remaining_icalls best in
+    let row prefix =
+      match
+        List.find_opt
+          (fun (p, _) ->
+            String.length p >= String.length prefix
+            && String.equal (String.sub p 0 (String.length prefix)) prefix)
+          cells
+      with
+      | Some r -> r
+      | None -> Alcotest.failf "no %s row in the pass table" prefix
+    in
+    (* the defense rows run after cleanup and do not touch the IR, so the
+       remaining-icall column must be flat from cleanup onward *)
+    Alcotest.(check int) "defenses do not change remaining icalls" (snd (row "cleanup"))
+      (snd (row "retpoline"));
+    Alcotest.(check bool) "icp leaves a positive icall residue" true (snd (row "icp") > 0)
+  | tables -> Alcotest.failf "expected two tables, got %d" (List.length tables)
+
 let test_listings_render () =
   let s = Exp.listings () in
   Alcotest.(check bool) "mentions retpoline" true (String.length s > 200)
@@ -244,6 +277,7 @@ let suite =
     ("robustness story", `Slow, test_robustness_story);
     ("security story", `Slow, test_security_story);
     ("ablation story", `Slow, test_ablation_story);
+    ("passes instrumentation", `Slow, test_passes_instrumentation);
     ("userspace extension", `Slow, test_userspace_story);
     ("v1 scan table", `Quick, test_v1scan_table);
     ("listings render", `Quick, test_listings_render);

@@ -158,6 +158,47 @@ let test_promote_fallback_origin () =
     Alcotest.(check int) "fallback keeps origin" origin
       promo.Transform.fallback_site.site_origin
 
+(* --------------------------- site lookup ---------------------------- *)
+
+(* Three blocks with one call each: the early-exit scan must report the
+   exact (block, index) coordinates wherever the site lives, not just in
+   the entry block. *)
+let test_find_site_in_func_multi_block () =
+  let prog = Program.with_globals_size Program.empty 8 in
+  let prog, s0 = Program.fresh_site prog in
+  let prog, s1 = Program.fresh_site prog in
+  let prog, s2 = Program.fresh_site prog in
+  let b = Builder.create ~name:"f" ~params:1 in
+  let x = Builder.param b 0 in
+  let mid = Builder.new_block b in
+  let last = Builder.new_block b in
+  Builder.call b s0 "g" [ Reg x ];
+  Builder.jmp b mid;
+  Builder.switch_to b mid;
+  let r = Builder.reg b in
+  Builder.assign b r (Binop (Add, Reg x, Imm 1));
+  Builder.call b s1 "g" [ Reg r ];
+  Builder.jmp b last;
+  Builder.switch_to b last;
+  Builder.call b s2 "g" [ Reg x ];
+  Builder.ret b None;
+  let f = Builder.finish b () in
+  ignore prog;
+  let coords site =
+    match Transform.find_site_in_func f site.site_id with
+    | Some (bi, j, _) -> Some (bi, j)
+    | None -> None
+  in
+  Alcotest.(check (option (pair int int))) "entry block" (Some (0, 0)) (coords s0);
+  Alcotest.(check (option (pair int int)))
+    "call after an assign in the middle block" (Some (1, 1)) (coords s1);
+  Alcotest.(check (option (pair int int))) "last block" (Some (2, 0)) (coords s2);
+  Alcotest.(check (option (pair int int)))
+    "unknown site id" None
+    (match Transform.find_site_in_func f 4242 with
+    | Some (bi, j, _) -> Some (bi, j)
+    | None -> None)
+
 (* ------------------------------ inliner ----------------------------- *)
 
 (* A chain a -> b -> c with profiled weights; the greedy inliner should
@@ -324,11 +365,11 @@ let test_icp_max_targets () =
         done)
   in
   let _, unlimited =
-    Icp.run prog (Pibe.Pipeline.copy_profile profile)
+    Icp.run prog (Pibe_profile.Profile.copy profile)
       { Icp.budget_pct = 100.0; max_targets = None }
   in
   let _, capped =
-    Icp.run prog (Pibe.Pipeline.copy_profile profile)
+    Icp.run prog (Pibe_profile.Profile.copy profile)
       { Icp.budget_pct = 100.0; max_targets = Some 1 }
   in
   Alcotest.(check bool) "cap reduces promoted targets" true
@@ -347,6 +388,7 @@ let suite =
     Helpers.qcheck_to_alcotest prop_inline_preserves_semantics;
     Helpers.qcheck_to_alcotest prop_inline_removes_site_keeps_others;
     ("inline rejects bad site", `Quick, test_inline_rejects_bad_site);
+    ("find_site_in_func multi-block", `Quick, test_find_site_in_func_multi_block);
     Helpers.qcheck_to_alcotest prop_promote_preserves_semantics;
     ("promote fallback keeps origin", `Quick, test_promote_fallback_origin);
     ("inliner flattens hot chain", `Quick, test_inliner_flattens_chain);

@@ -1,0 +1,265 @@
+(* Pass manager: spec grammar round-trips, registry diagnostics, and the
+   load-bearing guarantee of the refactor — every [Config] variant built
+   through the manager produces the byte-identical image the hand-rolled
+   seed pipeline produced. *)
+
+module Spec = Pibe_pm.Spec
+module Registry = Pibe_pm.Registry
+module Manager = Pibe_pm.Manager
+module Profile = Pibe_profile.Profile
+module Pass = Pibe_harden.Pass
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spec_gen =
+  let open QCheck.Gen in
+  let ident =
+    let chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.+%-" in
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (list_size (int_range 1 8) (map (String.get chars) (int_range 0 (String.length chars - 1))))
+  in
+  let arg = pair ident (opt ident) in
+  let elem = map (fun (name, args) -> Spec.elem ~args name) (pair ident (list_size (int_range 0 3) arg)) in
+  list_size (int_range 1 5) elem
+
+let spec_arb = QCheck.make ~print:Spec.to_string spec_gen
+
+let prop_spec_round_trip =
+  QCheck.Test.make ~name:"spec print/parse round-trips" ~count:500 spec_arb (fun spec ->
+      match Spec.of_string (Spec.to_string spec) with
+      | Ok parsed -> Spec.equal spec parsed
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e)
+
+let prop_float_arg_round_trip =
+  QCheck.Test.make ~name:"float_arg round-trips through float_of_string" ~count:500
+    QCheck.(float_range 0.0 100.0)
+    (fun f -> Float.equal (float_of_string (Spec.float_arg f)) f)
+
+let test_spec_whitespace_and_canonical () =
+  match Spec.of_string " icp ( budget = 99.9 , lax ) ,\tcleanup " with
+  | Ok spec ->
+    Alcotest.(check string) "canonical form" "icp(budget=99.9,lax),cleanup"
+      (Spec.to_string spec)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_spec_rejects_malformed () =
+  let bad =
+    [
+      "";
+      ",icp";
+      "icp,";
+      "icp,,cleanup";
+      "icp(";
+      "icp()";
+      "icp(budget=)";
+      "icp(budget=1))";
+      "icp(budget=1)x";
+      "icp cleanup";
+      "icp(=1)";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Spec.of_string text with
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error mentions an offset" text)
+          true
+          (String.length e > 0)
+      | Ok spec ->
+        Alcotest.failf "%S parsed as %s" text (Spec.to_string spec))
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Registry diagnostics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let resolve text =
+  match Spec.of_string text with
+  | Error e -> Error e
+  | Ok spec -> Result.map (fun _ -> ()) (Registry.of_spec spec)
+
+let test_registry_rejections () =
+  (match resolve "nonsense" with
+  | Error e ->
+    Alcotest.(check bool) "unknown pass lists the registry" true
+      (List.for_all (contains e) Registry.names)
+  | Ok () -> Alcotest.fail "unknown pass accepted");
+  (match resolve "icp(budget=hot)" with
+  | Error e -> Alcotest.(check bool) "bad number named" true (contains e "budget")
+  | Ok () -> Alcotest.fail "bad number accepted");
+  match resolve "cleanup(budget=1)" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cleanup should take no options"
+
+let test_registry_accepts_all_names () =
+  List.iter
+    (fun name ->
+      match Registry.find (Spec.elem name) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s does not resolve bare: %s" name e)
+    Registry.names
+
+(* ------------------------------------------------------------------ *)
+(* Config lowering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let variants =
+  [
+    ("lto", Pibe.Config.lto);
+    ("icp-only retp", Pibe.Exp_common.icp_only ~budget:99.9 Pibe.Exp_common.retpolines_only);
+    ( "full strict retret",
+      Pibe.Exp_common.full_opt ~icp:99.999 ~inline:99.9 Pibe.Exp_common.ret_retpolines_only );
+    ("full lax all", Pibe.Exp_common.best_config Pibe.Exp_common.all_defenses);
+    ( "llvm-pgo lvi",
+      {
+        Pibe.Config.defenses = Pibe.Exp_common.lvi_only;
+        opt = Pibe.Config.Llvm_pgo { icp_budget = 99.999; inline_budget = 99.9999 };
+      } );
+  ]
+
+let test_spec_of_config_round_trips () =
+  List.iter
+    (fun (label, config) ->
+      let spec = Pibe.Pipeline.spec_of_config config in
+      match Spec.of_string (Spec.to_string spec) with
+      | Ok parsed ->
+        Alcotest.(check bool) (label ^ " round-trips") true (Spec.equal spec parsed);
+        (match Registry.of_spec parsed with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s does not resolve: %s" label e)
+      | Error e -> Alcotest.failf "%s re-parse failed: %s" label e)
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical equivalence with the seed pipeline                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The hand-rolled seed pipeline, replicated verbatim (including the old
+   merge-into-empty profile clone): the manager must reproduce its image
+   byte for byte on every configuration variant. *)
+let legacy_build prog profile config =
+  let profile = Profile.merge profile (Profile.create ()) in
+  let prog =
+    match config.Pibe.Config.opt with
+    | Pibe.Config.No_opt -> Pibe_opt.Cleanup.run prog
+    | Pibe.Config.Icp_only { budget } ->
+      let prog, _ =
+        Pibe_opt.Icp.run prog profile
+          { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = budget }
+      in
+      Pibe_opt.Cleanup.run prog
+    | Pibe.Config.Full { icp_budget; inline_budget; lax } ->
+      let prog, _ =
+        Pibe_opt.Icp.run prog profile
+          { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
+      in
+      let prog, _ =
+        Pibe_opt.Inliner.run prog profile
+          {
+            Pibe_opt.Inliner.default_config with
+            Pibe_opt.Inliner.budget_pct = inline_budget;
+            lax_within_pct = (if lax then Some 99.0 else None);
+          }
+      in
+      Pibe_opt.Cleanup.run prog
+    | Pibe.Config.Llvm_pgo { icp_budget; inline_budget } ->
+      let prog, _ =
+        Pibe_opt.Icp.run prog profile
+          { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = icp_budget }
+      in
+      let prog, _ =
+        Pibe_opt.Llvm_inliner.run prog profile
+          {
+            Pibe_opt.Llvm_inliner.default_config with
+            Pibe_opt.Llvm_inliner.budget_pct = inline_budget;
+          }
+      in
+      Pibe_opt.Cleanup.run prog
+  in
+  Pass.harden prog config.Pibe.Config.defenses
+
+let test_manager_matches_legacy_pipeline () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let profile = Pibe.Env.lmbench_profile env in
+  List.iter
+    (fun (label, config) ->
+      let legacy = legacy_build info.Pibe_kernel.Gen.prog profile config in
+      let built =
+        Pibe.Pipeline.build ~verify:true info.Pibe_kernel.Gen.prog profile config
+      in
+      let image = built.Pibe.Pipeline.image in
+      Alcotest.(check string)
+        (label ^ " image IR is byte-identical")
+        (Pibe_ir.Printer.program_to_string legacy.Pass.prog)
+        (Pibe_ir.Printer.program_to_string image.Pass.prog);
+      Alcotest.(check int)
+        (label ^ " image bytes agree")
+        (Pass.image_bytes legacy) (Pass.image_bytes image);
+      let audit r = Pibe_harden.Audit.run r in
+      Alcotest.(check int)
+        (label ^ " defended icalls agree")
+        (audit legacy).Pibe_harden.Audit.defended_icalls
+        (audit image).Pibe_harden.Audit.defended_icalls;
+      (* per-pass stats cover the whole lowered spec *)
+      Alcotest.(check int)
+        (label ^ " one stats row per spec element")
+        (List.length (Pibe.Pipeline.spec_of_config config))
+        (List.length built.Pibe.Pipeline.pass_stats))
+    variants
+
+let test_manager_run_spec_errors () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let profile = Pibe.Env.lmbench_profile env in
+  match Spec.of_string "icp(budget=99.9),mystery" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok spec -> (
+    match Pibe.Pipeline.run_spec info.Pibe_kernel.Gen.prog profile spec with
+    | Error e -> Alcotest.(check bool) "names the unknown pass" true (contains e "mystery")
+    | Ok _ -> Alcotest.fail "unknown pass ran anyway")
+
+(* ------------------------------------------------------------------ *)
+(* Profile.copy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_copy_is_independent () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let original = Pibe.Env.lmbench_profile env in
+  let before = Profile.to_string original in
+  let copy = Profile.copy original in
+  Alcotest.(check string) "copy starts identical" before (Profile.to_string copy);
+  (* ICP mutates its profile (promoted sites become direct): the copy must
+     absorb that while the original stays untouched. *)
+  let _ =
+    Pibe_opt.Icp.run info.Pibe_kernel.Gen.prog copy
+      { Pibe_opt.Icp.default_config with Pibe_opt.Icp.budget_pct = 99.999 }
+  in
+  Alcotest.(check string) "original unchanged after mutating the copy" before
+    (Profile.to_string original);
+  Alcotest.(check bool) "the copy really was mutated" true
+    (not (String.equal before (Profile.to_string copy)))
+
+let suite =
+  [
+    Helpers.qcheck_to_alcotest prop_spec_round_trip;
+    Helpers.qcheck_to_alcotest prop_float_arg_round_trip;
+    ("spec whitespace/canonical form", `Quick, test_spec_whitespace_and_canonical);
+    ("spec rejects malformed input", `Quick, test_spec_rejects_malformed);
+    ("registry diagnostics", `Quick, test_registry_rejections);
+    ("registry resolves every name", `Quick, test_registry_accepts_all_names);
+    ("config lowering round-trips", `Quick, test_spec_of_config_round_trips);
+    ("manager matches the seed pipeline", `Slow, test_manager_matches_legacy_pipeline);
+    ("run_spec reports unknown passes", `Quick, test_manager_run_spec_errors);
+    ("profile copy is independent", `Quick, test_profile_copy_is_independent);
+  ]

@@ -8,23 +8,25 @@ build:
 test:
 	dune runtest
 
-# Everything a PR must keep green: build, the full test suite, and a
-# pass-manager smoke run with inter-pass IR validation on.
+# Everything a PR must keep green: build, the full test suite, a
+# pass-manager smoke run with inter-pass IR validation on, and a one-window
+# continuous-profiling smoke on the tiny kernel.
 check:
 	dune build
 	dune runtest
 	dune exec bin/pibe_cli.exe -- pipeline --scale 1 \
 	  --passes "icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline,ret-retpoline" \
 	  --verify
+	dune exec bin/pibe_cli.exe -- online --scale 1 --windows 1 --requests 30
 
 # Full evaluation: every table/figure of the paper at benchmark scale.
 bench:
 	dune exec bench/main.exe
 
-# Fast sanity pass: small kernel, one table, two domains.  Exercises the
-# parallel runner end to end in a few seconds.
+# Fast sanity pass: small kernel, one table plus the online loop, two
+# domains.  Exercises the parallel runner end to end in a few seconds.
 bench-smoke:
-	dune exec bench/main.exe -- --quick --table 5 --jobs 2
+	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2
 
 clean:
 	dune clean

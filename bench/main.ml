@@ -6,7 +6,7 @@
      bench/main.exe                 regenerate everything (paper order)
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
                                     --security, --ablation, --passes,
-                                    --listings)
+                                    --online, --listings)
      bench/main.exe --quick         small kernel / fast settings
      bench/main.exe --jobs N        build/measure independent cells on up
                                     to N domains (1 = fully sequential;
@@ -55,6 +55,9 @@ let parse_args () =
       go rest
     | "--passes" :: rest ->
       selected := "passes" :: !selected;
+      go rest
+    | "--online" :: rest ->
+      selected := "online" :: !selected;
       go rest
     | "--listings" :: rest ->
       selected := "listings" :: !selected;

@@ -5,6 +5,8 @@
      pipeline       run profile -> optimize -> harden and report the result
      experiment     regenerate one paper table/figure (or list them)
      attack         run the transient-attack drills against one image
+     online         simulate the continuous-profiling deployment loop
+     passes         list the registered pipeline passes and their options
      dump-ir        print a generated function (or the whole program) *)
 
 open Cmdliner
@@ -335,6 +337,67 @@ let dump_ir seed scale func =
   | None -> print_string (Pibe_ir.Printer.program_to_string prog));
   0
 
+(* Simulate the continuous-profiling deployment loop: phased workload,
+   drift detection, adaptive re-optimization with patch downtime. *)
+let online seed scale quick jobs windows requests window decay threshold hysteresis
+    max_reopts =
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
+  let env =
+    if quick then Pibe.Env.quick ~jobs () else Pibe.Env.create ~scale ~seed ~jobs ()
+  in
+  let defaults = Pibe.Exp_online.default_params ~quick in
+  let base = defaults.Pibe.Exp_online.sim in
+  let sim =
+    {
+      base with
+      Pibe_online.Sim.requests_per_window =
+        Option.value requests ~default:base.Pibe_online.Sim.requests_per_window;
+      store_window = window;
+      decay;
+      drift_threshold = threshold;
+      hysteresis;
+      max_reopts;
+    }
+  in
+  let params =
+    {
+      Pibe.Exp_online.windows_per_phase =
+        Option.value windows ~default:defaults.Pibe.Exp_online.windows_per_phase;
+      sim;
+    }
+  in
+  if params.Pibe.Exp_online.windows_per_phase < 1 then begin
+    prerr_endline "--windows must be at least 1";
+    1
+  end
+  else
+    match Pibe.Exp_online.run_with params env with
+    | tables ->
+      List.iter Pibe_util.Tbl.print tables;
+      0
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      1
+
+(* List every registered pipeline pass with its typed options and live
+   defaults — the --help form of the spec grammar. *)
+let passes_list () =
+  print_endline "Pipeline spec grammar: pass[(opt[=value],...)] elements joined by ','.";
+  print_endline "Registered passes (defaults read from the live pass configs):\n";
+  List.iter
+    (fun (i : Pibe_pm.Registry.pass_info) ->
+      Printf.printf "  %-18s %s\n" i.Pibe_pm.Registry.info_name i.Pibe_pm.Registry.info_doc;
+      List.iter
+        (fun (o : Pibe_pm.Registry.opt_info) ->
+          Printf.printf "      %-12s %-14s default %-22s %s\n" o.Pibe_pm.Registry.opt_key
+            o.Pibe_pm.Registry.opt_type o.Pibe_pm.Registry.opt_default
+            o.Pibe_pm.Registry.opt_doc)
+        i.Pibe_pm.Registry.info_opts;
+      if i.Pibe_pm.Registry.info_opts <> [] then
+        Printf.printf "      e.g. %s\n" (Pibe_pm.Registry.sample_spec_text i))
+    Pibe_pm.Registry.infos;
+  0
+
 (* ------------------------------------------------------------------ *)
 
 let kernel_stats_cmd =
@@ -434,6 +497,81 @@ let optimize_file_cmd =
     Term.(const optimize_cmd_impl $ seed_arg $ scale_arg $ defenses_arg $ budget_arg
           $ profile_path $ out)
 
+let online_cmd =
+  let d = Pibe_online.Sim.default_config in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small kernel / fast measurement settings.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Measure the static/adaptive variants on up to $(docv) domains (1 = \
+             sequential, 0 = one per core). Output is identical at any job count.")
+  in
+  let windows_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "windows" ] ~docv:"N"
+          ~doc:"Profiling windows per workload phase (default 6).")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests replayed per window (default 150; 60 with --quick).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Sim.store_window
+      & info [ "window" ] ~docv:"N" ~doc:"Profile-store ring size (snapshots kept).")
+  in
+  let decay_arg =
+    Arg.(
+      value
+      & opt float d.Pibe_online.Sim.decay
+      & info [ "decay" ] ~docv:"F"
+          ~doc:"Per-window exponential decay of older snapshots, in (0, 1].")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float d.Pibe_online.Sim.drift_threshold
+      & info [ "threshold" ] ~docv:"F" ~doc:"Drift distance above which a window is suspect.")
+  in
+  let hysteresis_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Sim.hysteresis
+      & info [ "hysteresis" ] ~docv:"N"
+          ~doc:"Consecutive suspect windows before a re-optimization fires.")
+  in
+  let max_reopts_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Sim.max_reopts
+      & info [ "max-reopts" ] ~docv:"N" ~doc:"Re-optimization budget for the whole run.")
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Simulate the continuous-profiling deployment loop (drift detection, adaptive \
+          re-optimization)")
+    Term.(
+      const online $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ windows_arg
+      $ requests_arg $ window_arg $ decay_arg $ threshold_arg $ hysteresis_arg
+      $ max_reopts_arg)
+
+let passes_cmd =
+  Cmd.v
+    (Cmd.info "passes" ~doc:"List the registered pipeline passes, options and defaults")
+    Term.(const passes_list $ const ())
+
 let dump_ir_cmd =
   let func =
     Arg.(
@@ -455,6 +593,8 @@ let () =
             pipeline_cmd;
             experiment_cmd;
             attack_cmd;
+            online_cmd;
+            passes_cmd;
             dump_ir_cmd;
             trace_cmd;
             perf_cmd;

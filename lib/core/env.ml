@@ -47,6 +47,7 @@ let quick ?(jobs = 1) ?(verify = true) () =
   create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ~verify ()
 
 let pool t = t.pool
+let verify t = t.verify
 let jobs t = Pool.jobs t.pool
 let par_map t f xs = Pool.map t.pool f xs
 

@@ -33,6 +33,10 @@ val quick : ?jobs:int -> ?verify:bool -> unit -> t
 val pool : t -> Pibe_util.Pool.t
 val jobs : t -> int
 
+val verify : t -> bool
+(** Whether pipeline runs driven by this environment validate the IR
+    between passes (on in the test environments). *)
+
 val par_map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [Pool.map] on the environment's pool: parallel when [jobs > 1],
     exactly [List.map] when [jobs = 1]. *)

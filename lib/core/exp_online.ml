@@ -1,0 +1,139 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Workload = Pibe_kernel.Workload
+module Sim = Pibe_online.Sim
+
+type params = {
+  windows_per_phase : int;
+  sim : Sim.config;
+}
+
+(* Six windows per phase: with hysteresis 2 the detector fires in the
+   second window after a phase change, leaving four windows to amortize
+   the patch downtime and show the recovered performance. *)
+let default_params ~quick =
+  if quick then
+    {
+      windows_per_phase = 6;
+      sim = { Sim.default_config with Sim.requests_per_window = 60 };
+    }
+  else { windows_per_phase = 6; sim = Sim.default_config }
+
+type variant = {
+  v_name : string;
+  v_spec : Pibe_pm.Spec.t;
+  v_training : Pibe_profile.Profile.t;
+  v_adaptive : bool;
+}
+
+(* Per-phase cycles (patch/downtime included), phases in first-seen order. *)
+let phase_cycles (o : Sim.outcome) =
+  List.fold_left
+    (fun acc (w : Sim.window_record) ->
+      let cycles = w.Sim.cycles + w.Sim.patch_cycles in
+      match List.assoc_opt w.Sim.phase acc with
+      | Some _ ->
+        List.map
+          (fun (p, v) -> if String.equal p w.Sim.phase then (p, v + cycles) else (p, v))
+          acc
+      | None -> acc @ [ (w.Sim.phase, cycles) ])
+    [] o.Sim.windows
+
+let run_with params env =
+  let info = Env.info env in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let phases =
+    List.map (fun p -> (p, params.windows_per_phase)) (Workload.standard_phases info)
+  in
+  let spec = Pipeline.spec_of_config (Exp_common.best_config Exp_common.all_defenses) in
+  let lto_spec = Pipeline.spec_of_config Config.lto in
+  (* shared prerequisites once, before the parallel fan-out *)
+  let stale = Env.lmbench_profile env in
+  let fresh = Sim.training_profile ~config:params.sim ~prog ~phases () in
+  let variants =
+    [
+      { v_name = "LTO baseline"; v_spec = lto_spec; v_training = stale; v_adaptive = false };
+      { v_name = "static-fresh"; v_spec = spec; v_training = fresh; v_adaptive = false };
+      { v_name = "static-stale"; v_spec = spec; v_training = stale; v_adaptive = false };
+      { v_name = "online-adaptive"; v_spec = spec; v_training = stale; v_adaptive = true };
+    ]
+  in
+  let outcomes =
+    Env.par_map env
+      (fun v ->
+        match
+          Sim.run ~config:params.sim ~verify:(Env.verify env) ~adaptive:v.v_adaptive
+            ~prog ~spec:v.v_spec ~training:v.v_training ~phases ()
+        with
+        | Ok o -> (v, o)
+        | Error e -> invalid_arg (Printf.sprintf "Exp_online: %s: %s" v.v_name e))
+      variants
+  in
+  let baseline, hardened =
+    match outcomes with
+    | (_, b) :: rest -> (b, rest)
+    | [] -> assert false
+  in
+  let base_phases = phase_cycles baseline in
+  let cmp =
+    Tbl.create
+      ~title:
+        "Continuous profiling: phased deployment overhead vs LTO (all defenses, \
+         patch downtime charged)"
+      ~columns:("phase" :: List.map (fun (v, _) -> v.v_name) hardened)
+  in
+  List.iter
+    (fun (phase, base) ->
+      Tbl.add_row cmp
+        (Tbl.Str phase
+        :: List.map
+             (fun (_, o) ->
+               let c = List.assoc phase (phase_cycles o) in
+               Exp_common.pct (Stats.overhead_pct ~baseline:(float_of_int base) (float_of_int c)))
+             hardened))
+    base_phases;
+  Tbl.add_separator cmp;
+  Tbl.add_row cmp
+    (Tbl.Str "whole deployment"
+    :: List.map
+         (fun (_, o) ->
+           Exp_common.pct
+             (Stats.overhead_pct
+                ~baseline:(float_of_int baseline.Sim.total_cycles)
+                (float_of_int o.Sim.total_cycles)))
+         hardened);
+  Tbl.add_row cmp
+    (Tbl.Str "rebuilds"
+    :: List.map (fun (_, o) -> Tbl.Int o.Sim.rebuilds) hardened);
+  Tbl.add_row cmp
+    (Tbl.Str "patch cycles"
+    :: List.map (fun (_, o) -> Tbl.Int o.Sim.total_patch_cycles) hardened);
+  let online =
+    match List.rev hardened with
+    | (_, o) :: _ -> o
+    | [] -> assert false
+  in
+  let trace =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "Online drift trace (threshold %.2f, hysteresis %d, window %d, decay %.2f)"
+           params.sim.Sim.drift_threshold params.sim.Sim.hysteresis
+           params.sim.Sim.store_window params.sim.Sim.decay)
+      ~columns:[ "window"; "phase"; "drift distance"; "action"; "patch cycles" ]
+  in
+  List.iter
+    (fun (w : Sim.window_record) ->
+      Tbl.add_row trace
+        [
+          Tbl.Int w.Sim.index;
+          Tbl.Str w.Sim.phase;
+          Tbl.Float w.Sim.distance;
+          Tbl.Str (if w.Sim.fired then "re-optimize + patch" else "");
+          (if w.Sim.patch_cycles > 0 then Tbl.Int w.Sim.patch_cycles else Tbl.Empty);
+        ])
+    online.Sim.windows;
+  [ cmp; trace ]
+
+let run env =
+  run_with (default_params ~quick:(Env.settings env = Measure.quick_settings)) env

@@ -1,0 +1,23 @@
+(** Online extension experiment: static-fresh vs static-stale vs
+    online-adaptive over a phased (LMBench -> Apache -> DBench)
+    deployment, reported like the paper's §8.4 robustness table.
+
+    All four variants (the LTO baseline included) replay byte-identical
+    seeded traffic through {!Pibe_online.Sim}; the comparison charges the
+    online variant's re-optimization patch/downtime cycles against it.
+    Variants run in parallel under the environment's pool and the output
+    is identical at any job count. *)
+
+type params = {
+  windows_per_phase : int;
+  sim : Pibe_online.Sim.config;
+}
+
+val default_params : quick:bool -> params
+
+val run_with : params -> Env.t -> Pibe_util.Tbl.t list
+(** The comparison table and the online variant's drift trace. *)
+
+val run : Env.t -> Pibe_util.Tbl.t list
+(** [run_with] at the defaults (quick sizing when the environment uses
+    the quick measurement settings). *)

@@ -127,6 +127,12 @@ let all =
       run = one Exp_ablation.run;
     };
     {
+      id = "online";
+      paper_ref = "Section 8.4 / PAPERS.md";
+      description = "extension: continuous profiling, drift detection, adaptive re-optimization";
+      run = Exp_online.run;
+    };
+    {
       id = "passes";
       paper_ref = "DESIGN.md section 2";
       description = "extension: per-pass pipeline instrumentation (pass manager)";

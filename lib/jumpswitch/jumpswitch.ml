@@ -4,6 +4,7 @@ type config = {
   relearn_period : int;
   miss_rate_relearn_pct : int;
   patch_sync_cycles : int;
+  patch_write_cycles : int;
 }
 
 (* Short inline chains (the ATC'19 design patches a couple of compare
@@ -17,7 +18,16 @@ let default_config =
     relearn_period = 256;
     miss_rate_relearn_pct = 5;
     patch_sync_cycles = 3000;
+    patch_write_cycles = 200;
   }
+
+(* A JumpSwitch learns targets one site at a time, so every repatch pays
+   the full synchronization below ([transfer_cost]).  A whole-image swap
+   is different: like kpatch, all sites are rewritten under ONE
+   stop-machine window, then each pays only the text-poke itself. *)
+let patch_cost ?(config = default_config) ~sites () =
+  if sites <= 0 then 0
+  else config.patch_sync_cycles + (config.patch_write_cycles * sites)
 
 type mode =
   | Learning of int  (* calls spent learning so far *)

@@ -18,9 +18,20 @@ type config = {
   relearn_period : int;  (** patched-mode calls between multi-target re-evaluations *)
   miss_rate_relearn_pct : int;  (** miss %% that forces a downgrade to learning *)
   patch_sync_cycles : int;  (** one-time cost of each live-patch operation *)
+  patch_write_cycles : int;  (** per-location text rewrite within a batch *)
 }
 
 val default_config : config
+
+val patch_cost : ?config:config -> sites:int -> unit -> int
+(** Cycles to live-patch [sites] code locations in one batch: one
+    [patch_sync_cycles] stop-machine/RCU window for the whole batch
+    (kpatch-style atomic replacement) plus [patch_write_cycles] per
+    rewritten location; [0] when nothing changed.  Incremental
+    JumpSwitch learning instead pays the full sync on {e every} patch —
+    see [transfer_cost].  This is the downtime model the online
+    re-optimization controller charges when it swaps in a freshly
+    optimized image. *)
 
 type t
 

@@ -131,6 +131,20 @@ let nginx info =
         sc info eng "send" conn (buf_len rng));
   }
 
+type phase = {
+  phase_name : string;
+  request : Engine.t -> Rng.t -> unit;
+}
+
+let phase_of_mix m = { phase_name = m.mix_name; request = m.request }
+
+let lmbench_phase info =
+  let ops = lmbench info in
+  {
+    phase_name = "LMBench";
+    request = (fun eng rng -> List.iter (fun o -> o.run eng rng) ops);
+  }
+
 let dbench info =
   {
     mix_name = "DBench";
@@ -146,3 +160,10 @@ let dbench info =
         sc info eng "fsync" (file_fd rng) 0;
         sc info eng "yield" 0 0);
   }
+
+(* The canonical drifting deployment: a microbenchmark phase, then a web
+   phase, then a file-server phase.  Each transition reshuffles which
+   dispatch-table targets are hot, which is exactly the staleness the
+   online loop must detect. *)
+let standard_phases info =
+  [ lmbench_phase info; phase_of_mix (apache info); phase_of_mix (dbench info) ]

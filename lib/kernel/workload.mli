@@ -36,3 +36,24 @@ type mix = {
 val apache : Gen.info -> mix
 val nginx : Gen.info -> mix
 val dbench : Gen.info -> mix
+
+(** {2 Phased deployments}
+
+    A [phase] is a segment of a long-running deployment: [request] issues
+    one unit of that phase's traffic (one application request, or one
+    sweep of the LMBench suite).  The online re-optimization loop
+    ({!Pibe_online}) drives a phase list to create profile drift
+    mid-run. *)
+
+type phase = {
+  phase_name : string;
+  request : Pibe_cpu.Engine.t -> Pibe_util.Rng.t -> unit;
+}
+
+val phase_of_mix : mix -> phase
+val lmbench_phase : Gen.info -> phase
+(** One request = one sweep over all 20 LMBench ops. *)
+
+val standard_phases : Gen.info -> phase list
+(** The drifting deployment of the online experiment:
+    LMBench -> Apache -> DBench. *)

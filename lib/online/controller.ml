@@ -1,0 +1,75 @@
+module Profile = Pibe_profile.Profile
+module Program = Pibe_ir.Program
+module Spec = Pibe_pm.Spec
+module Registry = Pibe_pm.Registry
+module Manager = Pibe_pm.Manager
+module Jumpswitch = Pibe_jumpswitch.Jumpswitch
+
+type t = {
+  base_prog : Program.t;  (* pristine kernel; every rebuild starts here *)
+  spec : Spec.t;
+  verify : bool;
+  patch_config : Jumpswitch.config;
+  mutable image : Pibe_harden.Pass.image;
+  mutable reference : Profile.t;
+  mutable rebuilds : int;
+  mutable total_patch_cycles : int;
+}
+
+let build ~verify base_prog spec profile =
+  match Registry.of_spec spec with
+  | Error e -> Error e
+  | Ok passes -> Ok (Manager.run ~verify base_prog profile passes).Manager.image
+
+let create ?(patch_config = Jumpswitch.default_config) ?(verify = false) ~prog ~spec
+    ~profile () =
+  match build ~verify prog spec profile with
+  | Error e -> Error e
+  | Ok image ->
+    Ok
+      {
+        base_prog = prog;
+        spec;
+        verify;
+        patch_config;
+        image;
+        reference = Profile.copy profile;
+        rebuilds = 0;
+        total_patch_cycles = 0;
+      }
+
+let image t = t.image
+let reference t = t.reference
+let rebuilds t = t.rebuilds
+let total_patch_cycles t = t.total_patch_cycles
+let spec t = t.spec
+
+(* Functions whose body changed between the deployed image and the fresh
+   one (plus additions and removals): each is one live-patch site the
+   runtime must stop-machine over.  The IR is pure data, so structural
+   equality is exact. *)
+let changed_funcs old_prog new_prog =
+  let changed =
+    Program.fold_funcs new_prog ~init:0 ~f:(fun acc (f : Pibe_ir.Types.func) ->
+        match Program.find_opt old_prog f.Pibe_ir.Types.fname with
+        | Some g when g = f -> acc
+        | Some _ | None -> acc + 1)
+  in
+  Program.fold_funcs old_prog ~init:changed ~f:(fun acc (f : Pibe_ir.Types.func) ->
+      if Program.mem new_prog f.Pibe_ir.Types.fname then acc else acc + 1)
+
+let reoptimize t new_profile =
+  match build ~verify:t.verify t.base_prog t.spec new_profile with
+  | Error e ->
+    (* the spec was validated at [create]; the registry cannot reject it now *)
+    invalid_arg (Printf.sprintf "Controller.reoptimize: %s" e)
+  | Ok image ->
+    let sites =
+      changed_funcs t.image.Pibe_harden.Pass.prog image.Pibe_harden.Pass.prog
+    in
+    let cycles = Jumpswitch.patch_cost ~config:t.patch_config ~sites () in
+    t.image <- image;
+    t.reference <- Profile.copy new_profile;
+    t.rebuilds <- t.rebuilds + 1;
+    t.total_patch_cycles <- t.total_patch_cycles + cycles;
+    cycles

@@ -1,0 +1,43 @@
+(** Re-optimization controller.
+
+    Holds the currently deployed hardened image, the pipeline spec it was
+    built with, and the training profile it was optimized for (the
+    {e reference} the drift detector compares production windows
+    against).  When drift fires, [reoptimize] re-runs the spec through
+    the {!Pibe_pm} pass manager on the pristine kernel with the new
+    (decayed, merged) profile, charges a patching/downtime cost — the
+    {!Pibe_jumpswitch.Jumpswitch.patch_cost} stop-machine model, one
+    batched sync plus a text write per function whose code changed — and
+    swaps the image in. *)
+
+type t
+
+val create :
+  ?patch_config:Pibe_jumpswitch.Jumpswitch.config ->
+  ?verify:bool ->
+  prog:Pibe_ir.Program.t ->
+  spec:Pibe_pm.Spec.t ->
+  profile:Pibe_profile.Profile.t ->
+  unit ->
+  (t, string) result
+(** Builds the initial image; [Error] reports an unresolvable spec.
+    [verify] runs the IR validator between passes on every (re)build. *)
+
+val image : t -> Pibe_harden.Pass.image
+(** The currently deployed image. *)
+
+val reference : t -> Pibe_profile.Profile.t
+(** The profile the deployed image was trained on. *)
+
+val spec : t -> Pibe_pm.Spec.t
+val rebuilds : t -> int
+val total_patch_cycles : t -> int
+
+val reoptimize : t -> Pibe_profile.Profile.t -> int
+(** Rebuild on the new profile, swap images, update the reference, and
+    return the patch cycles charged for this swap (0 when the rebuild
+    produced an identical image). *)
+
+val changed_funcs : Pibe_ir.Program.t -> Pibe_ir.Program.t -> int
+(** Functions added, removed, or with a differing body — the live-patch
+    site count of a swap. *)

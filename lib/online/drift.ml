@@ -1,0 +1,102 @@
+module Profile = Pibe_profile.Profile
+
+(* Normalized indirect weight per (origin, target): magnitude-invariant,
+   so a short sampling window compares cleanly against a long training
+   run.  Iteration is over sorted origins and sorted value profiles, so
+   float accumulation order is fixed. *)
+let normalized_indirect p =
+  let total = float_of_int (Profile.total_indirect_weight p) in
+  if total <= 0.0 then []
+  else
+    List.concat_map
+      (fun origin ->
+        List.map
+          (fun (target, c) -> ((origin, target), float_of_int c /. total))
+          (Profile.value_profile p ~origin))
+      (Profile.profiled_indirect_origins p)
+
+let weighted_jaccard a b =
+  let na = normalized_indirect a and nb = normalized_indirect b in
+  match (na, nb) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+    let tbl = Hashtbl.create 256 in
+    List.iter (fun (k, w) -> Hashtbl.replace tbl k (w, 0.0)) na;
+    List.iter
+      (fun (k, w) ->
+        match Hashtbl.find_opt tbl k with
+        | Some (wa, _) -> Hashtbl.replace tbl k (wa, w)
+        | None -> Hashtbl.replace tbl k (0.0, w))
+      nb;
+    (* fold over the sorted key list for deterministic summation order *)
+    let keys = List.sort_uniq compare (List.map fst na @ List.map fst nb) in
+    let num, den =
+      List.fold_left
+        (fun (num, den) k ->
+          let wa, wb = Hashtbl.find tbl k in
+          (num +. Float.min wa wb, den +. Float.max wa wb))
+        (0.0, 0.0) keys
+    in
+    if den <= 0.0 then 1.0 else num /. den
+
+(* Hot-site ranking: indirect origins ordered by total value-profile
+   weight (ties by origin id). *)
+let hot_origins ?(k = max_int) p =
+  let ranked =
+    List.sort
+      (fun (o1, w1) (o2, w2) -> if w1 <> w2 then compare w2 w1 else compare o1 o2)
+      (List.map
+         (fun origin ->
+           ( origin,
+             List.fold_left (fun acc (_, c) -> acc + c) 0 (Profile.value_profile p ~origin) ))
+         (Profile.profiled_indirect_origins p))
+  in
+  List.filteri (fun i _ -> i < k) (List.map fst ranked)
+
+let topk_overlap ~k a b =
+  if k < 1 then invalid_arg "Drift.topk_overlap: k must be >= 1";
+  let ta = hot_origins ~k a and tb = hot_origins ~k b in
+  match (ta, tb) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+    let inter = List.length (List.filter (fun o -> List.mem o tb) ta) in
+    float_of_int inter /. float_of_int (max (List.length ta) (List.length tb))
+
+let distance ?(k = 16) a b =
+  let sim = 0.5 *. (weighted_jaccard a b +. topk_overlap ~k a b) in
+  Float.max 0.0 (Float.min 1.0 (1.0 -. sim))
+
+(* ----------------------------- detector ----------------------------- *)
+
+type decision =
+  | Stable
+  | Suspect of int
+  | Fire
+
+type detector = {
+  threshold : float;
+  hysteresis : int;
+  mutable streak : int;
+}
+
+let detector ~threshold ~hysteresis =
+  if hysteresis < 1 then invalid_arg "Drift.detector: hysteresis must be >= 1";
+  { threshold; hysteresis; streak = 0 }
+
+let reset d = d.streak <- 0
+
+let observe d dist =
+  if dist > d.threshold then begin
+    d.streak <- d.streak + 1;
+    if d.streak >= d.hysteresis then begin
+      d.streak <- 0;
+      Fire
+    end
+    else Suspect d.streak
+  end
+  else begin
+    d.streak <- 0;
+    Stable
+  end

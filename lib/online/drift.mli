@@ -1,0 +1,50 @@
+(** Profile drift detection.
+
+    The distance metric combines two magnitude-invariant views of the
+    indirect-branch profile — exactly the data PIBE's optimization
+    decisions key on:
+
+    - {e weighted Jaccard} over normalized per-(origin, target)
+      value-profile weights (how the probability mass over dispatch
+      targets moved), and
+    - {e top-K rank overlap} over the hottest indirect origins (whether
+      the sites worth spending budget on are still the same sites).
+
+    [distance] = 1 - (jaccard + overlap) / 2, in [0, 1]; 0 means the
+    production windows still look like the training run, 1 means a
+    completely different workload.
+
+    The {!detector} wraps the metric in a threshold-plus-hysteresis
+    policy: drift must stay above the threshold for [hysteresis]
+    {e consecutive} windows before {!Fire} is returned, so sampling noise
+    and one-window bursts never trigger a rebuild. *)
+
+val weighted_jaccard : Pibe_profile.Profile.t -> Pibe_profile.Profile.t -> float
+(** Similarity in [0, 1]; 1 for identical target distributions (and for
+    two profiles with no indirect weight at all), 0 for disjoint ones. *)
+
+val hot_origins : ?k:int -> Pibe_profile.Profile.t -> int list
+(** Indirect origins by descending value-profile weight (ties by origin
+    id), truncated to [k] when given. *)
+
+val topk_overlap : k:int -> Pibe_profile.Profile.t -> Pibe_profile.Profile.t -> float
+(** Overlap of the two top-[k] hot-origin sets in [0, 1], normalized by
+    the larger set.  Raises [Invalid_argument] if [k < 1]. *)
+
+val distance : ?k:int -> Pibe_profile.Profile.t -> Pibe_profile.Profile.t -> float
+(** Symmetric drift distance in [0, 1] ([k] defaults to 16). *)
+
+type decision =
+  | Stable  (** below threshold; streak reset *)
+  | Suspect of int  (** above threshold for this many consecutive windows *)
+  | Fire  (** hysteresis satisfied; streak reset, caller should re-optimize *)
+
+type detector
+
+val detector : threshold:float -> hysteresis:int -> detector
+(** [hysteresis >= 1] consecutive above-threshold windows required. *)
+
+val observe : detector -> float -> decision
+(** Feed one window's distance. *)
+
+val reset : detector -> unit

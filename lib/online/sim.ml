@@ -1,0 +1,144 @@
+module Profile = Pibe_profile.Profile
+module Collector = Pibe_profile.Collector
+module Program = Pibe_ir.Program
+module Engine = Pibe_cpu.Engine
+module Rng = Pibe_util.Rng
+module Workload = Pibe_kernel.Workload
+module H = Pibe_harden.Pass
+
+type config = {
+  requests_per_window : int;
+  store_window : int;
+  decay : float;
+  drift_threshold : float;
+  hysteresis : int;
+  top_k : int;
+  max_reopts : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    requests_per_window = 150;
+    store_window = 3;
+    decay = 0.5;
+    drift_threshold = 0.25;
+    hysteresis = 2;
+    top_k = 16;
+    max_reopts = 3;
+    seed = 23;
+  }
+
+type window_record = {
+  index : int;
+  phase : string;
+  cycles : int;
+  patch_cycles : int;
+  distance : float;
+  fired : bool;
+}
+
+type outcome = {
+  windows : window_record list;
+  rebuilds : int;
+  total_cycles : int;
+  total_patch_cycles : int;
+}
+
+(* One production window: replay the same request stream twice — once on
+   the deployed engine for cycle accounting, once on a profiling build of
+   the pristine kernel (default costs + collector hook) for the lifted
+   window profile.  Profiling on the pristine image keeps every window in
+   the same origin-id coordinate system as the training profiles, exactly
+   as AutoFDO lifts production samples back to the unoptimized IR. *)
+let run_window ~cfg ~prog ~image ~(phase : Workload.phase) rng =
+  let rng_profile = Rng.copy rng in
+  let deployed = Engine.create ~config:(H.engine_config image) image.H.prog in
+  for _ = 1 to cfg.requests_per_window do
+    phase.Workload.request deployed rng
+  done;
+  let collector = Collector.create prog in
+  let pconfig =
+    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
+  in
+  let profiler = Engine.create ~config:pconfig prog in
+  for _ = 1 to cfg.requests_per_window do
+    phase.Workload.request profiler rng_profile
+  done;
+  (Engine.cycles deployed, Collector.lift collector)
+
+let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~training
+    ~phases () =
+  match Controller.create ~verify ~prog ~spec ~profile:training () with
+  | Error e -> Error e
+  | Ok controller ->
+    let cfg = config in
+    let store = Store.create ~window:cfg.store_window ~decay:cfg.decay () in
+    let detector =
+      Drift.detector ~threshold:cfg.drift_threshold ~hysteresis:cfg.hysteresis
+    in
+    let master = Rng.create cfg.seed in
+    let index = ref 0 in
+    let windows = ref [] in
+    List.iter
+      (fun ((phase : Workload.phase), nwindows) ->
+        for _ = 1 to nwindows do
+          let rng = Rng.split master in
+          let cycles, wprof =
+            run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
+          in
+          Store.observe store wprof;
+          (* Detect on the freshest window (fast reaction); rebuild on the
+             decayed merge (stable training data).  Hysteresis, not
+             smoothing, is what keeps one-window noise from firing. *)
+          let dist =
+            Drift.distance ~k:cfg.top_k (Controller.reference controller) wprof
+          in
+          let decision = Drift.observe detector dist in
+          let fire =
+            adaptive && decision = Drift.Fire
+            && Controller.rebuilds controller < cfg.max_reopts
+          in
+          let patch_cycles =
+            if fire then Controller.reoptimize controller (Store.merged store) else 0
+          in
+          windows :=
+            {
+              index = !index;
+              phase = phase.Workload.phase_name;
+              cycles;
+              patch_cycles;
+              distance = dist;
+              fired = fire;
+            }
+            :: !windows;
+          incr index
+        done)
+      phases;
+    let windows = List.rev !windows in
+    Ok
+      {
+        windows;
+        rebuilds = Controller.rebuilds controller;
+        total_cycles =
+          List.fold_left (fun acc w -> acc + w.cycles + w.patch_cycles) 0 windows;
+        total_patch_cycles = Controller.total_patch_cycles controller;
+      }
+
+let training_profile ?(config = default_config) ~prog ~phases () =
+  let collector = Collector.create prog in
+  let pconfig =
+    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
+  in
+  let engine = Engine.create ~config:pconfig prog in
+  let master = Rng.create config.seed in
+  List.iter
+    (fun ((phase : Workload.phase), nwindows) ->
+      for _ = 1 to nwindows do
+        let rng = Rng.split master in
+        for _ = 1 to config.requests_per_window do
+          phase.Workload.request engine rng
+        done
+      done)
+    phases;
+  Collector.lift collector

@@ -1,0 +1,25 @@
+module Profile = Pibe_profile.Profile
+
+type t = {
+  window : int;
+  decay : float;
+  mutable snapshots : Profile.t list;  (* newest first *)
+}
+
+let create ~window ~decay () =
+  if window < 1 then invalid_arg "Store.create: window must be >= 1";
+  if not (decay > 0.0 && decay <= 1.0) then
+    invalid_arg "Store.create: decay must be in (0, 1]";
+  { window; decay; snapshots = [] }
+
+let length t = List.length t.snapshots
+
+let observe t p =
+  let keep = List.filteri (fun i _ -> i < t.window - 1) t.snapshots in
+  t.snapshots <- Profile.copy p :: keep
+
+let merged t =
+  Profile.merge_weighted
+    (List.mapi (fun age p -> (t.decay ** float_of_int age, p)) t.snapshots)
+
+let clear t = t.snapshots <- []

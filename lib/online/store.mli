@@ -1,0 +1,27 @@
+(** Windowed profile store for continuous profiling.
+
+    A ring of the last [window] per-window profile snapshots.  [merged]
+    collapses the ring into one recency-biased training profile by
+    weighting each snapshot [decay^age] (newest weight 1) and summing
+    pointwise through {!Pibe_profile.Profile.merge_weighted} — the
+    exponential-decay aggregation of AutoFDO-style continuous-PGO
+    systems.  All operations are deterministic. *)
+
+type t
+
+val create : window:int -> decay:float -> unit -> t
+(** [window >= 1] snapshots retained; [decay] in (0, 1] ([1.0] = plain
+    unweighted merge of the window).  Raises [Invalid_argument]
+    otherwise. *)
+
+val observe : t -> Pibe_profile.Profile.t -> unit
+(** Push the newest window snapshot (a deep copy is taken), evicting the
+    oldest beyond the window. *)
+
+val length : t -> int
+
+val merged : t -> Pibe_profile.Profile.t
+(** The decayed weighted merge of the ring; the empty profile when
+    nothing has been observed yet. *)
+
+val clear : t -> unit

@@ -147,6 +147,161 @@ let builders : (string * (Spec.elem -> (Pass.t, string) result)) list =
 
 let names = List.map fst builders
 
+(* --------------------------- documentation --------------------------- *)
+
+type opt_info = {
+  opt_key : string;
+  opt_type : string;
+  opt_default : string;
+  opt_sample : string option;
+  opt_doc : string;
+}
+
+type pass_info = {
+  info_name : string;
+  info_doc : string;
+  info_opts : opt_info list;
+}
+
+let budget_opt default =
+  {
+    opt_key = "budget";
+    opt_type = "float";
+    opt_default = Printf.sprintf "%g" default;
+    opt_sample = Some "99.9";
+    opt_doc = "percent of cumulative profile weight to optimize";
+  }
+
+let infos =
+  [
+    {
+      info_name = "cleanup";
+      info_doc = "post-inlining scalar cleanup (constant folding, dead code)";
+      info_opts = [];
+    };
+    {
+      info_name = "fenced-retpoline";
+      info_doc = "request retpolines + LVI (lowered to the combined fenced sequence)";
+      info_opts = [];
+    };
+    {
+      info_name = "icp";
+      info_doc = "PIBE indirect-call promotion (profile-ordered, Rules 1-3)";
+      info_opts =
+        [
+          budget_opt Icp.default_config.Icp.budget_pct;
+          {
+            opt_key = "max-targets";
+            opt_type = "int";
+            opt_default = "unbounded";
+            opt_sample = Some "4";
+            opt_doc = "cap on promoted targets per site";
+          };
+        ];
+    };
+    {
+      info_name = "inline";
+      info_doc = "PIBE's weight-ordered interprocedural inliner";
+      info_opts =
+        [
+          budget_opt Inliner.default_config.Inliner.budget_pct;
+          {
+            opt_key = "lax";
+            opt_type = "flag or float";
+            opt_default = "off (bare flag = 99)";
+            opt_sample = None;
+            opt_doc = "lax candidate window, percent of the hottest weight";
+          };
+          {
+            opt_key = "rule2";
+            opt_type = "int";
+            opt_default = string_of_int Inliner.default_config.Inliner.rule2_threshold;
+            opt_sample = Some "6";
+            opt_doc = "Rule-2 caller InlineCost threshold";
+          };
+          {
+            opt_key = "rule3";
+            opt_type = "int";
+            opt_default = string_of_int Inliner.default_config.Inliner.rule3_threshold;
+            opt_sample = Some "6";
+            opt_doc = "Rule-3 callee InlineCost threshold";
+          };
+        ];
+    };
+    {
+      info_name = "llvm-inline";
+      info_doc = "the LLVM-default bottom-up PGO inliner baseline";
+      info_opts =
+        [
+          budget_opt Llvm_inliner.default_config.Llvm_inliner.budget_pct;
+          {
+            opt_key = "hot";
+            opt_type = "int";
+            opt_default =
+              string_of_int Llvm_inliner.default_config.Llvm_inliner.hot_callee_threshold;
+            opt_sample = Some "64";
+            opt_doc = "callee size threshold at profiled-hot sites";
+          };
+          {
+            opt_key = "cold";
+            opt_type = "int";
+            opt_default =
+              string_of_int Llvm_inliner.default_config.Llvm_inliner.cold_callee_threshold;
+            opt_sample = Some "2";
+            opt_doc = "callee size threshold elsewhere";
+          };
+          {
+            opt_key = "cap";
+            opt_type = "int";
+            opt_default = string_of_int Llvm_inliner.default_config.Llvm_inliner.caller_cap;
+            opt_sample = Some "12";
+            opt_doc = "caller-growth InlineCost cap";
+          };
+        ];
+    };
+    {
+      info_name = "lvi-cfi";
+      info_doc = "request LVI-CFI hardening of indirect transfers";
+      info_opts = [];
+    };
+    {
+      info_name = "no-jump-tables";
+      info_doc = "re-lower jump tables as branch ladders now (idempotent)";
+      info_opts = [];
+    };
+    {
+      info_name = "ret-retpoline";
+      info_doc = "request return retpolines on every function return";
+      info_opts = [];
+    };
+    {
+      info_name = "retpoline";
+      info_doc = "request Spectre-V2 retpolines on indirect branches";
+      info_opts = [];
+    };
+    {
+      info_name = "rsb-refill";
+      info_doc = "stuff the RSB at every kernel entry";
+      info_opts = [];
+    };
+  ]
+
+(* A spec element exercising every documented option of [i] — the
+   round-trip the tests pin: the rendered form must parse and resolve. *)
+let sample_spec_text (i : pass_info) =
+  match i.info_opts with
+  | [] -> i.info_name
+  | opts ->
+    let args =
+      List.map
+        (fun o ->
+          match o.opt_sample with
+          | None -> o.opt_key
+          | Some v -> Printf.sprintf "%s=%s" o.opt_key v)
+        opts
+    in
+    Printf.sprintf "%s(%s)" i.info_name (String.concat "," args)
+
 let find (e : Spec.elem) =
   match List.assoc_opt e.pass builders with
   | Some build -> build e

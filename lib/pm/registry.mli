@@ -21,6 +21,28 @@
 val names : string list
 (** Registered pass names, alphabetical. *)
 
+type opt_info = {
+  opt_key : string;  (** option name as written in a spec *)
+  opt_type : string;  (** "float", "int", or "flag or float" *)
+  opt_default : string;  (** rendered default (live, from the pass config) *)
+  opt_sample : string option;  (** example value; [None] = bare flag *)
+  opt_doc : string;
+}
+
+type pass_info = {
+  info_name : string;
+  info_doc : string;
+  info_opts : opt_info list;
+}
+
+val infos : pass_info list
+(** One entry per registered pass, same order as {!names}; defaults are
+    read from the live pass configs, never hand-copied. *)
+
+val sample_spec_text : pass_info -> string
+(** A spec element exercising every documented option — guaranteed to
+    parse ({!Spec.of_string}) and resolve ({!find}); the tests pin this. *)
+
 val find : Spec.elem -> (Pass.t, string) result
 (** Resolves one element; [Error] explains the unknown pass or option
     (listing what is accepted). *)

@@ -77,6 +77,48 @@ let merge a b =
   copy_from b;
   t
 
+(* Weighted merge accumulates in float per key and rounds once at the
+   end (better than rounding each addend); keys whose weighted sum rounds
+   to zero are dropped so decayed profiles stay sparse.  Per-key addition
+   order follows the part list, so the result is deterministic. *)
+let merge_weighted parts =
+  let dir : (int, float) Hashtbl.t = Hashtbl.create 512 in
+  let ind : (int * string, float) Hashtbl.t = Hashtbl.create 512 in
+  let ent : (string, float) Hashtbl.t = Hashtbl.create 512 in
+  let bumpf tbl key v =
+    Hashtbl.replace tbl key (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun (w, src) ->
+      if w < 0.0 then invalid_arg "Profile.merge_weighted: negative weight";
+      Hashtbl.iter (fun origin c -> bumpf dir origin (w *. float_of_int c)) src.direct;
+      Hashtbl.iter
+        (fun origin vp ->
+          Hashtbl.iter (fun target c -> bumpf ind (origin, target) (w *. float_of_int c)) vp)
+        src.indirect;
+      Hashtbl.iter (fun func c -> bumpf ent func (w *. float_of_int c)) src.entries)
+    parts;
+  let t = create () in
+  let round v = int_of_float (Float.round v) in
+  Hashtbl.iter
+    (fun origin v ->
+      let c = round v in
+      if c > 0 then add_direct t ~origin ~count:c)
+    dir;
+  Hashtbl.iter
+    (fun (origin, target) v ->
+      let c = round v in
+      if c > 0 then add_indirect t ~origin ~target ~count:c)
+    ind;
+  Hashtbl.iter
+    (fun func v ->
+      let c = round v in
+      if c > 0 then add_entry t ~func ~count:c)
+    ent;
+  t
+
+let scale t f = merge_weighted [ (f, t) ]
+
 let to_string t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "profile {\n";

@@ -41,6 +41,20 @@ val merge : t -> t -> t
 (** Pointwise sum (combining the 11 profiling iterations of the paper's
     methodology). *)
 
+val merge_weighted : (float * t) list -> t
+(** [merge_weighted [(w1, p1); ...]] sums every counter pointwise with the
+    given non-negative weights, accumulating in floating point and
+    rounding once (nearest) at the end; keys whose weighted sum rounds to
+    zero are dropped.  This is the continuous-profiling combinator: a
+    window ring merged with exponentially decaying weights yields the
+    recency-biased training profile.  Raises [Invalid_argument] on a
+    negative weight. *)
+
+val scale : t -> float -> t
+(** [scale t f] is [merge_weighted [(f, t)]]: every counter multiplied by
+    [f] (non-negative) with nearest rounding, zero-rounding keys
+    dropped. *)
+
 val copy : t -> t
 (** A deep, independent copy: mutating the copy (as ICP does when it moves
     promoted weight) never touches the original.  Every pipeline run

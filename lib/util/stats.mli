@@ -19,10 +19,18 @@ val geomean : float list -> float
 val geomean_overhead : float list -> float
 (** Geometric mean of overhead percentages that may be negative (speedups),
     computed as the paper does: gm over ratios [1 + p/100], mapped back to a
-    percentage.  E.g. [geomean_overhead [10.; -10.]] is roughly [-0.5]. *)
+    percentage.  E.g. [geomean_overhead [10.; -10.]] is roughly [-0.5].
+    All-speedup lists are fine as long as every element is above [-100]
+    (the gm of speedups is itself a speedup, bounded by the extremes);
+    any element at or below [-100] makes its ratio non-positive and
+    raises [Invalid_argument], as does the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0,100\]]; nearest-rank. *)
+(** [percentile p xs], nearest-rank: the element at rank
+    [ceil (p/100 * n)] of the sorted list.  [p = 0] returns the minimum,
+    [p = 100] the maximum, and a singleton list returns its element for
+    every [p]; out-of-range [p] clamps to those extremes.  Raises
+    [Invalid_argument] on the empty list. *)
 
 val overhead_pct : baseline:float -> float -> float
 (** [(v - baseline) / baseline * 100].  Positive = slowdown. *)

@@ -14,6 +14,7 @@ let () =
       ("attack", Test_attack.suite);
       ("pipeline", Test_pipeline.suite);
       ("pm", Test_pm.suite);
+      ("online", Test_online.suite);
       ("core", Test_core.suite);
       ("measure", Test_measure.suite);
       ("experiments", Test_experiments.suite);

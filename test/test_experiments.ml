@@ -27,10 +27,10 @@ let test_registry_complete () =
       Alcotest.(check bool) (want ^ " registered") true (List.mem want ids))
     ([
        "figure1"; "robustness"; "security"; "ablation"; "userspace"; "sensitivity";
-       "v1scan"; "passes";
+       "v1scan"; "passes"; "online";
      ]
     @ List.init 12 (fun i -> Printf.sprintf "table%d" (i + 1)));
-  Alcotest.(check int) "20 experiments" 20 (List.length Exp.all)
+  Alcotest.(check int) "21 experiments" 21 (List.length Exp.all)
 
 let test_table1_shape () =
   let t = first "table1" in
@@ -254,6 +254,24 @@ let test_passes_instrumentation () =
     Alcotest.(check bool) "icp leaves a positive icall residue" true (snd (row "icp") > 0)
   | tables -> Alcotest.failf "expected two tables, got %d" (List.length tables)
 
+let test_online_story () =
+  match table "online" with
+  | [ cmp; trace ] -> (
+    Alcotest.(check bool) "drift trace has rows" true (List.length (Tbl.rows trace) > 0);
+    match Tbl.find_row cmp "whole deployment" with
+    | None -> Alcotest.fail "whole-deployment row missing"
+    | Some row ->
+      (* columns: static-fresh, static-stale, online-adaptive *)
+      let fresh = pct_of (List.nth row 1) in
+      let stale = pct_of (List.nth row 2) in
+      let online = pct_of (List.nth row 3) in
+      Alcotest.(check bool) "the stale profile costs performance" true (stale > fresh);
+      (* the headline claim: adaptation recovers most of the stale-profile
+         overhead, patch downtime included *)
+      Alcotest.(check bool) "online recovers most of the gap" true
+        (stale -. online > 0.5 *. (stale -. fresh)))
+  | tables -> Alcotest.failf "expected two tables, got %d" (List.length tables)
+
 let test_listings_render () =
   let s = Exp.listings () in
   Alcotest.(check bool) "mentions retpoline" true (String.length s > 200)
@@ -278,6 +296,7 @@ let suite =
     ("security story", `Slow, test_security_story);
     ("ablation story", `Slow, test_ablation_story);
     ("passes instrumentation", `Slow, test_passes_instrumentation);
+    ("online continuous profiling story", `Slow, test_online_story);
     ("userspace extension", `Slow, test_userspace_story);
     ("v1 scan table", `Quick, test_v1scan_table);
     ("listings render", `Quick, test_listings_render);

@@ -1,0 +1,218 @@
+(* Continuous profiling: the store's decayed window, the drift metric and
+   its hysteresis policy, the re-optimization controller, and the two
+   end-to-end guarantees of the deployment simulator — no rebuilds on a
+   steady workload, and adaptation paying off on a phased one. *)
+
+module Profile = Pibe_profile.Profile
+module Store = Pibe_online.Store
+module Drift = Pibe_online.Drift
+module Controller = Pibe_online.Controller
+module Sim = Pibe_online.Sim
+module Workload = Pibe_kernel.Workload
+
+let profile_of assocs =
+  let p = Profile.create () in
+  List.iter
+    (fun (origin, targets) ->
+      List.iter (fun (target, count) -> Profile.add_indirect p ~origin ~target ~count) targets)
+    assocs;
+  p
+
+(* ------------------------------- store ------------------------------ *)
+
+let test_store_decay_and_eviction () =
+  let store = Store.create ~window:2 ~decay:0.5 () in
+  Alcotest.(check int) "empty" 0 (Store.length store);
+  Alcotest.(check string) "empty merge" (Profile.to_string (Profile.create ()))
+    (Profile.to_string (Store.merged store));
+  let snap c = profile_of [ (1, [ ("t", c) ]) ] in
+  Store.observe store (snap 100);
+  Store.observe store (snap 200);
+  Store.observe store (snap 400);
+  Alcotest.(check int) "evicted beyond the window" 2 (Store.length store);
+  (* newest (400) at weight 1, previous (200) at 0.5; the first snapshot
+     is gone: 400 + 100 = 500 *)
+  let merged = Store.merged store in
+  Alcotest.(check int) "decayed weighted sum" 500
+    (Profile.site_weight merged { Pibe_ir.Types.site_id = 1; site_origin = 1 });
+  Store.clear store;
+  Alcotest.(check int) "cleared" 0 (Store.length store)
+
+let test_store_observe_copies () =
+  let store = Store.create ~window:3 ~decay:1.0 () in
+  let p = profile_of [ (7, [ ("t", 10) ]) ] in
+  Store.observe store p;
+  (* mutating the caller's profile afterwards must not leak into the ring *)
+  Profile.add_indirect p ~origin:7 ~target:"t" ~count:990;
+  Alcotest.(check int) "snapshot unaffected" 10
+    (Profile.site_weight (Store.merged store) { Pibe_ir.Types.site_id = 7; site_origin = 7 })
+
+let test_store_validation () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Store.create: window must be >= 1")
+    (fun () -> ignore (Store.create ~window:0 ~decay:0.5 ()));
+  Alcotest.check_raises "decay 0" (Invalid_argument "Store.create: decay must be in (0, 1]")
+    (fun () -> ignore (Store.create ~window:3 ~decay:0.0 ()));
+  Alcotest.check_raises "decay > 1" (Invalid_argument "Store.create: decay must be in (0, 1]")
+    (fun () -> ignore (Store.create ~window:3 ~decay:1.5 ()))
+
+(* ------------------------------- drift ------------------------------ *)
+
+let test_distance_properties () =
+  let a = profile_of [ (1, [ ("x", 90); ("y", 10) ]); (2, [ ("z", 50) ]) ] in
+  let b = profile_of [ (3, [ ("u", 40) ]); (4, [ ("v", 60) ]) ] in
+  Alcotest.(check (float 1e-9)) "identical profiles" 0.0 (Drift.distance a a);
+  Alcotest.(check (float 1e-9)) "both empty" 0.0
+    (Drift.distance (Profile.create ()) (Profile.create ()));
+  Alcotest.(check (float 1e-9)) "disjoint profiles" 1.0 (Drift.distance a b);
+  Alcotest.(check (float 1e-9)) "symmetric" (Drift.distance a b) (Drift.distance b a);
+  (* magnitude invariance: scaling every count leaves the distance alone *)
+  let scaled = Profile.scale a 3.0 in
+  Alcotest.(check (float 1e-9)) "scale invariant" 0.0 (Drift.distance a scaled);
+  let d = Drift.distance a (profile_of [ (1, [ ("x", 10); ("y", 90) ]) ]) in
+  Alcotest.(check bool) "partial drift strictly inside (0, 1)" true (d > 0.0 && d < 1.0)
+
+let test_detector_hysteresis () =
+  let det = Drift.detector ~threshold:0.5 ~hysteresis:2 in
+  Alcotest.(check bool) "first suspect" true (Drift.observe det 0.6 = Drift.Suspect 1);
+  Alcotest.(check bool) "second fires" true (Drift.observe det 0.6 = Drift.Fire);
+  (* streak resets after a fire: the next window starts a new streak *)
+  Alcotest.(check bool) "post-fire restart" true (Drift.observe det 0.7 = Drift.Suspect 1);
+  (* a stable window breaks the streak: no fire on alternating noise *)
+  Alcotest.(check bool) "stable resets" true (Drift.observe det 0.2 = Drift.Stable);
+  Alcotest.(check bool) "back to one" true (Drift.observe det 0.9 = Drift.Suspect 1);
+  Alcotest.(check bool) "still no fire" true (Drift.observe det 0.9 = Drift.Fire);
+  Drift.reset det;
+  Alcotest.(check bool) "reset clears the streak" true
+    (Drift.observe det 0.9 = Drift.Suspect 1)
+
+(* ---------------------------- controller ---------------------------- *)
+
+let quick_spec () =
+  Pibe.Pipeline.spec_of_config (Pibe.Exp_common.best_config Pibe.Exp_common.all_defenses)
+
+let test_controller_identical_rebuild_is_free () =
+  let env = Helpers.env () in
+  let prog = (Pibe.Env.info env).Pibe_kernel.Gen.prog in
+  let profile = Pibe.Env.lmbench_profile env in
+  match Controller.create ~prog ~spec:(quick_spec ()) ~profile () with
+  | Error e -> Alcotest.failf "controller: %s" e
+  | Ok c ->
+    Alcotest.(check int) "no rebuilds yet" 0 (Controller.rebuilds c);
+    (* same profile -> same image -> zero changed functions -> no downtime *)
+    let cycles = Controller.reoptimize c profile in
+    Alcotest.(check int) "identical rebuild costs nothing" 0 cycles;
+    Alcotest.(check int) "but is counted" 1 (Controller.rebuilds c);
+    Alcotest.(check int) "no cycles accumulated" 0 (Controller.total_patch_cycles c)
+
+let test_controller_rejects_bad_spec () =
+  let env = Helpers.env () in
+  let prog = (Pibe.Env.info env).Pibe_kernel.Gen.prog in
+  let profile = Pibe.Env.lmbench_profile env in
+  match
+    Controller.create ~prog
+      ~spec:[ Pibe_pm.Spec.elem "mystery" ]
+      ~profile ()
+  with
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "names the pass" true (contains e "mystery")
+  | Ok _ -> Alcotest.fail "unknown pass accepted"
+
+(* ------------------------------- sim -------------------------------- *)
+
+let sim_config =
+  {
+    Sim.default_config with
+    Sim.requests_per_window = 25;
+    store_window = 2;
+    hysteresis = 2;
+  }
+
+let run_sim ?(config = sim_config) ~adaptive ~phases env =
+  let prog = (Pibe.Env.info env).Pibe_kernel.Gen.prog in
+  let training = Pibe.Env.lmbench_profile env in
+  match
+    Sim.run ~config ~adaptive ~prog ~spec:(quick_spec ()) ~training ~phases ()
+  with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "sim: %s" e
+
+let test_steady_workload_never_fires () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  (* the deployed image was trained on LMBench; a steady LMBench stream
+     must never trip the detector, adaptive or not *)
+  let phases = [ (Workload.lmbench_phase info, 6) ] in
+  let o = run_sim ~adaptive:true ~phases env in
+  Alcotest.(check int) "no rebuilds" 0 o.Sim.rebuilds;
+  Alcotest.(check int) "no downtime" 0 o.Sim.total_patch_cycles;
+  List.iter
+    (fun (w : Sim.window_record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d under threshold" w.Sim.index)
+        true
+        (w.Sim.distance < sim_config.Sim.drift_threshold && not w.Sim.fired))
+    o.Sim.windows
+
+let test_phased_workload_adapts () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let phases =
+    [ (Workload.lmbench_phase info, 2); (Workload.phase_of_mix (Workload.dbench info), 6) ]
+  in
+  let adaptive = run_sim ~adaptive:true ~phases env in
+  let static = run_sim ~adaptive:false ~phases env in
+  Alcotest.(check bool) "rebuilds happened" true (adaptive.Sim.rebuilds >= 1);
+  Alcotest.(check bool) "downtime charged" true (adaptive.Sim.total_patch_cycles > 0);
+  (* adaptation must pay for itself: fewer total cycles than staying on
+     the stale image, even with the patch downtime charged *)
+  Alcotest.(check bool) "adaptive beats stale overall" true
+    (adaptive.Sim.total_cycles < static.Sim.total_cycles);
+  (* both variants replayed byte-identical request streams: before any
+     rebuild the cycle counts agree window for window *)
+  let first_fire =
+    List.fold_left
+      (fun acc (w : Sim.window_record) ->
+        match acc with Some _ -> acc | None -> if w.Sim.fired then Some w.Sim.index else None)
+      None adaptive.Sim.windows
+  in
+  match first_fire with
+  | None -> Alcotest.fail "no window fired"
+  | Some fire_idx ->
+    List.iter2
+      (fun (a : Sim.window_record) (s : Sim.window_record) ->
+        if a.Sim.index <= fire_idx then
+          Alcotest.(check int)
+            (Printf.sprintf "window %d cycles agree pre-swap" a.Sim.index)
+            s.Sim.cycles a.Sim.cycles)
+      adaptive.Sim.windows static.Sim.windows
+
+let test_sim_deterministic () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let phases =
+    [ (Workload.lmbench_phase info, 1); (Workload.phase_of_mix (Workload.apache info), 3) ]
+  in
+  let a = run_sim ~adaptive:true ~phases env in
+  let b = run_sim ~adaptive:true ~phases env in
+  Alcotest.(check bool) "outcome reproduced exactly" true (a = b)
+
+let suite =
+  [
+    ("store decay and eviction", `Quick, test_store_decay_and_eviction);
+    ("store snapshots are copies", `Quick, test_store_observe_copies);
+    ("store validates parameters", `Quick, test_store_validation);
+    ("drift distance properties", `Quick, test_distance_properties);
+    ("detector hysteresis", `Quick, test_detector_hysteresis);
+    ("controller: identical rebuild is free", `Slow, test_controller_identical_rebuild_is_free);
+    ("controller rejects bad specs", `Quick, test_controller_rejects_bad_spec);
+    ("steady workload never fires", `Slow, test_steady_workload_never_fires);
+    ("phased workload adapts", `Slow, test_phased_workload_adapts);
+    ("simulation is deterministic", `Slow, test_sim_deterministic);
+  ]

@@ -108,6 +108,29 @@ let test_registry_accepts_all_names () =
       | Error e -> Alcotest.failf "%s does not resolve bare: %s" name e)
     Registry.names
 
+(* The registry's self-documentation must round-trip through the spec
+   grammar: every documented pass/option combination parses, resolves,
+   and re-renders canonically — so `pibe passes` can never drift from
+   what the registry actually accepts. *)
+let test_registry_infos_round_trip () =
+  Alcotest.(check (list string))
+    "one info per registered pass, same order" Registry.names
+    (List.map (fun (i : Registry.pass_info) -> i.Registry.info_name) Registry.infos);
+  List.iter
+    (fun (i : Registry.pass_info) ->
+      let text = Registry.sample_spec_text i in
+      match Spec.of_string text with
+      | Error e -> Alcotest.failf "%s: sample %S does not parse: %s" i.Registry.info_name text e
+      | Ok spec -> (
+        Alcotest.(check string)
+          (i.Registry.info_name ^ " sample is canonical")
+          text (Spec.to_string spec);
+        match Registry.of_spec spec with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "%s: documented options rejected: %s" i.Registry.info_name e))
+    Registry.infos
+
 (* ------------------------------------------------------------------ *)
 (* Config lowering                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -258,6 +281,7 @@ let suite =
     ("spec rejects malformed input", `Quick, test_spec_rejects_malformed);
     ("registry diagnostics", `Quick, test_registry_rejections);
     ("registry resolves every name", `Quick, test_registry_accepts_all_names);
+    ("registry docs round-trip the grammar", `Quick, test_registry_infos_round_trip);
     ("config lowering round-trips", `Quick, test_spec_of_config_round_trips);
     ("manager matches the seed pipeline", `Slow, test_manager_matches_legacy_pipeline);
     ("run_spec reports unknown passes", `Quick, test_manager_run_spec_errors);

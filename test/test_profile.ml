@@ -79,10 +79,98 @@ let prop_serialization_roundtrip =
       let p' = Profile.of_string (Profile.to_string p) in
       Profile.to_string p' = Profile.to_string p)
 
+let test_merge_weighted () =
+  let p = Profile.create () in
+  Profile.add_direct p ~origin:1 ~count:100;
+  Profile.add_indirect p ~origin:2 ~target:"g" ~count:7;
+  Profile.add_entry p ~func:"f" ~count:3;
+  (* scale by 1.0 is the identity *)
+  Alcotest.(check string) "scale 1.0 identity" (Profile.to_string p)
+    (Profile.to_string (Profile.scale p 1.0));
+  (* two half-weighted copies reassemble the original *)
+  Alcotest.(check string) "halves reassemble"
+    (Profile.to_string p)
+    (Profile.to_string (Profile.merge_weighted [ (0.5, p); (0.5, p) ]));
+  (* keys whose weighted sum rounds to zero are dropped, keeping decayed
+     profiles sparse *)
+  let tiny = Profile.create () in
+  Profile.add_indirect tiny ~origin:9 ~target:"t" ~count:1;
+  Alcotest.(check (list int)) "sub-half weight drops the key" []
+    (Profile.profiled_indirect_origins (Profile.scale tiny 0.4));
+  Alcotest.check_raises "negative weight rejected"
+    (Invalid_argument "Profile.merge_weighted: negative weight") (fun () ->
+      ignore (Profile.merge_weighted [ (-1.0, p) ]))
+
+(* A structured generator hitting the grammar's corners on purpose: the
+   empty profile, many-target value profiles, and counts up to max_int —
+   none of which the seed-walk generator above reliably produces. *)
+let structured_profile_gen =
+  let open QCheck.Gen in
+  let count =
+    frequency
+      [ (4, int_range 1 1000); (2, int_range 1_000_000 1_000_000_000); (1, return max_int) ]
+  in
+  let directs = list_size (int_range 0 6) (pair (int_range 0 50) count) in
+  let vps =
+    list_size (int_range 0 4)
+      (pair (int_range 100 150) (list_size (int_range 1 8) count))
+  in
+  let entries = list_size (int_range 0 4) (pair (int_range 0 20) count) in
+  map
+    (fun (directs, vps, entries) ->
+      let p = Profile.create () in
+      List.iter (fun (origin, count) -> Profile.add_direct p ~origin ~count) directs;
+      List.iter
+        (fun (origin, counts) ->
+          List.iteri
+            (fun i count ->
+              Profile.add_indirect p ~origin ~target:(Printf.sprintf "tgt_%d" i) ~count)
+            counts)
+        vps;
+      List.iter
+        (fun (f, count) -> Profile.add_entry p ~func:(Printf.sprintf "fn%d" f) ~count)
+        entries;
+      p)
+    (triple directs vps entries)
+
+let prop_structured_roundtrip =
+  QCheck.Test.make ~name:"serialization round-trips (empty/multi-target/max_int)"
+    ~count:300
+    (QCheck.make ~print:Profile.to_string structured_profile_gen)
+    (fun p ->
+      let p' = Profile.of_string (Profile.to_string p) in
+      Profile.to_string p' = Profile.to_string p)
+
+let test_empty_profile_roundtrip () =
+  let empty = Profile.create () in
+  Alcotest.(check string) "canonical empty form" "profile {\n}\n" (Profile.to_string empty);
+  Alcotest.(check string) "empty round-trips" (Profile.to_string empty)
+    (Profile.to_string (Profile.of_string (Profile.to_string empty)))
+
 let test_of_string_rejects_garbage () =
   Alcotest.check_raises "garbage"
     (Failure "Profile.of_string: malformed line: direct x = 1") (fun () ->
-      ignore (Profile.of_string "direct x = 1"))
+      ignore (Profile.of_string "direct x = 1"));
+  (* every malformed shape must raise Failure naming the offending line *)
+  List.iter
+    (fun line ->
+      match Profile.of_string line with
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "%S names the line" line)
+          ("Profile.of_string: malformed line: " ^ line)
+          msg
+      | _ -> Alcotest.failf "%S was accepted" line)
+    [
+      "entry read = 5";       (* function name missing the @ sigil *)
+      "vp 1 target = 2";      (* target name missing the @ sigil *)
+      "vp x @t = 2";          (* non-numeric origin *)
+      "direct 1 = abc";       (* non-numeric count *)
+      "direct 1 2";           (* missing '=' *)
+      "direct 1 = 2 extra";   (* trailing tokens *)
+      "entry @ = 1 = 2";      (* doubled '=' *)
+      "weird 1 = 2";          (* unknown record kind *)
+    ]
 
 (* ------------------------------- LBR ------------------------------- *)
 
@@ -149,7 +237,10 @@ let suite =
     ("site weight keyed by origin", `Quick, test_site_weight_uses_origin);
     ("remove indirect target", `Quick, test_remove_indirect_target);
     ("merge", `Quick, test_merge);
+    ("merge_weighted and scale", `Quick, test_merge_weighted);
     Helpers.qcheck_to_alcotest prop_serialization_roundtrip;
+    Helpers.qcheck_to_alcotest prop_structured_roundtrip;
+    ("empty profile round-trips", `Quick, test_empty_profile_roundtrip);
     ("of_string rejects garbage", `Quick, test_of_string_rejects_garbage);
     ("lbr drains on overflow and flush", `Quick, test_lbr_drains_on_overflow_and_flush);
     ("collector lift matches execution", `Quick, test_collector_lift_matches_execution);

@@ -89,6 +89,32 @@ let test_ratio_pct () =
   check_float "half" 50.0 (Stats.ratio_pct ~num:1 ~den:2);
   check_float "zero den" 0.0 (Stats.ratio_pct ~num:5 ~den:0)
 
+(* Pins the nearest-rank edge behaviors documented in stats.mli. *)
+let test_percentile_edges () =
+  let xs = [ 4.0; 1.0; 3.0; 2.0 ] in
+  check_float "p=0 is the minimum" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p=100 is the maximum" 4.0 (Stats.percentile 100.0 xs);
+  check_float "p=50 nearest rank" 2.0 (Stats.percentile 50.0 xs);
+  check_float "singleton at p=0" 7.0 (Stats.percentile 0.0 [ 7.0 ]);
+  check_float "singleton at p=50" 7.0 (Stats.percentile 50.0 [ 7.0 ]);
+  check_float "singleton at p=100" 7.0 (Stats.percentile 100.0 [ 7.0 ]);
+  check_float "p above 100 clamps to the maximum" 4.0 (Stats.percentile 150.0 xs);
+  check_float "p below 0 clamps to the minimum" 1.0 (Stats.percentile (-5.0) xs)
+
+(* All-speedup lists stay in ratio space as long as each element is above
+   -100%; at or below -100% the ratio is non-positive and geomean rejects
+   it — both documented in stats.mli. *)
+let test_geomean_overhead_all_speedups () =
+  let v = Stats.geomean_overhead [ -10.0; -20.0 ] in
+  check_float "gm of 0.9 and 0.8 ratios" (100.0 *. (sqrt (0.9 *. 0.8) -. 1.0)) v;
+  Alcotest.(check bool) "still a speedup" true (v < 0.0);
+  Alcotest.(check bool) "bounded by the extremes" true (v > -20.0 && v < -10.0);
+  check_float "uniform speedup is itself" (-25.0)
+    (Stats.geomean_overhead [ -25.0; -25.0; -25.0 ]);
+  Alcotest.check_raises "-100% is rejected"
+    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
+      ignore (Stats.geomean_overhead [ -100.0 ]))
+
 let test_empty_raises () =
   Alcotest.check_raises "mean []" (Invalid_argument "Stats.mean: empty list") (fun () ->
       ignore (Stats.mean []))
@@ -161,6 +187,8 @@ let suite =
     ("stats mean", `Quick, test_mean);
     ("stats geomean", `Quick, test_geomean);
     ("stats geomean overhead sign", `Quick, test_geomean_overhead_sign);
+    ("stats percentile edges", `Quick, test_percentile_edges);
+    ("stats geomean overhead of speedups", `Quick, test_geomean_overhead_all_speedups);
     ("stats overhead pct", `Quick, test_overhead_pct);
     ("stats stddev", `Quick, test_stddev);
     ("stats ratio pct", `Quick, test_ratio_pct);

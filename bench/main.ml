@@ -14,11 +14,18 @@
                                     identical at any job count
      bench/main.exe --bechamel      additionally run one Bechamel Test.make
                                     per experiment (timing of regeneration
-                                    against the warm environment) *)
+                                    against the warm environment)
+     bench/main.exe --trace FILE    collect a structured trace of the whole
+                                    run (spans per pass / window / measured
+                                    op); the sink is picked by extension:
+                                    .json -> Chrome trace_event (load in
+                                    chrome://tracing or Perfetto),
+                                    .csv -> CSV, anything else -> text *)
 
 let quick = ref false
 let bechamel = ref false
 let jobs = ref 1
+let trace_out : string option ref = ref None
 let selected : string list ref = ref []
 
 let parse_args () =
@@ -30,6 +37,12 @@ let parse_args () =
     | "--bechamel" :: rest ->
       bechamel := true;
       go rest
+    | "--trace" :: path :: rest ->
+      trace_out := Some path;
+      go rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace expects an output file\n";
+      exit 2
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 0 ->
@@ -99,8 +112,14 @@ let bechamel_pass env experiments =
       | Some [] | None -> Printf.printf "bechamel %-32s (no estimate)\n" name)
     results
 
+let trace_format_of_path path =
+  if Filename.check_suffix path ".json" then Pibe_trace.Trace.Chrome
+  else if Filename.check_suffix path ".csv" then Pibe_trace.Trace.Csv
+  else Pibe_trace.Trace.Text
+
 let () =
   parse_args ();
+  if !trace_out <> None then Pibe_trace.Trace.start ();
   let env =
     if !quick then Pibe.Env.quick ~jobs:!jobs ()
     else Pibe.Env.create ~jobs:!jobs ()
@@ -137,6 +156,14 @@ let () =
     in
     bechamel_pass env experiments
   end;
+  (match !trace_out with
+  | None -> ()
+  | Some path ->
+    let events = Pibe_trace.Trace.stop () in
+    let fmt = trace_format_of_path path in
+    Pibe_trace.Trace.write_file ~path fmt events;
+    Printf.eprintf "trace: wrote %d events to %s (%s)\n" (List.length events) path
+      (Pibe_trace.Trace.format_to_string fmt));
   Printf.printf "\n[bench harness finished in %.1fs wall clock (%.1fs host CPU, %d jobs)]\n"
     (Unix.gettimeofday () -. t0_wall)
     (Sys.time () -. t0_cpu)

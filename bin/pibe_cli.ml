@@ -7,7 +7,12 @@
      attack         run the transient-attack drills against one image
      online         simulate the continuous-profiling deployment loop
      passes         list the registered pipeline passes and their options
-     dump-ir        print a generated function (or the whole program) *)
+     dump-ir        print a generated function (or the whole program)
+
+   pipeline / experiment / online accept --trace FILE --trace-format
+   chrome|csv|text to capture a structured trace of the run (spans per
+   pass / window / measured op, counters for IR deltas and engine
+   events); the chrome sink loads in chrome://tracing or Perfetto. *)
 
 open Cmdliner
 
@@ -40,6 +45,45 @@ let passes_arg =
 let verify_arg =
   let doc = "Run the IR validator between every pass." in
   Arg.(value & flag & info [ "verify" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Collect a structured trace (spans, counters, gauges) of the run and \
+     write it to $(docv).  See --trace-format."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace sink: 'chrome' (trace_event JSON for chrome://tracing / \
+     Perfetto), 'csv', or 'text'."
+  in
+  Arg.(value & opt string "chrome" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+(* Run [k] under the global trace collector and write the sink file.  The
+   status line goes to stderr so stdout stays byte-identical with and
+   without --trace. *)
+let with_trace trace_path fmt k =
+  match trace_path with
+  | None -> k ()
+  | Some path -> (
+    match Pibe_trace.Trace.format_of_string fmt with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok f ->
+      Pibe_trace.Trace.start ();
+      let code =
+        try k ()
+        with e ->
+          ignore (Pibe_trace.Trace.stop ());
+          raise e
+      in
+      let events = Pibe_trace.Trace.stop () in
+      Pibe_trace.Trace.write_file ~path f events;
+      Printf.eprintf "trace: wrote %d events to %s (%s)\n" (List.length events) path
+        (Pibe_trace.Trace.format_to_string f);
+      code)
 
 let parse_defenses = function
   | "none" -> Ok Pibe_harden.Pass.no_defenses
@@ -111,7 +155,8 @@ let pipeline_spec ~seed ~scale ~verify text =
       print_image_summary result.Pibe_pm.Manager.image;
       0)
 
-let pipeline seed scale defenses budget passes verify =
+let pipeline seed scale defenses budget passes verify trace trace_format =
+  with_trace trace trace_format @@ fun () ->
   match passes with
   | Some text -> pipeline_spec ~seed ~scale ~verify text
   | None -> (
@@ -147,7 +192,8 @@ let pipeline seed scale defenses budget passes verify =
     Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
     0)
 
-let experiment name seed scale quick jobs =
+let experiment name seed scale quick jobs trace trace_format =
+  with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
     if quick then Pibe.Env.quick ~jobs ()
@@ -340,7 +386,8 @@ let dump_ir seed scale func =
 (* Simulate the continuous-profiling deployment loop: phased workload,
    drift detection, adaptive re-optimization with patch downtime. *)
 let online seed scale quick jobs windows requests window decay threshold hysteresis
-    max_reopts =
+    max_reopts trace trace_format =
+  with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
     if quick then Pibe.Env.quick ~jobs () else Pibe.Env.create ~scale ~seed ~jobs ()
@@ -410,7 +457,7 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Run the full profile/optimize/harden pipeline")
     Term.(
       const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ passes_arg
-      $ verify_arg)
+      $ verify_arg $ trace_arg $ trace_format_arg)
 
 let experiment_cmd =
   let id_arg =
@@ -431,7 +478,9 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
-    Term.(const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg)
+    Term.(
+      const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ trace_arg
+      $ trace_format_arg)
 
 let attack_cmd =
   Cmd.v
@@ -565,7 +614,7 @@ let online_cmd =
     Term.(
       const online $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ windows_arg
       $ requests_arg $ window_arg $ decay_arg $ threshold_arg $ hysteresis_arg
-      $ max_reopts_arg)
+      $ max_reopts_arg $ trace_arg $ trace_format_arg)
 
 let passes_cmd =
   Cmd.v

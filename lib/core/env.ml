@@ -49,7 +49,14 @@ let quick ?(jobs = 1) ?(verify = true) () =
 let pool t = t.pool
 let verify t = t.verify
 let jobs t = Pool.jobs t.pool
-let par_map t f xs = Pool.map t.pool f xs
+
+let par_map t f xs =
+  let args =
+    if Pibe_trace.Trace.enabled () then
+      [ ("items", Pibe_trace.Trace.Int (List.length xs)) ]
+    else []
+  in
+  Pibe_trace.Trace.span ~cat:"sched" "env:par_map" ~args (fun () -> Pool.map t.pool f xs)
 
 let locked t f =
   Mutex.lock t.lock;

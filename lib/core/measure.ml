@@ -1,6 +1,7 @@
 module Engine = Pibe_cpu.Engine
 module Rng = Pibe_util.Rng
 module Stats = Pibe_util.Stats
+module Trace = Pibe_trace.Trace
 
 type settings = {
   warmup : int;
@@ -28,17 +29,36 @@ let measure_rounds ~settings ~(once : Rng.t -> unit) engine =
   Stats.median rounds
 
 let op_latency ?(settings = default_settings) engine (op : Pibe_kernel.Workload.op) =
-  measure_rounds ~settings engine ~once:(fun rng -> op.Pibe_kernel.Workload.run engine rng)
+  Trace.span ~cat:"measure" ("measure:" ^ op.Pibe_kernel.Workload.op_name) (fun () ->
+      let v =
+        measure_rounds ~settings engine ~once:(fun rng ->
+            op.Pibe_kernel.Workload.run engine rng)
+      in
+      (* Cumulative engine counters at this point in the suite: simulated,
+         hence deterministic — only the sample's timestamp varies. *)
+      Engine.trace_counters ~cat:"measure"
+        ~name:("engine:" ^ op.Pibe_kernel.Workload.op_name)
+        engine;
+      v)
 
 let suite_latencies ?(settings = default_settings) engine ops =
   List.map (fun op -> (op.Pibe_kernel.Workload.op_name, op_latency ~settings engine op)) ops
 
 let mix_kernel_cycles ?(settings = default_settings) engine (mix : Pibe_kernel.Workload.mix) =
-  measure_rounds ~settings engine ~once:(fun rng ->
-      mix.Pibe_kernel.Workload.request engine rng)
+  Trace.span ~cat:"measure" ("measure:mix:" ^ mix.Pibe_kernel.Workload.mix_name) (fun () ->
+      let v =
+        measure_rounds ~settings engine ~once:(fun rng ->
+            mix.Pibe_kernel.Workload.request engine rng)
+      in
+      Engine.trace_counters ~cat:"measure"
+        ~name:("engine:mix:" ^ mix.Pibe_kernel.Workload.mix_name)
+        engine;
+      v)
 
 let throughput ~kernel_cycles ~user_cycles =
   1_000_000.0 /. (kernel_cycles +. user_cycles)
 
 let entry_cycles ?(settings = default_settings) engine ~entry ~args =
-  measure_rounds ~settings engine ~once:(fun _rng -> ignore (Engine.call engine entry args))
+  Trace.span ~cat:"measure" ("measure:entry:" ^ entry) (fun () ->
+      measure_rounds ~settings engine ~once:(fun _rng ->
+          ignore (Engine.call engine entry args)))

@@ -1,6 +1,13 @@
 (** The measurement harness: median-of-rounds latency and throughput, as
     in the paper's methodology (§8: "each measurement was performed at
-    least 11 times, and we report the median"). *)
+    least 11 times, and we report the median").
+
+    When {!Pibe_trace.Trace} collection is on, every measured op/mix/entry
+    gets a ["measure"]-category span plus one cumulative
+    {!Pibe_cpu.Engine.trace_counters} sample (cycles, branch-predictor and
+    i-cache hits/misses, speculation events) — all simulated quantities,
+    so trace content stays deterministic.  Tracing never perturbs the
+    measured cycle counts (pinned by [test/test_trace.ml]). *)
 
 type settings = {
   warmup : int;  (** iterations run before measuring (caches/predictors warm) *)

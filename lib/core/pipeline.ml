@@ -14,17 +14,21 @@ type built = {
   pass_stats : Manager.pass_stats list;
 }
 
+module Trace = Pibe_trace.Trace
+
 let profile prog ~run =
-  let collector = Pibe_profile.Collector.create prog in
-  let config =
-    {
-      Pibe_cpu.Engine.default_config with
-      Pibe_cpu.Engine.on_edge = Some (Pibe_profile.Collector.hook collector);
-    }
-  in
-  let engine = Pibe_cpu.Engine.create ~config prog in
-  run engine;
-  Pibe_profile.Collector.lift collector
+  Trace.span ~cat:"core" "pipeline:profile" (fun () ->
+      let collector = Pibe_profile.Collector.create prog in
+      let config =
+        {
+          Pibe_cpu.Engine.default_config with
+          Pibe_cpu.Engine.on_edge = Some (Pibe_profile.Collector.hook collector);
+        }
+      in
+      let engine = Pibe_cpu.Engine.create ~config prog in
+      run engine;
+      Pibe_cpu.Engine.trace_counters ~cat:"core" ~name:"engine:profile-run" engine;
+      Pibe_profile.Collector.lift collector)
 
 (* ----------------------- Config -> pipeline spec ----------------------- *)
 
@@ -69,6 +73,10 @@ let run_spec ?verify ?check prog profile spec =
 
 let build ?(verify = false) prog profile config =
   let spec = spec_of_config config in
+  let args =
+    if Trace.enabled () then [ ("spec", Trace.Str (Spec.to_string spec)) ] else []
+  in
+  Trace.span ~cat:"core" "pipeline:build" ~args (fun () ->
   let r =
     match run_spec ~verify prog profile spec with
     | Ok r -> r
@@ -86,7 +94,7 @@ let build ?(verify = false) prog profile config =
     llvm_inline_stats = detail (function Pm_pass.Llvm_inline s -> Some s | _ -> None);
     post_icp_profile = r.Manager.profile;
     pass_stats = r.Manager.passes;
-  }
+  })
 
 let engine ?base built =
   let config = Pibe_harden.Pass.engine_config ?base built.image in

@@ -609,3 +609,32 @@ let rsb t = t.trsb
 let pht t = t.tpht
 let icache t = t.ticache
 let program t = t.prog
+
+(* One structured-metrics sample of everything this engine counts.  The
+   values are simulated quantities (pure functions of program + seeds), so
+   the emitted event content is deterministic; cost is one atomic load
+   when trace collection is off. *)
+let trace_counters ?(cat = "cpu") ~name t =
+  if Pibe_trace.Trace.enabled () then begin
+    let open Pibe_trace.Trace in
+    let c = t.ctrs in
+    counter ~cat name
+      [
+        ("cycles", Int t.cyc);
+        ("insts", Int c.insts);
+        ("calls", Int c.calls);
+        ("icalls", Int c.icalls);
+        ("rets", Int c.rets);
+        ("btb_miss", Int c.btb_misses);
+        ("rsb_miss", Int c.rsb_misses);
+        ("pht_miss", Int c.pht_misses);
+        ("icache_hit", Int (Icache.hit_count t.ticache));
+        ("icache_miss", Int (Icache.miss_count t.ticache));
+        ("peak_stack_bytes", Int c.peak_stack_bytes);
+        ( "spec_events",
+          Int
+            (match t.cfg.speculation with
+            | None -> 0
+            | Some s -> List.length (Speculation.events s)) );
+      ]
+  end

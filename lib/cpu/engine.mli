@@ -126,3 +126,11 @@ val top_id : int
 
 val speculation : t -> Speculation.t option
 (** The drill state this engine was configured with, if any. *)
+
+val trace_counters : ?cat:string -> name:string -> t -> unit
+(** Emit one {!Pibe_trace.Trace.counter} sample named [name] (category
+    [cat], default ["cpu"]) carrying this engine's accumulated counters:
+    cycles, instructions, calls/icalls/rets, BTB/RSB/PHT misses, i-cache
+    hits+misses, peak stack bytes, and recorded speculation events.  All
+    values are simulated and deterministic; when trace collection is
+    disabled this is a no-op costing one atomic load. *)

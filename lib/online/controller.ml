@@ -4,6 +4,7 @@ module Spec = Pibe_pm.Spec
 module Registry = Pibe_pm.Registry
 module Manager = Pibe_pm.Manager
 module Jumpswitch = Pibe_jumpswitch.Jumpswitch
+module Trace = Pibe_trace.Trace
 
 type t = {
   base_prog : Program.t;  (* pristine kernel; every rebuild starts here *)
@@ -59,17 +60,25 @@ let changed_funcs old_prog new_prog =
       if Program.mem new_prog f.Pibe_ir.Types.fname then acc else acc + 1)
 
 let reoptimize t new_profile =
-  match build ~verify:t.verify t.base_prog t.spec new_profile with
-  | Error e ->
-    (* the spec was validated at [create]; the registry cannot reject it now *)
-    invalid_arg (Printf.sprintf "Controller.reoptimize: %s" e)
-  | Ok image ->
-    let sites =
-      changed_funcs t.image.Pibe_harden.Pass.prog image.Pibe_harden.Pass.prog
-    in
-    let cycles = Jumpswitch.patch_cost ~config:t.patch_config ~sites () in
-    t.image <- image;
-    t.reference <- Profile.copy new_profile;
-    t.rebuilds <- t.rebuilds + 1;
-    t.total_patch_cycles <- t.total_patch_cycles + cycles;
-    cycles
+  Trace.span ~cat:"online" "online:rebuild" (fun () ->
+      match build ~verify:t.verify t.base_prog t.spec new_profile with
+      | Error e ->
+        (* the spec was validated at [create]; the registry cannot reject it now *)
+        invalid_arg (Printf.sprintf "Controller.reoptimize: %s" e)
+      | Ok image ->
+        let sites =
+          changed_funcs t.image.Pibe_harden.Pass.prog image.Pibe_harden.Pass.prog
+        in
+        let cycles = Jumpswitch.patch_cost ~config:t.patch_config ~sites () in
+        t.image <- image;
+        t.reference <- Profile.copy new_profile;
+        t.rebuilds <- t.rebuilds + 1;
+        t.total_patch_cycles <- t.total_patch_cycles + cycles;
+        if Trace.enabled () then
+          Trace.counter ~cat:"online" "patch"
+            [
+              ("sites", Trace.Int sites);
+              ("downtime_cycles", Trace.Int cycles);
+              ("rebuilds", Trace.Int t.rebuilds);
+            ];
+        cycles)

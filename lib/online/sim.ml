@@ -5,6 +5,7 @@ module Engine = Pibe_cpu.Engine
 module Rng = Pibe_util.Rng
 module Workload = Pibe_kernel.Workload
 module H = Pibe_harden.Pass
+module Trace = Pibe_trace.Trace
 
 type config = {
   requests_per_window : int;
@@ -57,6 +58,7 @@ let run_window ~cfg ~prog ~image ~(phase : Workload.phase) rng =
   for _ = 1 to cfg.requests_per_window do
     phase.Workload.request deployed rng
   done;
+  Engine.trace_counters ~cat:"online" ~name:"window-deployed" deployed;
   let collector = Collector.create prog in
   let pconfig =
     { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
@@ -84,34 +86,55 @@ let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~trai
       (fun ((phase : Workload.phase), nwindows) ->
         for _ = 1 to nwindows do
           let rng = Rng.split master in
-          let cycles, wprof =
-            run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
+          let span_args =
+            if Trace.enabled () then
+              [
+                ("index", Trace.Int !index);
+                ("phase", Trace.Str phase.Workload.phase_name);
+                ("adaptive", Trace.Int (if adaptive then 1 else 0));
+              ]
+            else []
           in
-          Store.observe store wprof;
-          (* Detect on the freshest window (fast reaction); rebuild on the
-             decayed merge (stable training data).  Hysteresis, not
-             smoothing, is what keeps one-window noise from firing. *)
-          let dist =
-            Drift.distance ~k:cfg.top_k (Controller.reference controller) wprof
+          let record =
+            Trace.span ~cat:"online" "online:window" ~args:span_args (fun () ->
+                let cycles, wprof =
+                  run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
+                in
+                Store.observe store wprof;
+                (* Detect on the freshest window (fast reaction); rebuild on the
+                   decayed merge (stable training data).  Hysteresis, not
+                   smoothing, is what keeps one-window noise from firing. *)
+                let dist =
+                  Drift.distance ~k:cfg.top_k (Controller.reference controller) wprof
+                in
+                let decision = Drift.observe detector dist in
+                let fire =
+                  adaptive && decision = Drift.Fire
+                  && Controller.rebuilds controller < cfg.max_reopts
+                in
+                let patch_cycles =
+                  if fire then Controller.reoptimize controller (Store.merged store)
+                  else 0
+                in
+                if Trace.enabled () then
+                  Trace.counter ~cat:"online" "window"
+                    [
+                      ("index", Trace.Int !index);
+                      ("cycles", Trace.Int cycles);
+                      ("patch_cycles", Trace.Int patch_cycles);
+                      ("drift", Trace.Float dist);
+                      ("fired", Trace.Int (if fire then 1 else 0));
+                    ];
+                {
+                  index = !index;
+                  phase = phase.Workload.phase_name;
+                  cycles;
+                  patch_cycles;
+                  distance = dist;
+                  fired = fire;
+                })
           in
-          let decision = Drift.observe detector dist in
-          let fire =
-            adaptive && decision = Drift.Fire
-            && Controller.rebuilds controller < cfg.max_reopts
-          in
-          let patch_cycles =
-            if fire then Controller.reoptimize controller (Store.merged store) else 0
-          in
-          windows :=
-            {
-              index = !index;
-              phase = phase.Workload.phase_name;
-              cycles;
-              patch_cycles;
-              distance = dist;
-              fired = fire;
-            }
-            :: !windows;
+          windows := record :: !windows;
           incr index
         done)
       phases;

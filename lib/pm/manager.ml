@@ -1,6 +1,7 @@
 open Pibe_ir
 module Profile = Pibe_profile.Profile
 module Tbl = Pibe_util.Tbl
+module Trace = Pibe_trace.Trace
 
 type snapshot = {
   funcs : int;
@@ -43,6 +44,57 @@ type result = {
   wall_s : float;
 }
 
+(* Pass-specific elision counters for the trace stream (the same numbers
+   detail_lines renders for humans).  All values are deterministic. *)
+let detail_counters detail =
+  match detail with
+  | Pass.Icp st ->
+    [
+      ("promoted_sites", Trace.Int st.Pibe_opt.Icp.promoted_sites);
+      ("promoted_targets", Trace.Int st.Pibe_opt.Icp.promoted_targets);
+      ("promoted_weight", Trace.Int st.Pibe_opt.Icp.promoted_weight);
+      ("total_weight", Trace.Int st.Pibe_opt.Icp.total_weight);
+    ]
+  | Pass.Inline st ->
+    [
+      ("inlined_sites", Trace.Int st.Pibe_opt.Inliner.inlined_sites);
+      ("inlined_weight", Trace.Int st.Pibe_opt.Inliner.inlined_weight);
+      ("total_weight", Trace.Int st.Pibe_opt.Inliner.total_weight);
+      ("rets_before", Trace.Int st.Pibe_opt.Inliner.total_ret_sites_before);
+      ("rets_after", Trace.Int st.Pibe_opt.Inliner.total_ret_sites_after);
+    ]
+  | Pass.Llvm_inline st ->
+    [
+      ("inlined_sites", Trace.Int st.Pibe_opt.Llvm_inliner.inlined_sites);
+      ("inlined_weight", Trace.Int st.Pibe_opt.Llvm_inliner.inlined_weight);
+      ("blocked_weight", Trace.Int st.Pibe_opt.Llvm_inliner.blocked_weight);
+    ]
+  | Pass.Cleanup st ->
+    [
+      ("folded", Trace.Int st.Pibe_opt.Cleanup.folded);
+      ("branches_folded", Trace.Int st.Pibe_opt.Cleanup.branches_folded);
+      ("blocks_removed", Trace.Int st.Pibe_opt.Cleanup.blocks_removed);
+      ("dead_assigns", Trace.Int st.Pibe_opt.Cleanup.dead_assigns_removed);
+    ]
+  | Pass.Defense | Pass.Nothing -> []
+
+let trace_pass_deltas ~before:(b : snapshot) ~after:(a : snapshot) detail =
+  if Trace.enabled () then begin
+    Trace.counter ~cat:"pm" "ir-delta"
+      [
+        ("funcs", Trace.Int (a.funcs - b.funcs));
+        ("blocks", Trace.Int (a.blocks - b.blocks));
+        ("insts", Trace.Int (a.insts - b.insts));
+        ("code_bytes", Trace.Int (a.code_bytes - b.code_bytes));
+        ("icalls", Trace.Int a.icalls);
+        ("rets", Trace.Int a.rets);
+        ("jump_tables", Trace.Int a.jump_tables);
+      ];
+    match detail_counters detail with
+    | [] -> ()
+    | args -> Trace.counter ~cat:"pm" "pass-detail" args
+  end
+
 let run ?(verify = false) ?check prog profile passes =
   let t_start = Unix.gettimeofday () in
   let inspect prog =
@@ -58,29 +110,54 @@ let run ?(verify = false) ?check prog profile passes =
         rsb_refill = false;
       }
   in
-  let before = ref (snapshot prog) in
-  let stats =
-    List.map
-      (fun (p : Pass.t) ->
-        let t0 = Unix.gettimeofday () in
-        let st, detail = p.run !state in
-        let wall_s = Unix.gettimeofday () -. t0 in
-        state := st;
-        inspect st.Pass.prog;
-        let after = snapshot st.Pass.prog in
-        let s =
-          { pass = Spec.elem_to_string p.spec; wall_s; before = !before; after; detail }
-        in
-        before := after;
-        s)
-      passes
+  let run_args =
+    if Trace.enabled () then
+      [ ("spec", Trace.Str (Spec.to_string (List.map (fun (p : Pass.t) -> p.spec) passes))) ]
+    else []
   in
-  let st = !state in
-  let image =
-    Pibe_harden.Pass.harden ~rsb_refill:st.Pass.rsb_refill st.Pass.prog st.Pass.defenses
-  in
-  if verify then Validate.check_exn image.Pibe_harden.Pass.prog;
-  { image; profile = st.Pass.profile; passes = stats; wall_s = Unix.gettimeofday () -. t_start }
+  Trace.span ~cat:"pm" "pm:run" ~args:run_args (fun () ->
+      let before = ref (snapshot prog) in
+      let stats =
+        List.map
+          (fun (p : Pass.t) ->
+            Trace.span ~cat:"pm" ("pass:" ^ Spec.elem_to_string p.spec) (fun () ->
+                let t0 = Unix.gettimeofday () in
+                let st, detail = p.run !state in
+                let wall_s = Unix.gettimeofday () -. t0 in
+                state := st;
+                inspect st.Pass.prog;
+                let after = snapshot st.Pass.prog in
+                trace_pass_deltas ~before:!before ~after detail;
+                let s =
+                  { pass = Spec.elem_to_string p.spec; wall_s; before = !before; after; detail }
+                in
+                before := after;
+                s))
+          passes
+      in
+      let st = !state in
+      let image =
+        Trace.span ~cat:"pm" "pm:harden" (fun () ->
+            let image =
+              Pibe_harden.Pass.harden ~rsb_refill:st.Pass.rsb_refill st.Pass.prog
+                st.Pass.defenses
+            in
+            if Trace.enabled () then
+              Trace.counter ~cat:"pm" "hardened"
+                [
+                  ("icall_sites", Trace.Int (Program.total_icall_sites st.Pass.prog));
+                  ("ret_sites", Trace.Int (Program.total_ret_sites st.Pass.prog));
+                  ("image_bytes", Trace.Int (Pibe_harden.Pass.image_bytes image));
+                ];
+            image)
+      in
+      if verify then Validate.check_exn image.Pibe_harden.Pass.prog;
+      {
+        image;
+        profile = st.Pass.profile;
+        passes = stats;
+        wall_s = Unix.gettimeofday () -. t_start;
+      })
 
 (* ----------------------------- reporting ----------------------------- *)
 

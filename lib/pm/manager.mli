@@ -7,7 +7,16 @@
     forward edges, remaining returns, remaining jump tables).  With
     [~verify:true] the IR validator runs between every pass (and on the
     final image); an optional [~check] hook — e.g. differential
-    interpretation on a smoke workload — also runs after every pass. *)
+    interpretation on a smoke workload — also runs after every pass.
+
+    When {!Pibe_trace.Trace} collection is on, a run additionally emits a
+    ["pm"]-category span tree — [pm:run] around the whole pipeline, one
+    [pass:<elem>] span per pass, [pm:harden] around image
+    materialization — with [ir-delta] counters (IR deltas plus remaining
+    indirect/return/jump-table sites), per-pass [pass-detail] counters
+    (sites promoted / inlined / folded), and a final [hardened] counter
+    (sites protected, image bytes).  All values are deterministic; with
+    collection off the instrumentation is a no-op. *)
 
 open Pibe_ir
 

@@ -1,0 +1,22 @@
+(** A minimal JSON reader, just enough to validate what {!Trace.to_chrome}
+    emits (the container ships no yojson).
+
+    Full RFC 8259 value grammar — objects, arrays, strings with escapes,
+    numbers, booleans, null — with no streaming, no custom exponents
+    beyond [float_of_string], and [\uXXXX] escapes decoded only for the
+    ASCII range (others become ['?'], which is fine for validation). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; trailing garbage is an error.  Errors carry the
+    byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)

@@ -9,6 +9,8 @@
    available the caller simply processes items itself.  [jobs = 1] is
    exactly today's sequential behaviour (no domain is ever spawned). *)
 
+module Trace = Pibe_trace.Trace
+
 type t = { jobs : int }
 
 (* Helper domains alive right now, and the most ever requested.  [limit]
@@ -58,10 +60,21 @@ let map t f xs =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    (* Work-distribution events live in the "sched" category: they carry
+       the executing domain id (so a parallel trace stays explainable) and
+       are exactly what Trace.canonical excludes, since which domain runs
+       which item is the one scheduling-dependent fact here. *)
+    let run_item i =
+      if Trace.enabled () then
+        Trace.span ~cat:"sched" "pool:item"
+          ~args:[ ("index", Trace.Int i) ]
+          (fun () -> f items.(i))
+      else f items.(i)
+    in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (match f items.(i) with
+        (match run_item i with
         | v -> results.(i) <- Some v
         | exception e ->
           (* keep draining; the first failure is re-raised after the join
@@ -70,11 +83,15 @@ let map t f xs =
         worker ()
       end
     in
-    let extra = acquire (min (t.jobs - 1) (n - 1)) in
-    let domains = List.init extra (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    release extra;
+    Trace.span ~cat:"sched" "pool:map"
+      ~args:[ ("jobs", Trace.Int t.jobs); ("items", Trace.Int n) ]
+      (fun () ->
+        let extra = acquire (min (t.jobs - 1) (n - 1)) in
+        Trace.counter ~cat:"sched" "pool:domains" [ ("spawned", Trace.Int extra) ];
+        let domains = List.init extra (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join domains;
+        release extra);
     (match Atomic.get failure with
     | Some e -> raise e
     | None -> ());

@@ -4,7 +4,13 @@
     [Domain.recommended_domain_count]) and shared by every fan-out point:
     a global token counter caps the number of live helper domains, so
     nested or concurrent [map] calls never oversubscribe the machine —
-    callers that cannot get a token just do the work themselves. *)
+    callers that cannot get a token just do the work themselves.
+
+    When {!Pibe_trace.Trace} collection is on, the parallel path emits
+    ["sched"]-category spans (one per [map], one per item) tagged with the
+    executing domain id, so a parallel trace remains explainable without
+    making event content depend on scheduling ([Trace.canonical] drops the
+    ["sched"] category). *)
 
 type t
 

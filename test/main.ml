@@ -2,6 +2,7 @@ let () =
   Alcotest.run "pibe"
     [
       ("util", Test_util.suite);
+      ("trace", Test_trace.suite);
       ("ir", Test_ir.suite);
       ("cpu", Test_cpu.suite);
       ("callgraph", Test_callgraph.suite);

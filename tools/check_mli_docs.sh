@@ -1,0 +1,42 @@
+#!/bin/sh
+# Documentation lint: every public module in lib/ must open with a
+# top-level odoc summary comment.
+#
+#  - every .mli under lib/ must start with "(**" on its first line;
+#  - every .ml under lib/ *without* a companion .mli (interface-free data
+#    modules like lib/ir/types.ml) must itself start with "(**".
+#
+# This is the part of `make docs` that runs everywhere; the odoc build
+# itself is gated on the tool being installed (see the Makefile).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in lib/*/*.mli; do
+  case "$(head -c 3 "$f")" in
+    "(**") ;;
+    *)
+      echo "missing top-level doc comment: $f" >&2
+      fail=1
+      ;;
+  esac
+done
+
+for f in lib/*/*.ml; do
+  mli="${f}i"
+  if [ ! -f "$mli" ]; then
+    case "$(head -c 3 "$f")" in
+      "(**") ;;
+      *)
+        echo "missing top-level doc comment (no .mli): $f" >&2
+        fail=1
+        ;;
+    esac
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc lint failed: add a top-level (** ... *) summary to the files above" >&2
+  exit 1
+fi
+echo "doc lint: every public module in lib/ has a top-level doc comment"

@@ -1,4 +1,4 @@
-.PHONY: all build test check docs bench bench-smoke clean
+.PHONY: all build test check docs bench bench-smoke parity clean
 
 all: build
 
@@ -10,8 +10,9 @@ test:
 
 # Everything a PR must keep green: build, the full test suite, the doc
 # lint (see `docs`), a pass-manager smoke run with inter-pass IR
-# validation on (traced, so the trace layer stays wired end to end), and
-# a one-window continuous-profiling smoke on the tiny kernel.
+# validation on (traced, so the trace layer stays wired end to end), a
+# one-window continuous-profiling smoke on the tiny kernel, and the
+# cross-backend parity smoke (see `parity`).
 check:
 	dune build
 	dune runtest
@@ -20,6 +21,19 @@ check:
 	  --passes "icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline,ret-retpoline" \
 	  --verify --trace _smoke_trace.json --trace-format chrome
 	dune exec bin/pibe_cli.exe -- online --scale 1 --windows 1 --requests 30
+	$(MAKE) parity
+
+# Cross-backend parity smoke: the bench-smoke workload once per
+# execution backend, outputs diffed byte-for-byte (only the wall-clock
+# footer line is stripped — everything simulated must be identical).
+parity:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
+	  --engine compiled | sed '/^\[bench harness finished/d' > _parity_compiled.txt
+	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
+	  --engine interp | sed '/^\[bench harness finished/d' > _parity_interp.txt
+	cmp _parity_compiled.txt _parity_interp.txt
+	@echo "parity: compiled and interp outputs are byte-identical"
 
 # Documentation: lint that every public module in lib/ carries a
 # top-level (** ... *) summary, then build the odoc pages.  The odoc
@@ -49,3 +63,4 @@ bench-smoke:
 clean:
 	dune clean
 	rm -f _smoke_trace.json _bench_smoke_trace.json
+	rm -f _parity_compiled.txt _parity_interp.txt

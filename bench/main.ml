@@ -15,6 +15,9 @@
      bench/main.exe --bechamel      additionally run one Bechamel Test.make
                                     per experiment (timing of regeneration
                                     against the warm environment)
+     bench/main.exe --engine NAME   execution backend: compiled (default)
+                                    or interp; bit-exact, so output is
+                                    identical either way
      bench/main.exe --trace FILE    collect a structured trace of the whole
                                     run (spans per pass / window / measured
                                     op); the sink is picked by extension:
@@ -25,6 +28,7 @@
 let quick = ref false
 let bechamel = ref false
 let jobs = ref 1
+let engine = ref Pibe_cpu.Engine.Compiled
 let trace_out : string option ref = ref None
 let selected : string list ref = ref []
 
@@ -51,6 +55,16 @@ let parse_args () =
         Printf.eprintf "--jobs expects a non-negative integer, got %s\n" n;
         exit 2);
       go rest
+    | "--engine" :: name :: rest ->
+      (match Pibe_cpu.Engine.backend_of_string name with
+      | Some b -> engine := b
+      | None ->
+        Printf.eprintf "--engine expects 'compiled' or 'interp', got %s\n" name;
+        exit 2);
+      go rest
+    | [ "--engine" ] ->
+      Printf.eprintf "--engine expects a backend name\n";
+      exit 2
     | "--table" :: n :: rest ->
       selected := ("table" ^ n) :: !selected;
       go rest
@@ -121,8 +135,8 @@ let () =
   parse_args ();
   if !trace_out <> None then Pibe_trace.Trace.start ();
   let env =
-    if !quick then Pibe.Env.quick ~jobs:!jobs ()
-    else Pibe.Env.create ~jobs:!jobs ()
+    if !quick then Pibe.Env.quick ~jobs:!jobs ~engine:!engine ()
+    else Pibe.Env.create ~jobs:!jobs ~engine:!engine ()
   in
   let wanted =
     match !selected with

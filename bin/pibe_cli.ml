@@ -12,7 +12,11 @@
    pipeline / experiment / online accept --trace FILE --trace-format
    chrome|csv|text to capture a structured trace of the run (spans per
    pass / window / measured op, counters for IR deltas and engine
-   events); the chrome sink loads in chrome://tracing or Perfetto. *)
+   events); the chrome sink loads in chrome://tracing or Perfetto.
+
+   Subcommands that execute simulated code accept --engine
+   compiled|interp to pick the execution backend (bit-exact; compiled is
+   the default and faster). *)
 
 open Cmdliner
 
@@ -45,6 +49,26 @@ let passes_arg =
 let verify_arg =
   let doc = "Run the IR validator between every pass." in
   Arg.(value & flag & info [ "verify" ] ~doc)
+
+let engine_arg =
+  let doc =
+    "Execution backend: 'compiled' (closure-threaded; the default) or \
+     'interp' (the reference tree-walking interpreter).  The two are \
+     bit-exact — identical cycles, counters, traces and attack outcomes \
+     — so this only changes wall-clock speed."
+  in
+  Arg.(value & opt string "compiled" & info [ "engine" ] ~docv:"BACKEND" ~doc)
+
+(* Resolve --engine and point the process-wide default at it before any
+   engine is created (worker domains inherit it). *)
+let with_engine name k =
+  match Pibe_cpu.Engine.backend_of_string name with
+  | Some b ->
+    Pibe_cpu.Engine.set_default_backend b;
+    k ()
+  | None ->
+    Printf.eprintf "unknown engine %S (expected 'compiled' or 'interp')\n" name;
+    1
 
 let trace_arg =
   let doc =
@@ -155,7 +179,8 @@ let pipeline_spec ~seed ~scale ~verify text =
       print_image_summary result.Pibe_pm.Manager.image;
       0)
 
-let pipeline seed scale defenses budget passes verify trace trace_format =
+let pipeline seed scale defenses budget passes verify engine trace trace_format =
+  with_engine engine @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   match passes with
   | Some text -> pipeline_spec ~seed ~scale ~verify text
@@ -192,7 +217,8 @@ let pipeline seed scale defenses budget passes verify trace trace_format =
     Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
     0)
 
-let experiment name seed scale quick jobs trace trace_format =
+let experiment name seed scale quick jobs engine trace trace_format =
+  with_engine engine @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
@@ -216,7 +242,8 @@ let experiment name seed scale quick jobs trace trace_format =
       List.iter Pibe_util.Tbl.print (e.Pibe.Experiments.run env);
       0
 
-let attack seed scale defenses =
+let attack seed scale defenses engine =
+  with_engine engine @@ fun () ->
   match parse_defenses defenses with
   | Error e ->
     prerr_endline e;
@@ -308,7 +335,8 @@ let optimize_cmd_impl seed scale defenses budget profile_path out =
       (Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image);
     0
 
-let perf seed scale defenses budget op_name topn =
+let perf seed scale defenses budget op_name topn engine =
+  with_engine engine @@ fun () ->
   match parse_defenses defenses with
   | Error e ->
     prerr_endline e;
@@ -345,7 +373,8 @@ let perf seed scale defenses budget op_name topn =
       };
     0
 
-let trace seed scale syscall a0 a1 =
+let trace seed scale syscall a0 a1 engine =
+  with_engine engine @@ fun () ->
   let info = gen ~seed ~scale in
   let depth = ref 0 in
   let config =
@@ -386,7 +415,8 @@ let dump_ir seed scale func =
 (* Simulate the continuous-profiling deployment loop: phased workload,
    drift detection, adaptive re-optimization with patch downtime. *)
 let online seed scale quick jobs windows requests window decay threshold hysteresis
-    max_reopts trace trace_format =
+    max_reopts engine trace trace_format =
+  with_engine engine @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
@@ -457,7 +487,7 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Run the full profile/optimize/harden pipeline")
     Term.(
       const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ passes_arg
-      $ verify_arg $ trace_arg $ trace_format_arg)
+      $ verify_arg $ engine_arg $ trace_arg $ trace_format_arg)
 
 let experiment_cmd =
   let id_arg =
@@ -479,13 +509,13 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
     Term.(
-      const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ trace_arg
-      $ trace_format_arg)
+      const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg
+      $ engine_arg $ trace_arg $ trace_format_arg)
 
 let attack_cmd =
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the transient-attack drills against an image")
-    Term.(const attack $ seed_arg $ scale_arg $ defenses_arg)
+    Term.(const attack $ seed_arg $ scale_arg $ defenses_arg $ engine_arg)
 
 let trace_cmd =
   let syscall =
@@ -495,7 +525,7 @@ let trace_cmd =
   let a1 = Arg.(value & opt int 64 & info [ "a1" ] ~docv:"N" ~doc:"Second argument.") in
   Cmd.v
     (Cmd.info "trace" ~doc:"Print the call tree of one syscall")
-    Term.(const trace $ seed_arg $ scale_arg $ syscall $ a0 $ a1)
+    Term.(const trace $ seed_arg $ scale_arg $ syscall $ a0 $ a1 $ engine_arg)
 
 let perf_cmd =
   let op =
@@ -506,7 +536,9 @@ let perf_cmd =
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Flat cycle profile of one workload, before/after PIBE")
-    Term.(const perf $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ op $ topn)
+    Term.(
+      const perf $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ op $ topn
+      $ engine_arg)
 
 let report_cmd =
   let out =
@@ -614,7 +646,7 @@ let online_cmd =
     Term.(
       const online $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ windows_arg
       $ requests_arg $ window_arg $ decay_arg $ threshold_arg $ hysteresis_arg
-      $ max_reopts_arg $ trace_arg $ trace_format_arg)
+      $ max_reopts_arg $ engine_arg $ trace_arg $ trace_format_arg)
 
 let passes_cmd =
   Cmd.v

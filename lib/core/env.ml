@@ -17,6 +17,7 @@ type t = {
   msettings : Measure.settings;
   profile_iters : int;
   verify : bool;
+  engine : Pibe_cpu.Engine.backend;
   pool : Pool.t;
   lock : Mutex.t;
   mutable kernel : Pibe_kernel.Gen.info option;
@@ -27,13 +28,24 @@ type t = {
 }
 
 let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
-    ?(profile_iters = 300) ?(jobs = 1) ?(verify = false) () =
+    ?(profile_iters = 300) ?(jobs = 1) ?(verify = false) ?engine () =
+  (* The engine knob is process-wide: engines are created deep inside
+     measure/pipeline/online cells (including on worker domains), all of
+     which follow [Engine.default_backend].  Explicitly choosing a
+     backend here re-points that default; omitting it inherits it. *)
+  (match engine with
+  | Some b -> Pibe_cpu.Engine.set_default_backend b
+  | None -> ());
   {
     scale;
     seed;
     msettings = settings;
     profile_iters;
     verify;
+    engine =
+      (match engine with
+      | Some b -> b
+      | None -> Pibe_cpu.Engine.default_backend ());
     pool = Pool.create ~jobs ();
     lock = Mutex.create ();
     kernel = None;
@@ -43,11 +55,13 @@ let create ?(scale = 3) ?(seed = 42) ?(settings = Measure.default_settings)
     lat_cache = Hashtbl.create 16;
   }
 
-let quick ?(jobs = 1) ?(verify = true) () =
-  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ~verify ()
+let quick ?(jobs = 1) ?(verify = true) ?engine () =
+  create ~scale:1 ~settings:Measure.quick_settings ~profile_iters:60 ~jobs ~verify
+    ?engine ()
 
 let pool t = t.pool
 let verify t = t.verify
+let engine_backend t = t.engine
 let jobs t = Pool.jobs t.pool
 
 let par_map t f xs =

@@ -19,16 +19,27 @@ val create :
   ?profile_iters:int ->
   ?jobs:int ->
   ?verify:bool ->
+  ?engine:Pibe_cpu.Engine.backend ->
   unit ->
   t
 (** Defaults: scale 3, seed 42, [Measure.default_settings], 300 profiling
     iterations per micro-op, [jobs] 1 (fully sequential), [verify] false
-    (release builds skip the IR validator between pipeline passes). *)
+    (release builds skip the IR validator between pipeline passes).
 
-val quick : ?jobs:int -> ?verify:bool -> unit -> t
+    [engine] selects the execution backend for every engine the
+    environment's cells create; when given it re-points the process-wide
+    [Engine.default_backend] (engines are created deep inside
+    measure/pipeline/online, on worker domains too).  Omitted, the
+    current default — normally [Compiled] — is inherited.  Both backends
+    are bit-exact, so results do not depend on this knob. *)
+
+val quick : ?jobs:int -> ?verify:bool -> ?engine:Pibe_cpu.Engine.backend -> unit -> t
 (** Small and fast, for unit tests: scale 1, quick settings, 60 profiling
     iterations; [verify] defaults to {e true} so tests keep validating the
     IR between every pipeline pass. *)
+
+val engine_backend : t -> Pibe_cpu.Engine.backend
+(** The execution backend this environment was created with. *)
 
 val pool : t -> Pibe_util.Pool.t
 val jobs : t -> int

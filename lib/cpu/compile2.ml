@@ -1,0 +1,868 @@
+(** Closure-threaded compiled execution backend.
+
+    Lowers every {!Machine.cinst}, expression and terminator into a
+    pre-specialized OCaml closure once per program, so the hot loop runs
+    flat closure arrays with zero constructor matching and zero
+    per-activation closure allocation: operand kinds ([Imm] vs [Reg]),
+    binop selection (down to constant-folded immediate pairs), statically
+    bounds-checked global loads and stores, per-instruction cycle costs,
+    resolved direct-call targets, PHT keys, switch-ladder costs and
+    indirect-call protection slots are all baked at closure-construction
+    time.
+
+    Straight-line runs of simple instructions (assign / store / observe)
+    are additionally fused into {e segments} with batched accounting: one
+    fuel check, one step/instruction/cycle bump per segment instead of
+    one per instruction.  Exactness is preserved on every path — each
+    potentially-faulting instruction carries baked rollback deltas that
+    rewind the not-yet-earned remainder of the batch before raising, and
+    a segment that could exhaust its fuel budget falls back to a
+    per-instruction slow path that dies at exactly the interpreter's
+    instruction — so cycles, counters and errors stay bit-exact even
+    mid-segment (pinned by the out-of-fuel and wild-icall differential
+    tests in [test/test_backend.ml]).
+
+    Each block is compiled twice — a plain variant for the common
+    speculation-off configuration (no taint frames, no taint reads or
+    writes anywhere on the path) and a spec variant threading the taint
+    file — and call closures jump straight to the matching variant of
+    their callee, so the choice is made once per top-level entry, not per
+    instruction.  Both variants are lowered lazily, per function, on the
+    first call that reaches them (double-checked under a mutex): compile
+    itself is one cheap liveness pass, and only the functions a workload
+    actually executes — under the speculation settings it actually uses —
+    ever pay for closure construction.
+
+    Everything whose semantics is shared with the reference interpreter
+    (indirect-branch transfer, return path, frame pools, step/fuel
+    accounting) is called through {!Machine}, which is what makes the
+    backend cycle-, counter- and speculation-exact against {!Interp}
+    (pinned by [test/test_measure.ml] and [test/test_backend.ml]).
+
+    Closures capture only per-program data — never an engine — so one
+    compiled program is shared by every engine created on it, across
+    domains, exactly like {!Machine.compiled}. *)
+
+open Pibe_ir
+open Types
+open Machine
+
+(* t regs depth ret_to -> result *)
+type fexec = Machine.t -> int array -> int -> int -> int option
+
+(* t regs taint depth ret_to -> result *)
+type bexec = Machine.t -> int array -> int option array -> int -> int -> int option
+
+(* t regs taint depth -> () *)
+type iexec = Machine.t -> int array -> int option array -> int -> unit
+
+(* Fused-segment instruction bodies: accounting is handled by the
+   segment header, and simple instructions never need the activation
+   depth, so plain bodies are arity-2 and spec bodies arity-3 — the
+   cheapest possible indirect calls on the hot path. *)
+type pbody = Machine.t -> int array -> unit
+type tbody = Machine.t -> int array -> int option array -> unit
+
+type cfunc2 = {
+  c2 : cfunc;
+  zeroset : int array;
+      (* registers some path from entry may read before writing, sorted;
+         the only slots of a pooled frame whose initial 0 / [None] is
+         observable — see [zeroset_of] *)
+  mutable fexec_plain : fexec;
+  mutable fexec_spec : fexec;
+  mutable plain_linked : bool;  (* written only under [prog.link_lock] *)
+  mutable spec_linked : bool;
+}
+
+type prog = {
+  c2by_id : cfunc2 array;
+  mem_len : int;  (* length of every engine's global memory, for baked bounds *)
+  link_lock : Mutex.t;  (* serializes per-function lazy lowering *)
+}
+
+let unlinked : fexec = fun _ _ _ _ -> assert false
+
+(* Shared empty taint file threaded through the plain variant; never read
+   or written there. *)
+let no_taint : int option array = [||]
+
+(* --------------------- entry-live zero sets -------------------- *)
+
+(* Register frames come from a per-depth pool, so a fresh activation
+   sees whatever its predecessor left.  The interpreter zeroes the whole
+   file ([frame]) and [None]s the whole taint file; but the only slots
+   whose initial value is observable are those some path from the entry
+   block may READ before writing — everything else is dead on entry and
+   its stale contents can never flow into cycles, memory, traces or
+   taint.  [zeroset_of] computes that set once per function at compile
+   time (a standard backward may-liveness fixpoint over the compiled
+   blocks, bit-packed 32 registers per word), and the call paths zero
+   exactly it.  The big straight-line kernel functions have register
+   files two orders of magnitude larger than their entry-live set, which
+   makes this the difference between ~800 stores and ~4 per activation
+   of the hottest callees. *)
+let zeroset_of (cf : cfunc) : int array =
+  let module RS = Set.Make (Int) in
+  let blocks = cf.cblocks in
+  let nblocks = Array.length blocks in
+  (* Per-block summaries, one pass over each instruction total: [gen] is
+     the registers read before any in-block write (sparse — live sets
+     stay tiny even in functions with huge register files, which is what
+     keeps this affordable on aggressively inlined images), [def] the
+     registers the block writes. *)
+  let gens = Array.make nblocks RS.empty in
+  let defs = Array.make nblocks (Hashtbl.create 0) in
+  for l = 0 to nblocks - 1 do
+    let b = blocks.(l) in
+    let def : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let gen = ref RS.empty in
+    let use r = if not (Hashtbl.mem def r) then gen := RS.add r !gen in
+    let use_op = function Imm _ -> () | Reg r -> use r in
+    let use_expr = function
+      | Const _ -> ()
+      | Move o | Load o -> use_op o
+      | Binop (_, a, b) ->
+        use_op a;
+        use_op b
+    in
+    let write r = Hashtbl.replace def r () in
+    Array.iter
+      (fun i ->
+        match i with
+        | CAssign (d, e) ->
+          use_expr e;
+          write d
+        | CStore (a, v) ->
+          use_op a;
+          use_op v
+        | CObserve v -> use_op v
+        | CCall { dst; args; _ } ->
+          Array.iter use_op args;
+          (match dst with Some d -> write d | None -> ())
+        | CIcall { dst; fptr; args; _ } ->
+          use_op fptr;
+          Array.iter use_op args;
+          (match dst with Some d -> write d | None -> ())
+        | CAsm_icall { fptr; _ } -> use_op fptr)
+      b.cinsts;
+    (match b.cterm with
+    | Jmp _ | Ret None -> ()
+    | Br (c, _, _) -> use_op c
+    | Switch { scrutinee; _ } -> use_op scrutinee
+    | Ret (Some v) -> use_op v);
+    gens.(l) <- !gen;
+    defs.(l) <- def
+  done;
+  (* Worklist fixpoint over the block summaries:
+     live_in = gen ∪ (live_out − def).  A block is revisited only when
+     the live-in of a successor changed. *)
+  let live_in = Array.make nblocks RS.empty in
+  let live_out = Array.make nblocks RS.empty in
+  let preds = Array.make nblocks [] in
+  for l = 0 to nblocks - 1 do
+    List.iter
+      (fun s -> preds.(s) <- l :: preds.(s))
+      (Func.successors blocks.(l).cterm)
+  done;
+  let queued = Array.make nblocks true in
+  let work = ref [] in
+  for l = 0 to nblocks - 1 do
+    work := l :: !work
+  done;
+  let continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | l :: rest ->
+      work := rest;
+      queued.(l) <- false;
+      let out =
+        List.fold_left
+          (fun acc s -> RS.union acc live_in.(s))
+          RS.empty
+          (Func.successors blocks.(l).cterm)
+      in
+      live_out.(l) <- out;
+      let def = defs.(l) in
+      let inn =
+        RS.union gens.(l) (RS.filter (fun r -> not (Hashtbl.mem def r)) out)
+      in
+      if not (RS.equal inn live_in.(l)) then begin
+        live_in.(l) <- inn;
+        List.iter
+          (fun p ->
+            if not queued.(p) then begin
+              queued.(p) <- true;
+              work := p :: !work
+            end)
+          preds.(l)
+      end
+  done;
+  Array.of_list (RS.elements live_in.(cf.f.entry))
+
+(* Zero the zeroset slots at index >= [n] (the written argument prefix)
+   of a pooled frame. *)
+let[@inline] zero_tail (zs : int array) n (fr : int array) =
+  for i = 0 to Array.length zs - 1 do
+    let r = Array.unsafe_get zs i in
+    if r >= n then Array.unsafe_set fr r 0
+  done
+
+(* ------------------------- operands ---------------------------- *)
+
+let cop : operand -> int array -> int = function
+  | Imm i -> fun _ -> i
+  | Reg r -> fun regs -> regs.(r)
+
+(* ---------------------- fused segments ------------------------- *)
+
+(* A segment batches the accounting of [k] simple instructions: the
+   header bumps steps/insts by [k] and cycles by the segment's static
+   cost sum, then runs the bodies.  When a body must raise mid-segment
+   (an out-of-bounds load or store), it first rewinds the not-yet-earned
+   remainder — [dc] cycles and [dn] steps/instructions, both baked at
+   compile time — so the observable state at the raise point is exactly
+   the interpreter's. *)
+let[@inline] seg_unwind t ~dc ~dn =
+  t.cyc <- t.cyc - dc;
+  t.steps <- t.steps - dn;
+  t.ctrs.insts <- t.ctrs.insts - dn
+
+let oob_load fname addr =
+  Runtime_error (Printf.sprintf "load out of bounds: %d in %s" addr fname)
+
+let oob_store fname addr =
+  Runtime_error (Printf.sprintf "store out of bounds: %d in %s" addr fname)
+
+let inst_cost = function
+  | CAssign (_, e) -> (
+    match e with
+    | Load _ -> Cost.load
+    | Binop _ -> Cost.binop
+    | Const _ -> Cost.assign
+    | Move _ -> Cost.move)
+  | CStore _ -> Cost.store
+  | CObserve _ -> Cost.observe
+  | CCall _ | CIcall _ | CAsm_icall _ -> assert false
+
+(* Assign of a binop, fully specialized on the operator and both operand
+   kinds: the closure body is the register reads and the arithmetic,
+   nothing else.  Immediate pairs constant-fold at compile time. *)
+let pbinop r op a b : pbody =
+  match (a, b) with
+  | Reg x, Reg y -> (
+    match op with
+    | Add -> fun _ regs -> regs.(r) <- regs.(x) + regs.(y)
+    | Sub -> fun _ regs -> regs.(r) <- regs.(x) - regs.(y)
+    | Mul -> fun _ regs -> regs.(r) <- regs.(x) * regs.(y)
+    | Xor -> fun _ regs -> regs.(r) <- regs.(x) lxor regs.(y)
+    | And -> fun _ regs -> regs.(r) <- regs.(x) land regs.(y)
+    | Or -> fun _ regs -> regs.(r) <- regs.(x) lor regs.(y)
+    | Shl -> fun _ regs -> regs.(r) <- regs.(x) lsl (regs.(y) land 31)
+    | Shr -> fun _ regs -> regs.(r) <- regs.(x) lsr (regs.(y) land 31)
+    | Lt -> fun _ regs -> regs.(r) <- (if regs.(x) < regs.(y) then 1 else 0)
+    | Eq -> fun _ regs -> regs.(r) <- (if regs.(x) = regs.(y) then 1 else 0))
+  | Reg x, Imm y -> (
+    match op with
+    | Add -> fun _ regs -> regs.(r) <- regs.(x) + y
+    | Sub -> fun _ regs -> regs.(r) <- regs.(x) - y
+    | Mul -> fun _ regs -> regs.(r) <- regs.(x) * y
+    | Xor -> fun _ regs -> regs.(r) <- regs.(x) lxor y
+    | And -> fun _ regs -> regs.(r) <- regs.(x) land y
+    | Or -> fun _ regs -> regs.(r) <- regs.(x) lor y
+    | Shl ->
+      let s = y land 31 in
+      fun _ regs -> regs.(r) <- regs.(x) lsl s
+    | Shr ->
+      let s = y land 31 in
+      fun _ regs -> regs.(r) <- regs.(x) lsr s
+    | Lt -> fun _ regs -> regs.(r) <- (if regs.(x) < y then 1 else 0)
+    | Eq -> fun _ regs -> regs.(r) <- (if regs.(x) = y then 1 else 0))
+  | Imm x, Reg y -> (
+    match op with
+    | Add -> fun _ regs -> regs.(r) <- x + regs.(y)
+    | Sub -> fun _ regs -> regs.(r) <- x - regs.(y)
+    | Mul -> fun _ regs -> regs.(r) <- x * regs.(y)
+    | Xor -> fun _ regs -> regs.(r) <- x lxor regs.(y)
+    | And -> fun _ regs -> regs.(r) <- x land regs.(y)
+    | Or -> fun _ regs -> regs.(r) <- x lor regs.(y)
+    | Shl -> fun _ regs -> regs.(r) <- x lsl (regs.(y) land 31)
+    | Shr -> fun _ regs -> regs.(r) <- x lsr (regs.(y) land 31)
+    | Lt -> fun _ regs -> regs.(r) <- (if x < regs.(y) then 1 else 0)
+    | Eq -> fun _ regs -> regs.(r) <- (if x = regs.(y) then 1 else 0))
+  | Imm x, Imm y ->
+    let v = eval_binop op x y in
+    fun _ regs -> regs.(r) <- v
+
+let passign ~mem_len fname ~dc ~dn r e : pbody =
+  match e with
+  | Const i | Move (Imm i) -> fun _ regs -> regs.(r) <- i
+  | Move (Reg s) -> fun _ regs -> regs.(r) <- regs.(s)
+  | Binop (op, a, b) -> pbinop r op a b
+  | Load (Imm i) ->
+    if i >= 0 && i < mem_len then fun t regs -> regs.(r) <- t.mem.(i)
+    else
+      fun t _ ->
+        seg_unwind t ~dc ~dn;
+        raise (oob_load fname i)
+  | Load (Reg ar) ->
+    fun t regs ->
+      let addr = regs.(ar) in
+      if addr < 0 || addr >= mem_len then begin
+        seg_unwind t ~dc ~dn;
+        raise (oob_load fname addr)
+      end
+      else regs.(r) <- t.mem.(addr)
+
+(* Spec-variant assign: the taint write happens before the value write —
+   and, as in the interpreter, before a faulting load raises. *)
+let tassign ~mem_len fname ~dc ~dn r e : tbody =
+  match e with
+  | Const i | Move (Imm i) ->
+    fun _ regs taint ->
+      taint.(r) <- None;
+      regs.(r) <- i
+  | Move (Reg s) ->
+    fun _ regs taint ->
+      taint.(r) <- taint.(s);
+      regs.(r) <- regs.(s)
+  | Binop (op, a, b) ->
+    let body = pbinop r op a b in
+    fun t regs taint ->
+      taint.(r) <- None;
+      body t regs
+  | Load (Imm i) ->
+    if i >= 0 && i < mem_len then
+      fun t regs taint ->
+        (taint.(r) <-
+           (match t.cfg.speculation with
+           | None -> None
+           | Some s -> Speculation.injected_load s ~addr:i));
+        regs.(r) <- t.mem.(i)
+    else
+      fun t _ taint ->
+        (taint.(r) <-
+           (match t.cfg.speculation with
+           | None -> None
+           | Some s -> Speculation.injected_load s ~addr:i));
+        seg_unwind t ~dc ~dn;
+        raise (oob_load fname i)
+  | Load (Reg ar) ->
+    fun t regs taint ->
+      let addr = regs.(ar) in
+      (taint.(r) <-
+         (match t.cfg.speculation with
+         | None -> None
+         | Some s -> Speculation.injected_load s ~addr));
+      if addr < 0 || addr >= mem_len then begin
+        seg_unwind t ~dc ~dn;
+        raise (oob_load fname addr)
+      end
+      else regs.(r) <- t.mem.(addr)
+
+let pstore ~mem_len fname ~dc ~dn a v : pbody =
+  match (a, v) with
+  | Imm i, Imm vv ->
+    if i >= 0 && i < mem_len then fun t _ -> t.mem.(i) <- vv
+    else
+      fun t _ ->
+        seg_unwind t ~dc ~dn;
+        raise (oob_store fname i)
+  | Imm i, Reg vr ->
+    if i >= 0 && i < mem_len then fun t regs -> t.mem.(i) <- regs.(vr)
+    else
+      fun t _ ->
+        seg_unwind t ~dc ~dn;
+        raise (oob_store fname i)
+  | Reg ar, Imm vv ->
+    fun t regs ->
+      let addr = regs.(ar) in
+      if addr < 0 || addr >= mem_len then begin
+        seg_unwind t ~dc ~dn;
+        raise (oob_store fname addr)
+      end
+      else t.mem.(addr) <- vv
+  | Reg ar, Reg vr ->
+    fun t regs ->
+      let addr = regs.(ar) in
+      if addr < 0 || addr >= mem_len then begin
+        seg_unwind t ~dc ~dn;
+        raise (oob_store fname addr)
+      end
+      else t.mem.(addr) <- regs.(vr)
+
+let pobserve v : pbody =
+  match v with
+  | Imm i -> fun t _ -> if t.cfg.record_trace then t.trace_rev <- i :: t.trace_rev
+  | Reg r ->
+    fun t regs -> if t.cfg.record_trace then t.trace_rev <- regs.(r) :: t.trace_rev
+
+let pbody_of ~mem_len fname ~dc ~dn (i : Machine.cinst) : pbody =
+  match i with
+  | CAssign (r, e) -> passign ~mem_len fname ~dc ~dn r e
+  | CStore (a, v) -> pstore ~mem_len fname ~dc ~dn a v
+  | CObserve v -> pobserve v
+  | CCall _ | CIcall _ | CAsm_icall _ -> assert false
+
+let tbody_of ~mem_len fname ~dc ~dn (i : Machine.cinst) : tbody =
+  match i with
+  | CAssign (r, e) -> tassign ~mem_len fname ~dc ~dn r e
+  | CStore (a, v) ->
+    let body = pstore ~mem_len fname ~dc ~dn a v in
+    fun t regs _taint -> body t regs
+  | CObserve v ->
+    let body = pobserve v in
+    fun t regs _taint -> body t regs
+  | CCall _ | CIcall _ | CAsm_icall _ -> assert false
+
+(* Compile a maximal run of simple instructions into one fused closure.
+   The fuel guard [steps + k > fuel] holds exactly when per-instruction
+   bumping would raise somewhere inside the segment, in which case the
+   slow path replays the segment with the interpreter's per-instruction
+   accounting and dies (or faults) at precisely the right instruction —
+   it is always exact, only slower, so the guard can be conservative. *)
+let compile_segment ~spec ~mem_len fname (insts : Machine.cinst array) : iexec =
+  let k = Array.length insts in
+  let costs = Array.map inst_cost insts in
+  let total = Array.fold_left ( + ) 0 costs in
+  let prefix = ref 0 in
+  let deltas =
+    Array.map
+      (fun c ->
+        prefix := !prefix + c;
+        total - !prefix)
+      costs
+  in
+  if spec then begin
+    let slow =
+      Array.mapi
+        (fun j i ->
+          let body = tbody_of ~mem_len fname ~dc:0 ~dn:0 i and c = costs.(j) in
+          fun t regs taint ->
+            bump_inst t;
+            charge t c;
+            body t regs taint)
+        insts
+    in
+    if k = 1 then
+      let s0 = slow.(0) in
+      fun t regs taint _depth -> s0 t regs taint
+    else
+      let bodies =
+        Array.mapi
+          (fun j i -> tbody_of ~mem_len fname ~dc:deltas.(j) ~dn:(k - (j + 1)) i)
+          insts
+      in
+      fun t regs taint _depth ->
+        if t.steps + k > t.cfg.fuel then
+          for j = 0 to k - 1 do
+            slow.(j) t regs taint
+          done
+        else begin
+          t.steps <- t.steps + k;
+          t.ctrs.insts <- t.ctrs.insts + k;
+          t.cyc <- t.cyc + total;
+          for j = 0 to k - 1 do
+            bodies.(j) t regs taint
+          done
+        end
+  end
+  else begin
+    let slow =
+      Array.mapi
+        (fun j i ->
+          let body = pbody_of ~mem_len fname ~dc:0 ~dn:0 i and c = costs.(j) in
+          fun t regs ->
+            bump_inst t;
+            charge t c;
+            body t regs)
+        insts
+    in
+    if k = 1 then
+      let s0 = slow.(0) in
+      fun t regs _taint _depth -> s0 t regs
+    else
+      let bodies =
+        Array.mapi
+          (fun j i -> pbody_of ~mem_len fname ~dc:deltas.(j) ~dn:(k - (j + 1)) i)
+          insts
+      in
+      fun t regs _taint _depth ->
+        if t.steps + k > t.cfg.fuel then
+          for j = 0 to k - 1 do
+            slow.(j) t regs
+          done
+        else begin
+          t.steps <- t.steps + k;
+          t.ctrs.insts <- t.ctrs.insts + k;
+          t.cyc <- t.cyc + total;
+          for j = 0 to k - 1 do
+            bodies.(j) t regs
+          done
+        end
+  end
+
+(* --------------------------- calls ----------------------------- *)
+
+(* Result write-back and (spec variant) destination-taint clear, baked on
+   the destination register. *)
+let cstore_result ~spec dst : int array -> int option array -> int option -> unit =
+  match (dst, spec) with
+  | None, _ -> fun _ _ _ -> ()
+  | Some r, false ->
+    fun regs _ result ->
+      (match result with
+      | Some v -> regs.(r) <- v
+      | None -> regs.(r) <- 0)
+  | Some r, true ->
+    fun regs taint result ->
+      (match result with
+      | Some v -> regs.(r) <- v
+      | None -> regs.(r) <- 0);
+      taint.(r) <- None
+
+let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
+    ~(args : operand array) ~site : iexec =
+  let caller_id = caller.id and caller_name = caller.f.fname in
+  if callee_id < 0 then
+    (* Unknown callee: counters, cycles and the edge event still happen
+       before the failure, exactly like the interpreter's [lookup]. *)
+    fun t _regs _taint _depth ->
+      bump_inst t;
+      t.ctrs.calls <- t.ctrs.calls + 1;
+      charge t (Cost.direct_call + t.cfg.extra_call_cycles);
+      emit_edge t site caller_name callee_name Edge_direct;
+      raise (Runtime_error ("call to unknown function @" ^ callee_name))
+  else begin
+    let callee2 = c2by_id.(callee_id) in
+    let callee_cf = callee2.c2 in
+    let argv = Array.map cop args in
+    let n = min callee_cf.f.params (Array.length argv) in
+    (* The static argument count lets the entry-live zeroing be filtered
+       at compile time: only zeroset slots past the written prefix. *)
+    let zs_tail =
+      Array.of_list (List.filter (fun r -> r >= n) (Array.to_list callee2.zeroset))
+    in
+    let store = cstore_result ~spec dst in
+    if spec then
+      fun t regs taint depth ->
+        bump_inst t;
+        t.ctrs.calls <- t.ctrs.calls + 1;
+        charge t (Cost.direct_call + t.cfg.extra_call_cycles);
+        emit_edge t site caller_name callee_name Edge_direct;
+        enter_code t callee_cf;
+        Rsb.push t.trsb caller_id;
+        (* Write the argument prefix, zero only the entry-live tail: the
+           prefix is about to be overwritten anyway, and registers dead
+           on entry never surface their stale contents. *)
+        let callee_regs = raw_frame t ~depth:(depth + 1) in
+        for i = 0 to n - 1 do
+          Array.unsafe_set callee_regs i (argv.(i) regs)
+        done;
+        zero_tail zs_tail 0 callee_regs;
+        store regs taint (callee2.fexec_spec t callee_regs (depth + 1) caller_id)
+    else
+      fun t regs taint depth ->
+        bump_inst t;
+        t.ctrs.calls <- t.ctrs.calls + 1;
+        charge t (Cost.direct_call + t.cfg.extra_call_cycles);
+        emit_edge t site caller_name callee_name Edge_direct;
+        enter_code t callee_cf;
+        Rsb.push t.trsb caller_id;
+        let callee_regs = raw_frame t ~depth:(depth + 1) in
+        for i = 0 to n - 1 do
+          Array.unsafe_set callee_regs i (argv.(i) regs)
+        done;
+        zero_tail zs_tail 0 callee_regs;
+        store regs taint (callee2.fexec_plain t callee_regs (depth + 1) caller_id)
+  end
+
+let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array) ~site
+    ~slot : iexec =
+  let caller_id = caller.id and caller_name = caller.f.fname in
+  let ofp = cop fptr in
+  let argv = Array.map cop args in
+  let nargs = Array.length argv in
+  let kind = if asm then Edge_asm else Edge_indirect in
+  let ftaint : int option array -> int option =
+    if spec && not asm then
+      match fptr with
+      | Reg r -> fun taint -> taint.(r)
+      | Imm _ -> fun _ -> None
+    else fun _ -> None
+  in
+  let store = cstore_result ~spec dst in
+  fun t regs taint depth ->
+    bump_inst t;
+    t.ctrs.icalls <- t.ctrs.icalls + 1;
+    charge t t.cfg.extra_icall_cycles;
+    let v = ofp regs in
+    let target_id = icall_resolve t v in
+    let target_name = t.fptr_table.(v) in
+    let fptr_taint = ftaint taint in
+    (match t.cfg.fwd_override with
+    | Some hook when not asm -> charge t (hook ~site ~target:target_name)
+    | Some _ | None ->
+      let protection = if asm then Protection.F_none else t.fwd_prots.(slot) in
+      indirect_transfer t ~site ~target:target_id ~fptr_taint ~protection);
+    emit_edge t site caller_name target_name kind;
+    let callee2 = c2by_id.(target_id) in
+    let callee_cf = callee2.c2 in
+    enter_code t callee_cf;
+    Rsb.push t.trsb caller_id;
+    let callee_regs = raw_frame t ~depth:(depth + 1) in
+    (* integer min by hand: the polymorphic version costs a C call per
+       indirect transfer *)
+    let n = if callee_cf.f.params < nargs then callee_cf.f.params else nargs in
+    for i = 0 to n - 1 do
+      Array.unsafe_set callee_regs i (argv.(i) regs)
+    done;
+    zero_tail callee2.zeroset n callee_regs;
+    store regs taint
+      ((if spec then callee2.fexec_spec t callee_regs (depth + 1) caller_id
+        else callee2.fexec_plain t callee_regs (depth + 1) caller_id))
+
+let ccomplex ~spec c2by_id (caller : cfunc) (i : Machine.cinst) : iexec =
+  match i with
+  | CCall { dst; callee; callee_id; args; site } ->
+    ccall ~spec c2by_id caller ~dst ~callee_name:callee ~callee_id ~args ~site
+  | CIcall { dst; fptr; args; site; slot } ->
+    cicall ~spec ~asm:false c2by_id caller ~dst ~fptr ~args ~site ~slot
+  | CAsm_icall { fptr; site } ->
+    cicall ~spec ~asm:true c2by_id caller ~dst:None ~fptr ~args:[||] ~site ~slot:(-1)
+  | CAssign _ | CStore _ | CObserve _ -> assert false
+
+(* ------------------------ terminators -------------------------- *)
+
+let[@inline] br_follow t ~key ~taken =
+  charge t Cost.br;
+  if Pht.predict t.tpht ~key <> taken then begin
+    t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
+    charge t Cost.br_mispredict_penalty
+  end;
+  Pht.train t.tpht ~key ~taken
+
+let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec =
+  match term with
+  | Jmp l ->
+    fun t regs taint depth ret_to ->
+      charge t Cost.jmp;
+      bexecs.(l) t regs taint depth ret_to
+  | Br (Reg cr, l1, l2) ->
+    let key = cf.key_base + label in
+    fun t regs taint depth ret_to ->
+      let taken = regs.(cr) <> 0 in
+      br_follow t ~key ~taken;
+      if taken then bexecs.(l1) t regs taint depth ret_to
+      else bexecs.(l2) t regs taint depth ret_to
+  | Br (Imm i, l1, l2) ->
+    let key = cf.key_base + label in
+    let taken = i <> 0 in
+    let l = if taken then l1 else l2 in
+    fun t regs taint depth ret_to ->
+      br_follow t ~key ~taken;
+      bexecs.(l) t regs taint depth ret_to
+  | Switch { scrutinee; cases; default; lowering } ->
+    let ov = cop scrutinee in
+    let ncases = Array.length cases in
+    let cost =
+      match lowering with
+      | Jump_table -> Cost.switch_jump_table
+      | Branch_ladder -> ladder_cost ncases
+    in
+    fun t regs taint depth ret_to ->
+      let v = ov regs in
+      let rec find i =
+        if i >= ncases then default
+        else
+          let case_v, l = cases.(i) in
+          if case_v = v then l else find (i + 1)
+      in
+      let target = find 0 in
+      charge t cost;
+      bexecs.(target) t regs taint depth ret_to
+  | Ret None ->
+    fun t _regs _taint _depth ret_to ->
+      do_ret t cf ~ret_to;
+      None
+  | Ret (Some (Imm i)) ->
+    fun t _regs _taint _depth ret_to ->
+      let v = Some i in
+      do_ret t cf ~ret_to;
+      v
+  | Ret (Some (Reg r)) ->
+    fun t regs _taint _depth ret_to ->
+      let v = Some regs.(r) in
+      do_ret t cf ~ret_to;
+      v
+
+(* ------------------------- functions --------------------------- *)
+
+let cblock ~spec c2by_id ~mem_len bexecs (cf : cfunc) label (b : Machine.cblock) : bexec
+    =
+  let fname = cf.f.fname in
+  (* Partition the block into maximal simple-instruction segments and
+     individual call instructions. *)
+  let rev_chunks = ref [] and pending = ref [] in
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | l ->
+      rev_chunks := `Seg (Array.of_list (List.rev l)) :: !rev_chunks;
+      pending := []
+  in
+  Array.iter
+    (fun i ->
+      match i with
+      | CAssign _ | CStore _ | CObserve _ -> pending := i :: !pending
+      | CCall _ | CIcall _ | CAsm_icall _ ->
+        flush ();
+        rev_chunks := `Cx i :: !rev_chunks)
+    b.cinsts;
+  flush ();
+  let chunks =
+    Array.of_list
+      (List.rev_map
+         (function
+           | `Seg insts -> compile_segment ~spec ~mem_len fname insts
+           | `Cx i -> ccomplex ~spec c2by_id cf i)
+         !rev_chunks)
+  in
+  let term = cterm bexecs cf label b.cterm in
+  match Array.length chunks with
+  | 0 ->
+    fun t regs taint depth ret_to ->
+      step_fuel t;
+      term t regs taint depth ret_to
+  | 1 ->
+    let c0 = chunks.(0) in
+    fun t regs taint depth ret_to ->
+      c0 t regs taint depth;
+      step_fuel t;
+      term t regs taint depth ret_to
+  | n ->
+    fun t regs taint depth ret_to ->
+      for i = 0 to n - 1 do
+        chunks.(i) t regs taint depth
+      done;
+      step_fuel t;
+      term t regs taint depth ret_to
+
+let link_plain c2by_id ~mem_len (c2f : cfunc2) =
+  let cf = c2f.c2 in
+  let nblocks = Array.length cf.cblocks in
+  let dead : bexec = fun _ _ _ _ _ -> assert false in
+  let bplain = Array.make nblocks dead in
+  for l = 0 to nblocks - 1 do
+    bplain.(l) <- cblock ~spec:false c2by_id ~mem_len bplain cf l cf.cblocks.(l)
+  done;
+  let entry = cf.f.entry in
+  c2f.fexec_plain <-
+    (fun t regs depth ret_to ->
+      enter_frame t cf;
+      bplain.(entry) t regs no_taint depth ret_to)
+
+let link_spec c2by_id ~mem_len (c2f : cfunc2) =
+  let cf = c2f.c2 in
+  let nblocks = Array.length cf.cblocks in
+  let dead : bexec = fun _ _ _ _ _ -> assert false in
+  let bspec = Array.make nblocks dead in
+  for l = 0 to nblocks - 1 do
+    bspec.(l) <- cblock ~spec:true c2by_id ~mem_len bspec cf l cf.cblocks.(l)
+  done;
+  let entry = cf.f.entry in
+  let zs = c2f.zeroset in
+  c2f.fexec_spec <-
+    (fun t regs depth ret_to ->
+      enter_frame t cf;
+      (* The caller never writes the callee's taint file, so every
+         entry-live slot must be [None]-ed — but only those: stale taint
+         on registers that are dead on entry is unobservable, by the
+         same liveness argument as the value frame. *)
+      let taint = raw_taint_frame t ~depth in
+      for i = 0 to Array.length zs - 1 do
+        Array.unsafe_set taint (Array.unsafe_get zs i) None
+      done;
+      bspec.(entry) t regs taint depth ret_to)
+
+(* Both variants are lowered lazily, per function, on first call: a
+   compiled program starts as an array of trampolines, and only the
+   functions a workload actually reaches ever pay for closure
+   construction (the spec variant additionally only under a speculative
+   config).  That keeps [compile] itself a cheap linear pass — one
+   zeroset per function — which matters for compile-dominated workloads:
+   short attack drills over many images, and the online loop's fresh
+   controller program every window.
+
+   Call closures fetch their callee's [fexec_*] field at call time, so a
+   linked body is picked up transparently; the only cross-function data
+   baked at construction time is the callee's [zeroset], which [compile]
+   computes eagerly for exactly that reason.  Linking runs under
+   [link_lock] (double-checked via the [*_linked] flags, which are only
+   written under the lock).  A racing domain either still sees the
+   trampoline — and then synchronizes on the lock before re-reading the
+   field — or sees the published closure; unlinked bodies are never
+   reachable. *)
+let link_now p c2f ~spec =
+  Mutex.lock p.link_lock;
+  (if spec then begin
+     if not c2f.spec_linked then begin
+       link_spec p.c2by_id ~mem_len:p.mem_len c2f;
+       c2f.spec_linked <- true
+     end
+   end
+   else if not c2f.plain_linked then begin
+     link_plain p.c2by_id ~mem_len:p.mem_len c2f;
+     c2f.plain_linked <- true
+   end);
+  Mutex.unlock p.link_lock
+
+let compile (cv : Machine.compiled) ~mem_len : prog =
+  let c2by_id =
+    Array.map
+      (fun cf ->
+        {
+          c2 = cf;
+          zeroset = zeroset_of cf;
+          fexec_plain = unlinked;
+          fexec_spec = unlinked;
+          plain_linked = false;
+          spec_linked = false;
+        })
+      cv.cby_id
+  in
+  let p = { c2by_id; mem_len; link_lock = Mutex.create () } in
+  Array.iter
+    (fun c2f ->
+      c2f.fexec_plain <-
+        (fun t regs depth ret_to ->
+          link_now p c2f ~spec:false;
+          c2f.fexec_plain t regs depth ret_to);
+      c2f.fexec_spec <-
+        (fun t regs depth ret_to ->
+          link_now p c2f ~spec:true;
+          c2f.fexec_spec t regs depth ret_to))
+    c2by_id;
+  p
+
+(* The backend entry installed into [Machine.t.exec_entry]: builds the
+   top-level frame (argument prefix + entry-live zeroing, like any call
+   site), then one speculation-variant dispatch per top-level call — the
+   closure chain runs variant-pure from there. *)
+let entry (p : prog) : Machine.t -> cfunc -> int list -> int option =
+ fun t cf args ->
+  let c2 = p.c2by_id.(cf.id) in
+  let regs = raw_frame t ~depth:0 in
+  let params = cf.f.params in
+  let rec write i = function
+    | v :: rest when i < params ->
+      regs.(i) <- v;
+      write (i + 1) rest
+    | _ -> i
+  in
+  let n = write 0 args in
+  zero_tail c2.zeroset n regs;
+  match t.cfg.speculation with
+  | None -> c2.fexec_plain t regs 0 top_id
+  | Some _ -> c2.fexec_spec t regs 0 top_id

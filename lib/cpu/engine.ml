@@ -1,225 +1,124 @@
+(** The execution engine façade: backend selection, compile caching and
+    the public API over {!Machine}.
+
+    Two backends share one semantics (see {!Machine} for everything that
+    must not drift): {!Interp}, the reference tree-walking interpreter,
+    and {!Compile2}, the closure-threaded compiled backend that bakes
+    dispatch decisions at compile time.  [create ?backend] picks one per
+    engine; the process default (normally [Compiled]) is set once by the
+    CLI/bench [--engine] flag through {!set_default_backend}.
+
+    Compilation output — the {!Machine.compiled} view plus the closure
+    program — is cached in a small LRU keyed on physical program
+    identity, so alternating over a working set of programs (the online
+    dual replay's deployed/pristine pair, attack drills over several
+    images) compiles each program exactly once.  Cache traffic is
+    visible as ["sched"]-category [engine:compile] spans and
+    [compile-cache-hit]/[compile-cache-miss] counters. *)
+
 open Pibe_ir
-open Types
+include Machine
 
-type edge_kind =
-  | Edge_direct
-  | Edge_indirect
-  | Edge_asm
+let backend_to_string = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
 
-type edge_event = {
-  site : site;
-  caller : string;
-  callee : string;
-  kind : edge_kind;
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+(* Process-wide default, overridable per engine at [create].  Atomic
+   because worker domains read it while the main domain parses flags. *)
+let default_backend_cell = Atomic.make Compiled
+let set_default_backend b = Atomic.set default_backend_cell b
+let default_backend () = Atomic.get default_backend_cell
+
+(* ----------------------- compile cache ------------------------- *)
+
+(* Bounded LRU over physically-distinct programs, MRU first.  The common
+   patterns are (a) many engines in a row over one image — attack drills,
+   measurement cells — and (b) an alternating working set — the online
+   dual replay flips deployed/pristine every window, each controller
+   rebuild adds one fresh program, and parallel experiment cells sweep
+   several images at once.  64 entries cover all of them with room for
+   wide sweeps.  Guarded by a mutex because engines are created from
+   worker domains too; a miss compiles outside the lock (duplicated work
+   is pure), and a racing domain's finished entry is adopted over our
+   own. *)
+
+type cache_entry = {
+  cprog : Program.t;
+  cview : compiled;
+  cclosures : Compile2.prog;
 }
 
-type config = {
-  fwd_protection : site -> Protection.forward;
-  bwd_protection : string -> Protection.backward;
-  fwd_override : (site:site -> target:string -> int) option;
-  icache_bytes : int;
-  footprint : func -> int;
-  record_trace : bool;
-  on_edge : (edge_event -> unit) option;
-  on_exit : (string -> unit) option;
-  speculation : Speculation.t option;
-  fuel : int;
-  extra_call_cycles : int;
-  extra_icall_cycles : int;
-  extra_ret_cycles : int;
-  rsb_refill : bool;
-}
-
-let default_config =
-  {
-    fwd_protection = (fun _ -> Protection.F_none);
-    bwd_protection = (fun _ -> Protection.B_none);
-    fwd_override = None;
-    icache_bytes = 32 * 1024;
-    footprint = Layout.func_size;
-    record_trace = false;
-    on_edge = None;
-    on_exit = None;
-    speculation = None;
-    fuel = 100_000_000;
-    extra_call_cycles = 0;
-    extra_icall_cycles = 0;
-    extra_ret_cycles = 0;
-    rsb_refill = false;
-  }
-
-type counters = {
-  mutable calls : int;
-  mutable icalls : int;
-  mutable rets : int;
-  mutable insts : int;
-  mutable btb_misses : int;
-  mutable rsb_misses : int;
-  mutable pht_misses : int;
-  mutable stack_bytes : int;
-  mutable peak_stack_bytes : int;
-}
-
-(* Compiled view of the IR, built once at [create]: function names are
-   interned to dense ids, every direct-call target and fptr-table entry is
-   pre-resolved, and per-function constants (PHT key base, frame bytes,
-   protection kinds) are computed up front so the per-call hot path does no
-   string hashing and no hashtable probes. *)
-
-type cinst =
-  | CAssign of reg * expr
-  | CStore of operand * operand
-  | CObserve of operand
-  | CCall of {
-      dst : reg option;
-      callee : string;  (* kept for edges and error messages *)
-      callee_id : int;  (* -1 when the name does not resolve *)
-      args : operand array;
-      site : site;
-    }
-  | CIcall of {
-      dst : reg option;
-      fptr : operand;
-      args : operand array;
-      site : site;
-    }
-  | CAsm_icall of {
-      fptr : operand;
-      site : site;
-    }
-
-type cblock = {
-  cinsts : cinst array;
-  cterm : terminator;
-}
-
-type cfunc = {
-  f : func;
-  id : int;
-  cblocks : cblock array;
-  key_base : int;  (* PHT key base: Hashtbl.hash fname * 613, as the seed *)
-  frame_bytes : int;  (* stack-coloring frame model, precomputed *)
-}
-
-(* id of the synthetic top-of-stack return continuation *)
-let top_id = -1
-
-(* The compiled view is immutable and depends only on the program, so
-   engines created on the same program (physical equality) share it —
-   config-dependent state (backward protections, footprint memo) lives in
-   per-engine arrays instead. *)
-type compiled = {
-  cfuncs : (string, cfunc) Hashtbl.t;  (* API edge only; never on the hot path *)
-  cby_id : cfunc array;
-  cfptr_ids : int array;  (* pre-resolved fptr targets; -1 = unknown name *)
-  cmax_regs : int;
-}
-
-type t = {
-  prog : Program.t;
-  funcs : (string, cfunc) Hashtbl.t;
-  by_id : cfunc array;
-  fptr_table : string array;
-  fptr_ids : int array;
-  bwds : Protection.backward array;  (* per-function backward protection, by id *)
-  sizes : int array;  (* memoized config.footprint, by id; -1 until first entry *)
-  mem : int array;
-  tbtb : Btb.t;
-  trsb : Rsb.t;
-  tpht : Pht.t;
-  ticache : Icache.t;
-  cfg : config;
-  ctrs : counters;
-  max_regs : int;
-  mutable frames : int array array;  (* register-frame pool, one per depth *)
-  mutable taint_frames : int option array array;
-  mutable cyc : int;
-  mutable steps : int;
-  mutable trace_rev : int list;
-}
-
-exception Runtime_error of string
-exception Out_of_fuel
-
-(* Frame accounting with a stack-coloring model: inlined callees' locals
-   have disjoint lifetimes, so the allocator merges most of their slots.
-   Sub-linear growth in the register count approximates that; coloring
-   degrades as merged frames grow, which is exactly the inefficiency paper
-   Rule 2 exists to bound (section 5.2). *)
-let frame_bytes_of nregs = 16 + (8 * int_of_float (Float.of_int nregs ** 0.6))
-
-let compile_func ~id intern (f : func) =
-  let compile_inst = function
-    | Assign (r, e) -> CAssign (r, e)
-    | Store (a, v) -> CStore (a, v)
-    | Observe v -> CObserve v
-    | Call { dst; callee; args; site; tail = _ } ->
-      CCall { dst; callee; callee_id = intern callee; args = Array.of_list args; site }
-    | Icall { dst; fptr; args; site } ->
-      CIcall { dst; fptr; args = Array.of_list args; site }
-    | Asm_icall { fptr; site } -> CAsm_icall { fptr; site }
-  in
-  let cblocks =
-    Array.map
-      (fun (b : block) -> { cinsts = Array.map compile_inst b.insts; cterm = b.term })
-      f.blocks
-  in
-  {
-    f;
-    id;
-    cblocks;
-    key_base = Hashtbl.hash f.fname * 613;
-    frame_bytes = frame_bytes_of f.nregs;
-  }
-
-let compile prog =
-  let order = Program.layout_order prog in
-  let n = List.length order in
-  let ids = Hashtbl.create (2 * max n 1) in
-  List.iteri (fun i name -> Hashtbl.replace ids name i) order;
-  let intern name = match Hashtbl.find_opt ids name with Some i -> i | None -> -1 in
-  let cfuncs = Hashtbl.create (2 * max n 1) in
-  let cby_id =
-    Array.of_list
-      (List.mapi
-         (fun i name ->
-           let f = Program.find prog name in
-           let cf = compile_func ~id:i intern f in
-           Hashtbl.replace cfuncs name cf;
-           cf)
-         order)
-  in
-  {
-    cfuncs;
-    cby_id;
-    cfptr_ids = Array.map intern prog.Program.fptr_table;
-    cmax_regs = Array.fold_left (fun m cf -> max m cf.f.nregs) 1 cby_id;
-  }
-
-(* One-slot compiled-view cache: the common pattern is several engines in
-   a row over the same image (attack drills, measurement cells), and the
-   compilation is by far the most expensive part of [create].  Guarded by
-   a mutex because engines are created from worker domains too; a miss
-   compiles outside the lock (duplicated work is pure). *)
+let cache_capacity = 64
 let compile_lock = Mutex.create ()
-let last_compiled : (Program.t * compiled) option ref = ref None
+let cache : cache_entry list ref = ref []
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+let compile_cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
 
-let compiled_for prog =
+(* Cache traffic depends on scheduling (which domain compiled first), so
+   the events live in the "sched" category that [Trace.canonical] strips
+   — like the pool's own events. *)
+let note_cache ~hit =
+  Atomic.incr (if hit then cache_hits else cache_misses);
+  if Pibe_trace.Trace.enabled () then
+    Pibe_trace.Trace.counter ~cat:"sched"
+      (if hit then "compile-cache-hit" else "compile-cache-miss")
+      [ ("count", Pibe_trace.Trace.Int 1) ]
+
+let rec truncate n = function
+  | [] -> []
+  | _ :: _ when n = 0 -> []
+  | e :: rest -> e :: truncate (n - 1) rest
+
+(* Splits out the entry for [prog], if cached: (entry, others). *)
+let take_entry prog entries =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest when e.cprog == prog -> Some (e, List.rev_append acc rest)
+    | e :: rest -> go (e :: acc) rest
+  in
+  go [] entries
+
+let entry_for prog =
   Mutex.lock compile_lock;
-  match !last_compiled with
-  | Some (p, c) when p == prog ->
+  match take_entry prog !cache with
+  | Some (e, others) ->
+    cache := e :: others;
     Mutex.unlock compile_lock;
-    c
-  | _ ->
+    note_cache ~hit:true;
+    e
+  | None ->
     Mutex.unlock compile_lock;
-    let c = compile prog in
+    note_cache ~hit:false;
+    let fresh =
+      Pibe_trace.Trace.span ~cat:"sched" "engine:compile" (fun () ->
+          let cview = compile prog in
+          let mem_len = prog.Program.globals_size in
+          { cprog = prog; cview; cclosures = Compile2.compile cview ~mem_len })
+    in
     Mutex.lock compile_lock;
-    last_compiled := Some (prog, c);
+    let e, others =
+      match take_entry prog !cache with
+      | Some (e, others) -> (e, others)  (* another domain won the race *)
+      | None -> (fresh, !cache)
+    in
+    cache := truncate cache_capacity (e :: others);
     Mutex.unlock compile_lock;
-    c
+    e
 
-let create ?(config = default_config) prog =
-  let compiled = compiled_for prog in
+(* ------------------------ construction ------------------------- *)
+
+let create ?(config = default_config) ?backend prog =
+  let backend =
+    match backend with Some b -> b | None -> Atomic.get default_backend_cell
+  in
+  let entry = entry_for prog in
+  let compiled = entry.cview in
   let n = Array.length compiled.cby_id in
   {
     prog;
@@ -228,6 +127,10 @@ let create ?(config = default_config) prog =
     fptr_table = prog.Program.fptr_table;
     fptr_ids = compiled.cfptr_ids;
     bwds = Array.map (fun cf -> config.bwd_protection cf.f.fname) compiled.cby_id;
+    (* Protections are per-engine (the config closes over a hardened
+       image), but [Pass.fwd_protection] is a pure site-keyed lookup, so
+       baking it into a slot-indexed array at create time is exact. *)
+    fwd_prots = Array.map config.fwd_protection compiled.cicall_sites;
     sizes = Array.make (max n 1) (-1);
     mem = Program.initial_memory prog;
     tbtb = Btb.create ();
@@ -248,8 +151,14 @@ let create ?(config = default_config) prog =
         peak_stack_bytes = 0;
       };
     max_regs = compiled.cmax_regs;
+    backend;
+    exec_entry =
+      (match backend with
+      | Interp -> Interp.entry
+      | Compiled -> Compile2.entry entry.cclosures);
     frames = Array.make 0 [||];
     taint_frames = Array.make 0 [||];
+    call_memo = None;
     cyc = 0;
     steps = 0;
     trace_rev = [];
@@ -260,327 +169,18 @@ let func_id t name =
   | Some cf -> cf.id
   | None -> raise (Runtime_error ("call to unknown function @" ^ name))
 
-let func_name t id = if id = top_id then "#top" else t.by_id.(id).f.fname
-
-let lookup t id name =
-  if id >= 0 then t.by_id.(id)
-  else raise (Runtime_error ("call to unknown function @" ^ name))
-
-let footprint_of t cf =
-  let s = t.sizes.(cf.id) in
-  if s >= 0 then s
-  else begin
-    let s = t.cfg.footprint cf.f in
-    t.sizes.(cf.id) <- s;
-    s
-  end
-
-(* Register-frame pool: one zeroed frame per activation depth, allocated on
-   first use and reused by every later activation at that depth — no
-   allocation on the call hot path.  Frames are sized to the largest
-   register file in the program; only the first [nregs] slots are ever
-   read, and they are re-zeroed on entry (registers start at 0). *)
-
-let frame t ~depth ~nregs =
-  (if depth >= Array.length t.frames then begin
-     let len = Array.length t.frames in
-     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
-     Array.blit t.frames 0 grown 0 len;
-     t.frames <- grown
-   end);
-  let fr = t.frames.(depth) in
-  let fr =
-    if Array.length fr = 0 then begin
-      let fr = Array.make (max t.max_regs 1) 0 in
-      t.frames.(depth) <- fr;
-      fr
-    end
-    else fr
-  in
-  Array.fill fr 0 nregs 0;
-  fr
-
-let taint_frame t ~depth ~nregs =
-  (if depth >= Array.length t.taint_frames then begin
-     let len = Array.length t.taint_frames in
-     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
-     Array.blit t.taint_frames 0 grown 0 len;
-     t.taint_frames <- grown
-   end);
-  let fr = t.taint_frames.(depth) in
-  let fr =
-    if Array.length fr = 0 then begin
-      let fr = Array.make (max t.max_regs 1) None in
-      t.taint_frames.(depth) <- fr;
-      fr
-    end
-    else fr
-  in
-  Array.fill fr 0 nregs None;
-  fr
-
-let operand_value regs = function
-  | Imm i -> i
-  | Reg r -> regs.(r)
-
-(* Taint: the attacker-injectable transient value of each register, used
-   only when a speculation drill is active. *)
-let operand_taint taint = function
-  | Imm _ -> None
-  | Reg r -> taint.(r)
-
-let emit_edge t site caller callee kind =
-  match t.cfg.on_edge with
-  | None -> ()
-  | Some f -> f { site; caller; callee; kind }
-
-let charge t c = t.cyc <- t.cyc + c
-
-let enter_code t callee =
-  charge t (Icache.touch t.ticache ~id:callee.id ~size:(footprint_of t callee))
-
-(* Forward transfer through an indirect call site: prediction, cost,
-   training, speculation drill.  Returns unit; the caller then executes
-   the resolved target.  [target] is the interned id of the resolved
-   callee; prediction hit/miss is a single int compare. *)
-let indirect_transfer t ~site ~target ~fptr_taint ~protection =
-  let spec = t.cfg.speculation in
-  (match protection with
-  | Protection.F_none ->
-    let predicted = Btb.predict t.tbtb ~site:site.site_id in
-    let hit = predicted = target in
-    if not hit then t.ctrs.btb_misses <- t.ctrs.btb_misses + 1;
-    charge t (Cost.forward_cost protection ~btb_hit:hit);
-    (* The resolved branch retrains its slot. *)
-    Btb.train t.tbtb ~site:site.site_id ~target;
-    (match spec with
-    | Some s when predicted <> Btb.no_target && predicted <> target ->
-      Speculation.record s
-        {
-          Speculation.mechanism = Speculation.Spectre_v2;
-          site_id = site.site_id;
-          gadget = func_name t predicted;
-        }
-    | _ -> ())
-  | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
-    charge t (Cost.forward_cost protection ~btb_hit:false);
-    (* Retpolines never execute a BTB-predicted branch; the LVI thunk
-       still does, so V2 injection remains possible through it. *)
-    if not (Protection.forward_stops_btb_injection protection) then begin
-      let predicted = Btb.predict t.tbtb ~site:site.site_id in
-      Btb.train t.tbtb ~site:site.site_id ~target;
-      match spec with
-      | Some s when predicted <> Btb.no_target && predicted <> target ->
-        Speculation.record s
-          {
-            Speculation.mechanism = Speculation.Spectre_v2;
-            site_id = site.site_id;
-            gadget = func_name t predicted;
-          }
-      | _ -> ()
-    end);
-  (* LVI: a poisoned branch-target load lets the attacker steer the
-     transient call unless the sequence fences the load. *)
-  match (spec, fptr_taint) with
-  | Some s, Some injected when not (Protection.forward_stops_lvi protection) ->
-    let gadget =
-      if injected >= 0 && injected < Array.length t.fptr_table then t.fptr_table.(injected)
-      else "#fault"
-    in
-    Speculation.record s
-      { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
-  | _ -> ()
-
-let rec exec_func t (cf : cfunc) (regs : int array) ~depth ~(ret_to : int) : int option =
-  let f = cf.f in
-  t.ctrs.stack_bytes <- t.ctrs.stack_bytes + cf.frame_bytes;
-  if t.ctrs.stack_bytes > t.ctrs.peak_stack_bytes then
-    t.ctrs.peak_stack_bytes <- t.ctrs.stack_bytes;
-  let spec_on = t.cfg.speculation <> None in
-  let taint = if spec_on then taint_frame t ~depth ~nregs:(max f.nregs 1) else [||] in
-  let eval_expr e =
-    match e with
-    | Const i -> i
-    | Move o -> operand_value regs o
-    | Binop (op, a, b) -> eval_binop op (operand_value regs a) (operand_value regs b)
-    | Load a ->
-      let addr = operand_value regs a in
-      if addr < 0 || addr >= Array.length t.mem then
-        raise (Runtime_error (Printf.sprintf "load out of bounds: %d in %s" addr f.fname))
-      else t.mem.(addr)
-  in
-  let taint_of_expr e =
-    match e with
-    | Const _ -> None
-    | Move o -> operand_taint taint o
-    | Binop _ -> None
-    | Load a -> (
-      match t.cfg.speculation with
-      | None -> None
-      | Some s -> Speculation.injected_load s ~addr:(operand_value regs a))
-  in
-  let invoke ~dst ~(callee : cfunc) ~(args : operand array) =
-    enter_code t callee;
-    Rsb.push t.trsb cf.id;
-    let nregs = max callee.f.nregs 1 in
-    let callee_regs = frame t ~depth:(depth + 1) ~nregs in
-    let n = min callee.f.params (Array.length args) in
-    for i = 0 to n - 1 do
-      callee_regs.(i) <- operand_value regs args.(i)
-    done;
-    let result = exec_func t callee callee_regs ~depth:(depth + 1) ~ret_to:cf.id in
-    (match (dst, result) with
-    | Some r, Some v -> regs.(r) <- v
-    | Some r, None -> regs.(r) <- 0
-    | None, _ -> ());
-    match dst with
-    | Some r when spec_on -> taint.(r) <- None
-    | _ -> ()
-  in
-  let do_call ~dst ~callee ~callee_id ~args ~site =
-    t.ctrs.calls <- t.ctrs.calls + 1;
-    charge t (Cost.direct_call + t.cfg.extra_call_cycles);
-    emit_edge t site f.fname callee Edge_direct;
-    invoke ~dst ~callee:(lookup t callee_id callee) ~args
-  in
-  let do_icall ~dst ~fptr ~args ~site ~asm =
-    t.ctrs.icalls <- t.ctrs.icalls + 1;
-    charge t t.cfg.extra_icall_cycles;
-    let v = operand_value regs fptr in
-    if v < 0 || v >= Array.length t.fptr_table then
-      raise
-        (Runtime_error
-           (Printf.sprintf "wild indirect call: fptr value %d outside table of %d" v
-              (Array.length t.fptr_table)));
-    let target_name = t.fptr_table.(v) in
-    let target_id = t.fptr_ids.(v) in
-    if target_id < 0 then
-      raise (Runtime_error ("call to unknown function @" ^ target_name));
-    let fptr_taint = if spec_on then operand_taint taint fptr else None in
-    (match t.cfg.fwd_override with
-    | Some hook when not asm -> charge t (hook ~site ~target:target_name)
-    | Some _ | None ->
-      let protection = if asm then Protection.F_none else t.cfg.fwd_protection site in
-      indirect_transfer t ~site ~target:target_id ~fptr_taint ~protection);
-    emit_edge t site f.fname target_name (if asm then Edge_asm else Edge_indirect);
-    invoke ~dst ~callee:(t.by_id.(target_id)) ~args
-  in
-  let exec_inst i =
-    t.ctrs.insts <- t.ctrs.insts + 1;
-    t.steps <- t.steps + 1;
-    if t.steps > t.cfg.fuel then raise Out_of_fuel;
-    match i with
-    | CAssign (r, e) ->
-      let cost =
-        match e with
-        | Load _ -> Cost.load
-        | Binop _ -> Cost.binop
-        | Const _ -> Cost.assign
-        | Move _ -> Cost.move
-      in
-      charge t cost;
-      (if spec_on then taint.(r) <- taint_of_expr e);
-      regs.(r) <- eval_expr e
-    | CStore (a, v) ->
-      charge t Cost.store;
-      let addr = operand_value regs a in
-      if addr < 0 || addr >= Array.length t.mem then
-        raise (Runtime_error (Printf.sprintf "store out of bounds: %d in %s" addr f.fname))
-      else t.mem.(addr) <- operand_value regs v
-    | CObserve v ->
-      charge t Cost.observe;
-      if t.cfg.record_trace then t.trace_rev <- operand_value regs v :: t.trace_rev
-    | CCall { dst; callee; callee_id; args; site } ->
-      do_call ~dst ~callee ~callee_id ~args ~site
-    | CIcall { dst; fptr; args; site } -> do_icall ~dst ~fptr ~args ~site ~asm:false
-    | CAsm_icall { fptr; site } -> do_icall ~dst:None ~fptr ~args:[||] ~site ~asm:true
-  in
-  let do_ret v =
-    t.ctrs.rets <- t.ctrs.rets + 1;
-    charge t t.cfg.extra_ret_cycles;
-    let protection = t.bwds.(cf.id) in
-    (match protection with
-    | Protection.B_none | Protection.B_lvi ->
-      let popped = Rsb.pop t.trsb in
-      let hit = popped = ret_to in
-      if not hit then t.ctrs.rsb_misses <- t.ctrs.rsb_misses + 1;
-      charge t (Cost.backward_cost protection ~rsb_hit:hit);
-      (match t.cfg.speculation with
-      | Some s when not (Protection.backward_stops_rsb_poisoning protection) ->
-        (* An armed desynchronization means this return's prediction is
-           attacker-controlled. *)
-        (match Speculation.take_rsb_desync s with
-        | Some gadget ->
-          Speculation.record s
-            { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
-        | None -> ());
-        if popped <> Rsb.none && popped <> ret_to then
-          Speculation.record s
-            {
-              Speculation.mechanism = Speculation.Ret2spec;
-              site_id = -1;
-              gadget = func_name t popped;
-            }
-      | _ -> ())
-    | Protection.B_ret_retpoline | Protection.B_fenced_ret_retpoline ->
-      (* The sequence forces the top-of-RSB into a known state; the stale
-         entry is consumed without being followed. *)
-      ignore (Rsb.pop t.trsb);
-      charge t (Cost.backward_cost protection ~rsb_hit:false));
-    t.ctrs.stack_bytes <- t.ctrs.stack_bytes - cf.frame_bytes;
-    (match t.cfg.on_exit with
-    | Some h -> h f.fname
-    | None -> ());
-    v
-  in
-  let rec run_block label =
-    let b = cf.cblocks.(label) in
-    Array.iter exec_inst b.cinsts;
-    t.steps <- t.steps + 1;
-    if t.steps > t.cfg.fuel then raise Out_of_fuel;
-    match b.cterm with
-    | Jmp l ->
-      charge t Cost.jmp;
-      run_block l
-    | Br (c, l1, l2) ->
-      charge t Cost.br;
-      let taken = operand_value regs c <> 0 in
-      let key = cf.key_base + label in
-      if Pht.predict t.tpht ~key <> taken then begin
-        t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
-        charge t Cost.br_mispredict_penalty
-      end;
-      Pht.train t.tpht ~key ~taken;
-      run_block (if taken then l1 else l2)
-    | Switch { scrutinee; cases; default; lowering } ->
-      let v = operand_value regs scrutinee in
-      let rec find i =
-        if i >= Array.length cases then (default, Array.length cases)
-        else
-          let case_v, l = cases.(i) in
-          if case_v = v then (l, i + 1) else find (i + 1)
-      in
-      let target, _position = find 0 in
-      (match lowering with
-      | Jump_table -> charge t Cost.switch_jump_table
-      | Branch_ladder ->
-        (* compilers lower large switches as balanced compare trees *)
-        let n = Array.length cases in
-        let depth =
-          let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
-          1 + log2 0 (n + 1)
-        in
-        charge t (Cost.br + (Cost.switch_ladder_step * depth)));
-      run_block target
-    | Ret v -> do_ret (Option.map (operand_value regs) v)
-  in
-  run_block f.entry
-
 let call t name args =
   let cf =
-    match Hashtbl.find_opt t.funcs name with
-    | Some cf -> cf
-    | None -> raise (Runtime_error ("call to unknown function @" ^ name))
+    (* Workload drivers call the same entry point per request, passing
+       the same physical string; skip the hash on that path. *)
+    match t.call_memo with
+    | Some (n, cf) when n == name -> cf
+    | _ -> (
+      match Hashtbl.find_opt t.funcs name with
+      | Some cf ->
+        t.call_memo <- Some (name, cf);
+        cf
+      | None -> raise (Runtime_error ("call to unknown function @" ^ name)))
   in
   if t.cfg.rsb_refill then begin
     (* stuffing: 16 dummy pushes at the entry point *)
@@ -592,11 +192,10 @@ let call t name args =
   end;
   enter_code t cf;
   Rsb.push t.trsb top_id;
-  let regs = frame t ~depth:0 ~nregs:(max cf.f.nregs 1) in
-  List.iteri (fun i v -> if i < cf.f.params then regs.(i) <- v) args;
-  exec_func t cf regs ~depth:0 ~ret_to:top_id
+  t.exec_entry t cf args
 
 let speculation t = t.cfg.speculation
+let backend t = t.backend
 
 let cycles t = t.cyc
 let reset_cycles t = t.cyc <- 0

@@ -1,4 +1,4 @@
-(** The execution engine: an IR interpreter with cycle accounting.
+(** The execution engine: a cycle-accounting executor with two backends.
 
     One engine instance models one machine: global memory, BTB, RSB and
     instruction cache persist across top-level calls, exactly like kernel
@@ -13,10 +13,34 @@
     backward protection) are computed once, and register frames come from
     a per-depth pool — so the per-call hot path performs no string
     hashing, no hashtable probes, and no allocation.  Strings survive only
-    at the API edges (entry points, edge events, traces, errors).  The
-    compiled view is immutable and shared between engines created on the
-    same program (safe from multiple domains), so repeated [create] on one
-    image — attack drills, measurement cells — pays compilation once.
+    at the API edges (entry points, edge events, traces, errors).
+
+    {2 Backends and the parity contract}
+
+    Two interchangeable execution backends run the compiled view:
+
+    - [Compiled] (the default): a closure-threading stage additionally
+      lowers every instruction, expression and terminator into a
+      pre-specialized closure — operand kinds, binop selection, costs,
+      resolved callee ids, PHT keys, indirect-call protection kinds and
+      the speculation-off fast path are baked at closure construction,
+      so the hot loop does no constructor matching at all.
+    - [Interp]: the reference tree-walking interpreter, kept as the
+      executable semantics.
+
+    The contract is bit-exactness: for any program, config and workload
+    the two backends produce identical cycles, counters, traces, memory,
+    speculation events and errors.  The golden fingerprints in
+    [test/test_measure.ml] and the differential suite in
+    [test/test_backend.ml] pin it.
+
+    Compilation output is cached in a small LRU keyed on {e physical}
+    program identity, so repeated [create] over a working set of
+    programs — attack drills, measurement cells, the online dual
+    replay's deployed/pristine alternation — compiles each program
+    exactly once.  Compile cost and cache traffic are visible as
+    ["sched"]-category [engine:compile] spans and
+    [compile-cache-hit]/[compile-cache-miss] trace counters.
 
     The engine doubles as
     - the {e profiling binary}: [on_edge] observes every resolved call
@@ -25,6 +49,22 @@
       transient entries are recorded at unprotected indirect branches. *)
 
 open Pibe_ir
+
+type backend =
+  | Interp  (** reference tree-walking interpreter *)
+  | Compiled  (** closure-threaded compiled backend *)
+
+val backend_to_string : backend -> string
+
+val backend_of_string : string -> backend option
+(** Recognizes ["interp"] and ["compiled"]. *)
+
+val set_default_backend : backend -> unit
+(** Sets the process-wide backend used by [create] when no explicit
+    [?backend] is given (initially [Compiled]).  Wired to the [--engine]
+    flag of [pibe_cli] and the bench harness. *)
+
+val default_backend : unit -> backend
 
 type edge_kind =
   | Edge_direct
@@ -87,7 +127,17 @@ type t
 exception Runtime_error of string
 exception Out_of_fuel
 
-val create : ?config:config -> Program.t -> t
+val create : ?config:config -> ?backend:backend -> Program.t -> t
+(** [backend] defaults to {!default_backend}[ ()].  Both backends are
+    bit-exact against each other (see the parity contract above). *)
+
+val backend : t -> backend
+(** The backend this engine executes with. *)
+
+val compile_cache_stats : unit -> int * int
+(** Process-wide [(hits, misses)] of the compile LRU since start — a hit
+    means [create] reused a previously compiled program (physical
+    identity). *)
 
 val call : t -> string -> int list -> int option
 (** [call t fname args] runs the function to completion and returns its

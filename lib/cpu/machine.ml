@@ -1,0 +1,460 @@
+(** Shared machine state and compiled program view for the execution
+    backends.
+
+    One {!t} models one machine (global memory, BTB, RSB, i-cache,
+    counters); {!compiled} is the immutable per-program lowering both
+    backends consume (interned ids, pre-resolved call targets, dense
+    indirect-call slots).  Everything whose semantics must be identical
+    across backends — cycle charging, the indirect-branch transfer with
+    its speculation drills, the return-path protection logic, frame
+    pools — lives here as plain functions, so {!Interp} and {!Compile2}
+    cannot drift apart on the subtle parts.  [Engine] is the public
+    façade; this module is internal to [pibe_cpu]. *)
+
+open Pibe_ir
+open Types
+
+type backend =
+  | Interp  (** reference tree-walking interpreter *)
+  | Compiled  (** closure-threaded compiled backend *)
+
+type edge_kind =
+  | Edge_direct
+  | Edge_indirect
+  | Edge_asm
+
+type edge_event = {
+  site : site;
+  caller : string;
+  callee : string;
+  kind : edge_kind;
+}
+
+type config = {
+  fwd_protection : site -> Protection.forward;
+  bwd_protection : string -> Protection.backward;
+  fwd_override : (site:site -> target:string -> int) option;
+  icache_bytes : int;
+  footprint : func -> int;
+  record_trace : bool;
+  on_edge : (edge_event -> unit) option;
+  on_exit : (string -> unit) option;
+  speculation : Speculation.t option;
+  fuel : int;
+  extra_call_cycles : int;
+  extra_icall_cycles : int;
+  extra_ret_cycles : int;
+  rsb_refill : bool;
+}
+
+let default_config =
+  {
+    fwd_protection = (fun _ -> Protection.F_none);
+    bwd_protection = (fun _ -> Protection.B_none);
+    fwd_override = None;
+    icache_bytes = 32 * 1024;
+    footprint = Layout.func_size;
+    record_trace = false;
+    on_edge = None;
+    on_exit = None;
+    speculation = None;
+    fuel = 100_000_000;
+    extra_call_cycles = 0;
+    extra_icall_cycles = 0;
+    extra_ret_cycles = 0;
+    rsb_refill = false;
+  }
+
+type counters = {
+  mutable calls : int;
+  mutable icalls : int;
+  mutable rets : int;
+  mutable insts : int;
+  mutable btb_misses : int;
+  mutable rsb_misses : int;
+  mutable pht_misses : int;
+  mutable stack_bytes : int;
+  mutable peak_stack_bytes : int;
+}
+
+(* Compiled view of the IR, built once per program: function names are
+   interned to dense ids, every direct-call target and fptr-table entry is
+   pre-resolved, per-function constants (PHT key base, frame bytes) are
+   computed up front, and every non-asm indirect-call site gets a dense
+   slot so per-engine protection kinds live in a flat array. *)
+
+type cinst =
+  | CAssign of reg * expr
+  | CStore of operand * operand
+  | CObserve of operand
+  | CCall of {
+      dst : reg option;
+      callee : string;  (* kept for edges and error messages *)
+      callee_id : int;  (* -1 when the name does not resolve *)
+      args : operand array;
+      site : site;
+    }
+  | CIcall of {
+      dst : reg option;
+      fptr : operand;
+      args : operand array;
+      site : site;
+      slot : int;  (* dense index into the per-engine protection array *)
+    }
+  | CAsm_icall of {
+      fptr : operand;
+      site : site;
+    }
+
+type cblock = {
+  cinsts : cinst array;
+  cterm : terminator;
+}
+
+type cfunc = {
+  f : func;
+  id : int;
+  cblocks : cblock array;
+  key_base : int;  (* PHT key base: Hashtbl.hash fname * 613, as the seed *)
+  frame_bytes : int;  (* stack-coloring frame model, precomputed *)
+}
+
+(* id of the synthetic top-of-stack return continuation *)
+let top_id = -1
+
+(* The compiled view is immutable and depends only on the program, so
+   engines created on the same program (physical equality) share it —
+   config-dependent state (protections, footprint memo) lives in
+   per-engine arrays instead. *)
+type compiled = {
+  cfuncs : (string, cfunc) Hashtbl.t;  (* API edge only; never on the hot path *)
+  cby_id : cfunc array;
+  cfptr_ids : int array;  (* pre-resolved fptr targets; -1 = unknown name *)
+  cmax_regs : int;
+  cicall_sites : site array;  (* CIcall slot -> site, in lowering order *)
+}
+
+type t = {
+  prog : Program.t;
+  funcs : (string, cfunc) Hashtbl.t;
+  by_id : cfunc array;
+  fptr_table : string array;
+  fptr_ids : int array;
+  bwds : Protection.backward array;  (* per-function backward protection, by id *)
+  fwd_prots : Protection.forward array;  (* per-site forward protection, by slot *)
+  sizes : int array;  (* memoized config.footprint, by id; -1 until first entry *)
+  mem : int array;
+  tbtb : Btb.t;
+  trsb : Rsb.t;
+  tpht : Pht.t;
+  ticache : Icache.t;
+  cfg : config;
+  ctrs : counters;
+  max_regs : int;
+  backend : backend;
+  mutable exec_entry : t -> cfunc -> int list -> int option;
+      (* installed by [Engine.create]: the selected backend's entry path;
+         builds the top-level frame from the argument list itself, so
+         each backend controls how much of the register file it zeroes *)
+  mutable frames : int array array;  (* register-frame pool, one per depth *)
+  mutable taint_frames : int option array array;
+  mutable call_memo : (string * cfunc) option;
+      (* last [Engine.call] name resolution, keyed on physical string
+         identity — workload drivers pass the same entry-name value on
+         every simulated request *)
+  mutable cyc : int;
+  mutable steps : int;
+  mutable trace_rev : int list;
+}
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+(* Frame accounting with a stack-coloring model: inlined callees' locals
+   have disjoint lifetimes, so the allocator merges most of their slots.
+   Sub-linear growth in the register count approximates that; coloring
+   degrades as merged frames grow, which is exactly the inefficiency paper
+   Rule 2 exists to bound (section 5.2). *)
+let frame_bytes_of nregs = 16 + (8 * int_of_float (Float.of_int nregs ** 0.6))
+
+let compile_func ~id ~slots intern (f : func) =
+  let compile_inst = function
+    | Assign (r, e) -> CAssign (r, e)
+    | Store (a, v) -> CStore (a, v)
+    | Observe v -> CObserve v
+    | Call { dst; callee; args; site; tail = _ } ->
+      CCall { dst; callee; callee_id = intern callee; args = Array.of_list args; site }
+    | Icall { dst; fptr; args; site } ->
+      let slot = List.length !slots in
+      slots := site :: !slots;
+      CIcall { dst; fptr; args = Array.of_list args; site; slot }
+    | Asm_icall { fptr; site } -> CAsm_icall { fptr; site }
+  in
+  let cblocks =
+    Array.map
+      (fun (b : block) -> { cinsts = Array.map compile_inst b.insts; cterm = b.term })
+      f.blocks
+  in
+  {
+    f;
+    id;
+    cblocks;
+    key_base = Hashtbl.hash f.fname * 613;
+    frame_bytes = frame_bytes_of f.nregs;
+  }
+
+let compile prog =
+  let order = Program.layout_order prog in
+  let n = List.length order in
+  let ids = Hashtbl.create (2 * max n 1) in
+  List.iteri (fun i name -> Hashtbl.replace ids name i) order;
+  let intern name = match Hashtbl.find_opt ids name with Some i -> i | None -> -1 in
+  let cfuncs = Hashtbl.create (2 * max n 1) in
+  let slots = ref [] in
+  let cby_id =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           let f = Program.find prog name in
+           let cf = compile_func ~id:i ~slots intern f in
+           Hashtbl.replace cfuncs name cf;
+           cf)
+         order)
+  in
+  {
+    cfuncs;
+    cby_id;
+    cfptr_ids = Array.map intern prog.Program.fptr_table;
+    cmax_regs = Array.fold_left (fun m cf -> max m cf.f.nregs) 1 cby_id;
+    cicall_sites = Array.of_list (List.rev !slots);
+  }
+
+let func_name t id = if id = top_id then "#top" else t.by_id.(id).f.fname
+
+let lookup t id name =
+  if id >= 0 then t.by_id.(id)
+  else raise (Runtime_error ("call to unknown function @" ^ name))
+
+let footprint_of t cf =
+  let s = t.sizes.(cf.id) in
+  if s >= 0 then s
+  else begin
+    let s = t.cfg.footprint cf.f in
+    t.sizes.(cf.id) <- s;
+    s
+  end
+
+(* Register-frame pool: one zeroed frame per activation depth, allocated on
+   first use and reused by every later activation at that depth — no
+   allocation on the call hot path.  Frames are sized to the largest
+   register file in the program; only the first [nregs] slots are ever
+   read, and they are re-zeroed on entry (registers start at 0). *)
+
+(* The pooled frame for [depth], with whatever contents its previous
+   activation left: callers zero exactly the slots the callee can read
+   ([frame] zeroes all of them; the compiled call path writes the
+   argument prefix and zeroes only the tail).  Slot stores are
+   bounds-check-free: every [nregs] is <= [t.max_regs] = the pool frame
+   length by construction. *)
+let raw_frame t ~depth =
+  (if depth >= Array.length t.frames then begin
+     let len = Array.length t.frames in
+     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
+     Array.blit t.frames 0 grown 0 len;
+     t.frames <- grown
+   end);
+  let fr = t.frames.(depth) in
+  if Array.length fr = 0 then begin
+    let fr = Array.make (max t.max_regs 1) 0 in
+    t.frames.(depth) <- fr;
+    fr
+  end
+  else fr
+
+let frame t ~depth ~nregs =
+  let fr = raw_frame t ~depth in
+  (* Hand-rolled zeroing: [Array.fill] is a C call, and this runs once
+     per activation — straight stores beat the call overhead for the
+     small register files that dominate. *)
+  for i = 0 to nregs - 1 do
+    Array.unsafe_set fr i 0
+  done;
+  fr
+
+(* Pooled taint frame for [depth] with stale contents, mirror of
+   [raw_frame]: callers must overwrite every slot the activation can
+   read before writing. *)
+let raw_taint_frame t ~depth =
+  (if depth >= Array.length t.taint_frames then begin
+     let len = Array.length t.taint_frames in
+     let grown = Array.make (max 64 (max (2 * len) (depth + 1))) [||] in
+     Array.blit t.taint_frames 0 grown 0 len;
+     t.taint_frames <- grown
+   end);
+  let fr = t.taint_frames.(depth) in
+  if Array.length fr = 0 then begin
+    let fr = Array.make (max t.max_regs 1) None in
+    t.taint_frames.(depth) <- fr;
+    fr
+  end
+  else fr
+
+let taint_frame t ~depth ~nregs =
+  let fr = raw_taint_frame t ~depth in
+  for i = 0 to nregs - 1 do
+    Array.unsafe_set fr i None
+  done;
+  fr
+
+let operand_value regs = function
+  | Imm i -> i
+  | Reg r -> regs.(r)
+
+(* Taint: the attacker-injectable transient value of each register, used
+   only when a speculation drill is active. *)
+let operand_taint taint = function
+  | Imm _ -> None
+  | Reg r -> taint.(r)
+
+let emit_edge t site caller callee kind =
+  match t.cfg.on_edge with
+  | None -> ()
+  | Some f -> f { site; caller; callee; kind }
+
+let charge t c = t.cyc <- t.cyc + c
+
+(* Per-instruction step accounting: both backends must count and check fuel
+   at exactly the same points (one bump per executed instruction, one per
+   evaluated terminator) so an out-of-fuel run dies mid-block at the same
+   instruction with the same cycles under either backend. *)
+let[@inline] step_fuel t =
+  t.steps <- t.steps + 1;
+  if t.steps > t.cfg.fuel then raise Out_of_fuel
+
+let[@inline] bump_inst t =
+  t.ctrs.insts <- t.ctrs.insts + 1;
+  step_fuel t
+
+let enter_code t callee =
+  charge t (Icache.touch t.ticache ~id:callee.id ~size:(footprint_of t callee))
+
+(* Forward transfer through an indirect call site: prediction, cost,
+   training, speculation drill.  Returns unit; the caller then executes
+   the resolved target.  [target] is the interned id of the resolved
+   callee; prediction hit/miss is a single int compare. *)
+let indirect_transfer t ~site ~target ~fptr_taint ~protection =
+  let spec = t.cfg.speculation in
+  (match protection with
+  | Protection.F_none ->
+    let predicted = Btb.predict t.tbtb ~site:site.site_id in
+    let hit = predicted = target in
+    if not hit then t.ctrs.btb_misses <- t.ctrs.btb_misses + 1;
+    charge t (Cost.forward_cost protection ~btb_hit:hit);
+    (* The resolved branch retrains its slot. *)
+    Btb.train t.tbtb ~site:site.site_id ~target;
+    (match spec with
+    | Some s when predicted <> Btb.no_target && predicted <> target ->
+      Speculation.record s
+        {
+          Speculation.mechanism = Speculation.Spectre_v2;
+          site_id = site.site_id;
+          gadget = func_name t predicted;
+        }
+    | _ -> ())
+  | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
+    charge t (Cost.forward_cost protection ~btb_hit:false);
+    (* Retpolines never execute a BTB-predicted branch; the LVI thunk
+       still does, so V2 injection remains possible through it. *)
+    if not (Protection.forward_stops_btb_injection protection) then begin
+      let predicted = Btb.predict t.tbtb ~site:site.site_id in
+      Btb.train t.tbtb ~site:site.site_id ~target;
+      match spec with
+      | Some s when predicted <> Btb.no_target && predicted <> target ->
+        Speculation.record s
+          {
+            Speculation.mechanism = Speculation.Spectre_v2;
+            site_id = site.site_id;
+            gadget = func_name t predicted;
+          }
+      | _ -> ()
+    end);
+  (* LVI: a poisoned branch-target load lets the attacker steer the
+     transient call unless the sequence fences the load. *)
+  match (spec, fptr_taint) with
+  | Some s, Some injected when not (Protection.forward_stops_lvi protection) ->
+    let gadget =
+      if injected >= 0 && injected < Array.length t.fptr_table then t.fptr_table.(injected)
+      else "#fault"
+    in
+    Speculation.record s
+      { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
+  | _ -> ()
+
+(* Bounds/unknown-name checks on an evaluated fptr value; returns the
+   resolved callee id.  Shared so both backends raise the same errors at
+   the same execution points. *)
+let[@inline] icall_resolve t v =
+  if v < 0 || v >= Array.length t.fptr_table then
+    raise
+      (Runtime_error
+         (Printf.sprintf "wild indirect call: fptr value %d outside table of %d" v
+            (Array.length t.fptr_table)));
+  let target_id = t.fptr_ids.(v) in
+  if target_id < 0 then
+    raise (Runtime_error ("call to unknown function @" ^ t.fptr_table.(v)));
+  target_id
+
+(* The whole return path: backward-protection cost, RSB pop and
+   prediction, Ret2spec drills, stack accounting and the on_exit hook.
+   The returned value itself is threaded by the caller. *)
+let do_ret t (cf : cfunc) ~ret_to =
+  t.ctrs.rets <- t.ctrs.rets + 1;
+  charge t t.cfg.extra_ret_cycles;
+  let protection = t.bwds.(cf.id) in
+  (match protection with
+  | Protection.B_none | Protection.B_lvi ->
+    let popped = Rsb.pop t.trsb in
+    let hit = popped = ret_to in
+    if not hit then t.ctrs.rsb_misses <- t.ctrs.rsb_misses + 1;
+    charge t (Cost.backward_cost protection ~rsb_hit:hit);
+    (match t.cfg.speculation with
+    | Some s when not (Protection.backward_stops_rsb_poisoning protection) ->
+      (* An armed desynchronization means this return's prediction is
+         attacker-controlled. *)
+      (match Speculation.take_rsb_desync s with
+      | Some gadget ->
+        Speculation.record s
+          { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
+      | None -> ());
+      if popped <> Rsb.none && popped <> ret_to then
+        Speculation.record s
+          {
+            Speculation.mechanism = Speculation.Ret2spec;
+            site_id = -1;
+            gadget = func_name t popped;
+          }
+    | _ -> ())
+  | Protection.B_ret_retpoline | Protection.B_fenced_ret_retpoline ->
+    (* The sequence forces the top-of-RSB into a known state; the stale
+       entry is consumed without being followed. *)
+    ignore (Rsb.pop t.trsb);
+    charge t (Cost.backward_cost protection ~rsb_hit:false));
+  t.ctrs.stack_bytes <- t.ctrs.stack_bytes - cf.frame_bytes;
+  match t.cfg.on_exit with
+  | Some h -> h cf.f.fname
+  | None -> ()
+
+(* Function-entry stack accounting, shared by both backends. *)
+let[@inline] enter_frame t (cf : cfunc) =
+  t.ctrs.stack_bytes <- t.ctrs.stack_bytes + cf.frame_bytes;
+  if t.ctrs.stack_bytes > t.ctrs.peak_stack_bytes then
+    t.ctrs.peak_stack_bytes <- t.ctrs.stack_bytes
+
+(* Cost of a compare-ladder switch lowering, a pure function of the case
+   count (compilers lower large switches as balanced compare trees). *)
+let ladder_cost ncases =
+  let depth =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    1 + log2 0 (ncases + 1)
+  in
+  Cost.br + (Cost.switch_ladder_step * depth)

@@ -15,7 +15,9 @@ let predict t ~key = Bytes.get_uint8 t.counters (slot t key) >= 2
 let train t ~key ~taken =
   let i = slot t key in
   let c = Bytes.get_uint8 t.counters i in
-  let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+  (* Branch-free-ish integer saturation; [min]/[max] here would go
+     through the polymorphic compare on a very hot path. *)
+  let c' = if taken then (if c < 3 then c + 1 else 3) else if c > 0 then c - 1 else 0 in
   Bytes.set_uint8 t.counters i c'
 
 let flush t = Bytes.fill t.counters 0 (Bytes.length t.counters) '\001'

@@ -4,9 +4,15 @@ open Types
 type t = {
   entry : string;
   nrs : (string * int) list;
+  nr_tbl : (string, int) Hashtbl.t;
+      (** same mapping as [nrs]; workloads resolve a name per request, so
+          the lookup must not walk the list *)
 }
 
-let nr t name = List.assoc name t.nrs
+let nr t name =
+  match Hashtbl.find_opt t.nr_tbl name with
+  | Some n -> n
+  | None -> raise Not_found
 let sub = "syscall"
 
 let define ctx ~name ~params body =
@@ -208,4 +214,7 @@ let build ctx (common : Common.t) (fs : Fs.t) (net : Net.t) (mm_sub : Mm.t) (mis
         let r = Gen_util.call ctx b enosys [ Reg nr; Reg a0 ] in
         Builder.ret b (Some (Reg r)))
   in
-  { entry; nrs = List.mapi (fun i (name, _) -> (name, i)) table }
+  let nrs = List.mapi (fun i (name, _) -> (name, i)) table in
+  let nr_tbl = Hashtbl.create (2 * List.length nrs) in
+  List.iter (fun (name, i) -> Hashtbl.replace nr_tbl name i) nrs;
+  { entry; nrs; nr_tbl }

@@ -6,6 +6,8 @@
 type t = {
   entry : string;  (** [syscall_entry (nr, a0, a1)] *)
   nrs : (string * int) list;  (** syscall name -> number *)
+  nr_tbl : (string, int) Hashtbl.t;
+      (** same mapping, hashed — [nr] resolves once per simulated request *)
 }
 
 val nr : t -> string -> int

@@ -26,6 +26,28 @@ type binding =
   | Known of int
   | Copy of reg
 
+(* All rewrites below preserve physical identity when nothing changes:
+   an untouched instruction comes back [==] to the input, an untouched
+   block comes back as the same record, and a converged [run_once]
+   returns the function it was given.  That makes the fixpoint check in
+   [run_func_with_stats] (and the structural compares inside it) hit the
+   O(1) pointer-equality shortcut instead of retraversing the whole IR,
+   and it stops every pass from reallocating an identical copy of every
+   function it merely inspects.  The produced values are structurally
+   identical either way, so pass output and stats do not change. *)
+
+let rec map_shared f = function
+  | [] -> []
+  | x :: rest as l ->
+    let x' = f x in
+    let rest' = map_shared f rest in
+    if x' == x && rest' == rest then l else x' :: rest'
+
+let array_shared a' a =
+  let n = Array.length a' in
+  let rec same i = i >= n || (Array.unsafe_get a' i == Array.unsafe_get a i && same (i + 1)) in
+  if Array.length a = n && same 0 then a else a'
+
 let propagate_block b =
   let env : (reg, binding) Hashtbl.t = Hashtbl.create 16 in
   let folded = ref 0 in
@@ -46,24 +68,29 @@ let propagate_block b =
   let kill d =
     Hashtbl.remove env d;
     let stale =
-      Hashtbl.fold (fun k v acc -> if v = Copy d then k :: acc else acc) env []
+      Hashtbl.fold
+        (fun k v acc -> match v with Copy r when r = d -> k :: acc | _ -> acc)
+        env []
     in
     List.iter (Hashtbl.remove env) stale
   in
   let rewrite_expr e =
     match e with
     | Const _ -> e
-    | Move o -> (
+    | Move (Imm c) -> Const c
+    | Move (Reg _ as o) -> (
       match resolve_operand o with
       | Imm c -> Const c
-      | Reg _ as o' -> Move o')
+      | Reg _ as o' -> if o' == o then e else Move o')
     | Binop (op, a, b) -> (
       match (resolve_operand a, resolve_operand b) with
       | Imm x, Imm y ->
         incr folded;
         Const (eval_binop op x y)
-      | a', b' -> Binop (op, a', b'))
-    | Load o -> Load (resolve_operand o)
+      | a', b' -> if a' == a && b' == b then e else Binop (op, a', b'))
+    | Load o ->
+      let o' = resolve_operand o in
+      if o' == o then e else Load o'
   in
   let rewrite_inst i =
     match i with
@@ -74,34 +101,43 @@ let propagate_block b =
       | Const c -> Hashtbl.replace env d (Known c)
       | Move (Reg s) -> Hashtbl.replace env d (Copy s)
       | Move (Imm _) | Binop _ | Load _ -> ());
-      Assign (d, e')
-    | Store (a, v) -> Store (resolve_operand a, resolve_operand v)
-    | Observe v -> Observe (resolve_operand v)
+      if e' == e then i else Assign (d, e')
+    | Store (a, v) ->
+      let a' = resolve_operand a and v' = resolve_operand v in
+      if a' == a && v' == v then i else Store (a', v')
+    | Observe v ->
+      let v' = resolve_operand v in
+      if v' == v then i else Observe v'
     | Call c ->
-      let i' = Call { c with args = List.map resolve_operand c.args } in
+      let args' = map_shared resolve_operand c.args in
+      let i' = if args' == c.args then i else Call { c with args = args' } in
       Option.iter kill c.dst;
       i'
     | Icall c ->
+      let fptr' = resolve_operand c.fptr in
+      let args' = map_shared resolve_operand c.args in
       let i' =
-        Icall
-          { c with fptr = resolve_operand c.fptr; args = List.map resolve_operand c.args }
+        if fptr' == c.fptr && args' == c.args then i
+        else Icall { c with fptr = fptr'; args = args' }
       in
       Option.iter kill c.dst;
       i'
-    | Asm_icall c -> Asm_icall { c with fptr = resolve_operand c.fptr }
+    | Asm_icall c ->
+      let fptr' = resolve_operand c.fptr in
+      if fptr' == c.fptr then i else Asm_icall { c with fptr = fptr' }
   in
-  let insts = Array.map rewrite_inst b.insts in
+  let insts = array_shared (Array.map rewrite_inst b.insts) b.insts in
   let branches_folded = ref 0 in
   let term =
     match b.term with
     | Jmp _ as t -> t
-    | Br (c, l1, l2) -> (
+    | Br (c, l1, l2) as t -> (
       match resolve_operand c with
       | Imm v ->
         incr branches_folded;
         Jmp (if v <> 0 then l1 else l2)
-      | Reg _ as c' -> Br (c', l1, l2))
-    | Switch s -> (
+      | Reg _ as c' -> if c' == c then t else Br (c', l1, l2))
+    | Switch s as t -> (
       match resolve_operand s.scrutinee with
       | Imm v ->
         incr branches_folded;
@@ -111,10 +147,14 @@ let propagate_block b =
           | None -> s.default
         in
         Jmp target
-      | Reg _ as sc -> Switch { s with scrutinee = sc })
-    | Ret v -> Ret (Option.map resolve_operand v)
+      | Reg _ as sc -> if sc == s.scrutinee then t else Switch { s with scrutinee = sc })
+    | Ret None as t -> t
+    | Ret (Some v) as t ->
+      let v' = resolve_operand v in
+      if v' == v then t else Ret (Some v')
   in
-  ({ insts; term }, !folded, !branches_folded)
+  let b' = if insts == b.insts && term == b.term then b else { insts; term } in
+  (b', !folded, !branches_folded)
 
 (* ------------------------------------------------------------------ *)
 (* Jump threading + unreachable-block removal (joint label rewrite).   *)
@@ -122,10 +162,25 @@ let propagate_block b =
 
 let map_labels term ~f =
   match term with
-  | Jmp l -> Jmp (f l)
-  | Br (c, l1, l2) -> Br (c, f l1, f l2)
+  | Jmp l ->
+    let l' = f l in
+    if l' = l then term else Jmp l'
+  | Br (c, l1, l2) ->
+    let l1' = f l1 and l2' = f l2 in
+    if l1' = l1 && l2' = l2 then term else Br (c, l1', l2')
   | Switch s ->
-    Switch { s with cases = Array.map (fun (v, l) -> (v, f l)) s.cases; default = f s.default }
+    let cases =
+      array_shared
+        (Array.map
+           (fun ((v, l) as p) ->
+             let l' = f l in
+             if l' = l then p else (v, l'))
+           s.cases)
+        s.cases
+    in
+    let default = f s.default in
+    if cases == s.cases && default = s.default then term
+    else Switch { s with cases; default }
   | Ret _ as t -> t
 
 let thread_and_compact f =
@@ -145,9 +200,15 @@ let thread_and_compact f =
   in
   let resolve l = resolve [] l in
   let blocks =
-    Array.map (fun b -> { b with term = map_labels b.term ~f:resolve }) f.blocks
+    array_shared
+      (Array.map
+         (fun b ->
+           let term = map_labels b.term ~f:resolve in
+           if term == b.term then b else { b with term })
+         f.blocks)
+      f.blocks
   in
-  let f = { f with blocks } in
+  let f = if blocks == f.blocks then f else { f with blocks } in
   (* drop unreachable blocks and compact the label space *)
   let reachable = Func.reachable_labels f in
   let mapping = Array.make n (-1) in
@@ -203,7 +264,12 @@ let term_uses acc = function
 
 let eliminate_dead f =
   let n = Array.length f.blocks in
-  (* backward dataflow: live-in/live-out per block *)
+  (* Backward dataflow: live-in/live-out per block, worklist-driven.  A
+     block is rescanned only when the live-in of a successor changed, so
+     converged regions are never revisited and there is no final
+     verify-everything pass.  Liveness is a monotone framework with a
+     unique least fixpoint, so the visit order cannot change the
+     result. *)
   let live_in = Array.make n Regset.empty in
   let live_out = Array.make n Regset.empty in
   let block_live_in l =
@@ -219,31 +285,47 @@ let eliminate_dead f =
     done;
     !live
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for l = n - 1 downto 0 do
-      let out =
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun l b ->
+      List.iter (fun s -> preds.(s) <- l :: preds.(s)) (Func.successors b.term))
+    f.blocks;
+  let queued = Array.make n true in
+  (* seed head-first with block n-1 so the initial sweep runs in the
+     reverse order that backward liveness converges fastest in *)
+  let work = ref [] in
+  for l = 0 to n - 1 do
+    work := l :: !work
+  done;
+  let continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | l :: rest ->
+      work := rest;
+      queued.(l) <- false;
+      live_out.(l) <-
         List.fold_left
           (fun acc s -> Regset.union acc live_in.(s))
           Regset.empty
-          (Func.successors f.blocks.(l).term)
-      in
-      if not (Regset.equal out live_out.(l)) then begin
-        live_out.(l) <- out;
-        changed := true
-      end;
+          (Func.successors f.blocks.(l).term);
       let inn = block_live_in l in
       if not (Regset.equal inn live_in.(l)) then begin
         live_in.(l) <- inn;
-        changed := true
+        List.iter
+          (fun p ->
+            if not queued.(p) then begin
+              queued.(p) <- true;
+              work := p :: !work
+            end)
+          preds.(l)
       end
-    done
   done;
   let removed = ref 0 in
   let blocks =
     Array.mapi
       (fun l b ->
+        let removed_before = !removed in
         let live = ref (term_uses live_out.(l) b.term) in
         let kept = ref [] in
         for i = Array.length b.insts - 1 downto 0 do
@@ -267,25 +349,27 @@ let eliminate_dead f =
             kept := inst :: !kept
           end
         done;
-        { b with insts = Array.of_list !kept })
+        if !removed = removed_before then b else { b with insts = Array.of_list !kept })
       f.blocks
   in
-  ({ f with blocks }, !removed)
+  if !removed = 0 then (f, 0) else ({ f with blocks }, !removed)
 
 (* ------------------------------------------------------------------ *)
 
 let run_once f =
   let folded = ref 0 and branches = ref 0 in
   let blocks =
-    Array.map
-      (fun b ->
-        let b', fo, br = propagate_block b in
-        folded := !folded + fo;
-        branches := !branches + br;
-        b')
+    array_shared
+      (Array.map
+         (fun b ->
+           let b', fo, br = propagate_block b in
+           folded := !folded + fo;
+           branches := !branches + br;
+           b')
+         f.blocks)
       f.blocks
   in
-  let f = { f with blocks } in
+  let f = if blocks == f.blocks then f else { f with blocks } in
   let f, removed_blocks = thread_and_compact f in
   let f, dead = eliminate_dead f in
   ( f,

@@ -5,6 +5,7 @@ let () =
       ("trace", Test_trace.suite);
       ("ir", Test_ir.suite);
       ("cpu", Test_cpu.suite);
+      ("backend", Test_backend.suite);
       ("callgraph", Test_callgraph.suite);
       ("profile", Test_profile.suite);
       ("opt", Test_opt.suite);

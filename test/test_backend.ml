@@ -1,0 +1,258 @@
+(* Differential suite for the two execution backends and the compile
+   cache.
+
+   The engine's parity contract (engine.mli) says Interp and Compiled are
+   bit-exact: identical cycles, counters, traces, memory, speculation
+   events and errors for any program and configuration.  The qcheck
+   properties here drive random programs through both backends under
+   every interesting configuration axis — protections, surcharges,
+   rsb_refill, a stateful fwd_override hook, live speculation drills with
+   planted injections, tiny fuel budgets and wild indirect calls — and
+   compare full observable snapshots.  The golden fingerprints in
+   test_measure.ml pin the same contract against the recorded seed. *)
+
+open Pibe_ir
+open Pibe_cpu
+module Trace = Pibe_trace.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Observable snapshot of a run                                        *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  outcomes : (int option, string) result list;
+  cycles : int;
+  counters : int list;
+  trace : int list;
+  memory : int list;
+  icache : int * int;
+  spec_events : Speculation.event list;
+}
+
+let counters_list (c : Engine.counters) =
+  [
+    c.Engine.calls;
+    c.Engine.icalls;
+    c.Engine.rets;
+    c.Engine.insts;
+    c.Engine.btb_misses;
+    c.Engine.rsb_misses;
+    c.Engine.pht_misses;
+    c.Engine.stack_bytes;
+    c.Engine.peak_stack_bytes;
+  ]
+
+(* [mkconfig] builds a fresh config (plus its drill state, if any) per
+   run, so stateful hooks and speculation state never leak between the
+   two backends under comparison. *)
+let run_with ~backend ~mkconfig prog calls =
+  let config, spec = mkconfig () in
+  let engine = Engine.create ~config ~backend prog in
+  let outcomes =
+    List.map
+      (fun (entry, args) ->
+        match Engine.call engine entry args with
+        | v -> Ok v
+        | exception Engine.Runtime_error m -> Error ("runtime: " ^ m)
+        | exception Engine.Out_of_fuel -> Error "out-of-fuel")
+      calls
+  in
+  {
+    outcomes;
+    cycles = Engine.cycles engine;
+    counters = counters_list (Engine.counters engine);
+    trace = Engine.trace engine;
+    memory = Array.to_list (Engine.memory engine);
+    icache =
+      (Icache.hit_count (Engine.icache engine), Icache.miss_count (Engine.icache engine));
+    spec_events = (match spec with None -> [] | Some s -> Speculation.events s);
+  }
+
+let agree ~mkconfig prog calls =
+  run_with ~backend:Engine.Interp ~mkconfig prog calls
+  = run_with ~backend:Engine.Compiled ~mkconfig prog calls
+
+(* ------------------------------------------------------------------ *)
+(* Configuration axes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let base () =
+  ({ Engine.default_config with Engine.record_trace = true }, None)
+
+(* Site/function-keyed protections (pure, so both backends resolve the
+   same kinds) plus every per-event surcharge and rsb_refill. *)
+let hardened () =
+  ( {
+      Engine.default_config with
+      Engine.record_trace = true;
+      fwd_protection =
+        (fun site ->
+          match site.Types.site_id mod 4 with
+          | 0 -> Protection.F_none
+          | 1 -> Protection.F_retpoline
+          | 2 -> Protection.F_lvi
+          | _ -> Protection.F_fenced_retpoline);
+      bwd_protection =
+        (fun name ->
+          match Hashtbl.hash name mod 4 with
+          | 0 -> Protection.B_none
+          | 1 -> Protection.B_lvi
+          | 2 -> Protection.B_ret_retpoline
+          | _ -> Protection.B_fenced_ret_retpoline);
+      extra_call_cycles = 2;
+      extra_icall_cycles = 3;
+      extra_ret_cycles = 1;
+      rsb_refill = true;
+    },
+    None )
+
+(* Stateful forward-override hook (the JumpSwitches-style comparator):
+   the charge depends on call order, so any divergence in execution order
+   between backends shows up as a cycle mismatch. *)
+let overridden () =
+  let n = ref 0 in
+  ( {
+      Engine.default_config with
+      Engine.record_trace = true;
+      fwd_override =
+        Some
+          (fun ~site:_ ~target:_ ->
+            incr n;
+            !n mod 7);
+    },
+    None )
+
+(* Live speculation drills with planted injections: poisoned fptr-cell
+   loads (LVI) and an armed cross-thread RSB desync (Ret2spec). *)
+let drilled () =
+  let s = Speculation.create () in
+  Speculation.inject_load s ~addr:3 ~value:1;
+  Speculation.inject_rsb s ~scenario:Speculation.Cross_thread ~gadget:"f1";
+  ( { Engine.default_config with Engine.record_trace = true; speculation = Some s },
+    Some s )
+
+(* Tiny step budget: both backends must die out-of-fuel at the same
+   instruction with the same partial cycles and counters. *)
+let starved () =
+  ({ Engine.default_config with Engine.record_trace = true; fuel = 37 }, None)
+
+let differential name mkconfig =
+  QCheck.Test.make ~count:60 ~name
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_program seed in
+      agree ~mkconfig prog (Helpers.standard_calls prog))
+
+(* Wild indirect calls: corrupt the fptr-index cells so icalls resolve
+   out of table (or to a huge index) — both backends must raise the same
+   Runtime_error at the same point, with identical partial state. *)
+let differential_wild =
+  QCheck.Test.make ~count:60 ~name:"wild icalls agree"
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_program seed in
+      let prog = Program.set_global prog ~addr:0 ~value:997 in
+      let prog = Program.set_global prog ~addr:1 ~value:(-3) in
+      agree ~mkconfig:base prog (Helpers.standard_calls prog))
+
+(* ------------------------------------------------------------------ *)
+(* Attack drills on the generated kernel                               *)
+(* ------------------------------------------------------------------ *)
+
+let drill_outcomes backend =
+  let info = Helpers.kernel () in
+  let spec = Speculation.create () in
+  let config =
+    { Engine.default_config with Engine.speculation = Some spec; rsb_refill = true }
+  in
+  let engine = Engine.create ~config ~backend info.Pibe_kernel.Gen.prog in
+  Attack.run_all engine ~victim_site:info.Pibe_kernel.Gen.victim_icall_site
+    ~poisoned_addr:info.Pibe_kernel.Gen.victim_ops_addr
+    ~gadget_fptr:info.Pibe_kernel.Gen.gadget_fptr ~gadget:info.Pibe_kernel.Gen.gadget
+    ~entry:info.Pibe_kernel.Gen.entry
+    ~args:[ Pibe_kernel.Gen.nr info "read"; 0; 5 ]
+
+let test_attack_drills () =
+  let a = drill_outcomes Engine.Interp in
+  let b = drill_outcomes Engine.Compiled in
+  Alcotest.(check bool) "attack drill outcomes identical" true (a = b);
+  Alcotest.(check bool)
+    "unprotected kernel is attackable" true
+    (List.exists (fun (_, o) -> o.Attack.gadget_reached) a)
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two interleaved programs must each compile exactly once: the LRU keeps
+   both live across the alternation (the online dual replay's deployed /
+   pristine pattern). *)
+let test_interleaved_compile_once () =
+  let p1 = Helpers.random_program 424_201 in
+  let p2 = Helpers.random_program 424_202 in
+  let h0, m0 = Engine.compile_cache_stats () in
+  for _ = 1 to 4 do
+    ignore (Engine.create p1);
+    ignore (Engine.create p2)
+  done;
+  let h1, m1 = Engine.compile_cache_stats () in
+  Alcotest.(check int) "each program compiled exactly once" 2 (m1 - m0);
+  Alcotest.(check int) "remaining creates were cache hits" 6 (h1 - h0)
+
+let test_trace_compile_events () =
+  let p = Helpers.random_program 777_001 in
+  Trace.start ();
+  ignore (Engine.create p);
+  ignore (Engine.create p);
+  let events = Trace.stop () in
+  let sched name ph =
+    List.exists
+      (fun (e : Trace.event) ->
+        String.equal e.Trace.cat "sched" && String.equal e.Trace.name name
+        && e.Trace.ph = ph)
+      events
+  in
+  Alcotest.(check bool) "engine:compile span opened" true
+    (sched "engine:compile" Trace.Begin);
+  Alcotest.(check bool) "engine:compile span closed" true
+    (sched "engine:compile" Trace.End);
+  Alcotest.(check bool) "compile-cache-miss counter" true
+    (sched "compile-cache-miss" Trace.Counter);
+  Alcotest.(check bool) "compile-cache-hit counter" true
+    (sched "compile-cache-hit" Trace.Counter)
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection plumbing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_selection () =
+  let p = Helpers.random_program 9_001 in
+  let i = Engine.create ~backend:Engine.Interp p in
+  let c = Engine.create ~backend:Engine.Compiled p in
+  Alcotest.(check bool) "explicit interp" true (Engine.backend i = Engine.Interp);
+  Alcotest.(check bool) "explicit compiled" true (Engine.backend c = Engine.Compiled);
+  Alcotest.(check bool) "default is compiled" true
+    (Engine.default_backend () = Engine.Compiled);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "name round-trips" true
+        (Engine.backend_of_string (Engine.backend_to_string b) = Some b))
+    [ Engine.Interp; Engine.Compiled ];
+  Alcotest.(check bool) "unknown name rejected" true
+    (Engine.backend_of_string "threaded" = None)
+
+let suite =
+  [
+    Helpers.qcheck_to_alcotest (differential "plain runs agree" base);
+    Helpers.qcheck_to_alcotest (differential "hardened+rsb_refill runs agree" hardened);
+    Helpers.qcheck_to_alcotest (differential "stateful fwd_override agrees" overridden);
+    Helpers.qcheck_to_alcotest (differential "speculation drills agree" drilled);
+    Helpers.qcheck_to_alcotest (differential "out-of-fuel agrees" starved);
+    Helpers.qcheck_to_alcotest differential_wild;
+    Alcotest.test_case "kernel attack drills agree" `Quick test_attack_drills;
+    Alcotest.test_case "interleaved programs compile once" `Quick
+      test_interleaved_compile_once;
+    Alcotest.test_case "compile spans and cache counters traced" `Quick
+      test_trace_compile_events;
+    Alcotest.test_case "backend selection and names" `Quick test_backend_selection;
+  ]

@@ -26,14 +26,20 @@ check:
 # Cross-backend parity smoke: the bench-smoke workload once per
 # execution backend, outputs diffed byte-for-byte (only the wall-clock
 # footer line is stripped — everything simulated must be identical).
+# Three legs: tiered compiled (the default), compiled with tier-up
+# disabled (pure baseline closures), and the reference interpreter —
+# so a fused-tier bug can't hide behind the tier-1 path and vice versa.
 parity:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
 	  --engine compiled | sed '/^\[bench harness finished/d' > _parity_compiled.txt
 	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
+	  --engine compiled --tierup 0 | sed '/^\[bench harness finished/d' > _parity_tier0.txt
+	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
 	  --engine interp | sed '/^\[bench harness finished/d' > _parity_interp.txt
 	cmp _parity_compiled.txt _parity_interp.txt
-	@echo "parity: compiled and interp outputs are byte-identical"
+	cmp _parity_tier0.txt _parity_interp.txt
+	@echo "parity: compiled (tiered and tier-0) and interp outputs are byte-identical"
 
 # Documentation: lint that every public module in lib/ carries a
 # top-level (** ... *) summary, then build the odoc pages.  The odoc
@@ -63,4 +69,4 @@ bench-smoke:
 clean:
 	dune clean
 	rm -f _smoke_trace.json _bench_smoke_trace.json
-	rm -f _parity_compiled.txt _parity_interp.txt
+	rm -f _parity_compiled.txt _parity_tier0.txt _parity_interp.txt

@@ -18,6 +18,18 @@
      bench/main.exe --engine NAME   execution backend: compiled (default)
                                     or interp; bit-exact, so output is
                                     identical either way
+     bench/main.exe --tierup N      tier-up threshold for the compiled
+                                    backend (entries of a function beyond
+                                    N run the superblock-fused tier;
+                                    0 disables tier-up; default from
+                                    PIBE_TIERUP, else 1024); bit-exact
+                                    at every setting
+     bench/main.exe --time N        timing mode: after one warm run per
+                                    selected experiment, re-run it N times
+                                    and print one "time <id> <i> <secs>"
+                                    line per run (tools/bench_compare.sh
+                                    parses these; experiment output is
+                                    suppressed)
      bench/main.exe --trace FILE    collect a structured trace of the whole
                                     run (spans per pass / window / measured
                                     op); the sink is picked by extension:
@@ -31,6 +43,7 @@ let jobs = ref 1
 let engine = ref Pibe_cpu.Engine.Compiled
 let trace_out : string option ref = ref None
 let selected : string list ref = ref []
+let time_runs = ref 0
 
 let parse_args () =
   let rec go = function
@@ -65,6 +78,26 @@ let parse_args () =
     | [ "--engine" ] ->
       Printf.eprintf "--engine expects a backend name\n";
       exit 2
+    | "--tierup" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some t when t >= 0 -> Pibe_cpu.Engine.set_default_tierup t
+      | _ ->
+        Printf.eprintf "--tierup expects a non-negative integer, got %s\n" n;
+        exit 2);
+      go rest
+    | [ "--tierup" ] ->
+      Printf.eprintf "--tierup expects a threshold\n";
+      exit 2
+    | "--time" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some t when t > 0 -> time_runs := t
+      | _ ->
+        Printf.eprintf "--time expects a positive integer, got %s\n" n;
+        exit 2);
+      go rest
+    | [ "--time" ] ->
+      Printf.eprintf "--time expects a run count\n";
+      exit 2
     | "--table" :: n :: rest ->
       selected := ("table" ^ n) :: !selected;
       go rest
@@ -89,6 +122,14 @@ let parse_args () =
     | "--listings" :: rest ->
       selected := "listings" :: !selected;
       go rest
+    | "--only" :: id :: rest ->
+      (* any experiment id (see 'pibe experiment list'), e.g. sensitivity,
+         userspace, v1scan — ids without a dedicated flag *)
+      selected := id :: !selected;
+      go rest
+    | [ "--only" ] ->
+      Printf.eprintf "--only expects an experiment id\n";
+      exit 2
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
@@ -145,24 +186,47 @@ let () =
   in
   let t0_wall = Unix.gettimeofday () in
   let t0_cpu = Sys.time () in
-  List.iter
-    (fun id ->
-      if String.equal id "listings" then begin
-        print_endline "==> listings: the paper's defense code sequences\n";
-        print_endline (Pibe.Experiments.listings ());
-        print_newline ()
-      end
-      else
-        match Pibe.Experiments.find id with
-        | Some e -> run_experiment env e
-        | None ->
-          Printf.eprintf "unknown experiment id %s\n" id;
-          exit 2)
-    wanted;
-  (if !selected = [] then begin
-     print_endline "==> listings: the paper's defense code sequences\n";
-     print_endline (Pibe.Experiments.listings ())
-   end);
+  if !time_runs > 0 then
+    (* Timing mode (the interleaved warm-run protocol of BENCH_PR*.json):
+       one warm run to populate caches, then N timed re-runs against the
+       warm environment; per-run wall seconds go to stdout in a
+       machine-readable form for tools/bench_compare.sh. *)
+    List.iter
+      (fun id ->
+        if not (String.equal id "listings") then
+          match Pibe.Experiments.find id with
+          | Some e ->
+            ignore (e.Pibe.Experiments.run env);
+            for i = 1 to !time_runs do
+              let t0 = Unix.gettimeofday () in
+              ignore (e.Pibe.Experiments.run env);
+              Printf.printf "time %s %d %.6f\n%!" e.Pibe.Experiments.id i
+                (Unix.gettimeofday () -. t0)
+            done
+          | None ->
+            Printf.eprintf "unknown experiment id %s\n" id;
+            exit 2)
+      wanted
+  else begin
+    List.iter
+      (fun id ->
+        if String.equal id "listings" then begin
+          print_endline "==> listings: the paper's defense code sequences\n";
+          print_endline (Pibe.Experiments.listings ());
+          print_newline ()
+        end
+        else
+          match Pibe.Experiments.find id with
+          | Some e -> run_experiment env e
+          | None ->
+            Printf.eprintf "unknown experiment id %s\n" id;
+            exit 2)
+      wanted;
+    if !selected = [] then begin
+      print_endline "==> listings: the paper's defense code sequences\n";
+      print_endline (Pibe.Experiments.listings ())
+    end
+  end;
   if !bechamel then begin
     let experiments =
       List.filter_map Pibe.Experiments.find

@@ -70,6 +70,26 @@ let with_engine name k =
     Printf.eprintf "unknown engine %S (expected 'compiled' or 'interp')\n" name;
     1
 
+let tierup_arg =
+  let doc =
+    "Tier-up threshold for the compiled backend: a function's entry count \
+     must exceed $(docv) before it runs in the superblock-fused tier \
+     (0 disables tier-up entirely; default from PIBE_TIERUP, else 16). \
+     Every setting is bit-exact, so this only changes wall-clock speed."
+  in
+  Arg.(value & opt (some int) None & info [ "tierup" ] ~docv:"N" ~doc)
+
+(* Resolve --tierup into the process-wide default, like --engine. *)
+let with_tierup t k =
+  match t with
+  | None -> k ()
+  | Some n when n >= 0 ->
+    Pibe_cpu.Engine.set_default_tierup n;
+    k ()
+  | Some n ->
+    Printf.eprintf "--tierup expects a non-negative threshold, got %d\n" n;
+    1
+
 let trace_arg =
   let doc =
     "Collect a structured trace (spans, counters, gauges) of the run and \
@@ -179,8 +199,9 @@ let pipeline_spec ~seed ~scale ~verify text =
       print_image_summary result.Pibe_pm.Manager.image;
       0)
 
-let pipeline seed scale defenses budget passes verify engine trace trace_format =
+let pipeline seed scale defenses budget passes verify engine tierup trace trace_format =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   match passes with
   | Some text -> pipeline_spec ~seed ~scale ~verify text
@@ -217,8 +238,9 @@ let pipeline seed scale defenses budget passes verify engine trace trace_format 
     Printf.printf "lmbench geomean overhead vs LTO: %+.1f%%\n" geo;
     0)
 
-let experiment name seed scale quick jobs engine trace trace_format =
+let experiment name seed scale quick jobs engine tierup trace trace_format =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
@@ -242,8 +264,9 @@ let experiment name seed scale quick jobs engine trace trace_format =
       List.iter Pibe_util.Tbl.print (e.Pibe.Experiments.run env);
       0
 
-let attack seed scale defenses engine =
+let attack seed scale defenses engine tierup =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   match parse_defenses defenses with
   | Error e ->
     prerr_endline e;
@@ -335,8 +358,9 @@ let optimize_cmd_impl seed scale defenses budget profile_path out =
       (Pibe_harden.Pass.image_bytes built.Pibe.Pipeline.image);
     0
 
-let perf seed scale defenses budget op_name topn engine =
+let perf seed scale defenses budget op_name topn engine tierup =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   match parse_defenses defenses with
   | Error e ->
     prerr_endline e;
@@ -373,8 +397,9 @@ let perf seed scale defenses budget op_name topn engine =
       };
     0
 
-let trace seed scale syscall a0 a1 engine =
+let trace seed scale syscall a0 a1 engine tierup =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   let info = gen ~seed ~scale in
   let depth = ref 0 in
   let config =
@@ -415,8 +440,9 @@ let dump_ir seed scale func =
 (* Simulate the continuous-profiling deployment loop: phased workload,
    drift detection, adaptive re-optimization with patch downtime. *)
 let online seed scale quick jobs windows requests window decay threshold hysteresis
-    max_reopts engine trace trace_format =
+    max_reopts engine tierup trace trace_format =
   with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
   with_trace trace trace_format @@ fun () ->
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
   let env =
@@ -487,7 +513,7 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Run the full profile/optimize/harden pipeline")
     Term.(
       const pipeline $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ passes_arg
-      $ verify_arg $ engine_arg $ trace_arg $ trace_format_arg)
+      $ verify_arg $ engine_arg $ tierup_arg $ trace_arg $ trace_format_arg)
 
 let experiment_cmd =
   let id_arg =
@@ -510,12 +536,12 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
     Term.(
       const experiment $ id_arg $ seed_arg $ scale_arg $ quick_arg $ jobs_arg
-      $ engine_arg $ trace_arg $ trace_format_arg)
+      $ engine_arg $ tierup_arg $ trace_arg $ trace_format_arg)
 
 let attack_cmd =
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the transient-attack drills against an image")
-    Term.(const attack $ seed_arg $ scale_arg $ defenses_arg $ engine_arg)
+    Term.(const attack $ seed_arg $ scale_arg $ defenses_arg $ engine_arg $ tierup_arg)
 
 let trace_cmd =
   let syscall =
@@ -525,7 +551,8 @@ let trace_cmd =
   let a1 = Arg.(value & opt int 64 & info [ "a1" ] ~docv:"N" ~doc:"Second argument.") in
   Cmd.v
     (Cmd.info "trace" ~doc:"Print the call tree of one syscall")
-    Term.(const trace $ seed_arg $ scale_arg $ syscall $ a0 $ a1 $ engine_arg)
+    Term.(
+      const trace $ seed_arg $ scale_arg $ syscall $ a0 $ a1 $ engine_arg $ tierup_arg)
 
 let perf_cmd =
   let op =
@@ -538,7 +565,7 @@ let perf_cmd =
     (Cmd.info "perf" ~doc:"Flat cycle profile of one workload, before/after PIBE")
     Term.(
       const perf $ seed_arg $ scale_arg $ defenses_arg $ budget_arg $ op $ topn
-      $ engine_arg)
+      $ engine_arg $ tierup_arg)
 
 let report_cmd =
   let out =
@@ -646,7 +673,7 @@ let online_cmd =
     Term.(
       const online $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ windows_arg
       $ requests_arg $ window_arg $ decay_arg $ threshold_arg $ hysteresis_arg
-      $ max_reopts_arg $ engine_arg $ trace_arg $ trace_format_arg)
+      $ max_reopts_arg $ engine_arg $ tierup_arg $ trace_arg $ trace_format_arg)
 
 let passes_cmd =
   Cmd.v

@@ -1,4 +1,5 @@
-(** Closure-threaded compiled execution backend.
+(** Closure-threaded compiled execution backend with a profile-guided
+    fused tier.
 
     Lowers every {!Machine.cinst}, expression and terminator into a
     pre-specialized OCaml closure once per program, so the hot loop runs
@@ -10,28 +11,60 @@
     indirect-call protection slots are all baked at closure-construction
     time.
 
-    Straight-line runs of simple instructions (assign / store / observe)
-    are additionally fused into {e segments} with batched accounting: one
-    fuel check, one step/instruction/cycle bump per segment instead of
-    one per instruction.  Exactness is preserved on every path — each
-    potentially-faulting instruction carries baked rollback deltas that
-    rewind the not-yet-earned remainder of the batch before raising, and
-    a segment that could exhaust its fuel budget falls back to a
-    per-instruction slow path that dies at exactly the interpreter's
-    instruction — so cycles, counters and errors stay bit-exact even
-    mid-segment (pinned by the out-of-fuel and wild-icall differential
-    tests in [test/test_backend.ml]).
+    Straight-line runs of simple instructions (assign / store / observe,
+    including statically bounds-checked loads) are fused into {e
+    segments} with batched accounting: one fuel check, one
+    step/instruction/cycle bump per segment instead of one per
+    instruction.  Exactness is preserved on every path — each
+    potentially-faulting instruction carries baked rollback deltas
+    (cycles, steps and instruction counts kept separate, because fused
+    jump seams step without retiring an instruction) that rewind the
+    not-yet-earned remainder of the batch before raising, and a segment
+    that could exhaust its fuel budget falls back to a per-item slow path
+    that dies at exactly the interpreter's instruction — so cycles,
+    counters and errors stay bit-exact even mid-segment (pinned by the
+    out-of-fuel and wild-icall differential tests in
+    [test/test_backend.ml]).
 
-    Each block is compiled twice — a plain variant for the common
-    speculation-off configuration (no taint frames, no taint reads or
-    writes anywhere on the path) and a spec variant threading the taint
-    file — and call closures jump straight to the matching variant of
-    their callee, so the choice is made once per top-level entry, not per
-    instruction.  Both variants are lowered lazily, per function, on the
-    first call that reaches them (double-checked under a mutex): compile
-    itself is one cheap liveness pass, and only the functions a workload
-    actually executes — under the speculation settings it actually uses —
-    ever pay for closure construction.
+    {2 Tiers}
+
+    Two lowering tiers share the closure machinery:
+
+    - {e Tier 1} (baseline) lowers one closure per basic block, segments
+      fused within the block — the only tier of the PR5 backend, and the
+      authoritative cheap tier.
+    - {e Tier 2} (fused) additionally performs {e superblock fusion}: a
+      maximal chain of blocks linked by unconditional [Jmp] fallthrough
+      edges into single-predecessor blocks is lowered as ONE closure, its
+      segments fused {e across} the seams with one pre-summed cycle/step
+      constant per segment.  A seam contributes a zero-body [SJump] item
+      (the seam's fuel step and jump cost are folded into the batch
+      header), so a hot K-block chain pays one fuel check and no
+      per-block closure dispatch at all.  Branch predictor, RSB, i-cache
+      and PHT state are only materialized at conditional branches,
+      indirect transfers and call boundaries — exactly where the
+      interpreter touches them.
+
+    Tier-up is profile-guided ({e PGO applied to our own engine}): a
+    tiered program routes every function entry through a counting
+    dispatcher that bumps a {e per-engine} counter
+    ({!Machine.t.tier_counts}) and switches to the fused body once the
+    count crosses the engine's {!Machine.t.tier_threshold}.  Counters are
+    per-engine so tier-up decisions are a deterministic function of each
+    engine's own workload at any [--jobs]; the fused closures themselves
+    are lowered lazily in the shared program (double-checked under
+    [link_lock], same as tier 1), so a working set of engines pays each
+    function's fused lowering once.  Both tiers are bit-exact against
+    the interpreter, so {e when} a function tiers up is unobservable in
+    cycles, counters, traces or errors — the baseline tier stays
+    authoritative.
+
+    Each block is compiled (per tier) twice — a plain variant for the
+    common speculation-off configuration and a spec variant threading the
+    taint file — and call closures jump straight to the matching variant
+    of their callee, so the choice is made once per top-level entry, not
+    per instruction.  All four variants are lowered lazily, per function,
+    on the first call (or first post-threshold call) that reaches them.
 
     Everything whose semantics is shared with the reference interpreter
     (indirect-branch transfer, return path, frame pools, step/fuel
@@ -46,6 +79,7 @@
 open Pibe_ir
 open Types
 open Machine
+module Trace = Pibe_trace.Trace
 
 (* t regs depth ret_to -> result *)
 type fexec = Machine.t -> int array -> int -> int -> int option
@@ -70,15 +104,30 @@ type cfunc2 = {
          the only slots of a pooled frame whose initial 0 / [None] is
          observable — see [zeroset_of] *)
   mutable fexec_plain : fexec;
+      (* what call closures invoke: in a baseline program, the linked
+         tier-1 body (trampoline until first call); in a tiered program,
+         the permanent counting dispatcher *)
   mutable fexec_spec : fexec;
-  mutable plain_linked : bool;  (* written only under [prog.link_lock] *)
-  mutable spec_linked : bool;
+  (* per-tier bodies behind the dispatcher of a tiered program; each
+     starts as a lazy-linking trampoline (written only under
+     [prog.link_lock], like the [linked] flags) *)
+  mutable t1_plain : fexec;
+  mutable t1_spec : fexec;
+  mutable t2_plain : fexec;
+  mutable t2_spec : fexec;
+  mutable t1_plain_linked : bool;
+  mutable t1_spec_linked : bool;
+  mutable t2_plain_linked : bool;
+  mutable t2_spec_linked : bool;
 }
 
 type prog = {
   c2by_id : cfunc2 array;
   mem_len : int;  (* length of every engine's global memory, for baked bounds *)
   link_lock : Mutex.t;  (* serializes per-function lazy lowering *)
+  tiered : bool;
+      (* whether [fexec_*] is the counting dispatcher (tiered) or the
+         tier-1 body itself (baseline) *)
 }
 
 let unlinked : fexec = fun _ _ _ _ -> assert false
@@ -211,23 +260,109 @@ let[@inline] zero_tail (zs : int array) n (fr : int array) =
 
 (* ------------------------- operands ---------------------------- *)
 
+(* The specialized bodies below use unchecked array accesses: every
+   static register index is validated once per function at
+   closure-construction time ([func_valid] in [make_prog] — Builder and
+   Validate both enforce the same bounds, so real programs always pass),
+   and every pooled frame/taint file has length >= the program-wide
+   [max_regs] >= the function's [nregs].  Global-memory accesses keep
+   their explicit bounds check against the baked [mem_len] (the fault
+   path is observable semantics) and go unchecked only after it.  A
+   function with an out-of-range static index or block label lowers to a
+   closure that raises [Runtime_error] on entry instead — hand-built IR
+   that [Validate] would reject, so parity is not pinned there. *)
+
 let cop : operand -> int array -> int = function
   | Imm i -> fun _ -> i
-  | Reg r -> fun regs -> regs.(r)
+  | Reg r -> fun regs -> Array.unsafe_get regs r
+
+(* Static index validation backing the unchecked accesses above: all
+   register operands within [0, nregs), all successor labels within
+   [0, nblocks). *)
+let func_valid (cf : cfunc) : bool =
+  let nregs = cf.f.nregs in
+  let nblocks = Array.length cf.cblocks in
+  let ok = ref true in
+  let reg r = if r < 0 || r >= nregs then ok := false in
+  let op = function Imm _ -> () | Reg r -> reg r in
+  let expr = function
+    | Const _ -> ()
+    | Move o | Load o -> op o
+    | Binop (_, a, b) ->
+      op a;
+      op b
+  in
+  let label l = if l < 0 || l >= nblocks then ok := false in
+  Array.iter
+    (fun (b : Machine.cblock) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | CAssign (d, e) ->
+            reg d;
+            expr e
+          | CStore (a, v) ->
+            op a;
+            op v
+          | CObserve v -> op v
+          | CCall { dst; args; _ } ->
+            Array.iter op args;
+            (match dst with Some d -> reg d | None -> ())
+          | CIcall { dst; fptr; args; _ } ->
+            op fptr;
+            Array.iter op args;
+            (match dst with Some d -> reg d | None -> ())
+          | CAsm_icall { fptr; _ } -> op fptr)
+        b.cinsts;
+      match b.cterm with
+      | Jmp l -> label l
+      | Br (c, l1, l2) ->
+        op c;
+        label l1;
+        label l2
+      | Switch { scrutinee; cases; default; _ } ->
+        op scrutinee;
+        Array.iter (fun (_, l) -> label l) cases;
+        label default
+      | Ret None -> ()
+      | Ret (Some v) -> op v)
+    cf.cblocks;
+  label cf.f.entry;
+  !ok
 
 (* ---------------------- fused segments ------------------------- *)
 
-(* A segment batches the accounting of [k] simple instructions: the
-   header bumps steps/insts by [k] and cycles by the segment's static
-   cost sum, then runs the bodies.  When a body must raise mid-segment
-   (an out-of-bounds load or store), it first rewinds the not-yet-earned
-   remainder — [dc] cycles and [dn] steps/instructions, both baked at
-   compile time — so the observable state at the raise point is exactly
-   the interpreter's. *)
-let[@inline] seg_unwind t ~dc ~dn =
+(* A segment batches the accounting of a run of [k] items — simple
+   instructions plus, in the fused tier, [SJump] seam markers standing
+   for an unconditional fallthrough (the predecessor block's terminator
+   fuel step and jump cost): the header bumps steps by [k], retired
+   instructions by the number of real instructions, and cycles by the
+   segment's static cost sum, then runs the instruction bodies (seams
+   have no body at all on the fast path).  When a body must raise
+   mid-segment (an out-of-bounds load or store), it first rewinds the
+   not-yet-earned remainder — [dc] cycles, [dns] steps and [dni]
+   retired instructions, all baked at compile time and distinct because
+   seams step without retiring — so the observable state at the raise
+   point is exactly the interpreter's. *)
+type sitem =
+  | SInst of Machine.cinst
+  | SJump
+      (* a fused unconditional fallthrough seam: one fuel step plus
+         [Cost.jmp], batched mid-segment *)
+
+(* Link-time lowering statistics, reported as trace counters when the
+   fused tier of a function is linked. *)
+type fuse_stats = {
+  mutable sb_count : int;  (* >=2-block chains lowered as one superblock *)
+  mutable sb_blocks : int;  (* blocks covered by those superblocks *)
+  mutable seg_fused : int;  (* instructions inside batched (>=2-item) segments *)
+  mutable seg_total : int;  (* simple instructions lowered into segments *)
+}
+
+let[@inline] seg_unwind t ~dc ~dns ~dni =
   t.cyc <- t.cyc - dc;
-  t.steps <- t.steps - dn;
-  t.ctrs.insts <- t.ctrs.insts - dn
+  t.steps <- t.steps - dns;
+  t.ctrs.insts <- t.ctrs.insts - dni
 
 let oob_load fname addr =
   Runtime_error (Printf.sprintf "load out of bounds: %d in %s" addr fname)
@@ -246,261 +381,461 @@ let inst_cost = function
   | CObserve _ -> Cost.observe
   | CCall _ | CIcall _ | CAsm_icall _ -> assert false
 
+let sitem_cost = function
+  | SInst i -> inst_cost i
+  | SJump -> Cost.jmp
+
 (* Assign of a binop, fully specialized on the operator and both operand
    kinds: the closure body is the register reads and the arithmetic,
    nothing else.  Immediate pairs constant-fold at compile time. *)
 let pbinop r op a b : pbody =
+  (* spelled out with the array primitives directly in every arm: the
+     compiler has no flambda, so a local [get]/[set] helper captured in
+     the returned closure would cost a real call per register access in
+     the hottest bodies the backend emits *)
   match (a, b) with
   | Reg x, Reg y -> (
     match op with
-    | Add -> fun _ regs -> regs.(r) <- regs.(x) + regs.(y)
-    | Sub -> fun _ regs -> regs.(r) <- regs.(x) - regs.(y)
-    | Mul -> fun _ regs -> regs.(r) <- regs.(x) * regs.(y)
-    | Xor -> fun _ regs -> regs.(r) <- regs.(x) lxor regs.(y)
-    | And -> fun _ regs -> regs.(r) <- regs.(x) land regs.(y)
-    | Or -> fun _ regs -> regs.(r) <- regs.(x) lor regs.(y)
-    | Shl -> fun _ regs -> regs.(r) <- regs.(x) lsl (regs.(y) land 31)
-    | Shr -> fun _ regs -> regs.(r) <- regs.(x) lsr (regs.(y) land 31)
-    | Lt -> fun _ regs -> regs.(r) <- (if regs.(x) < regs.(y) then 1 else 0)
-    | Eq -> fun _ regs -> regs.(r) <- (if regs.(x) = regs.(y) then 1 else 0))
+    | Add ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x + Array.unsafe_get regs y)
+    | Sub ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x - Array.unsafe_get regs y)
+    | Mul ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x * Array.unsafe_get regs y)
+    | Xor ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x lxor Array.unsafe_get regs y)
+    | And ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x land Array.unsafe_get regs y)
+    | Or ->
+      fun _ regs ->
+        Array.unsafe_set regs r (Array.unsafe_get regs x lor Array.unsafe_get regs y)
+    | Shl ->
+      fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x lsl (Array.unsafe_get regs y land 31))
+    | Shr ->
+      fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x lsr (Array.unsafe_get regs y land 31))
+    | Lt ->
+      fun _ regs ->
+        Array.unsafe_set regs r
+          (if Array.unsafe_get regs x < Array.unsafe_get regs y then 1 else 0)
+    | Eq ->
+      fun _ regs ->
+        Array.unsafe_set regs r
+          (if Array.unsafe_get regs x = Array.unsafe_get regs y then 1 else 0))
   | Reg x, Imm y -> (
     match op with
-    | Add -> fun _ regs -> regs.(r) <- regs.(x) + y
-    | Sub -> fun _ regs -> regs.(r) <- regs.(x) - y
-    | Mul -> fun _ regs -> regs.(r) <- regs.(x) * y
-    | Xor -> fun _ regs -> regs.(r) <- regs.(x) lxor y
-    | And -> fun _ regs -> regs.(r) <- regs.(x) land y
-    | Or -> fun _ regs -> regs.(r) <- regs.(x) lor y
+    | Add -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x + y)
+    | Sub -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x - y)
+    | Mul -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x * y)
+    | Xor -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lxor y)
+    | And -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x land y)
+    | Or -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lor y)
     | Shl ->
       let s = y land 31 in
-      fun _ regs -> regs.(r) <- regs.(x) lsl s
+      fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lsl s)
     | Shr ->
       let s = y land 31 in
-      fun _ regs -> regs.(r) <- regs.(x) lsr s
-    | Lt -> fun _ regs -> regs.(r) <- (if regs.(x) < y then 1 else 0)
-    | Eq -> fun _ regs -> regs.(r) <- (if regs.(x) = y then 1 else 0))
+      fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lsr s)
+    | Lt ->
+      fun _ regs -> Array.unsafe_set regs r (if Array.unsafe_get regs x < y then 1 else 0)
+    | Eq ->
+      fun _ regs -> Array.unsafe_set regs r (if Array.unsafe_get regs x = y then 1 else 0))
   | Imm x, Reg y -> (
     match op with
-    | Add -> fun _ regs -> regs.(r) <- x + regs.(y)
-    | Sub -> fun _ regs -> regs.(r) <- x - regs.(y)
-    | Mul -> fun _ regs -> regs.(r) <- x * regs.(y)
-    | Xor -> fun _ regs -> regs.(r) <- x lxor regs.(y)
-    | And -> fun _ regs -> regs.(r) <- x land regs.(y)
-    | Or -> fun _ regs -> regs.(r) <- x lor regs.(y)
-    | Shl -> fun _ regs -> regs.(r) <- x lsl (regs.(y) land 31)
-    | Shr -> fun _ regs -> regs.(r) <- x lsr (regs.(y) land 31)
-    | Lt -> fun _ regs -> regs.(r) <- (if x < regs.(y) then 1 else 0)
-    | Eq -> fun _ regs -> regs.(r) <- (if x = regs.(y) then 1 else 0))
+    | Add -> fun _ regs -> Array.unsafe_set regs r (x + Array.unsafe_get regs y)
+    | Sub -> fun _ regs -> Array.unsafe_set regs r (x - Array.unsafe_get regs y)
+    | Mul -> fun _ regs -> Array.unsafe_set regs r (x * Array.unsafe_get regs y)
+    | Xor -> fun _ regs -> Array.unsafe_set regs r (x lxor Array.unsafe_get regs y)
+    | And -> fun _ regs -> Array.unsafe_set regs r (x land Array.unsafe_get regs y)
+    | Or -> fun _ regs -> Array.unsafe_set regs r (x lor Array.unsafe_get regs y)
+    | Shl ->
+      fun _ regs ->
+        Array.unsafe_set regs r (x lsl (Array.unsafe_get regs y land 31))
+    | Shr ->
+      fun _ regs ->
+        Array.unsafe_set regs r (x lsr (Array.unsafe_get regs y land 31))
+    | Lt ->
+      fun _ regs -> Array.unsafe_set regs r (if x < Array.unsafe_get regs y then 1 else 0)
+    | Eq ->
+      fun _ regs -> Array.unsafe_set regs r (if x = Array.unsafe_get regs y then 1 else 0))
   | Imm x, Imm y ->
     let v = eval_binop op x y in
-    fun _ regs -> regs.(r) <- v
+    fun _ regs -> Array.unsafe_set regs r v
 
-let passign ~mem_len fname ~dc ~dn r e : pbody =
+let passign ~mem_len fname ~dc ~dns ~dni r e : pbody =
   match e with
-  | Const i | Move (Imm i) -> fun _ regs -> regs.(r) <- i
-  | Move (Reg s) -> fun _ regs -> regs.(r) <- regs.(s)
+  | Const i | Move (Imm i) -> fun _ regs -> Array.unsafe_set regs r i
+  | Move (Reg s) -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs s)
   | Binop (op, a, b) -> pbinop r op a b
   | Load (Imm i) ->
-    if i >= 0 && i < mem_len then fun t regs -> regs.(r) <- t.mem.(i)
+    if i >= 0 && i < mem_len then
+      fun t regs -> Array.unsafe_set regs r (Array.unsafe_get t.mem i)
     else
       fun t _ ->
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname i)
   | Load (Reg ar) ->
     fun t regs ->
-      let addr = regs.(ar) in
+      let addr = Array.unsafe_get regs ar in
       if addr < 0 || addr >= mem_len then begin
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname addr)
       end
-      else regs.(r) <- t.mem.(addr)
+      else Array.unsafe_set regs r (Array.unsafe_get t.mem addr)
 
 (* Spec-variant assign: the taint write happens before the value write —
    and, as in the interpreter, before a faulting load raises. *)
-let tassign ~mem_len fname ~dc ~dn r e : tbody =
+let tassign ~mem_len fname ~dc ~dns ~dni r e : tbody =
   match e with
   | Const i | Move (Imm i) ->
     fun _ regs taint ->
-      taint.(r) <- None;
-      regs.(r) <- i
+      Array.unsafe_set taint r None;
+      Array.unsafe_set regs r i
   | Move (Reg s) ->
     fun _ regs taint ->
-      taint.(r) <- taint.(s);
-      regs.(r) <- regs.(s)
+      Array.unsafe_set taint r (Array.unsafe_get taint s);
+      Array.unsafe_set regs r (Array.unsafe_get regs s)
   | Binop (op, a, b) ->
     let body = pbinop r op a b in
     fun t regs taint ->
-      taint.(r) <- None;
+      Array.unsafe_set taint r None;
       body t regs
   | Load (Imm i) ->
     if i >= 0 && i < mem_len then
       fun t regs taint ->
-        (taint.(r) <-
+        (Array.unsafe_set taint r
            (match t.cfg.speculation with
            | None -> None
            | Some s -> Speculation.injected_load s ~addr:i));
-        regs.(r) <- t.mem.(i)
+        Array.unsafe_set regs r (Array.unsafe_get t.mem i)
     else
       fun t _ taint ->
-        (taint.(r) <-
+        (Array.unsafe_set taint r
            (match t.cfg.speculation with
            | None -> None
            | Some s -> Speculation.injected_load s ~addr:i));
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname i)
   | Load (Reg ar) ->
     fun t regs taint ->
-      let addr = regs.(ar) in
-      (taint.(r) <-
+      let addr = Array.unsafe_get regs ar in
+      (Array.unsafe_set taint r
          (match t.cfg.speculation with
          | None -> None
          | Some s -> Speculation.injected_load s ~addr));
       if addr < 0 || addr >= mem_len then begin
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname addr)
       end
-      else regs.(r) <- t.mem.(addr)
+      else Array.unsafe_set regs r (Array.unsafe_get t.mem addr)
 
-let pstore ~mem_len fname ~dc ~dn a v : pbody =
+let pstore ~mem_len fname ~dc ~dns ~dni a v : pbody =
   match (a, v) with
   | Imm i, Imm vv ->
-    if i >= 0 && i < mem_len then fun t _ -> t.mem.(i) <- vv
+    if i >= 0 && i < mem_len then fun t _ -> Array.unsafe_set t.mem i vv
     else
       fun t _ ->
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname i)
   | Imm i, Reg vr ->
-    if i >= 0 && i < mem_len then fun t regs -> t.mem.(i) <- regs.(vr)
+    if i >= 0 && i < mem_len then
+      fun t regs -> Array.unsafe_set t.mem i (Array.unsafe_get regs vr)
     else
       fun t _ ->
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname i)
   | Reg ar, Imm vv ->
     fun t regs ->
-      let addr = regs.(ar) in
+      let addr = Array.unsafe_get regs ar in
       if addr < 0 || addr >= mem_len then begin
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname addr)
       end
-      else t.mem.(addr) <- vv
+      else Array.unsafe_set t.mem addr vv
   | Reg ar, Reg vr ->
     fun t regs ->
-      let addr = regs.(ar) in
+      let addr = Array.unsafe_get regs ar in
       if addr < 0 || addr >= mem_len then begin
-        seg_unwind t ~dc ~dn;
+        seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname addr)
       end
-      else t.mem.(addr) <- regs.(vr)
+      else Array.unsafe_set t.mem addr (Array.unsafe_get regs vr)
 
 let pobserve v : pbody =
   match v with
   | Imm i -> fun t _ -> if t.cfg.record_trace then t.trace_rev <- i :: t.trace_rev
   | Reg r ->
-    fun t regs -> if t.cfg.record_trace then t.trace_rev <- regs.(r) :: t.trace_rev
+    fun t regs ->
+      if t.cfg.record_trace then t.trace_rev <- Array.unsafe_get regs r :: t.trace_rev
 
-let pbody_of ~mem_len fname ~dc ~dn (i : Machine.cinst) : pbody =
+let pbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : pbody =
   match i with
-  | CAssign (r, e) -> passign ~mem_len fname ~dc ~dn r e
-  | CStore (a, v) -> pstore ~mem_len fname ~dc ~dn a v
+  | CAssign (r, e) -> passign ~mem_len fname ~dc ~dns ~dni r e
+  | CStore (a, v) -> pstore ~mem_len fname ~dc ~dns ~dni a v
   | CObserve v -> pobserve v
   | CCall _ | CIcall _ | CAsm_icall _ -> assert false
 
-let tbody_of ~mem_len fname ~dc ~dn (i : Machine.cinst) : tbody =
+let tbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : tbody =
   match i with
-  | CAssign (r, e) -> tassign ~mem_len fname ~dc ~dn r e
+  | CAssign (r, e) -> tassign ~mem_len fname ~dc ~dns ~dni r e
   | CStore (a, v) ->
-    let body = pstore ~mem_len fname ~dc ~dn a v in
+    let body = pstore ~mem_len fname ~dc ~dns ~dni a v in
     fun t regs _taint -> body t regs
   | CObserve v ->
     let body = pobserve v in
     fun t regs _taint -> body t regs
   | CCall _ | CIcall _ | CAsm_icall _ -> assert false
 
-(* Compile a maximal run of simple instructions into one fused closure.
-   The fuel guard [steps + k > fuel] holds exactly when per-instruction
-   bumping would raise somewhere inside the segment, in which case the
-   slow path replays the segment with the interpreter's per-instruction
-   accounting and dies (or faults) at precisely the right instruction —
-   it is always exact, only slower, so the guard can be conservative. *)
-let compile_segment ~spec ~mem_len fname (insts : Machine.cinst array) : iexec =
-  let k = Array.length insts in
-  let costs = Array.map inst_cost insts in
+(* Compile a maximal run of items into one fused closure.  The fuel
+   guard [steps + k > fuel] holds exactly when per-item bumping would
+   raise somewhere inside the segment, in which case the slow path
+   replays the segment with the interpreter's per-item accounting and
+   dies (or faults) at precisely the right instruction — it is always
+   exact, only slower, so the guard can be conservative.  On the fast
+   path, [SJump] seams have no body at all: their step and cost are
+   folded into the batch header, so a fused fallthrough is free. *)
+let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
+  let k = Array.length items in
+  let costs = Array.map sitem_cost items in
   let total = Array.fold_left ( + ) 0 costs in
-  let prefix = ref 0 in
-  let deltas =
-    Array.map
-      (fun c ->
-        prefix := !prefix + c;
-        total - !prefix)
-      costs
+  let ni =
+    Array.fold_left
+      (fun acc it -> match it with SInst _ -> acc + 1 | SJump -> acc)
+      0 items
   in
+  (match stats with
+  | Some s ->
+    s.seg_total <- s.seg_total + ni;
+    if k >= 2 then s.seg_fused <- s.seg_fused + ni
+  | None -> ());
+  (* Suffix deltas per item position: cycles, steps and retired
+     instructions strictly after position j — what a fault at j must
+     rewind from the pre-charged batch. *)
+  let dcs = Array.make k 0 and dnss = Array.make k 0 and dnis = Array.make k 0 in
+  let rc = ref 0 and rs = ref 0 and ri = ref 0 in
+  for j = k - 1 downto 0 do
+    dcs.(j) <- !rc;
+    dnss.(j) <- !rs;
+    dnis.(j) <- !ri;
+    rc := !rc + costs.(j);
+    incr rs;
+    (match items.(j) with SInst _ -> incr ri | SJump -> ())
+  done;
+  (* The dispatch shapes below are deliberately arity-specialized: the
+     per-item closure call is the single biggest runtime cost the backend
+     emits, so single-item segments skip the batch header entirely, small
+     segments bind their bodies as direct captures (no array indexing at
+     all), and the generic loops index with the unsafe primitives (the
+     bounds are fixed at lowering time). *)
   if spec then begin
-    let slow =
-      Array.mapi
-        (fun j i ->
-          let body = tbody_of ~mem_len fname ~dc:0 ~dn:0 i and c = costs.(j) in
-          fun t regs taint ->
-            bump_inst t;
-            charge t c;
-            body t regs taint)
-        insts
-    in
-    if k = 1 then
-      let s0 = slow.(0) in
-      fun t regs taint _depth -> s0 t regs taint
-    else
-      let bodies =
-        Array.mapi
-          (fun j i -> tbody_of ~mem_len fname ~dc:deltas.(j) ~dn:(k - (j + 1)) i)
-          insts
-      in
+    match items with
+    | [| SInst i |] ->
+      let body = tbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i and c = costs.(0) in
       fun t regs taint _depth ->
-        if t.steps + k > t.cfg.fuel then
-          for j = 0 to k - 1 do
-            slow.(j) t regs taint
-          done
-        else begin
-          t.steps <- t.steps + k;
-          t.ctrs.insts <- t.ctrs.insts + k;
-          t.cyc <- t.cyc + total;
-          for j = 0 to k - 1 do
-            bodies.(j) t regs taint
-          done
-        end
+        bump_inst t;
+        charge t c;
+        body t regs taint
+    | [| SJump |] ->
+      fun t _regs _taint _depth ->
+        step_fuel t;
+        charge t Cost.jmp
+    | _ ->
+      let slow =
+        Array.mapi
+          (fun j it ->
+            match it with
+            | SInst i ->
+              let body = tbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i
+              and c = costs.(j) in
+              fun t regs taint ->
+                bump_inst t;
+                charge t c;
+                body t regs taint
+            | SJump ->
+              fun t _regs _taint ->
+                step_fuel t;
+                charge t Cost.jmp)
+          items
+      in
+      let run_slow t regs taint =
+        for j = 0 to k - 1 do
+          (Array.unsafe_get slow j) t regs taint
+        done
+      in
+      let bodies =
+        Array.of_list
+          (List.filter_map
+             (fun j ->
+               match items.(j) with
+               | SInst i ->
+                 Some (tbody_of ~mem_len fname ~dc:dcs.(j) ~dns:dnss.(j) ~dni:dnis.(j) i)
+               | SJump -> None)
+             (List.init k (fun j -> j)))
+      in
+      (match bodies with
+      | [| b0 |] ->
+        fun t regs taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs taint
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs taint
+          end
+      | [| b0; b1 |] ->
+        fun t regs taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs taint
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs taint;
+            b1 t regs taint
+          end
+      | [| b0; b1; b2 |] ->
+        fun t regs taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs taint
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs taint;
+            b1 t regs taint;
+            b2 t regs taint
+          end
+      | [| b0; b1; b2; b3 |] ->
+        fun t regs taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs taint
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs taint;
+            b1 t regs taint;
+            b2 t regs taint;
+            b3 t regs taint
+          end
+      | _ ->
+        let nb = Array.length bodies in
+        fun t regs taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs taint
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            for j = 0 to nb - 1 do
+              (Array.unsafe_get bodies j) t regs taint
+            done
+          end)
   end
   else begin
-    let slow =
-      Array.mapi
-        (fun j i ->
-          let body = pbody_of ~mem_len fname ~dc:0 ~dn:0 i and c = costs.(j) in
-          fun t regs ->
-            bump_inst t;
-            charge t c;
-            body t regs)
-        insts
-    in
-    if k = 1 then
-      let s0 = slow.(0) in
-      fun t regs _taint _depth -> s0 t regs
-    else
-      let bodies =
-        Array.mapi
-          (fun j i -> pbody_of ~mem_len fname ~dc:deltas.(j) ~dn:(k - (j + 1)) i)
-          insts
-      in
+    match items with
+    | [| SInst i |] ->
+      let body = pbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i and c = costs.(0) in
       fun t regs _taint _depth ->
-        if t.steps + k > t.cfg.fuel then
-          for j = 0 to k - 1 do
-            slow.(j) t regs
-          done
-        else begin
-          t.steps <- t.steps + k;
-          t.ctrs.insts <- t.ctrs.insts + k;
-          t.cyc <- t.cyc + total;
-          for j = 0 to k - 1 do
-            bodies.(j) t regs
-          done
-        end
+        bump_inst t;
+        charge t c;
+        body t regs
+    | [| SJump |] ->
+      fun t _regs _taint _depth ->
+        step_fuel t;
+        charge t Cost.jmp
+    | _ ->
+      let slow =
+        Array.mapi
+          (fun j it ->
+            match it with
+            | SInst i ->
+              let body = pbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i
+              and c = costs.(j) in
+              fun t regs ->
+                bump_inst t;
+                charge t c;
+                body t regs
+            | SJump ->
+              fun t _regs ->
+                step_fuel t;
+                charge t Cost.jmp)
+          items
+      in
+      let run_slow t regs =
+        for j = 0 to k - 1 do
+          (Array.unsafe_get slow j) t regs
+        done
+      in
+      let bodies =
+        Array.of_list
+          (List.filter_map
+             (fun j ->
+               match items.(j) with
+               | SInst i ->
+                 Some (pbody_of ~mem_len fname ~dc:dcs.(j) ~dns:dnss.(j) ~dni:dnis.(j) i)
+               | SJump -> None)
+             (List.init k (fun j -> j)))
+      in
+      (match bodies with
+      | [| b0 |] ->
+        fun t regs _taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs
+          end
+      | [| b0; b1 |] ->
+        fun t regs _taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs;
+            b1 t regs
+          end
+      | [| b0; b1; b2 |] ->
+        fun t regs _taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs;
+            b1 t regs;
+            b2 t regs
+          end
+      | [| b0; b1; b2; b3 |] ->
+        fun t regs _taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            b0 t regs;
+            b1 t regs;
+            b2 t regs;
+            b3 t regs
+          end
+      | _ ->
+        let nb = Array.length bodies in
+        fun t regs _taint _depth ->
+          if t.steps + k > t.fuel_cap then run_slow t regs
+          else begin
+            t.steps <- t.steps + k;
+            t.ctrs.insts <- t.ctrs.insts + ni;
+            t.cyc <- t.cyc + total;
+            for j = 0 to nb - 1 do
+              (Array.unsafe_get bodies j) t regs
+            done
+          end)
   end
 
 (* --------------------------- calls ----------------------------- *)
@@ -513,14 +848,14 @@ let cstore_result ~spec dst : int array -> int option array -> int option -> uni
   | Some r, false ->
     fun regs _ result ->
       (match result with
-      | Some v -> regs.(r) <- v
-      | None -> regs.(r) <- 0)
+      | Some v -> Array.unsafe_set regs r v
+      | None -> Array.unsafe_set regs r 0)
   | Some r, true ->
     fun regs taint result ->
       (match result with
-      | Some v -> regs.(r) <- v
-      | None -> regs.(r) <- 0);
-      taint.(r) <- None
+      | Some v -> Array.unsafe_set regs r v
+      | None -> Array.unsafe_set regs r 0);
+      Array.unsafe_set taint r None
 
 let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
     ~(args : operand array) ~site : iexec =
@@ -544,6 +879,29 @@ let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
     let zs_tail =
       Array.of_list (List.filter (fun r -> r >= n) (Array.to_list callee2.zeroset))
     in
+    (* Argument prefix writer, arity-specialized at lowering time (the
+       direct-call argument count is static; operand evaluation is pure,
+       so truncating past the parameter count drops nothing observable). *)
+    let argv = if Array.length argv > n then Array.sub argv 0 n else argv in
+    let write_args : int array -> int array -> unit =
+      match argv with
+      | [||] -> fun _ _ -> ()
+      | [| a0 |] -> fun dstr regs -> Array.unsafe_set dstr 0 (a0 regs)
+      | [| a0; a1 |] ->
+        fun dstr regs ->
+          Array.unsafe_set dstr 0 (a0 regs);
+          Array.unsafe_set dstr 1 (a1 regs)
+      | [| a0; a1; a2 |] ->
+        fun dstr regs ->
+          Array.unsafe_set dstr 0 (a0 regs);
+          Array.unsafe_set dstr 1 (a1 regs);
+          Array.unsafe_set dstr 2 (a2 regs)
+      | _ ->
+        fun dstr regs ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set dstr i ((Array.unsafe_get argv i) regs)
+          done
+    in
     let store = cstore_result ~spec dst in
     if spec then
       fun t regs taint depth ->
@@ -557,9 +915,7 @@ let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
            prefix is about to be overwritten anyway, and registers dead
            on entry never surface their stale contents. *)
         let callee_regs = raw_frame t ~depth:(depth + 1) in
-        for i = 0 to n - 1 do
-          Array.unsafe_set callee_regs i (argv.(i) regs)
-        done;
+        write_args callee_regs regs;
         zero_tail zs_tail 0 callee_regs;
         store regs taint (callee2.fexec_spec t callee_regs (depth + 1) caller_id)
     else
@@ -571,9 +927,7 @@ let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
         enter_code t callee_cf;
         Rsb.push t.trsb caller_id;
         let callee_regs = raw_frame t ~depth:(depth + 1) in
-        for i = 0 to n - 1 do
-          Array.unsafe_set callee_regs i (argv.(i) regs)
-        done;
+        write_args callee_regs regs;
         zero_tail zs_tail 0 callee_regs;
         store regs taint (callee2.fexec_plain t callee_regs (depth + 1) caller_id)
   end
@@ -588,7 +942,7 @@ let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array
   let ftaint : int option array -> int option =
     if spec && not asm then
       match fptr with
-      | Reg r -> fun taint -> taint.(r)
+      | Reg r -> fun taint -> Array.unsafe_get taint r
       | Imm _ -> fun _ -> None
     else fun _ -> None
   in
@@ -616,7 +970,7 @@ let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array
        indirect transfer *)
     let n = if callee_cf.f.params < nargs then callee_cf.f.params else nargs in
     for i = 0 to n - 1 do
-      Array.unsafe_set callee_regs i (argv.(i) regs)
+      Array.unsafe_set callee_regs i ((Array.unsafe_get argv i) regs)
     done;
     zero_tail callee2.zeroset n callee_regs;
     store regs taint
@@ -648,21 +1002,21 @@ let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec 
   | Jmp l ->
     fun t regs taint depth ret_to ->
       charge t Cost.jmp;
-      bexecs.(l) t regs taint depth ret_to
+      (Array.unsafe_get bexecs l) t regs taint depth ret_to
   | Br (Reg cr, l1, l2) ->
     let key = cf.key_base + label in
     fun t regs taint depth ret_to ->
-      let taken = regs.(cr) <> 0 in
+      let taken = Array.unsafe_get regs cr <> 0 in
       br_follow t ~key ~taken;
-      if taken then bexecs.(l1) t regs taint depth ret_to
-      else bexecs.(l2) t regs taint depth ret_to
+      if taken then (Array.unsafe_get bexecs l1) t regs taint depth ret_to
+      else (Array.unsafe_get bexecs l2) t regs taint depth ret_to
   | Br (Imm i, l1, l2) ->
     let key = cf.key_base + label in
     let taken = i <> 0 in
     let l = if taken then l1 else l2 in
     fun t regs taint depth ret_to ->
       br_follow t ~key ~taken;
-      bexecs.(l) t regs taint depth ret_to
+      (Array.unsafe_get bexecs l) t regs taint depth ret_to
   | Switch { scrutinee; cases; default; lowering } ->
     let ov = cop scrutinee in
     let ncases = Array.length cases in
@@ -681,7 +1035,7 @@ let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec 
       in
       let target = find 0 in
       charge t cost;
-      bexecs.(target) t regs taint depth ret_to
+      (Array.unsafe_get bexecs target) t regs taint depth ret_to
   | Ret None ->
     fun t _regs _taint _depth ret_to ->
       do_ret t cf ~ret_to;
@@ -693,17 +1047,23 @@ let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec 
       v
   | Ret (Some (Reg r)) ->
     fun t regs _taint _depth ret_to ->
-      let v = Some regs.(r) in
+      let v = Some (Array.unsafe_get regs r) in
       do_ret t cf ~ret_to;
       v
 
-(* ------------------------- functions --------------------------- *)
+(* ------------------- blocks and superblocks -------------------- *)
 
-let cblock ~spec c2by_id ~mem_len bexecs (cf : cfunc) label (b : Machine.cblock) : bexec
-    =
+(* Lower a chain of blocks — a single block in tier 1, a whole
+   superblock in tier 2 — into one closure.  The chain's instruction
+   streams are flattened into one item stream, each non-final block
+   contributing an [SJump] seam marker for its unconditional terminator;
+   the stream is partitioned into maximal fused segments and individual
+   call instructions, and only the FINAL block's terminator is compiled
+   (non-final terminators are guaranteed [Jmp] and live inside the
+   segments as seam accounting). *)
+let lower_chain ~spec ?stats c2by_id ~mem_len (cf : cfunc) bexecs
+    (chain : (int * Machine.cblock) list) : bexec =
   let fname = cf.f.fname in
-  (* Partition the block into maximal simple-instruction segments and
-     individual call instructions. *)
   let rev_chunks = ref [] and pending = ref [] in
   let flush () =
     match !pending with
@@ -712,69 +1072,181 @@ let cblock ~spec c2by_id ~mem_len bexecs (cf : cfunc) label (b : Machine.cblock)
       rev_chunks := `Seg (Array.of_list (List.rev l)) :: !rev_chunks;
       pending := []
   in
-  Array.iter
-    (fun i ->
-      match i with
-      | CAssign _ | CStore _ | CObserve _ -> pending := i :: !pending
-      | CCall _ | CIcall _ | CAsm_icall _ ->
-        flush ();
-        rev_chunks := `Cx i :: !rev_chunks)
-    b.cinsts;
-  flush ();
+  let scan_insts (b : Machine.cblock) =
+    Array.iter
+      (fun i ->
+        match i with
+        | CAssign _ | CStore _ | CObserve _ -> pending := SInst i :: !pending
+        | CCall _ | CIcall _ | CAsm_icall _ ->
+          flush ();
+          rev_chunks := `Cx i :: !rev_chunks)
+      b.cinsts
+  in
+  let rec go = function
+    | [] -> assert false
+    | [ (label, (b : Machine.cblock)) ] ->
+      scan_insts b;
+      flush ();
+      (label, b.cterm)
+    | (_, b) :: rest ->
+      scan_insts b;
+      (* the seam: this block's fuel step + jump, fused into the
+         surrounding segment *)
+      pending := SJump :: !pending;
+      go rest
+  in
+  let last_label, last_term = go chain in
   let chunks =
     Array.of_list
       (List.rev_map
          (function
-           | `Seg insts -> compile_segment ~spec ~mem_len fname insts
+           | `Seg items -> compile_segment ~spec ~mem_len ?stats fname items
            | `Cx i -> ccomplex ~spec c2by_id cf i)
          !rev_chunks)
   in
-  let term = cterm bexecs cf label b.cterm in
-  match Array.length chunks with
-  | 0 ->
+  let term = cterm bexecs cf last_label last_term in
+  match chunks with
+  | [||] ->
     fun t regs taint depth ret_to ->
       step_fuel t;
       term t regs taint depth ret_to
-  | 1 ->
-    let c0 = chunks.(0) in
+  | [| c0 |] ->
     fun t regs taint depth ret_to ->
       c0 t regs taint depth;
       step_fuel t;
       term t regs taint depth ret_to
-  | n ->
+  | [| c0; c1 |] ->
+    fun t regs taint depth ret_to ->
+      c0 t regs taint depth;
+      c1 t regs taint depth;
+      step_fuel t;
+      term t regs taint depth ret_to
+  | [| c0; c1; c2 |] ->
+    fun t regs taint depth ret_to ->
+      c0 t regs taint depth;
+      c1 t regs taint depth;
+      c2 t regs taint depth;
+      step_fuel t;
+      term t regs taint depth ret_to
+  | _ ->
+    let n = Array.length chunks in
     fun t regs taint depth ret_to ->
       for i = 0 to n - 1 do
-        chunks.(i) t regs taint depth
+        (Array.unsafe_get chunks i) t regs taint depth
       done;
       step_fuel t;
       term t regs taint depth ret_to
 
-let link_plain c2by_id ~mem_len (c2f : cfunc2) =
-  let cf = c2f.c2 in
-  let nblocks = Array.length cf.cblocks in
-  let dead : bexec = fun _ _ _ _ _ -> assert false in
-  let bplain = Array.make nblocks dead in
-  for l = 0 to nblocks - 1 do
-    bplain.(l) <- cblock ~spec:false c2by_id ~mem_len bplain cf l cf.cblocks.(l)
-  done;
-  let entry = cf.f.entry in
-  c2f.fexec_plain <-
-    (fun t regs depth ret_to ->
-      enter_frame t cf;
-      bplain.(entry) t regs no_taint depth ret_to)
+(* Superblock trace formation: the trace headed at [l] follows
+   unconditional [Jmp] edges for as long as they go — REGARDLESS of the
+   target's predecessor count.  A shared tail (a merge point entered by
+   [Jmp] from several arms) is duplicated into every trace that reaches
+   it, which is exactly classic superblock tail duplication: on the
+   optimized kernel images nearly every surviving [Jmp] targets a merge
+   point (the cleanup pass already forwards the single-predecessor empty
+   blocks away), so a single-predecessor-only rule finds nothing to fuse
+   there.  Duplication is bounded twice over: traces stop on a revisit
+   (no unrolling of [Jmp]-only cycles) and at [max_trace] blocks, and
+   lazy per-head lowering means only the heads execution actually
+   dispatches to ever pay for their copy of a tail.  A truncated trace
+   simply ends in a [Jmp] terminator, which dispatches to the target
+   head's own trace like any other transfer. *)
+let max_trace = 32
 
-let link_spec c2by_id ~mem_len (c2f : cfunc2) =
+let trace_of (cf : cfunc) l : (int * Machine.cblock) list =
+  let rec go acc seen l' len =
+    let b = cf.cblocks.(l') in
+    match b.cterm with
+    | Jmp s when len < max_trace && not (List.mem s seen) ->
+      go ((l', b) :: acc) (s :: seen) s (len + 1)
+    | _ -> List.rev ((l', b) :: acc)
+  in
+  go [] [ l ] l 1
+
+(* Lower one function variant into its entry [fexec].  [fused] selects
+   the tier.
+
+   Tier 1 lowers one closure per block, eagerly — the whole function is
+   lowered on its first call, exactly the PR5 backend.
+
+   Tier 2 (fused) lowers one closure per superblock trace, {e lazily
+   per head}: every label gets a trampoline that lowers [trace_of] its
+   label on first dispatch (double-checked under a per-variant mutex)
+   and replaces itself in [bexecs] — terminators fetch [bexecs.(l)] at
+   dispatch time, so the swap is picked up transparently.  On the
+   aggressively inlined kernel images a function has hundreds of blocks
+   but a hot path through a few percent of them; paying fused lowering
+   (and the tail duplication it implies) only for the heads the
+   workload actually dispatches to cuts the tier-up cost by that same
+   factor, which is what makes promotion profitable for short-lived
+   engines (fresh images in the sensitivity sweep, online controller
+   rebuilds).  Superblock shape ([sb_count]/[sb_blocks]) is known
+   statically and recorded at link time; segment coverage accumulates
+   in [stats] as traces lower. *)
+let lower_fexec ~spec ~fused ?stats c2by_id ~mem_len (c2f : cfunc2) : fexec =
   let cf = c2f.c2 in
   let nblocks = Array.length cf.cblocks in
   let dead : bexec = fun _ _ _ _ _ -> assert false in
-  let bspec = Array.make nblocks dead in
-  for l = 0 to nblocks - 1 do
-    bspec.(l) <- cblock ~spec:true c2by_id ~mem_len bspec cf l cf.cblocks.(l)
-  done;
+  let bexecs = Array.make nblocks dead in
+  (if fused then begin
+     (match stats with
+     | Some st ->
+       (* Static superblock shape: every label heads a trace; the
+          multi-block ones are the fusion opportunities (tails shared by
+          several traces are counted once per trace — they are lowered
+          once per trace too). *)
+       for l = 0 to nblocks - 1 do
+         match trace_of cf l with
+         | _ :: _ :: _ as c ->
+           st.sb_count <- st.sb_count + 1;
+           st.sb_blocks <- st.sb_blocks + List.length c
+         | _ -> ()
+       done
+     | None -> ());
+     let mu = Mutex.create () in
+     let lowered = Array.make nblocks false in
+     for l = 0 to nblocks - 1 do
+       bexecs.(l) <-
+         (fun t regs taint depth ret_to ->
+           Mutex.lock mu;
+           if not lowered.(l) then begin
+             bexecs.(l) <- lower_chain ~spec ?stats c2by_id ~mem_len cf bexecs (trace_of cf l);
+             lowered.(l) <- true;
+             match stats with
+             | Some s when Trace.enabled () ->
+               Trace.counter ~cat:"sched" "segment-coverage"
+                 [ ("fused", Trace.Int s.seg_fused); ("total", Trace.Int s.seg_total) ]
+             | _ -> ()
+           end;
+           Mutex.unlock mu;
+           bexecs.(l) t regs taint depth ret_to)
+     done
+   end
+   else begin
+     (* Tier 1 is lazy per BLOCK, by the same trampoline discipline: on
+        the aggressively inlined images a function has hundreds of
+        blocks and a workload touches a few percent of them, so eager
+        per-function lowering (the PR5 shape) wastes most of its work.
+        Lowering is pure and emits nothing observable, so the
+        execution-order dependence of the laziness is invisible. *)
+     let mu = Mutex.create () in
+     let lowered = Array.make nblocks false in
+     for l = 0 to nblocks - 1 do
+       bexecs.(l) <-
+         (fun t regs taint depth ret_to ->
+           Mutex.lock mu;
+           if not lowered.(l) then begin
+             bexecs.(l) <- lower_chain ~spec c2by_id ~mem_len cf bexecs [ (l, cf.cblocks.(l)) ];
+             lowered.(l) <- true
+           end;
+           Mutex.unlock mu;
+           bexecs.(l) t regs taint depth ret_to)
+     done
+   end);
   let entry = cf.f.entry in
-  let zs = c2f.zeroset in
-  c2f.fexec_spec <-
-    (fun t regs depth ret_to ->
+  if spec then begin
+    let zs = c2f.zeroset in
+    fun t regs depth ret_to ->
       enter_frame t cf;
       (* The caller never writes the callee's taint file, so every
          entry-live slot must be [None]-ed — but only those: stale taint
@@ -784,41 +1256,111 @@ let link_spec c2by_id ~mem_len (c2f : cfunc2) =
       for i = 0 to Array.length zs - 1 do
         Array.unsafe_set taint (Array.unsafe_get zs i) None
       done;
-      bspec.(entry) t regs taint depth ret_to)
+      bexecs.(entry) t regs taint depth ret_to
+  end
+  else
+    fun t regs depth ret_to ->
+      enter_frame t cf;
+      bexecs.(entry) t regs no_taint depth ret_to
 
-(* Both variants are lowered lazily, per function, on first call: a
-   compiled program starts as an array of trampolines, and only the
-   functions a workload actually reaches ever pay for closure
-   construction (the spec variant additionally only under a speculative
-   config).  That keeps [compile] itself a cheap linear pass — one
-   zeroset per function — which matters for compile-dominated workloads:
-   short attack drills over many images, and the online loop's fresh
-   controller program every window.
+(* --------------------- lazy linking & tiers -------------------- *)
+
+(* All four variants (tier x speculation) are lowered lazily, per
+   function, on the first call that reaches them (double-checked under
+   [link_lock]): compile itself is one cheap liveness pass, and only the
+   functions a workload actually executes — in the tiers its heat
+   actually reaches, under the speculation settings it actually uses —
+   ever pay for closure construction.  That matters for
+   compile-dominated workloads: short attack drills over many images,
+   and the online loop's fresh controller program every window.
 
    Call closures fetch their callee's [fexec_*] field at call time, so a
    linked body is picked up transparently; the only cross-function data
    baked at construction time is the callee's [zeroset], which [compile]
-   computes eagerly for exactly that reason.  Linking runs under
-   [link_lock] (double-checked via the [*_linked] flags, which are only
-   written under the lock).  A racing domain either still sees the
-   trampoline — and then synchronizes on the lock before re-reading the
-   field — or sees the published closure; unlinked bodies are never
-   reachable. *)
-let link_now p c2f ~spec =
+   computes eagerly for exactly that reason.  All [t1_*]/[t2_*] fields
+   and [*_linked] flags — and, in a baseline program, the published
+   [fexec_*] fields — are only written under the lock.  A racing domain
+   either still sees a trampoline — and then synchronizes on the lock
+   before re-reading the field — or sees the published closure; unlinked
+   bodies are never reachable. *)
+
+let link_fused_traced ~spec c2by_id ~mem_len c2f =
+  let cf = c2f.c2 in
+  let stats = { sb_count = 0; sb_blocks = 0; seg_fused = 0; seg_total = 0 } in
+  let fx =
+    Trace.span ~cat:"sched" "engine:tierup"
+      ~args:
+        [ ("fn", Trace.Str cf.f.fname); ("variant", Trace.Str (if spec then "spec" else "plain")) ]
+      (fun () -> lower_fexec ~spec ~fused:true ~stats c2by_id ~mem_len c2f)
+  in
+  (* Superblock shape is static and complete at link time; segment
+     coverage samples stream from the lazy chain lowerings instead. *)
+  if Trace.enabled () then
+    Trace.counter ~cat:"sched" "fused-superblocks"
+      [ ("superblocks", Trace.Int stats.sb_count); ("blocks", Trace.Int stats.sb_blocks) ];
+  fx
+
+let link_now p c2f ~spec ~fused =
   Mutex.lock p.link_lock;
-  (if spec then begin
-     if not c2f.spec_linked then begin
-       link_spec p.c2by_id ~mem_len:p.mem_len c2f;
-       c2f.spec_linked <- true
-     end
-   end
-   else if not c2f.plain_linked then begin
-     link_plain p.c2by_id ~mem_len:p.mem_len c2f;
-     c2f.plain_linked <- true
-   end);
+  (match (fused, spec) with
+  | false, false ->
+    if not c2f.t1_plain_linked then begin
+      c2f.t1_plain <- lower_fexec ~spec:false ~fused:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t1_plain_linked <- true;
+      if not p.tiered then c2f.fexec_plain <- c2f.t1_plain
+    end
+  | false, true ->
+    if not c2f.t1_spec_linked then begin
+      c2f.t1_spec <- lower_fexec ~spec:true ~fused:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t1_spec_linked <- true;
+      if not p.tiered then c2f.fexec_spec <- c2f.t1_spec
+    end
+  | true, false ->
+    if not c2f.t2_plain_linked then begin
+      c2f.t2_plain <- link_fused_traced ~spec:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t2_plain_linked <- true
+    end
+  | true, true ->
+    if not c2f.t2_spec_linked then begin
+      c2f.t2_spec <- link_fused_traced ~spec:true p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t2_spec_linked <- true
+    end);
   Mutex.unlock p.link_lock
 
-let compile (cv : Machine.compiled) ~mem_len : prog =
+(* The tiered entry dispatcher: bump this ENGINE's entry counter for the
+   function and pick the tier — tier 1 until the engine's threshold is
+   crossed, the fused tier after.  Decisions are per-engine (and so
+   deterministic at any --jobs); the fused body is linked lazily in the
+   shared program on the first post-threshold entry that reaches it.
+   The [tierup-count] sample marks each promotion; it lives in the
+   "sched" category next to the other lazy-compile traffic. *)
+let tiered_dispatch (c2f : cfunc2) ~spec : fexec =
+  let id = c2f.c2.id in
+  let fname = c2f.c2.f.fname in
+  if spec then
+    fun t regs depth ret_to ->
+      let c = Array.unsafe_get t.tier_counts id + 1 in
+      Array.unsafe_set t.tier_counts id c;
+      if c > t.tier_threshold then begin
+        if c = t.tier_threshold + 1 && Trace.enabled () then
+          Trace.counter ~cat:"sched" "tierup-count"
+            [ ("count", Trace.Int 1); ("fn", Trace.Str fname) ];
+        c2f.t2_spec t regs depth ret_to
+      end
+      else c2f.t1_spec t regs depth ret_to
+  else
+    fun t regs depth ret_to ->
+      let c = Array.unsafe_get t.tier_counts id + 1 in
+      Array.unsafe_set t.tier_counts id c;
+      if c > t.tier_threshold then begin
+        if c = t.tier_threshold + 1 && Trace.enabled () then
+          Trace.counter ~cat:"sched" "tierup-count"
+            [ ("count", Trace.Int 1); ("fn", Trace.Str fname) ];
+        c2f.t2_plain t regs depth ret_to
+      end
+      else c2f.t1_plain t regs depth ret_to
+
+let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
   let c2by_id =
     Array.map
       (fun cf ->
@@ -827,29 +1369,90 @@ let compile (cv : Machine.compiled) ~mem_len : prog =
           zeroset = zeroset_of cf;
           fexec_plain = unlinked;
           fexec_spec = unlinked;
-          plain_linked = false;
-          spec_linked = false;
+          t1_plain = unlinked;
+          t1_spec = unlinked;
+          t2_plain = unlinked;
+          t2_spec = unlinked;
+          t1_plain_linked = false;
+          t1_spec_linked = false;
+          t2_plain_linked = false;
+          t2_spec_linked = false;
         })
       cv.cby_id
   in
-  let p = { c2by_id; mem_len; link_lock = Mutex.create () } in
+  let p = { c2by_id; mem_len; link_lock = Mutex.create (); tiered } in
   Array.iter
     (fun c2f ->
-      c2f.fexec_plain <-
+      if not (func_valid c2f.c2) then begin
+        (* Out-of-range static register or label index: the unchecked
+           closure bodies must never be built for this function.  Only
+           hand-built IR that [Validate] rejects gets here; it fails on
+           entry instead of lowering. *)
+        let err : fexec =
+         fun _ _ _ _ ->
+          raise (Runtime_error ("invalid static indices in @" ^ c2f.c2.f.fname))
+        in
+        c2f.fexec_plain <- err;
+        c2f.fexec_spec <- err;
+        c2f.t1_plain <- err;
+        c2f.t1_spec <- err;
+        c2f.t2_plain <- err;
+        c2f.t2_spec <- err;
+        c2f.t1_plain_linked <- true;
+        c2f.t1_spec_linked <- true;
+        c2f.t2_plain_linked <- true;
+        c2f.t2_spec_linked <- true
+      end
+      else begin
+      c2f.t1_plain <-
         (fun t regs depth ret_to ->
-          link_now p c2f ~spec:false;
-          c2f.fexec_plain t regs depth ret_to);
-      c2f.fexec_spec <-
+          link_now p c2f ~spec:false ~fused:false;
+          c2f.t1_plain t regs depth ret_to);
+      c2f.t1_spec <-
         (fun t regs depth ret_to ->
-          link_now p c2f ~spec:true;
-          c2f.fexec_spec t regs depth ret_to))
+          link_now p c2f ~spec:true ~fused:false;
+          c2f.t1_spec t regs depth ret_to);
+      c2f.t2_plain <-
+        (fun t regs depth ret_to ->
+          link_now p c2f ~spec:false ~fused:true;
+          c2f.t2_plain t regs depth ret_to);
+      c2f.t2_spec <-
+        (fun t regs depth ret_to ->
+          link_now p c2f ~spec:true ~fused:true;
+          c2f.t2_spec t regs depth ret_to);
+      if tiered then begin
+        c2f.fexec_plain <- tiered_dispatch c2f ~spec:false;
+        c2f.fexec_spec <- tiered_dispatch c2f ~spec:true
+      end
+      else begin
+        (* Baseline: the published field starts as the tier-1 trampoline
+           and is replaced (under the lock) by the linked body, so the
+           post-link call path has no dispatcher at all — exactly the
+           PR5 backend, pinned by the --tierup 0 parity leg. *)
+        c2f.fexec_plain <-
+          (fun t regs depth ret_to ->
+            link_now p c2f ~spec:false ~fused:false;
+            c2f.fexec_plain t regs depth ret_to);
+        c2f.fexec_spec <-
+          (fun t regs depth ret_to ->
+            link_now p c2f ~spec:true ~fused:false;
+            c2f.fexec_spec t regs depth ret_to)
+      end
+      end)
     c2by_id;
   p
+
+let compile (cv : Machine.compiled) ~mem_len : prog = make_prog cv ~mem_len ~tiered:false
+
+let compile_tiered (cv : Machine.compiled) ~mem_len : prog =
+  make_prog cv ~mem_len ~tiered:true
 
 (* The backend entry installed into [Machine.t.exec_entry]: builds the
    top-level frame (argument prefix + entry-live zeroing, like any call
    site), then one speculation-variant dispatch per top-level call — the
-   closure chain runs variant-pure from there. *)
+   closure chain runs variant-pure from there (through the counting
+   dispatcher in a tiered program, so top-level entries are counted
+   too). *)
 let entry (p : prog) : Machine.t -> cfunc -> int list -> int option =
  fun t cf args ->
   let c2 = p.c2by_id.(cf.id) in

@@ -8,12 +8,21 @@
     engine; the process default (normally [Compiled]) is set once by the
     CLI/bench [--engine] flag through {!set_default_backend}.
 
+    The compiled backend is tiered: every function starts in the
+    baseline per-block tier, and a profile counter promotes it to the
+    superblock-fused tier once its entry count crosses the engine's
+    tier-up threshold (knob: [PIBE_TIERUP] / [--tierup N] /
+    [create ?tierup]; [0] disables).  Both tiers are bit-exact, so the
+    threshold is a pure performance knob.
+
     Compilation output — the {!Machine.compiled} view plus the closure
-    program — is cached in a small LRU keyed on physical program
-    identity, so alternating over a working set of programs (the online
-    dual replay's deployed/pristine pair, attack drills over several
-    images) compiles each program exactly once.  Cache traffic is
-    visible as ["sched"]-category [engine:compile] spans and
+    program — is cached in a small LRU keyed on (physical program
+    identity x tier x speculation variant), so alternating over a
+    working set of programs (the online dual replay's deployed/pristine
+    pair, attack drills over several images) compiles each program
+    exactly once per configuration, and a tiered recompile can never
+    evict the baseline entry.  Cache traffic is visible as
+    ["sched"]-category [engine:compile] spans and
     [compile-cache-hit]/[compile-cache-miss] counters. *)
 
 open Pibe_ir
@@ -34,6 +43,34 @@ let default_backend_cell = Atomic.make Compiled
 let set_default_backend b = Atomic.set default_backend_cell b
 let default_backend () = Atomic.get default_backend_cell
 
+(* Tier-up threshold default: entries of a function beyond this count run
+   the fused tier-2 body; 0 disables tier-up (baseline closures only,
+   exactly the pre-tier backend).  Seeded from PIBE_TIERUP, overridden by
+   the --tierup flag via [set_default_tierup], and per engine at
+   [create ?tierup].
+
+   1024 entries separates the engines that profit from fusion from those
+   that don't: long replay loops (workload drivers, the online window
+   replays) enter hot inner functions thousands of times and amortize
+   the lazy superblock lowering many times over, while short measurement
+   cells (~tens of top-level calls against a fresh image) never cross it
+   and keep pure tier-1 economics — measured on the sensitivity sweep,
+   where an eager threshold of 16 pays fused lowering it can't earn
+   back. *)
+let tierup_default = 1024
+
+let default_tierup_cell =
+  Atomic.make
+    (match Sys.getenv_opt "PIBE_TIERUP" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> tierup_default)
+    | None -> tierup_default)
+
+let set_default_tierup n = Atomic.set default_tierup_cell (max 0 n)
+let default_tierup () = Atomic.get default_tierup_cell
+
 (* ----------------------- compile cache ------------------------- *)
 
 (* Bounded LRU over physically-distinct programs, MRU first.  The common
@@ -47,8 +84,16 @@ let default_backend () = Atomic.get default_backend_cell
    is pure), and a racing domain's finished entry is adopted over our
    own. *)
 
+(* An entry is keyed on (physical program x tier x speculation variant):
+   tiered closure programs carry per-function fused bodies and a counting
+   dispatcher the baseline must not pay for, and speculation-on engines
+   link the taint-threading closure variants — so the three axes get
+   separate entries and can never evict each other's lowering work
+   (pinned by the tier-keying regression test in test_backend.ml). *)
 type cache_entry = {
   cprog : Program.t;
+  ctiered : bool;
+  cspec : bool;
   cview : compiled;
   cclosures : Compile2.prog;
 }
@@ -75,18 +120,20 @@ let rec truncate n = function
   | _ :: _ when n = 0 -> []
   | e :: rest -> e :: truncate (n - 1) rest
 
-(* Splits out the entry for [prog], if cached: (entry, others). *)
-let take_entry prog entries =
+(* Splits out the entry for [prog] under the given tier/spec key, if
+   cached: (entry, others). *)
+let take_entry prog ~tiered ~spec entries =
   let rec go acc = function
     | [] -> None
-    | e :: rest when e.cprog == prog -> Some (e, List.rev_append acc rest)
+    | e :: rest when e.cprog == prog && e.ctiered = tiered && e.cspec = spec ->
+      Some (e, List.rev_append acc rest)
     | e :: rest -> go (e :: acc) rest
   in
   go [] entries
 
-let entry_for prog =
+let entry_for prog ~tiered ~spec =
   Mutex.lock compile_lock;
-  match take_entry prog !cache with
+  match take_entry prog ~tiered ~spec !cache with
   | Some (e, others) ->
     cache := e :: others;
     Mutex.unlock compile_lock;
@@ -99,11 +146,15 @@ let entry_for prog =
       Pibe_trace.Trace.span ~cat:"sched" "engine:compile" (fun () ->
           let cview = compile prog in
           let mem_len = prog.Program.globals_size in
-          { cprog = prog; cview; cclosures = Compile2.compile cview ~mem_len })
+          let cclosures =
+            if tiered then Compile2.compile_tiered cview ~mem_len
+            else Compile2.compile cview ~mem_len
+          in
+          { cprog = prog; ctiered = tiered; cspec = spec; cview; cclosures })
     in
     Mutex.lock compile_lock;
     let e, others =
-      match take_entry prog !cache with
+      match take_entry prog ~tiered ~spec !cache with
       | Some (e, others) -> (e, others)  (* another domain won the race *)
       | None -> (fresh, !cache)
     in
@@ -113,11 +164,18 @@ let entry_for prog =
 
 (* ------------------------ construction ------------------------- *)
 
-let create ?(config = default_config) ?backend prog =
+let create ?(config = default_config) ?backend ?tierup prog =
   let backend =
     match backend with Some b -> b | None -> Atomic.get default_backend_cell
   in
-  let entry = entry_for prog in
+  let tierup =
+    match tierup with Some n -> max 0 n | None -> Atomic.get default_tierup_cell
+  in
+  (* Only compiled engines tier up; [tierup = 0] pins the baseline
+     closure program (the --tierup 0 parity leg). *)
+  let tiered = backend = Compiled && tierup > 0 in
+  let spec = config.speculation <> None in
+  let entry = entry_for prog ~tiered ~spec in
   let compiled = entry.cview in
   let n = Array.length compiled.cby_id in
   {
@@ -138,6 +196,7 @@ let create ?(config = default_config) ?backend prog =
     tpht = Pht.create ();
     ticache = Icache.create ~capacity_bytes:config.icache_bytes;
     cfg = config;
+    fuel_cap = config.fuel;
     ctrs =
       {
         calls = 0;
@@ -152,6 +211,8 @@ let create ?(config = default_config) ?backend prog =
       };
     max_regs = compiled.cmax_regs;
     backend;
+    tier_threshold = (if tiered then tierup else 0);
+    tier_counts = (if tiered then Array.make n 0 else [||]);
     exec_entry =
       (match backend with
       | Interp -> Interp.entry
@@ -196,6 +257,17 @@ let call t name args =
 
 let speculation t = t.cfg.speculation
 let backend t = t.backend
+let tierup_threshold t = t.tier_threshold
+
+let entry_count t name =
+  if Array.length t.tier_counts = 0 then 0
+  else
+    match Hashtbl.find_opt t.funcs name with
+    | Some cf -> t.tier_counts.(cf.id)
+    | None -> 0
+
+let promoted t name =
+  t.tier_threshold > 0 && entry_count t name > t.tier_threshold
 
 let cycles t = t.cyc
 let reset_cycles t = t.cyc <- 0

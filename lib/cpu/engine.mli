@@ -24,23 +24,38 @@
       pre-specialized closure — operand kinds, binop selection, costs,
       resolved callee ids, PHT keys, indirect-call protection kinds and
       the speculation-off fast path are baked at closure construction,
-      so the hot loop does no constructor matching at all.
+      so the hot loop does no constructor matching at all.  Straight-line
+      runs of simple instructions are fused into segments with batched
+      fuel/cycle/counter accounting, and a {e profile-guided second
+      tier} extends that fusion across unconditional fallthrough edges:
+      function entries are counted per engine, and past the tier-up
+      threshold ([PIBE_TIERUP] / [--tierup N] / [create ?tierup]; [0]
+      disables) a function's hot single-predecessor [Jmp] chains run as
+      single superblock closures with one pre-summed cycle/step constant
+      — branch-predictor, RSB and i-cache state is only touched at
+      conditional branches, indirect transfers and call boundaries.
     - [Interp]: the reference tree-walking interpreter, kept as the
       executable semantics.
 
     The contract is bit-exactness: for any program, config and workload
-    the two backends produce identical cycles, counters, traces, memory,
-    speculation events and errors.  The golden fingerprints in
-    [test/test_measure.ml] and the differential suite in
-    [test/test_backend.ml] pin it.
+    the two backends — at {e every} tier-up setting — produce identical
+    cycles, counters, traces, memory, speculation events and errors, so
+    when (or whether) a function tiers up is unobservable except as
+    wall-clock speed.  The golden fingerprints in [test/test_measure.ml]
+    and the differential suite in [test/test_backend.ml] pin it; [make
+    parity] byte-diffs full bench output across interp, [--tierup 0] and
+    the tiered default.
 
-    Compilation output is cached in a small LRU keyed on {e physical}
-    program identity, so repeated [create] over a working set of
-    programs — attack drills, measurement cells, the online dual
-    replay's deployed/pristine alternation — compiles each program
-    exactly once.  Compile cost and cache traffic are visible as
-    ["sched"]-category [engine:compile] spans and
-    [compile-cache-hit]/[compile-cache-miss] trace counters.
+    Compilation output is cached in a small LRU keyed on ({e physical}
+    program identity x tier x speculation variant), so repeated [create]
+    over a working set of programs — attack drills, measurement cells,
+    the online dual replay's deployed/pristine alternation — compiles
+    each program exactly once per configuration, and tiered recompiles
+    never evict baseline entries.  Compile cost and cache traffic are
+    visible as ["sched"]-category [engine:compile] spans and
+    [compile-cache-hit]/[compile-cache-miss] trace counters; tier-2
+    lowering additionally emits [engine:tierup] spans with
+    [tierup-count], [fused-superblocks] and [segment-coverage] counters.
 
     The engine doubles as
     - the {e profiling binary}: [on_edge] observes every resolved call
@@ -65,6 +80,19 @@ val set_default_backend : backend -> unit
     flag of [pibe_cli] and the bench harness. *)
 
 val default_backend : unit -> backend
+
+val set_default_tierup : int -> unit
+(** Sets the process-wide tier-up threshold used by [create] when no
+    explicit [?tierup] is given: a function's entry count must exceed it
+    (per engine) before the function runs in the superblock-fused tier.
+    [0] disables tier-up entirely — the compiled backend then behaves
+    exactly like the pre-tier baseline.  Initially [1024] (high enough
+    that only engines with long-lived hot functions pay for fused
+    lowering), or the value of the [PIBE_TIERUP] environment variable;
+    wired to the [--tierup] flag of [pibe_cli] and the bench harness.
+    Clamped at 0. *)
+
+val default_tierup : unit -> int
 
 type edge_kind =
   | Edge_direct
@@ -127,17 +155,35 @@ type t
 exception Runtime_error of string
 exception Out_of_fuel
 
-val create : ?config:config -> ?backend:backend -> Program.t -> t
-(** [backend] defaults to {!default_backend}[ ()].  Both backends are
-    bit-exact against each other (see the parity contract above). *)
+val create : ?config:config -> ?backend:backend -> ?tierup:int -> Program.t -> t
+(** [backend] defaults to {!default_backend}[ ()]; [tierup] to
+    {!default_tierup}[ ()] and only affects the compiled backend.  All
+    backends and tier settings are bit-exact against each other (see the
+    parity contract above). *)
 
 val backend : t -> backend
 (** The backend this engine executes with. *)
 
+val tierup_threshold : t -> int
+(** This engine's tier-up threshold: entries of a function beyond this
+    count run the fused tier.  [0] means tier-up is off (interp engines,
+    [--tierup 0], or a non-compiled backend). *)
+
+val entry_count : t -> string -> int
+(** How many times this engine entered the function (tier-up profile
+    counter).  Counters are {e per engine}, so tier-up decisions are a
+    deterministic function of each engine's own workload regardless of
+    how many engines run in parallel.  [0] for unknown functions or when
+    tier-up is off. *)
+
+val promoted : t -> string -> bool
+(** Whether the function's entry count has crossed this engine's tier-up
+    threshold, i.e. further calls run the superblock-fused tier. *)
+
 val compile_cache_stats : unit -> int * int
 (** Process-wide [(hits, misses)] of the compile LRU since start — a hit
     means [create] reused a previously compiled program (physical
-    identity). *)
+    identity, same tier and speculation variant). *)
 
 val call : t -> string -> int list -> int option
 (** [call t fname args] runs the function to completion and returns its

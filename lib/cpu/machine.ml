@@ -149,9 +149,21 @@ type t = {
   tpht : Pht.t;
   ticache : Icache.t;
   cfg : config;
+  fuel_cap : int;
+      (* copy of [cfg.fuel], hoisted out of the nested record: the fuel
+         guard runs once per executed instruction in both backends, and
+         the flat field saves an indirection each time *)
   ctrs : counters;
   max_regs : int;
   backend : backend;
+  tier_threshold : int;
+      (* tier-up knob: entries of a function beyond this count run the
+         fused tier; 0 = tier-up disabled (baseline closures only) *)
+  tier_counts : int array;
+      (* per-function entry counters, by interned id; PER-ENGINE so
+         tier-up decisions are deterministic at any --jobs (the fused
+         closures themselves live in the shared compiled program).
+         Empty unless this engine runs the tiered compiled backend. *)
   mutable exec_entry : t -> cfunc -> int list -> int option;
       (* installed by [Engine.create]: the selected backend's entry path;
          builds the top-level frame from the argument list itself, so
@@ -329,7 +341,7 @@ let charge t c = t.cyc <- t.cyc + c
    instruction with the same cycles under either backend. *)
 let[@inline] step_fuel t =
   t.steps <- t.steps + 1;
-  if t.steps > t.cfg.fuel then raise Out_of_fuel
+  if t.steps > t.fuel_cap then raise Out_of_fuel
 
 let[@inline] bump_inst t =
   t.ctrs.insts <- t.ctrs.insts + 1;

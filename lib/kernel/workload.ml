@@ -12,8 +12,14 @@ type mix = {
   user_ratio : float;
 }
 
-let sc info eng name a0 a1 =
-  ignore (Engine.call eng info.Gen.entry [ Gen.nr info name; a0; a1 ])
+(* Resolve the entry point and syscall number once, at table-construction
+   time: replay loops issue one [sc] per simulated syscall, millions per
+   run, and the per-request name hash (plus its [find_opt] allocation)
+   was measurable.  The closures below close over the resolved [nr], so
+   the per-request work is exactly the engine call. *)
+let sc info name =
+  let entry = info.Gen.entry and nr = Gen.nr info name in
+  fun eng a0 a1 -> ignore (Engine.call eng entry [ nr; a0; a1 ])
 
 (* fd draws: Zipfian popularity within each fd class, so each dispatch
    table sees one dominant target plus a tail (paper Table 4). *)
@@ -27,60 +33,75 @@ let path_id rng = Rng.int rng 1_000_000
 
 let lmbench info =
   let op name run = { op_name = name; run } in
+  let null = sc info "null" and read = sc info "read" and write = sc info "write" in
+  let open_ = sc info "open" and stat = sc info "stat" and fstat = sc info "fstat" in
+  let send = sc info "send" and recv = sc info "recv" in
+  let fork = sc info "fork" and exec = sc info "exec" and exit_ = sc info "exit" in
+  let select = sc info "select" and connect = sc info "connect" in
+  let mmap = sc info "mmap" and page_fault = sc info "page_fault" in
+  let sig_install = sc info "sig_install" and sig_dispatch = sc info "sig_dispatch" in
   [
-    op "null" (fun eng rng -> sc info eng "null" (Rng.int rng 64) 0);
-    op "read" (fun eng rng -> sc info eng "read" (file_fd rng) (buf_len rng));
-    op "write" (fun eng rng -> sc info eng "write" (file_fd rng) (buf_len rng));
-    op "open" (fun eng rng -> sc info eng "open" (path_id rng) (Rng.int rng 8));
-    op "stat" (fun eng rng -> sc info eng "stat" (path_id rng) (Rng.int rng 64));
-    op "fstat" (fun eng rng -> sc info eng "fstat" (file_fd rng) 0);
+    op "null" (fun eng rng -> null eng (Rng.int rng 64) 0);
+    op "read" (fun eng rng -> read eng (file_fd rng) (buf_len rng));
+    op "write" (fun eng rng -> write eng (file_fd rng) (buf_len rng));
+    op "open" (fun eng rng -> open_ eng (path_id rng) (Rng.int rng 8));
+    op "stat" (fun eng rng -> stat eng (path_id rng) (Rng.int rng 64));
+    op "fstat" (fun eng rng -> fstat eng (file_fd rng) 0);
     op "af_unix" (fun eng rng ->
         let fd = unix_fd rng in
-        sc info eng "send" fd (buf_len rng);
-        sc info eng "recv" fd (buf_len rng));
+        send eng fd (buf_len rng);
+        recv eng fd (buf_len rng));
     op "fork/exit" (fun eng rng ->
-        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
-        sc info eng "exit" 0 0);
+        fork eng (Rng.int rng 256) (Rng.int rng 4096);
+        exit_ eng 0 0);
     op "fork/exec" (fun eng rng ->
-        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
-        sc info eng "exec" (path_id rng) (Rng.int rng 16);
-        sc info eng "exit" 0 0);
+        fork eng (Rng.int rng 256) (Rng.int rng 4096);
+        exec eng (path_id rng) (Rng.int rng 16);
+        exit_ eng 0 0);
     op "fork/shell" (fun eng rng ->
-        sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
-        sc info eng "exec" (path_id rng) (Rng.int rng 16);
-        sc info eng "open" (path_id rng) 0;
-        sc info eng "stat" (path_id rng) 0;
+        fork eng (Rng.int rng 256) (Rng.int rng 4096);
+        exec eng (path_id rng) (Rng.int rng 16);
+        open_ eng (path_id rng) 0;
+        stat eng (path_id rng) 0;
         for _ = 1 to 4 do
-          sc info eng "read" (file_fd rng) (buf_len rng)
+          read eng (file_fd rng) (buf_len rng)
         done;
-        sc info eng "write" (file_fd rng) (buf_len rng);
-        sc info eng "exit" 0 0);
+        write eng (file_fd rng) (buf_len rng);
+        exit_ eng 0 0);
     op "pipe" (fun eng rng ->
         let fd = pipe_fd rng in
-        sc info eng "write" fd (buf_len rng);
-        sc info eng "read" fd (buf_len rng));
-    op "select_file" (fun eng _rng -> sc info eng "select" 0 32);
-    op "select_tcp" (fun eng _rng -> sc info eng "select" 80 40);
-    op "tcp_conn" (fun eng rng -> sc info eng "connect" (tcp_fd rng) (path_id rng));
+        write eng fd (buf_len rng);
+        read eng fd (buf_len rng));
+    op "select_file" (fun eng _rng -> select eng 0 32);
+    op "select_tcp" (fun eng _rng -> select eng 80 40);
+    op "tcp_conn" (fun eng rng -> connect eng (tcp_fd rng) (path_id rng));
     op "udp" (fun eng rng ->
         let fd = udp_fd rng in
-        sc info eng "send" fd (buf_len rng);
-        sc info eng "recv" fd (buf_len rng));
+        send eng fd (buf_len rng);
+        recv eng fd (buf_len rng));
     op "tcp" (fun eng rng ->
         let fd = tcp_fd rng in
-        sc info eng "send" fd (buf_len rng);
-        sc info eng "recv" fd (buf_len rng));
-    op "mmap" (fun eng rng -> sc info eng "mmap" (Rng.int rng 65536) 4096);
-    op "page_fault" (fun eng rng -> sc info eng "page_fault" (Rng.int rng 65536) 2);
+        send eng fd (buf_len rng);
+        recv eng fd (buf_len rng));
+    op "mmap" (fun eng rng -> mmap eng (Rng.int rng 65536) 4096);
+    op "page_fault" (fun eng rng -> page_fault eng (Rng.int rng 65536) 2);
     op "sig_install" (fun eng rng ->
-        sc info eng "sig_install" (Rng.int rng 16) (Rng.int rng 4));
-    op "sig_dispatch" (fun eng rng -> sc info eng "sig_dispatch" (Rng.int rng 16) 1);
+        sig_install eng (Rng.int rng 16) (Rng.int rng 4));
+    op "sig_dispatch" (fun eng rng -> sig_dispatch eng (Rng.int rng 16) 1);
   ]
 
 let lmbench_op info name =
   List.find (fun o -> String.equal o.op_name name) (lmbench info)
 
 let apache info =
+  let select = sc info "select" and accept = sc info "accept" in
+  let recv = sc info "recv" and send = sc info "send" in
+  let stat = sc info "stat" and open_ = sc info "open" in
+  let read = sc info "read" and write = sc info "write" in
+  let mmap = sc info "mmap" and page_fault = sc info "page_fault" in
+  let sig_dispatch = sc info "sig_dispatch" and fstat = sc info "fstat" in
+  let fork = sc info "fork" and exec = sc info "exec" and exit_ = sc info "exit" in
+  let yield = sc info "yield" in
   {
     mix_name = "Apache";
     user_ratio = 1.30;
@@ -88,47 +109,49 @@ let apache info =
       (fun eng rng ->
         let conn = tcp_fd rng in
         (* the MPM event loop polls its listeners before accepting *)
-        sc info eng "select" 80 16;
-        sc info eng "accept" conn 0;
-        sc info eng "recv" conn (buf_len rng);
-        sc info eng "stat" (path_id rng) 0;
-        sc info eng "open" (path_id rng) 0;
-        sc info eng "read" (file_fd rng) (buf_len rng);
-        sc info eng "read" (file_fd rng) (buf_len rng);
-        sc info eng "send" conn (buf_len rng);
-        sc info eng "send" conn (buf_len rng);
+        select eng 80 16;
+        accept eng conn 0;
+        recv eng conn (buf_len rng);
+        stat eng (path_id rng) 0;
+        open_ eng (path_id rng) 0;
+        read eng (file_fd rng) (buf_len rng);
+        read eng (file_fd rng) (buf_len rng);
+        send eng conn (buf_len rng);
+        send eng conn (buf_len rng);
         (* mapped I/O, the occasional fault, signal delivery, and worker
            management show up across requests *)
-        if Rng.int rng 8 = 0 then sc info eng "mmap" (Rng.int rng 65536) 4096;
-        if Rng.int rng 4 = 0 then sc info eng "page_fault" (Rng.int rng 65536) 2;
-        if Rng.int rng 8 = 0 then sc info eng "sig_dispatch" (Rng.int rng 16) 0;
+        if Rng.int rng 8 = 0 then mmap eng (Rng.int rng 65536) 4096;
+        if Rng.int rng 4 = 0 then page_fault eng (Rng.int rng 65536) 2;
+        if Rng.int rng 8 = 0 then sig_dispatch eng (Rng.int rng 16) 0;
         if Rng.int rng 32 = 0 then begin
-          sc info eng "fork" (Rng.int rng 256) (Rng.int rng 4096);
-          sc info eng "exec" (path_id rng) 1;
-          sc info eng "exit" 0 0
+          fork eng (Rng.int rng 256) (Rng.int rng 4096);
+          exec eng (path_id rng) 1;
+          exit_ eng 0 0
         end;
         if Rng.int rng 16 = 0 then begin
           let fd = pipe_fd rng in
-          sc info eng "write" fd (buf_len rng);
-          sc info eng "read" fd (buf_len rng)
+          write eng fd (buf_len rng);
+          read eng fd (buf_len rng)
         end;
-        if Rng.int rng 16 = 0 then sc info eng "fstat" (file_fd rng) 0;
-        sc info eng "yield" 0 0);
+        if Rng.int rng 16 = 0 then fstat eng (file_fd rng) 0;
+        yield eng 0 0);
   }
 
 let nginx info =
+  let accept = sc info "accept" and recv = sc info "recv" in
+  let stat = sc info "stat" and read = sc info "read" and send = sc info "send" in
   {
     mix_name = "Nginx";
     user_ratio = 0.39;
     request =
       (fun eng rng ->
         let conn = tcp_fd rng in
-        sc info eng "accept" conn 0;
-        sc info eng "recv" conn (buf_len rng);
-        sc info eng "stat" (path_id rng) 0;
-        sc info eng "read" (file_fd rng) (buf_len rng);
-        sc info eng "send" conn (buf_len rng);
-        sc info eng "send" conn (buf_len rng));
+        accept eng conn 0;
+        recv eng conn (buf_len rng);
+        stat eng (path_id rng) 0;
+        read eng (file_fd rng) (buf_len rng);
+        send eng conn (buf_len rng);
+        send eng conn (buf_len rng));
   }
 
 type phase = {
@@ -146,19 +169,21 @@ let lmbench_phase info =
   }
 
 let dbench info =
+  let open_ = sc info "open" and read = sc info "read" and write = sc info "write" in
+  let stat = sc info "stat" and fsync = sc info "fsync" and yield = sc info "yield" in
   {
     mix_name = "DBench";
     user_ratio = 0.64;
     request =
       (fun eng rng ->
-        sc info eng "open" (path_id rng) 0;
-        sc info eng "read" (file_fd rng) (buf_len rng);
-        sc info eng "read" (file_fd rng) (buf_len rng);
-        sc info eng "write" (file_fd rng) (buf_len rng);
-        sc info eng "write" (file_fd rng) (buf_len rng);
-        sc info eng "stat" (path_id rng) 0;
-        sc info eng "fsync" (file_fd rng) 0;
-        sc info eng "yield" 0 0);
+        open_ eng (path_id rng) 0;
+        read eng (file_fd rng) (buf_len rng);
+        read eng (file_fd rng) (buf_len rng);
+        write eng (file_fd rng) (buf_len rng);
+        write eng (file_fd rng) (buf_len rng);
+        stat eng (path_id rng) 0;
+        fsync eng (file_fd rng) 0;
+        yield eng 0 0);
   }
 
 (* The canonical drifting deployment: a microbenchmark phase, then a web

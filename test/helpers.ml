@@ -80,6 +80,102 @@ let random_func rng prog ~name ~callees ~n_fptrs =
     blocks;
   (!prog, Builder.finish b ())
 
+(* Chain-biased generator: functions whose CFGs are long runs of
+   single-predecessor blocks linked by unconditional jumps — exactly the
+   shape tier-2 superblock fusion targets.  Occasional conditional
+   branches, skip edges and duplicated-target [Br]s break some chains
+   mid-way, so the head/interior analysis sees merges and non-[Jmp]
+   single-predecessor edges too; occasional calls split fused segments;
+   and a rare dynamically out-of-bounds load plants a fault in the
+   middle of a fused segment. *)
+let random_chain_func rng prog ~name ~callees =
+  let params = 1 + Rng.int rng 2 in
+  let b = Builder.create ~name ~params in
+  let len = 4 + Rng.int rng 10 in
+  let blocks = Array.of_list (0 :: List.init (len - 1) (fun _ -> Builder.new_block b)) in
+  let prog = ref prog in
+  let vals = ref (List.init params (fun i -> i)) in
+  let operand rng =
+    if !vals <> [] && Rng.bool rng then Reg (Rng.choose rng (Array.of_list !vals))
+    else Imm (Rng.int rng 100)
+  in
+  Array.iteri
+    (fun bi label ->
+      Builder.switch_to b label;
+      let n_insts = 1 + Rng.int rng 4 in
+      for _ = 1 to n_insts do
+        match Rng.int rng 12 with
+        | 0 -> Builder.store b ~addr:(Imm (16 + Rng.int rng 16)) ~value:(operand rng)
+        | 1 ->
+          let r = Builder.reg b in
+          Builder.assign b r (Load (Imm (Rng.int rng mem_cells)));
+          vals := r :: !vals
+        | 2 -> Builder.observe b (operand rng)
+        | 3 when callees <> [] ->
+          let callee = Rng.choose rng (Array.of_list callees) in
+          let r = Builder.reg b in
+          let p, site = Program.fresh_site !prog in
+          prog := p;
+          Builder.call b ~dst:r site callee [ operand rng; operand rng ];
+          vals := r :: !vals
+        | 4 ->
+          (* dynamically out-of-bounds address: a fault mid-segment must
+             roll the batched accounting back bit-exactly *)
+          let a = Builder.reg b in
+          Builder.assign b a (Const (mem_cells + 100 + Rng.int rng 50));
+          if Rng.int rng 4 = 0 then begin
+            let r = Builder.reg b in
+            Builder.assign b r (Load (Reg a));
+            vals := r :: !vals
+          end
+        | _ ->
+          let r = Builder.reg b in
+          let op = Rng.choose rng [| Add; Sub; Mul; Xor; And; Or |] in
+          Builder.assign b r (Binop (op, operand rng, operand rng));
+          vals := r :: !vals
+      done;
+      if bi = Array.length blocks - 1 then
+        Builder.ret b (if Rng.bool rng then Some (operand rng) else None)
+      else
+        let next = blocks.(bi + 1) in
+        match Rng.int rng 8 with
+        | 0 ->
+          (* both arms hit the next block: two predecessors, chain broken *)
+          Builder.br b (operand rng) next next
+        | 1 when bi + 2 < Array.length blocks ->
+          (* skip edge: next keeps one pred but merges further down *)
+          Builder.br b (operand rng) next blocks.(bi + 2)
+        | 2 -> Builder.ret b (Some (operand rng))
+        | _ -> Builder.jmp b next)
+    blocks;
+  (!prog, Builder.finish b ())
+
+(* [random_chain_program seed]: a few chain-heavy functions in a call
+   DAG, validated like [random_program]. *)
+let random_chain_program seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 3 in
+  let names = List.init n (fun i -> Printf.sprintf "f%d" i) in
+  let prog = ref (Program.with_globals_size Program.empty mem_cells) in
+  let rec build i =
+    if i < 0 then ()
+    else begin
+      let callees = List.filteri (fun j _ -> j > i) names in
+      let p, f = random_chain_func rng !prog ~name:(List.nth names i) ~callees in
+      prog := Program.add_func p f;
+      build (i - 1)
+    end
+  in
+  build (n - 1);
+  let p = !prog in
+  (match Validate.check_program p with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "random_chain_program %d invalid: %s" seed
+         (String.concat "; " (List.map (fun e -> e.Validate.what) errs))));
+  p
+
 (* [random_program seed] builds a small valid program: a DAG of functions
    (later names callable from earlier ones), a fptr table over the leafier
    half, and memory cells 0-7 holding valid fptr indices. *)

@@ -44,10 +44,13 @@ let counters_list (c : Engine.counters) =
 
 (* [mkconfig] builds a fresh config (plus its drill state, if any) per
    run, so stateful hooks and speculation state never leak between the
-   two backends under comparison. *)
-let run_with ~backend ~mkconfig prog calls =
+   two backends under comparison.  [tierup] pins the compiled backend's
+   tier-up threshold per engine — the suite's standard workloads make
+   only a handful of calls, so exercising the fused tier needs low
+   explicit thresholds. *)
+let run_with ?tierup ~backend ~mkconfig prog calls =
   let config, spec = mkconfig () in
-  let engine = Engine.create ~config ~backend prog in
+  let engine = Engine.create ~config ~backend ?tierup prog in
   let outcomes =
     List.map
       (fun (entry, args) ->
@@ -68,9 +71,9 @@ let run_with ~backend ~mkconfig prog calls =
     spec_events = (match spec with None -> [] | Some s -> Speculation.events s);
   }
 
-let agree ~mkconfig prog calls =
+let agree ?tierup ~mkconfig prog calls =
   run_with ~backend:Engine.Interp ~mkconfig prog calls
-  = run_with ~backend:Engine.Compiled ~mkconfig prog calls
+  = run_with ?tierup ~backend:Engine.Compiled ~mkconfig prog calls
 
 (* ------------------------------------------------------------------ *)
 (* Configuration axes                                                  *)
@@ -142,6 +145,127 @@ let differential name mkconfig =
     (fun seed ->
       let prog = Helpers.random_program seed in
       agree ~mkconfig prog (Helpers.standard_calls prog))
+
+(* ------------------------------------------------------------------ *)
+(* Tier-2 superblock fusion                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Chain-biased programs at a threshold of 1: the first call runs tier 1,
+   every later call the fused tier, so each run compares BOTH tiers
+   against the interpreter — including the planted mid-segment faulting
+   loads of the generator. *)
+let differential_chain name tierup mkconfig =
+  QCheck.Test.make ~count:60 ~name
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_chain_program seed in
+      agree ~tierup ~mkconfig prog (Helpers.standard_calls prog))
+
+(* Fuel budgets swept per seed around the size of one superblock: both
+   backends must die out-of-fuel at the same step even when the budget
+   runs dry in the middle of a fused segment or exactly at a chain
+   seam. *)
+let differential_chain_starved =
+  QCheck.Test.make ~count:80 ~name:"superblock out-of-fuel agrees at every seam"
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_chain_program seed in
+      let mkconfig () =
+        ( {
+            Engine.default_config with
+            Engine.record_trace = true;
+            fuel = 5 + (seed mod 97);
+          },
+          None )
+      in
+      agree ~tierup:1 ~mkconfig prog (Helpers.standard_calls prog))
+
+(* The two compiled configurations must also agree with each other at
+   any pair of thresholds — tier-up must be invisible, not just
+   interp-equivalent. *)
+let differential_tier_settings =
+  QCheck.Test.make ~count:40 ~name:"tier thresholds mutually bit-exact"
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_chain_program seed in
+      let calls = Helpers.standard_calls prog in
+      let snap tierup =
+        run_with ~tierup ~backend:Engine.Compiled ~mkconfig:base prog calls
+      in
+      let s0 = snap 0 in
+      s0 = snap 1 && s0 = snap 2 && s0 = snap 1_000_000)
+
+(* A deterministic fault in the middle of a fused run: the load's address
+   register goes out of bounds only for the poisoned argument, after the
+   chain is already promoted — the rolled-back batch accounting must
+   leave exactly the interpreter's partial state. *)
+let test_fault_mid_superblock () =
+  let open Types in
+  let b = Builder.create ~name:"f0" ~params:1 in
+  let blocks = Array.init 4 (fun i -> if i = 0 then 0 else Builder.new_block b) in
+  let addr = Builder.reg b in
+  Array.iteri
+    (fun i label ->
+      Builder.switch_to b label;
+      let r1 = Builder.reg b in
+      Builder.assign b r1 (Binop (Add, Reg 0, Imm (i * 3)));
+      if i = 2 then begin
+        (* in-bounds for arg 0, far out of bounds for arg 9999 *)
+        Builder.assign b addr (Binop (Mul, Reg 0, Imm 7));
+        let r2 = Builder.reg b in
+        Builder.assign b r2 (Load (Reg addr));
+        Builder.observe b (Reg r2)
+      end;
+      Builder.store b ~addr:(Imm (16 + i)) ~value:(Reg r1);
+      if i = Array.length blocks - 1 then Builder.ret b (Some (Reg r1))
+      else Builder.jmp b blocks.(i + 1))
+    blocks;
+  let prog =
+    Program.add_func
+      (Program.with_globals_size Program.empty Helpers.mem_cells)
+      (Builder.finish b ())
+  in
+  let calls =
+    [ ("f0", [ 1 ]); ("f0", [ 2 ]); ("f0", [ 3 ]); ("f0", [ 9999 ]); ("f0", [ 4 ]) ]
+  in
+  Alcotest.(check bool)
+    "fault mid-superblock rolls back bit-exactly" true
+    (agree ~tierup:1 ~mkconfig:base prog calls
+    && agree ~tierup:2 ~mkconfig:base prog calls)
+
+(* Tier-up decisions are per-engine counters, so they cannot depend on
+   how many other engines run concurrently: N domains each driving a
+   private engine over the same workload must reach identical snapshots,
+   entry counts and promotion decisions as a sequential engine. *)
+let test_tierup_deterministic_across_jobs () =
+  let prog = Helpers.random_chain_program 321_123 in
+  let calls = Helpers.standard_calls prog in
+  let profile () =
+    let snap = run_with ~tierup:2 ~backend:Engine.Compiled ~mkconfig:base prog calls in
+    let engine = Engine.create ~tierup:2 prog in
+    List.iter
+      (fun (entry, args) ->
+        match Engine.call engine entry args with
+        | _ -> ()
+        | exception (Engine.Runtime_error _ | Engine.Out_of_fuel) -> ())
+      calls;
+    let counts =
+      List.map
+        (fun name ->
+          (name, Engine.entry_count engine name, Engine.promoted engine name))
+        (Program.layout_order prog)
+    in
+    (snap, counts)
+  in
+  let sequential = profile () in
+  let domains = List.init 4 (fun _ -> Domain.spawn profile) in
+  List.iteri
+    (fun i d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d matches sequential tier-up profile" i)
+        true
+        (Domain.join d = sequential))
+    domains
 
 (* Wild indirect calls: corrupt the fptr-index cells so icalls resolve
    out of table (or to a huge index) — both backends must raise the same
@@ -221,6 +345,82 @@ let test_trace_compile_events () =
   Alcotest.(check bool) "compile-cache-hit counter" true
     (sched "compile-cache-hit" Trace.Counter)
 
+(* The cache is keyed on (physical program x tier x speculation
+   variant): interleaved creates at two tier settings must each compile
+   once — a tiered recompile can never evict (or be served by) the
+   baseline entry. *)
+let test_lru_tier_keying () =
+  let p = Helpers.random_chain_program 424_203 in
+  let h0, m0 = Engine.compile_cache_stats () in
+  for _ = 1 to 4 do
+    ignore (Engine.create ~tierup:0 p);
+    ignore (Engine.create ~tierup:8 p)
+  done;
+  let h1, m1 = Engine.compile_cache_stats () in
+  Alcotest.(check int) "one compile per tier setting" 2 (m1 - m0);
+  Alcotest.(check int) "remaining creates were cache hits" 6 (h1 - h0);
+  (* different non-zero thresholds share the tiered closure program:
+     the threshold lives in the engine, not the compiled artifact *)
+  let h2, m2 = Engine.compile_cache_stats () in
+  ignore (Engine.create ~tierup:50 p);
+  let h3, m3 = Engine.compile_cache_stats () in
+  Alcotest.(check int) "tiered entry shared across thresholds" 0 (m3 - m2);
+  Alcotest.(check int) "threshold change is a cache hit" 1 (h3 - h2)
+
+(* Tier-up observability: promotion emits an engine:tierup span around
+   the fused lowering, a tierup-count sample at the crossing, and
+   fused-superblocks / segment-coverage counters (all "sched" category,
+   stripped from canonical traces, rendered by every sink). *)
+let test_trace_tierup_events () =
+  let p = Helpers.random_chain_program 777_002 in
+  Trace.start ();
+  let engine = Engine.create ~tierup:1 p in
+  List.iter
+    (fun (entry, args) -> ignore (Engine.call engine entry args))
+    (Helpers.standard_calls p);
+  let events = Trace.stop () in
+  let sched name ph =
+    List.exists
+      (fun (e : Trace.event) ->
+        String.equal e.Trace.cat "sched" && String.equal e.Trace.name name
+        && e.Trace.ph = ph)
+      events
+  in
+  Alcotest.(check bool) "engine:tierup span opened" true
+    (sched "engine:tierup" Trace.Begin);
+  Alcotest.(check bool) "engine:tierup span closed" true
+    (sched "engine:tierup" Trace.End);
+  Alcotest.(check bool) "tierup-count counter" true
+    (sched "tierup-count" Trace.Counter);
+  Alcotest.(check bool) "fused-superblocks counter" true
+    (sched "fused-superblocks" Trace.Counter);
+  Alcotest.(check bool) "segment-coverage counter" true
+    (sched "segment-coverage" Trace.Counter)
+
+(* The tier-up profile accessors: per-engine entry counts and promotion
+   state, and their off states on interp / --tierup 0 engines. *)
+let test_tierup_accessors () =
+  let p = Helpers.random_chain_program 555_001 in
+  let tiered = Engine.create ~tierup:2 p in
+  let baseline = Engine.create ~tierup:0 p in
+  let interp = Engine.create ~backend:Engine.Interp p in
+  List.iter
+    (fun (entry, args) ->
+      ignore (Engine.call tiered entry args);
+      ignore (Engine.call baseline entry args);
+      ignore (Engine.call interp entry args))
+    (Helpers.standard_calls p);
+  Alcotest.(check int) "threshold visible" 2 (Engine.tierup_threshold tiered);
+  Alcotest.(check int) "tierup 0 means off" 0 (Engine.tierup_threshold baseline);
+  Alcotest.(check int) "interp never counts" 0 (Engine.entry_count interp "f0");
+  Alcotest.(check int) "five top-level entries counted" 5
+    (Engine.entry_count tiered "f0");
+  Alcotest.(check bool) "promoted past threshold" true (Engine.promoted tiered "f0");
+  Alcotest.(check bool) "baseline never promotes" false
+    (Engine.promoted baseline "f0");
+  Alcotest.(check int) "unknown functions count zero" 0
+    (Engine.entry_count tiered "nosuch")
+
 (* ------------------------------------------------------------------ *)
 (* Backend selection plumbing                                          *)
 (* ------------------------------------------------------------------ *)
@@ -249,10 +449,28 @@ let suite =
     Helpers.qcheck_to_alcotest (differential "speculation drills agree" drilled);
     Helpers.qcheck_to_alcotest (differential "out-of-fuel agrees" starved);
     Helpers.qcheck_to_alcotest differential_wild;
+    Helpers.qcheck_to_alcotest
+      (differential_chain "superblock chains agree (tierup 1)" 1 base);
+    Helpers.qcheck_to_alcotest
+      (differential_chain "superblock chains agree hardened (tierup 1)" 1 hardened);
+    Helpers.qcheck_to_alcotest
+      (differential_chain "superblock chains agree drilled (tierup 1)" 1 drilled);
+    Helpers.qcheck_to_alcotest
+      (differential_chain "superblock chains agree (tierup 2)" 2 base);
+    Helpers.qcheck_to_alcotest differential_chain_starved;
+    Helpers.qcheck_to_alcotest differential_tier_settings;
+    Alcotest.test_case "fault mid-superblock rolls back" `Quick
+      test_fault_mid_superblock;
+    Alcotest.test_case "tier-up deterministic across domains" `Quick
+      test_tierup_deterministic_across_jobs;
     Alcotest.test_case "kernel attack drills agree" `Quick test_attack_drills;
     Alcotest.test_case "interleaved programs compile once" `Quick
       test_interleaved_compile_once;
+    Alcotest.test_case "compile cache keyed per tier" `Quick test_lru_tier_keying;
     Alcotest.test_case "compile spans and cache counters traced" `Quick
       test_trace_compile_events;
+    Alcotest.test_case "tierup spans and counters traced" `Quick
+      test_trace_tierup_events;
+    Alcotest.test_case "tier-up profile accessors" `Quick test_tierup_accessors;
     Alcotest.test_case "backend selection and names" `Quick test_backend_selection;
   ]

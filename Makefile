@@ -1,4 +1,4 @@
-.PHONY: all build test check docs bench bench-smoke parity clean
+.PHONY: all build test check docs bench bench-smoke bench-smoke-fleet parity clean
 
 all: build
 
@@ -21,6 +21,7 @@ check:
 	  --passes "icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline,ret-retpoline" \
 	  --verify --trace _smoke_trace.json --trace-format chrome
 	dune exec bin/pibe_cli.exe -- online --scale 1 --windows 1 --requests 30
+	$(MAKE) bench-smoke-fleet
 	$(MAKE) parity
 
 # Cross-backend parity smoke: the bench-smoke workload once per
@@ -66,7 +67,22 @@ bench-smoke:
 	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
 	  --trace _bench_smoke_trace.json
 
+# Fleet smoke (part of `check`): a small fleet (6 instances, 2 domains)
+# through the sharded aggregator and the staged canary rollout, run
+# twice — parallel and sequential — with the outputs diffed
+# byte-for-byte, so the jobs-invariance contract of lib/online/fleet.ml
+# is enforced on every PR.
+bench-smoke-fleet:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --quick --fleet --jobs 2 \
+	  | sed '/^\[bench harness finished/d' > _fleet_smoke_j2.txt
+	dune exec bench/main.exe -- --quick --fleet --jobs 1 \
+	  | sed '/^\[bench harness finished/d' > _fleet_smoke_j1.txt
+	cmp _fleet_smoke_j1.txt _fleet_smoke_j2.txt
+	@echo "fleet smoke: sequential and parallel outputs are byte-identical"
+
 clean:
 	dune clean
 	rm -f _smoke_trace.json _bench_smoke_trace.json
 	rm -f _parity_compiled.txt _parity_tier0.txt _parity_interp.txt
+	rm -f _fleet_smoke_j1.txt _fleet_smoke_j2.txt

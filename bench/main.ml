@@ -6,7 +6,7 @@
      bench/main.exe                 regenerate everything (paper order)
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
                                     --security, --ablation, --passes,
-                                    --online, --listings)
+                                    --online, --fleet, --listings)
      bench/main.exe --quick         small kernel / fast settings
      bench/main.exe --jobs N        build/measure independent cells on up
                                     to N domains (1 = fully sequential;
@@ -118,6 +118,9 @@ let parse_args () =
       go rest
     | "--online" :: rest ->
       selected := "online" :: !selected;
+      go rest
+    | "--fleet" :: rest ->
+      selected := "fleet" :: !selected;
       go rest
     | "--listings" :: rest ->
       selected := "listings" :: !selected;

@@ -6,6 +6,7 @@
      experiment     regenerate one paper table/figure (or list them)
      attack         run the transient-attack drills against one image
      online         simulate the continuous-profiling deployment loop
+     fleet          simulate N instances with sharded aggregation + canary rollout
      passes         list the registered pipeline passes and their options
      dump-ir        print a generated function (or the whole program)
 
@@ -482,6 +483,43 @@ let online seed scale quick jobs windows requests window decay threshold hystere
       prerr_endline msg;
       1
 
+(* Simulate the fleet deployment: N instances with heterogeneous drifting
+   mixes, sharded profile aggregation, staged canary rollout. *)
+let fleet seed scale quick jobs instances windows requests window decay threshold
+    hysteresis max_reopts canary tolerance engine tierup trace trace_format =
+  with_engine engine @@ fun () ->
+  with_tierup tierup @@ fun () ->
+  with_trace trace trace_format @@ fun () ->
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
+  let env =
+    if quick then Pibe.Env.quick ~jobs () else Pibe.Env.create ~scale ~seed ~jobs ()
+  in
+  let base = (Pibe.Exp_fleet.default_params ~quick).Pibe.Exp_fleet.fleet in
+  let cfg =
+    {
+      base with
+      Pibe_online.Fleet.instances =
+        Option.value instances ~default:base.Pibe_online.Fleet.instances;
+      windows = Option.value windows ~default:base.Pibe_online.Fleet.windows;
+      requests_per_window =
+        Option.value requests ~default:base.Pibe_online.Fleet.requests_per_window;
+      store_window = window;
+      decay;
+      drift_threshold = threshold;
+      hysteresis;
+      max_reopts;
+      canary_windows = canary;
+      promote_tolerance_pct = tolerance;
+    }
+  in
+  match Pibe.Exp_fleet.run_with { Pibe.Exp_fleet.fleet = cfg } env with
+  | tables ->
+    List.iter Pibe_util.Tbl.print tables;
+    0
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    1
+
 (* List every registered pipeline pass with its typed options and live
    defaults — the --help form of the spec grammar. *)
 let passes_list () =
@@ -675,6 +713,104 @@ let online_cmd =
       $ requests_arg $ window_arg $ decay_arg $ threshold_arg $ hysteresis_arg
       $ max_reopts_arg $ engine_arg $ tierup_arg $ trace_arg $ trace_format_arg)
 
+let fleet_cmd =
+  let d = Pibe_online.Fleet.default_config in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small kernel / fast measurement settings.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Replay instance-windows on up to $(docv) domains (1 = sequential, \
+             0 = one per core). Output is byte-identical at any job count.")
+  in
+  let instances_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Fleet size; instance 0 is the canary (default 16; 6 with --quick).")
+  in
+  let windows_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "windows" ] ~docv:"N"
+          ~doc:"Fleet windows simulated (default 9; 6 with --quick).")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests per instance per window (default 60; 30 with --quick).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Fleet.store_window
+      & info [ "window" ] ~docv:"N" ~doc:"Per-instance shard ring size (snapshots kept).")
+  in
+  let decay_arg =
+    Arg.(
+      value
+      & opt float d.Pibe_online.Fleet.decay
+      & info [ "decay" ] ~docv:"F"
+          ~doc:"Per-window exponential decay of older snapshots, in (0, 1].")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float d.Pibe_online.Fleet.drift_threshold
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:"Drift distance (on the fleet aggregate) above which a window is suspect.")
+  in
+  let hysteresis_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Fleet.hysteresis
+      & info [ "hysteresis" ] ~docv:"N"
+          ~doc:"Consecutive suspect windows before a canary rollout fires.")
+  in
+  let max_reopts_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Fleet.max_reopts
+      & info [ "max-reopts" ] ~docv:"N"
+          ~doc:"Shared re-optimization budget for the whole fleet.")
+  in
+  let canary_arg =
+    Arg.(
+      value
+      & opt int d.Pibe_online.Fleet.canary_windows
+      & info [ "canary-windows" ] ~docv:"N"
+          ~doc:
+            "Evaluation windows on the canary instance before the promote/reject \
+             decision (0 = promote fleet-wide immediately).")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt float d.Pibe_online.Fleet.promote_tolerance_pct
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Promote only if the canary's cycles are within $(docv)%% of its \
+             old-image counterfactual (negative forces rejection).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate fleet-scale online optimization (N instances, sharded profile \
+          aggregation, staged canary rollout)")
+    Term.(
+      const fleet $ seed_arg $ scale_arg $ quick_arg $ jobs_arg $ instances_arg
+      $ windows_arg $ requests_arg $ window_arg $ decay_arg $ threshold_arg
+      $ hysteresis_arg $ max_reopts_arg $ canary_arg $ tolerance_arg $ engine_arg
+      $ tierup_arg $ trace_arg $ trace_format_arg)
+
 let passes_cmd =
   Cmd.v
     (Cmd.info "passes" ~doc:"List the registered pipeline passes, options and defaults")
@@ -702,6 +838,7 @@ let () =
             experiment_cmd;
             attack_cmd;
             online_cmd;
+            fleet_cmd;
             passes_cmd;
             dump_ir_cmd;
             trace_cmd;

@@ -1,0 +1,199 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Workload = Pibe_kernel.Workload
+module Fleet = Pibe_online.Fleet
+
+type params = {
+  fleet : Fleet.config;
+}
+
+(* Three phases over the window budget: with jittered per-instance
+   boundaries and hysteresis 2 the aggregate fires shortly after each
+   macro transition, leaving room for one canary evaluation window and a
+   few post-promotion windows to amortize the fleet-wide patch. *)
+let default_params ~quick =
+  if quick then
+    {
+      fleet =
+        {
+          Fleet.default_config with
+          Fleet.instances = 6;
+          windows = 6;
+          requests_per_window = 30;
+        };
+    }
+  else
+    {
+      fleet =
+        {
+          Fleet.default_config with
+          Fleet.instances = 16;
+          windows = 9;
+          requests_per_window = 60;
+        };
+    }
+
+type variant = {
+  v_name : string;
+  v_spec : Pibe_pm.Spec.t;
+  v_training : Pibe_profile.Profile.t;
+  v_adaptive : bool;
+}
+
+let per_instance_cost (o : Fleet.outcome) =
+  List.map
+    (fun (r : Fleet.instance_record) ->
+      float_of_int (r.Fleet.inst_cycles + r.Fleet.inst_patch_cycles))
+    o.Fleet.instances
+
+let run_with params env =
+  let info = Env.info env in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let phases = Workload.standard_phases info in
+  let spec = Pipeline.spec_of_config (Exp_common.best_config Exp_common.all_defenses) in
+  let lto_spec = Pipeline.spec_of_config Config.lto in
+  let stale = Env.lmbench_profile env in
+  let variants =
+    [
+      { v_name = "LTO baseline"; v_spec = lto_spec; v_training = stale; v_adaptive = false };
+      { v_name = "static-stale"; v_spec = spec; v_training = stale; v_adaptive = false };
+      { v_name = "fleet-adaptive"; v_spec = spec; v_training = stale; v_adaptive = true };
+    ]
+  in
+  (* Variants run sequentially; the parallelism is inside each fleet run,
+     across instance-windows on the environment's pool. *)
+  let outcomes =
+    List.map
+      (fun v ->
+        match
+          Fleet.run ~config:params.fleet ~verify:(Env.verify env) ~pool:(Env.pool env)
+            ~adaptive:v.v_adaptive ~prog ~spec:v.v_spec ~training:v.v_training ~phases ()
+        with
+        | Ok o ->
+          (match o.Fleet.aborted with
+          | Some e -> invalid_arg (Printf.sprintf "Exp_fleet: %s aborted: %s" v.v_name e)
+          | None -> ());
+          (v, o)
+        | Error e -> invalid_arg (Printf.sprintf "Exp_fleet: %s: %s" v.v_name e))
+      variants
+  in
+  let baseline, hardened =
+    match outcomes with
+    | (_, b) :: rest -> (b, rest)
+    | [] -> assert false
+  in
+  let base_costs = Array.of_list (per_instance_cost baseline) in
+  let overheads (o : Fleet.outcome) =
+    List.mapi
+      (fun i c -> Stats.overhead_pct ~baseline:base_costs.(i) c)
+      (per_instance_cost o)
+  in
+  let count status (o : Fleet.outcome) =
+    List.length (List.filter (fun (r : Fleet.rollout) -> r.Fleet.ro_status = status) o.Fleet.rollouts)
+  in
+  let cfg = params.fleet in
+  let dist =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "Fleet deployment: per-instance overhead distribution vs LTO fleet (%d \
+            instances, %d windows, canary %d, patch downtime charged)"
+           cfg.Fleet.instances cfg.Fleet.windows cfg.Fleet.canary_windows)
+      ~columns:
+        [
+          "variant"; "p50"; "p90"; "p99"; "worst"; "geomean"; "rebuilds"; "promoted";
+          "rejected"; "patch cycles";
+        ]
+  in
+  List.iter
+    (fun (v, o) ->
+      let ov = overheads o in
+      Tbl.add_row dist
+        [
+          Tbl.Str v.v_name;
+          Exp_common.pct (Stats.percentile 50.0 ov);
+          Exp_common.pct (Stats.percentile 90.0 ov);
+          Exp_common.pct (Stats.percentile 99.0 ov);
+          Exp_common.pct (Stats.percentile 100.0 ov);
+          Exp_common.pct (Stats.geomean_overhead ov);
+          Tbl.Int o.Fleet.rebuilds;
+          Tbl.Int (count Fleet.Promoted o);
+          Tbl.Int (count Fleet.Rejected o);
+          Tbl.Int o.Fleet.total_patch_cycles;
+        ])
+    hardened;
+  let adaptive =
+    match List.rev hardened with
+    | (_, o) :: _ -> o
+    | [] -> assert false
+  in
+  let static =
+    match hardened with
+    | (_, o) :: _ -> o
+    | [] -> assert false
+  in
+  let rollouts =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "Staged rollouts (fleet-adaptive: threshold %.2f, hysteresis %d, canary \
+            %d window(s), tolerance %+.1f%%)"
+           cfg.Fleet.drift_threshold cfg.Fleet.hysteresis cfg.Fleet.canary_windows
+           cfg.Fleet.promote_tolerance_pct)
+      ~columns:[ "fired at"; "canary"; "decided at"; "decision"; "patch sites/instance" ]
+  in
+  if adaptive.Fleet.rollouts = [] then
+    Tbl.add_row rollouts [ Tbl.Str "(no drift fired)"; Tbl.Empty; Tbl.Empty; Tbl.Empty; Tbl.Empty ]
+  else
+    List.iter
+      (fun (r : Fleet.rollout) ->
+        Tbl.add_row rollouts
+          [
+            Tbl.Int r.Fleet.ro_fired;
+            Tbl.Int r.Fleet.ro_canary;
+            (if r.Fleet.ro_decided < 0 then Tbl.Empty else Tbl.Int r.Fleet.ro_decided);
+            Tbl.Str (Fleet.rollout_status_name r.Fleet.ro_status);
+            Tbl.Int r.Fleet.ro_sites;
+          ])
+      adaptive.Fleet.rollouts;
+  let agg =
+    Tbl.create
+      ~title:"Sharded profile aggregation (fleet-adaptive)"
+      ~columns:[ "metric"; "value" ]
+  in
+  Tbl.add_row agg [ Tbl.Str "shards (instances)"; Tbl.Int cfg.Fleet.instances ];
+  Tbl.add_row agg [ Tbl.Str "shard ring depth"; Tbl.Int cfg.Fleet.store_window ];
+  Tbl.add_row agg [ Tbl.Str "batched merges"; Tbl.Int adaptive.Fleet.merges ];
+  Tbl.add_row agg [ Tbl.Str "profiles merged"; Tbl.Int adaptive.Fleet.profiles_merged ];
+  Tbl.add_row agg
+    [
+      Tbl.Str "avg profiles/merge";
+      (if adaptive.Fleet.merges = 0 then Tbl.Empty
+       else
+         Tbl.Float
+           (float_of_int adaptive.Fleet.profiles_merged
+           /. float_of_int adaptive.Fleet.merges));
+    ];
+  let per_inst =
+    Tbl.create
+      ~title:"Per-instance overhead vs LTO fleet (same seeded traffic per instance)"
+      ~columns:[ "instance"; "workload mix"; "patches"; "static-stale"; "fleet-adaptive" ]
+  in
+  let static_ov = Array.of_list (overheads static) in
+  let adaptive_ov = Array.of_list (overheads adaptive) in
+  List.iter
+    (fun (r : Fleet.instance_record) ->
+      let i = r.Fleet.inst_id in
+      Tbl.add_row per_inst
+        [
+          Tbl.Int i;
+          Tbl.Str r.Fleet.inst_mix;
+          Tbl.Int r.Fleet.inst_patches;
+          Exp_common.pct static_ov.(i);
+          Exp_common.pct adaptive_ov.(i);
+        ])
+    adaptive.Fleet.instances;
+  [ dist; rollouts; agg; per_inst ]
+
+let run env =
+  run_with (default_params ~quick:(Env.settings env = Measure.quick_settings)) env

@@ -1,0 +1,29 @@
+(** Fleet-scale online optimization experiment (ROADMAP follow-up to the
+    single-instance online loop; {!Pibe_online.Fleet}).
+
+    Simulates [instances] kernel deployments with heterogeneous,
+    drifting workload mixes, three variants facing byte-identical
+    per-instance traffic:
+
+    - {e LTO baseline}: per-instance cycle baselines (no defenses);
+    - {e static-stale}: all defenses, trained on the stale LMBench
+      profile, never re-optimized;
+    - {e fleet-adaptive}: same starting image, plus the sharded
+      aggregator and the staged (canary-gated) rollout controller.
+
+    Reports the {e distribution} of per-instance overhead (p50/p90/p99
+    via {!Pibe_util.Stats.percentile} — a fleet is judged by its tail,
+    not its geomean), the staged-rollout log, and the aggregator's
+    batched-merge counters. *)
+
+type params = {
+  fleet : Pibe_online.Fleet.config;
+}
+
+val default_params : quick:bool -> params
+(** Quick: 6 instances, 6 windows, 30 requests/window.  Full: 16
+    instances, 9 windows, 60 requests/window.  Everything else is
+    {!Pibe_online.Fleet.default_config}. *)
+
+val run_with : params -> Env.t -> Pibe_util.Tbl.t list
+val run : Env.t -> Pibe_util.Tbl.t list

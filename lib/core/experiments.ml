@@ -133,6 +133,12 @@ let all =
       run = Exp_online.run;
     };
     {
+      id = "fleet";
+      paper_ref = "ROADMAP / PAPERS.md";
+      description = "extension: fleet-scale sharded aggregation with staged canary rollout";
+      run = Exp_fleet.run;
+    };
+    {
       id = "passes";
       paper_ref = "DESIGN.md section 2";
       description = "extension: per-pass pipeline instrumentation (pass manager)";

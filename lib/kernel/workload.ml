@@ -192,3 +192,11 @@ let dbench info =
    online loop must detect. *)
 let standard_phases info =
   [ lmbench_phase info; phase_of_mix (apache info); phase_of_mix (dbench info) ]
+
+let blend name parts =
+  if parts = [] then invalid_arg "Workload.blend: empty part list";
+  let arr = Array.of_list (List.map (fun (p, w) -> (w, p)) parts) in
+  {
+    phase_name = name;
+    request = (fun eng rng -> (Rng.weighted rng arr).request eng rng);
+  }

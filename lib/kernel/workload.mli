@@ -57,3 +57,11 @@ val lmbench_phase : Gen.info -> phase
 val standard_phases : Gen.info -> phase list
 (** The drifting deployment of the online experiment:
     LMBench -> Apache -> DBench. *)
+
+val blend : string -> (phase * int) list -> phase
+(** [blend name parts] is a skewed traffic mix: each request draws one
+    component phase with probability proportional to its weight, from the
+    request's own RNG stream (so the draw sequence is deterministic per
+    seed).  Fleet instances use blends so no machine's traffic exactly
+    matches a canonical phase.  Raises [Invalid_argument] on an empty
+    part list; weights follow {!Pibe_util.Rng.weighted}'s contract. *)

@@ -59,26 +59,38 @@ let changed_funcs old_prog new_prog =
   Program.fold_funcs old_prog ~init:changed ~f:(fun acc (f : Pibe_ir.Types.func) ->
       if Program.mem new_prog f.Pibe_ir.Types.fname then acc else acc + 1)
 
-let reoptimize t new_profile =
+type candidate = {
+  cand_image : Pibe_harden.Pass.image;
+  cand_profile : Profile.t;
+}
+
+let prepare t new_profile =
   Trace.span ~cat:"online" "online:rebuild" (fun () ->
       match build ~verify:t.verify t.base_prog t.spec new_profile with
       | Error e ->
         (* the spec was validated at [create]; the registry cannot reject it now *)
-        invalid_arg (Printf.sprintf "Controller.reoptimize: %s" e)
-      | Ok image ->
-        let sites =
-          changed_funcs t.image.Pibe_harden.Pass.prog image.Pibe_harden.Pass.prog
-        in
-        let cycles = Jumpswitch.patch_cost ~config:t.patch_config ~sites () in
-        t.image <- image;
-        t.reference <- Profile.copy new_profile;
-        t.rebuilds <- t.rebuilds + 1;
-        t.total_patch_cycles <- t.total_patch_cycles + cycles;
-        if Trace.enabled () then
-          Trace.counter ~cat:"online" "patch"
-            [
-              ("sites", Trace.Int sites);
-              ("downtime_cycles", Trace.Int cycles);
-              ("rebuilds", Trace.Int t.rebuilds);
-            ];
-        cycles)
+        invalid_arg (Printf.sprintf "Controller.prepare: %s" e)
+      | Ok image -> { cand_image = image; cand_profile = Profile.copy new_profile })
+
+let patch_sites ~from_image ~to_image =
+  changed_funcs from_image.Pibe_harden.Pass.prog to_image.Pibe_harden.Pass.prog
+
+let patch_cycles t ~sites = Jumpswitch.patch_cost ~config:t.patch_config ~sites ()
+
+let commit t cand =
+  let sites = patch_sites ~from_image:t.image ~to_image:cand.cand_image in
+  let cycles = patch_cycles t ~sites in
+  t.image <- cand.cand_image;
+  t.reference <- cand.cand_profile;
+  t.rebuilds <- t.rebuilds + 1;
+  t.total_patch_cycles <- t.total_patch_cycles + cycles;
+  if Trace.enabled () then
+    Trace.counter ~cat:"online" "patch"
+      [
+        ("sites", Trace.Int sites);
+        ("downtime_cycles", Trace.Int cycles);
+        ("rebuilds", Trace.Int t.rebuilds);
+      ];
+  cycles
+
+let reoptimize t new_profile = commit t (prepare t new_profile)

@@ -8,7 +8,15 @@
     (decayed, merged) profile, charges a patching/downtime cost — the
     {!Pibe_jumpswitch.Jumpswitch.patch_cost} stop-machine model, one
     batched sync plus a text write per function whose code changed — and
-    swaps the image in. *)
+    swaps the image in.
+
+    The rebuild-and-swap is split into {!prepare} (build a candidate
+    image, no state change) and {!commit} (swap, charge, update the
+    reference) so a fleet controller can stage a rollout: prepare once,
+    deploy the candidate to a canary instance, and only commit — and
+    patch the rest of the fleet — after the canary evaluation passes.
+    {!reoptimize} is [prepare] followed by [commit], the single-instance
+    fast path. *)
 
 type t
 
@@ -36,7 +44,36 @@ val total_patch_cycles : t -> int
 val reoptimize : t -> Pibe_profile.Profile.t -> int
 (** Rebuild on the new profile, swap images, update the reference, and
     return the patch cycles charged for this swap (0 when the rebuild
-    produced an identical image). *)
+    produced an identical image).  Exactly {!prepare} then {!commit}. *)
+
+(** {2 Staged rollout} *)
+
+type candidate = {
+  cand_image : Pibe_harden.Pass.image;  (** freshly built, not yet deployed *)
+  cand_profile : Pibe_profile.Profile.t;
+      (** the (copied) profile it was trained on — becomes the reference
+          on {!commit} *)
+}
+
+val prepare : t -> Pibe_profile.Profile.t -> candidate
+(** Re-run the spec on the pristine kernel with the new profile and
+    return the candidate image without touching the deployed state.
+    Raises [Invalid_argument] if the spec no longer resolves (it was
+    validated at [create], so this indicates registry corruption). *)
+
+val commit : t -> candidate -> int
+(** Swap the candidate in, make its profile the drift reference, count
+    the rebuild, and return (and accumulate) the patch cycles of the
+    swap. *)
+
+val patch_sites :
+  from_image:Pibe_harden.Pass.image -> to_image:Pibe_harden.Pass.image -> int
+(** {!changed_funcs} over the two images' programs — the live-patch site
+    count of moving one deployed instance between them. *)
+
+val patch_cycles : t -> sites:int -> int
+(** The stop-machine downtime of one batched live-patch of [sites]
+    functions under this controller's patch configuration. *)
 
 val changed_funcs : Pibe_ir.Program.t -> Pibe_ir.Program.t -> int
 (** Functions added, removed, or with a differing body — the live-patch

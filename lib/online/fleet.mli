@@ -1,0 +1,122 @@
+(** Fleet-scale online optimization: N kernel instances, a sharded
+    profile aggregator, and a staged-rollout controller.
+
+    Production PGO does not optimize for one machine's replay — it
+    aggregates production-representative samples from a fleet of
+    instances with heterogeneous workload mixes and amortizes one
+    re-optimization decision across all of them.  This module lifts the
+    single-instance {!Sim} loop to that shape, in three tiers:
+
+    - {e Instances}: [config.instances] independent deployments, each
+      with its own phase schedule derived from the caller's base phases
+      (jittered transition boundaries, skewed
+      {!Pibe_kernel.Workload.blend} mixes on odd instances).  Every
+      window, each instance replays its own seeded request stream on its
+      deployed image and lifts a window profile on the pristine kernel —
+      instance-windows run domain-parallel on the caller's
+      {!Pibe_util.Pool}.
+    - {e Aggregator}: one {!Store} ring ({e shard}) per instance.
+      Collection only appends to the instance's own shard; the merge is
+      batched — all rings flatten into a single weighted
+      {!Pibe_profile.Profile.merge_weighted} call per window, so merge
+      cost scales with live counters, not with merge rounds.  Merge batch
+      sizes and counts are exported through {!Pibe_trace.Trace}
+      ([online:fleet-merge] spans, ["fleet-merge"] counters).
+    - {e Fleet controller}: drift is detected on the freshest cross-fleet
+      aggregate (retraining uses the decayed one).  A fire prepares one
+      candidate image ({!Controller.prepare}, drawing on the shared
+      [max_reopts] budget) and live-patches {e only the canary instance}
+      (instance 0), charging its {!Pibe_jumpswitch.Jumpswitch.patch_cost}.
+      After [canary_windows] evaluation windows — during which the canary
+      also replays its stream on the old image as a counterfactual — the
+      candidate is promoted fleet-wide (every other instance pays its own
+      patch downtime) only if the canary ran within
+      [promote_tolerance_pct] of the counterfactual; otherwise the canary
+      rolls back and the fleet is never patched.
+
+    Determinism: instance streams are split from one master generator on
+    the coordinator in instance order, results return in submission
+    order, and all fleet state mutates after the parallel join — the
+    outcome is byte-identical at any pool size (pinned by
+    [test/test_online.ml]). *)
+
+type config = {
+  instances : int;  (** fleet size (>= 1); instance 0 is the canary *)
+  windows : int;  (** fleet windows simulated (>= 1) *)
+  requests_per_window : int;  (** per instance, per window *)
+  store_window : int;  (** per-instance shard ring depth *)
+  decay : float;  (** per-window decay of older shard snapshots *)
+  drift_threshold : float;  (** {!Drift.distance} above this is suspect *)
+  hysteresis : int;  (** consecutive suspect windows before a rollout *)
+  top_k : int;  (** hot-site ranking depth of the distance metric *)
+  max_reopts : int;  (** shared fleet re-optimization budget *)
+  canary_windows : int;
+      (** evaluation windows on the canary before the promote/reject
+          decision; [0] promotes fleet-wide immediately (staging off) *)
+  promote_tolerance_pct : float;
+      (** promote only if the canary's evaluation cycles are within this
+          percentage of the old-image counterfactual (negative forces
+          rejection — useful to pin the gating behaviour) *)
+  seed : int;
+}
+
+val default_config : config
+(** 8 instances, 9 windows, 60 requests/window, ring 2, decay 0.5,
+    threshold 0.25, hysteresis 2, top-16, 3 re-opts, 1 canary window,
+    1% promote tolerance, seed 23. *)
+
+type instance_record = {
+  inst_id : int;
+  inst_mix : string;  (** schedule descriptor, e.g. ["LMBench -> Apache"] *)
+  inst_cycles : int;  (** deployed cycles over all windows (no patches) *)
+  inst_patch_cycles : int;  (** downtime this instance paid *)
+  inst_patches : int;  (** live-patch events (deploys, promotions, rollbacks) *)
+}
+
+type rollout_status =
+  | Promoted  (** canary passed; fleet-wide patch happened *)
+  | Rejected  (** canary regressed; rolled back, fleet untouched *)
+  | Pending  (** the run ended inside the evaluation window *)
+
+val rollout_status_name : rollout_status -> string
+
+type rollout = {
+  ro_fired : int;  (** window index where drift fired (canary patched) *)
+  ro_canary : int;  (** canary instance id *)
+  ro_decided : int;  (** decision window index; [-1] while [Pending] *)
+  ro_status : rollout_status;
+  ro_sites : int;  (** per-instance live-patch sites of the candidate *)
+}
+
+type outcome = {
+  instances : instance_record list;  (** by instance id *)
+  rollouts : rollout list;  (** in firing order *)
+  rebuilds : int;  (** candidates prepared (budget consumed) *)
+  merges : int;  (** batched aggregator merges performed *)
+  profiles_merged : int;  (** shard snapshots consumed across all merges *)
+  total_cycles : int;  (** fleet workload + patch cycles *)
+  total_patch_cycles : int;
+  aborted : string option;
+      (** as {!Sim.outcome.aborted}: completed windows are retained and
+          the failing window's exception text lands here *)
+}
+
+val run :
+  ?config:config ->
+  ?verify:bool ->
+  ?pool:Pibe_util.Pool.t ->
+  adaptive:bool ->
+  prog:Pibe_ir.Program.t ->
+  spec:Pibe_pm.Spec.t ->
+  training:Pibe_profile.Profile.t ->
+  phases:Pibe_kernel.Workload.phase list ->
+  unit ->
+  (outcome, string) result
+(** Simulate the fleet deployment.  [phases] are the base phases the
+    per-instance schedules are derived from (must be non-empty;
+    typically {!Pibe_kernel.Workload.standard_phases}).  With
+    [adaptive:false] instances replay their streams but no drift
+    detection or rollout happens (the static baselines — every variant
+    faces byte-identical traffic).  [pool] supplies the worker domains
+    (default: sequential).  [Error] reports an unresolvable spec;
+    invalid numeric configuration raises [Invalid_argument]. *)

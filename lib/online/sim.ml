@@ -44,6 +44,7 @@ type outcome = {
   rebuilds : int;
   total_cycles : int;
   total_patch_cycles : int;
+  aborted : string option;
 }
 
 (* One production window: replay the same request stream twice — once on
@@ -82,62 +83,73 @@ let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~trai
     let master = Rng.create cfg.seed in
     let index = ref 0 in
     let windows = ref [] in
-    List.iter
-      (fun ((phase : Workload.phase), nwindows) ->
-        for _ = 1 to nwindows do
-          let rng = Rng.split master in
-          let span_args =
-            if Trace.enabled () then
-              [
-                ("index", Trace.Int !index);
-                ("phase", Trace.Str phase.Workload.phase_name);
-                ("adaptive", Trace.Int (if adaptive then 1 else 0));
-              ]
-            else []
-          in
-          let record =
-            Trace.span ~cat:"online" "online:window" ~args:span_args (fun () ->
-                let cycles, wprof =
-                  run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
-                in
-                Store.observe store wprof;
-                (* Detect on the freshest window (fast reaction); rebuild on the
-                   decayed merge (stable training data).  Hysteresis, not
-                   smoothing, is what keeps one-window noise from firing. *)
-                let dist =
-                  Drift.distance ~k:cfg.top_k (Controller.reference controller) wprof
-                in
-                let decision = Drift.observe detector dist in
-                let fire =
-                  adaptive && decision = Drift.Fire
-                  && Controller.rebuilds controller < cfg.max_reopts
-                in
-                let patch_cycles =
-                  if fire then Controller.reoptimize controller (Store.merged store)
-                  else 0
-                in
-                if Trace.enabled () then
-                  Trace.counter ~cat:"online" "window"
-                    [
-                      ("index", Trace.Int !index);
-                      ("cycles", Trace.Int cycles);
-                      ("patch_cycles", Trace.Int patch_cycles);
-                      ("drift", Trace.Float dist);
-                      ("fired", Trace.Int (if fire then 1 else 0));
-                    ];
-                {
-                  index = !index;
-                  phase = phase.Workload.phase_name;
-                  cycles;
-                  patch_cycles;
-                  distance = dist;
-                  fired = fire;
-                })
-          in
-          windows := record :: !windows;
-          incr index
-        done)
-      phases;
+    (* Window accounting is exception-safe: the record is pushed (and the
+       index advanced) inside the traced closure, immediately after the
+       state mutations it describes, so a failure anywhere later — even in
+       the span's own End emission — can never leave a completed window
+       (with its store/detector/controller effects applied) unaccounted.
+       A failure mid-window aborts the run but keeps every completed
+       record, reported through [aborted]. *)
+    let aborted = ref None in
+    (try
+       List.iter
+         (fun ((phase : Workload.phase), nwindows) ->
+           for _ = 1 to nwindows do
+             let rng = Rng.split master in
+             let span_args =
+               if Trace.enabled () then
+                 [
+                   ("index", Trace.Int !index);
+                   ("phase", Trace.Str phase.Workload.phase_name);
+                   ("adaptive", Trace.Int (if adaptive then 1 else 0));
+                 ]
+               else []
+             in
+             Trace.span ~cat:"online" "online:window" ~args:span_args (fun () ->
+                 let cycles, wprof =
+                   run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
+                 in
+                 (* Detect on the freshest window (fast reaction); rebuild on the
+                    decayed merge (stable training data).  Hysteresis, not
+                    smoothing, is what keeps one-window noise from firing. *)
+                 let dist =
+                   Drift.distance ~k:cfg.top_k (Controller.reference controller) wprof
+                 in
+                 (* the window profile is freshly lifted and never touched
+                    again: hand it to the ring without a copy *)
+                 Store.observe_owned store wprof;
+                 let decision = Drift.observe detector dist in
+                 let fire =
+                   adaptive && decision = Drift.Fire
+                   && Controller.rebuilds controller < cfg.max_reopts
+                 in
+                 let patch_cycles =
+                   if fire then Controller.reoptimize controller (Store.merged store)
+                   else 0
+                 in
+                 if Trace.enabled () then
+                   Trace.counter ~cat:"online" "window"
+                     [
+                       ("index", Trace.Int !index);
+                       ("cycles", Trace.Int cycles);
+                       ("patch_cycles", Trace.Int patch_cycles);
+                       ("drift", Trace.Float dist);
+                       ("fired", Trace.Int (if fire then 1 else 0));
+                     ];
+                 windows :=
+                   {
+                     index = !index;
+                     phase = phase.Workload.phase_name;
+                     cycles;
+                     patch_cycles;
+                     distance = dist;
+                     fired = fire;
+                   }
+                   :: !windows;
+                 incr index)
+           done)
+         phases
+     with e -> aborted := Some (Printexc.to_string e));
     let windows = List.rev !windows in
     Ok
       {
@@ -146,6 +158,7 @@ let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~trai
         total_cycles =
           List.fold_left (fun acc w -> acc + w.cycles + w.patch_cycles) 0 windows;
         total_patch_cycles = Controller.total_patch_cycles controller;
+        aborted = !aborted;
       }
 
 let training_profile ?(config = default_config) ~prog ~phases () =

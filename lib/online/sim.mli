@@ -46,6 +46,12 @@ type outcome = {
   rebuilds : int;
   total_cycles : int;  (** workload + patch cycles over the whole run *)
   total_patch_cycles : int;
+  aborted : string option;
+      (** [None] for a clean run.  If a window raised mid-flight the run
+          stops, every {e completed} window's record is retained (the
+          accounting is pushed inside the traced closure, right after the
+          effects it describes), and the exception text lands here
+          instead of losing the whole deployment's history. *)
 }
 
 val run :

@@ -1,25 +1,45 @@
 module Profile = Pibe_profile.Profile
 
+(* Fixed-size ring over the last [window] snapshots.  Slots are reused in
+   place as the ring wraps — observing is O(1) and a long-running
+   deployment holds at most [window] profiles alive, where the previous
+   list-based store rebuilt the whole snapshot list (and deep-copied the
+   incoming profile) on every window. *)
+
 type t = {
   window : int;
   decay : float;
-  mutable snapshots : Profile.t list;  (* newest first *)
+  slots : Profile.t option array;
+  mutable head : int;  (* slot holding the newest snapshot; -1 when empty *)
+  mutable count : int;
 }
 
 let create ~window ~decay () =
   if window < 1 then invalid_arg "Store.create: window must be >= 1";
   if not (decay > 0.0 && decay <= 1.0) then
     invalid_arg "Store.create: decay must be in (0, 1]";
-  { window; decay; snapshots = [] }
+  { window; decay; slots = Array.make window None; head = -1; count = 0 }
 
-let length t = List.length t.snapshots
+let length t = t.count
 
-let observe t p =
-  let keep = List.filteri (fun i _ -> i < t.window - 1) t.snapshots in
-  t.snapshots <- Profile.copy p :: keep
+let observe_owned t p =
+  let slot = (t.head + 1) mod t.window in
+  t.slots.(slot) <- Some p;
+  t.head <- slot;
+  if t.count < t.window then t.count <- t.count + 1
 
-let merged t =
-  Profile.merge_weighted
-    (List.mapi (fun age p -> (t.decay ** float_of_int age, p)) t.snapshots)
+let observe t p = observe_owned t (Profile.copy p)
 
-let clear t = t.snapshots <- []
+let weighted_snapshots t =
+  List.init t.count (fun age ->
+      let slot = (t.head - age + (2 * t.window)) mod t.window in
+      match t.slots.(slot) with
+      | Some p -> (t.decay ** float_of_int age, p)
+      | None -> assert false)
+
+let merged t = Profile.merge_weighted (weighted_snapshots t)
+
+let clear t =
+  Array.fill t.slots 0 t.window None;
+  t.head <- -1;
+  t.count <- 0

@@ -1,11 +1,18 @@
-(** Windowed profile store for continuous profiling.
+(** Windowed profile store for continuous profiling — one {e shard} of
+    the fleet aggregator.
 
-    A ring of the last [window] per-window profile snapshots.  [merged]
-    collapses the ring into one recency-biased training profile by
-    weighting each snapshot [decay^age] (newest weight 1) and summing
+    A fixed-size ring of the last [window] per-window profile snapshots;
+    slots are reused in place as the ring wraps, so observing is O(1) and
+    at most [window] profiles stay alive regardless of deployment length.
+    [merged] collapses the ring into one recency-biased training profile
+    by weighting each snapshot [decay^age] (newest weight 1) and summing
     pointwise through {!Pibe_profile.Profile.merge_weighted} — the
     exponential-decay aggregation of AutoFDO-style continuous-PGO
-    systems.  All operations are deterministic. *)
+    systems.  A fleet aggregator holds one store per instance and merges
+    all rings in a single batched [merge_weighted] call over
+    {!weighted_snapshots}, so merge cost scales with the number of live
+    snapshots rather than with merge rounds.  All operations are
+    deterministic. *)
 
 type t
 
@@ -15,13 +22,26 @@ val create : window:int -> decay:float -> unit -> t
     otherwise. *)
 
 val observe : t -> Pibe_profile.Profile.t -> unit
-(** Push the newest window snapshot (a deep copy is taken), evicting the
-    oldest beyond the window. *)
+(** Push the newest window snapshot, evicting the oldest beyond the
+    window.  A deep copy is taken because the caller retains the
+    profile; use {!observe_owned} to hand the profile over instead. *)
+
+val observe_owned : t -> Pibe_profile.Profile.t -> unit
+(** Like {!observe} but takes ownership of [p] without copying — for
+    freshly collected window profiles the caller will not mutate again
+    (the per-window collection path of the simulators). *)
 
 val length : t -> int
 
 val merged : t -> Pibe_profile.Profile.t
 (** The decayed weighted merge of the ring; the empty profile when
     nothing has been observed yet. *)
+
+val weighted_snapshots : t -> (float * Pibe_profile.Profile.t) list
+(** The ring's [(decay^age, snapshot)] pairs, newest first — the raw
+    parts of {!merged}, exposed so a fleet aggregator can flatten many
+    shards into one batched {!Pibe_profile.Profile.merge_weighted}
+    call.  The returned profiles alias the ring; treat them as
+    read-only. *)
 
 val clear : t -> unit

@@ -27,10 +27,10 @@ let test_registry_complete () =
       Alcotest.(check bool) (want ^ " registered") true (List.mem want ids))
     ([
        "figure1"; "robustness"; "security"; "ablation"; "userspace"; "sensitivity";
-       "v1scan"; "passes"; "online";
+       "v1scan"; "passes"; "online"; "fleet";
      ]
     @ List.init 12 (fun i -> Printf.sprintf "table%d" (i + 1)));
-  Alcotest.(check int) "21 experiments" 21 (List.length Exp.all)
+  Alcotest.(check int) "22 experiments" 22 (List.length Exp.all)
 
 let test_table1_shape () =
   let t = first "table1" in

@@ -1,13 +1,16 @@
 (* Continuous profiling: the store's decayed window, the drift metric and
-   its hysteresis policy, the re-optimization controller, and the two
-   end-to-end guarantees of the deployment simulator — no rebuilds on a
-   steady workload, and adaptation paying off on a phased one. *)
+   its hysteresis policy, the re-optimization controller, the end-to-end
+   guarantees of the deployment simulator — no rebuilds on a steady
+   workload, adaptation paying off on a phased one — and the fleet layer:
+   jobs-count invariance, canary gating, and staged promotion. *)
 
 module Profile = Pibe_profile.Profile
 module Store = Pibe_online.Store
 module Drift = Pibe_online.Drift
 module Controller = Pibe_online.Controller
 module Sim = Pibe_online.Sim
+module Fleet = Pibe_online.Fleet
+module Pool = Pibe_util.Pool
 module Workload = Pibe_kernel.Workload
 
 let profile_of assocs =
@@ -46,6 +49,33 @@ let test_store_observe_copies () =
   Profile.add_indirect p ~origin:7 ~target:"t" ~count:990;
   Alcotest.(check int) "snapshot unaffected" 10
     (Profile.site_weight (Store.merged store) { Pibe_ir.Types.site_id = 7; site_origin = 7 })
+
+let test_store_owned_and_snapshots () =
+  let store = Store.create ~window:2 ~decay:0.5 () in
+  let p = profile_of [ (3, [ ("t", 5) ]) ] in
+  Store.observe_owned store p;
+  (* ownership transfer: no defensive copy is taken, so a later mutation
+     of the handed-over profile is visible in the ring (which is why the
+     sim only uses it for profiles it never touches again) *)
+  Profile.add_indirect p ~origin:3 ~target:"t" ~count:5;
+  Alcotest.(check int) "no copy taken" 10
+    (Profile.site_weight (Store.merged store) { Pibe_ir.Types.site_id = 3; site_origin = 3 });
+  Store.observe_owned store (profile_of [ (3, [ ("t", 100) ]) ]);
+  (match Store.weighted_snapshots store with
+  | [ (w0, p0); (w1, p1) ] ->
+    Alcotest.(check (float 1e-9)) "newest at weight 1" 1.0 w0;
+    Alcotest.(check int) "newest snapshot first" 100
+      (Profile.site_weight p0 { Pibe_ir.Types.site_id = 3; site_origin = 3 });
+    Alcotest.(check (float 1e-9)) "older decayed" 0.5 w1;
+    Alcotest.(check int) "older snapshot second" 10
+      (Profile.site_weight p1 { Pibe_ir.Types.site_id = 3; site_origin = 3 })
+  | snaps -> Alcotest.failf "expected 2 snapshots, got %d" (List.length snaps));
+  (* ring slots are reused, not reallocated: a third observe evicts the
+     oldest and the merged view follows *)
+  Store.observe_owned store (profile_of [ (3, [ ("t", 1000) ]) ]);
+  Alcotest.(check int) "still full" 2 (Store.length store);
+  Alcotest.(check int) "oldest evicted from the merge" 1050
+    (Profile.site_weight (Store.merged store) { Pibe_ir.Types.site_id = 3; site_origin = 3 })
 
 let test_store_validation () =
   Alcotest.check_raises "window 0" (Invalid_argument "Store.create: window must be >= 1")
@@ -203,9 +233,157 @@ let test_sim_deterministic () =
   let b = run_sim ~adaptive:true ~phases env in
   Alcotest.(check bool) "outcome reproduced exactly" true (a = b)
 
+let test_sim_abort_preserves_windows () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let base = Workload.lmbench_phase info in
+  (* Every window replays the stream twice (deployed + profiler), so with
+     25 requests/window the 120th request call lands inside window 2: two
+     windows must complete, the third must abort. *)
+  let calls = ref 0 in
+  let bomb =
+    {
+      Workload.phase_name = "bomb";
+      request =
+        (fun eng rng ->
+          incr calls;
+          if !calls = 120 then failwith "boom";
+          base.Workload.request eng rng);
+    }
+  in
+  let o = run_sim ~adaptive:false ~phases:[ (bomb, 6) ] env in
+  Alcotest.(check int) "completed windows retained" 2 (List.length o.Sim.windows);
+  (match o.Sim.aborted with
+  | Some msg ->
+    Alcotest.(check bool) "abort reason surfaced" true
+      (String.length msg > 0
+      && String.equal (Printexc.to_string (Failure "boom")) msg)
+  | None -> Alcotest.fail "abort not reported");
+  (* the retained records stay internally consistent *)
+  Alcotest.(check int) "totals cover retained windows only"
+    (List.fold_left (fun acc (w : Sim.window_record) -> acc + w.Sim.cycles) 0 o.Sim.windows)
+    o.Sim.total_cycles;
+  List.iteri
+    (fun i (w : Sim.window_record) ->
+      Alcotest.(check int) (Printf.sprintf "window %d indexed" i) i w.Sim.index)
+    o.Sim.windows
+
+(* ------------------------------- fleet ------------------------------ *)
+
+let fleet_config =
+  {
+    Fleet.default_config with
+    Fleet.instances = 6;
+    windows = 6;
+    requests_per_window = 30;
+  }
+
+let run_fleet ?(config = fleet_config) ?pool ~adaptive env =
+  let info = Pibe.Env.info env in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let training = Pibe.Env.lmbench_profile env in
+  let phases = Workload.standard_phases info in
+  match
+    Fleet.run ~config ?pool ~adaptive ~prog ~spec:(quick_spec ()) ~training ~phases ()
+  with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "fleet: %s" e
+
+let test_fleet_jobs_invariant () =
+  let env = Helpers.env () in
+  let sequential = run_fleet ~adaptive:true env in
+  let pool = Pool.create ~jobs:4 () in
+  let parallel = run_fleet ~pool ~adaptive:true env in
+  Alcotest.(check bool) "outcome identical at jobs 1 vs 4" true (sequential = parallel);
+  Alcotest.(check (option string)) "clean run" None sequential.Fleet.aborted;
+  (* the heterogeneous schedules actually are heterogeneous: odd
+     instances run blended mixes *)
+  (match sequential.Fleet.instances with
+  | _ :: (second : Fleet.instance_record) :: _ ->
+    Alcotest.(check bool) "odd instance runs a blend" true
+      (String.contains second.Fleet.inst_mix '+')
+  | _ -> Alcotest.fail "expected at least 2 instances")
+
+let test_fleet_steady_never_fires () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let training = Pibe.Env.lmbench_profile env in
+  (* one steady phase: no instance's mix ever departs from the training
+     workload, so the aggregate must never drift *)
+  match
+    Fleet.run ~config:fleet_config ~adaptive:true ~prog ~spec:(quick_spec ()) ~training
+      ~phases:[ Workload.lmbench_phase info ] ()
+  with
+  | Error e -> Alcotest.failf "fleet: %s" e
+  | Ok o ->
+    Alcotest.(check int) "no rebuilds" 0 o.Fleet.rebuilds;
+    Alcotest.(check int) "no rollouts" 0 (List.length o.Fleet.rollouts);
+    Alcotest.(check int) "no downtime" 0 o.Fleet.total_patch_cycles;
+    List.iter
+      (fun (r : Fleet.instance_record) ->
+        Alcotest.(check int)
+          (Printf.sprintf "instance %d never patched" r.Fleet.inst_id)
+          0 r.Fleet.inst_patches)
+      o.Fleet.instances
+
+let test_fleet_staged_promotion () =
+  let env = Helpers.env () in
+  let o = run_fleet ~adaptive:true env in
+  Alcotest.(check (option string)) "clean run" None o.Fleet.aborted;
+  Alcotest.(check bool) "drift fired" true (o.Fleet.rebuilds >= 1);
+  let promoted =
+    List.filter (fun (r : Fleet.rollout) -> r.Fleet.ro_status = Fleet.Promoted) o.Fleet.rollouts
+  in
+  Alcotest.(check bool) "at least one promotion" true (promoted <> []);
+  List.iter
+    (fun (r : Fleet.rollout) ->
+      Alcotest.(check int) "canary is instance 0" 0 r.Fleet.ro_canary;
+      Alcotest.(check bool) "decision after firing" true (r.Fleet.ro_decided > r.Fleet.ro_fired))
+    promoted;
+  (* promotion patched every instance, and each paid its own downtime *)
+  List.iter
+    (fun (r : Fleet.instance_record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d patched" r.Fleet.inst_id)
+        true
+        (r.Fleet.inst_patches >= 1 && r.Fleet.inst_patch_cycles > 0))
+    o.Fleet.instances;
+  (* the batched aggregator ran: one detection merge per steady window at
+     least, each consuming every live shard snapshot *)
+  Alcotest.(check bool) "merges happened" true (o.Fleet.merges > 0);
+  Alcotest.(check bool) "merges are batched" true
+    (o.Fleet.profiles_merged >= o.Fleet.merges * fleet_config.Fleet.instances)
+
+let test_fleet_canary_gates_rollout () =
+  let env = Helpers.env () in
+  (* a negative tolerance makes the canary evaluation unpassable: drift
+     still fires and patches the canary, but the fleet must never be *)
+  let config = { fleet_config with Fleet.promote_tolerance_pct = -100.0 } in
+  let o = run_fleet ~config ~adaptive:true env in
+  Alcotest.(check bool) "drift fired" true (o.Fleet.rebuilds >= 1);
+  Alcotest.(check bool) "rollouts recorded" true (o.Fleet.rollouts <> []);
+  List.iter
+    (fun (r : Fleet.rollout) ->
+      Alcotest.(check string) "every rollout rejected" "rejected"
+        (Fleet.rollout_status_name r.Fleet.ro_status))
+    o.Fleet.rollouts;
+  List.iter
+    (fun (r : Fleet.instance_record) ->
+      if r.Fleet.inst_id = 0 then
+        (* the canary was patched to the candidate and rolled back *)
+        Alcotest.(check bool) "canary patched and rolled back" true
+          (r.Fleet.inst_patches >= 2)
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "instance %d untouched" r.Fleet.inst_id)
+          0 r.Fleet.inst_patches)
+    o.Fleet.instances
+
 let suite =
   [
     ("store decay and eviction", `Quick, test_store_decay_and_eviction);
+    ("store ring ownership and snapshots", `Quick, test_store_owned_and_snapshots);
     ("store snapshots are copies", `Quick, test_store_observe_copies);
     ("store validates parameters", `Quick, test_store_validation);
     ("drift distance properties", `Quick, test_distance_properties);
@@ -215,4 +393,9 @@ let suite =
     ("steady workload never fires", `Slow, test_steady_workload_never_fires);
     ("phased workload adapts", `Slow, test_phased_workload_adapts);
     ("simulation is deterministic", `Slow, test_sim_deterministic);
+    ("abort keeps completed windows", `Slow, test_sim_abort_preserves_windows);
+    ("fleet outcome independent of jobs", `Slow, test_fleet_jobs_invariant);
+    ("fleet steady workload never fires", `Slow, test_fleet_steady_never_fires);
+    ("fleet staged promotion", `Slow, test_fleet_staged_promotion);
+    ("fleet canary gates rollout", `Slow, test_fleet_canary_gates_rollout);
   ]

@@ -141,6 +141,107 @@ let prop_structured_roundtrip =
       let p' = Profile.of_string (Profile.to_string p) in
       Profile.to_string p' = Profile.to_string p)
 
+(* ---------------------- sharded merge properties -------------------- *)
+
+(* Like [structured_profile_gen] but with counts small enough that the
+   float accumulator is exact before rounding: the sharding properties
+   below reason about rounding error alone, not precision loss. *)
+let bounded_profile_gen =
+  let open QCheck.Gen in
+  let count = int_range 1 100_000 in
+  let directs = list_size (int_range 0 6) (pair (int_range 0 50) count) in
+  let vps =
+    list_size (int_range 0 4)
+      (pair (int_range 100 150) (list_size (int_range 1 8) count))
+  in
+  let entries = list_size (int_range 0 4) (pair (int_range 0 20) count) in
+  map
+    (fun (directs, vps, entries) ->
+      let p = Profile.create () in
+      List.iter (fun (origin, count) -> Profile.add_direct p ~origin ~count) directs;
+      List.iter
+        (fun (origin, counts) ->
+          List.iteri
+            (fun i count ->
+              Profile.add_indirect p ~origin ~target:(Printf.sprintf "tgt_%d" i) ~count)
+            counts)
+        vps;
+      List.iter
+        (fun (f, count) -> Profile.add_entry p ~func:(Printf.sprintf "fn%d" f) ~count)
+        entries;
+      p)
+    (triple directs vps entries)
+
+(* weights in {0, 0.125, ..., 2.0}: exercises zero (key-dropping) and
+   fractional weights with exactly representable floats *)
+let weighted_parts_gen =
+  let open QCheck.Gen in
+  list_size (int_range 1 12)
+    (pair (map (fun i -> float_of_int i /. 8.0) (int_range 0 16)) bounded_profile_gen)
+
+(* Largest per-key absolute difference between two profiles, over every
+   key the bounded generator can produce. *)
+let max_key_diff a b =
+  let d = ref 0 in
+  let upd x y = d := max !d (abs (x - y)) in
+  for origin = 0 to 160 do
+    upd (Profile.direct_count a ~origin) (Profile.direct_count b ~origin);
+    let va = Profile.value_profile a ~origin in
+    let vb = Profile.value_profile b ~origin in
+    List.iter
+      (fun (t, c) ->
+        upd c (match List.assoc_opt t vb with Some c' -> c' | None -> 0))
+      va;
+    List.iter (fun (t, c) -> if not (List.mem_assoc t va) then upd 0 c) vb
+  done;
+  for f = 0 to 20 do
+    let name = Printf.sprintf "fn%d" f in
+    upd (Profile.invocations a name) (Profile.invocations b name)
+  done;
+  !d
+
+(* The fleet aggregator's soundness: merging each shard first and then
+   merging the shard results is the same profile as one sequential merge,
+   up to rounding — each shard rounds its own sum once, so the sharded
+   path can differ by at most 1 per shard on any key. *)
+let prop_sharded_merge_matches_sequential =
+  QCheck.Test.make ~name:"shard-then-merge matches sequential merge (float tolerance)"
+    ~count:150
+    (QCheck.make weighted_parts_gen)
+    (fun parts ->
+      let nshards = 3 in
+      let sequential = Profile.merge_weighted parts in
+      let shards = Array.make nshards [] in
+      List.iteri (fun i part -> shards.(i mod nshards) <- part :: shards.(i mod nshards)) parts;
+      let sharded =
+        Profile.merge_weighted
+          (List.filter_map
+             (fun ps ->
+               if ps = [] then None
+               else Some (1.0, Profile.merge_weighted (List.rev ps)))
+             (Array.to_list shards))
+      in
+      max_key_diff sequential sharded <= nshards)
+
+(* With unit weights there is no rounding at all: the weighted combinator
+   must agree exactly with a pairwise [merge] fold. *)
+let prop_unit_weight_merge_exact =
+  QCheck.Test.make ~name:"unit-weight merge_weighted equals pairwise merge exactly"
+    ~count:150
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) bounded_profile_gen))
+    (fun ps ->
+      Profile.to_string (Profile.merge_weighted (List.map (fun p -> (1.0, p)) ps))
+      = Profile.to_string (List.fold_left Profile.merge (Profile.create ()) ps))
+
+(* Summation order (shard interleaving) moves each key by at most one
+   rounding step. *)
+let prop_merge_weighted_commutes =
+  QCheck.Test.make ~name:"merge_weighted is order-insensitive up to rounding" ~count:150
+    (QCheck.make weighted_parts_gen)
+    (fun parts ->
+      max_key_diff (Profile.merge_weighted parts) (Profile.merge_weighted (List.rev parts))
+      <= 1)
+
 let test_empty_profile_roundtrip () =
   let empty = Profile.create () in
   Alcotest.(check string) "canonical empty form" "profile {\n}\n" (Profile.to_string empty);
@@ -240,6 +341,9 @@ let suite =
     ("merge_weighted and scale", `Quick, test_merge_weighted);
     Helpers.qcheck_to_alcotest prop_serialization_roundtrip;
     Helpers.qcheck_to_alcotest prop_structured_roundtrip;
+    Helpers.qcheck_to_alcotest prop_sharded_merge_matches_sequential;
+    Helpers.qcheck_to_alcotest prop_unit_weight_merge_exact;
+    Helpers.qcheck_to_alcotest prop_merge_weighted_commutes;
     ("empty profile round-trips", `Quick, test_empty_profile_roundtrip);
     ("of_string rejects garbage", `Quick, test_of_string_rejects_garbage);
     ("lbr drains on overflow and flush", `Quick, test_lbr_drains_on_overflow_and_flush);

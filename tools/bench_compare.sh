@@ -17,7 +17,10 @@
 #                       a baseline worktree's _build/default/bench/main.exe
 #                       and this tree's.
 #   EXPERIMENT_ID       experiment id as listed by `pibe experiment list`
-#                       (e.g. table1, sensitivity, online).
+#                       (e.g. table1, sensitivity, online, fleet — the
+#                       fleet experiment times the whole sharded-merge +
+#                       staged-rollout pipeline; pair it with --jobs N to
+#                       compare parallel configurations).
 #   extra args          forwarded to both sides (e.g. --quick, --jobs 4).
 #
 # Knobs (environment): BATCHES (default 3), RUNS (default 3, timed

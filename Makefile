@@ -1,6 +1,10 @@
-.PHONY: all build test check docs bench bench-smoke bench-smoke-fleet parity clean
+.PHONY: all build test check docs bench bench-smoke bench-smoke-fleet bench-smoke-frontier parity clean
 
 all: build
+
+# Scratch outputs from smoke/parity runs live under _build/ so they are
+# covered by dune clean and never show up as untracked files.
+SCRATCH = _build/smoke
 
 build:
 	dune build
@@ -11,17 +15,20 @@ test:
 # Everything a PR must keep green: build, the full test suite, the doc
 # lint (see `docs`), a pass-manager smoke run with inter-pass IR
 # validation on (traced, so the trace layer stays wired end to end), a
-# one-window continuous-profiling smoke on the tiny kernel, and the
-# cross-backend parity smoke (see `parity`).
+# one-window continuous-profiling smoke on the tiny kernel, the fleet
+# and frontier jobs-invariance smokes, and the cross-backend parity
+# smoke (see `parity`).
 check:
 	dune build
 	dune runtest
 	sh tools/check_mli_docs.sh
+	mkdir -p $(SCRATCH)
 	dune exec bin/pibe_cli.exe -- pipeline --scale 1 \
 	  --passes "icp(budget=99.999),inline(budget=99.9,lax),cleanup,retpoline,ret-retpoline" \
-	  --verify --trace _smoke_trace.json --trace-format chrome
+	  --verify --trace $(SCRATCH)/smoke_trace.json --trace-format chrome
 	dune exec bin/pibe_cli.exe -- online --scale 1 --windows 1 --requests 30
 	$(MAKE) bench-smoke-fleet
+	$(MAKE) bench-smoke-frontier
 	$(MAKE) parity
 
 # Cross-backend parity smoke: the bench-smoke workload once per
@@ -30,16 +37,19 @@ check:
 # Three legs: tiered compiled (the default), compiled with tier-up
 # disabled (pure baseline closures), and the reference interpreter —
 # so a fused-tier bug can't hide behind the tier-1 path and vice versa.
+# The workload includes one frontier config so the CFI/PAC cost paths
+# are proven bit-exact across engines too.
 parity:
 	dune build bench/main.exe
-	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
-	  --engine compiled | sed '/^\[bench harness finished/d' > _parity_compiled.txt
-	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
-	  --engine compiled --tierup 0 | sed '/^\[bench harness finished/d' > _parity_tier0.txt
-	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
-	  --engine interp | sed '/^\[bench harness finished/d' > _parity_interp.txt
-	cmp _parity_compiled.txt _parity_interp.txt
-	cmp _parity_tier0.txt _parity_interp.txt
+	mkdir -p $(SCRATCH)
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	  --engine compiled | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_compiled.txt
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	  --engine compiled --tierup 0 | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_tier0.txt
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	  --engine interp | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_interp.txt
+	cmp $(SCRATCH)/parity_compiled.txt $(SCRATCH)/parity_interp.txt
+	cmp $(SCRATCH)/parity_tier0.txt $(SCRATCH)/parity_interp.txt
 	@echo "parity: compiled (tiered and tier-0) and interp outputs are byte-identical"
 
 # Documentation: lint that every public module in lib/ carries a
@@ -64,8 +74,9 @@ bench:
 # and captures a Chrome trace of the whole run (load the .json in
 # chrome://tracing or https://ui.perfetto.dev).
 bench-smoke:
+	mkdir -p $(SCRATCH)
 	dune exec bench/main.exe -- --quick --table 5 --online --jobs 2 \
-	  --trace _bench_smoke_trace.json
+	  --trace $(SCRATCH)/bench_smoke_trace.json
 
 # Fleet smoke (part of `check`): a small fleet (6 instances, 2 domains)
 # through the sharded aggregator and the staged canary rollout, run
@@ -74,15 +85,26 @@ bench-smoke:
 # is enforced on every PR.
 bench-smoke-fleet:
 	dune build bench/main.exe
+	mkdir -p $(SCRATCH)
 	dune exec bench/main.exe -- --quick --fleet --jobs 2 \
-	  | sed '/^\[bench harness finished/d' > _fleet_smoke_j2.txt
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/fleet_smoke_j2.txt
 	dune exec bench/main.exe -- --quick --fleet --jobs 1 \
-	  | sed '/^\[bench harness finished/d' > _fleet_smoke_j1.txt
-	cmp _fleet_smoke_j1.txt _fleet_smoke_j2.txt
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/fleet_smoke_j1.txt
+	cmp $(SCRATCH)/fleet_smoke_j1.txt $(SCRATCH)/fleet_smoke_j2.txt
 	@echo "fleet smoke: sequential and parallel outputs are byte-identical"
+
+# Frontier smoke (part of `check`): the overhead-vs-security frontier
+# on the tiny kernel, sequential vs parallel, byte-diffed — pins both
+# the defense ledger and the jobs-invariance of the new CFI/PAC paths.
+bench-smoke-frontier:
+	dune build bench/main.exe
+	mkdir -p $(SCRATCH)
+	dune exec bench/main.exe -- --quick --frontier --jobs 2 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/frontier_smoke_j2.txt
+	dune exec bench/main.exe -- --quick --frontier --jobs 1 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/frontier_smoke_j1.txt
+	cmp $(SCRATCH)/frontier_smoke_j1.txt $(SCRATCH)/frontier_smoke_j2.txt
+	@echo "frontier smoke: sequential and parallel outputs are byte-identical"
 
 clean:
 	dune clean
-	rm -f _smoke_trace.json _bench_smoke_trace.json
-	rm -f _parity_compiled.txt _parity_tier0.txt _parity_interp.txt
-	rm -f _fleet_smoke_j1.txt _fleet_smoke_j2.txt

@@ -6,7 +6,8 @@
      bench/main.exe                 regenerate everything (paper order)
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
                                     --security, --ablation, --passes,
-                                    --online, --fleet, --listings)
+                                    --online, --fleet, --frontier,
+                                   --listings)
      bench/main.exe --quick         small kernel / fast settings
      bench/main.exe --jobs N        build/measure independent cells on up
                                     to N domains (1 = fully sequential;
@@ -121,6 +122,9 @@ let parse_args () =
       go rest
     | "--fleet" :: rest ->
       selected := "fleet" :: !selected;
+      go rest
+    | "--frontier" :: rest ->
+      selected := "frontier" :: !selected;
       go rest
     | "--listings" :: rest ->
       selected := "listings" :: !selected;

@@ -31,7 +31,8 @@ let seed_arg =
 
 let defenses_arg =
   let doc =
-    "Defense set: none, retpolines, ret-retpolines, lvi, or all (may be abbreviated)."
+    "Defense set: none, retpolines, ret-retpolines, lvi, fineibt, pac-ret, coarse-cfi, \
+     fineibt+pac-ret, or all (may be abbreviated)."
   in
   Arg.(value & opt string "all" & info [ "defenses" ] ~docv:"SET" ~doc)
 
@@ -133,11 +134,18 @@ let with_trace trace_path fmt k =
 let parse_defenses = function
   | "none" -> Ok Pibe_harden.Pass.no_defenses
   | "retpolines" | "retp" ->
-    Ok { Pibe_harden.Pass.retpolines = true; ret_retpolines = false; lvi = false }
+    Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.retpolines = true }
   | "ret-retpolines" | "retret" ->
-    Ok { Pibe_harden.Pass.retpolines = false; ret_retpolines = true; lvi = false }
-  | "lvi" -> Ok { Pibe_harden.Pass.retpolines = false; ret_retpolines = false; lvi = true }
+    Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.ret_retpolines = true }
+  | "lvi" -> Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.lvi = true }
   | "all" -> Ok Pibe_harden.Pass.all_defenses
+  | "fineibt" -> Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.fineibt = true }
+  | "pac" | "pac-ret" ->
+    Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.pac = true }
+  | "coarse-cfi" | "coarse" ->
+    Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.coarse_cfi = true }
+  | "fineibt+pac" | "fineibt+pac-ret" ->
+    Ok { Pibe_harden.Pass.no_defenses with Pibe_harden.Pass.fineibt = true; pac = true }
   | other -> Error (Printf.sprintf "unknown defense set %S" other)
 
 let gen ~seed ~scale = Pibe_kernel.Gen.generate { Pibe_kernel.Ctx.seed; scale }
@@ -290,7 +298,7 @@ let attack seed scale defenses engine tierup =
       Pibe_cpu.Attack.run_all engine ~victim_site:info.Pibe_kernel.Gen.victim_icall_site
         ~poisoned_addr:info.Pibe_kernel.Gen.victim_ops_addr
         ~gadget_fptr:info.Pibe_kernel.Gen.gadget_fptr ~gadget:info.Pibe_kernel.Gen.gadget
-        ~entry:info.Pibe_kernel.Gen.entry
+        ~valid_gadget:info.Pibe_kernel.Gen.valid_gadget ~entry:info.Pibe_kernel.Gen.entry
         ~args:[ Pibe_kernel.Gen.nr info "read"; 0; 5 ]
     in
     List.iter

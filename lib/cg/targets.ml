@@ -1,0 +1,80 @@
+(** Indirect-branch target sets for the CFI hardening family.
+
+    Derived statically from the program: the fptr table gives the
+    address-taken set (any entry can be the runtime value of an indirect
+    call, so coarse single-label CFI accepts all of them), while the
+    subset of those functions whose fptr index appears as a value in the
+    program's initialized global memory gets a FineIBT landing pad — the
+    compiler stamps pads only on functions whose address escapes into a
+    vtable/ops-structure, which is exactly what the generator's
+    [init_global] writes model.  A function that is merely
+    [register_fptr]'d (e.g. a planted speculation gadget) never receives
+    a pad.
+
+    Conservative by construction: initialized cells holding small
+    integers for other purposes (fd tables, protocol numbers) collide
+    with low fptr indices, so a few extra functions get pads — false
+    positives weaken FineIBT here exactly the way imprecise type-hash
+    collisions do on real kernels, and never break legitimate calls.
+
+    FineIBT validity additionally requires the pad's type hash to match:
+    modeled as the callee's parameter count equaling the call site's
+    argument count. *)
+
+open Pibe_ir
+
+type t = {
+  address_taken : (string, unit) Hashtbl.t;
+  pads : (string, int) Hashtbl.t;  (* padded function -> parameter count *)
+  site_args : (int, int) Hashtbl.t;  (* icall site_id -> argument count *)
+}
+
+let analyze (p : Program.t) =
+  let table = p.Program.fptr_table in
+  let n = Array.length table in
+  let address_taken = Hashtbl.create (2 * max n 1) in
+  Array.iter (fun name -> Hashtbl.replace address_taken name ()) table;
+  let pads = Hashtbl.create (2 * max n 1) in
+  (* Walk the explicit initializer writes, not the materialized memory
+     image: untouched cells default to 0 and must not make the function
+     at fptr index 0 universally padded. *)
+  List.iter
+    (fun (_addr, v) ->
+      if v >= 0 && v < n then begin
+        let name = table.(v) in
+        let params =
+          match Program.find_opt p name with
+          | Some f -> f.Types.params
+          | None -> 0
+        in
+        Hashtbl.replace pads name params
+      end)
+    p.Program.rev_globals_init;
+  let site_args = Hashtbl.create 64 in
+  Program.iter_funcs p (fun f ->
+      Array.iter
+        (fun (b : Types.block) ->
+          Array.iter
+            (fun (i : Types.inst) ->
+              match i with
+              | Types.Icall { args; site; _ } ->
+                Hashtbl.replace site_args site.Types.site_id (List.length args)
+              | _ -> ())
+            b.Types.insts)
+        f.Types.blocks);
+  { address_taken; pads; site_args }
+
+let has_pad t name = Hashtbl.mem t.pads name
+let address_taken t name = Hashtbl.mem t.address_taken name
+let pad_count t = Hashtbl.length t.pads
+let address_taken_count t = Hashtbl.length t.address_taken
+
+let fineibt_valid t ~(site : Types.site) ~target =
+  match Hashtbl.find_opt t.pads target with
+  | None -> false
+  | Some params -> (
+    match Hashtbl.find_opt t.site_args site.Types.site_id with
+    | Some nargs -> nargs = params
+    | None -> true (* unknown site (e.g. asm): pad presence is all we check *))
+
+let coarse_valid t ~target = Hashtbl.mem t.address_taken target

@@ -1,0 +1,37 @@
+(** Indirect-branch target sets for the CFI hardening family (FineIBT
+    landing pads, coarse single-label CFI).
+
+    The address-taken set is the program's fptr table; the landing-pad
+    set is the subset whose fptr index appears as a value in an explicit
+    initialized-global write (ops structures, vtables) — a function that
+    is merely registered in the table, like a planted speculation gadget,
+    never receives a pad.  FineIBT validity additionally matches the
+    pad's type hash, modeled as callee parameter count = call-site
+    argument count.  The analysis is conservative: initializer cells
+    holding small non-pointer integers collide with low fptr indices and
+    produce false-positive pads, weakening precision the way real-world
+    type-hash collisions do, without ever breaking a legitimate call. *)
+
+open Pibe_ir
+
+type t
+
+val analyze : Program.t -> t
+(** One pass over the fptr table, the initializer list and every icall
+    site of the program the image was built from (run it on the
+    post-optimization program so cloned site ids resolve). *)
+
+val has_pad : t -> string -> bool
+val address_taken : t -> string -> bool
+
+val pad_count : t -> int
+(** Number of functions carrying a landing pad (feeds byte accounting). *)
+
+val address_taken_count : t -> int
+
+val fineibt_valid : t -> site:Types.site -> target:string -> bool
+(** The transfer [site -> target] passes the FineIBT check: [target]
+    carries a pad whose arity matches the site's argument count. *)
+
+val coarse_valid : t -> target:string -> bool
+(** The transfer passes coarse CFI: [target] is address-taken at all. *)

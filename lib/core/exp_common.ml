@@ -1,9 +1,13 @@
 module Pass = Pibe_harden.Pass
 module Tbl = Pibe_util.Tbl
 
-let retpolines_only = { Pass.retpolines = true; ret_retpolines = false; lvi = false }
-let ret_retpolines_only = { Pass.retpolines = false; ret_retpolines = true; lvi = false }
-let lvi_only = { Pass.retpolines = false; ret_retpolines = false; lvi = true }
+let retpolines_only = { Pass.no_defenses with Pass.retpolines = true }
+let ret_retpolines_only = { Pass.no_defenses with Pass.ret_retpolines = true }
+let lvi_only = { Pass.no_defenses with Pass.lvi = true }
+let fineibt_only = { Pass.no_defenses with Pass.fineibt = true }
+let pac_only = { Pass.no_defenses with Pass.pac = true }
+let coarse_cfi_only = { Pass.no_defenses with Pass.coarse_cfi = true }
+let fineibt_pac = { Pass.no_defenses with Pass.fineibt = true; pac = true }
 let all_defenses = Pass.all_defenses
 let lto_with defenses = { Config.defenses; opt = Config.No_opt }
 
@@ -18,3 +22,37 @@ let best_config defenses =
 
 let pct v = Tbl.Pct v
 let cycles v = Tbl.Float v
+
+(* --- shared attack-drill helpers (Exp_security, Exp_frontier) --- *)
+
+(* After ICP/inlining the victim site has been rewritten or cloned; the
+   fallback / clone inherits the origin, so we can find the surviving
+   surface.  Preferring the highest id picks the clone on the hot
+   (inlined) path rather than the dead original body. *)
+let site_by_origin ~sites_of prog origin =
+  let found = ref None in
+  Pibe_ir.Program.iter_funcs prog (fun f ->
+      List.iter
+        (fun (s : Pibe_ir.Types.site) ->
+          if s.Pibe_ir.Types.site_origin = origin then
+            match !found with
+            | Some best when best >= s.Pibe_ir.Types.site_id -> ()
+            | _ -> found := Some s.Pibe_ir.Types.site_id)
+        (sites_of f));
+  !found
+
+let victim_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.icall_sites prog origin
+let asm_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.asm_icall_sites prog origin
+
+let drill_engine (built : Pipeline.built) =
+  let spec = Pibe_cpu.Speculation.create () in
+  let config =
+    {
+      (Pass.engine_config built.Pipeline.image) with
+      Pibe_cpu.Engine.speculation = Some spec;
+    }
+  in
+  Pibe_cpu.Engine.create ~config built.Pipeline.image.Pass.prog
+
+let verdict (outcome : Pibe_cpu.Attack.outcome) =
+  if outcome.Pibe_cpu.Attack.gadget_reached then "GADGET REACHED" else "blocked"

@@ -4,6 +4,17 @@
 val retpolines_only : Pibe_harden.Pass.defenses
 val ret_retpolines_only : Pibe_harden.Pass.defenses
 val lvi_only : Pibe_harden.Pass.defenses
+
+val fineibt_only : Pibe_harden.Pass.defenses
+(** FineIBT landing pads on forward edges, returns bare. *)
+
+val pac_only : Pibe_harden.Pass.defenses
+(** PAC return signing only. *)
+
+val coarse_cfi_only : Pibe_harden.Pass.defenses
+val fineibt_pac : Pibe_harden.Pass.defenses
+(** The FineIBT + PAC pairing real arm64/x86 kernels ship. *)
+
 val all_defenses : Pibe_harden.Pass.defenses
 
 val lto_with : Pibe_harden.Pass.defenses -> Config.t
@@ -20,3 +31,20 @@ val best_config : Pibe_harden.Pass.defenses -> Config.t
 
 val pct : float -> Pibe_util.Tbl.cell
 val cycles : float -> Pibe_util.Tbl.cell
+
+(** Shared helpers for the attack-drill experiments ([Exp_security],
+    [Exp_frontier]). *)
+
+val victim_site_in : Pibe_ir.Program.t -> int -> int option
+(** The surviving site whose origin is the given pre-optimization site id
+    (the hot clone when ICP/inlining duplicated it), among icall sites. *)
+
+val asm_site_in : Pibe_ir.Program.t -> int -> int option
+(** Same, among inline-assembly icall sites. *)
+
+val drill_engine : Pipeline.built -> Pibe_cpu.Engine.t
+(** A fresh engine on the built image with speculation drill state armed
+    and the image's protections installed. *)
+
+val verdict : Pibe_cpu.Attack.outcome -> string
+(** ["GADGET REACHED"] / ["blocked"]. *)

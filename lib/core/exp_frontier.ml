@@ -1,0 +1,108 @@
+module Tbl = Pibe_util.Tbl
+module Attack = Pibe_cpu.Attack
+module Speculation = Pibe_cpu.Speculation
+module Pass = Pibe_harden.Pass
+module Gen = Pibe_kernel.Gen
+
+(* The frontier's defense sets, cheap/weak to expensive/strong: the new
+   CFI/PAC family against the paper's retpoline stack.  Each is measured
+   under plain LTO and under the PIBE PGO front-end (ICP + profile-guided
+   inlining first, hardening on what survives). *)
+let defense_sets =
+  [
+    ("none", Pass.no_defenses);
+    ("coarse-cfi", Exp_common.coarse_cfi_only);
+    ("fineibt", Exp_common.fineibt_only);
+    ("pac-ret", Exp_common.pac_only);
+    ("fineibt+pac-ret", Exp_common.fineibt_pac);
+    ("retp+ret-retp", { Pass.no_defenses with Pass.retpolines = true; ret_retpolines = true });
+    ("all-defenses", Exp_common.all_defenses);
+  ]
+
+let drill_names = [ "v2"; "v2-pad"; "r2s"; "pac-forge"; "lvi" ]
+
+(* The per-image security ledger: five drills, each on a fresh engine so
+   one drill's predictor pollution cannot bleed into the next, each
+   reporting whether its gadget was transiently entered. *)
+let ledger info (built : Pipeline.built) =
+  let entry = info.Gen.entry in
+  let args = [ Gen.nr info "read"; 0; 5 ] in
+  let gadget = info.Gen.gadget in
+  let site =
+    Option.value
+      ~default:info.Gen.victim_icall_site
+      (Exp_common.victim_site_in built.Pipeline.image.Pass.prog info.Gen.victim_icall_site)
+  in
+  let outcome drill =
+    let e = Exp_common.drill_engine built in
+    (drill e).Attack.gadget_reached
+  in
+  [
+    ("v2", outcome (fun e -> Attack.spectre_v2 e ~victim_site:site ~gadget ~entry ~args));
+    ( "v2-pad",
+      outcome (fun e ->
+          Attack.spectre_v2_valid_pad e ~victim_site:site
+            ~valid_gadget:info.Gen.valid_gadget ~entry ~args) );
+    ( "r2s",
+      outcome (fun e ->
+          Attack.ret2spec e ~scenario:Speculation.User_pollution ~gadget ~entry ~args) );
+    ("pac-forge", outcome (fun e -> Attack.pac_forgery e ~gadget ~entry ~args));
+    ( "lvi",
+      outcome (fun e ->
+          Attack.lvi e ~poisoned_addr:info.Gen.victim_ops_addr
+            ~injected_fptr:info.Gen.gadget_fptr ~entry ~args) );
+  ]
+
+let surface reached =
+  let hit = List.filter snd reached in
+  let n = List.length hit in
+  let label =
+    if n = 0 then "-" else String.concat "," (List.map fst hit)
+  in
+  (Printf.sprintf "%d/%d" n (List.length reached), label)
+
+let run env =
+  let info = Env.info env in
+  let t =
+    Tbl.create
+      ~title:
+        "Frontier: geomean overhead vs surviving attack surface, per defense set, LTO vs \
+         PIBE-PGO"
+      ~columns:[ "defense"; "front-end"; "overhead"; "surface"; "surviving attacks" ]
+  in
+  let configs =
+    List.concat_map
+      (fun (_, d) ->
+        if d = Pass.no_defenses then []
+        else [ Exp_common.lto_with d; Exp_common.best_config d ])
+      defense_sets
+  in
+  Env.warm env (Config.lto :: Config.pibe_baseline :: configs);
+  List.iter
+    (fun (label, d) ->
+      (* The ledger is a property of the defense set, so it is taken on
+         the unoptimized image and shared by both rows: the PGO front-end
+         may remove the drilled branch outright (the security experiment
+         shows that), but it must never weaken what a defense blocks. *)
+      let n, hit = surface (ledger info (Env.build env (Exp_common.lto_with d))) in
+      let rows =
+        if d = Pass.no_defenses then
+          [ ("LTO", Config.lto, 0.0); ("PIBE-PGO", Config.pibe_baseline, nan) ]
+        else
+          [
+            ("LTO", Exp_common.lto_with d, nan);
+            ("PIBE-PGO", Exp_common.best_config d, nan);
+          ]
+      in
+      List.iter
+        (fun (fe, config, fixed_ov) ->
+          let ov =
+            if Float.is_nan fixed_ov then
+              Env.geomean_overhead env ~baseline:Config.lto config
+            else fixed_ov
+          in
+          Tbl.add_row t
+            [ Tbl.Str label; Tbl.Str fe; Exp_common.pct ov; Tbl.Str n; Tbl.Str hit ])
+        rows)
+    defense_sets;
+  t

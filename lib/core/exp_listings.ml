@@ -8,4 +8,7 @@ let render () =
          ("Listing 5: LVI-CFI forward thunk", `Lvi_forward);
          ("Listing 6: LVI-CFI backward sequence", `Lvi_backward);
          ("Listing 7: LVI-protected (fenced) retpoline", `Fenced_retpoline);
+         ("Listing 8: FineIBT landing pad + hash check", `Fineibt);
+         ("Listing 9: coarse single-label CFI", `Coarse_cfi);
+         ("Listing 10: PAC return signing", `Pac_ret);
        ])

@@ -40,34 +40,10 @@ let images env =
         ("all defenses + PIBE opt", Exp_common.best_config Exp_common.all_defenses);
       ]
 
-(* After ICP/inlining the victim site has been rewritten or cloned; the
-   fallback / clone inherits the origin, so we can find the surviving
-   surface.  Preferring the highest id picks the clone on the hot
-   (inlined) path rather than the dead original body. *)
-let site_by_origin ~sites_of prog origin =
-  let found = ref None in
-  Pibe_ir.Program.iter_funcs prog (fun f ->
-      List.iter
-        (fun (s : Pibe_ir.Types.site) ->
-          if s.Pibe_ir.Types.site_origin = origin then
-            match !found with
-            | Some best when best >= s.Pibe_ir.Types.site_id -> ()
-            | _ -> found := Some s.Pibe_ir.Types.site_id)
-        (sites_of f));
-  !found
-
-let victim_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.icall_sites prog origin
-let asm_site_in prog origin = site_by_origin ~sites_of:Pibe_ir.Func.asm_icall_sites prog origin
-
-let drill_engine built =
-  let spec = Speculation.create () in
-  let config =
-    { (Pass.engine_config built.Pipeline.image) with Engine.speculation = Some spec }
-  in
-  Engine.create ~config built.Pipeline.image.Pass.prog
-
-let verdict (outcome : Attack.outcome) =
-  if outcome.Attack.gadget_reached then "GADGET REACHED" else "blocked"
+let victim_site_in = Exp_common.victim_site_in
+let asm_site_in = Exp_common.asm_site_in
+let drill_engine = Exp_common.drill_engine
+let verdict = Exp_common.verdict
 
 let run env =
   let info = Env.info env in

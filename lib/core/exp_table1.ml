@@ -30,7 +30,7 @@ let rows =
     Transient
       {
         label = "retpolines + LVI-CFI";
-        defenses = { Pass.retpolines = true; ret_retpolines = false; lvi = true };
+        defenses = { Pass.no_defenses with Pass.retpolines = true; lvi = true };
       };
     Transient { label = "return retpolines"; defenses = Exp_common.ret_retpolines_only };
     Transient { label = "all defenses"; defenses = Exp_common.all_defenses };

@@ -139,6 +139,12 @@ let all =
       run = Exp_fleet.run;
     };
     {
+      id = "frontier";
+      paper_ref = "DESIGN.md defense diversity";
+      description = "extension: overhead-vs-security frontier across defense sets";
+      run = one Exp_frontier.run;
+    };
+    {
       id = "passes";
       paper_ref = "DESIGN.md section 2";
       description = "extension: per-pass pipeline instrumentation (pass manager)";

@@ -60,7 +60,10 @@ let opt_spec = function
 let defense_spec (d : Pibe_harden.Pass.defenses) =
   (if d.Pibe_harden.Pass.retpolines then [ Spec.elem "retpoline" ] else [])
   @ (if d.Pibe_harden.Pass.ret_retpolines then [ Spec.elem "ret-retpoline" ] else [])
-  @ if d.Pibe_harden.Pass.lvi then [ Spec.elem "lvi-cfi" ] else []
+  @ (if d.Pibe_harden.Pass.lvi then [ Spec.elem "lvi-cfi" ] else [])
+  @ (if d.Pibe_harden.Pass.fineibt then [ Spec.elem "fineibt" ] else [])
+  @ (if d.Pibe_harden.Pass.pac then [ Spec.elem "pac-ret" ] else [])
+  @ if d.Pibe_harden.Pass.coarse_cfi then [ Spec.elem "coarse-cfi" ] else []
 
 let spec_of_config (c : Config.t) = opt_spec c.Config.opt @ defense_spec c.Config.defenses
 

@@ -24,6 +24,22 @@ let spectre_v2 engine ~victim_site ~gadget ~entry ~args =
   Btb.train (Engine.btb engine) ~site:victim_site ~target:(Engine.func_id engine gadget);
   run_and_collect engine s ~mechanism:Speculation.Spectre_v2 ~gadget ~entry ~args
 
+(* Same BTB injection, but towards a function that legitimately appears
+   in an ops structure — it carries a FineIBT landing pad, so set-based
+   CFI lets the transient entry through while a retpoline still kills
+   it.  The drill that separates "no speculation" from "restricted
+   speculation". *)
+let spectre_v2_valid_pad engine ~victim_site ~valid_gadget ~entry ~args =
+  spectre_v2 engine ~victim_site ~gadget:valid_gadget ~entry ~args
+
+(* Ret2spec via a correctly-signed forged return pointer (PAC
+   signing-gadget attack): authentication passes, so PAC lets it
+   through; only a full software return thunk blocks it. *)
+let pac_forgery engine ~gadget ~entry ~args =
+  let s = spec_exn engine in
+  Speculation.inject_rsb s ~scenario:Speculation.Forged_pac ~gadget;
+  run_and_collect engine s ~mechanism:Speculation.Ret2spec ~gadget ~entry ~args
+
 let ret2spec engine ~scenario ~gadget ~entry ~args =
   let s = spec_exn engine in
   (* Arm a one-shot desynchronization (any of the paper's five pollution
@@ -41,12 +57,16 @@ let lvi engine ~poisoned_addr ~injected_fptr ~entry ~args =
   in
   run_and_collect engine s ~mechanism:Speculation.Lvi ~gadget ~entry ~args
 
-let run_all engine ~victim_site ~poisoned_addr ~gadget_fptr ~gadget ~entry ~args =
+let run_all engine ~victim_site ~poisoned_addr ~gadget_fptr ~gadget ~valid_gadget ~entry
+    ~args =
   [
     ( Speculation.mechanism_name Speculation.Spectre_v2,
       spectre_v2 engine ~victim_site ~gadget ~entry ~args );
+    ( "v2-valid-pad",
+      spectre_v2_valid_pad engine ~victim_site ~valid_gadget ~entry ~args );
     ( Speculation.mechanism_name Speculation.Ret2spec,
       ret2spec engine ~scenario:Speculation.User_pollution ~gadget ~entry ~args );
+    ("pac-forgery", pac_forgery engine ~gadget ~entry ~args);
     ( Speculation.mechanism_name Speculation.Lvi,
       lvi engine ~poisoned_addr ~injected_fptr:gadget_fptr ~entry ~args );
   ]

@@ -15,6 +15,19 @@ val spectre_v2 :
 (** Trains the BTB slot of [victim_site] towards [gadget] (as an aliasing
     attacker thread would), then runs [entry args]. *)
 
+val spectre_v2_valid_pad :
+  Engine.t ->
+  victim_site:int ->
+  valid_gadget:string ->
+  entry:string ->
+  args:int list ->
+  outcome
+(** The V2 injection aimed at a function that legitimately sits in an ops
+    structure, so it carries an arity-matching FineIBT landing pad:
+    set-based CFI admits the transient entry that a retpoline blocks —
+    the residual attack surface of restricted (vs. eliminated)
+    speculation. *)
+
 val ret2spec :
   Engine.t ->
   scenario:Speculation.rsb_scenario ->
@@ -25,6 +38,11 @@ val ret2spec :
 (** Arms an RSB desynchronization towards [gadget] before the run.
     [User_pollution] is defeated by entry-point RSB refilling;
     [Cross_thread] is not (paper §6.4). *)
+
+val pac_forgery : Engine.t -> gadget:string -> entry:string -> args:int list -> outcome
+(** Ret2spec through a correctly-signed forged return pointer (the PAC
+    signing-gadget attack): the authenticate passes, so PAC return
+    signing admits it; only a software return thunk blocks it. *)
 
 val lvi :
   Engine.t -> poisoned_addr:int -> injected_fptr:int -> entry:string -> args:int list -> outcome
@@ -38,7 +56,12 @@ val run_all :
   poisoned_addr:int ->
   gadget_fptr:int ->
   gadget:string ->
+  valid_gadget:string ->
   entry:string ->
   args:int list ->
   (string * outcome) list
-(** The three drills back to back; returns (mechanism name, outcome). *)
+(** The five drills back to back on one engine (spectre-v2,
+    v2-valid-pad, ret2spec, pac-forgery, lvi); returns
+    (drill name, outcome).  [valid_gadget] must be a landing-pad-carrying
+    function matching the victim site's arity (e.g. another filesystem's
+    read handler, see [Pibe_kernel.Gen.info]). *)

@@ -28,6 +28,16 @@ let ret_retpoline_cost = 17
 let lvi_ret_cost = 12
 let fenced_ret_retpoline_cost = 33
 
+(* CFI-family sequences keep the branch predictor in the loop: the check
+   is a constant add on top of the predicted/mispredicted base, unlike the
+   flat (prediction-free) retpoline thunks.  FineIBT pays the hash compare
+   at the landing pad (~4), the coarse single-label check is one compare
+   and jump (~2), and PAC pays the pointer authenticate before the return
+   retires (~6 on cores without fused AUT+RET). *)
+let fineibt_check_cost = 4
+let coarse_cfi_check_cost = 2
+let pac_auth_cost = 6
+
 let forward_cost (p : Protection.forward) ~btb_hit =
   match p with
   | Protection.F_none ->
@@ -35,6 +45,12 @@ let forward_cost (p : Protection.forward) ~btb_hit =
   | Protection.F_retpoline -> retpoline_cost
   | Protection.F_lvi -> lvi_forward_cost
   | Protection.F_fenced_retpoline -> fenced_retpoline_cost
+  | Protection.F_fineibt ->
+    (if btb_hit then icall_predicted else icall_predicted + icall_mispredict_penalty)
+    + fineibt_check_cost
+  | Protection.F_coarse_cfi ->
+    (if btb_hit then icall_predicted else icall_predicted + icall_mispredict_penalty)
+    + coarse_cfi_check_cost
 
 let backward_cost (p : Protection.backward) ~rsb_hit =
   match p with
@@ -42,6 +58,8 @@ let backward_cost (p : Protection.backward) ~rsb_hit =
   | Protection.B_ret_retpoline -> ret_retpoline_cost
   | Protection.B_lvi -> lvi_ret_cost
   | Protection.B_fenced_ret_retpoline -> fenced_ret_retpoline_cost
+  | Protection.B_pac ->
+    (if rsb_hit then ret_base else ret_base + ret_mispredict_penalty) + pac_auth_cost
 
 let icache_miss_base = 12
 let icache_miss_per_line = 2

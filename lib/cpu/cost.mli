@@ -42,10 +42,22 @@ val ret_mispredict_penalty : int
 val icp_check : int
 (** One promoted-target compare (the paper cites ~2 ticks). *)
 
+val fineibt_check_cost : int
+(** Landing-pad hash compare, added on top of the predicted/mispredicted
+    base (FineIBT keeps the BTB in the loop). *)
+
+val coarse_cfi_check_cost : int
+(** Single-label compare-and-jump of the coarse CFI baseline. *)
+
+val pac_auth_cost : int
+(** Pointer authenticate before the return retires (PAC return signing);
+    added on top of the RSB hit/miss base. *)
+
 val forward_cost : Pibe_ir.Protection.forward -> btb_hit:bool -> int
 (** Full cost of an indirect call's transfer under the given protection.
-    Protected forms never consult the BTB, so [btb_hit] is ignored for
-    them. *)
+    The retpoline/LVI thunks never consult the BTB, so [btb_hit] is
+    ignored for them; the CFI kinds keep the predictor in the loop and add
+    their check cost on top of the hit/miss base. *)
 
 val backward_cost : Pibe_ir.Protection.backward -> rsb_hit:bool -> int
 (** Full cost of one return instruction. *)

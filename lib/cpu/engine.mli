@@ -109,6 +109,13 @@ type edge_event = {
 type config = {
   fwd_protection : Types.site -> Protection.forward;
   bwd_protection : string -> Protection.backward;
+  cfi_valid :
+    site:Types.site -> target:string -> protection:Protection.forward -> bool;
+      (** Target-set oracle for the CFI forward kinds ([F_fineibt],
+          [F_coarse_cfi]): a transient entry into [target] only lands
+          when this returns true (the hardening pass installs the
+          landing-pad / address-taken analysis here; defaults to
+          always-valid, i.e. a label-only check) *)
   fwd_override : (site:Types.site -> target:string -> int) option;
       (** When set, indirect-call transfer cycles come from this hook
           instead of the protection/BTB machinery — used by stateful

@@ -33,6 +33,7 @@ type edge_event = {
 type config = {
   fwd_protection : site -> Protection.forward;
   bwd_protection : string -> Protection.backward;
+  cfi_valid : site:site -> target:string -> protection:Protection.forward -> bool;
   fwd_override : (site:site -> target:string -> int) option;
   icache_bytes : int;
   footprint : func -> int;
@@ -51,6 +52,7 @@ let default_config =
   {
     fwd_protection = (fun _ -> Protection.F_none);
     bwd_protection = (fun _ -> Protection.B_none);
+    cfi_valid = (fun ~site:_ ~target:_ ~protection:_ -> true);
     fwd_override = None;
     icache_bytes = 32 * 1024;
     footprint = Layout.func_size;
@@ -373,6 +375,23 @@ let indirect_transfer t ~site ~target ~fptr_taint ~protection =
           gadget = func_name t predicted;
         }
     | _ -> ())
+  | Protection.F_fineibt | Protection.F_coarse_cfi ->
+    (* CFI checks keep the BTB in the loop: the branch predicts and
+       trains normally and pays the check on top.  A transiently entered
+       target only matters when it passes the target-set check — the
+       whole point of the landing-pad precision model. *)
+    let predicted = Btb.predict t.tbtb ~site:site.site_id in
+    let hit = predicted = target in
+    if not hit then t.ctrs.btb_misses <- t.ctrs.btb_misses + 1;
+    charge t (Cost.forward_cost protection ~btb_hit:hit);
+    Btb.train t.tbtb ~site:site.site_id ~target;
+    (match spec with
+    | Some s when predicted <> Btb.no_target && predicted <> target ->
+      let gadget = func_name t predicted in
+      if t.cfg.cfi_valid ~site ~target:gadget ~protection then
+        Speculation.record s
+          { Speculation.mechanism = Speculation.Spectre_v2; site_id = site.site_id; gadget }
+    | _ -> ())
   | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
     charge t (Cost.forward_cost protection ~btb_hit:false);
     (* Retpolines never execute a BTB-predicted branch; the LVI thunk
@@ -391,15 +410,21 @@ let indirect_transfer t ~site ~target ~fptr_taint ~protection =
       | _ -> ()
     end);
   (* LVI: a poisoned branch-target load lets the attacker steer the
-     transient call unless the sequence fences the load. *)
+     transient call unless the sequence fences the load.  Under a CFI
+     kind the injected target still has to pass the target-set check
+     before the transient entry lands. *)
   match (spec, fptr_taint) with
   | Some s, Some injected when not (Protection.forward_stops_lvi protection) ->
     let gadget =
       if injected >= 0 && injected < Array.length t.fptr_table then t.fptr_table.(injected)
       else "#fault"
     in
-    Speculation.record s
-      { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
+    if
+      (not (Protection.forward_checks_target protection))
+      || t.cfg.cfi_valid ~site ~target:gadget ~protection
+    then
+      Speculation.record s
+        { Speculation.mechanism = Speculation.Lvi; site_id = site.site_id; gadget }
   | _ -> ()
 
 (* Bounds/unknown-name checks on an evaluated fptr value; returns the
@@ -434,7 +459,7 @@ let do_ret t (cf : cfunc) ~ret_to =
       (* An armed desynchronization means this return's prediction is
          attacker-controlled. *)
       (match Speculation.take_rsb_desync s with
-      | Some gadget ->
+      | Some (_, gadget) ->
         Speculation.record s
           { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
       | None -> ());
@@ -446,6 +471,24 @@ let do_ret t (cf : cfunc) ~ret_to =
             gadget = func_name t popped;
           }
     | _ -> ())
+  | Protection.B_pac ->
+    (* PAC signs the return address at call time and authenticates it
+       here: the RSB still predicts (and pays hit/miss as usual), but a
+       poisoned prediction is squashed by the failing authenticate — no
+       transient entry, no RSB refill needed.  A correctly-signed forged
+       pointer (signing-gadget attack) authenticates fine and survives. *)
+    let popped = Rsb.pop t.trsb in
+    let hit = popped = ret_to in
+    if not hit then t.ctrs.rsb_misses <- t.ctrs.rsb_misses + 1;
+    charge t (Cost.backward_cost protection ~rsb_hit:hit);
+    (match t.cfg.speculation with
+    | Some s ->
+      (match Speculation.take_rsb_desync s with
+      | Some (Speculation.Forged_pac, gadget) ->
+        Speculation.record s
+          { Speculation.mechanism = Speculation.Ret2spec; site_id = -1; gadget }
+      | Some ((Speculation.User_pollution | Speculation.Cross_thread), _) | None -> ())
+    | None -> ())
   | Protection.B_ret_retpoline | Protection.B_fenced_ret_retpoline ->
     (* The sequence forces the top-of-RSB into a known state; the stale
        entry is consumed without being followed. *)

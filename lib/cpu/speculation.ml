@@ -12,6 +12,7 @@ type event = {
 type rsb_scenario =
   | User_pollution
   | Cross_thread
+  | Forged_pac
 
 type t = {
   lvi_loads : (int, int) Hashtbl.t;
@@ -26,14 +27,14 @@ let inject_rsb t ~scenario ~gadget = t.rsb_desync <- Some (scenario, gadget)
 let take_rsb_desync t =
   match t.rsb_desync with
   | None -> None
-  | Some (_, g) ->
+  | Some _ as pending ->
     t.rsb_desync <- None;
-    Some g
+    pending
 
 let clear_user_rsb_desync t =
   match t.rsb_desync with
   | Some (User_pollution, _) -> t.rsb_desync <- None
-  | Some (Cross_thread, _) | None -> ()
+  | Some ((Cross_thread | Forged_pac), _) | None -> ()
 let inject_load t ~addr ~value = Hashtbl.replace t.lvi_loads addr value
 let injected_load t ~addr = Hashtbl.find_opt t.lvi_loads addr
 let record t e = t.rev_events <- e :: t.rev_events

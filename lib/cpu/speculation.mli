@@ -35,12 +35,19 @@ type rsb_scenario =
       (** desynchronization arising inside the kernel (context-switch
           reuse, speculative pollution, call/ret-breaking constructs) —
           beyond refilling's reach, per paper §6.4 *)
+  | Forged_pac
+      (** a return-address slot overwritten with a correctly-signed forged
+          pointer (signing-gadget attack): PAC authentication passes, so
+          only a full software return thunk stops it *)
 
 val inject_rsb : t -> scenario:rsb_scenario -> gadget:string -> unit
 (** Arms a one-shot RSB desynchronization.  The next unprotected return
     consumes it and transiently enters the gadget. *)
 
-val take_rsb_desync : t -> string option
+val take_rsb_desync : t -> (rsb_scenario * string) option
+(** Consumes a pending desynchronization, returning the scenario so the
+    return path can discriminate (PAC lets only [Forged_pac] through). *)
+
 val clear_user_rsb_desync : t -> unit
 (** Drops a pending [User_pollution] desynchronization (what refilling
     the buffer at kernel entry achieves). *)

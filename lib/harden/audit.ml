@@ -57,13 +57,15 @@ let fully_protected report ~against =
   (* Forward edges: every vulnerable indirect call must be an untouchable
      assembly site. *)
   let fwd_ok =
-    (not (against.Pass.retpolines || against.Pass.lvi))
+    (not
+       (against.Pass.retpolines || against.Pass.lvi || against.Pass.fineibt
+      || against.Pass.coarse_cfi))
     || report.vulnerable_icalls = report.asm_icalls
   in
   (* Backward edges: every bare return must belong to boot-only (or asm)
      code. *)
   let bwd_ok =
-    (not (against.Pass.ret_retpolines || against.Pass.lvi))
+    (not (against.Pass.ret_retpolines || against.Pass.lvi || against.Pass.pac))
     || report.vulnerable_rets <= report.boot_only_rets + report.asm_rets
   in
   fwd_ok && bwd_ok

@@ -1,0 +1,40 @@
+(** CFI validity oracle for the FineIBT / coarse-CFI forward defenses.
+
+    A thin policy layer over the [Pibe_cg.Targets] analysis: it decides,
+    per protection kind, whether a transient transfer [site -> target]
+    passes the inserted check.  [Pass.harden] runs the analysis on the
+    hardened (post-optimization) program and [Pass.engine_config]
+    installs {!valid} as the engine's [cfi_valid] hook, so both execution
+    backends share one oracle.  Also the source of the landing-pad byte
+    accounting (a pad lives in each padded function's prologue). *)
+
+open Pibe_ir
+
+type t = { targets : Pibe_cg.Targets.t }
+
+let analyze prog = { targets = Pibe_cg.Targets.analyze prog }
+
+let valid t ~(protection : Protection.forward) ~site ~target =
+  match protection with
+  | Protection.F_fineibt -> Pibe_cg.Targets.fineibt_valid t.targets ~site ~target
+  | Protection.F_coarse_cfi -> Pibe_cg.Targets.coarse_valid t.targets ~target
+  | Protection.F_none | Protection.F_retpoline | Protection.F_lvi
+  | Protection.F_fenced_retpoline ->
+    true
+
+let has_pad t name = Pibe_cg.Targets.has_pad t.targets name
+let pad_count t = Pibe_cg.Targets.pad_count t.targets
+let address_taken_count t = Pibe_cg.Targets.address_taken_count t.targets
+
+let pad_bytes t ~(protection : Protection.forward) fname =
+  match protection with
+  | Protection.F_fineibt ->
+    if has_pad t fname then Thunks.per_pad_bytes protection else 0
+  | Protection.F_coarse_cfi ->
+    (* every address-taken function gets the shared endbr64 label *)
+    if Pibe_cg.Targets.address_taken t.targets fname then
+      Thunks.per_pad_bytes protection
+    else 0
+  | Protection.F_none | Protection.F_retpoline | Protection.F_lvi
+  | Protection.F_fenced_retpoline ->
+    0

@@ -1,0 +1,27 @@
+(** CFI validity oracle for the FineIBT / coarse-CFI forward defenses:
+    wraps the [Pibe_cg.Targets] target-set analysis with the per-kind
+    policy ({!valid}) the engine's [cfi_valid] hook consumes, and the
+    landing-pad byte accounting the image footprints consume. *)
+
+open Pibe_ir
+
+type t
+
+val analyze : Program.t -> t
+(** Run on the post-optimization program whose image is being hardened,
+    so cloned/promoted site ids resolve. *)
+
+val valid :
+  t -> protection:Protection.forward -> site:Types.site -> target:string -> bool
+(** Does a transient transfer [site -> target] pass the inserted check?
+    FineIBT: the target carries an arity-matching landing pad; coarse
+    CFI: the target is address-taken; every other kind: vacuously true
+    (those kinds never consult the oracle). *)
+
+val has_pad : t -> string -> bool
+val pad_count : t -> int
+val address_taken_count : t -> int
+
+val pad_bytes : t -> protection:Protection.forward -> string -> int
+(** Prologue bytes the named function pays for its landing pad under the
+    given forward kind (0 when it carries none, and for non-CFI kinds). *)

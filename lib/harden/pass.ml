@@ -5,35 +5,68 @@ type defenses = {
   retpolines : bool;
   ret_retpolines : bool;
   lvi : bool;
+  fineibt : bool;
+  pac : bool;
+  coarse_cfi : bool;
 }
 
-let no_defenses = { retpolines = false; ret_retpolines = false; lvi = false }
-let all_defenses = { retpolines = true; ret_retpolines = true; lvi = true }
+let no_defenses =
+  {
+    retpolines = false;
+    ret_retpolines = false;
+    lvi = false;
+    fineibt = false;
+    pac = false;
+    coarse_cfi = false;
+  }
+
+(* "all-defenses" keeps its historical meaning — the paper's full
+   retpoline/LVI stack.  The CFI/PAC family is an alternative frontier
+   point, not a layer on top of it. *)
+let all_defenses = { no_defenses with retpolines = true; ret_retpolines = true; lvi = true }
 
 let defenses_name d =
-  match (d.retpolines, d.ret_retpolines, d.lvi) with
-  | false, false, false -> "none"
-  | true, false, false -> "retpolines"
-  | false, true, false -> "ret-retpolines"
-  | false, false, true -> "lvi-cfi"
-  | true, true, true -> "all-defenses"
-  | true, true, false -> "retpolines+ret-retpolines"
-  | true, false, true -> "retpolines+lvi"
-  | false, true, true -> "ret-retpolines+lvi"
+  let legacy =
+    match (d.retpolines, d.ret_retpolines, d.lvi) with
+    | false, false, false -> []
+    | true, false, false -> [ "retpolines" ]
+    | false, true, false -> [ "ret-retpolines" ]
+    | false, false, true -> [ "lvi-cfi" ]
+    | true, true, true -> [ "all-defenses" ]
+    | true, true, false -> [ "retpolines"; "ret-retpolines" ]
+    | true, false, true -> [ "retpolines"; "lvi" ]
+    | false, true, true -> [ "ret-retpolines"; "lvi" ]
+  in
+  let parts =
+    legacy
+    @ (if d.fineibt then [ "fineibt" ] else [])
+    @ (if d.pac then [ "pac-ret" ] else [])
+    @ if d.coarse_cfi then [ "coarse-cfi" ] else []
+  in
+  match parts with
+  | [] -> "none"
+  | parts -> String.concat "+" parts
 
+(* Kind precedence when several forward (or backward) requests are
+   combined: the thunk-based retpoline/LVI family subsumes the check-based
+   CFI kinds (a retpoline never executes the predicted branch the check
+   would have to vet), and FineIBT subsumes the coarse label. *)
 let forward_kind d =
   match (d.retpolines, d.lvi) with
   | true, true -> Protection.F_fenced_retpoline
   | true, false -> Protection.F_retpoline
   | false, true -> Protection.F_lvi
-  | false, false -> Protection.F_none
+  | false, false ->
+    if d.fineibt then Protection.F_fineibt
+    else if d.coarse_cfi then Protection.F_coarse_cfi
+    else Protection.F_none
 
 let backward_kind d =
   match (d.ret_retpolines, d.lvi) with
   | true, true -> Protection.B_fenced_ret_retpoline
   | true, false -> Protection.B_ret_retpoline
   | false, true -> Protection.B_lvi
-  | false, false -> Protection.B_none
+  | false, false -> if d.pac then Protection.B_pac else Protection.B_none
 
 type image = {
   prog : Program.t;
@@ -41,12 +74,14 @@ type image = {
   rsb_refill : bool;
   fwd : (int, Protection.forward) Hashtbl.t;
   bwd : (string, Protection.backward) Hashtbl.t;
+  cfi : Cfi.t option;
   thunk_bytes : int;
   hardened_icall_sites : int;
   hardened_ret_sites : int;
 }
 
-let any_defense d = d.retpolines || d.ret_retpolines || d.lvi
+let any_defense d =
+  d.retpolines || d.ret_retpolines || d.lvi || d.fineibt || d.pac || d.coarse_cfi
 
 let lower_jump_tables f =
   Func.map_blocks f ~f:(fun _ b ->
@@ -91,12 +126,22 @@ let harden ?(rsb_refill = false) prog defenses =
         end
       end);
   let thunk_bytes = Thunks.shared_thunk_bytes fkind in
+  (* The CFI kinds need the target-set oracle; run it on the hardened
+     program so promoted/cloned sites resolve. *)
+  let cfi =
+    match fkind with
+    | Protection.F_fineibt | Protection.F_coarse_cfi -> Some (Cfi.analyze !prog)
+    | Protection.F_none | Protection.F_retpoline | Protection.F_lvi
+    | Protection.F_fenced_retpoline ->
+      None
+  in
   {
     prog = !prog;
     defenses;
     rsb_refill;
     fwd;
     bwd;
+    cfi;
     thunk_bytes;
     hardened_icall_sites = !hardened_icalls;
     hardened_ret_sites = !hardened_rets;
@@ -117,7 +162,12 @@ let footprint image f =
       0 (Func.icall_sites f)
   in
   let bkind = bwd_protection image f.fname in
-  base + fkind_bytes + (Func.ret_count f * Thunks.per_ret_bytes bkind)
+  let pad_bytes =
+    match image.cfi with
+    | Some cfi -> Cfi.pad_bytes cfi ~protection:(forward_kind image.defenses) f.fname
+    | None -> 0
+  in
+  base + fkind_bytes + pad_bytes + (Func.ret_count f * Thunks.per_ret_bytes bkind)
 
 let image_bytes image =
   Program.fold_funcs image.prog ~init:image.thunk_bytes ~f:(fun acc f ->
@@ -128,6 +178,10 @@ let engine_config ?(base = Pibe_cpu.Engine.default_config) image =
     base with
     Pibe_cpu.Engine.fwd_protection = fwd_protection image;
     bwd_protection = bwd_protection image;
+    cfi_valid =
+      (match image.cfi with
+      | None -> base.Pibe_cpu.Engine.cfi_valid
+      | Some cfi -> fun ~site ~target ~protection -> Cfi.valid cfi ~protection ~site ~target);
     footprint = footprint image;
     rsb_refill = image.rsb_refill;
   }

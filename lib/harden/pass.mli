@@ -1,12 +1,23 @@
 (** The hardening pass (paper §4, §6): applies any combination of the
-    three transient defenses to every remaining indirect branch.
+    transient defenses to every remaining indirect branch.
 
+    The paper's retpoline/LVI stack:
     - Spectre V2 -> retpolines on indirect calls;
     - LVI -> LFENCE'd thunks on indirect calls and fenced returns;
     - Ret2spec -> return retpolines on every return instruction;
     - both forward defenses together -> the combined fenced retpoline;
-    - any defense enabled -> jump tables are re-lowered as branch ladders
-      (LLVM's behaviour once retpolines/LVI are on).
+
+    and the defense-diversity family (different cost/precision shapes,
+    same PIBE front-end):
+    - FineIBT-style landing pads (cheap per-branch check, set-based
+      precision via the [Cfi] target-set oracle);
+    - PAC-style return signing (per-return auth, no RSB refill needed,
+      forged-signature attacks survive);
+    - coarse single-label CFI (the frontier's cheap, weak end).
+
+    Any defense enabled -> jump tables are re-lowered as branch ladders
+    (LLVM's behaviour once retpolines/LVI are on; the CFI kinds need it
+    so every indirect transfer goes through a checked site).
 
     Exemptions mirror the paper's findings (§8.6): inline-assembly
     indirect calls (the para-virt layer) cannot be converted, functions
@@ -19,14 +30,26 @@ type defenses = {
   retpolines : bool;
   ret_retpolines : bool;
   lvi : bool;
+  fineibt : bool;
+  pac : bool;
+  coarse_cfi : bool;
 }
 
 val no_defenses : defenses
+
 val all_defenses : defenses
+(** The paper's full stack (retpolines + ret-retpolines + LVI), keeping
+    its historical name and output strings; the CFI/PAC kinds are
+    alternative frontier points, not part of it. *)
+
 val defenses_name : defenses -> string
 
 val forward_kind : defenses -> Protection.forward
+(** Combination precedence: the retpoline/LVI thunks subsume the
+    check-based CFI kinds, and FineIBT subsumes the coarse label. *)
+
 val backward_kind : defenses -> Protection.backward
+(** Return retpolines (plain or fenced) subsume PAC signing. *)
 
 type image = {
   prog : Program.t;
@@ -34,6 +57,8 @@ type image = {
   rsb_refill : bool;
   fwd : (int, Protection.forward) Hashtbl.t;  (** per protected icall site *)
   bwd : (string, Protection.backward) Hashtbl.t;  (** per protected function *)
+  cfi : Cfi.t option;
+      (** target-set oracle, present iff the forward kind is CFI-based *)
   thunk_bytes : int;  (** shared out-of-line thunk code *)
   hardened_icall_sites : int;
   hardened_ret_sites : int;

@@ -5,17 +5,29 @@ let shared_thunk_bytes = function
   | Protection.F_retpoline -> 32 (* __llvm_retpoline_r11 *)
   | Protection.F_lvi -> 16 (* __x86_indirect_thunk_r11 with lfence *)
   | Protection.F_fenced_retpoline -> 48 (* retpoline + notq/notq/lfence tail *)
+  | Protection.F_fineibt | Protection.F_coarse_cfi ->
+    0 (* CFI checks are inlined at sites and pads; no out-of-line thunk *)
 
 let per_icall_bytes = function
   | Protection.F_none -> 0
   | Protection.F_retpoline | Protection.F_lvi | Protection.F_fenced_retpoline ->
     5 (* mov %target,%r11 (3) + call thunk (5) replaces call *reg (3) *)
+  | Protection.F_fineibt -> 7 (* mov $hash,%r10d (6) + sub $0x?,%rip offset glue *)
+  | Protection.F_coarse_cfi -> 4 (* cmp label(%reg) + jne __cfi_slowpath stub *)
+
+let per_pad_bytes = function
+  | Protection.F_fineibt -> 16 (* endbr64 + xor-hash check + jne __fineibt_fail *)
+  | Protection.F_coarse_cfi -> 4 (* endbr64 as the single coarse label *)
+  | Protection.F_none | Protection.F_retpoline | Protection.F_lvi
+  | Protection.F_fenced_retpoline ->
+    0
 
 let per_ret_bytes = function
   | Protection.B_none -> 0
   | Protection.B_lvi -> 3 (* lfence *)
   | Protection.B_ret_retpoline -> 14 (* inlined call/pause/lfence/loop + stack fix *)
   | Protection.B_fenced_ret_retpoline -> 19
+  | Protection.B_pac -> 8 (* paciasp in the prologue + autiasp before ret *)
 
 let listing = function
   | `Retpoline ->
@@ -40,6 +52,34 @@ let listing = function
         "  jmpq *%r11";
       ]
   | `Lvi_backward -> String.concat "\n" [ "  pop %rcx"; "  lfence"; "  jmpq *%rcx" ]
+  | `Fineibt ->
+    String.concat "\n"
+      [
+        "  movl $0x12345678, %r10d  # caller: load callee's type hash";
+        "  call *%r11";
+        "callee:";
+        "  endbr64                  # landing pad";
+        "  xorl $0x12345678, %r10d  # hash check";
+        "  jne __fineibt_fail";
+      ]
+  | `Coarse_cfi ->
+    String.concat "\n"
+      [
+        "  call *%r11";
+        "callee:";
+        "  endbr64                  # single shared label: any address-taken";
+        "                           # function is a valid target";
+      ]
+  | `Pac_ret ->
+    String.concat "\n"
+      [
+        "prologue:";
+        "  paciasp                  # sign LR with SP as modifier";
+        "  ...";
+        "epilogue:";
+        "  autiasp                  # authenticate; poisoned prediction faults";
+        "  ret";
+      ]
   | `Fenced_retpoline ->
     String.concat "\n"
       [

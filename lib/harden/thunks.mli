@@ -15,9 +15,24 @@ val per_icall_bytes : Protection.forward -> int
 (** Extra bytes at each protected indirect call site (register move +
     thunk call vs. the bare [call *reg]). *)
 
+val per_pad_bytes : Protection.forward -> int
+(** Extra bytes in the prologue of each function carrying a landing pad
+    (FineIBT's endbr64 + hash check, coarse CFI's bare endbr64); 0 for the
+    thunk-based kinds, which add nothing to callees. *)
+
 val per_ret_bytes : Protection.backward -> int
 (** Extra bytes for each return instruction (return retpolines are inlined
-    at the return site, per the paper §6.1). *)
+    at the return site, per the paper §6.1; PAC adds the sign/auth pair). *)
 
-val listing : [ `Retpoline | `Lvi_forward | `Lvi_backward | `Fenced_retpoline ] -> string
-(** The corresponding assembly sequence, matching the paper's listings. *)
+val listing :
+  [ `Retpoline
+  | `Lvi_forward
+  | `Lvi_backward
+  | `Fenced_retpoline
+  | `Fineibt
+  | `Coarse_cfi
+  | `Pac_ret ] ->
+  string
+(** The corresponding assembly sequence, matching the paper's listings
+    (the CFI/PAC sequences follow the FineIBT paper and the AArch64
+    kernel's PAC usage rather than a PIBE listing). *)

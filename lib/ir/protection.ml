@@ -13,39 +13,52 @@ type forward =
   | F_retpoline  (** Listing 4: Spectre-V2 safe *)
   | F_lvi  (** Listing 5: LFENCE'd thunk, LVI safe *)
   | F_fenced_retpoline  (** Listing 7: Spectre-V2 + LVI safe *)
+  | F_fineibt  (** FineIBT landing-pad check: speculation survives, but
+                   only toward functions carrying a matching pad *)
+  | F_coarse_cfi  (** single-label coarse CFI: any address-taken function
+                      is a valid target *)
 
 type backward =
   | B_none
   | B_ret_retpoline  (** Ret2spec/RSB safe *)
   | B_lvi  (** Listing 6: LFENCE before return, LVI safe *)
   | B_fenced_ret_retpoline  (** RSB + LVI safe *)
+  | B_pac  (** PAC-style return-address signing: authentication kills
+               poisoned-RSB transients, but a forged signature survives *)
 
 let forward_name = function
   | F_none -> "none"
   | F_retpoline -> "retpoline"
   | F_lvi -> "lvi-cfi"
   | F_fenced_retpoline -> "fenced-retpoline"
+  | F_fineibt -> "fineibt"
+  | F_coarse_cfi -> "coarse-cfi"
 
 let backward_name = function
   | B_none -> "none"
   | B_ret_retpoline -> "ret-retpoline"
   | B_lvi -> "lvi-ret"
   | B_fenced_ret_retpoline -> "fenced-ret-retpoline"
+  | B_pac -> "pac-ret"
 
 (* Security properties used by the attack drills and the audit. *)
 
 let forward_stops_btb_injection = function
   | F_retpoline | F_fenced_retpoline -> true
-  | F_none | F_lvi -> false
+  | F_none | F_lvi | F_fineibt | F_coarse_cfi -> false
 
 let forward_stops_lvi = function
   | F_lvi | F_fenced_retpoline -> true
-  | F_none | F_retpoline -> false
+  | F_none | F_retpoline | F_fineibt | F_coarse_cfi -> false
+
+let forward_checks_target = function
+  | F_fineibt | F_coarse_cfi -> true
+  | F_none | F_retpoline | F_lvi | F_fenced_retpoline -> false
 
 let backward_stops_rsb_poisoning = function
-  | B_ret_retpoline | B_fenced_ret_retpoline -> true
+  | B_ret_retpoline | B_fenced_ret_retpoline | B_pac -> true
   | B_none | B_lvi -> false
 
 let backward_stops_lvi = function
   | B_lvi | B_fenced_ret_retpoline -> true
-  | B_none | B_ret_retpoline -> false
+  | B_none | B_ret_retpoline | B_pac -> false

@@ -13,12 +13,25 @@ type forward =
   | F_retpoline  (** Listing 4: Spectre-V2 safe *)
   | F_lvi  (** Listing 5: LFENCE'd thunk, LVI safe *)
   | F_fenced_retpoline  (** Listing 7: Spectre-V2 + LVI safe *)
+  | F_fineibt
+      (** FineIBT-style landing-pad check: the branch still uses the BTB,
+          so transient target injection survives — but only toward
+          functions carrying a matching landing pad (validity comes from
+          the [Pibe_harden.Cfi] target-set analysis via the engine's
+          [cfi_valid] hook). *)
+  | F_coarse_cfi
+      (** Coarse single-label CFI: any address-taken function is a valid
+          target.  The cheap low end of the precision/overhead frontier. *)
 
 type backward =
   | B_none
   | B_ret_retpoline  (** Ret2spec/RSB safe *)
   | B_lvi  (** Listing 6: LFENCE before return, LVI safe *)
   | B_fenced_ret_retpoline  (** RSB + LVI safe *)
+  | B_pac
+      (** PAC-style return-address signing: the authenticate on return
+          kills poisoned-RSB transients without an RSB refill, but a
+          forged signature (signing-gadget attack) survives. *)
 
 val forward_name : forward -> string
 val backward_name : backward -> string
@@ -27,5 +40,11 @@ val backward_name : backward -> string
 
 val forward_stops_btb_injection : forward -> bool
 val forward_stops_lvi : forward -> bool
+
+val forward_checks_target : forward -> bool
+(** True for the CFI kinds ([F_fineibt], [F_coarse_cfi]) whose transient
+    reachability depends on whether the predicted target passes the
+    engine's [cfi_valid] check, rather than being stopped outright. *)
+
 val backward_stops_rsb_poisoning : backward -> bool
 val backward_stops_lvi : backward -> bool

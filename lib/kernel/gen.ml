@@ -10,6 +10,7 @@ type info = {
   net : Net.t;
   gadget : string;
   gadget_fptr : int;
+  valid_gadget : string;
   victim_icall_site : int;
   victim_ops_addr : int;
   pv_call_site : int;
@@ -89,6 +90,10 @@ let generate cfg =
     net;
     gadget;
     gadget_fptr;
+    (* a pad-carrying, arity-matching hijack target for the CFI drills:
+       another filesystem's read handler, legitimately installed in its
+       ops structure, with the victim site's two-argument signature *)
+    valid_gadget = fs.Fs.fs_names.(1) ^ "_read";
     victim_icall_site = fs.Fs.victim_icall_site;
     victim_ops_addr = fs.Fs.victim_ops_addr;
     pv_call_site = mm_sub.Mm.pv_call_site;

@@ -15,6 +15,10 @@ type info = {
   net : Net.t;
   gadget : string;  (** never called legitimately; attack drills aim here *)
   gadget_fptr : int;
+  valid_gadget : string;
+      (** hijack target for the CFI drills: a pad-carrying function
+          (installed in an ops structure) whose arity matches the victim
+          site — xfs's read handler *)
   victim_icall_site : int;  (** the indirect call inside [vfs_read] *)
   victim_ops_addr : int;  (** the ext4 read-slot address that call loads from *)
   pv_call_site : int;  (** an *executed* inline-assembly hypercall site (mmap path) *)

@@ -134,12 +134,15 @@ let rsb_refill (e : Spec.elem) =
 let builders : (string * (Spec.elem -> (Pass.t, string) result)) list =
   [
     ("cleanup", cleanup);
+    ("coarse-cfi", fun e -> defense e (fun d -> { d with H.coarse_cfi = true }));
     ("fenced-retpoline", fun e -> defense e (fun d -> { d with H.retpolines = true; lvi = true }));
+    ("fineibt", fun e -> defense e (fun d -> { d with H.fineibt = true }));
     ("icp", icp);
     ("inline", inline);
     ("llvm-inline", llvm_inline);
     ("lvi-cfi", fun e -> defense e (fun d -> { d with H.lvi = true }));
     ("no-jump-tables", no_jump_tables);
+    ("pac-ret", fun e -> defense e (fun d -> { d with H.pac = true }));
     ("ret-retpoline", fun e -> defense e (fun d -> { d with H.ret_retpolines = true }));
     ("retpoline", fun e -> defense e (fun d -> { d with H.retpolines = true }));
     ("rsb-refill", rsb_refill);
@@ -180,8 +183,18 @@ let infos =
       info_opts = [];
     };
     {
+      info_name = "coarse-cfi";
+      info_doc = "request coarse single-label CFI checks on indirect calls";
+      info_opts = [];
+    };
+    {
       info_name = "fenced-retpoline";
       info_doc = "request retpolines + LVI (lowered to the combined fenced sequence)";
+      info_opts = [];
+    };
+    {
+      info_name = "fineibt";
+      info_doc = "request FineIBT-style landing pads on indirect-call targets";
       info_opts = [];
     };
     {
@@ -267,6 +280,11 @@ let infos =
     {
       info_name = "no-jump-tables";
       info_doc = "re-lower jump tables as branch ladders now (idempotent)";
+      info_opts = [];
+    };
+    {
+      info_name = "pac-ret";
+      info_doc = "request PAC-style return-address signing on every return";
       info_opts = [];
     };
     {

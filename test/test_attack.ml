@@ -40,9 +40,28 @@ let lvi defenses =
      ~injected_fptr:info.Gen.gadget_fptr ~entry:info.Gen.entry ~args:(read_args info))
     .Attack.gadget_reached
 
-let retp = { Pass.retpolines = true; ret_retpolines = false; lvi = false }
-let retret = { Pass.retpolines = false; ret_retpolines = true; lvi = false }
-let lvi_only = { Pass.retpolines = false; ret_retpolines = false; lvi = true }
+(* V2 through a landing-pad-valid gadget: the injected target is a real
+   registered handler with a pad of matching arity, so FineIBT's check
+   passes — only target-hiding defenses (retpolines) stop it. *)
+let v2_pad defenses =
+  let info, engine = drill_engine defenses in
+  (Attack.spectre_v2_valid_pad engine ~victim_site:info.Gen.victim_icall_site
+     ~valid_gadget:info.Gen.valid_gadget ~entry:info.Gen.entry ~args:(read_args info))
+    .Attack.gadget_reached
+
+let pac_forge defenses =
+  let info, engine = drill_engine defenses in
+  (Attack.pac_forgery engine ~gadget:info.Gen.gadget ~entry:info.Gen.entry
+     ~args:(read_args info))
+    .Attack.gadget_reached
+
+let retp = { Pass.no_defenses with Pass.retpolines = true }
+let retret = { Pass.no_defenses with Pass.ret_retpolines = true }
+let lvi_only = { Pass.no_defenses with Pass.lvi = true }
+let fineibt_only = { Pass.no_defenses with Pass.fineibt = true }
+let pac_only = { Pass.no_defenses with Pass.pac = true }
+let coarse_only = { Pass.no_defenses with Pass.coarse_cfi = true }
+let fineibt_pac = { Pass.no_defenses with Pass.fineibt = true; pac = true }
 
 let test_v2_matrix () =
   Alcotest.(check bool) "undefended reached" true (v2 Pass.no_defenses);
@@ -72,6 +91,44 @@ let test_lvi_matrix () =
   Alcotest.(check bool) "retpolines do NOT block lvi" true (lvi retp);
   Alcotest.(check bool) "lvi fences block" false (lvi lvi_only);
   Alcotest.(check bool) "all block" false (lvi Pass.all_defenses)
+
+(* The exhaustive drill x defense matrix: every registered defense set
+   against every drill, pinning each defense's blind spots as much as
+   its advertised blocks.  Column order: v2, v2-pad, r2s-user,
+   r2s-xthread, pac-forge, lvi; true = gadget reached. *)
+let test_full_matrix () =
+  let drills =
+    [
+      ("v2", v2);
+      ("v2-pad", v2_pad);
+      ("r2s-user", fun d -> r2s d);
+      ("r2s-xthread", fun d -> r2s ~scenario:Speculation.Cross_thread d);
+      ("pac-forge", pac_forge);
+      ("lvi", lvi);
+    ]
+  in
+  let sets =
+    [
+      ("none", Pass.no_defenses, [ true; true; true; true; true; true ]);
+      ("retpolines", retp, [ false; false; true; true; true; true ]);
+      ("ret-retpolines", retret, [ true; true; false; false; false; true ]);
+      ("lvi-cfi", lvi_only, [ true; true; true; true; true; false ]);
+      ("fineibt", fineibt_only, [ false; true; true; true; true; false ]);
+      ("pac-ret", pac_only, [ true; true; false; false; true; true ]);
+      ("coarse-cfi", coarse_only, [ true; true; true; true; true; true ]);
+      ("fineibt+pac", fineibt_pac, [ false; true; false; false; true; false ]);
+      ("all-defenses", Pass.all_defenses, [ false; false; false; false; false; false ]);
+    ]
+  in
+  List.iter
+    (fun (set_name, d, expected) ->
+      List.iter2
+        (fun (drill_name, drill) want ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s" drill_name set_name)
+            want (drill d))
+        drills expected)
+    sets
 
 let test_asm_site_always_vulnerable () =
   let info, engine = drill_engine Pass.all_defenses in
@@ -145,6 +202,7 @@ let suite =
     ("ret2spec defense matrix", `Quick, test_ret2spec_matrix);
     ("rsb refilling is partial", `Quick, test_rsb_refill_partial);
     ("lvi defense matrix", `Quick, test_lvi_matrix);
+    ("exhaustive drill x defense matrix", `Quick, test_full_matrix);
     ("asm para-virt call stays vulnerable", `Quick, test_asm_site_always_vulnerable);
     ("drills require speculation state", `Quick, test_attack_requires_spec_state);
     ("jumpswitch learns then patches", `Quick, test_js_learns_then_patches);

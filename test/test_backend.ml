@@ -90,18 +90,26 @@ let hardened () =
       Engine.record_trace = true;
       fwd_protection =
         (fun site ->
-          match site.Types.site_id mod 4 with
+          match site.Types.site_id mod 6 with
           | 0 -> Protection.F_none
           | 1 -> Protection.F_retpoline
           | 2 -> Protection.F_lvi
+          | 3 -> Protection.F_fineibt
+          | 4 -> Protection.F_coarse_cfi
           | _ -> Protection.F_fenced_retpoline);
       bwd_protection =
         (fun name ->
-          match Hashtbl.hash name mod 4 with
+          match Hashtbl.hash name mod 5 with
           | 0 -> Protection.B_none
           | 1 -> Protection.B_lvi
           | 2 -> Protection.B_ret_retpoline
+          | 3 -> Protection.B_pac
           | _ -> Protection.B_fenced_ret_retpoline);
+      (* pure and site/target-keyed, so both backends see the same CFI
+         verdict for the same transient edge *)
+      cfi_valid =
+        (fun ~site ~target ~protection:_ ->
+          (site.Types.site_id + String.length target) mod 3 <> 0);
       extra_call_cycles = 2;
       extra_icall_cycles = 3;
       extra_ret_cycles = 1;
@@ -133,6 +141,16 @@ let drilled () =
   Speculation.inject_rsb s ~scenario:Speculation.Cross_thread ~gadget:"f1";
   ( { Engine.default_config with Engine.record_trace = true; speculation = Some s },
     Some s )
+
+(* A forged-PAC RSB desync against PAC-signed returns: the one scenario
+   B_pac records, layered on the hardened protection mix so the PAC
+   cost/event path is exercised under both backends. *)
+let forged () =
+  let s = Speculation.create () in
+  Speculation.inject_load s ~addr:3 ~value:1;
+  Speculation.inject_rsb s ~scenario:Speculation.Forged_pac ~gadget:"f1";
+  let config, _ = hardened () in
+  ({ config with Engine.speculation = Some s; rsb_refill = false }, Some s)
 
 (* Tiny step budget: both backends must die out-of-fuel at the same
    instruction with the same partial cycles and counters. *)
@@ -293,7 +311,7 @@ let drill_outcomes backend =
   Attack.run_all engine ~victim_site:info.Pibe_kernel.Gen.victim_icall_site
     ~poisoned_addr:info.Pibe_kernel.Gen.victim_ops_addr
     ~gadget_fptr:info.Pibe_kernel.Gen.gadget_fptr ~gadget:info.Pibe_kernel.Gen.gadget
-    ~entry:info.Pibe_kernel.Gen.entry
+    ~valid_gadget:info.Pibe_kernel.Gen.valid_gadget ~entry:info.Pibe_kernel.Gen.entry
     ~args:[ Pibe_kernel.Gen.nr info "read"; 0; 5 ]
 
 let test_attack_drills () =
@@ -447,6 +465,7 @@ let suite =
     Helpers.qcheck_to_alcotest (differential "hardened+rsb_refill runs agree" hardened);
     Helpers.qcheck_to_alcotest (differential "stateful fwd_override agrees" overridden);
     Helpers.qcheck_to_alcotest (differential "speculation drills agree" drilled);
+    Helpers.qcheck_to_alcotest (differential "forged-PAC drills agree" forged);
     Helpers.qcheck_to_alcotest (differential "out-of-fuel agrees" starved);
     Helpers.qcheck_to_alcotest differential_wild;
     Helpers.qcheck_to_alcotest

@@ -27,10 +27,10 @@ let test_registry_complete () =
       Alcotest.(check bool) (want ^ " registered") true (List.mem want ids))
     ([
        "figure1"; "robustness"; "security"; "ablation"; "userspace"; "sensitivity";
-       "v1scan"; "passes"; "online"; "fleet";
+       "v1scan"; "passes"; "online"; "fleet"; "frontier";
      ]
     @ List.init 12 (fun i -> Printf.sprintf "table%d" (i + 1)));
-  Alcotest.(check int) "22 experiments" 22 (List.length Exp.all)
+  Alcotest.(check int) "23 experiments" 23 (List.length Exp.all)
 
 let test_table1_shape () =
   let t = first "table1" in
@@ -272,6 +272,41 @@ let test_online_story () =
         (stale -. online > 0.5 *. (stale -. fresh)))
   | tables -> Alcotest.failf "expected two tables, got %d" (List.length tables)
 
+let test_frontier_story () =
+  let t = first "frontier" in
+  let rows = Tbl.rows t in
+  (* two rows (LTO, PIBE-PGO) per defense set, at least four sets *)
+  Alcotest.(check bool) ">= 4 defense sets" true (List.length rows >= 8);
+  let rec pairs = function
+    | lto :: pgo :: rest -> (lto, pgo) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun (lto, pgo) ->
+      let name = Tbl.cell_text (List.nth lto 0) in
+      Alcotest.(check string) (name ^ ": paired rows") name (Tbl.cell_text (List.nth pgo 0));
+      (* the ledger is a property of the defense set: both front-ends
+         report the same surviving surface *)
+      Alcotest.(check string) (name ^ ": equal surface")
+        (Tbl.cell_text (List.nth lto 3))
+        (Tbl.cell_text (List.nth pgo 3));
+      Alcotest.(check string) (name ^ ": equal survivors")
+        (Tbl.cell_text (List.nth lto 4))
+        (Tbl.cell_text (List.nth pgo 4));
+      (* ...and at that equal ledger, PGO strictly wins on overhead *)
+      Alcotest.(check bool) (name ^ ": PGO strictly cheaper") true
+        (pct_of (List.nth pgo 2) < pct_of (List.nth lto 2)))
+    (pairs rows);
+  let surface name =
+    match Tbl.find_row t name with
+    | Some row -> Tbl.cell_text (List.nth row 3)
+    | None -> Alcotest.failf "row %s missing" name
+  in
+  Alcotest.(check string) "all defenses close the surface" "0/5" (surface "all-defenses");
+  Alcotest.(check string) "coarse CFI blocks nothing" "5/5" (surface "coarse-cfi");
+  Alcotest.(check string) "fineibt+pac leaves pad V2 + forgery" "2/5"
+    (surface "fineibt+pac-ret")
+
 let test_listings_render () =
   let s = Exp.listings () in
   Alcotest.(check bool) "mentions retpoline" true (String.length s > 200)
@@ -299,5 +334,6 @@ let suite =
     ("online continuous profiling story", `Slow, test_online_story);
     ("userspace extension", `Slow, test_userspace_story);
     ("v1 scan table", `Quick, test_v1scan_table);
+    ("frontier story", `Slow, test_frontier_story);
     ("listings render", `Quick, test_listings_render);
   ]

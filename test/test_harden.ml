@@ -6,29 +6,78 @@ open Types
 module Pass = Pibe_harden.Pass
 module Audit = Pibe_harden.Audit
 module Thunks = Pibe_harden.Thunks
+module Cfi = Pibe_harden.Cfi
 
 let kernel_prog () = (Helpers.kernel ()).Pibe_kernel.Gen.prog
 
 let test_forward_kinds () =
   Alcotest.(check bool) "none" true (Pass.forward_kind Pass.no_defenses = Protection.F_none);
   Alcotest.(check bool) "retp" true
-    (Pass.forward_kind { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+    (Pass.forward_kind { Pass.no_defenses with Pass.retpolines = true }
     = Protection.F_retpoline);
   Alcotest.(check bool) "lvi" true
-    (Pass.forward_kind { Pass.retpolines = false; ret_retpolines = false; lvi = true }
-    = Protection.F_lvi);
+    (Pass.forward_kind { Pass.no_defenses with Pass.lvi = true } = Protection.F_lvi);
   Alcotest.(check bool) "combined = fenced" true
     (Pass.forward_kind Pass.all_defenses = Protection.F_fenced_retpoline)
 
 let test_backward_kinds () =
   Alcotest.(check bool) "retret" true
-    (Pass.backward_kind { Pass.retpolines = false; ret_retpolines = true; lvi = false }
+    (Pass.backward_kind { Pass.no_defenses with Pass.ret_retpolines = true }
     = Protection.B_ret_retpoline);
   Alcotest.(check bool) "combined" true
     (Pass.backward_kind Pass.all_defenses = Protection.B_fenced_ret_retpoline);
   Alcotest.(check bool) "retp only leaves returns bare" true
-    (Pass.backward_kind { Pass.retpolines = true; ret_retpolines = false; lvi = false }
+    (Pass.backward_kind { Pass.no_defenses with Pass.retpolines = true }
     = Protection.B_none)
+
+(* CFI/PAC kinds and their precedence: the retpoline family wins over
+   the CFI family on both edges (stronger transient guarantee), FineIBT
+   over the coarse baseline. *)
+let test_cfi_kinds_and_precedence () =
+  Alcotest.(check bool) "fineibt" true
+    (Pass.forward_kind { Pass.no_defenses with Pass.fineibt = true } = Protection.F_fineibt);
+  Alcotest.(check bool) "coarse" true
+    (Pass.forward_kind { Pass.no_defenses with Pass.coarse_cfi = true }
+    = Protection.F_coarse_cfi);
+  Alcotest.(check bool) "retpoline beats fineibt" true
+    (Pass.forward_kind { Pass.no_defenses with Pass.retpolines = true; fineibt = true }
+    = Protection.F_retpoline);
+  Alcotest.(check bool) "fineibt beats coarse" true
+    (Pass.forward_kind { Pass.no_defenses with Pass.fineibt = true; coarse_cfi = true }
+    = Protection.F_fineibt);
+  Alcotest.(check bool) "pac" true
+    (Pass.backward_kind { Pass.no_defenses with Pass.pac = true } = Protection.B_pac);
+  Alcotest.(check bool) "ret-retpoline beats pac" true
+    (Pass.backward_kind { Pass.no_defenses with Pass.ret_retpolines = true; pac = true }
+    = Protection.B_ret_retpoline)
+
+(* The landing-pad analysis on the generated kernel: registered handlers
+   (fptr index written into initialized memory) get pads, the planted
+   gadget (fptr-table entry only) does not. *)
+let test_cfi_pad_analysis () =
+  let info = Helpers.kernel () in
+  let cfi = Cfi.analyze info.Pibe_kernel.Gen.prog in
+  Alcotest.(check bool) "registered handler has a pad" true
+    (Cfi.has_pad cfi info.Pibe_kernel.Gen.valid_gadget);
+  Alcotest.(check bool) "planted gadget has no pad" false
+    (Cfi.has_pad cfi info.Pibe_kernel.Gen.gadget);
+  Alcotest.(check bool) "pads are a strict subset of address-taken" true
+    (Cfi.pad_count cfi > 0 && Cfi.pad_count cfi < Cfi.address_taken_count cfi)
+
+let test_fineibt_pad_bytes_in_footprint () =
+  let info = Helpers.kernel () in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let fineibt = Pass.harden prog { Pass.no_defenses with Pass.fineibt = true } in
+  let bare = Pass.harden prog Pass.no_defenses in
+  let f = Program.find prog info.Pibe_kernel.Gen.valid_gadget in
+  Alcotest.(check bool) "padded handler grows under fineibt" true
+    (Pass.footprint fineibt f > Pass.footprint bare f);
+  Alcotest.(check bool) "pac image grows" true
+    (Pass.image_bytes (Pass.harden prog { Pass.no_defenses with Pass.pac = true })
+    > Pass.image_bytes bare);
+  Alcotest.(check bool) "fineibt image audits fully protected" true
+    (Audit.fully_protected (Audit.run fineibt)
+       ~against:{ Pass.no_defenses with Pass.fineibt = true })
 
 let test_all_icalls_protected () =
   let prog = kernel_prog () in
@@ -97,7 +146,7 @@ let test_image_bytes_grow_with_defenses () =
   let base = Pass.image_bytes (Pass.harden prog Pass.no_defenses) in
   let retp =
     Pass.image_bytes
-      (Pass.harden prog { Pass.retpolines = true; ret_retpolines = false; lvi = false })
+      (Pass.harden prog { Pass.no_defenses with Pass.retpolines = true })
   in
   let all = Pass.image_bytes (Pass.harden prog Pass.all_defenses) in
   Alcotest.(check bool) "retpolines add bytes" true (retp > base);
@@ -120,16 +169,38 @@ let test_listings_contain_key_instructions () =
   Alcotest.(check bool) "lvi fences" true (has "lfence" (Thunks.listing `Lvi_forward));
   Alcotest.(check bool) "backward fences" true (has "lfence" (Thunks.listing `Lvi_backward));
   Alcotest.(check bool) "fenced retpoline nots" true
-    (has "notq" (Thunks.listing `Fenced_retpoline))
+    (has "notq" (Thunks.listing `Fenced_retpoline));
+  Alcotest.(check bool) "fineibt lands on endbr64" true
+    (has "endbr64" (Thunks.listing `Fineibt));
+  Alcotest.(check bool) "coarse cfi shares one label" true
+    (has "endbr64" (Thunks.listing `Coarse_cfi));
+  Alcotest.(check bool) "pac signs and authenticates" true
+    (has "paciasp" (Thunks.listing `Pac_ret) && has "autiasp" (Thunks.listing `Pac_ret))
 
 let test_defenses_name () =
   Alcotest.(check string) "all" "all-defenses" (Pass.defenses_name Pass.all_defenses);
-  Alcotest.(check string) "none" "none" (Pass.defenses_name Pass.no_defenses)
+  Alcotest.(check string) "none" "none" (Pass.defenses_name Pass.no_defenses);
+  (* legacy combos keep their exact strings *)
+  Alcotest.(check string) "legacy combo intact" "retpolines+lvi"
+    (Pass.defenses_name { Pass.no_defenses with Pass.retpolines = true; lvi = true });
+  Alcotest.(check string) "fineibt" "fineibt"
+    (Pass.defenses_name { Pass.no_defenses with Pass.fineibt = true });
+  Alcotest.(check string) "pac" "pac-ret"
+    (Pass.defenses_name { Pass.no_defenses with Pass.pac = true });
+  Alcotest.(check string) "coarse" "coarse-cfi"
+    (Pass.defenses_name { Pass.no_defenses with Pass.coarse_cfi = true });
+  Alcotest.(check string) "fineibt+pac" "fineibt+pac-ret"
+    (Pass.defenses_name { Pass.no_defenses with Pass.fineibt = true; pac = true });
+  Alcotest.(check string) "mixed families" "retpolines+fineibt"
+    (Pass.defenses_name { Pass.no_defenses with Pass.retpolines = true; fineibt = true })
 
 let suite =
   [
     ("forward kinds", `Quick, test_forward_kinds);
     ("backward kinds", `Quick, test_backward_kinds);
+    ("cfi kinds and precedence", `Quick, test_cfi_kinds_and_precedence);
+    ("cfi landing-pad analysis", `Quick, test_cfi_pad_analysis);
+    ("fineibt/pac bytes in footprint", `Quick, test_fineibt_pad_bytes_in_footprint);
     ("all icalls protected", `Quick, test_all_icalls_protected);
     ("jump tables lowered except asm", `Quick, test_jump_tables_lowered_except_asm);
     ("no defenses keeps jump tables", `Quick, test_no_defenses_keeps_jump_tables);

@@ -15,9 +15,9 @@ module Workload = Pibe_kernel.Workload
 let defense_sets =
   [
     ("none", Pass.no_defenses);
-    ("retpolines", { Pass.retpolines = true; ret_retpolines = false; lvi = false });
-    ("ret-retpolines", { Pass.retpolines = false; ret_retpolines = true; lvi = false });
-    ("lvi", { Pass.retpolines = false; ret_retpolines = false; lvi = true });
+    ("retpolines", { Pass.no_defenses with Pass.retpolines = true });
+    ("ret-retpolines", { Pass.no_defenses with Pass.ret_retpolines = true });
+    ("lvi", { Pass.no_defenses with Pass.lvi = true });
     ("all", Pass.all_defenses);
   ]
 
@@ -70,19 +70,29 @@ let test_engine_fingerprint () =
 let golden_attacks =
   [
     ("none", "spectre-v2", true, 1);
+    ("none", "v2-valid-pad", true, 1);
     ("none", "ret2spec", true, 1);
+    ("none", "pac-forgery", true, 1);
     ("none", "lvi", true, 1);
     ("retpolines", "spectre-v2", false, 0);
+    ("retpolines", "v2-valid-pad", false, 0);
     ("retpolines", "ret2spec", true, 1);
+    ("retpolines", "pac-forgery", true, 1);
     ("retpolines", "lvi", true, 1);
     ("ret-retpolines", "spectre-v2", true, 1);
+    ("ret-retpolines", "v2-valid-pad", true, 1);
     ("ret-retpolines", "ret2spec", false, 0);
+    ("ret-retpolines", "pac-forgery", false, 0);
     ("ret-retpolines", "lvi", true, 1);
     ("lvi", "spectre-v2", true, 1);
+    ("lvi", "v2-valid-pad", true, 1);
     ("lvi", "ret2spec", true, 1);
+    ("lvi", "pac-forgery", true, 1);
     ("lvi", "lvi", false, 0);
     ("all", "spectre-v2", false, 0);
+    ("all", "v2-valid-pad", false, 0);
     ("all", "ret2spec", false, 0);
+    ("all", "pac-forgery", false, 0);
     ("all", "lvi", false, 0);
   ]
 
@@ -97,7 +107,8 @@ let test_attack_fingerprint () =
       let outcomes =
         Pibe_cpu.Attack.run_all engine ~victim_site:info.Gen.victim_icall_site
           ~poisoned_addr:info.Gen.victim_ops_addr ~gadget_fptr:info.Gen.gadget_fptr
-          ~gadget:info.Gen.gadget ~entry:info.Gen.entry
+          ~gadget:info.Gen.gadget ~valid_gadget:info.Gen.valid_gadget
+          ~entry:info.Gen.entry
           ~args:[ Gen.nr info "read"; 0; 5 ]
       in
       List.iter

@@ -142,6 +142,8 @@ let variants =
     ( "full strict retret",
       Pibe.Exp_common.full_opt ~icp:99.999 ~inline:99.9 Pibe.Exp_common.ret_retpolines_only );
     ("full lax all", Pibe.Exp_common.best_config Pibe.Exp_common.all_defenses);
+    ("full lax fineibt+pac", Pibe.Exp_common.best_config Pibe.Exp_common.fineibt_pac);
+    ("icp-only coarse-cfi", Pibe.Exp_common.icp_only ~budget:99.9 Pibe.Exp_common.coarse_cfi_only);
     ( "llvm-pgo lvi",
       {
         Pibe.Config.defenses = Pibe.Exp_common.lvi_only;

@@ -1,4 +1,4 @@
-.PHONY: all build test check docs bench bench-smoke bench-smoke-fleet bench-smoke-frontier parity clean
+.PHONY: all build test check docs bench bench-smoke bench-smoke-fleet bench-smoke-frontier bench-smoke-stale parity clean
 
 all: build
 
@@ -15,9 +15,9 @@ test:
 # Everything a PR must keep green: build, the full test suite, the doc
 # lint (see `docs`), a pass-manager smoke run with inter-pass IR
 # validation on (traced, so the trace layer stays wired end to end), a
-# one-window continuous-profiling smoke on the tiny kernel, the fleet
-# and frontier jobs-invariance smokes, and the cross-backend parity
-# smoke (see `parity`).
+# one-window continuous-profiling smoke on the tiny kernel, the fleet,
+# frontier and stale/fixpoint jobs-invariance smokes, and the
+# cross-backend parity smoke (see `parity`).
 check:
 	dune build
 	dune runtest
@@ -29,6 +29,7 @@ check:
 	dune exec bin/pibe_cli.exe -- online --scale 1 --windows 1 --requests 30
 	$(MAKE) bench-smoke-fleet
 	$(MAKE) bench-smoke-frontier
+	$(MAKE) bench-smoke-stale
 	$(MAKE) parity
 
 # Cross-backend parity smoke: the bench-smoke workload once per
@@ -42,11 +43,11 @@ check:
 parity:
 	dune build bench/main.exe
 	mkdir -p $(SCRATCH)
-	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
 	  --engine compiled | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_compiled.txt
-	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
 	  --engine compiled --tierup 0 | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_tier0.txt
-	dune exec bench/main.exe -- --quick --table 5 --online --frontier --jobs 2 \
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
 	  --engine interp | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_interp.txt
 	cmp $(SCRATCH)/parity_compiled.txt $(SCRATCH)/parity_interp.txt
 	cmp $(SCRATCH)/parity_tier0.txt $(SCRATCH)/parity_interp.txt
@@ -105,6 +106,21 @@ bench-smoke-frontier:
 	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/frontier_smoke_j1.txt
 	cmp $(SCRATCH)/frontier_smoke_j1.txt $(SCRATCH)/frontier_smoke_j2.txt
 	@echo "frontier smoke: sequential and parallel outputs are byte-identical"
+
+# Stale/fixpoint smoke (part of `check`): the k-stale-profile experiment
+# plus the iterative build->profile-on-hardened->rebuild loop on the
+# tiny kernel, sequential vs parallel, byte-diffed — pins the kernel
+# evolution generator, the staleness matcher, and the provenance-lifted
+# collection path to the jobs-invariance contract.
+bench-smoke-stale:
+	dune build bench/main.exe
+	mkdir -p $(SCRATCH)
+	dune exec bench/main.exe -- --quick --stale --fixpoint --jobs 2 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/stale_smoke_j2.txt
+	dune exec bench/main.exe -- --quick --stale --fixpoint --jobs 1 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/stale_smoke_j1.txt
+	cmp $(SCRATCH)/stale_smoke_j1.txt $(SCRATCH)/stale_smoke_j2.txt
+	@echo "stale smoke: sequential and parallel outputs are byte-identical"
 
 clean:
 	dune clean

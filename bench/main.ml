@@ -7,7 +7,7 @@
      bench/main.exe --table 5       one table (also: --figure 1, --robustness,
                                     --security, --ablation, --passes,
                                     --online, --fleet, --frontier,
-                                   --listings)
+                                    --stale, --fixpoint, --listings)
      bench/main.exe --quick         small kernel / fast settings
      bench/main.exe --jobs N        build/measure independent cells on up
                                     to N domains (1 = fully sequential;
@@ -125,6 +125,12 @@ let parse_args () =
       go rest
     | "--frontier" :: rest ->
       selected := "frontier" :: !selected;
+      go rest
+    | "--stale" :: rest ->
+      selected := "stale" :: !selected;
+      go rest
+    | "--fixpoint" :: rest ->
+      selected := "fixpoint" :: !selected;
       go rest
     | "--listings" :: rest ->
       selected := "listings" :: !selected;

@@ -96,6 +96,7 @@ let info t =
 
 let ops t = Pibe_kernel.Workload.lmbench (info t)
 let settings t = t.msettings
+let profile_iters t = t.profile_iters
 
 let lmbench_profile t =
   match locked t (fun () -> t.lmb_profile) with

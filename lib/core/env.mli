@@ -67,6 +67,11 @@ val info : t -> Pibe_kernel.Gen.info
 val ops : t -> Pibe_kernel.Workload.op list
 val settings : t -> Measure.settings
 
+val profile_iters : t -> int
+(** Profiling iterations per micro-op this environment was created with —
+    for experiments that run their own profiling drivers and want to
+    match [lmbench_profile]'s sampling effort. *)
+
 val lmbench_profile : t -> Pibe_profile.Profile.t
 (** Phase-1 profile over the full LMBench suite (the paper's default
     training workload). *)

@@ -49,6 +49,7 @@ let no_rules_build env =
     inline_stats = None;
     llvm_inline_stats = None;
     post_icp_profile = profile;
+    provenance = Pibe_profile.Provenance.create ();
     pass_stats = [];
   }
 
@@ -69,6 +70,7 @@ let top1_build env =
     inline_stats = None;
     llvm_inline_stats = None;
     post_icp_profile = profile;
+    provenance = Pibe_profile.Provenance.create ();
     pass_stats = [];
   }
 

@@ -1,0 +1,20 @@
+(** The [fixpoint] experiment: iterative build -> profile-on-hardened ->
+    rebuild stability.
+
+    Iteration 0 builds with the pristine-kernel training profile; each
+    later iteration re-profiles the hardened, inlined image it just built
+    (via {!Pipeline.profile_built}, lifting through the recorded
+    provenance) and rebuilds on the lifted profile.  The table reports,
+    per iteration, the optimization activity (inlined sites, promoted
+    targets), the lift-loss accounting (dropped pairs, recovered weight,
+    unrecovered instances), the {!Pibe_online.Drift} distance between the
+    training profile and what was collected on its own image, and the
+    geomean overhead vs pristine LTO.  A well-behaved lift makes the loop
+    converge: drift collapses after the first iteration and the overhead
+    stays flat instead of oscillating — the Go-PGO "iterative stability"
+    property.
+
+    Sequential by construction, so trivially byte-identical at any
+    [--jobs]. *)
+
+val run : Env.t -> Pibe_util.Tbl.t list

@@ -1,0 +1,141 @@
+module Tbl = Pibe_util.Tbl
+module Stats = Pibe_util.Stats
+module Rng = Pibe_util.Rng
+module Profile = Pibe_profile.Profile
+module Workload = Pibe_kernel.Workload
+module Evolve = Pibe_kernel.Evolve
+
+(* The seed driving the release mutations; fixed so the k-release kernels
+   are the same in every run and at any --jobs. *)
+let evolve_seed = 77
+
+let max_k = 4
+
+type row = {
+  k : int;
+  ev : Evolve.stats list;
+  mstats : Profile.match_stats;
+  ov_none : float;
+  ov_fresh : float;
+  ov_stale : float;
+}
+
+let geomean_vs ~baseline latencies =
+  Stats.geomean_overhead
+    (List.map2
+       (fun (name, b) (name', x) ->
+         assert (String.equal name name');
+         Stats.overhead_pct ~baseline:b x)
+       baseline latencies)
+
+let measure env built ops =
+  Measure.suite_latencies ~settings:(Env.settings env) (Pipeline.engine built) ops
+
+(* Fresh profile of an evolved kernel, collected exactly the way
+   [Env.lmbench_profile] collects the base kernel's. *)
+let fresh_profile env (info : Pibe_kernel.Gen.info) ops =
+  Pipeline.profile info.Pibe_kernel.Gen.prog ~run:(fun engine ->
+      let rng = Rng.create 11 in
+      List.iter
+        (fun (op : Workload.op) ->
+          for _ = 1 to Env.profile_iters env do
+            op.Workload.run engine rng
+          done)
+        ops)
+
+let one_release env base k =
+  let info, ev = Evolve.evolve ~seed:evolve_seed ~k base in
+  let prog = info.Pibe_kernel.Gen.prog in
+  let ops = Workload.lmbench info in
+  let fresh = fresh_profile env info ops in
+  let stale, mstats = Profile.match_to (Env.lmbench_profile env) prog in
+  let cfg = Exp_common.best_config Exp_common.all_defenses in
+  let build profile = Pipeline.build ~verify:(Env.verify env) prog profile cfg in
+  let lto =
+    Pipeline.build ~verify:(Env.verify env) prog fresh Config.lto
+  in
+  let base_lat = measure env lto ops in
+  let ov profile = geomean_vs ~baseline:base_lat (measure env (build profile) ops) in
+  {
+    k;
+    ev;
+    mstats;
+    ov_none = ov (Profile.create ());
+    ov_fresh = ov fresh;
+    ov_stale = ov stale;
+  }
+
+let kept_pct (m : Profile.match_stats) =
+  let kept = m.Profile.direct_kept + m.Profile.indirect_kept + m.Profile.entries_kept in
+  let dropped =
+    m.Profile.direct_dropped + m.Profile.indirect_dropped + m.Profile.entries_dropped
+  in
+  if kept + dropped = 0 then 100.0
+  else 100.0 *. float_of_int kept /. float_of_int (kept + dropped)
+
+let overheads env ~k =
+  let r = one_release env (Env.info env) k in
+  (r.ov_none, r.ov_fresh, r.ov_stale)
+
+let run env =
+  (* shared prerequisites once, before the parallel fan-out *)
+  let base = Env.info env in
+  ignore (Env.lmbench_profile env);
+  let rows =
+    Env.par_map env (one_release env base) (List.init (max_k + 1) Fun.id)
+  in
+  let t =
+    Tbl.create
+      ~title:
+        "Stale-profile benefit: k-releases-stale training profile vs fresh and \
+         no-profile (all defenses, geomean overhead vs same-release LTO)"
+      ~columns:
+        [
+          "releases stale (k)";
+          "profile weight kept";
+          "no profile";
+          "fresh profile";
+          "stale profile";
+          "benefit retained";
+        ]
+  in
+  List.iter
+    (fun r ->
+      let retained =
+        if r.ov_none -. r.ov_fresh <= 0.0 then 100.0
+        else 100.0 *. (r.ov_none -. r.ov_stale) /. (r.ov_none -. r.ov_fresh)
+      in
+      Tbl.add_row t
+        [
+          Tbl.Int r.k;
+          Exp_common.pct (kept_pct r.mstats);
+          Exp_common.pct r.ov_none;
+          Exp_common.pct r.ov_fresh;
+          Exp_common.pct r.ov_stale;
+          Exp_common.pct retained;
+        ])
+    rows;
+  let churn =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "Release churn per step (seed %d): functions added/removed/resized, call \
+            sites re-identified" evolve_seed)
+      ~columns:[ "release"; "added"; "removed"; "resized"; "reshuffled funcs"; "renamed sites" ]
+  in
+  (match List.rev rows with
+  | last :: _ ->
+    List.iter
+      (fun (s : Evolve.stats) ->
+        Tbl.add_row churn
+          [
+            Tbl.Int s.Evolve.release;
+            Tbl.Int s.Evolve.added;
+            Tbl.Int s.Evolve.removed;
+            Tbl.Int s.Evolve.resized;
+            Tbl.Int s.Evolve.reshuffled_funcs;
+            Tbl.Int s.Evolve.renamed_sites;
+          ])
+      last.ev
+  | [] -> ());
+  [ t; churn ]

@@ -1,0 +1,22 @@
+(** The [stale] experiment: how much of PIBE's profile-guided benefit
+    survives a training profile that is k kernel releases old.
+
+    For each k in 0..4 the base kernel is evolved k releases (see
+    {!Pibe_kernel.Evolve}), then the {e evolved} kernel is built three
+    ways — no profile, a fresh profile collected on the evolved kernel
+    itself, and the base kernel's profile matched through
+    {!Pibe_profile.Profile.match_to} — all with every defense enabled.
+    The headline column is benefit retained:
+    [(none - stale) / (none - fresh)].  Fresh-profile benefit should
+    degrade monotonically with k while a 2-release-stale profile still
+    recovers the majority of it, the Go-PGO production observation.
+
+    Deterministic: evolution seeds are fixed and the per-k work is
+    independent, so output is byte-identical at any [--jobs]. *)
+
+val run : Env.t -> Pibe_util.Tbl.t list
+
+val overheads : Env.t -> k:int -> float * float * float
+(** [(no_profile, fresh, stale)] geomean overheads vs the same-release
+    LTO baseline for a kernel evolved [k] releases — the raw cells of
+    one table row, exposed for {!Report}. *)

@@ -145,6 +145,18 @@ let all =
       run = one Exp_frontier.run;
     };
     {
+      id = "stale";
+      paper_ref = "ROADMAP / Go PGO lessons";
+      description = "extension: optimization benefit surviving k-releases-stale profiles";
+      run = Exp_stale.run;
+    };
+    {
+      id = "fixpoint";
+      paper_ref = "ROADMAP / Go PGO lessons";
+      description = "extension: iterative build-profile-rebuild convergence on the hardened image";
+      run = Exp_fixpoint.run;
+    };
+    {
       id = "passes";
       paper_ref = "DESIGN.md section 2";
       description = "extension: per-pass pipeline instrumentation (pass manager)";

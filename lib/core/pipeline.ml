@@ -11,6 +11,7 @@ type built = {
   inline_stats : Pibe_opt.Inliner.stats option;
   llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
   post_icp_profile : Profile.t;
+  provenance : Pibe_profile.Provenance.t;
   pass_stats : Manager.pass_stats list;
 }
 
@@ -23,6 +24,7 @@ let profile prog ~run =
         {
           Pibe_cpu.Engine.default_config with
           Pibe_cpu.Engine.on_edge = Some (Pibe_profile.Collector.hook collector);
+          on_entry = Some (Pibe_profile.Collector.hook_entry collector);
         }
       in
       let engine = Pibe_cpu.Engine.create ~config prog in
@@ -96,8 +98,26 @@ let build ?(verify = false) prog profile config =
     inline_stats = detail (function Pm_pass.Inline s -> Some s | _ -> None);
     llvm_inline_stats = detail (function Pm_pass.Llvm_inline s -> Some s | _ -> None);
     post_icp_profile = r.Manager.profile;
+    provenance = r.Manager.provenance;
     pass_stats = r.Manager.passes;
   })
+
+let profile_built built ~run =
+  Trace.span ~cat:"core" "pipeline:profile-built" (fun () ->
+      let prog = built.image.Pibe_harden.Pass.prog in
+      let collector = Pibe_profile.Collector.create ~provenance:built.provenance prog in
+      let config =
+        {
+          (Pibe_harden.Pass.engine_config built.image) with
+          Pibe_cpu.Engine.on_edge = Some (Pibe_profile.Collector.hook collector);
+          on_entry = Some (Pibe_profile.Collector.hook_entry collector);
+        }
+      in
+      let engine = Pibe_cpu.Engine.create ~config prog in
+      run engine;
+      Pibe_cpu.Engine.trace_counters ~cat:"core" ~name:"engine:profile-built-run" engine;
+      let p = Pibe_profile.Collector.lift collector in
+      (p, Pibe_profile.Collector.stats collector))
 
 let engine ?base built =
   let config = Pibe_harden.Pass.engine_config ?base built.image in

@@ -21,6 +21,10 @@ type built = {
   llvm_inline_stats : Pibe_opt.Llvm_inliner.stats option;
   post_icp_profile : Pibe_profile.Profile.t;
       (** the profile as mutated by ICP (promoted sites are direct now) *)
+  provenance : Pibe_profile.Provenance.t;
+      (** inline/promotion tree recorded while optimizing; feed it to
+          {!profile_built} to lift optimized-image profiles back to
+          pristine origins *)
   pass_stats : Pibe_pm.Manager.pass_stats list;
       (** per-pass wall-clock time and IR deltas, in execution order *)
 }
@@ -49,6 +53,19 @@ val run_spec :
 val build : ?verify:bool -> Program.t -> Pibe_profile.Profile.t -> Config.t -> built
 (** Phase 2 on a configuration: optimize then harden; the input profile is
     copied, never mutated. *)
+
+val profile_built :
+  built ->
+  run:(Pibe_cpu.Engine.t -> unit) ->
+  Pibe_profile.Profile.t * Pibe_profile.Collector.lift_stats
+(** Phase 1 on the {e hardened, optimized} image itself — the production
+    regime where profiles are sampled from the deployed binary.  The
+    engine runs with the image's own hardening config (defense costs
+    included) plus the collector edge hook; the lift resolves clones
+    through their origins, folds promoted direct counts back into
+    pristine value profiles, and reconstructs inlined-away edges from the
+    recorded provenance.  Returns the lifted profile and the lift stats
+    (dropped pairs, recovered weight). *)
 
 val engine : ?base:Pibe_cpu.Engine.config -> built -> Pibe_cpu.Engine.t
 (** A fresh machine running this image. *)

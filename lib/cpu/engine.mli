@@ -125,6 +125,11 @@ type config = {
   footprint : Types.func -> int;  (** code footprint used by the i-cache *)
   record_trace : bool;
   on_edge : (edge_event -> unit) option;
+  on_entry : (string -> unit) option;
+      (** called on every top-level {!call} with the entered function —
+          the kernel-entry (syscall) boundary, which a hardware profiler
+          observes even when every in-kernel call has been inlined away;
+          in-program transfers go through [on_edge] instead *)
   on_exit : (string -> unit) option;
       (** called when a function activation returns (profiler support;
           pairs with the entry visible through [on_edge]) *)

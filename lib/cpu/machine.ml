@@ -39,6 +39,7 @@ type config = {
   footprint : func -> int;
   record_trace : bool;
   on_edge : (edge_event -> unit) option;
+  on_entry : (string -> unit) option;
   on_exit : (string -> unit) option;
   speculation : Speculation.t option;
   fuel : int;
@@ -58,6 +59,7 @@ let default_config =
     footprint = Layout.func_size;
     record_trace = false;
     on_edge = None;
+    on_entry = None;
     on_exit = None;
     speculation = None;
     fuel = 100_000_000;

@@ -37,6 +37,18 @@ let update_func t f =
     invalid_arg ("Program.update_func: unknown function " ^ f.fname)
   else { t with funcs = String_map.add f.fname f t.funcs }
 
+let remove_func t name =
+  if not (String_map.mem name t.funcs) then
+    invalid_arg ("Program.remove_func: unknown function " ^ name)
+  else if Array.exists (String.equal name) t.fptr_table then
+    invalid_arg ("Program.remove_func: " ^ name ^ " is address-taken (fptr table)")
+  else
+    {
+      t with
+      funcs = String_map.remove name t.funcs;
+      rev_order = List.filter (fun n -> not (String.equal n name)) t.rev_order;
+    }
+
 let iter_funcs t g = List.iter (fun name -> g (find t name)) (layout_order t)
 
 let fold_funcs t ~init ~f =

@@ -39,6 +39,12 @@ val add_func : t -> func -> t
 val update_func : t -> func -> t
 (** Replaces an existing function; raises [Invalid_argument] if absent. *)
 
+val remove_func : t -> string -> t
+(** Removes a function from the program and the layout order.  Raises
+    [Invalid_argument] if absent or address-taken (present in the fptr
+    table) — callers must rewrite remaining call sites themselves (the
+    kernel evolution model does). *)
+
 val iter_funcs : t -> (func -> unit) -> unit
 (** In layout order. *)
 

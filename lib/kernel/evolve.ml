@@ -1,0 +1,236 @@
+open Pibe_ir
+open Types
+module Rng = Pibe_util.Rng
+
+type config = {
+  adds : int;
+  removes : int;
+  resizes : int;
+  pad_len : int;
+  reshuffles : int;
+}
+
+let default_config = { adds = 3; removes = 2; resizes = 4; pad_len = 12; reshuffles = 6 }
+
+type stats = {
+  release : int;
+  added : int;
+  removed : int;
+  resized : int;
+  reshuffled_funcs : int;
+  renamed_sites : int;
+}
+
+(* Functions the mutations must leave alone: the syscall entry (workload
+   anchor), the attack-drill anchors, everything reachable through the
+   fptr table (removal would break indirect dispatch), and the functions
+   holding the drills' pinned victim/pv site ids. *)
+let protected (info : Gen.info) =
+  let set = Hashtbl.create 64 in
+  Hashtbl.replace set info.Gen.entry ();
+  Hashtbl.replace set info.Gen.gadget ();
+  Hashtbl.replace set info.Gen.valid_gadget ();
+  Array.iter (fun n -> Hashtbl.replace set n ()) info.Gen.prog.Program.fptr_table;
+  let pinned_sites = [ info.Gen.victim_icall_site; info.Gen.pv_call_site ] in
+  Program.iter_funcs info.Gen.prog (fun f ->
+      Func.iter_insts f (fun _ i ->
+          match i with
+          | Call { site; _ } | Icall { site; _ } | Asm_icall { site; _ } ->
+            if List.mem site.site_id pinned_sites then Hashtbl.replace set f.fname ()
+          | Assign _ | Store _ | Observe _ -> ()));
+  set
+
+let eligible prog keep_out =
+  Array.of_list
+    (List.filter
+       (fun n ->
+         let f = Program.find prog n in
+         (not (Hashtbl.mem keep_out n)) && (not f.attrs.is_asm) && not f.attrs.optnone)
+       (Program.layout_order prog))
+
+(* ------------------------------ mutations ------------------------------ *)
+
+(* A fresh leaf: a short arithmetic body, one return.  New releases gain
+   functions nobody has profiled yet. *)
+let add_func prog rng ~name =
+  let b = Builder.create ~name ~params:1 in
+  let x = Builder.param b 0 in
+  let r = Builder.reg b in
+  Builder.assign b r (Binop (Mul, Reg x, Imm (3 + Rng.int rng 13)));
+  let r2 = Builder.reg b in
+  Builder.assign b r2 (Binop (Xor, Reg r, Imm (Rng.int rng 255)));
+  Builder.ret b (Some (Reg r2));
+  let f = Builder.finish b ~attrs:{ default_attrs with subsystem = "evolved" } () in
+  Program.add_func prog f
+
+(* Wire a call to [callee] into a random block of [caller], so the new
+   function is live from release one. *)
+let wire_call prog rng ~caller ~callee =
+  let f = Program.find prog caller in
+  let prog, site = Program.fresh_site prog in
+  let bi = Rng.int rng (Array.length f.blocks) in
+  let call = Call { dst = None; callee; args = [ Imm (Rng.int rng 64) ]; site; tail = false } in
+  let f =
+    Func.map_blocks f ~f:(fun l b ->
+        if l = bi then { b with insts = Array.append [| call |] b.insts } else b)
+  in
+  Program.update_func prog f
+
+(* Remove a function: every remaining call site to it is rewritten in the
+   callers (result uses become 0), then the body goes away. *)
+let remove_func_and_rewrite prog victim =
+  let prog =
+    Program.fold_funcs prog ~init:prog ~f:(fun prog f ->
+        let touched = ref false in
+        let f' =
+          Func.map_blocks f ~f:(fun _ b ->
+              let insts =
+                Array.of_list
+                  (List.filter_map
+                     (fun i ->
+                       match i with
+                       | Call { callee; dst; _ } when String.equal callee victim ->
+                         touched := true;
+                         (match dst with
+                         | Some r -> Some (Assign (r, Const 0))
+                         | None -> None)
+                       | _ -> Some i)
+                     (Array.to_list b.insts))
+              in
+              if !touched then { b with insts } else b)
+        in
+        if !touched then Program.update_func prog f' else prog)
+  in
+  Program.remove_func prog victim
+
+(* Grow a function with a live pad: load a scratch cell, push the value
+   through an arithmetic chain that nets out to the identity, store it
+   back.  Every assign feeds the store, so pipeline cleanup cannot strip
+   the pad, and the net memory effect is nil — the release only got
+   bigger and slower, as releases do. *)
+let resize_func prog rng mm ~name ~pad_len =
+  let f = Program.find prog name in
+  let cell =
+    mm.Memmap.scratch + Rng.int rng mm.Memmap.scratch_len
+  in
+  let r0 = f.nregs in
+  (* identity chain: +c1, ^c2, ^c2, -c1 repeated *)
+  let insts = ref [ Assign (r0, Load (Imm cell)) ] in
+  let reg = ref r0 in
+  let quads = max 1 (pad_len / 4) in
+  for _ = 1 to quads do
+    let c1 = 1 + Rng.int rng 1023 and c2 = 1 + Rng.int rng 1023 in
+    let emit op imm =
+      let d = !reg + 1 in
+      insts := Assign (d, Binop (op, Reg !reg, Imm imm)) :: !insts;
+      reg := d
+    in
+    emit Add c1;
+    emit Xor c2;
+    emit Xor c2;
+    emit Sub c1
+  done;
+  insts := Store (Imm cell, Reg !reg) :: !insts;
+  let pad = Array.of_list (List.rev !insts) in
+  let f = { f with nregs = !reg + 1 } in
+  let f =
+    Func.map_blocks f ~f:(fun l b ->
+        if l = f.entry then { b with insts = Array.append pad b.insts } else b)
+  in
+  Program.update_func prog f
+
+(* Call-site reshuffle: the function's sites get brand-new identities, as
+   if the surrounding code was rewritten between releases — stale profiles
+   keyed on the old origins no longer match. *)
+let reshuffle_sites prog ~name ~pinned =
+  let f = Program.find prog name in
+  let prog = ref prog in
+  let renamed = ref 0 in
+  let f' =
+    Func.rename_sites f ~fresh:(fun old ->
+        if List.mem old.site_id pinned then old
+        else begin
+          let p, s = Program.fresh_site !prog in
+          prog := p;
+          incr renamed;
+          s
+        end)
+  in
+  (Program.update_func !prog f', !renamed)
+
+(* ------------------------------ releases ------------------------------ *)
+
+let release ?(config = default_config) ~seed ~index (info : Gen.info) =
+  let rng = Rng.create (seed lxor (0x9e3779b9 * (index + 1))) in
+  let keep_out = protected info in
+  let prog = ref info.Gen.prog in
+  (* adds *)
+  let added = ref 0 in
+  for j = 1 to config.adds do
+    let name = Printf.sprintf "evo_r%d_s%d_f%d" index (seed land 0xffff) j in
+    if not (Program.mem !prog name) then begin
+      prog := add_func !prog rng ~name;
+      let callers = eligible !prog keep_out in
+      let callers = Array.of_list (List.filter (fun c -> c <> name) (Array.to_list callers)) in
+      if Array.length callers > 0 then
+        prog := wire_call !prog rng ~caller:(Rng.choose rng callers) ~callee:name;
+      incr added
+    end
+  done;
+  (* removes *)
+  let removed = ref 0 in
+  for _ = 1 to config.removes do
+    let victims =
+      Array.of_list
+        (List.filter
+           (fun n -> not (String.length n >= 4 && String.sub n 0 4 = "evo_"))
+           (Array.to_list (eligible !prog keep_out)))
+    in
+    if Array.length victims > 0 then begin
+      prog := remove_func_and_rewrite !prog (Rng.choose rng victims);
+      incr removed
+    end
+  done;
+  (* resizes *)
+  let resized = ref 0 in
+  for _ = 1 to config.resizes do
+    let targets = eligible !prog keep_out in
+    if Array.length targets > 0 then begin
+      prog :=
+        resize_func !prog rng info.Gen.mm ~name:(Rng.choose rng targets)
+          ~pad_len:config.pad_len;
+      incr resized
+    end
+  done;
+  (* reshuffles *)
+  let pinned = [ info.Gen.victim_icall_site; info.Gen.pv_call_site ] in
+  let reshuffled = ref 0 in
+  let renamed = ref 0 in
+  for _ = 1 to config.reshuffles do
+    let targets = eligible !prog keep_out in
+    if Array.length targets > 0 then begin
+      let p, n = reshuffle_sites !prog ~name:(Rng.choose rng targets) ~pinned in
+      prog := p;
+      reshuffled := !reshuffled + 1;
+      renamed := !renamed + n
+    end
+  done;
+  Validate.check_exn !prog;
+  ( { info with Gen.prog = !prog },
+    {
+      release = index;
+      added = !added;
+      removed = !removed;
+      resized = !resized;
+      reshuffled_funcs = !reshuffled;
+      renamed_sites = !renamed;
+    } )
+
+let evolve ?(config = default_config) ~seed ~k (info : Gen.info) =
+  let rec go info acc i =
+    if i >= k then (info, List.rev acc)
+    else
+      let info, st = release ~config ~seed ~index:i info in
+      go info (st :: acc) (i + 1)
+  in
+  go info [] 0

@@ -1,0 +1,53 @@
+(** Kernel evolution model: deterministic "releases" that mutate a
+    generated kernel the way real kernel development does, so staleness
+    experiments can measure how much of a profile survives k releases.
+
+    Each release, seeded by [(seed, index)], performs four mutation
+    families against the current program:
+
+    - {b adds}: fresh leaf functions (subsystem ["evolved"]) wired into a
+      random live caller — code nobody has profiled yet;
+    - {b removes}: existing non-protected functions disappear; remaining
+      call sites to them are rewritten in place (result uses become 0);
+    - {b resizes}: functions grow a live identity-arithmetic pad (loads a
+      scratch cell, mangles and un-mangles it, stores it back) — bigger
+      and slower, but semantically neutral;
+    - {b reshuffles}: whole functions get brand-new call-site identities,
+      as if their bodies were rewritten between releases.
+
+    Surviving functions keep their site ids, which is what makes stale
+    profiles partially usable — exactly the AutoFDO/Go-PGO situation.
+    Protected anchors (the syscall entry, the attack-drill gadgets,
+    fptr-table members, and the functions holding the pinned victim/pv
+    site ids) are never removed, resized, or reshuffled, so workloads and
+    drills still run on every release.  The result is validated after
+    every release. *)
+
+type config = {
+  adds : int;  (** new functions per release *)
+  removes : int;  (** function removals per release *)
+  resizes : int;  (** functions padded per release *)
+  pad_len : int;  (** approximate pad instructions per resize *)
+  reshuffles : int;  (** functions whose sites are re-identified *)
+}
+
+val default_config : config
+(** 3 adds, 2 removes, 4 resizes (12-instruction pads), 6 reshuffles. *)
+
+type stats = {
+  release : int;  (** release index, 0-based *)
+  added : int;
+  removed : int;
+  resized : int;
+  reshuffled_funcs : int;
+  renamed_sites : int;  (** call sites that lost their profile identity *)
+}
+
+val release : ?config:config -> seed:int -> index:int -> Gen.info -> Gen.info * stats
+(** One release step.  Deterministic in [(config, seed, index)] and the
+    input program. *)
+
+val evolve : ?config:config -> seed:int -> k:int -> Gen.info -> Gen.info * stats list
+(** [evolve ~seed ~k info] applies releases [0 .. k-1] in order,
+    returning the evolved kernel and per-release stats ([k = 0] is the
+    identity). *)

@@ -12,6 +12,7 @@ type t = {
   verify : bool;
   patch_config : Jumpswitch.config;
   mutable image : Pibe_harden.Pass.image;
+  mutable provenance : Pibe_profile.Provenance.t;
   mutable reference : Profile.t;
   mutable rebuilds : int;
   mutable total_patch_cycles : int;
@@ -20,13 +21,15 @@ type t = {
 let build ~verify base_prog spec profile =
   match Registry.of_spec spec with
   | Error e -> Error e
-  | Ok passes -> Ok (Manager.run ~verify base_prog profile passes).Manager.image
+  | Ok passes ->
+    let r = Manager.run ~verify base_prog profile passes in
+    Ok (r.Manager.image, r.Manager.provenance)
 
 let create ?(patch_config = Jumpswitch.default_config) ?(verify = false) ~prog ~spec
     ~profile () =
   match build ~verify prog spec profile with
   | Error e -> Error e
-  | Ok image ->
+  | Ok (image, provenance) ->
     Ok
       {
         base_prog = prog;
@@ -34,12 +37,14 @@ let create ?(patch_config = Jumpswitch.default_config) ?(verify = false) ~prog ~
         verify;
         patch_config;
         image;
+        provenance;
         reference = Profile.copy profile;
         rebuilds = 0;
         total_patch_cycles = 0;
       }
 
 let image t = t.image
+let provenance t = t.provenance
 let reference t = t.reference
 let rebuilds t = t.rebuilds
 let total_patch_cycles t = t.total_patch_cycles
@@ -61,6 +66,7 @@ let changed_funcs old_prog new_prog =
 
 type candidate = {
   cand_image : Pibe_harden.Pass.image;
+  cand_provenance : Pibe_profile.Provenance.t;
   cand_profile : Profile.t;
 }
 
@@ -70,7 +76,8 @@ let prepare t new_profile =
       | Error e ->
         (* the spec was validated at [create]; the registry cannot reject it now *)
         invalid_arg (Printf.sprintf "Controller.prepare: %s" e)
-      | Ok image -> { cand_image = image; cand_profile = Profile.copy new_profile })
+      | Ok (image, provenance) ->
+        { cand_image = image; cand_provenance = provenance; cand_profile = Profile.copy new_profile })
 
 let patch_sites ~from_image ~to_image =
   changed_funcs from_image.Pibe_harden.Pass.prog to_image.Pibe_harden.Pass.prog
@@ -81,6 +88,7 @@ let commit t cand =
   let sites = patch_sites ~from_image:t.image ~to_image:cand.cand_image in
   let cycles = patch_cycles t ~sites in
   t.image <- cand.cand_image;
+  t.provenance <- cand.cand_provenance;
   t.reference <- cand.cand_profile;
   t.rebuilds <- t.rebuilds + 1;
   t.total_patch_cycles <- t.total_patch_cycles + cycles;

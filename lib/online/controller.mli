@@ -34,6 +34,11 @@ val create :
 val image : t -> Pibe_harden.Pass.image
 (** The currently deployed image. *)
 
+val provenance : t -> Pibe_profile.Provenance.t
+(** The inline/promotion tree of the currently deployed image — what the
+    collector needs to lift profiles sampled on the deployed binary back
+    to pristine origins (see {!Pibe_profile.Provenance}). *)
+
 val reference : t -> Pibe_profile.Profile.t
 (** The profile the deployed image was trained on. *)
 
@@ -50,6 +55,8 @@ val reoptimize : t -> Pibe_profile.Profile.t -> int
 
 type candidate = {
   cand_image : Pibe_harden.Pass.image;  (** freshly built, not yet deployed *)
+  cand_provenance : Pibe_profile.Provenance.t;
+      (** the candidate's inline/promotion tree — deployed with it *)
   cand_profile : Pibe_profile.Profile.t;
       (** the (copied) profile it was trained on — becomes the reference
           on {!commit} *)

@@ -16,6 +16,7 @@ type config = {
   top_k : int;
   max_reopts : int;
   seed : int;
+  profile_on_deployed : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     top_k = 16;
     max_reopts = 3;
     seed = 23;
+    profile_on_deployed = false;
   }
 
 type window_record = {
@@ -47,28 +49,57 @@ type outcome = {
   aborted : string option;
 }
 
-(* One production window: replay the same request stream twice — once on
-   the deployed engine for cycle accounting, once on a profiling build of
-   the pristine kernel (default costs + collector hook) for the lifted
-   window profile.  Profiling on the pristine image keeps every window in
-   the same origin-id coordinate system as the training profiles, exactly
-   as AutoFDO lifts production samples back to the unoptimized IR. *)
-let run_window ~cfg ~prog ~image ~(phase : Workload.phase) rng =
-  let rng_profile = Rng.copy rng in
-  let deployed = Engine.create ~config:(H.engine_config image) image.H.prog in
-  for _ = 1 to cfg.requests_per_window do
-    phase.Workload.request deployed rng
-  done;
-  Engine.trace_counters ~cat:"online" ~name:"window-deployed" deployed;
-  let collector = Collector.create prog in
-  let pconfig =
-    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
-  in
-  let profiler = Engine.create ~config:pconfig prog in
-  for _ = 1 to cfg.requests_per_window do
-    phase.Workload.request profiler rng_profile
-  done;
-  (Engine.cycles deployed, Collector.lift collector)
+(* One production window, in one of two collection regimes.
+
+   Default (the paper's idealization): replay the same request stream
+   twice — once on the deployed engine for cycle accounting, once on a
+   profiling build of the pristine kernel (default costs + collector
+   hook) for the lifted window profile, which keeps every window in the
+   same origin-id coordinate system as the training profiles.
+
+   With [profile_on_deployed] (production reality, AutoFDO-style): a
+   single replay on the deployed image with the collector hooked into it;
+   the lift resolves clones/promotions/inlined-away edges through the
+   image's provenance back to pristine origins.  No second machine
+   exists — samples come from the binary users actually run. *)
+let run_window ~cfg ~prog ~image ~provenance ~(phase : Workload.phase) rng =
+  if cfg.profile_on_deployed then begin
+    let collector = Collector.create ~provenance image.H.prog in
+    let dconfig =
+      {
+        (H.engine_config image) with
+        Engine.on_edge = Some (Collector.hook collector);
+        on_entry = Some (Collector.hook_entry collector);
+      }
+    in
+    let deployed = Engine.create ~config:dconfig image.H.prog in
+    for _ = 1 to cfg.requests_per_window do
+      phase.Workload.request deployed rng
+    done;
+    Engine.trace_counters ~cat:"online" ~name:"window-deployed" deployed;
+    (Engine.cycles deployed, Collector.lift collector)
+  end
+  else begin
+    let rng_profile = Rng.copy rng in
+    let deployed = Engine.create ~config:(H.engine_config image) image.H.prog in
+    for _ = 1 to cfg.requests_per_window do
+      phase.Workload.request deployed rng
+    done;
+    Engine.trace_counters ~cat:"online" ~name:"window-deployed" deployed;
+    let collector = Collector.create prog in
+    let pconfig =
+      {
+      Engine.default_config with
+      Engine.on_edge = Some (Collector.hook collector);
+      on_entry = Some (Collector.hook_entry collector);
+    }
+    in
+    let profiler = Engine.create ~config:pconfig prog in
+    for _ = 1 to cfg.requests_per_window do
+      phase.Workload.request profiler rng_profile
+    done;
+    (Engine.cycles deployed, Collector.lift collector)
+  end
 
 let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~training
     ~phases () =
@@ -107,7 +138,8 @@ let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~trai
              in
              Trace.span ~cat:"online" "online:window" ~args:span_args (fun () ->
                  let cycles, wprof =
-                   run_window ~cfg ~prog ~image:(Controller.image controller) ~phase rng
+                   run_window ~cfg ~prog ~image:(Controller.image controller)
+                     ~provenance:(Controller.provenance controller) ~phase rng
                  in
                  (* Detect on the freshest window (fast reaction); rebuild on the
                     decayed merge (stable training data).  Hysteresis, not
@@ -164,7 +196,11 @@ let run ?(config = default_config) ?(verify = false) ~adaptive ~prog ~spec ~trai
 let training_profile ?(config = default_config) ~prog ~phases () =
   let collector = Collector.create prog in
   let pconfig =
-    { Engine.default_config with Engine.on_edge = Some (Collector.hook collector) }
+    {
+      Engine.default_config with
+      Engine.on_edge = Some (Collector.hook collector);
+      on_entry = Some (Collector.hook_entry collector);
+    }
   in
   let engine = Engine.create ~config:pconfig prog in
   let master = Rng.create config.seed in

@@ -2,11 +2,17 @@
     turns PIBE's one-shot pipeline into sample / detect drift /
     re-optimize / live-patch.
 
-    Time is divided into fixed-size windows.  Each window replays the
-    same seeded request stream on two machines: the {e deployed} hardened
-    image (cycle accounting — what production pays) and a profiling build
-    of the pristine kernel (edge collection lifted to origin ids — what
-    the profiler sees).  The window profile feeds the {!Store} ring; the
+    Time is divided into fixed-size windows.  By default each window
+    replays the same seeded request stream on two machines: the
+    {e deployed} hardened image (cycle accounting — what production pays)
+    and a profiling build of the pristine kernel (edge collection lifted
+    to origin ids — what the profiler sees).  With
+    [config.profile_on_deployed] the second machine disappears: the
+    collector hooks the deployed engine itself and the lift resolves the
+    optimized image's clones, promotions, and inlined-away edges through
+    its recorded provenance back to pristine origins — the AutoFDO
+    production regime.  Either way the window profile feeds the {!Store}
+    ring; the
     decayed merge is compared against the deployed image's training
     profile by {!Drift}; when the detector fires (and the re-opt budget
     allows), the {!Controller} rebuilds on the merged profile and the
@@ -26,11 +32,15 @@ type config = {
   top_k : int;  (** hot-site ranking depth of the distance metric *)
   max_reopts : int;  (** re-optimization budget for the whole run *)
   seed : int;
+  profile_on_deployed : bool;
+      (** collect windows on the deployed optimized image (single replay,
+          provenance-based lift) instead of a pristine-kernel shadow *)
 }
 
 val default_config : config
 (** 150 requests/window, window 3, decay 0.5, threshold 0.25,
-    hysteresis 2, top-16, at most 3 rebuilds, seed 23. *)
+    hysteresis 2, top-16, at most 3 rebuilds, seed 23, pristine-shadow
+    profiling. *)
 
 type window_record = {
   index : int;

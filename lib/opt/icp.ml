@@ -24,7 +24,7 @@ type pair = {
   target : string;
 }
 
-let run prog profile config =
+let run ?provenance prog profile config =
   (* Every (indirect site, profiled target) pair, in layout order. *)
   let pairs =
     List.rev
@@ -84,6 +84,11 @@ let run prog profile config =
           promoted_targets := !promoted_targets + 1;
           promoted_weight := !promoted_weight + count;
           Profile.add_direct profile ~origin:new_site.site_origin ~count;
+          Option.iter
+            (fun pv ->
+              Pibe_profile.Provenance.record_promotion pv
+                ~promoted_origin:new_site.site_origin ~origin ~target)
+            provenance;
           Profile.remove_indirect_target profile ~origin ~target)
         entries promotion.Transform.promoted)
     site_order;

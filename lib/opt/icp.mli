@@ -30,8 +30,15 @@ type stats = {
   promoted_targets : int;
 }
 
-val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats
+val run :
+  ?provenance:Pibe_profile.Provenance.t ->
+  Program.t ->
+  Pibe_profile.Profile.t ->
+  config ->
+  Program.t * stats
 (** Rewrites every selected site into a compare ladder with direct calls.
     The profile is updated in place: each new direct site gets the
     promoted target's count, which the original site's value profile
-    loses. *)
+    loses.  When [provenance] is given, each promotion is recorded so
+    counts collected at the promoted direct site on the optimized image
+    fold back into the pristine indirect site's value profile. *)

@@ -48,7 +48,7 @@ module Pq = Set.Make (struct
   let compare = compare
 end)
 
-let run prog profile config =
+let run ?provenance prog profile config =
   let cg = Pibe_cg.Callgraph.build prog in
   let prog = ref prog in
   let ret_sites_before = Program.total_ret_sites !prog in
@@ -159,8 +159,20 @@ let run prog profile config =
     || caller_f.attrs.optnone || caller_f.attrs.is_asm
   in
   let do_inline cand ~effective =
+    let prog_before = !prog in
     let p, cloned = Transform.inline_call !prog ~caller:cand.caller ~site_id:cand.site_id in
     prog := p;
+    Option.iter
+      (fun pv ->
+        Pibe_profile.Provenance.record_inline pv ~prog_before ~caller:cand.caller
+          ~site_id:cand.site_id ~callee:cand.callee
+          ~cloned:
+            (List.map
+               (fun (c : Transform.cloned_site) ->
+                 (c.Transform.new_site.site_id, c.Transform.callee_site.site_id))
+               cloned)
+          ~trained_count:cand.weight ~trained_caller_entries:(invocations cand.caller))
+      provenance;
     invalidate cand.caller;
     incr inlined_sites;
     inlined_weight := !inlined_weight + effective;

@@ -46,7 +46,14 @@ type stats = {
   total_ret_sites_after : int;
 }
 
-val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats
+val run :
+  ?provenance:Pibe_profile.Provenance.t ->
+  Program.t ->
+  Pibe_profile.Profile.t ->
+  config ->
+  Program.t * stats
 (** Runs promotion-aware greedy inlining over the whole program.  The
     profile is read-only; cloned sites keep their origins so later passes
-    still find their counts. *)
+    still find their counts.  When [provenance] is given, every inline is
+    recorded there so profiles collected on the optimized image can be
+    lifted back to pristine origins (see {!Pibe_profile.Provenance}). *)

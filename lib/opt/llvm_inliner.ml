@@ -28,7 +28,7 @@ type stats = {
   blocked_weight : int;
 }
 
-let run prog profile config =
+let run ?provenance prog profile config =
   let cg = Pibe_cg.Callgraph.build prog in
   let order = Pibe_cg.Callgraph.bottom_up_order cg in
   let prog = ref prog in
@@ -78,8 +78,21 @@ let run prog profile config =
             else config.cold_callee_threshold
           in
           if callee_cost <= threshold && caller_cost + callee_cost <= config.caller_cap then begin
-            let p, _ = Transform.inline_call !prog ~caller ~site_id:site.site_id in
+            let prog_before = !prog in
+            let p, cloned = Transform.inline_call !prog ~caller ~site_id:site.site_id in
             prog := p;
+            Option.iter
+              (fun pv ->
+                Pibe_profile.Provenance.record_inline pv ~prog_before ~caller
+                  ~site_id:site.site_id ~callee
+                  ~cloned:
+                    (List.map
+                       (fun (c : Transform.cloned_site) ->
+                         (c.Transform.new_site.site_id, c.Transform.callee_site.site_id))
+                       cloned)
+                  ~trained_count:weight
+                  ~trained_caller_entries:(Profile.invocations profile caller))
+              provenance;
             incr inlined_sites;
             inlined_weight := !inlined_weight + weight;
             continue := true;

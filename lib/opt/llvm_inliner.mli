@@ -27,4 +27,11 @@ type stats = {
   blocked_weight : int;  (** profiled weight blocked by size limits *)
 }
 
-val run : Program.t -> Pibe_profile.Profile.t -> config -> Program.t * stats
+val run :
+  ?provenance:Pibe_profile.Provenance.t ->
+  Program.t ->
+  Pibe_profile.Profile.t ->
+  config ->
+  Program.t * stats
+(** [provenance], when given, records every inline for optimized-image
+    profile lifting (see {!Pibe_profile.Provenance}). *)

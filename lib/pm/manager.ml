@@ -40,6 +40,7 @@ type pass_stats = {
 type result = {
   image : Pibe_harden.Pass.image;
   profile : Profile.t;
+  provenance : Pibe_profile.Provenance.t;
   passes : pass_stats list;
   wall_s : float;
 }
@@ -108,6 +109,7 @@ let run ?(verify = false) ?check prog profile passes =
         profile = Profile.copy profile;
         defenses = Pibe_harden.Pass.no_defenses;
         rsb_refill = false;
+        provenance = Pibe_profile.Provenance.create ();
       }
   in
   let run_args =
@@ -155,6 +157,7 @@ let run ?(verify = false) ?check prog profile passes =
       {
         image;
         profile = st.Pass.profile;
+        provenance = st.Pass.provenance;
         passes = stats;
         wall_s = Unix.gettimeofday () -. t_start;
       })

@@ -45,6 +45,9 @@ type result = {
   profile : Pibe_profile.Profile.t;
       (** the pipeline's own copy after every pass ran (post-ICP: promoted
           sites are direct now) *)
+  provenance : Pibe_profile.Provenance.t;
+      (** inline/promotion tree recorded by the optimization passes;
+          shipped with the image for optimized-image profile lifting *)
   passes : pass_stats list;  (** in execution order *)
   wall_s : float;  (** whole run, final hardening included *)
 }

@@ -5,6 +5,7 @@ type state = {
   profile : Pibe_profile.Profile.t;
   defenses : Pibe_harden.Pass.defenses;
   rsb_refill : bool;
+  provenance : Pibe_profile.Provenance.t;
 }
 
 type detail =

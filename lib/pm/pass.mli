@@ -19,6 +19,10 @@ type state = {
       (** hardening requests accumulated by the defense passes and
           materialized into an image after the last pass *)
   rsb_refill : bool;
+  provenance : Pibe_profile.Provenance.t;
+      (** inline/promotion tree the optimization passes append to; shipped
+          with the built image so optimized-image profiles can be lifted
+          back to pristine origins *)
 }
 
 type detail =

@@ -64,7 +64,7 @@ let icp (e : Spec.elem) =
   let config = { Icp.budget_pct; max_targets } in
   Ok
     (make e (fun (st : Pass.state) ->
-         let prog, stats = Icp.run st.prog st.profile config in
+         let prog, stats = Icp.run ~provenance:st.provenance st.prog st.profile config in
          ({ st with prog }, Pass.Icp stats)))
 
 let inline (e : Spec.elem) =
@@ -85,7 +85,7 @@ let inline (e : Spec.elem) =
   let config = { Inliner.budget_pct; rule2_threshold; rule3_threshold; lax_within_pct } in
   Ok
     (make e (fun (st : Pass.state) ->
-         let prog, stats = Inliner.run st.prog st.profile config in
+         let prog, stats = Inliner.run ~provenance:st.provenance st.prog st.profile config in
          ({ st with prog }, Pass.Inline stats)))
 
 let llvm_inline (e : Spec.elem) =
@@ -105,7 +105,7 @@ let llvm_inline (e : Spec.elem) =
   in
   Ok
     (make e (fun (st : Pass.state) ->
-         let prog, stats = Llvm_inliner.run st.prog st.profile config in
+         let prog, stats = Llvm_inliner.run ~provenance:st.provenance st.prog st.profile config in
          ({ st with prog }, Pass.Llvm_inline stats)))
 
 let cleanup (e : Spec.elem) =

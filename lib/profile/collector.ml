@@ -1,30 +1,66 @@
 open Pibe_ir
+module Trace = Pibe_trace.Trace
+
+type lift_stats = {
+  lifted_pairs : int;
+  dropped_pairs : int;
+  recovered_instances : int;
+  unrecovered_instances : int;
+  recovered_weight : int;
+}
+
+let zero_stats =
+  {
+    lifted_pairs = 0;
+    dropped_pairs = 0;
+    recovered_instances = 0;
+    unrecovered_instances = 0;
+    recovered_weight = 0;
+  }
 
 type t = {
   prog : Program.t;
   layout : Layout.t;
   pairs : (int * int, int) Hashtbl.t;
   lbr : Lbr.t;
-  (* site kind map, built once: origin id -> is the site a direct call? *)
-  site_is_direct : (int, bool) Hashtbl.t;
+  (* site identity map, built once: site_id -> (origin, is the site a
+     direct call?).  On a pristine program origin = site_id; on an
+     optimized one clones report their inherited origin. *)
+  site_info : (int, int * bool) Hashtbl.t;
+  provenance : Provenance.t option;
+  (* top-level (kernel-entry) invocations, observed through
+     [Engine.on_entry]: the one entry signal that survives total
+     inlining, and the anchor of the carry-forward scaling *)
+  external_entries : (string, int) Hashtbl.t;
+  mutable last_stats : lift_stats;
 }
 
-let create prog =
+let create ?provenance prog =
   let layout = Layout.build prog in
   let pairs = Hashtbl.create 4096 in
   let drain (r : Lbr.record) =
     let key = (r.Lbr.from_addr, r.Lbr.to_addr) in
     Hashtbl.replace pairs key (1 + Option.value ~default:0 (Hashtbl.find_opt pairs key))
   in
-  let site_is_direct = Hashtbl.create 1024 in
+  let site_info = Hashtbl.create 1024 in
   Program.iter_funcs prog (fun f ->
       Func.iter_insts f (fun _ i ->
           match i with
-          | Types.Call { site; _ } -> Hashtbl.replace site_is_direct site.Types.site_id true
+          | Types.Call { site; _ } ->
+            Hashtbl.replace site_info site.Types.site_id (site.Types.site_origin, true)
           | Types.Icall { site; _ } | Types.Asm_icall { site; _ } ->
-            Hashtbl.replace site_is_direct site.Types.site_id false
+            Hashtbl.replace site_info site.Types.site_id (site.Types.site_origin, false)
           | Types.Assign _ | Types.Store _ | Types.Observe _ -> ()));
-  { prog; layout; pairs; lbr = Lbr.create ~drain (); site_is_direct }
+  {
+    prog;
+    layout;
+    pairs;
+    lbr = Lbr.create ~drain ();
+    site_info;
+    provenance;
+    external_entries = Hashtbl.create 64;
+    last_stats = zero_stats;
+  }
 
 let hook t (e : Pibe_cpu.Engine.edge_event) =
   (* The profiling run observes addresses, as LBR hardware would. *)
@@ -35,24 +71,178 @@ let hook t (e : Pibe_cpu.Engine.edge_event) =
   | from_addr, to_addr -> Lbr.record t.lbr ~from_addr ~to_addr
   | exception Not_found -> ()
 
+let record_raw t ~from_addr ~to_addr = Lbr.record t.lbr ~from_addr ~to_addr
+
+let hook_entry t func =
+  Hashtbl.replace t.external_entries func
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.external_entries func))
+
+let bump tbl key count =
+  Hashtbl.replace tbl key (count + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Resolve the witness-based instance counts to their least fixpoint.
+   An instance's count feeds credits back onto the site it consumed and
+   onto its callee's entry count; witnesses of other instances may read
+   exactly those credited quantities (a witness clone can itself be
+   consumed by a later inline; a caller-entries witness reads an entry
+   count other instances recover).  Counts start at zero and every
+   update is monotone non-decreasing, so iterating to stability yields
+   the least solution; the round cap only guards degenerate input.
+
+   When the witness observes nothing — the common case of a leaf callee
+   inlined into a loop body, where the edge stream retains no signal at
+   all — the resolver falls back to the carry-forward estimate AutoFDO
+   and Go's PGO use in the same situation: the training profile's count
+   for the consumed site, scaled by the observed/trained entry ratio of
+   its caller.  A statically observed witness always takes precedence
+   over the estimate. *)
+let resolve_instances ~site_total ~entry_total insts =
+  let n = Array.length insts in
+  let counts = Array.make n 0 in
+  let site_credit = Hashtbl.create 64 in
+  let entry_credit = Hashtbl.create 64 in
+  let observed_site id = Option.value ~default:0 (Hashtbl.find_opt site_total id) in
+  let credit tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  let observed_entries f =
+    Option.value ~default:0 (Hashtbl.find_opt entry_total f) + credit entry_credit f
+  in
+  let witness_observed (i : Provenance.instance) =
+    match i.Provenance.witness with
+    | Provenance.W_sites ids -> List.exists (fun id -> observed_site id > 0) ids
+    | Provenance.W_caller_entries _ | Provenance.W_none -> false
+  in
+  let scaled (i : Provenance.instance) =
+    if i.Provenance.trained_count <= 0 || i.Provenance.trained_caller_entries <= 0 then 0
+    else
+      int_of_float
+        (float_of_int i.Provenance.trained_count
+        *. float_of_int (observed_entries i.Provenance.caller)
+        /. float_of_int i.Provenance.trained_caller_entries)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 1000 do
+    changed := false;
+    incr rounds;
+    (* reverse chronological: late instances have un-consumed witnesses,
+       so most counts settle in the first round *)
+    for j = n - 1 downto 0 do
+      let (i : Provenance.instance) = insts.(j) in
+      let witnessed =
+        match i.Provenance.witness with
+        | Provenance.W_sites ids ->
+          List.fold_left
+            (fun acc id -> max acc (observed_site id + credit site_credit id))
+            0 ids
+        | Provenance.W_caller_entries f -> observed_entries f
+        | Provenance.W_none -> 0
+      in
+      let w = if witness_observed i then witnessed else max witnessed (scaled i) in
+      if w > counts.(j) then begin
+        let delta = w - counts.(j) in
+        counts.(j) <- w;
+        bump site_credit i.Provenance.site_id delta;
+        bump entry_credit i.Provenance.callee delta;
+        changed := true
+      end
+    done
+  done;
+  counts
+
 let lift t =
   Lbr.flush t.lbr;
   let profile = Profile.create () in
+  (* 1. aggregate the address pairs back onto site ids / entered funcs *)
+  let site_total : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let site_targets : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let entry_total : (string, int) Hashtbl.t = Hashtbl.create 512 in
+  Hashtbl.iter (fun func count -> bump entry_total func count) t.external_entries;
+  let dropped = ref 0 in
+  let lifted = ref 0 in
   Hashtbl.iter
     (fun (from_addr, to_addr) count ->
-      match Layout.site_at t.layout from_addr with
-      | None -> () (* stale address: site no longer exists *)
-      | Some site_id -> (
-        match Layout.func_at t.layout to_addr with
-        | None -> ()
-        | Some target ->
-          Profile.add_entry profile ~func:target ~count;
-          (match Hashtbl.find_opt t.site_is_direct site_id with
-          | Some true -> Profile.add_direct profile ~origin:site_id ~count
-          | Some false -> Profile.add_indirect profile ~origin:site_id ~target ~count
-          | None -> ())))
+      match (Layout.site_at t.layout from_addr, Layout.func_at t.layout to_addr) with
+      | Some site_id, Some target when Hashtbl.mem t.site_info site_id ->
+        lifted := !lifted + count;
+        bump site_total site_id count;
+        bump entry_total target count;
+        let _, is_direct = Hashtbl.find t.site_info site_id in
+        if not is_direct then begin
+          let vp =
+            match Hashtbl.find_opt site_targets site_id with
+            | Some vp -> vp
+            | None ->
+              let vp = Hashtbl.create 4 in
+              Hashtbl.replace site_targets site_id vp;
+              vp
+          in
+          bump vp target count
+        end
+      | _ ->
+        (* stale address: outside any known site or function range *)
+        dropped := !dropped + count)
     t.pairs;
+  (* 2. emission helper: direct counts at an ICP-promoted origin fold
+     back into the pristine indirect site's value profile *)
+  let add_direct_resolved ~origin ~count =
+    match Option.bind t.provenance (fun pv -> Provenance.promotion pv origin) with
+    | Some (pristine_origin, target) ->
+      Profile.add_indirect profile ~origin:pristine_origin ~target ~count
+    | None -> Profile.add_direct profile ~origin ~count
+  in
+  (* 3. observed sites, keyed by origin *)
+  Hashtbl.iter
+    (fun site_id count ->
+      let origin, is_direct = Hashtbl.find t.site_info site_id in
+      if is_direct then add_direct_resolved ~origin ~count
+      else
+        Hashtbl.iter
+          (fun target c -> Profile.add_indirect profile ~origin ~target ~count:c)
+          (Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt site_targets site_id)))
+    site_total;
+  Hashtbl.iter (fun func count -> Profile.add_entry profile ~func ~count) entry_total;
+  (* 4. inlined-away edges, recovered through the provenance witnesses *)
+  let recovered_instances = ref 0 in
+  let unrecovered_instances = ref 0 in
+  let recovered_weight = ref 0 in
+  (match t.provenance with
+  | None -> ()
+  | Some pv ->
+    let insts = Array.of_list (Provenance.instances pv) in
+    let counts = resolve_instances ~site_total ~entry_total insts in
+    Array.iteri
+      (fun j (i : Provenance.instance) ->
+        let c = counts.(j) in
+        if c > 0 then begin
+          incr recovered_instances;
+          recovered_weight := !recovered_weight + c;
+          add_direct_resolved ~origin:i.Provenance.origin ~count:c;
+          Profile.add_entry profile ~func:i.Provenance.callee ~count:c
+        end
+        else incr unrecovered_instances)
+      insts);
+  let stats =
+    {
+      lifted_pairs = !lifted;
+      dropped_pairs = !dropped;
+      recovered_instances = !recovered_instances;
+      unrecovered_instances = !unrecovered_instances;
+      recovered_weight = !recovered_weight;
+    }
+  in
+  t.last_stats <- stats;
+  if Trace.enabled () then
+    Trace.counter ~cat:"profile" "collector:lift"
+      [
+        ("lifted_pairs", Trace.Int stats.lifted_pairs);
+        ("dropped_pairs", Trace.Int stats.dropped_pairs);
+        ("recovered_instances", Trace.Int stats.recovered_instances);
+        ("unrecovered_instances", Trace.Int stats.unrecovered_instances);
+        ("recovered_weight", Trace.Int stats.recovered_weight);
+      ];
   profile
+
+let stats t = t.last_stats
 
 let raw_pairs t =
   Lbr.flush t.lbr;

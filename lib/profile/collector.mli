@@ -2,24 +2,71 @@
     LBR ring -> address-pair aggregation -> lifted {!Profile.t}.
 
     Mirrors the paper's §7 flow: the profiling binary records edges at the
-    *binary* level; after the run, the aggregated address pairs are lifted
-    back to IR call-site identities through the layout symbol table. *)
+    {e binary} level; after the run, the aggregated address pairs are
+    lifted back to IR call-site identities through the layout symbol
+    table.  Two collection regimes are supported:
+
+    - {e pristine image} (the paper's assumption): every site id is its
+      own origin and the lift is a pure address→site table walk;
+    - {e optimized/hardened image} (production reality — AutoFDO, Go
+      PGO): clones resolve through their inherited origin, ICP-promoted
+      direct sites fold back into the pristine indirect site's value
+      profile, and call edges consumed by inlining — which emit nothing
+      at all — are reconstructed from the {!Provenance} witness tree by a
+      monotone fixpoint over instance counts.  Pass the image's
+      provenance via [create ?provenance] to enable this.
+
+    Address pairs that resolve to no known site or function (stale
+    addresses from a mismatched layout, raw-PMU noise) are dropped, and
+    the drop is counted: see {!lift_stats}. *)
 
 type t
 
-val create : Pibe_ir.Program.t -> t
-(** Builds the layout symbol table for the profiling image and an empty
-    aggregation. *)
+type lift_stats = {
+  lifted_pairs : int;  (** pair weight lifted onto known sites *)
+  dropped_pairs : int;
+      (** pair weight falling outside any known site/function range *)
+  recovered_instances : int;
+      (** inline instances assigned a non-zero count, by witness or by
+          the scaled carry-forward estimate *)
+  unrecovered_instances : int;
+      (** inline instances whose count stayed zero: no witness signal,
+          no carry-forward (e.g. the site was cold in training too) *)
+  recovered_weight : int;  (** total count reconstructed for inlined-away edges *)
+}
+
+val create : ?provenance:Provenance.t -> Pibe_ir.Program.t -> t
+(** Builds the layout symbol table for the profiling image, its
+    site-id→origin map, and an empty aggregation.  [provenance] is the
+    inline/promotion tree recorded when the image was built; omit it for
+    pristine images. *)
+
+val hook_entry : t -> string -> unit
+(** Record one top-level (kernel-entry) invocation of a function; wire as
+    [Engine.on_entry].  These entries survive total inlining — no call
+    edge is needed — and anchor the carry-forward scaling of the lift. *)
 
 val hook : t -> Pibe_cpu.Engine.edge_event -> unit
 (** Install as the engine's [on_edge] callback. *)
 
+val record_raw : t -> from_addr:int -> to_addr:int -> unit
+(** Feed a raw address pair into the ring, bypassing the engine hook —
+    the ingestion path for externally captured (PMU-style) samples, whose
+    addresses may not resolve at lift time. *)
+
 val lift : t -> Profile.t
 (** Flushes the LBR ring, then lifts every aggregated (from, to) pair:
-    [from] resolves to a call site (direct counter or value-profile entry
-    depending on the site's instruction) and [to] to the entered function
-    (invocation counts).  Address pairs that no longer resolve — e.g. the
-    site was compiled away — are dropped, as in the paper. *)
+    [from] resolves to a call site and through it to the site's {e origin}
+    (direct counter, or value-profile entry for indirect sites), [to] to
+    the entered function (invocation counts).  With provenance attached,
+    direct counts at ICP-promoted origins are re-emitted as value-profile
+    counts at the pristine indirect origin, and inlined-away edges are
+    reconstructed from witness counts.  Unresolvable pairs are dropped
+    and counted.  Updates {!stats}; when tracing is enabled, emits a
+    ["collector:lift"] counter with the stats. *)
+
+val stats : t -> lift_stats
+(** Stats of the most recent {!lift} (zeros before the first). *)
 
 val raw_pairs : t -> ((int * int) * int) list
 (** Aggregated ((from_addr, to_addr), count) pairs, for inspection. *)

@@ -119,6 +119,87 @@ let merge_weighted parts =
 
 let scale t f = merge_weighted [ (f, t) ]
 
+type match_stats = {
+  direct_kept : int;
+  direct_dropped : int;
+  indirect_kept : int;
+  indirect_dropped : int;
+  entries_kept : int;
+  entries_dropped : int;
+  renamed_weight : int;
+}
+
+(* Staleness matching: keep only the counts whose identity still exists —
+   with the same call kind — in the target program.  A site id that
+   vanished and was later re-minted for a different-kind site would
+   otherwise smuggle weight across kinds (direct counter read as an
+   indirect origin or vice versa), so existence is checked per kind. *)
+let match_to ?(renames = []) t prog =
+  let open Pibe_ir in
+  let direct_origins = Hashtbl.create 512 in
+  let indirect_origins = Hashtbl.create 256 in
+  let funcs = Hashtbl.create 512 in
+  Program.iter_funcs prog (fun f ->
+      Hashtbl.replace funcs f.Types.fname ();
+      Func.iter_insts f (fun _ i ->
+          match i with
+          | Types.Call { site; _ } ->
+            Hashtbl.replace direct_origins site.Types.site_origin ()
+          | Types.Icall { site; _ } | Types.Asm_icall { site; _ } ->
+            Hashtbl.replace indirect_origins site.Types.site_origin ()
+          | Types.Assign _ | Types.Store _ | Types.Observe _ -> ()));
+  let renamed_weight = ref 0 in
+  let rename f count =
+    match List.assoc_opt f renames with
+    | Some f' ->
+      renamed_weight := !renamed_weight + count;
+      f'
+    | None -> f
+  in
+  let out = create () in
+  let dk = ref 0 and dd = ref 0 and ik = ref 0 and id_ = ref 0 in
+  let ek = ref 0 and ed = ref 0 in
+  Hashtbl.iter
+    (fun origin count ->
+      if Hashtbl.mem direct_origins origin then begin
+        dk := !dk + count;
+        add_direct out ~origin ~count
+      end
+      else dd := !dd + count)
+    t.direct;
+  Hashtbl.iter
+    (fun origin vp ->
+      let live = Hashtbl.mem indirect_origins origin in
+      Hashtbl.iter
+        (fun target count ->
+          let target = rename target count in
+          if live && Hashtbl.mem funcs target then begin
+            ik := !ik + count;
+            add_indirect out ~origin ~target ~count
+          end
+          else id_ := !id_ + count)
+        vp)
+    t.indirect;
+  Hashtbl.iter
+    (fun func count ->
+      let func = rename func count in
+      if Hashtbl.mem funcs func then begin
+        ek := !ek + count;
+        add_entry out ~func ~count
+      end
+      else ed := !ed + count)
+    t.entries;
+  ( out,
+    {
+      direct_kept = !dk;
+      direct_dropped = !dd;
+      indirect_kept = !ik;
+      indirect_dropped = !id_;
+      entries_kept = !ek;
+      entries_dropped = !ed;
+      renamed_weight = !renamed_weight;
+    } )
+
 let to_string t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "profile {\n";

@@ -65,6 +65,33 @@ val remove_indirect_target : t -> origin:int -> target:string -> unit
     been promoted to a direct call, leaving the fallback indirect site
     with only the residual weight). *)
 
+(** {2 Staleness matching} *)
+
+type match_stats = {
+  direct_kept : int;
+  direct_dropped : int;
+  indirect_kept : int;
+  indirect_dropped : int;
+  entries_kept : int;
+  entries_dropped : int;
+  renamed_weight : int;  (** weight that flowed through a rename *)
+}
+(** All fields are count weights, not key counts. *)
+
+val match_to :
+  ?renames:(string * string) list -> t -> Pibe_ir.Program.t -> t * match_stats
+(** Match a (possibly stale) profile against the program about to be
+    built: direct counts survive only at origins that are direct-call
+    origins in [prog], value-profile counts only at indirect origins
+    whose target function still exists, entry counts only for existing
+    functions.  The per-kind check means a site id removed in one release
+    and re-minted for a different-kind site in a later one cannot leak
+    weight across kinds.  [renames] maps old function names to new ones
+    (applied to value-profile targets and entry counts before the
+    existence check), mirroring AutoFDO's symbol-remapping input.  The
+    input is not mutated.  Matching is idempotent: matching the result
+    against the same program is the identity. *)
+
 (** {2 Persistence} *)
 
 val to_string : t -> string

@@ -1,0 +1,94 @@
+(** Inline/promotion provenance: the record the optimization passes leave
+    behind so profiles collected on the {e optimized, hardened} image can
+    be lifted back to pristine-kernel origin site ids.
+
+    Production PGO systems (AutoFDO, Go's PGO) face the same problem:
+    samples are taken from an already-optimized binary, where hot call
+    sites have been inlined away (they emit no call edges at all) and
+    promoted indirect calls show up as direct ones.  The tree records,
+    per inline instance, which site was consumed and a {e witness} — an
+    observable quantity whose count on the optimized image equals the
+    number of times the inlined body ran — so {!Collector.lift} can
+    reconstruct the vanished call edges and callee entries.  Promotions
+    record the fresh direct-site origin ICP minted so its counts fold
+    back into the pristine indirect site's value profile. *)
+
+open Pibe_ir
+
+type witness =
+  | W_sites of int list
+      (** live site ids whose event count equals the instance count
+          (clones from once-per-invocation callee blocks, or sibling
+          sites sharing the consumed site's basic block) *)
+  | W_caller_entries of string
+      (** the consumed block ran once per invocation of this caller:
+          instance count = the caller's (recovered) entry count *)
+  | W_none
+      (** nothing observable on the optimized image; the lift falls back
+          to the scaled carry-forward estimate recorded below *)
+
+type instance = {
+  caller : string;
+  callee : string;
+  site_id : int;  (** id of the consumed direct-call site *)
+  origin : int;  (** its profile origin *)
+  witness : witness;
+  trained_count : int;
+      (** the training profile's weight for the consumed site when it was
+          inlined — the carry-forward estimate the lift falls back to
+          (scaled by the observed/trained caller-entry ratio) when the
+          witness observes nothing, e.g. a leaf callee inlined into a
+          loop body *)
+  trained_caller_entries : int;
+      (** the training profile's entry count for [caller] at inline time,
+          the denominator of that scaling ratio *)
+}
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+
+val record_inline :
+  t ->
+  prog_before:Program.t ->
+  caller:string ->
+  site_id:int ->
+  callee:string ->
+  cloned:(int * int) list ->
+  trained_count:int ->
+  trained_caller_entries:int ->
+  unit
+(** Record one inline of [site_id] (a direct call in [caller] to
+    [callee]) against the program as it was {e before} the transform.
+    [cloned] lists [(new site id, callee site id)] for every call site
+    cloned into the caller; the witness is derived here (dominator-based
+    once-per-invocation analysis on the callee, then sibling sites, then
+    the caller-entries fallback).  [trained_count] and
+    [trained_caller_entries] snapshot what the training profile said
+    about the consumed site and its caller, for the lift's carry-forward
+    fallback. *)
+
+val record_promotion : t -> promoted_origin:int -> origin:int -> target:string -> unit
+(** ICP minted a fresh direct site with origin [promoted_origin] for
+    calls from indirect site [origin] to [target]. *)
+
+val instances : t -> instance list
+(** In recording (chronological) order. *)
+
+val inline_count : t -> int
+val promotion : t -> int -> (int * string) option
+val promotions : t -> (int * (int * string)) list
+(** Sorted by promoted origin. *)
+
+val promotion_count : t -> int
+
+(** {2 Persistence}
+
+    The tree is persisted alongside the image it describes (text form,
+    like {!Profile}); a later profiling session reloads it to lift. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)

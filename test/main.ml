@@ -15,6 +15,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("attack", Test_attack.suite);
       ("pipeline", Test_pipeline.suite);
+      ("stale", Test_stale.suite);
       ("pm", Test_pm.suite);
       ("online", Test_online.suite);
       ("core", Test_core.suite);

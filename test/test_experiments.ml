@@ -27,10 +27,10 @@ let test_registry_complete () =
       Alcotest.(check bool) (want ^ " registered") true (List.mem want ids))
     ([
        "figure1"; "robustness"; "security"; "ablation"; "userspace"; "sensitivity";
-       "v1scan"; "passes"; "online"; "fleet"; "frontier";
+       "v1scan"; "passes"; "online"; "fleet"; "frontier"; "stale"; "fixpoint";
      ]
     @ List.init 12 (fun i -> Printf.sprintf "table%d" (i + 1)));
-  Alcotest.(check int) "23 experiments" 23 (List.length Exp.all)
+  Alcotest.(check int) "25 experiments" 25 (List.length Exp.all)
 
 let test_table1_shape () =
   let t = first "table1" in

@@ -331,6 +331,184 @@ let test_collector_invocations_match () =
   Alcotest.(check bool) "ext4 read dominates" true
     (match vp with (t, _) :: _ -> String.length t > 0 | [] -> false)
 
+(* ----------------------- provenance persistence --------------------- *)
+
+module Provenance = Pibe_profile.Provenance
+
+let provenance_fixture =
+  String.concat "\n"
+    [
+      "provenance {";
+      "  promo 900 = 7 @ext4_read";
+      "  inline @caller_a @leaf 41 41 1200 60 sites 90,91";
+      "  inline @caller_b @mid 55 12 0 0 entries @caller_b";
+      "  inline @caller_c @deep 77 77 350 10 none";
+      "}";
+    ]
+  ^ "\n"
+
+let test_provenance_roundtrip () =
+  let pv = Provenance.of_string provenance_fixture in
+  Alcotest.(check string) "to_string is a fixpoint" provenance_fixture
+    (Provenance.to_string pv);
+  Alcotest.(check string) "second round-trip stable"
+    (Provenance.to_string pv)
+    (Provenance.to_string (Provenance.of_string (Provenance.to_string pv)));
+  Alcotest.(check int) "3 instances" 3 (Provenance.inline_count pv);
+  Alcotest.(check int) "1 promotion" 1 (Provenance.promotion_count pv);
+  (* every field — including the carry-forward snapshot — survives *)
+  (match Provenance.instances pv with
+  | [ a; b; c ] ->
+    Alcotest.(check int) "trained_count" 1200 a.Provenance.trained_count;
+    Alcotest.(check int) "trained_caller_entries" 60 a.Provenance.trained_caller_entries;
+    Alcotest.(check bool) "sites witness" true
+      (a.Provenance.witness = Provenance.W_sites [ 90; 91 ]);
+    Alcotest.(check bool) "entries witness" true
+      (b.Provenance.witness = Provenance.W_caller_entries "caller_b");
+    Alcotest.(check bool) "none witness" true (c.Provenance.witness = Provenance.W_none);
+    Alcotest.(check int) "origin differs from site id" 12 b.Provenance.origin
+  | _ -> Alcotest.fail "expected exactly three instances");
+  Alcotest.(check (option (pair int string))) "promotion folds back"
+    (Some (7, "ext4_read"))
+    (Provenance.promotion pv 900)
+
+let test_provenance_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Provenance.of_string line with
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "%S names the line" line)
+          ("Provenance.of_string: malformed line: " ^ line)
+          msg
+      | _ -> Alcotest.failf "%S was accepted" line)
+    [
+      "inline @a @b 1 2 3 none";        (* missing the carry-forward ints *)
+      "inline @a @b 1 2 3 4 maybe";     (* unknown witness kind *)
+      "inline @a @b 1 2 3 4 sites x";   (* non-numeric witness site *)
+      "inline a @b 1 2 3 4 none";       (* caller missing the @ sigil *)
+      "promo 1 = 2 target";             (* target missing the @ sigil *)
+      "weird 1 = 2";                    (* unknown record kind *)
+    ]
+
+(* -------------------------- staleness matching ---------------------- *)
+
+(* The program's site origins, split by call kind, plus its function
+   names — the ground truth [match_to] checks against. *)
+let program_identities prog =
+  let directs = ref [] and indirects = ref [] and funcs = ref [] in
+  Program.iter_funcs prog (fun f ->
+      funcs := f.Types.fname :: !funcs;
+      Func.iter_insts f (fun _ i ->
+          match i with
+          | Types.Call { site; _ } -> directs := site.Types.site_origin :: !directs
+          | Types.Icall { site; _ } | Types.Asm_icall { site; _ } ->
+            indirects := site.Types.site_origin :: !indirects
+          | Types.Assign _ | Types.Store _ | Types.Observe _ -> ()));
+  (!directs, !indirects, !funcs)
+
+let test_match_to_empty_profile () =
+  let prog = Helpers.random_program 31 in
+  let matched, stats = Profile.match_to (Profile.create ()) prog in
+  Alcotest.(check string) "empty in, empty out" "profile {\n}\n"
+    (Profile.to_string matched);
+  Alcotest.(check int) "nothing kept" 0
+    (stats.Profile.direct_kept + stats.Profile.indirect_kept + stats.Profile.entries_kept);
+  Alcotest.(check int) "nothing dropped" 0
+    (stats.Profile.direct_dropped + stats.Profile.indirect_dropped
+    + stats.Profile.entries_dropped)
+
+let test_match_to_all_sites_vanished () =
+  let prog = Helpers.random_program 31 in
+  let p = Profile.create () in
+  Profile.add_direct p ~origin:9_000_001 ~count:100;
+  Profile.add_indirect p ~origin:9_000_002 ~target:"no_such_fn" ~count:40;
+  Profile.add_entry p ~func:"no_such_fn" ~count:7;
+  let matched, stats = Profile.match_to p prog in
+  Alcotest.(check string) "everything dropped" "profile {\n}\n"
+    (Profile.to_string matched);
+  Alcotest.(check int) "direct weight dropped" 100 stats.Profile.direct_dropped;
+  Alcotest.(check int) "indirect weight dropped" 40 stats.Profile.indirect_dropped;
+  Alcotest.(check int) "entry weight dropped" 7 stats.Profile.entries_dropped;
+  (* the input is not mutated *)
+  Alcotest.(check int) "input intact" 100 (Profile.direct_count p ~origin:9_000_001)
+
+(* A site id removed in one release can be re-minted for a site of the
+   other kind in a later one; the per-kind check must refuse to let the
+   stale weight leak across kinds. *)
+let test_match_to_kind_collision () =
+  let prog = Helpers.random_program 31 in
+  let directs, indirects, funcs = program_identities prog in
+  let d = List.hd directs and i = List.hd indirects and f = List.hd funcs in
+  let p = Profile.create () in
+  (* stale weight recorded under the wrong kind for today's program *)
+  Profile.add_direct p ~origin:i ~count:50;
+  Profile.add_indirect p ~origin:d ~target:f ~count:60;
+  (* and legitimate weight under the right kind *)
+  Profile.add_direct p ~origin:d ~count:11;
+  Profile.add_indirect p ~origin:i ~target:f ~count:22;
+  let matched, stats = Profile.match_to p prog in
+  Alcotest.(check int) "collided direct weight dropped" 50 stats.Profile.direct_dropped;
+  Alcotest.(check int) "collided indirect weight dropped" 60
+    stats.Profile.indirect_dropped;
+  Alcotest.(check int) "right-kind direct kept" 11 (Profile.direct_count matched ~origin:d);
+  Alcotest.(check (list (pair string int))) "right-kind indirect kept" [ (f, 22) ]
+    (Profile.value_profile matched ~origin:i)
+
+let test_match_to_renames () =
+  let prog = Helpers.random_program 31 in
+  let _, indirects, funcs = program_identities prog in
+  let i = List.hd indirects and f = List.hd funcs in
+  let p = Profile.create () in
+  Profile.add_indirect p ~origin:i ~target:"old_name" ~count:33;
+  Profile.add_entry p ~func:"old_name" ~count:9;
+  let matched, stats = Profile.match_to ~renames:[ ("old_name", f) ] p prog in
+  Alcotest.(check (list (pair string int))) "target renamed then kept" [ (f, 33) ]
+    (Profile.value_profile matched ~origin:i);
+  Alcotest.(check int) "entry renamed then kept" 9 (Profile.invocations matched f);
+  Alcotest.(check int) "renamed weight accounted" 42 stats.Profile.renamed_weight
+
+let prop_match_to_idempotent =
+  QCheck.Test.make ~name:"staleness matching is idempotent" ~count:100
+    QCheck.small_int (fun seed ->
+      let prog = Helpers.random_program 31 in
+      let p = random_profile seed in
+      let once, _ = Profile.match_to p prog in
+      let twice, stats = Profile.match_to once prog in
+      Profile.to_string twice = Profile.to_string once
+      && stats.Profile.direct_dropped = 0
+      && stats.Profile.indirect_dropped = 0
+      && stats.Profile.entries_dropped = 0)
+
+(* -------------------- collector drop accounting --------------------- *)
+
+let test_collector_counts_dropped_pairs () =
+  let prog = Helpers.random_program 21 in
+  let collector = Collector.create prog in
+  (* raw PMU-style samples whose addresses resolve to nothing: a stale
+     layout.  Each pair carries weight 1; the repeat weights one pair 2. *)
+  Collector.record_raw collector ~from_addr:123_456_789 ~to_addr:987_654_321;
+  Collector.record_raw collector ~from_addr:123_456_789 ~to_addr:987_654_321;
+  Collector.record_raw collector ~from_addr:max_int ~to_addr:max_int;
+  let profile = Collector.lift collector in
+  let stats = Collector.stats collector in
+  Alcotest.(check int) "all weight dropped" 3 stats.Collector.dropped_pairs;
+  Alcotest.(check int) "nothing lifted" 0 stats.Collector.lifted_pairs;
+  Alcotest.(check int) "profile stays empty" 0
+    (Profile.total_direct_weight profile + Profile.total_indirect_weight profile)
+
+let test_collector_entry_hook () =
+  let prog = Helpers.random_program 21 in
+  let collector = Collector.create prog in
+  (* top-level entries arrive through on_entry even when no call edge is
+     ever recorded — the signal that survives total inlining *)
+  Collector.hook_entry collector "f0";
+  Collector.hook_entry collector "f0";
+  Collector.hook_entry collector "f1";
+  let profile = Collector.lift collector in
+  Alcotest.(check int) "two entries for f0" 2 (Profile.invocations profile "f0");
+  Alcotest.(check int) "one entry for f1" 1 (Profile.invocations profile "f1")
+
 let suite =
   [
     ("counts accumulate", `Quick, test_counts_accumulate);
@@ -349,4 +527,13 @@ let suite =
     ("lbr drains on overflow and flush", `Quick, test_lbr_drains_on_overflow_and_flush);
     ("collector lift matches execution", `Quick, test_collector_lift_matches_execution);
     ("collector invocation counts", `Quick, test_collector_invocations_match);
+    ("provenance round-trips", `Quick, test_provenance_roundtrip);
+    ("provenance rejects garbage", `Quick, test_provenance_rejects_garbage);
+    ("match_to: empty profile", `Quick, test_match_to_empty_profile);
+    ("match_to: all sites vanished", `Quick, test_match_to_all_sites_vanished);
+    ("match_to: site-id kind collision", `Quick, test_match_to_kind_collision);
+    ("match_to: renames", `Quick, test_match_to_renames);
+    Helpers.qcheck_to_alcotest prop_match_to_idempotent;
+    ("collector counts dropped pairs", `Quick, test_collector_counts_dropped_pairs);
+    ("collector entry hook", `Quick, test_collector_entry_hook);
   ]

@@ -1,0 +1,183 @@
+(* Kernel evolution and stale-profile robustness: the release generator's
+   determinism and validity, workloads surviving evolution, staleness
+   matching against evolved kernels, and the lift-equivalence bound — a
+   profile collected on the optimized, hardened image and lifted through
+   provenance agrees with the pristine-image profile within 5%. *)
+
+open Pibe_ir
+module Gen = Pibe_kernel.Gen
+module Evolve = Pibe_kernel.Evolve
+module Workload = Pibe_kernel.Workload
+module Profile = Pibe_profile.Profile
+module Engine = Pibe_cpu.Engine
+
+let evolve_seed = 77
+let evolved k = Evolve.evolve ~seed:evolve_seed ~k (Helpers.kernel ())
+
+(* ---------------------------- evolution ----------------------------- *)
+
+let test_evolve_deterministic () =
+  let a, sa = evolved 3 in
+  let b, sb = evolved 3 in
+  Alcotest.(check bool) "same per-release stats" true (sa = sb);
+  Alcotest.(check string) "same program text"
+    (Printer.program_to_string a.Gen.prog)
+    (Printer.program_to_string b.Gen.prog);
+  let id, s0 = evolved 0 in
+  Alcotest.(check int) "k = 0 is the identity" 0 (List.length s0);
+  Alcotest.(check string) "k = 0 leaves the program untouched"
+    (Printer.program_to_string (Helpers.kernel ()).Gen.prog)
+    (Printer.program_to_string id.Gen.prog)
+
+let test_evolve_valid_and_runnable () =
+  (* every release validates, and the lmbench workload still runs: the
+     protected anchors (syscall entry, drill gadgets, fptr members) were
+     kept intact *)
+  for k = 1 to 3 do
+    let info, stats = evolved k in
+    Alcotest.(check int) "k releases applied" k (List.length stats);
+    Alcotest.(check (list string))
+      (Printf.sprintf "release %d validates" k)
+      []
+      (List.map
+         (fun (e : Validate.error) -> e.Validate.what)
+         (Validate.check_program info.Gen.prog));
+    let engine = Engine.create info.Gen.prog in
+    let rng = Pibe_util.Rng.create 5 in
+    List.iter (fun (op : Workload.op) -> op.Workload.run engine rng) (Workload.lmbench info);
+    Alcotest.(check bool)
+      (Printf.sprintf "workload executed calls at k = %d" k)
+      true
+      ((Engine.counters engine).Engine.calls > 0)
+  done
+
+let test_evolve_churns_identities () =
+  let _, stats = evolved 2 in
+  List.iter
+    (fun (s : Evolve.stats) ->
+      Alcotest.(check bool) "functions added" true (s.Evolve.added > 0);
+      Alcotest.(check bool) "functions removed" true (s.Evolve.removed > 0);
+      Alcotest.(check bool) "sites renamed" true (s.Evolve.renamed_sites > 0))
+    stats
+
+(* -------------------- staleness matching on releases ----------------- *)
+
+let base_profile =
+  lazy
+    (let info = Helpers.kernel () in
+     Pibe.Pipeline.profile info.Gen.prog ~run:(fun engine ->
+         let rng = Pibe_util.Rng.create 11 in
+         List.iter
+           (fun (op : Workload.op) ->
+             for _ = 1 to 20 do
+               op.Workload.run engine rng
+             done)
+           (Workload.lmbench info)))
+
+let test_stale_match_on_evolved_kernel () =
+  let p = Lazy.force base_profile in
+  let info, _ = evolved 2 in
+  let matched, stats = Profile.match_to p info.Gen.prog in
+  (* two releases of churn: some weight must drop (removed and reshuffled
+     functions), most must survive (protected anchors and untouched code) *)
+  let dropped =
+    stats.Profile.direct_dropped + stats.Profile.indirect_dropped
+    + stats.Profile.entries_dropped
+  in
+  let kept =
+    stats.Profile.direct_kept + stats.Profile.indirect_kept + stats.Profile.entries_kept
+  in
+  Alcotest.(check bool) "some weight dropped" true (dropped > 0);
+  Alcotest.(check bool) "majority survives" true (kept > dropped);
+  (* and the matched profile builds the evolved kernel without tripping
+     verification *)
+  let cfg = Pibe.Exp_common.best_config Pibe.Exp_common.all_defenses in
+  let built = Pibe.Pipeline.build ~verify:true info.Gen.prog matched cfg in
+  Alcotest.(check bool) "icp ran on the stale profile" true
+    (built.Pibe.Pipeline.icp_stats <> None)
+
+(* ------------------------- lift equivalence ------------------------- *)
+
+let within_pct ~pct a b =
+  let a = float_of_int a and b = float_of_int b in
+  let hi = Float.max a b in
+  hi = 0.0 || Float.abs (a -. b) <= pct /. 100.0 *. hi
+
+(* The tentpole acceptance bound: collect the standard workload on the
+   fully optimized + hardened image, lift through the recorded
+   provenance, and compare against the pristine-image profile.  Inlining
+   consumed most hot edges, ICP rewrote the hot indirect targets to
+   direct calls — the witness/carry-forward machinery must reconstruct
+   the pristine view within 5%. *)
+let test_lift_equivalence_on_hardened_image () =
+  let env = Helpers.env () in
+  let info = Pibe.Env.info env in
+  let pristine = Pibe.Env.lmbench_profile env in
+  let cfg = Pibe.Exp_common.best_config Pibe.Exp_common.all_defenses in
+  let built = Pibe.Env.build env cfg in
+  let ops = Workload.lmbench info in
+  let lifted, stats =
+    Pibe.Pipeline.profile_built built ~run:(fun engine ->
+        let rng = Pibe_util.Rng.create 11 in
+        List.iter
+          (fun (op : Workload.op) ->
+            for _ = 1 to Pibe.Env.profile_iters env do
+              op.Workload.run engine rng
+            done)
+          ops)
+  in
+  Alcotest.(check bool) "samples were lifted" true
+    (stats.Pibe_profile.Collector.lifted_pairs > 0);
+  Alcotest.(check int) "no sample dropped" 0 stats.Pibe_profile.Collector.dropped_pairs;
+  let total p = Profile.total_direct_weight p + Profile.total_indirect_weight p in
+  Alcotest.(check bool)
+    (Printf.sprintf "total call weight within 5%% (pristine %d, lifted %d)"
+       (total pristine) (total lifted))
+    true
+    (within_pct ~pct:5.0 (total pristine) (total lifted));
+  (* every hot indirect origin's value profile survives the round trip:
+     same weight (within 5%) and the same hottest target *)
+  let hot =
+    List.filter
+      (fun o ->
+        Profile.site_weight pristine { Types.site_id = o; site_origin = o }
+        > total pristine / 100)
+      (Profile.profiled_indirect_origins pristine)
+  in
+  Alcotest.(check bool) "kernel has hot indirect origins" true (List.length hot > 0);
+  List.iter
+    (fun o ->
+      let site = { Types.site_id = o; site_origin = o } in
+      let wp = Profile.site_weight pristine site in
+      let wl = Profile.site_weight lifted site in
+      Alcotest.(check bool)
+        (Printf.sprintf "origin %d weight within 5%% (pristine %d, lifted %d)" o wp wl)
+        true
+        (within_pct ~pct:5.0 wp wl);
+      match (Profile.value_profile pristine ~origin:o, Profile.value_profile lifted ~origin:o) with
+      | (tp, _) :: _, (tl, _) :: _ ->
+        Alcotest.(check string)
+          (Printf.sprintf "origin %d hottest target survives" o)
+          tp tl
+      | _ -> Alcotest.failf "origin %d lost its value profile" o)
+    hot;
+  (* hot entry counts survive the edges consumed by inlining *)
+  List.iter
+    (fun f ->
+      let ip = Profile.invocations pristine f in
+      if ip > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s entries within 5%% (pristine %d, lifted %d)" f ip
+             (Profile.invocations lifted f))
+          true
+          (within_pct ~pct:5.0 ip (Profile.invocations lifted f)))
+    [ "sys_read"; "sys_write"; "vfs_read"; "vfs_write" ]
+
+let suite =
+  [
+    ("evolution is deterministic", `Quick, test_evolve_deterministic);
+    ("releases validate and run", `Quick, test_evolve_valid_and_runnable);
+    ("releases churn identities", `Quick, test_evolve_churns_identities);
+    ("stale match on evolved kernel", `Quick, test_stale_match_on_evolved_kernel);
+    ("lift equivalence on hardened image", `Quick, test_lift_equivalence_on_hardened_image);
+  ]

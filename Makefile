@@ -16,7 +16,8 @@ test:
 # lint (see `docs`), a pass-manager smoke run with inter-pass IR
 # validation on (traced, so the trace layer stays wired end to end), a
 # one-window continuous-profiling smoke on the tiny kernel, the fleet,
-# frontier and stale/fixpoint jobs-invariance smokes, and the
+# frontier and stale/fixpoint jobs-invariance smokes, a dispatch-floor
+# microbenchmark smoke (tier table prints end to end), and the
 # cross-backend parity smoke (see `parity`).
 check:
 	dune build
@@ -30,28 +31,39 @@ check:
 	$(MAKE) bench-smoke-fleet
 	$(MAKE) bench-smoke-frontier
 	$(MAKE) bench-smoke-stale
+	dune exec bench/dispatch_bench.exe -- --quick
 	$(MAKE) parity
 
 # Cross-backend parity smoke: the bench-smoke workload once per
 # execution backend, outputs diffed byte-for-byte (only the wall-clock
 # footer line is stripped — everything simulated must be identical).
-# Three legs: tiered compiled (the default), compiled with tier-up
-# disabled (pure baseline closures), and the reference interpreter —
-# so a fused-tier bug can't hide behind the tier-1 path and vice versa.
-# The workload includes one frontier config so the CFI/PAC cost paths
-# are proven bit-exact across engines too.
+# Four legs: fully tiered compiled with aggressive thresholds
+# (--tierup 4 --callfuse 2 --tier3 8, so the quick workload genuinely
+# executes superblocks, fused call seams and the register-threaded
+# tier 3), compiled with fusion disabled (--callfuse 0), compiled with
+# tier-up disabled entirely (pure baseline closures, which forces
+# callfuse/tier3 off too), and the reference interpreter — so a bug in
+# any one tier can't hide behind another tier's path.  The workload
+# includes one frontier config so the CFI/PAC cost paths are proven
+# bit-exact across engines too.
 parity:
 	dune build bench/main.exe
 	mkdir -p $(SCRATCH)
 	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
-	  --engine compiled | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_compiled.txt
+	  --engine compiled --tierup 4 --callfuse 2 --tier3 8 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_compiled.txt
 	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
-	  --engine compiled --tierup 0 | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_tier0.txt
+	  --engine compiled --callfuse 0 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_nofuse.txt
+	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
+	  --engine compiled --tierup 0 \
+	  | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_tier0.txt
 	dune exec bench/main.exe -- --quick --table 5 --online --frontier --stale --jobs 2 \
 	  --engine interp | sed '/^\[bench harness finished/d' > $(SCRATCH)/parity_interp.txt
 	cmp $(SCRATCH)/parity_compiled.txt $(SCRATCH)/parity_interp.txt
+	cmp $(SCRATCH)/parity_nofuse.txt $(SCRATCH)/parity_interp.txt
 	cmp $(SCRATCH)/parity_tier0.txt $(SCRATCH)/parity_interp.txt
-	@echo "parity: compiled (tiered and tier-0) and interp outputs are byte-identical"
+	@echo "parity: compiled (tiered+callfuse+tier3, no-fuse, tier-0) and interp outputs are byte-identical"
 
 # Documentation: lint that every public module in lib/ carries a
 # top-level (** ... *) summary, then build the odoc pages.  The odoc

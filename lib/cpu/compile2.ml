@@ -28,7 +28,7 @@
 
     {2 Tiers}
 
-    Two lowering tiers share the closure machinery:
+    Three lowering tiers share the closure machinery:
 
     - {e Tier 1} (baseline) lowers one closure per basic block, segments
       fused within the block — the only tier of the PR5 backend, and the
@@ -44,6 +44,43 @@
       and PHT state are only materialized at conditional branches,
       indirect transfers and call boundaries — exactly where the
       interpreter touches them.
+    - {e Tier 3} (register-threaded) relowers the plain variant of the
+      very hottest traces one more time: instead of one closure per
+      instruction, the whole trace becomes a flat int-coded instruction
+      stream driven by a single tail-recursive dispatch loop over the
+      unboxed register array — no closure call per instruction at all.
+      Operands, costs and rollback deltas are encoded inline in the
+      stream; segment batch headers become one [BATCH] word whose fuel
+      guard falls back to the tier-2 per-item slow path; instructions the
+      encoder cannot express (statically out-of-bounds accesses) keep
+      their tier-1 closure behind a [PB] escape, and calls/icalls keep
+      their chunk closures behind [CX] — so coverage is total and
+      semantics are shared, not duplicated.  Tier 3 exists only for the
+      speculation-off variant: drill configurations are short-lived, and
+      keeping taint threading out of the loop is what keeps its dispatch
+      flat.
+
+    {2 Call-seam fusion}
+
+    Orthogonally to the tiers, any lowering may fuse a {e direct call
+    into a hot leaf callee} across the call/return pair ([--callfuse N] /
+    [PIBE_CALLFUSE]; [0] disables).  A statically eligible callee — valid,
+    all blocks simple instructions linked by [Jmp] and ending in [Ret],
+    bounded body size, so in particular no recursion and no indirect
+    control flow — is lowered as one closure at the call site: one fuel
+    guard and one batched step/instruction/cycle update spanning the call
+    instruction, the whole callee body and the return step, with the
+    matched RSB push/pop, i-cache touch, frame setup and
+    [do_ret] performed once at the seam.  Sites are specialized {e by
+    (caller, callee) pair} and selected by profile: a seam lowered before
+    its callee is hot installs a self-promoting chunk that watches the
+    dispatching engine's per-function entry counter
+    ({!Machine.t.tier_counts}) and swaps in the fused closure once the
+    callee crosses the callfuse threshold; a seam lowered after simply
+    bakes the fused closure directly.  Fuel exhaustion inside the fused
+    span is guarded up front (the unfused path replays it exactly), and a
+    faulting instruction in the callee body rewinds the unearned batch
+    remainder — identical machinery to segment batching.
 
     Tier-up is profile-guided ({e PGO applied to our own engine}): a
     tiered program routes every function entry through a counting
@@ -81,21 +118,44 @@ open Types
 open Machine
 module Trace = Pibe_trace.Trace
 
-(* t regs depth ret_to -> result *)
-type fexec = Machine.t -> int array -> int -> int -> int option
+(* The whole execution state of the running activation — register frame,
+   spec-variant taint frame, depth, return-prediction target — is
+   threaded through mutable fields of [Machine.t] ([cur_regs],
+   [cur_taint], [cur_depth], [cur_ret_to]) rather than closure
+   arguments.  That makes every hot closure type below arity-1, which
+   ocamlopt applies as ONE indirect call at the call site; at arity >= 2
+   every dispatch would detour through the program-wide [caml_applyN]
+   trampolines — an extra call frame, an arity check, and a single
+   shared indirect-jump site that aliases every dispatch in the program
+   in the host's branch-target predictor.  Call chunks save the four
+   fields in locals, install the callee's activation, and restore after
+   the callee returns; frames come from per-depth pools, so the pointer
+   publications usually re-store an unchanged value (see
+   [publish_regs]). *)
 
-(* t regs taint depth ret_to -> result *)
-type bexec = Machine.t -> int array -> int option array -> int -> int -> int option
+(* entry of one function variant; expects the activation installed *)
+type fexec = Machine.t -> int option
 
-(* t regs taint depth -> () *)
-type iexec = Machine.t -> int array -> int option array -> int -> unit
+(* one lowered block/superblock; terminators chain through these *)
+type bexec = Machine.t -> int option
+
+(* one chunk (fused segment or complex instruction) of a chain *)
+type iexec = Machine.t -> unit
 
 (* Fused-segment instruction bodies: accounting is handled by the
-   segment header, and simple instructions never need the activation
-   depth, so plain bodies are arity-2 and spec bodies arity-3 — the
-   cheapest possible indirect calls on the hot path. *)
-type pbody = Machine.t -> int array -> unit
-type tbody = Machine.t -> int array -> int option array -> unit
+   segment header, and the running frame (and spec-variant taint frame)
+   is read from [t.cur_regs]/[t.cur_taint], which every invoking chunk
+   publishes before its item run.  That makes bodies arity-1 closures
+   over [t] alone — the one unknown-closure arity ocamlopt applies as a
+   direct indirect call at the call site.  At arity >= 2 every body
+   dispatch would go through the program-wide [caml_apply2] trampoline:
+   an extra call frame, an arity check, and — worse — a single shared
+   indirect-jump site that aliases every body in the program in the
+   host's branch-target predictor.  Threading the frame through [t]
+   spreads those jumps back out to one predictable site per segment
+   position. *)
+type pbody = Machine.t -> unit
+type tbody = Machine.t -> unit
 
 type cfunc2 = {
   c2 : cfunc;
@@ -115,10 +175,26 @@ type cfunc2 = {
   mutable t1_spec : fexec;
   mutable t2_plain : fexec;
   mutable t2_spec : fexec;
+  mutable t3_plain : fexec;
+      (* register-threaded tier; plain variant only — the spec variant
+         caps at tier 2 (see the header comment) *)
   mutable t1_plain_linked : bool;
   mutable t1_spec_linked : bool;
   mutable t2_plain_linked : bool;
   mutable t2_spec_linked : bool;
+  mutable t3_plain_linked : bool;
+}
+
+(* Program-wide lowering statistics.  Lowering is lazy and triggered by
+   whichever engine gets there first, so these are scheduling-dependent —
+   they are reported only under the "sched" trace category and the
+   [prog_stats] accessor, never mixed into deterministic counters. *)
+type pstats = {
+  fused_seams : int Atomic.t;  (* call seams lowered to fused closures *)
+  fused_promoted : int Atomic.t;  (* of those, promoted at runtime by heat *)
+  t3_traces : int Atomic.t;  (* traces lowered to int-coded streams *)
+  t3_coded : int Atomic.t;  (* simple insts encoded directly in streams *)
+  t3_insts : int Atomic.t;  (* simple insts in tier-3 traces, total *)
 }
 
 type prog = {
@@ -128,9 +204,22 @@ type prog = {
   tiered : bool;
       (* whether [fexec_*] is the counting dispatcher (tiered) or the
          tier-1 body itself (baseline) *)
+  callfuse : int;
+      (* call-seam fusion threshold baked into this program's lowering
+         (part of the compile-cache key); 0 disables fusion entirely *)
+  pstats : pstats;
 }
 
-let unlinked : fexec = fun _ _ _ _ -> assert false
+let prog_stats (p : prog) : (string * int) list =
+  [
+    ("call-fused-seams", Atomic.get p.pstats.fused_seams);
+    ("callfuse-promotions", Atomic.get p.pstats.fused_promoted);
+    ("tier3-traces", Atomic.get p.pstats.t3_traces);
+    ("tier3-coded-insts", Atomic.get p.pstats.t3_coded);
+    ("tier3-total-insts", Atomic.get p.pstats.t3_insts);
+  ]
+
+let unlinked : fexec = fun _ -> assert false
 
 (* Shared empty taint file threaded through the plain variant; never read
    or written there. *)
@@ -371,12 +460,7 @@ let oob_store fname addr =
   Runtime_error (Printf.sprintf "store out of bounds: %d in %s" addr fname)
 
 let inst_cost = function
-  | CAssign (_, e) -> (
-    match e with
-    | Load _ -> Cost.load
-    | Binop _ -> Cost.binop
-    | Const _ -> Cost.assign
-    | Move _ -> Cost.move)
+  | CAssign (_, e) -> Cost.assign_cost e
   | CStore _ -> Cost.store
   | CObserve _ -> Cost.observe
   | CCall _ | CIcall _ | CAsm_icall _ -> assert false
@@ -384,6 +468,33 @@ let inst_cost = function
 let sitem_cost = function
   | SInst i -> inst_cost i
   | SJump -> Cost.jmp
+
+(* Batch accounting of an item run, shared by segment compilation and
+   the tier-3 encoder: per-item static costs, their sum, the retired
+   instruction count, and per-position suffix deltas — cycles, steps and
+   retired instructions strictly after position [j], i.e. what a fault at
+   [j] must rewind from the pre-charged batch (kept separate because
+   seams step without retiring). *)
+let seg_suffixes (items : sitem array) =
+  let k = Array.length items in
+  let costs = Array.map sitem_cost items in
+  let total = Array.fold_left ( + ) 0 costs in
+  let ni =
+    Array.fold_left
+      (fun acc it -> match it with SInst _ -> acc + 1 | SJump -> acc)
+      0 items
+  in
+  let dcs = Array.make k 0 and dnss = Array.make k 0 and dnis = Array.make k 0 in
+  let rc = ref 0 and rs = ref 0 and ri = ref 0 in
+  for j = k - 1 downto 0 do
+    dcs.(j) <- !rc;
+    dnss.(j) <- !rs;
+    dnis.(j) <- !ri;
+    rc := !rc + costs.(j);
+    incr rs;
+    (match items.(j) with SInst _ -> incr ri | SJump -> ())
+  done;
+  (costs, total, ni, dcs, dnss, dnis)
 
 (* Assign of a binop, fully specialized on the operator and both operand
    kinds: the closure body is the register reads and the arithmetic,
@@ -397,93 +508,97 @@ let pbinop r op a b : pbody =
   | Reg x, Reg y -> (
     match op with
     | Add ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x + Array.unsafe_get regs y)
     | Sub ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x - Array.unsafe_get regs y)
     | Mul ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x * Array.unsafe_get regs y)
     | Xor ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x lxor Array.unsafe_get regs y)
     | And ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x land Array.unsafe_get regs y)
     | Or ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (Array.unsafe_get regs x lor Array.unsafe_get regs y)
     | Shl ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r
           (Array.unsafe_get regs x lsl (Array.unsafe_get regs y land 31))
     | Shr ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r
           (Array.unsafe_get regs x lsr (Array.unsafe_get regs y land 31))
     | Lt ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r
           (if Array.unsafe_get regs x < Array.unsafe_get regs y then 1 else 0)
     | Eq ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r
           (if Array.unsafe_get regs x = Array.unsafe_get regs y then 1 else 0))
   | Reg x, Imm y -> (
     match op with
-    | Add -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x + y)
-    | Sub -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x - y)
-    | Mul -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x * y)
-    | Xor -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lxor y)
-    | And -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x land y)
-    | Or -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lor y)
+    | Add -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x + y)
+    | Sub -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x - y)
+    | Mul -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x * y)
+    | Xor -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x lxor y)
+    | And -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x land y)
+    | Or -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x lor y)
     | Shl ->
       let s = y land 31 in
-      fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lsl s)
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x lsl s)
     | Shr ->
       let s = y land 31 in
-      fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lsr s)
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (Array.unsafe_get regs x lsr s)
     | Lt ->
-      fun _ regs -> Array.unsafe_set regs r (if Array.unsafe_get regs x < y then 1 else 0)
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (if Array.unsafe_get regs x < y then 1 else 0)
     | Eq ->
-      fun _ regs -> Array.unsafe_set regs r (if Array.unsafe_get regs x = y then 1 else 0))
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (if Array.unsafe_get regs x = y then 1 else 0))
   | Imm x, Reg y -> (
     match op with
-    | Add -> fun _ regs -> Array.unsafe_set regs r (x + Array.unsafe_get regs y)
-    | Sub -> fun _ regs -> Array.unsafe_set regs r (x - Array.unsafe_get regs y)
-    | Mul -> fun _ regs -> Array.unsafe_set regs r (x * Array.unsafe_get regs y)
-    | Xor -> fun _ regs -> Array.unsafe_set regs r (x lxor Array.unsafe_get regs y)
-    | And -> fun _ regs -> Array.unsafe_set regs r (x land Array.unsafe_get regs y)
-    | Or -> fun _ regs -> Array.unsafe_set regs r (x lor Array.unsafe_get regs y)
+    | Add -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x + Array.unsafe_get regs y)
+    | Sub -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x - Array.unsafe_get regs y)
+    | Mul -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x * Array.unsafe_get regs y)
+    | Xor -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x lxor Array.unsafe_get regs y)
+    | And -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x land Array.unsafe_get regs y)
+    | Or -> fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (x lor Array.unsafe_get regs y)
     | Shl ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (x lsl (Array.unsafe_get regs y land 31))
     | Shr ->
-      fun _ regs ->
+      fun t -> let regs = t.cur_regs in
         Array.unsafe_set regs r (x lsr (Array.unsafe_get regs y land 31))
     | Lt ->
-      fun _ regs -> Array.unsafe_set regs r (if x < Array.unsafe_get regs y then 1 else 0)
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (if x < Array.unsafe_get regs y then 1 else 0)
     | Eq ->
-      fun _ regs -> Array.unsafe_set regs r (if x = Array.unsafe_get regs y then 1 else 0))
+      fun t -> let regs = t.cur_regs in Array.unsafe_set regs r (if x = Array.unsafe_get regs y then 1 else 0))
   | Imm x, Imm y ->
     let v = eval_binop op x y in
-    fun _ regs -> Array.unsafe_set regs r v
+    fun t -> let regs = t.cur_regs in Array.unsafe_set regs r v
 
 let passign ~mem_len fname ~dc ~dns ~dni r e : pbody =
   match e with
-  | Const i | Move (Imm i) -> fun _ regs -> Array.unsafe_set regs r i
-  | Move (Reg s) -> fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs s)
+  | Const i | Move (Imm i) -> fun t -> Array.unsafe_set t.cur_regs r i
+  | Move (Reg s) ->
+    fun t ->
+      let regs = t.cur_regs in
+      Array.unsafe_set regs r (Array.unsafe_get regs s)
   | Binop (op, a, b) -> pbinop r op a b
   | Load (Imm i) ->
     if i >= 0 && i < mem_len then
-      fun t regs -> Array.unsafe_set regs r (Array.unsafe_get t.mem i)
+      fun t -> Array.unsafe_set t.cur_regs r (Array.unsafe_get t.mem i)
     else
-      fun t _ ->
+      fun t ->
         seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname i)
   | Load (Reg ar) ->
-    fun t regs ->
+    fun t ->
+      let regs = t.cur_regs in
       let addr = Array.unsafe_get regs ar in
       if addr < 0 || addr >= mem_len then begin
         seg_unwind t ~dc ~dns ~dni;
@@ -496,38 +611,41 @@ let passign ~mem_len fname ~dc ~dns ~dni r e : pbody =
 let tassign ~mem_len fname ~dc ~dns ~dni r e : tbody =
   match e with
   | Const i | Move (Imm i) ->
-    fun _ regs taint ->
-      Array.unsafe_set taint r None;
-      Array.unsafe_set regs r i
+    fun t ->
+      Array.unsafe_set t.cur_taint r None;
+      Array.unsafe_set t.cur_regs r i
   | Move (Reg s) ->
-    fun _ regs taint ->
+    fun t ->
+      let taint = t.cur_taint in
       Array.unsafe_set taint r (Array.unsafe_get taint s);
+      let regs = t.cur_regs in
       Array.unsafe_set regs r (Array.unsafe_get regs s)
   | Binop (op, a, b) ->
     let body = pbinop r op a b in
-    fun t regs taint ->
-      Array.unsafe_set taint r None;
-      body t regs
+    fun t ->
+      Array.unsafe_set t.cur_taint r None;
+      body t
   | Load (Imm i) ->
     if i >= 0 && i < mem_len then
-      fun t regs taint ->
-        (Array.unsafe_set taint r
+      fun t ->
+        (Array.unsafe_set t.cur_taint r
            (match t.cfg.speculation with
            | None -> None
            | Some s -> Speculation.injected_load s ~addr:i));
-        Array.unsafe_set regs r (Array.unsafe_get t.mem i)
+        Array.unsafe_set t.cur_regs r (Array.unsafe_get t.mem i)
     else
-      fun t _ taint ->
-        (Array.unsafe_set taint r
+      fun t ->
+        (Array.unsafe_set t.cur_taint r
            (match t.cfg.speculation with
            | None -> None
            | Some s -> Speculation.injected_load s ~addr:i));
         seg_unwind t ~dc ~dns ~dni;
         raise (oob_load fname i)
   | Load (Reg ar) ->
-    fun t regs taint ->
+    fun t ->
+      let regs = t.cur_regs in
       let addr = Array.unsafe_get regs ar in
-      (Array.unsafe_set taint r
+      (Array.unsafe_set t.cur_taint r
          (match t.cfg.speculation with
          | None -> None
          | Some s -> Speculation.injected_load s ~addr));
@@ -540,28 +658,29 @@ let tassign ~mem_len fname ~dc ~dns ~dni r e : tbody =
 let pstore ~mem_len fname ~dc ~dns ~dni a v : pbody =
   match (a, v) with
   | Imm i, Imm vv ->
-    if i >= 0 && i < mem_len then fun t _ -> Array.unsafe_set t.mem i vv
+    if i >= 0 && i < mem_len then fun t -> Array.unsafe_set t.mem i vv
     else
-      fun t _ ->
+      fun t ->
         seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname i)
   | Imm i, Reg vr ->
     if i >= 0 && i < mem_len then
-      fun t regs -> Array.unsafe_set t.mem i (Array.unsafe_get regs vr)
+      fun t -> Array.unsafe_set t.mem i (Array.unsafe_get t.cur_regs vr)
     else
-      fun t _ ->
+      fun t ->
         seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname i)
   | Reg ar, Imm vv ->
-    fun t regs ->
-      let addr = Array.unsafe_get regs ar in
+    fun t ->
+      let addr = Array.unsafe_get t.cur_regs ar in
       if addr < 0 || addr >= mem_len then begin
         seg_unwind t ~dc ~dns ~dni;
         raise (oob_store fname addr)
       end
       else Array.unsafe_set t.mem addr vv
   | Reg ar, Reg vr ->
-    fun t regs ->
+    fun t ->
+      let regs = t.cur_regs in
       let addr = Array.unsafe_get regs ar in
       if addr < 0 || addr >= mem_len then begin
         seg_unwind t ~dc ~dns ~dni;
@@ -571,10 +690,11 @@ let pstore ~mem_len fname ~dc ~dns ~dni a v : pbody =
 
 let pobserve v : pbody =
   match v with
-  | Imm i -> fun t _ -> if t.cfg.record_trace then t.trace_rev <- i :: t.trace_rev
+  | Imm i -> fun t -> if t.cfg.record_trace then t.trace_rev <- i :: t.trace_rev
   | Reg r ->
-    fun t regs ->
-      if t.cfg.record_trace then t.trace_rev <- Array.unsafe_get regs r :: t.trace_rev
+    fun t ->
+      if t.cfg.record_trace then
+        t.trace_rev <- Array.unsafe_get t.cur_regs r :: t.trace_rev
 
 let pbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : pbody =
   match i with
@@ -586,13 +706,17 @@ let pbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : pbody =
 let tbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : tbody =
   match i with
   | CAssign (r, e) -> tassign ~mem_len fname ~dc ~dns ~dni r e
-  | CStore (a, v) ->
-    let body = pstore ~mem_len fname ~dc ~dns ~dni a v in
-    fun t regs _taint -> body t regs
-  | CObserve v ->
-    let body = pobserve v in
-    fun t regs _taint -> body t regs
+  | CStore (a, v) -> pstore ~mem_len fname ~dc ~dns ~dni a v
+  | CObserve v -> pobserve v
   | CCall _ | CIcall _ | CAsm_icall _ -> assert false
+
+(* Publication of the running frame for the arity-1 bodies above.  The
+   pointer compare skips the [caml_modify] write barrier in the common
+   case — consecutive segments of one activation, or a pooled frame
+   reused at the same depth, already have the right array published. *)
+let[@inline] publish_regs t regs = if t.cur_regs != regs then t.cur_regs <- regs
+
+let[@inline] publish_taint t taint = if t.cur_taint != taint then t.cur_taint <- taint
 
 (* Compile a maximal run of items into one fused closure.  The fuel
    guard [steps + k > fuel] holds exactly when per-item bumping would
@@ -604,31 +728,12 @@ let tbody_of ~mem_len fname ~dc ~dns ~dni (i : Machine.cinst) : tbody =
    folded into the batch header, so a fused fallthrough is free. *)
 let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
   let k = Array.length items in
-  let costs = Array.map sitem_cost items in
-  let total = Array.fold_left ( + ) 0 costs in
-  let ni =
-    Array.fold_left
-      (fun acc it -> match it with SInst _ -> acc + 1 | SJump -> acc)
-      0 items
-  in
+  let costs, total, ni, dcs, dnss, dnis = seg_suffixes items in
   (match stats with
   | Some s ->
     s.seg_total <- s.seg_total + ni;
     if k >= 2 then s.seg_fused <- s.seg_fused + ni
   | None -> ());
-  (* Suffix deltas per item position: cycles, steps and retired
-     instructions strictly after position j — what a fault at j must
-     rewind from the pre-charged batch. *)
-  let dcs = Array.make k 0 and dnss = Array.make k 0 and dnis = Array.make k 0 in
-  let rc = ref 0 and rs = ref 0 and ri = ref 0 in
-  for j = k - 1 downto 0 do
-    dcs.(j) <- !rc;
-    dnss.(j) <- !rs;
-    dnis.(j) <- !ri;
-    rc := !rc + costs.(j);
-    incr rs;
-    (match items.(j) with SInst _ -> incr ri | SJump -> ())
-  done;
   (* The dispatch shapes below are deliberately arity-specialized: the
      per-item closure call is the single biggest runtime cost the backend
      emits, so single-item segments skip the batch header entirely, small
@@ -639,12 +744,12 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
     match items with
     | [| SInst i |] ->
       let body = tbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i and c = costs.(0) in
-      fun t regs taint _depth ->
+      fun t ->
         bump_inst t;
         charge t c;
-        body t regs taint
+        body t
     | [| SJump |] ->
-      fun t _regs _taint _depth ->
+      fun t ->
         step_fuel t;
         charge t Cost.jmp
     | _ ->
@@ -655,19 +760,19 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
             | SInst i ->
               let body = tbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i
               and c = costs.(j) in
-              fun t regs taint ->
+              fun t ->
                 bump_inst t;
                 charge t c;
-                body t regs taint
+                body t
             | SJump ->
-              fun t _regs _taint ->
+              fun t ->
                 step_fuel t;
                 charge t Cost.jmp)
           items
       in
-      let run_slow t regs taint =
+      let run_slow t =
         for j = 0 to k - 1 do
-          (Array.unsafe_get slow j) t regs taint
+          (Array.unsafe_get slow j) t
         done
       in
       let bodies =
@@ -682,57 +787,57 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
       in
       (match bodies with
       | [| b0 |] ->
-        fun t regs taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs taint
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs taint
+            b0 t
           end
       | [| b0; b1 |] ->
-        fun t regs taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs taint
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs taint;
-            b1 t regs taint
+            b0 t;
+            b1 t
           end
       | [| b0; b1; b2 |] ->
-        fun t regs taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs taint
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs taint;
-            b1 t regs taint;
-            b2 t regs taint
+            b0 t;
+            b1 t;
+            b2 t
           end
       | [| b0; b1; b2; b3 |] ->
-        fun t regs taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs taint
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs taint;
-            b1 t regs taint;
-            b2 t regs taint;
-            b3 t regs taint
+            b0 t;
+            b1 t;
+            b2 t;
+            b3 t
           end
       | _ ->
         let nb = Array.length bodies in
-        fun t regs taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs taint
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
             for j = 0 to nb - 1 do
-              (Array.unsafe_get bodies j) t regs taint
+              (Array.unsafe_get bodies j) t
             done
           end)
   end
@@ -740,12 +845,12 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
     match items with
     | [| SInst i |] ->
       let body = pbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i and c = costs.(0) in
-      fun t regs _taint _depth ->
+      fun t ->
         bump_inst t;
         charge t c;
-        body t regs
+        body t
     | [| SJump |] ->
-      fun t _regs _taint _depth ->
+      fun t ->
         step_fuel t;
         charge t Cost.jmp
     | _ ->
@@ -756,19 +861,19 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
             | SInst i ->
               let body = pbody_of ~mem_len fname ~dc:0 ~dns:0 ~dni:0 i
               and c = costs.(j) in
-              fun t regs ->
+              fun t ->
                 bump_inst t;
                 charge t c;
-                body t regs
+                body t
             | SJump ->
-              fun t _regs ->
+              fun t ->
                 step_fuel t;
                 charge t Cost.jmp)
           items
       in
-      let run_slow t regs =
+      let run_slow t =
         for j = 0 to k - 1 do
-          (Array.unsafe_get slow j) t regs
+          (Array.unsafe_get slow j) t
         done
       in
       let bodies =
@@ -783,79 +888,88 @@ let compile_segment ~spec ~mem_len ?stats fname (items : sitem array) : iexec =
       in
       (match bodies with
       | [| b0 |] ->
-        fun t regs _taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs
+            b0 t
           end
       | [| b0; b1 |] ->
-        fun t regs _taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs;
-            b1 t regs
+            b0 t;
+            b1 t
           end
       | [| b0; b1; b2 |] ->
-        fun t regs _taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs;
-            b1 t regs;
-            b2 t regs
+            b0 t;
+            b1 t;
+            b2 t
           end
       | [| b0; b1; b2; b3 |] ->
-        fun t regs _taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
-            b0 t regs;
-            b1 t regs;
-            b2 t regs;
-            b3 t regs
+            b0 t;
+            b1 t;
+            b2 t;
+            b3 t
           end
       | _ ->
         let nb = Array.length bodies in
-        fun t regs _taint _depth ->
-          if t.steps + k > t.fuel_cap then run_slow t regs
+        fun t ->
+          if t.steps + k > t.fuel_cap then run_slow t
           else begin
             t.steps <- t.steps + k;
             t.ctrs.insts <- t.ctrs.insts + ni;
             t.cyc <- t.cyc + total;
             for j = 0 to nb - 1 do
-              (Array.unsafe_get bodies j) t regs
+              (Array.unsafe_get bodies j) t
             done
           end)
   end
 
 (* --------------------------- calls ----------------------------- *)
 
-(* Result write-back and (spec variant) destination-taint clear, baked on
-   the destination register. *)
-let cstore_result ~spec dst : int array -> int option array -> int option -> unit =
-  match (dst, spec) with
-  | None, _ -> fun _ _ _ -> ()
-  | Some r, false ->
-    fun regs _ result ->
-      (match result with
-      | Some v -> Array.unsafe_set regs r v
-      | None -> Array.unsafe_set regs r 0)
-  | Some r, true ->
-    fun regs taint result ->
-      (match result with
-      | Some v -> Array.unsafe_set regs r v
-      | None -> Array.unsafe_set regs r 0);
-      Array.unsafe_set taint r None
+(* Result write-back destination as a sentinel int (-1 = no destination):
+   the call closures inline the store behind one statically-predictable
+   compare instead of bouncing a 3-argument closure through
+   [caml_apply3] on every return. *)
+let dst_reg = function None -> -1 | Some r -> r
+
+(* Argument evaluators plus the entry-live zero tail for a direct call
+   with a static argument list (operand evaluation is pure, so
+   truncating past the parameter count drops nothing observable).  The
+   call closures loop over the evaluators inline — each one is an
+   arity-1 application, a direct indirect call, where a two-array
+   writer closure would route every seam through [caml_apply2].  The
+   static argument count lets the entry-live zeroing be filtered at
+   compile time: only zeroset slots past the written prefix survive
+   into [zs_tail]. *)
+let direct_call_frame (callee2 : cfunc2) (args : operand array) :
+    (int array -> int) array * int array =
+  let callee_cf = callee2.c2 in
+  let argv = Array.map cop args in
+  let n = min callee_cf.f.params (Array.length argv) in
+  let zs_tail =
+    Array.of_list (List.filter (fun r -> r >= n) (Array.to_list callee2.zeroset))
+  in
+  let argv = if Array.length argv > n then Array.sub argv 0 n else argv in
+  (argv, zs_tail)
 
 let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
     ~(args : operand array) ~site : iexec =
@@ -863,7 +977,7 @@ let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
   if callee_id < 0 then
     (* Unknown callee: counters, cycles and the edge event still happen
        before the failure, exactly like the interpreter's [lookup]. *)
-    fun t _regs _taint _depth ->
+    fun t ->
       bump_inst t;
       t.ctrs.calls <- t.ctrs.calls + 1;
       charge t (Cost.direct_call + t.cfg.extra_call_cycles);
@@ -872,64 +986,70 @@ let ccall ~spec c2by_id (caller : cfunc) ~dst ~callee_name ~callee_id
   else begin
     let callee2 = c2by_id.(callee_id) in
     let callee_cf = callee2.c2 in
-    let argv = Array.map cop args in
-    let n = min callee_cf.f.params (Array.length argv) in
-    (* The static argument count lets the entry-live zeroing be filtered
-       at compile time: only zeroset slots past the written prefix. *)
-    let zs_tail =
-      Array.of_list (List.filter (fun r -> r >= n) (Array.to_list callee2.zeroset))
-    in
-    (* Argument prefix writer, arity-specialized at lowering time (the
-       direct-call argument count is static; operand evaluation is pure,
-       so truncating past the parameter count drops nothing observable). *)
-    let argv = if Array.length argv > n then Array.sub argv 0 n else argv in
-    let write_args : int array -> int array -> unit =
-      match argv with
-      | [||] -> fun _ _ -> ()
-      | [| a0 |] -> fun dstr regs -> Array.unsafe_set dstr 0 (a0 regs)
-      | [| a0; a1 |] ->
-        fun dstr regs ->
-          Array.unsafe_set dstr 0 (a0 regs);
-          Array.unsafe_set dstr 1 (a1 regs)
-      | [| a0; a1; a2 |] ->
-        fun dstr regs ->
-          Array.unsafe_set dstr 0 (a0 regs);
-          Array.unsafe_set dstr 1 (a1 regs);
-          Array.unsafe_set dstr 2 (a2 regs)
-      | _ ->
-        fun dstr regs ->
-          for i = 0 to n - 1 do
-            Array.unsafe_set dstr i ((Array.unsafe_get argv i) regs)
-          done
-    in
-    let store = cstore_result ~spec dst in
+    let argv, zs_tail = direct_call_frame callee2 args in
+    let nargs = Array.length argv in
+    let dst_r = dst_reg dst in
     if spec then
-      fun t regs taint depth ->
+      (fun t ->
         bump_inst t;
         t.ctrs.calls <- t.ctrs.calls + 1;
         charge t (Cost.direct_call + t.cfg.extra_call_cycles);
         emit_edge t site caller_name callee_name Edge_direct;
         enter_code t callee_cf;
         Rsb.push t.trsb caller_id;
+        (* Save the caller's activation, install the callee's, restore on
+           return.  The frame pools hand back distinct arrays per depth,
+           so the install stores are never redundant. *)
+        let regs = t.cur_regs and taint = t.cur_taint in
+        let depth = t.cur_depth and rt = t.cur_ret_to in
         (* Write the argument prefix, zero only the entry-live tail: the
            prefix is about to be overwritten anyway, and registers dead
            on entry never surface their stale contents. *)
         let callee_regs = raw_frame t ~depth:(depth + 1) in
-        write_args callee_regs regs;
+        for i = 0 to nargs - 1 do
+          Array.unsafe_set callee_regs i ((Array.unsafe_get argv i) regs)
+        done;
         zero_tail zs_tail 0 callee_regs;
-        store regs taint (callee2.fexec_spec t callee_regs (depth + 1) caller_id)
+        t.cur_regs <- callee_regs;
+        t.cur_depth <- depth + 1;
+        t.cur_ret_to <- caller_id;
+        let v = callee2.fexec_spec t in
+        t.cur_regs <- regs;
+        t.cur_taint <- taint;
+        t.cur_depth <- depth;
+        t.cur_ret_to <- rt;
+        if dst_r >= 0 then begin
+          (match v with
+          | Some x -> Array.unsafe_set regs dst_r x
+          | None -> Array.unsafe_set regs dst_r 0);
+          Array.unsafe_set taint dst_r None
+        end)
     else
-      fun t regs taint depth ->
+      fun t ->
         bump_inst t;
         t.ctrs.calls <- t.ctrs.calls + 1;
         charge t (Cost.direct_call + t.cfg.extra_call_cycles);
         emit_edge t site caller_name callee_name Edge_direct;
         enter_code t callee_cf;
         Rsb.push t.trsb caller_id;
+        let regs = t.cur_regs in
+        let depth = t.cur_depth and rt = t.cur_ret_to in
         let callee_regs = raw_frame t ~depth:(depth + 1) in
-        write_args callee_regs regs;
+        for i = 0 to nargs - 1 do
+          Array.unsafe_set callee_regs i ((Array.unsafe_get argv i) regs)
+        done;
         zero_tail zs_tail 0 callee_regs;
-        store regs taint (callee2.fexec_plain t callee_regs (depth + 1) caller_id)
+        t.cur_regs <- callee_regs;
+        t.cur_depth <- depth + 1;
+        t.cur_ret_to <- caller_id;
+        let v = callee2.fexec_plain t in
+        t.cur_regs <- regs;
+        t.cur_depth <- depth;
+        t.cur_ret_to <- rt;
+        if dst_r >= 0 then
+          match v with
+          | Some x -> Array.unsafe_set regs dst_r x
+          | None -> Array.unsafe_set regs dst_r 0
   end
 
 let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array) ~site
@@ -946,11 +1066,13 @@ let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array
       | Imm _ -> fun _ -> None
     else fun _ -> None
   in
-  let store = cstore_result ~spec dst in
-  fun t regs taint depth ->
+  let dst_r = dst_reg dst in
+  fun t ->
     bump_inst t;
     t.ctrs.icalls <- t.ctrs.icalls + 1;
     charge t t.cfg.extra_icall_cycles;
+    let regs = t.cur_regs and taint = t.cur_taint in
+    let depth = t.cur_depth and rt = t.cur_ret_to in
     let v = ofp regs in
     let target_id = icall_resolve t v in
     let target_name = t.fptr_table.(v) in
@@ -973,9 +1095,20 @@ let cicall ~spec ~asm c2by_id (caller : cfunc) ~dst ~fptr ~(args : operand array
       Array.unsafe_set callee_regs i ((Array.unsafe_get argv i) regs)
     done;
     zero_tail callee2.zeroset n callee_regs;
-    store regs taint
-      ((if spec then callee2.fexec_spec t callee_regs (depth + 1) caller_id
-        else callee2.fexec_plain t callee_regs (depth + 1) caller_id))
+    t.cur_regs <- callee_regs;
+    t.cur_depth <- depth + 1;
+    t.cur_ret_to <- caller_id;
+    let r = if spec then callee2.fexec_spec t else callee2.fexec_plain t in
+    t.cur_regs <- regs;
+    if spec then t.cur_taint <- taint;
+    t.cur_depth <- depth;
+    t.cur_ret_to <- rt;
+    if dst_r >= 0 then begin
+      (match r with
+      | Some x -> Array.unsafe_set regs dst_r x
+      | None -> Array.unsafe_set regs dst_r 0);
+      if spec then Array.unsafe_set taint dst_r None
+    end
 
 let ccomplex ~spec c2by_id (caller : cfunc) (i : Machine.cinst) : iexec =
   match i with
@@ -987,83 +1120,16 @@ let ccomplex ~spec c2by_id (caller : cfunc) (i : Machine.cinst) : iexec =
     cicall ~spec ~asm:true c2by_id caller ~dst:None ~fptr ~args:[||] ~site ~slot:(-1)
   | CAssign _ | CStore _ | CObserve _ -> assert false
 
-(* ------------------------ terminators -------------------------- *)
+(* ----------------------- chain scanning ------------------------ *)
 
-let[@inline] br_follow t ~key ~taken =
-  charge t Cost.br;
-  if Pht.predict t.tpht ~key <> taken then begin
-    t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
-    charge t Cost.br_mispredict_penalty
-  end;
-  Pht.train t.tpht ~key ~taken
-
-let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec =
-  match term with
-  | Jmp l ->
-    fun t regs taint depth ret_to ->
-      charge t Cost.jmp;
-      (Array.unsafe_get bexecs l) t regs taint depth ret_to
-  | Br (Reg cr, l1, l2) ->
-    let key = cf.key_base + label in
-    fun t regs taint depth ret_to ->
-      let taken = Array.unsafe_get regs cr <> 0 in
-      br_follow t ~key ~taken;
-      if taken then (Array.unsafe_get bexecs l1) t regs taint depth ret_to
-      else (Array.unsafe_get bexecs l2) t regs taint depth ret_to
-  | Br (Imm i, l1, l2) ->
-    let key = cf.key_base + label in
-    let taken = i <> 0 in
-    let l = if taken then l1 else l2 in
-    fun t regs taint depth ret_to ->
-      br_follow t ~key ~taken;
-      (Array.unsafe_get bexecs l) t regs taint depth ret_to
-  | Switch { scrutinee; cases; default; lowering } ->
-    let ov = cop scrutinee in
-    let ncases = Array.length cases in
-    let cost =
-      match lowering with
-      | Jump_table -> Cost.switch_jump_table
-      | Branch_ladder -> ladder_cost ncases
-    in
-    fun t regs taint depth ret_to ->
-      let v = ov regs in
-      let rec find i =
-        if i >= ncases then default
-        else
-          let case_v, l = cases.(i) in
-          if case_v = v then l else find (i + 1)
-      in
-      let target = find 0 in
-      charge t cost;
-      (Array.unsafe_get bexecs target) t regs taint depth ret_to
-  | Ret None ->
-    fun t _regs _taint _depth ret_to ->
-      do_ret t cf ~ret_to;
-      None
-  | Ret (Some (Imm i)) ->
-    fun t _regs _taint _depth ret_to ->
-      let v = Some i in
-      do_ret t cf ~ret_to;
-      v
-  | Ret (Some (Reg r)) ->
-    fun t regs _taint _depth ret_to ->
-      let v = Some (Array.unsafe_get regs r) in
-      do_ret t cf ~ret_to;
-      v
-
-(* ------------------- blocks and superblocks -------------------- *)
-
-(* Lower a chain of blocks — a single block in tier 1, a whole
-   superblock in tier 2 — into one closure.  The chain's instruction
-   streams are flattened into one item stream, each non-final block
-   contributing an [SJump] seam marker for its unconditional terminator;
-   the stream is partitioned into maximal fused segments and individual
-   call instructions, and only the FINAL block's terminator is compiled
-   (non-final terminators are guaranteed [Jmp] and live inside the
-   segments as seam accounting). *)
-let lower_chain ~spec ?stats c2by_id ~mem_len (cf : cfunc) bexecs
-    (chain : (int * Machine.cblock) list) : bexec =
-  let fname = cf.f.fname in
+(* Flatten a chain of blocks into an alternating sequence of fused
+   segments and individual complex (call) instructions: each non-final
+   block contributes an [SJump] seam item for its unconditional
+   terminator, and only the FINAL block's terminator survives (returned
+   alongside its label).  Shared by the closure lowerings (tier 1/2),
+   the tier-3 encoder and call-seam body flattening. *)
+let scan_chain (chain : (int * Machine.cblock) list) :
+    [ `Seg of sitem array | `Cx of Machine.cinst ] list * int * terminator =
   let rev_chunks = ref [] and pending = ref [] in
   let flush () =
     match !pending with
@@ -1096,46 +1162,436 @@ let lower_chain ~spec ?stats c2by_id ~mem_len (cf : cfunc) bexecs
       go rest
   in
   let last_label, last_term = go chain in
+  (List.rev !rev_chunks, last_label, last_term)
+
+(* ---------------------- call-seam fusion ----------------------- *)
+
+(* Upper bound on the instruction count of a fusable callee body: keeps
+   the batched span (and the fuel-guard conservatism it implies) small,
+   and bounds the per-site closure volume of (caller, callee)
+   specialization. *)
+let fuse_max_body = 48
+
+(* A callee eligible for call-seam fusion: a valid, straight-line leaf —
+   every block on the entry chain holds only simple instructions, blocks
+   are linked by [Jmp] without revisits, the chain ends in [Ret], and
+   the total body is bounded.  A recursive callee necessarily contains a
+   call instruction, so it can never qualify; neither can anything with
+   conditional or indirect control flow. *)
+let fuse_plan (callee2 : cfunc2) : (int * Machine.cblock) list option =
+  let cf = callee2.c2 in
+  if not (func_valid cf) then None
+  else begin
+    let rec go acc seen l size =
+      let b = cf.cblocks.(l) in
+      let simple =
+        Array.for_all
+          (fun i ->
+            match i with
+            | CAssign _ | CStore _ | CObserve _ -> true
+            | CCall _ | CIcall _ | CAsm_icall _ -> false)
+          b.cinsts
+      in
+      let size = size + Array.length b.cinsts in
+      if (not simple) || size > fuse_max_body then None
+      else
+        match b.cterm with
+        | Ret _ -> Some (List.rev ((l, b) :: acc))
+        | Jmp s when not (List.mem s seen) -> go ((l, b) :: acc) (s :: seen) s size
+        | _ -> None
+    in
+    go [] [ cf.f.entry ] cf.f.entry 0
+  end
+
+(* Lower one (caller, callee) pair into a single fused closure spanning
+   call + body + return: one fuel guard and one batched
+   step/instruction/cycle update for the whole span, then the machine
+   effects in exactly the interpreter's order — edge event, i-cache
+   touch, RSB push, frame setup, entry-live zeroing, the callee's
+   per-engine entry-counter bump (mirroring the tiered dispatcher the
+   unfused path goes through), [enter_frame], the body items, the return
+   value read, [do_ret] (which pops the RSB and charges the backward
+   path), result write-back.  The batch pre-charges the call step, every
+   body item and the return's fuel step; a faulting body item rewinds
+   its unearned remainder (the body deltas count the return step as
+   still-unearned), and a span that could exhaust fuel falls back to
+   [slow] — the ordinary unfused call closure, which dies at exactly the
+   interpreter's instruction. *)
+let build_fused ~spec (p : prog) (caller : cfunc) ~dst ~callee_id ~site
+    ~(args : operand array) ~(slow : iexec) (chain : (int * Machine.cblock) list) :
+    iexec =
+  let caller_id = caller.id and caller_name = caller.f.fname in
+  let callee2 = p.c2by_id.(callee_id) in
+  let callee_cf = callee2.c2 in
+  let callee_name = callee_cf.f.fname in
+  let mem_len = p.mem_len in
+  let items =
+    match scan_chain chain with
+    | [], _, _ -> [||]
+    | [ `Seg items ], _, _ -> items
+    | _ -> assert false (* fuse_plan admits simple instructions only *)
+  in
+  let _costs, body_total, nbody_insts, dcs, dnss0, dnis = seg_suffixes items in
+  let nb = Array.length items in
+  (* call step + body items (insts and seams) + return step *)
+  let k = nb + 2 in
+  (* the call instruction itself retires, plus the body instructions *)
+  let ni = 1 + nbody_insts in
+  (* static cycles of the span: the call cost and every body item; the
+     return's cost is charged at runtime by [do_ret] (it depends on RSB
+     state and backward protection) *)
+  let static_cyc = Cost.direct_call + body_total in
+  (* body deltas: the pre-charged return fuel step is after every item *)
+  let dnss = Array.map (fun s -> s + 1) dnss0 in
+  let argv, zs_tail = direct_call_frame callee2 args in
+  let nargs = Array.length argv in
+  let dst_r = dst_reg dst in
+  let read_ret : int array -> int option =
+    match chain with
+    | [] -> assert false
+    | _ -> (
+      match (snd (List.nth chain (List.length chain - 1))).cterm with
+      | Ret None -> fun _ -> None
+      | Ret (Some (Imm i)) ->
+        let v = Some i in
+        fun _ -> v
+      | Ret (Some (Reg r)) -> fun cregs -> Some (Array.unsafe_get cregs r)
+      | Jmp _ | Br _ | Switch _ -> assert false)
+  in
+  if spec then begin
+    let tbodies =
+      Array.of_list
+        (List.filter_map
+           (fun j ->
+             match items.(j) with
+             | SInst i ->
+               Some
+                 (tbody_of ~mem_len callee_name ~dc:dcs.(j) ~dns:dnss.(j)
+                    ~dni:dnis.(j) i)
+             | SJump -> None)
+           (List.init nb (fun j -> j)))
+    in
+    let ntb = Array.length tbodies in
+    let zs = callee2.zeroset in
+    let nzs = Array.length zs in
+    fun t ->
+      if t.steps + k > t.fuel_cap then slow t
+      else begin
+        t.steps <- t.steps + k;
+        t.ctrs.insts <- t.ctrs.insts + ni;
+        t.ctrs.calls <- t.ctrs.calls + 1;
+        t.cyc <- t.cyc + static_cyc + t.cfg.extra_call_cycles;
+        emit_edge t site caller_name callee_name Edge_direct;
+        enter_code t callee_cf;
+        Rsb.push t.trsb caller_id;
+        let regs = t.cur_regs and taint = t.cur_taint in
+        let depth = t.cur_depth in
+        let cregs = raw_frame t ~depth:(depth + 1) in
+        for i = 0 to nargs - 1 do
+          Array.unsafe_set cregs i ((Array.unsafe_get argv i) regs)
+        done;
+        zero_tail zs_tail 0 cregs;
+        Array.unsafe_set t.tier_counts callee_id
+          (Array.unsafe_get t.tier_counts callee_id + 1);
+        enter_frame t callee_cf;
+        let ctaint = raw_taint_frame t ~depth:(depth + 1) in
+        for i = 0 to nzs - 1 do
+          Array.unsafe_set ctaint (Array.unsafe_get zs i) None
+        done;
+        t.cur_regs <- cregs;
+        t.cur_taint <- ctaint;
+        for j = 0 to ntb - 1 do
+          (Array.unsafe_get tbodies j) t
+        done;
+        let v = read_ret cregs in
+        do_ret t callee_cf ~ret_to:caller_id;
+        t.cur_regs <- regs;
+        t.cur_taint <- taint;
+        if dst_r >= 0 then begin
+          (match v with
+          | Some x -> Array.unsafe_set regs dst_r x
+          | None -> Array.unsafe_set regs dst_r 0);
+          Array.unsafe_set taint dst_r None
+        end
+      end
+  end
+  else begin
+    let bodies =
+      Array.of_list
+        (List.filter_map
+           (fun j ->
+             match items.(j) with
+             | SInst i ->
+               Some
+                 (pbody_of ~mem_len callee_name ~dc:dcs.(j) ~dns:dnss.(j)
+                    ~dni:dnis.(j) i)
+             | SJump -> None)
+           (List.init nb (fun j -> j)))
+    in
+    let seam t regs depth =
+      t.steps <- t.steps + k;
+      t.ctrs.insts <- t.ctrs.insts + ni;
+      t.ctrs.calls <- t.ctrs.calls + 1;
+      t.cyc <- t.cyc + static_cyc + t.cfg.extra_call_cycles;
+      emit_edge t site caller_name callee_name Edge_direct;
+      enter_code t callee_cf;
+      Rsb.push t.trsb caller_id;
+      let cregs = raw_frame t ~depth:(depth + 1) in
+      for i = 0 to nargs - 1 do
+        Array.unsafe_set cregs i ((Array.unsafe_get argv i) regs)
+      done;
+      zero_tail zs_tail 0 cregs;
+      Array.unsafe_set t.tier_counts callee_id
+        (Array.unsafe_get t.tier_counts callee_id + 1);
+      enter_frame t callee_cf;
+      t.cur_regs <- cregs;
+      cregs
+    in
+    (* Arity-specialize the hottest leaf shapes: the bound body closures
+       are direct captures, no array indexing on the fast path. *)
+    match bodies with
+    | [||] ->
+      fun t ->
+        if t.steps + k > t.fuel_cap then slow t
+        else begin
+          let regs = t.cur_regs in
+          let cregs = seam t regs t.cur_depth in
+          let v = read_ret cregs in
+          do_ret t callee_cf ~ret_to:caller_id;
+          t.cur_regs <- regs;
+          if dst_r >= 0 then
+            match v with
+            | Some x -> Array.unsafe_set regs dst_r x
+            | None -> Array.unsafe_set regs dst_r 0
+        end
+    | [| b0 |] ->
+      fun t ->
+        if t.steps + k > t.fuel_cap then slow t
+        else begin
+          let regs = t.cur_regs in
+          let cregs = seam t regs t.cur_depth in
+          b0 t;
+          let v = read_ret cregs in
+          do_ret t callee_cf ~ret_to:caller_id;
+          t.cur_regs <- regs;
+          if dst_r >= 0 then
+            match v with
+            | Some x -> Array.unsafe_set regs dst_r x
+            | None -> Array.unsafe_set regs dst_r 0
+        end
+    | [| b0; b1 |] ->
+      fun t ->
+        if t.steps + k > t.fuel_cap then slow t
+        else begin
+          let regs = t.cur_regs in
+          let cregs = seam t regs t.cur_depth in
+          b0 t;
+          b1 t;
+          let v = read_ret cregs in
+          do_ret t callee_cf ~ret_to:caller_id;
+          t.cur_regs <- regs;
+          if dst_r >= 0 then
+            match v with
+            | Some x -> Array.unsafe_set regs dst_r x
+            | None -> Array.unsafe_set regs dst_r 0
+        end
+    | _ ->
+      let nbo = Array.length bodies in
+      fun t ->
+        if t.steps + k > t.fuel_cap then slow t
+        else begin
+          let regs = t.cur_regs in
+          let cregs = seam t regs t.cur_depth in
+          for j = 0 to nbo - 1 do
+            (Array.unsafe_get bodies j) t
+          done;
+          let v = read_ret cregs in
+          do_ret t callee_cf ~ret_to:caller_id;
+          t.cur_regs <- regs;
+          if dst_r >= 0 then
+            match v with
+            | Some x -> Array.unsafe_set regs dst_r x
+            | None -> Array.unsafe_set regs dst_r 0
+        end
+  end
+
+(* A call seam whose callee is not yet hot: run the unfused closure, but
+   watch the dispatching engine's entry counter for the callee and swap
+   in the fused closure (built once, on demand) when it crosses the
+   threshold.  The swap is a plain ref-cell publication, safe by the
+   same argument as every trampoline here: the closures are immutable
+   after construction and both sides are bit-exact, so a racing domain
+   seeing the stale cell merely takes the slower exact path once more. *)
+let promotable (p : prog) ~callee_id ~(unfused : iexec) ~(build : unit -> iexec) :
+    iexec =
+  let thr = p.callfuse in
+  let cell : iexec ref = ref unfused in
+  let promoting t =
+    if Array.unsafe_get t.tier_counts callee_id > thr then begin
+      let f = build () in
+      Atomic.incr p.pstats.fused_promoted;
+      cell := f;
+      f t
+    end
+    else unfused t
+  in
+  cell := promoting;
+  fun t -> !cell t
+
+(* Lower one complex instruction inside a chain, fusing eligible direct
+   call seams when the program was compiled with fusion on.  [counts] is
+   the triggering engine's per-function entry-counter array: a callee
+   already hot at lowering time bakes the fused closure directly;
+   otherwise the seam self-promotes at runtime. *)
+let lower_cx ~spec (p : prog) ~counts (cf : cfunc) (i : Machine.cinst) : iexec =
+  match i with
+  | CCall { dst; callee = _; callee_id; args; site }
+    when p.callfuse > 0 && callee_id >= 0 -> (
+    match fuse_plan p.c2by_id.(callee_id) with
+    | Some chain ->
+      let unfused = ccomplex ~spec p.c2by_id cf i in
+      let callee_name = p.c2by_id.(callee_id).c2.f.fname in
+      let build () =
+        Trace.span ~cat:"sched" "engine:callfuse"
+          ~args:
+            [ ("caller", Trace.Str cf.f.fname); ("callee", Trace.Str callee_name) ]
+          (fun () ->
+            let fx = build_fused ~spec p cf ~dst ~callee_id ~site ~args ~slow:unfused chain in
+            Atomic.incr p.pstats.fused_seams;
+            if Trace.enabled () then
+              Trace.counter ~cat:"sched" "call-fused-seams"
+                [
+                  ("count", Trace.Int 1);
+                  ("caller", Trace.Str cf.f.fname);
+                  ("callee", Trace.Str callee_name);
+                ];
+            fx)
+      in
+      if Array.length counts > callee_id && Array.unsafe_get counts callee_id > p.callfuse
+      then build ()
+      else promotable p ~callee_id ~unfused ~build
+    | None -> ccomplex ~spec p.c2by_id cf i)
+  | _ -> ccomplex ~spec p.c2by_id cf i
+
+(* ------------------------ terminators -------------------------- *)
+
+let[@inline] br_follow t ~key ~taken =
+  charge t Cost.br;
+  if Pht.predict t.tpht ~key <> taken then begin
+    t.ctrs.pht_misses <- t.ctrs.pht_misses + 1;
+    charge t Cost.br_mispredict_penalty
+  end;
+  Pht.train t.tpht ~key ~taken
+
+let cterm (bexecs : bexec array) (cf : cfunc) label (term : terminator) : bexec =
+  match term with
+  | Jmp l ->
+    fun t ->
+      charge t Cost.jmp;
+      (Array.unsafe_get bexecs l) t
+  | Br (Reg cr, l1, l2) ->
+    let key = cf.key_base + label in
+    fun t ->
+      let taken = Array.unsafe_get t.cur_regs cr <> 0 in
+      br_follow t ~key ~taken;
+      if taken then (Array.unsafe_get bexecs l1) t
+      else (Array.unsafe_get bexecs l2) t
+  | Br (Imm i, l1, l2) ->
+    let key = cf.key_base + label in
+    let taken = i <> 0 in
+    let l = if taken then l1 else l2 in
+    fun t ->
+      br_follow t ~key ~taken;
+      (Array.unsafe_get bexecs l) t
+  | Switch { scrutinee; cases; default; lowering } ->
+    let ov = cop scrutinee in
+    let ncases = Array.length cases in
+    let cost =
+      match lowering with
+      | Jump_table -> Cost.switch_jump_table
+      | Branch_ladder -> ladder_cost ncases
+    in
+    fun t ->
+      let v = ov t.cur_regs in
+      let rec find i =
+        if i >= ncases then default
+        else
+          let case_v, l = cases.(i) in
+          if case_v = v then l else find (i + 1)
+      in
+      let target = find 0 in
+      charge t cost;
+      (Array.unsafe_get bexecs target) t
+  | Ret None ->
+    fun t ->
+      do_ret t cf ~ret_to:t.cur_ret_to;
+      None
+  | Ret (Some (Imm i)) ->
+    fun t ->
+      let v = Some i in
+      do_ret t cf ~ret_to:t.cur_ret_to;
+      v
+  | Ret (Some (Reg r)) ->
+    fun t ->
+      let v = Some (Array.unsafe_get t.cur_regs r) in
+      do_ret t cf ~ret_to:t.cur_ret_to;
+      v
+
+(* ------------------- blocks and superblocks -------------------- *)
+
+(* Lower a chain of blocks — a single block in tier 1, a whole
+   superblock in tier 2 — into one closure.  The chain's instruction
+   streams are flattened into one item stream, each non-final block
+   contributing an [SJump] seam marker for its unconditional terminator;
+   the stream is partitioned into maximal fused segments and individual
+   call instructions, and only the FINAL block's terminator is compiled
+   (non-final terminators are guaranteed [Jmp] and live inside the
+   segments as seam accounting). *)
+let lower_chain ~spec ?stats (p : prog) ~counts (cf : cfunc) bexecs
+    (chain : (int * Machine.cblock) list) : bexec =
+  let fname = cf.f.fname in
+  let mem_len = p.mem_len in
+  let chunk_list, last_label, last_term = scan_chain chain in
   let chunks =
     Array.of_list
-      (List.rev_map
+      (List.map
          (function
            | `Seg items -> compile_segment ~spec ~mem_len ?stats fname items
-           | `Cx i -> ccomplex ~spec c2by_id cf i)
-         !rev_chunks)
+           | `Cx i -> lower_cx ~spec p ~counts cf i)
+         chunk_list)
   in
   let term = cterm bexecs cf last_label last_term in
   match chunks with
   | [||] ->
-    fun t regs taint depth ret_to ->
+    fun t ->
       step_fuel t;
-      term t regs taint depth ret_to
+      term t
   | [| c0 |] ->
-    fun t regs taint depth ret_to ->
-      c0 t regs taint depth;
+    fun t ->
+      c0 t;
       step_fuel t;
-      term t regs taint depth ret_to
+      term t
   | [| c0; c1 |] ->
-    fun t regs taint depth ret_to ->
-      c0 t regs taint depth;
-      c1 t regs taint depth;
+    fun t ->
+      c0 t;
+      c1 t;
       step_fuel t;
-      term t regs taint depth ret_to
+      term t
   | [| c0; c1; c2 |] ->
-    fun t regs taint depth ret_to ->
-      c0 t regs taint depth;
-      c1 t regs taint depth;
-      c2 t regs taint depth;
+    fun t ->
+      c0 t;
+      c1 t;
+      c2 t;
       step_fuel t;
-      term t regs taint depth ret_to
+      term t
   | _ ->
     let n = Array.length chunks in
-    fun t regs taint depth ret_to ->
+    fun t ->
       for i = 0 to n - 1 do
-        (Array.unsafe_get chunks i) t regs taint depth
+        (Array.unsafe_get chunks i) t
       done;
       step_fuel t;
-      term t regs taint depth ret_to
+      term t
 
 (* Superblock trace formation: the trace headed at [l] follows
    unconditional [Jmp] edges for as long as they go — REGARDLESS of the
@@ -1163,32 +1619,1423 @@ let trace_of (cf : cfunc) l : (int * Machine.cblock) list =
   in
   go [] [ l ] l 1
 
-(* Lower one function variant into its entry [fexec].  [fused] selects
-   the tier.
+(* ------------------- tier 3: register threading ----------------- *)
 
-   Tier 1 lowers one closure per block, eagerly — the whole function is
-   lowered on its first call, exactly the PR5 backend.
+(* The hottest traces drop the per-instruction closure array entirely:
+   the trace body becomes a flat [int array] instruction stream driven
+   by ONE tail-recursive dispatch loop.  Opcode and operands live inline
+   in the stream, so executing a simple instruction is an opcode load, a
+   couple of operand loads and the arithmetic — no indirect call, no
+   closure environment.  Accounting keeps the exact segment-batching
+   shape: a [BATCH] word pre-charges a segment's fuel/insts/cycles (its
+   guard falls back to the tier-2 per-item slow path, which dies at
+   exactly the interpreter's instruction), and potentially-faulting
+   instructions carry their rollback deltas inline.  Anything the
+   encoder cannot express stays a closure behind an escape opcode: [PB]
+   for statically out-of-bounds simple instructions (the tier-1 body
+   with baked deltas), [CX] for calls and indirect transfers (the same
+   chunk closures tier 2 uses, including fused call seams) — so tier 3
+   never duplicates semantics, it only flattens dispatch. *)
 
-   Tier 2 (fused) lowers one closure per superblock trace, {e lazily
-   per head}: every label gets a trampoline that lowers [trace_of] its
-   label on first dispatch (double-checked under a per-variant mutex)
-   and replaces itself in [bexecs] — terminators fetch [bexecs.(l)] at
-   dispatch time, so the swap is picked up transparently.  On the
-   aggressively inlined kernel images a function has hundreds of blocks
-   but a hot path through a few percent of them; paying fused lowering
-   (and the tail duplication it implies) only for the heads the
-   workload actually dispatches to cuts the tier-up cost by that same
-   factor, which is what makes promotion profitable for short-lived
-   engines (fresh images in the sensitivity sweep, online controller
-   rebuilds).  Superblock shape ([sb_count]/[sb_blocks]) is known
-   statically and recorded at link time; segment coverage accumulates
-   in [stats] as traces lower. *)
-let lower_fexec ~spec ~fused ?stats c2by_id ~mem_len (c2f : cfunc2) : fexec =
+let op_end = 0
+let op_batch = 1 (* k ni total slow_aux next_pc *)
+let op_cx = 2 (* aux_idx *)
+let op_pb = 3 (* pb_idx *)
+let op_const = 4 (* dst imm *)
+let op_move = 5 (* dst src *)
+let op_loadi = 6 (* dst addr — statically in bounds *)
+let op_loadr = 7 (* dst addr_reg dc dns dni *)
+let op_store_ii = 8 (* addr imm — statically in bounds *)
+let op_store_ir = 9 (* addr val_reg — statically in bounds *)
+let op_store_ri = 10 (* addr_reg imm dc dns dni *)
+let op_store_rr = 11 (* addr_reg val_reg dc dns dni *)
+let op_obs_i = 12 (* imm *)
+let op_obs_r = 13 (* reg *)
+let op_acc = 14 (* dst n (k operand)*n — left-accumulator binop run *)
+let op_pair = 15 (* sh key d1 oa1 ob1 d2 oa2 ob2 — fused binop pair *)
+
+(* Binops occupy [op_binop_base ..]: opcode = base + index*3 + shape,
+   shape 0 = (Reg, Reg), 1 = (Reg, Imm), 2 = (Imm, Reg) — immediate
+   pairs constant-fold into [op_const] at encode time.  Shift immediates
+   are pre-masked at encode time. *)
+let op_binop_base = 16
+
+let binop_index = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Xor -> 3
+  | And -> 4
+  | Or -> 5
+  | Shl -> 6
+  | Shr -> 7
+  | Lt -> 8
+  | Eq -> 9
+
+(* Left-accumulator shape test for [op_acc]: [d = op (Reg d) rhs] where
+   [rhs] is an immediate (shape 0, shift amounts pre-masked like the RI
+   binops) or a register other than [d] itself (shape 1 — an operand
+   aliasing [d] would read the stale frame slot while the live value
+   rides in the host register).  Returns the run key [d] plus the coded
+   (k, operand) pair. *)
+let acc_of = function
+  | SInst (CAssign (d, Binop (op, Reg a, Imm y))) when a = d ->
+    let y = match op with Shl | Shr -> y land 31 | _ -> y in
+    Some (d, 2 * binop_index op, y)
+  | SInst (CAssign (d, Binop (op, Reg a, Reg s))) when a = d && s <> d ->
+    Some (d, (2 * binop_index op) + 1, s)
+  | _ -> None
+
+(* Operand-shape view of one codeable binop for [op_pair] pairing:
+   [(dst, binop index, (a shape, a operand), (b shape, b operand))]
+   with shape 0 = immediate, 1 = register (forwarding is decided at the
+   pair site, where the first op's destination is known).  Shift-amount
+   immediates are pre-masked here, mirroring the single-op encoders.
+   Both-immediate binops constant-fold in the plain encoder instead. *)
+let pair_of = function
+  | SInst (CAssign (d, Binop (op, a, b))) -> (
+    match (a, b) with
+    | Imm _, Imm _ -> None
+    | _ ->
+      let oa = match a with Imm x -> (0, x) | Reg r -> (1, r) in
+      let ob =
+        match b with
+        | Imm y -> (
+          match op with Shl | Shr -> (0, y land 31) | _ -> (0, y))
+        | Reg r -> (1, r)
+      in
+      Some (d, binop_index op, oa, ob))
+  | _ -> None
+
+(* Static context of one encoded trace; [code] is passed separately so
+   the loop's per-opcode fetches touch it without a record load. *)
+type t3ctx = {
+  t3aux : iexec array;  (* CX escapes + BATCH slow paths *)
+  t3pbs : pbody array;  (* PB escapes *)
+  t3mem : int;
+  t3fname : string;
+}
+
+(* The [op_pair] superinstruction: two consecutive binops retired by ONE
+   dispatch.  On superscalar hosts the dominant per-instruction cost of
+   an int-coded stream is the single polymorphic indirect jump at the
+   dispatch switch, so halving the dispatch count roughly halves the
+   floor; the 100 (op1, op2) arms below are mechanical expansions of
+   the same eval rules the single-op opcodes use (this block and the
+   [acc_loop] switch are machine-generated — edit the generator
+   pattern, not individual arms).  Operand shapes ride in [sh]: bits
+   0-1 select immediate/register for op1's operands, bits 2-3 and 4-5
+   select immediate/register/forwarded for op2's (a register operand
+   naming [d1] is encoded as forwarded and reads [w] — the frame slot
+   store has not been observed by anything between the two ops, so
+   forwarding is exact).  Shift immediates are pre-masked at encode
+   time; register and forwarded shift amounts mask here, same as the
+   single-op arms. *)
+let pair_step (code : int array) (regs : int array) pc =
+  let sh = Array.unsafe_get code (pc + 1) in
+  let d1 = Array.unsafe_get code (pc + 3) in
+  let oa1 = Array.unsafe_get code (pc + 4) and ob1 = Array.unsafe_get code (pc + 5) in
+  let d2 = Array.unsafe_get code (pc + 6) in
+  let oa2 = Array.unsafe_get code (pc + 7) and ob2 = Array.unsafe_get code (pc + 8) in
+  let xa1 = if sh land 1 = 0 then oa1 else Array.unsafe_get regs oa1 in
+  let xb1 = if sh land 2 = 0 then ob1 else Array.unsafe_get regs ob1 in
+  let sa2 = (sh lsr 2) land 3 and sb2 = (sh lsr 4) land 3 in
+  match Array.unsafe_get code (pc + 2) with
+    | 0 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 1 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 2 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 3 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 4 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 5 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 6 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 7 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 8 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 9 ->
+      let w = xa1 + xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 10 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 11 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 12 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 13 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 14 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 15 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 16 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 17 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 18 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 19 ->
+      let w = xa1 - xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 20 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 21 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 22 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 23 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 24 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 25 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 26 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 27 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 28 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 29 ->
+      let w = xa1 * xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 30 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 31 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 32 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 33 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 34 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 35 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 36 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 37 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 38 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 39 ->
+      let w = xa1 lxor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 40 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 41 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 42 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 43 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 44 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 45 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 46 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 47 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 48 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 49 ->
+      let w = xa1 land xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 50 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 51 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 52 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 53 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 54 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 55 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 56 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 57 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 58 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 59 ->
+      let w = xa1 lor xb1 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 60 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 61 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 62 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 63 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 64 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 65 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 66 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 67 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 68 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 69 ->
+      let w = xa1 lsl (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 70 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 71 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 72 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 73 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 74 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 75 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 76 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 77 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 78 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 79 ->
+      let w = xa1 lsr (xb1 land 31) in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 80 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 81 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 82 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 83 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 84 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 85 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 86 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 87 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 88 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | 89 ->
+      let w = if xa1 < xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+    | 90 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 + xb2)
+    | 91 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 - xb2)
+    | 92 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 * xb2)
+    | 93 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lxor xb2)
+    | 94 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 land xb2)
+    | 95 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lor xb2)
+    | 96 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsl (xb2 land 31))
+    | 97 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         xa2 lsr (xb2 land 31))
+    | 98 ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 < xb2 then 1 else 0)
+    | _ ->
+      let w = if xa1 = xb1 then 1 else 0 in
+      Array.unsafe_set regs d1 w;
+      Array.unsafe_set regs d2
+        (let xa2 = if sa2 = 0 then oa2 else if sa2 = 1 then Array.unsafe_get regs oa2 else w in
+         let xb2 = if sb2 = 0 then ob2 else if sb2 = 1 then Array.unsafe_get regs ob2 else w in
+         if xa2 = xb2 then 1 else 0)
+
+(* The [op_acc] superinstruction body: a run of left-accumulator binops
+   [d = op d rhs] whose live value stays in [v] — a host register — for
+   the whole run.  Items are consumed TWO per dispatch: operands are
+   shape-resolved first (bit 0 of [k]: 0 = immediate, pre-masked for
+   shifts; 1 = register operand, never [d] itself), then one dense
+   100-way switch keyed on the op pair applies both.  One polymorphic
+   indirect jump per instruction is exactly the dispatch floor this
+   tier exists to break — and an int-switch interpreter pays it at its
+   single jump-table site just like tier 2 would pay it at a shared
+   [caml_apply] trampoline — so halving the dispatch count is worth a
+   10x wider (machine-generated) switch.  A trailing odd item takes the
+   10-way epilogue. *)
+let rec acc_loop (code : int array) (regs : int array) v pc n =
+  if n >= 2 then begin
+    let k1 = Array.unsafe_get code pc and o1 = Array.unsafe_get code (pc + 1) in
+    let k2 = Array.unsafe_get code (pc + 2) and o2 = Array.unsafe_get code (pc + 3) in
+    let x1 = if k1 land 1 = 0 then o1 else Array.unsafe_get regs o1 in
+    let x2 = if k2 land 1 = 0 then o2 else Array.unsafe_get regs o2 in
+    let v =
+      match ((k1 lsr 1) * 10) + (k2 lsr 1) with
+      | 0 -> ((v + x1) + x2)
+      | 1 -> ((v + x1) - x2)
+      | 2 -> ((v + x1) * x2)
+      | 3 -> ((v + x1) lxor x2)
+      | 4 -> ((v + x1) land x2)
+      | 5 -> ((v + x1) lor x2)
+      | 6 -> ((v + x1) lsl (x2 land 31))
+      | 7 -> ((v + x1) lsr (x2 land 31))
+      | 8 -> (if (v + x1) < x2 then 1 else 0)
+      | 9 -> (if (v + x1) = x2 then 1 else 0)
+      | 10 -> ((v - x1) + x2)
+      | 11 -> ((v - x1) - x2)
+      | 12 -> ((v - x1) * x2)
+      | 13 -> ((v - x1) lxor x2)
+      | 14 -> ((v - x1) land x2)
+      | 15 -> ((v - x1) lor x2)
+      | 16 -> ((v - x1) lsl (x2 land 31))
+      | 17 -> ((v - x1) lsr (x2 land 31))
+      | 18 -> (if (v - x1) < x2 then 1 else 0)
+      | 19 -> (if (v - x1) = x2 then 1 else 0)
+      | 20 -> ((v * x1) + x2)
+      | 21 -> ((v * x1) - x2)
+      | 22 -> ((v * x1) * x2)
+      | 23 -> ((v * x1) lxor x2)
+      | 24 -> ((v * x1) land x2)
+      | 25 -> ((v * x1) lor x2)
+      | 26 -> ((v * x1) lsl (x2 land 31))
+      | 27 -> ((v * x1) lsr (x2 land 31))
+      | 28 -> (if (v * x1) < x2 then 1 else 0)
+      | 29 -> (if (v * x1) = x2 then 1 else 0)
+      | 30 -> ((v lxor x1) + x2)
+      | 31 -> ((v lxor x1) - x2)
+      | 32 -> ((v lxor x1) * x2)
+      | 33 -> ((v lxor x1) lxor x2)
+      | 34 -> ((v lxor x1) land x2)
+      | 35 -> ((v lxor x1) lor x2)
+      | 36 -> ((v lxor x1) lsl (x2 land 31))
+      | 37 -> ((v lxor x1) lsr (x2 land 31))
+      | 38 -> (if (v lxor x1) < x2 then 1 else 0)
+      | 39 -> (if (v lxor x1) = x2 then 1 else 0)
+      | 40 -> ((v land x1) + x2)
+      | 41 -> ((v land x1) - x2)
+      | 42 -> ((v land x1) * x2)
+      | 43 -> ((v land x1) lxor x2)
+      | 44 -> ((v land x1) land x2)
+      | 45 -> ((v land x1) lor x2)
+      | 46 -> ((v land x1) lsl (x2 land 31))
+      | 47 -> ((v land x1) lsr (x2 land 31))
+      | 48 -> (if (v land x1) < x2 then 1 else 0)
+      | 49 -> (if (v land x1) = x2 then 1 else 0)
+      | 50 -> ((v lor x1) + x2)
+      | 51 -> ((v lor x1) - x2)
+      | 52 -> ((v lor x1) * x2)
+      | 53 -> ((v lor x1) lxor x2)
+      | 54 -> ((v lor x1) land x2)
+      | 55 -> ((v lor x1) lor x2)
+      | 56 -> ((v lor x1) lsl (x2 land 31))
+      | 57 -> ((v lor x1) lsr (x2 land 31))
+      | 58 -> (if (v lor x1) < x2 then 1 else 0)
+      | 59 -> (if (v lor x1) = x2 then 1 else 0)
+      | 60 -> ((v lsl (x1 land 31)) + x2)
+      | 61 -> ((v lsl (x1 land 31)) - x2)
+      | 62 -> ((v lsl (x1 land 31)) * x2)
+      | 63 -> ((v lsl (x1 land 31)) lxor x2)
+      | 64 -> ((v lsl (x1 land 31)) land x2)
+      | 65 -> ((v lsl (x1 land 31)) lor x2)
+      | 66 -> ((v lsl (x1 land 31)) lsl (x2 land 31))
+      | 67 -> ((v lsl (x1 land 31)) lsr (x2 land 31))
+      | 68 -> (if (v lsl (x1 land 31)) < x2 then 1 else 0)
+      | 69 -> (if (v lsl (x1 land 31)) = x2 then 1 else 0)
+      | 70 -> ((v lsr (x1 land 31)) + x2)
+      | 71 -> ((v lsr (x1 land 31)) - x2)
+      | 72 -> ((v lsr (x1 land 31)) * x2)
+      | 73 -> ((v lsr (x1 land 31)) lxor x2)
+      | 74 -> ((v lsr (x1 land 31)) land x2)
+      | 75 -> ((v lsr (x1 land 31)) lor x2)
+      | 76 -> ((v lsr (x1 land 31)) lsl (x2 land 31))
+      | 77 -> ((v lsr (x1 land 31)) lsr (x2 land 31))
+      | 78 -> (if (v lsr (x1 land 31)) < x2 then 1 else 0)
+      | 79 -> (if (v lsr (x1 land 31)) = x2 then 1 else 0)
+      | 80 -> ((if v < x1 then 1 else 0) + x2)
+      | 81 -> ((if v < x1 then 1 else 0) - x2)
+      | 82 -> ((if v < x1 then 1 else 0) * x2)
+      | 83 -> ((if v < x1 then 1 else 0) lxor x2)
+      | 84 -> ((if v < x1 then 1 else 0) land x2)
+      | 85 -> ((if v < x1 then 1 else 0) lor x2)
+      | 86 -> ((if v < x1 then 1 else 0) lsl (x2 land 31))
+      | 87 -> ((if v < x1 then 1 else 0) lsr (x2 land 31))
+      | 88 -> (if (if v < x1 then 1 else 0) < x2 then 1 else 0)
+      | 89 -> (if (if v < x1 then 1 else 0) = x2 then 1 else 0)
+      | 90 -> ((if v = x1 then 1 else 0) + x2)
+      | 91 -> ((if v = x1 then 1 else 0) - x2)
+      | 92 -> ((if v = x1 then 1 else 0) * x2)
+      | 93 -> ((if v = x1 then 1 else 0) lxor x2)
+      | 94 -> ((if v = x1 then 1 else 0) land x2)
+      | 95 -> ((if v = x1 then 1 else 0) lor x2)
+      | 96 -> ((if v = x1 then 1 else 0) lsl (x2 land 31))
+      | 97 -> ((if v = x1 then 1 else 0) lsr (x2 land 31))
+      | 98 -> (if (if v = x1 then 1 else 0) < x2 then 1 else 0)
+      | _ -> (if (if v = x1 then 1 else 0) = x2 then 1 else 0)
+    in
+    acc_loop code regs v (pc + 4) (n - 2)
+  end
+  else if n = 1 then begin
+    let k = Array.unsafe_get code pc and o = Array.unsafe_get code (pc + 1) in
+    let x = if k land 1 = 0 then o else Array.unsafe_get regs o in
+    match k lsr 1 with
+    | 0 -> v + x
+    | 1 -> v - x
+    | 2 -> v * x
+    | 3 -> v lxor x
+    | 4 -> v land x
+    | 5 -> v lor x
+    | 6 -> v lsl (x land 31)
+    | 7 -> v lsr (x land 31)
+    | 8 -> if v < x then 1 else 0
+    | _ -> if v = x then 1 else 0
+  end
+  else v
+
+let rec t3_step (code : int array) (c : t3ctx) t (regs : int array) pc =
+  let op = Array.unsafe_get code pc in
+  if op >= op_binop_base then begin
+    let d = Array.unsafe_get code (pc + 1)
+    and a = Array.unsafe_get code (pc + 2)
+    and b = Array.unsafe_get code (pc + 3) in
+    (match op - op_binop_base with
+    | 0 ->
+      Array.unsafe_set regs d (Array.unsafe_get regs a + Array.unsafe_get regs b)
+    | 1 -> Array.unsafe_set regs d (Array.unsafe_get regs a + b)
+    | 2 -> Array.unsafe_set regs d (a + Array.unsafe_get regs b)
+    | 3 ->
+      Array.unsafe_set regs d (Array.unsafe_get regs a - Array.unsafe_get regs b)
+    | 4 -> Array.unsafe_set regs d (Array.unsafe_get regs a - b)
+    | 5 -> Array.unsafe_set regs d (a - Array.unsafe_get regs b)
+    | 6 ->
+      Array.unsafe_set regs d (Array.unsafe_get regs a * Array.unsafe_get regs b)
+    | 7 -> Array.unsafe_set regs d (Array.unsafe_get regs a * b)
+    | 8 -> Array.unsafe_set regs d (a * Array.unsafe_get regs b)
+    | 9 ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a lxor Array.unsafe_get regs b)
+    | 10 -> Array.unsafe_set regs d (Array.unsafe_get regs a lxor b)
+    | 11 -> Array.unsafe_set regs d (a lxor Array.unsafe_get regs b)
+    | 12 ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a land Array.unsafe_get regs b)
+    | 13 -> Array.unsafe_set regs d (Array.unsafe_get regs a land b)
+    | 14 -> Array.unsafe_set regs d (a land Array.unsafe_get regs b)
+    | 15 ->
+      Array.unsafe_set regs d (Array.unsafe_get regs a lor Array.unsafe_get regs b)
+    | 16 -> Array.unsafe_set regs d (Array.unsafe_get regs a lor b)
+    | 17 -> Array.unsafe_set regs d (a lor Array.unsafe_get regs b)
+    | 18 ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a lsl (Array.unsafe_get regs b land 31))
+    | 19 -> Array.unsafe_set regs d (Array.unsafe_get regs a lsl b)
+    | 20 -> Array.unsafe_set regs d (a lsl (Array.unsafe_get regs b land 31))
+    | 21 ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a lsr (Array.unsafe_get regs b land 31))
+    | 22 -> Array.unsafe_set regs d (Array.unsafe_get regs a lsr b)
+    | 23 -> Array.unsafe_set regs d (a lsr (Array.unsafe_get regs b land 31))
+    | 24 ->
+      Array.unsafe_set regs d
+        (if Array.unsafe_get regs a < Array.unsafe_get regs b then 1 else 0)
+    | 25 -> Array.unsafe_set regs d (if Array.unsafe_get regs a < b then 1 else 0)
+    | 26 -> Array.unsafe_set regs d (if a < Array.unsafe_get regs b then 1 else 0)
+    | 27 ->
+      Array.unsafe_set regs d
+        (if Array.unsafe_get regs a = Array.unsafe_get regs b then 1 else 0)
+    | 28 -> Array.unsafe_set regs d (if Array.unsafe_get regs a = b then 1 else 0)
+    | _ -> Array.unsafe_set regs d (if a = Array.unsafe_get regs b then 1 else 0));
+    t3_step code c t regs (pc + 4)
+  end
+  else if op = op_batch then begin
+    let k = Array.unsafe_get code (pc + 1) in
+    if t.steps + k > t.fuel_cap then begin
+      (* the tier-2 slow segment replays per item and raises at exactly
+         the interpreter's instruction; if it ever returned (it cannot —
+         the guard implies some item exhausts the budget), resuming past
+         the batch would be the correct continuation *)
+      (Array.unsafe_get c.t3aux (Array.unsafe_get code (pc + 4))) t;
+      t3_step code c t regs (Array.unsafe_get code (pc + 5))
+    end
+    else begin
+      t.steps <- t.steps + k;
+      t.ctrs.insts <- t.ctrs.insts + Array.unsafe_get code (pc + 2);
+      t.cyc <- t.cyc + Array.unsafe_get code (pc + 3);
+      t3_step code c t regs (pc + 6)
+    end
+  end
+  else
+    match op with
+    | 2 (* op_cx *) ->
+      (Array.unsafe_get c.t3aux (Array.unsafe_get code (pc + 1))) t;
+      t3_step code c t regs (pc + 2)
+    | 3 (* op_pb *) ->
+      publish_regs t regs;
+      (Array.unsafe_get c.t3pbs (Array.unsafe_get code (pc + 1))) t;
+      t3_step code c t regs (pc + 2)
+    | 4 (* op_const *) ->
+      Array.unsafe_set regs (Array.unsafe_get code (pc + 1)) (Array.unsafe_get code (pc + 2));
+      t3_step code c t regs (pc + 3)
+    | 5 (* op_move *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (pc + 2)));
+      t3_step code c t regs (pc + 3)
+    | 6 (* op_loadi *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get t.mem (Array.unsafe_get code (pc + 2)));
+      t3_step code c t regs (pc + 3)
+    | 7 (* op_loadr *) ->
+      let addr = Array.unsafe_get regs (Array.unsafe_get code (pc + 2)) in
+      if addr < 0 || addr >= c.t3mem then begin
+        seg_unwind t
+          ~dc:(Array.unsafe_get code (pc + 3))
+          ~dns:(Array.unsafe_get code (pc + 4))
+          ~dni:(Array.unsafe_get code (pc + 5));
+        raise (oob_load c.t3fname addr)
+      end
+      else begin
+        Array.unsafe_set regs (Array.unsafe_get code (pc + 1)) (Array.unsafe_get t.mem addr);
+        t3_step code c t regs (pc + 6)
+      end
+    | 8 (* op_store_ii *) ->
+      Array.unsafe_set t.mem (Array.unsafe_get code (pc + 1)) (Array.unsafe_get code (pc + 2));
+      t3_step code c t regs (pc + 3)
+    | 9 (* op_store_ir *) ->
+      Array.unsafe_set t.mem
+        (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (pc + 2)));
+      t3_step code c t regs (pc + 3)
+    | 10 (* op_store_ri *) ->
+      let addr = Array.unsafe_get regs (Array.unsafe_get code (pc + 1)) in
+      if addr < 0 || addr >= c.t3mem then begin
+        seg_unwind t
+          ~dc:(Array.unsafe_get code (pc + 3))
+          ~dns:(Array.unsafe_get code (pc + 4))
+          ~dni:(Array.unsafe_get code (pc + 5));
+        raise (oob_store c.t3fname addr)
+      end
+      else begin
+        Array.unsafe_set t.mem addr (Array.unsafe_get code (pc + 2));
+        t3_step code c t regs (pc + 6)
+      end
+    | 11 (* op_store_rr *) ->
+      let addr = Array.unsafe_get regs (Array.unsafe_get code (pc + 1)) in
+      if addr < 0 || addr >= c.t3mem then begin
+        seg_unwind t
+          ~dc:(Array.unsafe_get code (pc + 3))
+          ~dns:(Array.unsafe_get code (pc + 4))
+          ~dni:(Array.unsafe_get code (pc + 5));
+        raise (oob_store c.t3fname addr)
+      end
+      else begin
+        Array.unsafe_set t.mem addr
+          (Array.unsafe_get regs (Array.unsafe_get code (pc + 2)));
+        t3_step code c t regs (pc + 6)
+      end
+    | 12 (* op_obs_i *) ->
+      (if t.cfg.record_trace then
+         t.trace_rev <- Array.unsafe_get code (pc + 1) :: t.trace_rev);
+      t3_step code c t regs (pc + 2)
+    | 13 (* op_obs_r *) ->
+      (if t.cfg.record_trace then
+         t.trace_rev <-
+           Array.unsafe_get regs (Array.unsafe_get code (pc + 1)) :: t.trace_rev);
+      t3_step code c t regs (pc + 2)
+    | 14 (* op_acc *) ->
+      let d = Array.unsafe_get code (pc + 1) in
+      let n = Array.unsafe_get code (pc + 2) in
+      Array.unsafe_set regs d
+        (acc_loop code regs (Array.unsafe_get regs d) (pc + 3) n);
+      t3_step code c t regs (pc + 3 + (2 * n))
+    | 15 (* op_pair *) ->
+      pair_step code regs pc;
+      t3_step code c t regs (pc + 9)
+    | _ (* op_end *) -> ()
+
+(* Encode a trace into a [t3ctx] + code stream and return its [bexec]:
+   the dispatch loop runs the flattened body, then the (closure)
+   terminator — terminators chain into [bexecs] like every tier, so
+   tier-3 traces dispatch to tier-3 successors.  Returns the coverage
+   split for observability. *)
+let lower_chain_t3 (p : prog) ~counts (cf : cfunc) bexecs
+    (chain : (int * Machine.cblock) list) : bexec * int * int =
+  let fname = cf.f.fname in
+  let mem_len = p.mem_len in
+  let chunk_list, last_label, last_term = scan_chain chain in
+  let buf = ref (Array.make 64 0) and blen = ref 0 in
+  let emit v =
+    (if !blen = Array.length !buf then begin
+       let g = Array.make (2 * !blen) 0 in
+       Array.blit !buf 0 g 0 !blen;
+       buf := g
+     end);
+    !buf.(!blen) <- v;
+    incr blen
+  in
+  let auxs = ref [] and naux = ref 0 in
+  let add_aux (x : iexec) =
+    auxs := x :: !auxs;
+    let i = !naux in
+    incr naux;
+    i
+  in
+  let pbs = ref [] and npb = ref 0 in
+  let add_pb (x : pbody) =
+    pbs := x :: !pbs;
+    let i = !npb in
+    incr npb;
+    i
+  in
+  let coded = ref 0 and total_insts = ref 0 in
+  List.iter
+    (function
+      | `Cx i ->
+        emit op_cx;
+        emit (add_aux (lower_cx ~spec:false p ~counts cf i))
+      | `Seg items ->
+        let k = Array.length items in
+        let _costs, total, ni, dcs, dnss, dnis = seg_suffixes items in
+        emit op_batch;
+        emit k;
+        emit ni;
+        emit total;
+        emit (add_aux (compile_segment ~spec:false ~mem_len fname items));
+        let nxt_pos = !blen in
+        emit 0 (* next_pc, backpatched below *);
+        let encode_one j it =
+          match it with
+          | SJump -> ()
+          | SInst i -> (
+              incr total_insts;
+              let dc = dcs.(j) and dns = dnss.(j) and dni = dnis.(j) in
+              let code () = incr coded in
+              match i with
+              | CAssign (d, (Const v | Move (Imm v))) ->
+                code ();
+                emit op_const;
+                emit d;
+                emit v
+              | CAssign (d, Move (Reg s)) ->
+                code ();
+                emit op_move;
+                emit d;
+                emit s
+              | CAssign (d, Binop (op, Imm x, Imm y)) ->
+                code ();
+                emit op_const;
+                emit d;
+                emit (eval_binop op x y)
+              | CAssign (d, Binop (op, Reg x, Reg y)) ->
+                code ();
+                emit (op_binop_base + (3 * binop_index op));
+                emit d;
+                emit x;
+                emit y
+              | CAssign (d, Binop (op, Reg x, Imm y)) ->
+                code ();
+                let y = match op with Shl | Shr -> y land 31 | _ -> y in
+                emit (op_binop_base + (3 * binop_index op) + 1);
+                emit d;
+                emit x;
+                emit y
+              | CAssign (d, Binop (op, Imm x, Reg y)) ->
+                code ();
+                emit (op_binop_base + (3 * binop_index op) + 2);
+                emit d;
+                emit x;
+                emit y
+              | CAssign (d, Load (Imm a)) when a >= 0 && a < mem_len ->
+                code ();
+                emit op_loadi;
+                emit d;
+                emit a
+              | CAssign (d, Load (Reg ar)) ->
+                code ();
+                emit op_loadr;
+                emit d;
+                emit ar;
+                emit dc;
+                emit dns;
+                emit dni
+              | CStore (Imm a, Imm v) when a >= 0 && a < mem_len ->
+                code ();
+                emit op_store_ii;
+                emit a;
+                emit v
+              | CStore (Imm a, Reg vr) when a >= 0 && a < mem_len ->
+                code ();
+                emit op_store_ir;
+                emit a;
+                emit vr
+              | CStore (Reg ar, Imm v) ->
+                code ();
+                emit op_store_ri;
+                emit ar;
+                emit v;
+                emit dc;
+                emit dns;
+                emit dni
+              | CStore (Reg ar, Reg vr) ->
+                code ();
+                emit op_store_rr;
+                emit ar;
+                emit vr;
+                emit dc;
+                emit dns;
+                emit dni
+              | CObserve (Imm v) ->
+                code ();
+                emit op_obs_i;
+                emit v
+              | CObserve (Reg r) ->
+                code ();
+                emit op_obs_r;
+                emit r
+              | CAssign _ | CStore _ ->
+                (* statically out-of-bounds access: keep the tier-1
+                   closure (its baked unwind + raise is the semantics) *)
+                emit op_pb;
+                emit (add_pb (pbody_of ~mem_len fname ~dc ~dns ~dni i))
+              | CCall _ | CIcall _ | CAsm_icall _ -> assert false)
+        in
+        (* Superinstruction selection, in priority order: collapse
+           maximal left-accumulator runs into one [op_acc]; fuse any
+           remaining adjacent codeable binops into [op_pair] (the shape
+           SSA-style lowering produces — fresh destination per assign,
+           so accumulator runs rarely form); encode the rest item by
+           item.  Binops never fault, so neither superinstruction
+           carries unwind deltas and accounting stays entirely in the
+           batch word. *)
+        let nitems = Array.length items in
+        let try_pair j0 =
+          j0 + 1 < nitems
+          &&
+          match (pair_of items.(j0), pair_of items.(j0 + 1)) with
+          | ( Some (d1, k1, (sa1, oa1), (sb1, ob1)),
+              Some (d2, k2, a2, b2) ) ->
+            (* a second-op register operand naming [d1] reads the
+               forwarded value (shape 2) instead of the frame slot *)
+            let fwd (s, o) = if s = 1 && o = d1 then (2, o) else (s, o) in
+            let sa2, oa2 = fwd a2 and sb2, ob2 = fwd b2 in
+            total_insts := !total_insts + 2;
+            coded := !coded + 2;
+            emit op_pair;
+            emit (sa1 lor (sb1 lsl 1) lor (sa2 lsl 2) lor (sb2 lsl 4));
+            emit ((k1 * 10) + k2);
+            emit d1;
+            emit oa1;
+            emit ob1;
+            emit d2;
+            emit oa2;
+            emit ob2;
+            true
+          | _ -> false
+        in
+        let j = ref 0 in
+        while !j < nitems do
+          let pair_or_single () =
+            if try_pair !j then j := !j + 2
+            else begin
+              encode_one !j items.(!j);
+              incr j
+            end
+          in
+          match acc_of items.(!j) with
+          | Some (d, _, _) ->
+            let stop = ref (!j + 1) in
+            while
+              !stop < nitems
+              &&
+              match acc_of items.(!stop) with
+              | Some (d', _, _) -> d' = d
+              | None -> false
+            do
+              incr stop
+            done;
+            let len = !stop - !j in
+            if len >= 2 then begin
+              emit op_acc;
+              emit d;
+              emit len;
+              for jj = !j to !stop - 1 do
+                match acc_of items.(jj) with
+                | Some (_, k, o) ->
+                  incr total_insts;
+                  incr coded;
+                  emit k;
+                  emit o
+                | None -> assert false
+              done;
+              j := !stop
+            end
+            else pair_or_single ()
+          | None -> pair_or_single ()
+        done;
+        !buf.(nxt_pos) <- !blen)
+    chunk_list;
+  emit op_end;
+  let code = Array.sub !buf 0 !blen in
+  let ctx =
+    {
+      t3aux = Array.of_list (List.rev !auxs);
+      t3pbs = Array.of_list (List.rev !pbs);
+      t3mem = mem_len;
+      t3fname = fname;
+    }
+  in
+  let term = cterm bexecs cf last_label last_term in
+  let bx : bexec =
+   fun t ->
+    t3_step code ctx t t.cur_regs 0;
+    step_fuel t;
+    term t
+  in
+  (bx, !coded, !total_insts)
+
+(* Static tier-3 adoption gate.  Int-coding pays off when the dispatch
+   loop can chew through long straight-line stretches; on call-dominated
+   traces every complex item (call, fused seam, branch-heavy tail)
+   bounces through [op_cx]'s extra closure indirection and the coding
+   overhead loses to the plain tier-2 segment closures.  The predicate
+   is a pure function of the superblock shape — no profile counts — so
+   the tier-3/tier-2 lowering choice per trace is deterministic across
+   runs and across [jobs] settings: a trace is int-coded only when it
+   has at least [t3_min_insts] codeable instructions and more than
+   [t3_cx_ratio] of them per complex item. *)
+let t3_min_insts = 8
+let t3_cx_ratio = 4
+
+let t3_profitable (chain : (int * Machine.cblock) list) : bool =
+  let chunk_list, _, _ = scan_chain chain in
+  let insts = ref 0 and ncx = ref 0 in
+  List.iter
+    (function
+      | `Cx _ -> incr ncx
+      | `Seg items ->
+        Array.iter (function SInst _ -> incr insts | SJump -> ()) items)
+    chunk_list;
+  !insts >= t3_min_insts && !insts > t3_cx_ratio * !ncx
+
+(* Lower one function variant into its entry [fexec].  [tier] selects
+   the lowering (1, 2 or 3; tier 3 is plain-only).
+
+   Tier 1 is lazy per BLOCK: on the aggressively inlined images a
+   function has hundreds of blocks and a workload touches a few percent
+   of them, so eager per-function lowering (the PR5 shape) wastes most
+   of its work.  Tiers 2 and 3 lower one closure (or one int-coded
+   stream) per superblock trace, {e lazily per head}: every label gets a
+   trampoline that lowers [trace_of] its label on first dispatch
+   (double-checked under a per-variant mutex) and replaces itself in
+   [bexecs] — terminators fetch [bexecs.(l)] at dispatch time, so the
+   swap is picked up transparently.  Paying fused lowering (and the tail
+   duplication it implies) only for the heads the workload actually
+   dispatches to cuts the tier-up cost by the cold-block factor, which
+   is what makes promotion profitable for short-lived engines.
+   Lowering is pure and emits nothing observable (trace events are
+   "sched"-category), so the execution-order dependence of the laziness
+   is invisible; the triggering engine's [tier_counts] seed the
+   call-seam hot-at-lowering decision, whose outcome is bit-exact either
+   way.  Superblock shape ([sb_count]/[sb_blocks]) is known statically
+   and recorded at link time; segment coverage accumulates in [stats] as
+   traces lower. *)
+let lower_fexec ~spec ~tier ?stats (p : prog) (c2f : cfunc2) : fexec =
   let cf = c2f.c2 in
   let nblocks = Array.length cf.cblocks in
-  let dead : bexec = fun _ _ _ _ _ -> assert false in
+  let dead : bexec = fun _ -> assert false in
   let bexecs = Array.make nblocks dead in
-  (if fused then begin
+  (if tier >= 2 then begin
      (match stats with
      | Some st ->
        (* Static superblock shape: every label heads a trace; the
@@ -1207,10 +3054,29 @@ let lower_fexec ~spec ~fused ?stats c2by_id ~mem_len (c2f : cfunc2) : fexec =
      let lowered = Array.make nblocks false in
      for l = 0 to nblocks - 1 do
        bexecs.(l) <-
-         (fun t regs taint depth ret_to ->
+         (fun t ->
            Mutex.lock mu;
            if not lowered.(l) then begin
-             bexecs.(l) <- lower_chain ~spec ?stats c2by_id ~mem_len cf bexecs (trace_of cf l);
+             let chain = trace_of cf l in
+             (if tier = 3 && t3_profitable chain then begin
+                let bx, coded, total =
+                  Trace.span ~cat:"sched" "engine:tier3"
+                    ~args:[ ("fn", Trace.Str cf.f.fname) ]
+                    (fun () ->
+                      lower_chain_t3 p ~counts:t.tier_counts cf bexecs chain)
+                in
+                bexecs.(l) <- bx;
+                Atomic.incr p.pstats.t3_traces;
+                ignore (Atomic.fetch_and_add p.pstats.t3_coded coded);
+                ignore (Atomic.fetch_and_add p.pstats.t3_insts total);
+                if Trace.enabled () then
+                  Trace.counter ~cat:"sched" "tier3-inst-coverage"
+                    [ ("coded", Trace.Int coded); ("total", Trace.Int total) ]
+              end
+              else
+                bexecs.(l) <-
+                  lower_chain ~spec ?stats p ~counts:t.tier_counts cf bexecs
+                    chain);
              lowered.(l) <- true;
              match stats with
              | Some s when Trace.enabled () ->
@@ -1219,49 +3085,46 @@ let lower_fexec ~spec ~fused ?stats c2by_id ~mem_len (c2f : cfunc2) : fexec =
              | _ -> ()
            end;
            Mutex.unlock mu;
-           bexecs.(l) t regs taint depth ret_to)
+           bexecs.(l) t)
      done
    end
    else begin
-     (* Tier 1 is lazy per BLOCK, by the same trampoline discipline: on
-        the aggressively inlined images a function has hundreds of
-        blocks and a workload touches a few percent of them, so eager
-        per-function lowering (the PR5 shape) wastes most of its work.
-        Lowering is pure and emits nothing observable, so the
-        execution-order dependence of the laziness is invisible. *)
      let mu = Mutex.create () in
      let lowered = Array.make nblocks false in
      for l = 0 to nblocks - 1 do
        bexecs.(l) <-
-         (fun t regs taint depth ret_to ->
+         (fun t ->
            Mutex.lock mu;
            if not lowered.(l) then begin
-             bexecs.(l) <- lower_chain ~spec c2by_id ~mem_len cf bexecs [ (l, cf.cblocks.(l)) ];
+             bexecs.(l) <-
+               lower_chain ~spec p ~counts:t.tier_counts cf bexecs
+                 [ (l, cf.cblocks.(l)) ];
              lowered.(l) <- true
            end;
            Mutex.unlock mu;
-           bexecs.(l) t regs taint depth ret_to)
+           bexecs.(l) t)
      done
    end);
   let entry = cf.f.entry in
   if spec then begin
     let zs = c2f.zeroset in
-    fun t regs depth ret_to ->
+    fun t ->
       enter_frame t cf;
       (* The caller never writes the callee's taint file, so every
          entry-live slot must be [None]-ed — but only those: stale taint
          on registers that are dead on entry is unobservable, by the
          same liveness argument as the value frame. *)
-      let taint = raw_taint_frame t ~depth in
+      let taint = raw_taint_frame t ~depth:t.cur_depth in
       for i = 0 to Array.length zs - 1 do
         Array.unsafe_set taint (Array.unsafe_get zs i) None
       done;
-      bexecs.(entry) t regs taint depth ret_to
+      publish_taint t taint;
+      bexecs.(entry) t
   end
   else
-    fun t regs depth ret_to ->
+    fun t ->
       enter_frame t cf;
-      bexecs.(entry) t regs no_taint depth ret_to
+      bexecs.(entry) t
 
 (* --------------------- lazy linking & tiers -------------------- *)
 
@@ -1284,14 +3147,14 @@ let lower_fexec ~spec ~fused ?stats c2by_id ~mem_len (c2f : cfunc2) : fexec =
    before re-reading the field — or sees the published closure; unlinked
    bodies are never reachable. *)
 
-let link_fused_traced ~spec c2by_id ~mem_len c2f =
+let link_fused_traced ~spec p c2f =
   let cf = c2f.c2 in
   let stats = { sb_count = 0; sb_blocks = 0; seg_fused = 0; seg_total = 0 } in
   let fx =
     Trace.span ~cat:"sched" "engine:tierup"
       ~args:
         [ ("fn", Trace.Str cf.f.fname); ("variant", Trace.Str (if spec then "spec" else "plain")) ]
-      (fun () -> lower_fexec ~spec ~fused:true ~stats c2by_id ~mem_len c2f)
+      (fun () -> lower_fexec ~spec ~tier:2 ~stats p c2f)
   in
   (* Superblock shape is static and complete at link time; segment
      coverage samples stream from the lazy chain lowerings instead. *)
@@ -1300,67 +3163,84 @@ let link_fused_traced ~spec c2by_id ~mem_len c2f =
       [ ("superblocks", Trace.Int stats.sb_count); ("blocks", Trace.Int stats.sb_blocks) ];
   fx
 
-let link_now p c2f ~spec ~fused =
+let link_now p c2f ~spec ~tier =
   Mutex.lock p.link_lock;
-  (match (fused, spec) with
-  | false, false ->
+  (match (tier, spec) with
+  | 1, false ->
     if not c2f.t1_plain_linked then begin
-      c2f.t1_plain <- lower_fexec ~spec:false ~fused:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t1_plain <- lower_fexec ~spec:false ~tier:1 p c2f;
       c2f.t1_plain_linked <- true;
       if not p.tiered then c2f.fexec_plain <- c2f.t1_plain
     end
-  | false, true ->
+  | 1, true ->
     if not c2f.t1_spec_linked then begin
-      c2f.t1_spec <- lower_fexec ~spec:true ~fused:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t1_spec <- lower_fexec ~spec:true ~tier:1 p c2f;
       c2f.t1_spec_linked <- true;
       if not p.tiered then c2f.fexec_spec <- c2f.t1_spec
     end
-  | true, false ->
+  | 2, false ->
     if not c2f.t2_plain_linked then begin
-      c2f.t2_plain <- link_fused_traced ~spec:false p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t2_plain <- link_fused_traced ~spec:false p c2f;
       c2f.t2_plain_linked <- true
     end
-  | true, true ->
+  | 2, true ->
     if not c2f.t2_spec_linked then begin
-      c2f.t2_spec <- link_fused_traced ~spec:true p.c2by_id ~mem_len:p.mem_len c2f;
+      c2f.t2_spec <- link_fused_traced ~spec:true p c2f;
       c2f.t2_spec_linked <- true
-    end);
+    end
+  | 3, false ->
+    if not c2f.t3_plain_linked then begin
+      c2f.t3_plain <- lower_fexec ~spec:false ~tier:3 p c2f;
+      c2f.t3_plain_linked <- true
+    end
+  | _ -> assert false (* tier 3 has no spec variant *));
   Mutex.unlock p.link_lock
 
 (* The tiered entry dispatcher: bump this ENGINE's entry counter for the
    function and pick the tier — tier 1 until the engine's threshold is
-   crossed, the fused tier after.  Decisions are per-engine (and so
-   deterministic at any --jobs); the fused body is linked lazily in the
-   shared program on the first post-threshold entry that reaches it.
-   The [tierup-count] sample marks each promotion; it lives in the
-   "sched" category next to the other lazy-compile traffic. *)
+   crossed, the fused tier after, and (plain variant only) the
+   register-threaded tier past the engine's [tier3_threshold].  Decisions
+   are per-engine (and so deterministic at any --jobs); each tier's body
+   is linked lazily in the shared program on the first entry that
+   reaches it.  The [tierup-count]/[tier3-promotions] samples mark each
+   promotion; they live in the "sched" category next to the other
+   lazy-compile traffic.  The spec variant caps at tier 2: drill
+   configurations are short-lived, and keeping taint threading out of
+   the int-coded loop is what keeps tier-3 dispatch flat. *)
 let tiered_dispatch (c2f : cfunc2) ~spec : fexec =
   let id = c2f.c2.id in
   let fname = c2f.c2.f.fname in
   if spec then
-    fun t regs depth ret_to ->
+    fun t ->
       let c = Array.unsafe_get t.tier_counts id + 1 in
       Array.unsafe_set t.tier_counts id c;
       if c > t.tier_threshold then begin
         if c = t.tier_threshold + 1 && Trace.enabled () then
           Trace.counter ~cat:"sched" "tierup-count"
             [ ("count", Trace.Int 1); ("fn", Trace.Str fname) ];
-        c2f.t2_spec t regs depth ret_to
+        c2f.t2_spec t
       end
-      else c2f.t1_spec t regs depth ret_to
+      else c2f.t1_spec t
   else
-    fun t regs depth ret_to ->
+    fun t ->
       let c = Array.unsafe_get t.tier_counts id + 1 in
       Array.unsafe_set t.tier_counts id c;
-      if c > t.tier_threshold then begin
+      let t3 = t.tier3_threshold in
+      if t3 > 0 && c > t3 then begin
+        if c = t3 + 1 && Trace.enabled () then
+          Trace.counter ~cat:"sched" "tier3-promotions"
+            [ ("count", Trace.Int 1); ("fn", Trace.Str fname) ];
+        c2f.t3_plain t
+      end
+      else if c > t.tier_threshold then begin
         if c = t.tier_threshold + 1 && Trace.enabled () then
           Trace.counter ~cat:"sched" "tierup-count"
             [ ("count", Trace.Int 1); ("fn", Trace.Str fname) ];
-        c2f.t2_plain t regs depth ret_to
+        c2f.t2_plain t
       end
-      else c2f.t1_plain t regs depth ret_to
+      else c2f.t1_plain t
 
-let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
+let make_prog (cv : Machine.compiled) ~mem_len ~tiered ~callfuse : prog =
   let c2by_id =
     Array.map
       (fun cf ->
@@ -1373,14 +3253,29 @@ let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
           t1_spec = unlinked;
           t2_plain = unlinked;
           t2_spec = unlinked;
+          t3_plain = unlinked;
           t1_plain_linked = false;
           t1_spec_linked = false;
           t2_plain_linked = false;
           t2_spec_linked = false;
+          t3_plain_linked = false;
         })
       cv.cby_id
   in
-  let p = { c2by_id; mem_len; link_lock = Mutex.create (); tiered } in
+  let pstats =
+    {
+      fused_seams = Atomic.make 0;
+      fused_promoted = Atomic.make 0;
+      t3_traces = Atomic.make 0;
+      t3_coded = Atomic.make 0;
+      t3_insts = Atomic.make 0;
+    }
+  in
+  (* Fusion watches per-engine entry counters, which only exist on
+     tiered engines — a baseline program never fuses ([--tierup 0]
+     implies [--callfuse 0]). *)
+  let callfuse = if tiered then max 0 callfuse else 0 in
+  let p = { c2by_id; mem_len; link_lock = Mutex.create (); tiered; callfuse; pstats } in
   Array.iter
     (fun c2f ->
       if not (func_valid c2f.c2) then begin
@@ -1389,7 +3284,7 @@ let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
            hand-built IR that [Validate] rejects gets here; it fails on
            entry instead of lowering. *)
         let err : fexec =
-         fun _ _ _ _ ->
+         fun _ ->
           raise (Runtime_error ("invalid static indices in @" ^ c2f.c2.f.fname))
         in
         c2f.fexec_plain <- err;
@@ -1398,28 +3293,34 @@ let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
         c2f.t1_spec <- err;
         c2f.t2_plain <- err;
         c2f.t2_spec <- err;
+        c2f.t3_plain <- err;
         c2f.t1_plain_linked <- true;
         c2f.t1_spec_linked <- true;
         c2f.t2_plain_linked <- true;
-        c2f.t2_spec_linked <- true
+        c2f.t2_spec_linked <- true;
+        c2f.t3_plain_linked <- true
       end
       else begin
       c2f.t1_plain <-
-        (fun t regs depth ret_to ->
-          link_now p c2f ~spec:false ~fused:false;
-          c2f.t1_plain t regs depth ret_to);
+        (fun t ->
+          link_now p c2f ~spec:false ~tier:1;
+          c2f.t1_plain t);
       c2f.t1_spec <-
-        (fun t regs depth ret_to ->
-          link_now p c2f ~spec:true ~fused:false;
-          c2f.t1_spec t regs depth ret_to);
+        (fun t ->
+          link_now p c2f ~spec:true ~tier:1;
+          c2f.t1_spec t);
       c2f.t2_plain <-
-        (fun t regs depth ret_to ->
-          link_now p c2f ~spec:false ~fused:true;
-          c2f.t2_plain t regs depth ret_to);
+        (fun t ->
+          link_now p c2f ~spec:false ~tier:2;
+          c2f.t2_plain t);
       c2f.t2_spec <-
-        (fun t regs depth ret_to ->
-          link_now p c2f ~spec:true ~fused:true;
-          c2f.t2_spec t regs depth ret_to);
+        (fun t ->
+          link_now p c2f ~spec:true ~tier:2;
+          c2f.t2_spec t);
+      c2f.t3_plain <-
+        (fun t ->
+          link_now p c2f ~spec:false ~tier:3;
+          c2f.t3_plain t);
       if tiered then begin
         c2f.fexec_plain <- tiered_dispatch c2f ~spec:false;
         c2f.fexec_spec <- tiered_dispatch c2f ~spec:true
@@ -1430,22 +3331,23 @@ let make_prog (cv : Machine.compiled) ~mem_len ~tiered : prog =
            post-link call path has no dispatcher at all — exactly the
            PR5 backend, pinned by the --tierup 0 parity leg. *)
         c2f.fexec_plain <-
-          (fun t regs depth ret_to ->
-            link_now p c2f ~spec:false ~fused:false;
-            c2f.fexec_plain t regs depth ret_to);
+          (fun t ->
+            link_now p c2f ~spec:false ~tier:1;
+            c2f.fexec_plain t);
         c2f.fexec_spec <-
-          (fun t regs depth ret_to ->
-            link_now p c2f ~spec:true ~fused:false;
-            c2f.fexec_spec t regs depth ret_to)
+          (fun t ->
+            link_now p c2f ~spec:true ~tier:1;
+            c2f.fexec_spec t)
       end
       end)
     c2by_id;
   p
 
-let compile (cv : Machine.compiled) ~mem_len : prog = make_prog cv ~mem_len ~tiered:false
+let compile (cv : Machine.compiled) ~mem_len : prog =
+  make_prog cv ~mem_len ~tiered:false ~callfuse:0
 
-let compile_tiered (cv : Machine.compiled) ~mem_len : prog =
-  make_prog cv ~mem_len ~tiered:true
+let compile_tiered (cv : Machine.compiled) ~mem_len ~callfuse : prog =
+  make_prog cv ~mem_len ~tiered:true ~callfuse
 
 (* The backend entry installed into [Machine.t.exec_entry]: builds the
    top-level frame (argument prefix + entry-live zeroing, like any call
@@ -1466,6 +3368,9 @@ let entry (p : prog) : Machine.t -> cfunc -> int list -> int option =
   in
   let n = write 0 args in
   zero_tail c2.zeroset n regs;
+  publish_regs t regs;
+  t.cur_depth <- 0;
+  t.cur_ret_to <- top_id;
   match t.cfg.speculation with
-  | None -> c2.fexec_plain t regs 0 top_id
-  | Some _ -> c2.fexec_spec t regs 0 top_id
+  | None -> c2.fexec_plain t
+  | Some _ -> c2.fexec_spec t

@@ -38,6 +38,13 @@ let fineibt_check_cost = 4
 let coarse_cfi_check_cost = 2
 let pac_auth_cost = 6
 
+let assign_cost (e : Types.expr) =
+  match e with
+  | Types.Load _ -> load
+  | Types.Binop _ -> binop
+  | Types.Const _ -> assign
+  | Types.Move _ -> move
+
 let forward_cost (p : Protection.forward) ~btb_hit =
   match p with
   | Protection.F_none ->

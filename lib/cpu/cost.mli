@@ -53,6 +53,12 @@ val pac_auth_cost : int
 (** Pointer authenticate before the return retires (PAC return signing);
     added on top of the RSB hit/miss base. *)
 
+val assign_cost : Pibe_ir.Types.expr -> int
+(** Retire cost of [CAssign (_, e)] by the evaluated expression's shape —
+    the single source of truth shared by the interpreter and both
+    compiled-backend lowerings (the bit-exactness contract depends on
+    every executor charging identical per-instruction costs). *)
+
 val forward_cost : Pibe_ir.Protection.forward -> btb_hit:bool -> int
 (** Full cost of an indirect call's transfer under the given protection.
     The retpoline/LVI thunks never consult the BTB, so [btb_hit] is

@@ -89,14 +89,7 @@ and exec_inst t cf regs taint spec_on depth i =
   bump_inst t;
   match i with
   | CAssign (r, e) ->
-    let cost =
-      match e with
-      | Load _ -> Cost.load
-      | Binop _ -> Cost.binop
-      | Const _ -> Cost.assign
-      | Move _ -> Cost.move
-    in
-    charge t cost;
+    charge t (Cost.assign_cost e);
     (if spec_on then taint.(r) <- taint_of_expr t regs taint e);
     regs.(r) <- eval_expr t cf regs e
   | CStore (a, v) ->

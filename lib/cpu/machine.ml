@@ -168,12 +168,38 @@ type t = {
          tier-up decisions are deterministic at any --jobs (the fused
          closures themselves live in the shared compiled program).
          Empty unless this engine runs the tiered compiled backend. *)
+  tier3_threshold : int;
+      (* register-threaded tier-3 knob: entries of a function beyond this
+         count run the int-coded dispatch loop; 0 = tier 3 disabled.
+         Only meaningful on tiered compiled engines. *)
+  callfuse_threshold : int;
+      (* call-seam fusion knob this engine was created with: a direct
+         call site fuses across the call/return pair once the callee's
+         entry count crosses it; 0 = fusion off.  Baked into the shared
+         closure program (it changes lowering), kept here for the
+         accessor. *)
+  backend_stats : unit -> (string * int) list;
+      (* installed by [Engine.create]: lowering statistics of the shared
+         closure program (fused call seams, tier-3 coverage); empty for
+         the interpreter backend.  Scheduling-dependent — report only
+         under the "sched" trace category. *)
   mutable exec_entry : t -> cfunc -> int list -> int option;
       (* installed by [Engine.create]: the selected backend's entry path;
          builds the top-level frame from the argument list itself, so
          each backend controls how much of the register file it zeroes *)
   mutable frames : int array array;  (* register-frame pool, one per depth *)
   mutable taint_frames : int option array array;
+  mutable cur_regs : int array;
+      (* the running activation's register frame, (re-)published by every
+         compiled chunk that invokes per-instruction bodies: bodies are
+         arity-1 closures over [t] alone, which OCaml applies as a direct
+         indirect call at each site — arity >= 2 would funnel every body
+         through the program-wide [caml_apply2] trampoline *)
+  mutable cur_taint : int option array;  (* ditto, spec-variant taint frame *)
+  mutable cur_depth : int;  (* the running activation's depth *)
+  mutable cur_ret_to : int;
+      (* the running activation's return-prediction target (caller id);
+         saved and restored around nested calls by the call chunks *)
   mutable call_memo : (string * cfunc) option;
       (* last [Engine.call] name resolution, keyed on physical string
          identity — workload drivers pass the same entry-name value on

@@ -11,22 +11,33 @@ let create ?(depth = 16) () =
   if depth <= 0 then invalid_arg "Rsb.create: depth must be positive";
   { ring = Array.make depth 0; size = depth; top = 0; live = 0 }
 
+(* The ring index always stays in [0, size), so wraparound is a compare
+   and a select rather than [mod] — push/pop sit on the simulated
+   call/return hot path, where the hardware divide behind [mod] is the
+   single most expensive instruction. *)
+
 let push t v =
   t.ring.(t.top) <- v;
-  t.top <- (t.top + 1) mod t.size;
+  let top = t.top + 1 in
+  t.top <- (if top = t.size then 0 else top);
   if t.live < t.size then t.live <- t.live + 1
 
 let pop t =
   if t.live = 0 then none
   else begin
-    t.top <- (t.top + t.size - 1) mod t.size;
+    let top = t.top - 1 in
+    let top = if top < 0 then t.size - 1 else top in
+    t.top <- top;
     t.live <- t.live - 1;
-    t.ring.(t.top)
+    t.ring.(top)
   end
 
 let poison t v =
   if t.live = 0 then push t v
-  else t.ring.((t.top + t.size - 1) mod t.size) <- v
+  else begin
+    let i = t.top - 1 in
+    t.ring.(if i < 0 then t.size - 1 else i) <- v
+  end
 
 let depth t = t.size
 let occupancy t = t.live

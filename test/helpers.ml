@@ -150,6 +150,127 @@ let random_chain_func rng prog ~name ~callees =
     blocks;
   (!prog, Builder.finish b ())
 
+(* Call-chain-biased generator: deep chains of direct calls ending in
+   straight-line leaves — exactly the shape call-seam fusion targets.
+   Leaves are CAssign/CStore/CObserve-only with [Jmp]-chained blocks;
+   some plant a deterministically faulting load (a fault in the middle
+   of a fused call body must roll the batched seam accounting back
+   bit-exactly), and a few are deliberately oversized so the fusion
+   size bound's rejection path runs too.  Callers make several calls
+   per activation, so leaf entry counts cross low fusion thresholds
+   mid-run and every run compares the unfused, promoting and fused
+   states against the interpreter. *)
+let random_leaf_func rng ~name =
+  let params = 1 + Rng.int rng 2 in
+  let b = Builder.create ~name ~params in
+  let oversized = Rng.int rng 10 = 0 in
+  let nblocks = 1 + Rng.int rng 2 in
+  let blocks = Array.of_list (0 :: List.init (nblocks - 1) (fun _ -> Builder.new_block b)) in
+  let vals = ref (List.init params (fun i -> i)) in
+  let operand rng =
+    if !vals <> [] && Rng.bool rng then Reg (Rng.choose rng (Array.of_list !vals))
+    else Imm (Rng.int rng 100)
+  in
+  Array.iteri
+    (fun bi label ->
+      Builder.switch_to b label;
+      let n_insts = if oversized then 30 else 2 + Rng.int rng 5 in
+      for _ = 1 to n_insts do
+        match Rng.int rng 10 with
+        | 0 -> Builder.store b ~addr:(Imm (16 + Rng.int rng 16)) ~value:(operand rng)
+        | 1 -> Builder.observe b (operand rng)
+        | 2 ->
+          let r = Builder.reg b in
+          Builder.assign b r (Load (Imm (Rng.int rng mem_cells)));
+          vals := r :: !vals
+        | 3 when Rng.int rng 3 = 0 ->
+          (* deterministically out-of-bounds: faults mid-fused-body *)
+          let a = Builder.reg b in
+          Builder.assign b a (Const (mem_cells + 50 + Rng.int rng 50));
+          let r = Builder.reg b in
+          Builder.assign b r (Load (Reg a));
+          vals := r :: !vals
+        | _ ->
+          let r = Builder.reg b in
+          let op = Rng.choose rng [| Add; Sub; Mul; Xor; And; Or; Shl; Shr; Lt; Eq |] in
+          Builder.assign b r (Binop (op, operand rng, operand rng));
+          vals := r :: !vals
+      done;
+      if bi = Array.length blocks - 1 then
+        Builder.ret b (if Rng.bool rng then Some (operand rng) else None)
+      else Builder.jmp b blocks.(bi + 1))
+    blocks;
+  Builder.finish b ()
+
+let random_caller_func rng prog ~name ~callees =
+  let params = 1 + Rng.int rng 2 in
+  let b = Builder.create ~name ~params in
+  let nblocks = 1 + Rng.int rng 2 in
+  let blocks = Array.of_list (0 :: List.init (nblocks - 1) (fun _ -> Builder.new_block b)) in
+  let prog = ref prog in
+  let vals = ref (List.init params (fun i -> i)) in
+  let operand rng =
+    if !vals <> [] && Rng.bool rng then Reg (Rng.choose rng (Array.of_list !vals))
+    else Imm (Rng.int rng 100)
+  in
+  Array.iteri
+    (fun bi label ->
+      Builder.switch_to b label;
+      (* several calls per block: leaf heat accumulates fast *)
+      let n_items = 2 + Rng.int rng 3 in
+      for _ = 1 to n_items do
+        match Rng.int rng 4 with
+        | 0 ->
+          let r = Builder.reg b in
+          Builder.assign b r (Binop (Add, operand rng, operand rng));
+          vals := r :: !vals
+        | _ ->
+          let callee = Rng.choose rng (Array.of_list callees) in
+          let p, site = Program.fresh_site !prog in
+          prog := p;
+          if Rng.int rng 5 = 0 then Builder.call b site callee [ operand rng ]
+          else begin
+            let r = Builder.reg b in
+            Builder.call b ~dst:r site callee [ operand rng; operand rng ];
+            vals := r :: !vals
+          end
+      done;
+      if bi = Array.length blocks - 1 then
+        Builder.ret b (if Rng.bool rng then Some (operand rng) else None)
+      else Builder.jmp b blocks.(bi + 1))
+    blocks;
+  (!prog, Builder.finish b ())
+
+(* [random_call_program seed]: a deep linear spine f0 -> f1 -> ... whose
+   lower half are straight-line leaves; every fi may also call any
+   fj (j > i), so seams appear at several depths of one activation. *)
+let random_call_program seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 4 in
+  let names = List.init n (fun i -> Printf.sprintf "f%d" i) in
+  let prog = ref (Program.with_globals_size Program.empty mem_cells) in
+  let rec build i =
+    if i < 0 then ()
+    else begin
+      if i >= (n + 1) / 2 then prog := Program.add_func !prog (random_leaf_func rng ~name:(List.nth names i))
+      else begin
+        let callees = List.filteri (fun j _ -> j > i) names in
+        let p, f = random_caller_func rng !prog ~name:(List.nth names i) ~callees in
+        prog := Program.add_func p f
+      end;
+      build (i - 1)
+    end
+  in
+  build (n - 1);
+  let p = !prog in
+  (match Validate.check_program p with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "random_call_program %d invalid: %s" seed
+         (String.concat "; " (List.map (fun e -> e.Validate.what) errs))));
+  p
+
 (* [random_chain_program seed]: a few chain-heavy functions in a call
    DAG, validated like [random_program]. *)
 let random_chain_program seed =

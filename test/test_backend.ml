@@ -48,9 +48,9 @@ let counters_list (c : Engine.counters) =
    tier-up threshold per engine — the suite's standard workloads make
    only a handful of calls, so exercising the fused tier needs low
    explicit thresholds. *)
-let run_with ?tierup ~backend ~mkconfig prog calls =
+let run_with ?tierup ?callfuse ?tier3 ~backend ~mkconfig prog calls =
   let config, spec = mkconfig () in
-  let engine = Engine.create ~config ~backend ?tierup prog in
+  let engine = Engine.create ~config ~backend ?tierup ?callfuse ?tier3 prog in
   let outcomes =
     List.map
       (fun (entry, args) ->
@@ -71,9 +71,9 @@ let run_with ?tierup ~backend ~mkconfig prog calls =
     spec_events = (match spec with None -> [] | Some s -> Speculation.events s);
   }
 
-let agree ?tierup ~mkconfig prog calls =
+let agree ?tierup ?callfuse ?tier3 ~mkconfig prog calls =
   run_with ~backend:Engine.Interp ~mkconfig prog calls
-  = run_with ?tierup ~backend:Engine.Compiled ~mkconfig prog calls
+  = run_with ?tierup ?callfuse ?tier3 ~backend:Engine.Compiled ~mkconfig prog calls
 
 (* ------------------------------------------------------------------ *)
 (* Configuration axes                                                  *)
@@ -207,11 +207,72 @@ let differential_tier_settings =
     (fun seed ->
       let prog = Helpers.random_chain_program seed in
       let calls = Helpers.standard_calls prog in
-      let snap tierup =
-        run_with ~tierup ~backend:Engine.Compiled ~mkconfig:base prog calls
+      let snap ?(callfuse = 0) ?(tier3 = 0) tierup =
+        run_with ~tierup ~callfuse ~tier3 ~backend:Engine.Compiled ~mkconfig:base
+          prog calls
       in
       let s0 = snap 0 in
-      s0 = snap 1 && s0 = snap 2 && s0 = snap 1_000_000)
+      s0 = snap 1 && s0 = snap 2 && s0 = snap 1_000_000
+      && s0 = snap ~callfuse:1 1
+      && s0 = snap ~tier3:1 1
+      && s0 = snap ~callfuse:1 ~tier3:2 1
+      && s0 = snap ~callfuse:3 ~tier3:4 2)
+
+(* ------------------------------------------------------------------ *)
+(* Call-seam fusion and tier 3                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Call-chain-biased programs at thresholds of 1: leaf entry counts
+   cross the fusion threshold during the first activation, so each run
+   compares the unfused, self-promoting and fused call seams against
+   the interpreter — including the generator's planted mid-leaf faults
+   and deliberately oversized (fusion-rejected) leaves. *)
+let differential_callfuse name mkconfig =
+  QCheck.Test.make ~count:60 ~name
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_call_program seed in
+      agree ~tierup:1 ~callfuse:1 ~mkconfig prog (Helpers.standard_calls prog))
+
+(* Tier 3 at a threshold of 2 over the chain-heavy generator: the first
+   calls run tiers 1-2, later calls the register-threaded stream, so
+   one run covers every promotion edge (including faults landing inside
+   int-coded batches). *)
+let differential_tier3 name mkconfig =
+  QCheck.Test.make ~count:60 ~name
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_chain_program seed in
+      agree ~tierup:1 ~tier3:2 ~mkconfig prog (Helpers.standard_calls prog))
+
+(* All tiers at once on the call-heavy shape. *)
+let differential_all_tiers =
+  QCheck.Test.make ~count:60 ~name:"callfuse+tier3 chains agree"
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_call_program seed in
+      agree ~tierup:1 ~callfuse:1 ~tier3:2 ~mkconfig:base prog
+        (Helpers.standard_calls prog))
+
+(* Fuel budgets swept around the size of one fused call span: both
+   backends must die out-of-fuel at the same step even when the budget
+   runs dry exactly at a fused call seam (the pre-charged call + body +
+   return batch must unwind to the interpreter's partial state). *)
+let differential_callfuse_starved =
+  QCheck.Test.make ~count:80 ~name:"out-of-fuel at call seams agrees"
+    QCheck.(make Gen.(0 -- 100_000))
+    (fun seed ->
+      let prog = Helpers.random_call_program seed in
+      let mkconfig () =
+        ( {
+            Engine.default_config with
+            Engine.record_trace = true;
+            fuel = 5 + (seed mod 97);
+          },
+          None )
+      in
+      agree ~tierup:1 ~callfuse:1 ~tier3:3 ~mkconfig prog
+        (Helpers.standard_calls prog))
 
 (* A deterministic fault in the middle of a fused run: the load's address
    register goes out of bounds only for the poisoned argument, after the
@@ -251,16 +312,193 @@ let test_fault_mid_superblock () =
     (agree ~tierup:1 ~mkconfig:base prog calls
     && agree ~tierup:2 ~mkconfig:base prog calls)
 
+(* A fused (caller, callee) pair whose leaf faults only for a poisoned
+   argument, long after the seam is promoted: the batched call + body +
+   return accounting must roll back to exactly the interpreter's partial
+   state (call counter bumped, edge recorded, callee frame live). *)
+let fused_call_prog () =
+  let open Types in
+  let leaf =
+    let b = Builder.create ~name:"leaf" ~params:1 in
+    let r1 = Builder.reg b in
+    Builder.assign b r1 (Binop (Add, Reg 0, Imm 3));
+    let addr = Builder.reg b in
+    (* in-bounds for small args, far out of bounds for arg 9999 *)
+    Builder.assign b addr (Binop (Mul, Reg 0, Imm 7));
+    let r2 = Builder.reg b in
+    Builder.assign b r2 (Load (Reg addr));
+    Builder.store b ~addr:(Imm 20) ~value:(Reg r2);
+    Builder.ret b (Some (Reg r1));
+    Builder.finish b ()
+  in
+  let prog =
+    Program.add_func (Program.with_globals_size Program.empty Helpers.mem_cells) leaf
+  in
+  let prog = ref prog in
+  let main =
+    let b = Builder.create ~name:"f0" ~params:1 in
+    let r0 = Builder.reg b in
+    Builder.assign b r0 (Binop (Add, Reg 0, Imm 1));
+    (* a straight-line compute stretch so the trace qualifies for the
+       tier-3 shape gate even with its two call seams — the fused seams
+       then run inside the int-coded stream (the op_cx path) *)
+    let acc = ref r0 in
+    for k = 1 to 9 do
+      let r = Builder.reg b in
+      Builder.assign b r (Binop (Xor, Reg !acc, Imm (k * 5)));
+      acc := r
+    done;
+    Builder.assign b r0 (Binop (Add, Reg !acc, Imm 0));
+    let p, site = Program.fresh_site !prog in
+    prog := p;
+    let r1 = Builder.reg b in
+    Builder.call b ~dst:r1 site "leaf" [ Reg 0 ];
+    let p, site = Program.fresh_site !prog in
+    prog := p;
+    let r2 = Builder.reg b in
+    Builder.call b ~dst:r2 site "leaf" [ Reg r1 ];
+    Builder.observe b (Reg r2);
+    Builder.ret b (Some (Reg r2));
+    Builder.finish b ()
+  in
+  Program.add_func !prog main
+
+let test_fault_mid_fused_call () =
+  let prog = fused_call_prog () in
+  let calls =
+    [ ("f0", [ 1 ]); ("f0", [ 2 ]); ("f0", [ 3 ]); ("f0", [ 9999 ]); ("f0", [ 4 ]) ]
+  in
+  Alcotest.(check bool)
+    "fault mid-fused-call rolls back bit-exactly" true
+    (agree ~tierup:1 ~callfuse:1 ~mkconfig:base prog calls
+    && agree ~tierup:1 ~callfuse:1 ~tier3:2 ~mkconfig:base prog calls
+    && agree ~tierup:1 ~callfuse:2 ~mkconfig:hardened prog calls)
+
+(* Every fuel budget from empty to past the whole workload: wherever the
+   budget dies — before the seam, on the pre-charged call step, inside
+   the fused body, on the return — both backends stop identically. *)
+let test_fuel_sweep_at_call_seam () =
+  let prog = fused_call_prog () in
+  let calls = [ ("f0", [ 1 ]); ("f0", [ 2 ]); ("f0", [ 3 ]); ("f0", [ 4 ]) ] in
+  for fuel = 1 to 80 do
+    let mkconfig () =
+      ({ Engine.default_config with Engine.record_trace = true; fuel }, None)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "fuel %d dies at the same step" fuel)
+      true
+      (agree ~tierup:1 ~callfuse:1 ~tier3:2 ~mkconfig prog calls)
+  done
+
+(* Accumulator-run superinstructions: tier 3 collapses consecutive
+   [d = op d rhs] binops into one [op_acc] whose live value rides in a
+   host register.  Cover every binop in both operand shapes, an
+   odd-length run, the run-breaking aliases ([x = x + x] reads the
+   operand from the frame, so it must NOT join a run), comparisons that
+   collapse the accumulator to 0/1 mid-run, and register shift amounts
+   past the mask — all bit-exact against the interpreter. *)
+let acc_run_prog () =
+  let open Types in
+  let b = Builder.create ~name:"f0" ~params:1 in
+  let x = Builder.reg b and y = Builder.reg b in
+  Builder.assign b x (Move (Reg 0));
+  Builder.assign b y (Binop (Mul, Reg 0, Imm 3));
+  (* immediate-shape run over every op (Lt/Eq mid-run collapse to 0/1) *)
+  List.iter
+    (fun (op, i) -> Builder.assign b x (Binop (op, Reg x, Imm i)))
+    [ (Add, 5); (Sub, 3); (Mul, 7); (Xor, 9); (Or, 33); (And, 255);
+      (Shl, 3); (Shr, 2); (Lt, 1000); (Eq, 1); (Add, 41); (Mul, 13) ];
+  (* operand aliasing the accumulator breaks the run *)
+  Builder.assign b x (Binop (Add, Reg x, Reg x));
+  (* register-shape run, including shift amounts >= 32 in [y] *)
+  List.iter
+    (fun op -> Builder.assign b x (Binop (op, Reg x, Reg y)))
+    [ Add; Sub; Xor; And; Or; Shl; Shr; Mul; Lt; Eq ];
+  Builder.observe b (Reg x);
+  (* odd-length tail run exercises the single-item epilogue *)
+  Builder.assign b x (Binop (Add, Reg x, Imm 2));
+  Builder.assign b x (Binop (Xor, Reg x, Imm 5));
+  Builder.assign b x (Binop (Or, Reg x, Reg y));
+  Builder.ret b (Some (Reg x));
+  Program.add_func (Program.with_globals_size Program.empty Helpers.mem_cells)
+    (Builder.finish b ())
+
+let test_acc_runs () =
+  let prog = acc_run_prog () in
+  let calls =
+    List.map
+      (fun v -> ("f0", [ v ]))
+      [ 0; 1; 5; 17; 40; 255; 100000; max_int / 3; 0; 7 ]
+  in
+  Alcotest.(check bool)
+    "accumulator runs agree bit-exactly" true
+    (agree ~tierup:1 ~tier3:2 ~mkconfig:base prog calls
+    && agree ~tierup:2 ~callfuse:1 ~tier3:3 ~mkconfig:hardened prog calls)
+
+(* A self-recursive callee can never fuse (its body contains a call, so
+   the leaf gate rejects it): the seam count must stay zero while the
+   runs still agree with the interpreter. *)
+let test_recursive_callee_not_fused () =
+  let open Types in
+  let prog = ref (Program.with_globals_size Program.empty Helpers.mem_cells) in
+  let rec_func =
+    let b = Builder.create ~name:"rec" ~params:1 in
+    let base_b = Builder.new_block b in
+    let rec_b = Builder.new_block b in
+    let cond = Builder.reg b in
+    Builder.assign b cond (Binop (Lt, Reg 0, Imm 1));
+    Builder.br b (Reg cond) base_b rec_b;
+    Builder.switch_to b base_b;
+    Builder.ret b (Some (Imm 0));
+    Builder.switch_to b rec_b;
+    let n1 = Builder.reg b in
+    Builder.assign b n1 (Binop (Sub, Reg 0, Imm 1));
+    let p, site = Program.fresh_site !prog in
+    prog := p;
+    let r = Builder.reg b in
+    Builder.call b ~dst:r site "rec" [ Reg n1 ];
+    let r2 = Builder.reg b in
+    Builder.assign b r2 (Binop (Add, Reg r, Imm 1));
+    Builder.ret b (Some (Reg r2));
+    Builder.finish b ()
+  in
+  prog := Program.add_func !prog rec_func;
+  let main =
+    let b = Builder.create ~name:"f0" ~params:1 in
+    let p, site = Program.fresh_site !prog in
+    prog := p;
+    let r = Builder.reg b in
+    Builder.call b ~dst:r site "rec" [ Reg 0 ];
+    Builder.ret b (Some (Reg r));
+    Builder.finish b ()
+  in
+  let prog = Program.add_func !prog main in
+  let calls = List.init 6 (fun i -> ("f0", [ i ])) in
+  Alcotest.(check bool)
+    "recursive callee agrees unfused" true
+    (agree ~tierup:1 ~callfuse:1 ~tier3:2 ~mkconfig:base prog calls);
+  let engine = Engine.create ~tierup:1 ~callfuse:1 prog in
+  List.iter (fun (entry, args) -> ignore (Engine.call engine entry args)) calls;
+  Alcotest.(check int) "no seam ever fuses a recursive callee" 0
+    (List.assoc "call-fused-seams" (Engine.backend_stats engine))
+
 (* Tier-up decisions are per-engine counters, so they cannot depend on
    how many other engines run concurrently: N domains each driving a
    private engine over the same workload must reach identical snapshots,
    entry counts and promotion decisions as a sequential engine. *)
 let test_tierup_deterministic_across_jobs () =
   let prog = Helpers.random_chain_program 321_123 in
+  let call_prog = Helpers.random_call_program 321_124 in
   let calls = Helpers.standard_calls prog in
+  let call_calls = Helpers.standard_calls call_prog in
   let profile () =
     let snap = run_with ~tierup:2 ~backend:Engine.Compiled ~mkconfig:base prog calls in
-    let engine = Engine.create ~tierup:2 prog in
+    (* all three tiers plus fusion live at once on the call-heavy shape *)
+    let snap_fused =
+      run_with ~tierup:1 ~callfuse:1 ~tier3:2 ~backend:Engine.Compiled ~mkconfig:base
+        call_prog call_calls
+    in
+    let engine = Engine.create ~tierup:2 ~tier3:3 prog in
     List.iter
       (fun (entry, args) ->
         match Engine.call engine entry args with
@@ -270,10 +508,13 @@ let test_tierup_deterministic_across_jobs () =
     let counts =
       List.map
         (fun name ->
-          (name, Engine.entry_count engine name, Engine.promoted engine name))
+          ( name,
+            Engine.entry_count engine name,
+            Engine.promoted engine name,
+            Engine.tier3_promoted engine name ))
         (Program.layout_order prog)
     in
-    (snap, counts)
+    (snap, snap_fused, counts)
   in
   let sequential = profile () in
   let domains = List.init 4 (fun _ -> Domain.spawn profile) in
@@ -383,7 +624,19 @@ let test_lru_tier_keying () =
   ignore (Engine.create ~tierup:50 p);
   let h3, m3 = Engine.compile_cache_stats () in
   Alcotest.(check int) "tiered entry shared across thresholds" 0 (m3 - m2);
-  Alcotest.(check int) "threshold change is a cache hit" 1 (h3 - h2)
+  Alcotest.(check int) "threshold change is a cache hit" 1 (h3 - h2);
+  (* the tier-3 threshold also lives in the engine, not the artifact *)
+  let _, m4 = Engine.compile_cache_stats () in
+  ignore (Engine.create ~tierup:8 ~tier3:7 p);
+  let _, m5 = Engine.compile_cache_stats () in
+  Alcotest.(check int) "tier3 threshold change is a cache hit" 0 (m5 - m4);
+  (* the callfuse threshold is baked into the lowered closures, so a
+     different setting is a different cache entry *)
+  let _, m6 = Engine.compile_cache_stats () in
+  ignore (Engine.create ~tierup:8 ~callfuse:1 p);
+  ignore (Engine.create ~tierup:8 ~callfuse:1 p);
+  let _, m7 = Engine.compile_cache_stats () in
+  Alcotest.(check int) "callfuse setting keys its own entry" 1 (m7 - m6)
 
 (* Tier-up observability: promotion emits an engine:tierup span around
    the fused lowering, a tierup-count sample at the crossing, and
@@ -415,6 +668,42 @@ let test_trace_tierup_events () =
   Alcotest.(check bool) "segment-coverage counter" true
     (sched "segment-coverage" Trace.Counter)
 
+(* Call-seam fusion and tier-3 observability: fusing a seam emits an
+   engine:callfuse span and a call-fused-seams counter; tier-3 lowering
+   emits an engine:tier3 span, a tier3-promotions sample at the crossing and
+   a tier3-inst-coverage counter (all "sched" category). *)
+let test_trace_callfuse_tier3_events () =
+  let p = fused_call_prog () in
+  Trace.start ();
+  let engine = Engine.create ~tierup:1 ~callfuse:1 ~tier3:2 p in
+  for i = 1 to 6 do
+    ignore (Engine.call engine "f0" [ i ])
+  done;
+  Engine.trace_counters ~name:"probe" engine;
+  let events = Trace.stop () in
+  let sched name ph =
+    List.exists
+      (fun (e : Trace.event) ->
+        String.equal e.Trace.cat "sched" && String.equal e.Trace.name name
+        && e.Trace.ph = ph)
+      events
+  in
+  Alcotest.(check bool) "engine:callfuse span opened" true
+    (sched "engine:callfuse" Trace.Begin);
+  Alcotest.(check bool) "engine:callfuse span closed" true
+    (sched "engine:callfuse" Trace.End);
+  Alcotest.(check bool) "call-fused-seams counter" true
+    (sched "call-fused-seams" Trace.Counter);
+  Alcotest.(check bool) "engine:tier3 span opened" true
+    (sched "engine:tier3" Trace.Begin);
+  Alcotest.(check bool) "engine:tier3 span closed" true
+    (sched "engine:tier3" Trace.End);
+  Alcotest.(check bool) "tier3-promotions counter" true (sched "tier3-promotions" Trace.Counter);
+  Alcotest.(check bool) "tier3-inst-coverage counter" true
+    (sched "tier3-inst-coverage" Trace.Counter);
+  Alcotest.(check bool) "lowering stats sample" true
+    (sched "probe:lowering" Trace.Counter)
+
 (* The tier-up profile accessors: per-engine entry counts and promotion
    state, and their off states on interp / --tierup 0 engines. *)
 let test_tierup_accessors () =
@@ -437,7 +726,28 @@ let test_tierup_accessors () =
   Alcotest.(check bool) "baseline never promotes" false
     (Engine.promoted baseline "f0");
   Alcotest.(check int) "unknown functions count zero" 0
-    (Engine.entry_count tiered "nosuch")
+    (Engine.entry_count tiered "nosuch");
+  (* the new-tier accessors and their off states *)
+  let fused = Engine.create ~tierup:1 ~callfuse:1 ~tier3:3 p in
+  List.iter
+    (fun (entry, args) -> ignore (Engine.call fused entry args))
+    (Helpers.standard_calls p);
+  Alcotest.(check int) "tier3 threshold visible" 3 (Engine.tier3_threshold fused);
+  Alcotest.(check int) "callfuse threshold visible" 1 (Engine.callfuse_threshold fused);
+  Alcotest.(check bool) "tier3-promoted past threshold" true
+    (Engine.tier3_promoted fused "f0");
+  Alcotest.(check bool) "tier3 off by tierup 0" true
+    (Engine.tier3_threshold baseline = 0 && Engine.callfuse_threshold baseline = 0);
+  Alcotest.(check bool) "tiered default engine reports defaults" true
+    (Engine.tier3_threshold tiered = Engine.default_tier3 ()
+    && Engine.callfuse_threshold tiered = Engine.default_callfuse ());
+  Alcotest.(check bool) "interp never tier3-promotes" false
+    (Engine.tier3_promoted interp "f0");
+  Alcotest.(check bool) "interp backend stats empty" true
+    (Engine.backend_stats interp = []);
+  Alcotest.(check bool) "compiled backend stats populated" true
+    (List.mem_assoc "call-fused-seams" (Engine.backend_stats fused)
+    && List.mem_assoc "tier3-traces" (Engine.backend_stats fused))
 
 (* ------------------------------------------------------------------ *)
 (* Backend selection plumbing                                          *)
@@ -478,8 +788,26 @@ let suite =
       (differential_chain "superblock chains agree (tierup 2)" 2 base);
     Helpers.qcheck_to_alcotest differential_chain_starved;
     Helpers.qcheck_to_alcotest differential_tier_settings;
+    Helpers.qcheck_to_alcotest
+      (differential_callfuse "call-seam fusion agrees" base);
+    Helpers.qcheck_to_alcotest
+      (differential_callfuse "call-seam fusion agrees hardened" hardened);
+    Helpers.qcheck_to_alcotest
+      (differential_callfuse "call-seam fusion agrees drilled" drilled);
+    Helpers.qcheck_to_alcotest (differential_tier3 "tier3 chains agree" base);
+    Helpers.qcheck_to_alcotest
+      (differential_tier3 "tier3 chains agree hardened" hardened);
+    Helpers.qcheck_to_alcotest differential_all_tiers;
+    Helpers.qcheck_to_alcotest differential_callfuse_starved;
     Alcotest.test_case "fault mid-superblock rolls back" `Quick
       test_fault_mid_superblock;
+    Alcotest.test_case "fault mid-fused-call rolls back" `Quick
+      test_fault_mid_fused_call;
+    Alcotest.test_case "fuel sweep at call seams" `Quick
+      test_fuel_sweep_at_call_seam;
+    Alcotest.test_case "accumulator runs bit-exact" `Quick test_acc_runs;
+    Alcotest.test_case "recursive callee never fuses" `Quick
+      test_recursive_callee_not_fused;
     Alcotest.test_case "tier-up deterministic across domains" `Quick
       test_tierup_deterministic_across_jobs;
     Alcotest.test_case "kernel attack drills agree" `Quick test_attack_drills;
@@ -490,6 +818,8 @@ let suite =
       test_trace_compile_events;
     Alcotest.test_case "tierup spans and counters traced" `Quick
       test_trace_tierup_events;
+    Alcotest.test_case "callfuse and tier3 spans traced" `Quick
+      test_trace_callfuse_tier3_events;
     Alcotest.test_case "tier-up profile accessors" `Quick test_tierup_accessors;
     Alcotest.test_case "backend selection and names" `Quick test_backend_selection;
   ]
